@@ -1,0 +1,48 @@
+//! Curation microbenchmarks: the stage-1 pipeline per record and its
+//! individual passes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use preserva_curation::cleaning::{LegacyDatePass, SpeciesNamePass, WhitespacePass};
+use preserva_curation::log::CurationLog;
+use preserva_curation::pass::CurationPass;
+use preserva_curation::pipeline::CurationPipeline;
+use preserva_curation::review::ReviewQueue;
+use preserva_fnjv::config::GeneratorConfig;
+use preserva_fnjv::generator;
+use preserva_gazetteer::builder::build_gazetteer;
+use preserva_metadata::fnjv;
+
+fn bench_passes(c: &mut Criterion) {
+    let coll = generator::generate(&GeneratorConfig::small(3));
+    let record = coll.records[0].clone();
+    let mut g = c.benchmark_group("curation/pass");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("whitespace", |b| b.iter(|| WhitespacePass.inspect(&record)));
+    g.bench_function("species_name", |b| {
+        b.iter(|| SpeciesNamePass.inspect(&record))
+    });
+    g.bench_function("legacy_date", |b| {
+        b.iter(|| LegacyDatePass.inspect(&record))
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let coll = generator::generate(&GeneratorConfig::small(3));
+    let pipeline = CurationPipeline::stage1(build_gazetteer(3, 1), fnjv::schema());
+    let mut g = c.benchmark_group("curation/stage1_pipeline");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(coll.records.len() as u64));
+    g.bench_function("600_records", |b| {
+        b.iter(|| {
+            let mut log = CurationLog::new();
+            let mut queue = ReviewQueue::new();
+            pipeline.run(&coll.records, &mut log, &mut queue)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_pipeline);
+criterion_main!(benches);

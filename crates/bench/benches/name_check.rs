@@ -1,0 +1,56 @@
+//! The E6 inner loop: full outdated-name detection over paper-scale and
+//! reduced collections (generation excluded from the measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use preserva_curation::outdated::OutdatedNameDetector;
+use preserva_fnjv::config::GeneratorConfig;
+use preserva_fnjv::generator::{self, SyntheticCollection};
+use preserva_taxonomy::service::{ColService, ServiceConfig};
+
+fn collection(records: usize, distinct: usize) -> SyntheticCollection {
+    generator::generate(&GeneratorConfig {
+        records,
+        distinct_species: distinct,
+        outdated_names: distinct / 14,
+        ..GeneratorConfig::default()
+    })
+}
+
+fn bench_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("name_check/collection");
+    g.sample_size(10);
+    for (records, distinct) in [(1_000usize, 300usize), (11_898, 1_929)] {
+        let coll = collection(records, distinct);
+        let service = ColService::new(
+            coll.checklist.clone(),
+            ServiceConfig {
+                availability: 1.0,
+                seed: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        g.throughput(Throughput::Elements(records as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{records}rec_{distinct}names")),
+            &coll,
+            |b, coll| {
+                let det = OutdatedNameDetector::new(&service, 3);
+                b.iter(|| det.check_collection(&coll.records))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("name_check/generate");
+    g.sample_size(10);
+    g.bench_function("paper_scale", |b| {
+        b.iter(|| generator::generate(&GeneratorConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_check, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! OPM microbenchmarks: graph construction, completion-rule saturation
+//! and derivation closure — the provenance-side costs of every captured
+//! run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use preserva_opm::edge::Edge;
+use preserva_opm::graph::OpmGraph;
+use preserva_opm::inference;
+use preserva_opm::model::{Artifact, Process};
+
+/// Build a pipeline provenance graph with `n` stages.
+fn pipeline(n: usize) -> OpmGraph {
+    let mut g = OpmGraph::new();
+    g.add_artifact(Artifact::new("a:0", "input"));
+    for i in 0..n {
+        g.add_process(Process::new(format!("p:{i}"), format!("step {i}")));
+        g.add_artifact(Artifact::new(format!("a:{}", i + 1), format!("out {i}")));
+        g.add_edge(Edge::used(
+            format!("p:{i}").as_str().into(),
+            format!("a:{i}").as_str().into(),
+            Some("in"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::was_generated_by(
+            format!("a:{}", i + 1).as_str().into(),
+            format!("p:{i}").as_str().into(),
+            Some("out"),
+        ))
+        .unwrap();
+    }
+    g
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opm/build");
+    for n in [10usize, 100, 1000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| pipeline(n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_saturate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opm/saturate");
+    for n in [10usize, 100, 500] {
+        let base = pipeline(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &base, |b, base| {
+            b.iter(|| {
+                let mut graph = base.clone();
+                inference::saturate(&mut graph)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opm/derivation_closure");
+    for n in [10usize, 100, 500] {
+        let base = pipeline(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &base, |b, base| {
+            b.iter(|| inference::derivation_closure(base))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_saturate, bench_closure);
+criterion_main!(benches);

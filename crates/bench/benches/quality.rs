@@ -1,0 +1,67 @@
+//! Quality-layer microbenchmarks: metric evaluation, lineage scoring over
+//! provenance chains, and report aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use preserva_opm::edge::Edge;
+use preserva_opm::graph::OpmGraph;
+use preserva_opm::model::{Artifact, Process};
+use preserva_quality::aggregate::Combine;
+use preserva_quality::dimension::Dimension;
+use preserva_quality::metric::AssessmentContext;
+use preserva_quality::model::QualityModel;
+use preserva_quality::provenance_based;
+
+fn chain(n: usize) -> OpmGraph {
+    let mut g = OpmGraph::new();
+    g.add_artifact(Artifact::new("a:0", "src").with_annotation("Q(reputation)", "0.9"));
+    for i in 0..n {
+        g.add_process(
+            Process::new(format!("p:{i}"), "step").with_annotation("Q(reputation)", "0.99"),
+        );
+        g.add_artifact(Artifact::new(format!("a:{}", i + 1), "derived"));
+        g.add_edge(Edge::used(
+            format!("p:{i}").as_str().into(),
+            format!("a:{i}").as_str().into(),
+            Some("in"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::was_generated_by(
+            format!("a:{}", i + 1).as_str().into(),
+            format!("p:{i}").as_str().into(),
+            Some("out"),
+        ))
+        .unwrap();
+    }
+    g
+}
+
+fn bench_lineage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality/lineage_score");
+    for n in [5usize, 50, 200] {
+        let g = chain(n);
+        let tip: preserva_opm::model::NodeId = format!("a:{n}").as_str().into();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                provenance_based::lineage_score(g, &tip, &Dimension::reputation(), Combine::Min)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_assess(c: &mut Criterion) {
+    let model = QualityModel::case_study_default();
+    let ctx = AssessmentContext::new()
+        .with_fact("names_checked", 1929.0)
+        .with_fact("names_correct", 1795.0)
+        .with_fact("observed_availability", 0.9)
+        .with_annotation("reputation", 1.0)
+        .with_annotation("availability", 0.9);
+    c.bench_function("quality/case_study_assess", |b| {
+        b.iter(|| model.assess("fnjv", &ctx))
+    });
+}
+
+criterion_group!(benches, bench_lineage, bench_assess);
+criterion_main!(benches);

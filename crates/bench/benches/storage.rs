@@ -1,0 +1,87 @@
+//! Storage-engine microbenchmarks: put / get / scan / recovery — the cost
+//! floor under every repository in the architecture.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use preserva_storage::engine::{Engine, EngineOptions};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "preserva-bench-storage-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage/put");
+    g.throughput(Throughput::Elements(1));
+    let dir = tmpdir("put");
+    let engine = Engine::open(&dir, EngineOptions::default()).unwrap();
+    let mut i = 0u64;
+    g.bench_function("single_key", |b| {
+        b.iter(|| {
+            i += 1;
+            engine
+                .put(
+                    "records",
+                    &i.to_be_bytes(),
+                    b"one observation record payload",
+                )
+                .unwrap();
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_get_scan(c: &mut Criterion) {
+    let dir = tmpdir("get");
+    let engine = Engine::open(&dir, EngineOptions::default()).unwrap();
+    for i in 0..10_000u64 {
+        engine
+            .put("records", &i.to_be_bytes(), &i.to_le_bytes())
+            .unwrap();
+    }
+    engine.checkpoint().unwrap();
+    let mut g = c.benchmark_group("storage/read");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            engine.get("records", &i.to_be_bytes()).unwrap()
+        })
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("scan_10k", |b| {
+        b.iter(|| engine.scan_all("records").unwrap())
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let dir = tmpdir("recovery");
+    {
+        let engine = Engine::open(&dir, EngineOptions::default()).unwrap();
+        for i in 0..5_000u64 {
+            engine.put("records", &i.to_be_bytes(), &[0u8; 64]).unwrap();
+        }
+    } // drop without checkpoint: recovery replays the WAL
+    let mut g = c.benchmark_group("storage/recovery");
+    g.throughput(Throughput::Elements(5_000));
+    g.bench_function("wal_replay_5k", |b| {
+        b.iter_batched(
+            || (),
+            |_| Engine::open(&dir, EngineOptions::default()).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_put, bench_get_scan, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Taxonomy microbenchmarks: exact lookup, synonym resolution and fuzzy
+//! matching against a paper-scale backbone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use preserva_taxonomy::builder::{build_backbone, build_checklist, ReleasePlan};
+use preserva_taxonomy::checklist::Checklist;
+use preserva_taxonomy::fuzzy;
+use preserva_taxonomy::name::ScientificName;
+
+fn checklist(n: usize) -> (Checklist, Vec<ScientificName>) {
+    let b = build_backbone(n, 42);
+    let names: Vec<ScientificName> = b.names().cloned().collect();
+    let c = build_checklist(
+        b,
+        1965,
+        &[ReleasePlan {
+            year: 2013,
+            renames: n / 14,
+            doubts: 0,
+        }],
+        None,
+        42,
+    );
+    (c, names)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let (checklist, names) = checklist(1929);
+    let ed = checklist.latest();
+    let mut g = c.benchmark_group("taxonomy/lookup");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("status_1929", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 607) % names.len();
+            ed.status(&names[i])
+        })
+    });
+    g.bench_function("resolve_accepted_1929", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 607) % names.len();
+            ed.resolve_accepted(&names[i])
+        })
+    });
+    g.finish();
+}
+
+fn bench_fuzzy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taxonomy/fuzzy");
+    for n in [500usize, 1929] {
+        let (_, names) = checklist(n);
+        let canon: Vec<String> = names.iter().map(|x| x.canonical()).collect();
+        // A typo'd query that exists at distance 1.
+        let query = {
+            let mut s = canon[0].clone();
+            unsafe {
+                let b = s.as_bytes_mut();
+                let last = b.len() - 1;
+                b.swap(last, last - 1);
+            }
+            s
+        };
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("best_match", n), &n, |b, _| {
+            b.iter(|| fuzzy::best_match(&query, canon.iter().map(String::as_str), 2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    c.bench_function("taxonomy/damerau_levenshtein_binomial", |b| {
+        b.iter(|| fuzzy::damerau_levenshtein("Elachistocleis ovalis", "Elachistocleis ovalsi"))
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_fuzzy, bench_distance);
+criterion_main!(benches);

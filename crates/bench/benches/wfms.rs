@@ -1,0 +1,78 @@
+//! Workflow-engine microbenchmarks: run latency of the diamond graph and
+//! trace→OPM export.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+use preserva_wfms::engine::{Engine, EngineConfig};
+use preserva_wfms::model::{Processor, Workflow};
+use preserva_wfms::opm_export;
+use preserva_wfms::services::{port, PortMap, ServiceError, ServiceRegistry};
+
+fn registry() -> ServiceRegistry {
+    let mut r = ServiceRegistry::new();
+    r.register_fn("double", |i: &PortMap| {
+        let x = i["in"]
+            .as_i64()
+            .ok_or(ServiceError::Permanent("int".into()))?;
+        Ok(port("out", json!(x * 2)))
+    });
+    r.register_fn("add", |i: &PortMap| {
+        Ok(port(
+            "out",
+            json!(i["l"].as_i64().unwrap_or(0) + i["r"].as_i64().unwrap_or(0)),
+        ))
+    });
+    r
+}
+
+fn diamond() -> Workflow {
+    Workflow::new("w1", "diamond")
+        .with_input("x")
+        .with_output("y")
+        .with_processor(Processor::service("a", "double", &["in"], &["out"]))
+        .with_processor(Processor::service("b", "double", &["in"], &["out"]))
+        .with_processor(Processor::service("c", "double", &["in"], &["out"]))
+        .with_processor(Processor::service("d", "add", &["l", "r"], &["out"]))
+        .link_input("x", "a", "in")
+        .link("a", "out", "b", "in")
+        .link("a", "out", "c", "in")
+        .link("b", "out", "d", "l")
+        .link("c", "out", "d", "r")
+        .link_output("d", "out", "y")
+}
+
+fn bench_run(c: &mut Criterion) {
+    let w = diamond();
+    let seq = Engine::new(
+        registry(),
+        EngineConfig {
+            parallel: false,
+            max_attempts: 1,
+        },
+    );
+    let par = Engine::new(
+        registry(),
+        EngineConfig {
+            parallel: true,
+            max_attempts: 1,
+        },
+    );
+    let input = port("x", json!(21));
+    let mut g = c.benchmark_group("wfms/run_diamond");
+    g.bench_function("sequential", |b| b.iter(|| seq.run(&w, &input).unwrap()));
+    g.bench_function("parallel", |b| b.iter(|| par.run(&w, &input).unwrap()));
+    g.finish();
+}
+
+fn bench_export(c: &mut Criterion) {
+    let w = diamond();
+    let e = Engine::new(registry(), EngineConfig::default());
+    let trace = e.run(&w, &port("x", json!(21))).unwrap();
+    c.bench_function("wfms/opm_export_diamond", |b| {
+        b.iter(|| opm_export::export(&w, &trace))
+    });
+}
+
+criterion_group!(benches, bench_run, bench_export);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! A1 — provenance-based vs attribute-based assessment under source
+//! degradation (the §II-B distinction the paper builds on).
+//!
+//! We process the same dataset through a cleaning step fed by an external
+//! source whose reputation we sweep downward. The provenance-based score
+//! of the *derived* dataset tracks the degradation; the attribute-based
+//! baseline — blind to lineage — stays flat. Expected shape: one falling
+//! line, one flat line.
+
+use preserva_bench::row;
+use preserva_bench::table;
+use preserva_opm::edge::Edge;
+use preserva_opm::graph::OpmGraph;
+use preserva_opm::model::{Artifact, Process};
+use preserva_quality::aggregate::Combine;
+use preserva_quality::attribute_based::{self, AttributeCounts};
+use preserva_quality::dimension::Dimension;
+use preserva_quality::provenance_based;
+
+/// Build the provenance of a curated dataset: raw metadata enriched by a
+/// lookup against an external source with the given reputation.
+fn provenance(source_reputation: f64) -> OpmGraph {
+    let mut g = OpmGraph::new();
+    g.add_artifact(
+        Artifact::new("a:raw", "raw FNJV metadata").with_annotation("Q(reputation)", "0.95"),
+    );
+    g.add_artifact(
+        Artifact::new("a:source", "external authority")
+            .with_annotation("Q(reputation)", source_reputation.to_string()),
+    );
+    g.add_process(Process::new("p:enrich", "enrichment workflow"));
+    g.add_artifact(Artifact::new("a:curated", "curated FNJV metadata"));
+    g.add_edge(Edge::used("p:enrich".into(), "a:raw".into(), Some("data")))
+        .unwrap();
+    g.add_edge(Edge::used(
+        "p:enrich".into(),
+        "a:source".into(),
+        Some("authority"),
+    ))
+    .unwrap();
+    g.add_edge(Edge::was_generated_by(
+        "a:curated".into(),
+        "p:enrich".into(),
+        Some("out"),
+    ))
+    .unwrap();
+    g
+}
+
+fn main() {
+    println!("== A1: provenance-based vs attribute-based assessment ==\n");
+    // The dataset's observable attributes never change across the sweep.
+    let counts = AttributeCounts {
+        total_fields: 51 * 11_898,
+        filled_fields: 38 * 11_898,
+        domain_checked: 20 * 11_898,
+        domain_valid: 19 * 11_898,
+        consistency_checked: 11_898,
+        consistent: 11_700,
+    };
+    let attr_report = attribute_based::assess("fnjv", &counts);
+    let attr_score = attr_report.score(&Dimension::accuracy()).unwrap();
+
+    let mut rows = vec![row![
+        "source reputation",
+        "provenance-based (min over lineage)",
+        "attribute-based (domain validity)"
+    ]];
+    let mut prov_scores = Vec::new();
+    for rep in [1.0, 0.8, 0.6, 0.4, 0.2] {
+        let g = provenance(rep);
+        let prov = provenance_based::lineage_score(
+            &g,
+            &"a:curated".into(),
+            &Dimension::reputation(),
+            Combine::Min,
+        )
+        .unwrap();
+        prov_scores.push(prov);
+        rows.push(row![
+            format!("{rep:.1}"),
+            format!("{prov:.2}"),
+            format!("{attr_score:.2}")
+        ]);
+    }
+    print!("{}", table::render(&rows));
+
+    let tracking = prov_scores.windows(2).all(|w| w[1] < w[0]);
+    println!(
+        "\nprovenance-based score strictly tracks source degradation: {}",
+        ok(tracking)
+    );
+    println!(
+        "attribute-based score flat across the sweep (blind to lineage): {}",
+        ok(true)
+    );
+    assert!(tracking);
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "✔"
+    } else {
+        "✘"
+    }
+}

@@ -1,0 +1,118 @@
+//! E8 — the case study's second direction (§IV): "enhancing preservation
+//! by extending the set of metadata attributes … thereby enhancing the
+//! scope of queries that can be supported, and increasing the chances of
+//! reuse of the associated data sets."
+//!
+//! We pose the queries a biologist actually asks the collection, before
+//! and after stage-1 curation. Expected shape: every query's answer set
+//! grows (or holds) after curation — date-range and spatial queries grow
+//! dramatically because legacy text dates become typed and pre-GPS
+//! records gain coordinates.
+
+use preserva_bench::row;
+use preserva_bench::table;
+use preserva_curation::log::CurationLog;
+use preserva_curation::pipeline::CurationPipeline;
+use preserva_curation::review::ReviewQueue;
+use preserva_fnjv::config::GeneratorConfig;
+use preserva_fnjv::generator;
+use preserva_metadata::fnjv;
+use preserva_metadata::query::{Filter, Query};
+use preserva_metadata::value::Date;
+
+fn main() {
+    println!("== E8: query scope before vs after curation ==\n");
+    let collection = generator::generate(&GeneratorConfig {
+        records: 6_000,
+        distinct_species: 900,
+        outdated_names: 63,
+        seed: 99,
+        ..GeneratorConfig::default()
+    });
+    let pipeline = CurationPipeline::stage1(collection.gazetteer.clone(), fnjv::schema());
+    let mut log = CurationLog::new();
+    let mut queue = ReviewQueue::new();
+    let (curated, summary) = pipeline.run(&collection.records, &mut log, &mut queue);
+    println!(
+        "curation: {} field fixes over {} records\n",
+        summary.field_changes, summary.records_total
+    );
+
+    let queries: Vec<(&str, Query)> = vec![
+        (
+            "recordings of one species (dirty spellings)",
+            Query::new(Filter::species(
+                collection.species_names[0].canonical().as_str(),
+            )),
+        ),
+        (
+            "recorded 1975–1985 (date range)",
+            Query::new(Filter::DateRange {
+                field: "collect_date".into(),
+                from: Date::new(1975, 1, 1).unwrap(),
+                to: Date::new(1985, 12, 31).unwrap(),
+            }),
+        ),
+        (
+            "within 1°x1° box around Campinas (spatial)",
+            Query::new(Filter::SpatialBox {
+                field: "coordinates".into(),
+                min_lat: -23.4,
+                max_lat: -22.4,
+                min_lon: -47.6,
+                max_lon: -46.6,
+            }),
+        ),
+        (
+            "recorded between 20–30 °C (environmental)",
+            Query::new(Filter::NumericRange {
+                field: "air_temperature_c".into(),
+                min: 20.0,
+                max: 30.0,
+            }),
+        ),
+        (
+            "georeferenced at all (coordinates filled)",
+            Query::new(Filter::Filled {
+                field: "coordinates".into(),
+            }),
+        ),
+    ];
+
+    let mut rows = vec![row!["query", "before", "after", "gain"]];
+    let mut any_shrunk = false;
+    for (label, q) in &queries {
+        let before = q.count(&collection.records);
+        let after = q.count(&curated);
+        if after < before {
+            any_shrunk = true;
+        }
+        rows.push(row![
+            label,
+            before,
+            after,
+            if before == 0 && after > 0 {
+                "∞".to_string()
+            } else if before == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}x", after as f64 / before as f64)
+            }
+        ]);
+    }
+    print!("{}", table::render(&rows));
+    println!(
+        "\n[check] no query's answer set shrank after curation {}",
+        if any_shrunk { "✘" } else { "✔" }
+    );
+    assert!(!any_shrunk);
+
+    // The headline: date-range and spatial queries must grow materially.
+    let date_q = &queries[1].1;
+    let grew = date_q.count(&curated) as f64 / date_q.count(&collection.records).max(1) as f64;
+    println!(
+        "[check] date-range query scope grew {grew:.1}x (legacy text dates became typed) {}",
+        if grew > 1.5 { "✔" } else { "✘" }
+    );
+    assert!(grew > 1.5);
+}

@@ -1,0 +1,6 @@
+//! E1 — regenerate Table I: the four DPHEP preservation models.
+
+fn main() {
+    println!("== E1: Table I — preservation models for scientific data ==\n");
+    print!("{}", preserva_core::preservation::render_table1());
+}

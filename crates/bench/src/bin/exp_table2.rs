@@ -1,0 +1,41 @@
+//! E2 — regenerate Table II: the published subset of FNJV metadata
+//! fields, grouped into the paper's three rows, plus the full-schema
+//! inventory (51 fields).
+
+use preserva_bench::row;
+use preserva_bench::table;
+use preserva_metadata::field::FieldGroup;
+use preserva_metadata::fnjv;
+
+fn main() {
+    println!("== E2: Table II — subset of metadata fields of the FNJV collection ==\n");
+    let schema = fnjv::schema();
+    let mut rows = vec![row!["ROW", "GROUP", "METADATA FIELDS"]];
+    for (i, group) in [
+        FieldGroup::Identification,
+        FieldGroup::ObservationConditions,
+        FieldGroup::RecordingFeatures,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let fields: Vec<String> = schema
+            .fields_in_group(group)
+            .filter(|f| f.in_table2)
+            .map(|f| f.name.clone())
+            .collect();
+        rows.push(row![i + 1, format!("{group:?}"), fields.join(", ")]);
+    }
+    print!("{}", table::render(&rows));
+
+    let in_t2 = schema.fields().iter().filter(|f| f.in_table2).count();
+    println!(
+        "\nfull schema: {} fields total; {} published in Table II \
+         (paper: 22 of 51; Table II row 3 lists \"Microphone model\" twice)",
+        schema.len(),
+        in_t2
+    );
+    assert_eq!(schema.len(), 51);
+    assert_eq!(in_t2, 22);
+    println!("[check] field counts match the paper: 51 total / 22 in Table II ✔");
+}

@@ -1,0 +1,12 @@
+//! `preserva-bench` — the experiment harness.
+//!
+//! The library half hosts the shared case-study setup
+//! ([`case_study`]) and output helpers ([`table`]); the `src/bin/exp_*`
+//! and `src/bin/abl_*` binaries regenerate every table and figure of the
+//! paper (see DESIGN.md §4 for the index), and `benches/` holds the
+//! Criterion microbenchmarks.
+
+pub mod case_study;
+pub mod table;
+
+pub use case_study::{setup_case_study, CaseStudy};

@@ -1,0 +1,69 @@
+//! Minimal aligned-table rendering for experiment output.
+
+/// Render rows as an aligned text table; the first row is the header.
+pub fn render(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Shorthand building a row from displayable items.
+#[macro_export]
+macro_rules! row {
+    ($($x:expr),* $(,)?) => {
+        vec![$(format!("{}", $x)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(&[
+            row!["metric", "value"],
+            row!["records", 11898],
+            row!["distinct names", 1929],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("--"));
+        // Columns align: "value" and numbers start at the same offset.
+        let header_off = lines[0].find("value").unwrap();
+        let row_off = lines[2].find("11898").unwrap();
+        assert_eq!(header_off, row_off);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(render(&[]), "");
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal argument parsing (no external dependency): a subcommand plus
+//! `--key value` flags.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand + flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    MissingCommand,
+    DanglingFlag(String),
+    NotAFlag(String),
+    MissingFlag(String),
+    BadValue {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => f.write_str("no subcommand given"),
+            ArgError::DanglingFlag(flag) => write!(f, "flag {flag} has no value"),
+            ArgError::NotAFlag(arg) => write!(f, "expected a --flag, got {arg:?}"),
+            ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} missing"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "--{flag} {value:?}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `argv` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError::NotAFlag(arg));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::DanglingFlag(arg.clone()))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// Required string flag.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::MissingFlag(flag.to_string()))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Optional typed flag with default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse::<T>().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(argv("ingest --dir /tmp/x --records 500")).unwrap();
+        assert_eq!(a.command, "ingest");
+        assert_eq!(a.require("dir").unwrap(), "/tmp/x");
+        assert_eq!(a.get_parsed("records", 0usize, "integer").unwrap(), 500);
+        assert_eq!(a.get_parsed("seed", 42u64, "integer").unwrap(), 42); // default
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Args::parse(argv("")), Err(ArgError::MissingCommand));
+        assert!(matches!(
+            Args::parse(argv("x --flag")),
+            Err(ArgError::DanglingFlag(_))
+        ));
+        assert!(matches!(
+            Args::parse(argv("x stray")),
+            Err(ArgError::NotAFlag(_))
+        ));
+        let a = Args::parse(argv("x --n abc")).unwrap();
+        assert!(matches!(
+            a.get_parsed("n", 0u32, "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            a.require("missing"),
+            Err(ArgError::MissingFlag(_))
+        ));
+    }
+}

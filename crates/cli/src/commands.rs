@@ -1,0 +1,453 @@
+//! CLI subcommand implementations over the architecture.
+
+use std::error::Error;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use preserva_core::retrieval::RecordCatalog;
+use preserva_curation::history::HistoryStore;
+use preserva_curation::log::CurationLog;
+use preserva_curation::outdated::{persist_updates, OutdatedNameDetector, UPDATED_NAMES_TABLE};
+use preserva_curation::pipeline::CurationPipeline;
+use preserva_curation::review::ReviewQueue;
+use preserva_fnjv::config::GeneratorConfig;
+use preserva_fnjv::generator;
+use preserva_fnjv::stats::CollectionStats;
+use preserva_metadata::fnjv;
+use preserva_metadata::query::{Filter, Query};
+use preserva_metadata::record::Record;
+use preserva_metadata::value::Date;
+use preserva_quality::metric::AssessmentContext;
+use preserva_quality::model::QualityModel;
+use preserva_storage::engine::{Engine, EngineOptions};
+use preserva_storage::table::TableStore;
+use preserva_taxonomy::service::{ColService, ServiceConfig};
+
+use crate::args::Args;
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "\
+usage: preserva <command> --dir DATA [flags]
+
+commands:
+  ingest       generate and store a synthetic FNJV-style collection
+               [--records N] [--species N] [--outdated N] [--seed S]
+  stats        collection statistics
+  curate       run the stage-1 curation pipeline, journal the history
+  check-names  detect outdated species names against the Catalogue of Life
+               [--availability 0.9] [--attempts 8]
+  query        retrieve records [--species S] [--state ST] [--year Y] [--limit N]
+  history      show a record's curation history --record ID
+  assess       compute quality attributes for the collection
+  export       write the collection as CSV --out FILE [--dwc true]
+";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Table holding CLI metadata (ingest parameters), so later commands can
+/// deterministically rebuild the checklist/service.
+const META_TABLE: &str = "meta";
+
+fn open_store(dir: &Path) -> Result<Arc<TableStore>, Box<dyn Error>> {
+    let engine = Engine::open(dir, EngineOptions::default())?;
+    Ok(Arc::new(TableStore::new(Arc::new(engine))))
+}
+
+fn open_catalog(store: Arc<TableStore>) -> Result<RecordCatalog, Box<dyn Error>> {
+    Ok(RecordCatalog::open_on(store, "records")?)
+}
+
+fn load_config(store: &TableStore) -> Result<GeneratorConfig, Box<dyn Error>> {
+    let row = store
+        .get(META_TABLE, b"ingest")?
+        .ok_or("no collection ingested here yet (run `preserva ingest` first)")?;
+    let v: serde_json::Value = serde_json::from_slice(&row)?;
+    Ok(GeneratorConfig {
+        records: v["records"].as_u64().unwrap_or(0) as usize,
+        distinct_species: v["species"].as_u64().unwrap_or(0) as usize,
+        outdated_names: v["outdated"].as_u64().unwrap_or(0) as usize,
+        seed: v["seed"].as_u64().unwrap_or(42),
+        ..GeneratorConfig::default()
+    })
+}
+
+fn load_records(catalog: &RecordCatalog) -> Result<Vec<Record>, Box<dyn Error>> {
+    let q = Query::new(Filter::And(vec![])); // matches everything
+    Ok(catalog.query(&q)?)
+}
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args) -> CliResult {
+    let dir = PathBuf::from(args.require("dir")?);
+    match args.command.as_str() {
+        "ingest" => ingest(args, &dir),
+        "stats" => stats(&dir),
+        "curate" => curate(&dir),
+        "check-names" => check_names(args, &dir),
+        "query" => query(args, &dir),
+        "history" => history(args, &dir),
+        "assess" => assess(&dir),
+        "export" => export(args, &dir),
+        other => {
+            eprint!("{USAGE}");
+            Err(format!("unknown command {other:?}").into())
+        }
+    }
+}
+
+fn ingest(args: &Args, dir: &Path) -> CliResult {
+    let records = args.get_parsed("records", 2_000usize, "integer")?;
+    let species = args.get_parsed("species", (records / 6).max(10), "integer")?;
+    let outdated = args.get_parsed("outdated", species / 14, "integer")?;
+    let seed = args.get_parsed("seed", 42u64, "integer")?;
+    let config = GeneratorConfig {
+        records,
+        distinct_species: species,
+        outdated_names: outdated,
+        seed,
+        ..GeneratorConfig::default()
+    };
+    let collection = generator::generate(&config);
+    let store = open_store(dir)?;
+    store.put(
+        META_TABLE,
+        b"ingest",
+        serde_json::json!({
+            "records": records, "species": species,
+            "outdated": outdated, "seed": seed,
+        })
+        .to_string()
+        .as_bytes(),
+    )?;
+    let catalog = open_catalog(store)?;
+    catalog.insert_all(&collection.records)?;
+    println!(
+        "ingested {} records ({} distinct species, {} planted outdated, seed {}) into {}",
+        records,
+        species,
+        outdated,
+        seed,
+        dir.display()
+    );
+    Ok(())
+}
+
+fn stats(dir: &Path) -> CliResult {
+    let store = open_store(dir)?;
+    let catalog = open_catalog(store)?;
+    let records = load_records(&catalog)?;
+    print!("{}", CollectionStats::compute(&records).render());
+    Ok(())
+}
+
+fn curate(dir: &Path) -> CliResult {
+    let store = open_store(dir)?;
+    let config = load_config(&store)?;
+    let catalog = open_catalog(store.clone())?;
+    let records = load_records(&catalog)?;
+    let gazetteer = preserva_gazetteer::builder::build_gazetteer(3, config.seed ^ 0x9E0);
+    let pipeline = CurationPipeline::stage1(gazetteer, fnjv::schema());
+    let mut log = CurationLog::new();
+    let mut queue = ReviewQueue::new();
+    let (curated, summary) = pipeline.run(&records, &mut log, &mut queue);
+    catalog.insert_all(&curated)?;
+    let persisted = HistoryStore::new(&store).persist(&log)?;
+    println!(
+        "curated {} records: {} changed, {} field fixes, {} review flags; {} history entries journaled",
+        summary.records_total,
+        summary.records_changed,
+        summary.field_changes,
+        summary.flags,
+        persisted
+    );
+    Ok(())
+}
+
+fn check_names(args: &Args, dir: &Path) -> CliResult {
+    let availability = args.get_parsed("availability", 0.9f64, "number in [0,1]")?;
+    let attempts = args.get_parsed("attempts", 8u32, "integer")?;
+    let store = open_store(dir)?;
+    let config = load_config(&store)?;
+    let catalog = open_catalog(store.clone())?;
+    let records = load_records(&catalog)?;
+    // Rebuild the deterministic checklist the collection was planted with.
+    let collection = generator::generate(&config);
+    let service = ColService::new(
+        collection.checklist.clone(),
+        ServiceConfig {
+            availability,
+            seed: config.seed ^ 0xC01,
+            ..ServiceConfig::default()
+        },
+    );
+    let report = OutdatedNameDetector::new(&service, attempts).check_collection(&records);
+    print!("{}", report.render_summary());
+    let written = persist_updates(&store, &report)?;
+    println!(
+        "persisted {written} rows ({} updates in `{UPDATED_NAMES_TABLE}`, originals untouched)",
+        report.outdated.len()
+    );
+    Ok(())
+}
+
+fn query(args: &Args, dir: &Path) -> CliResult {
+    let store = open_store(dir)?;
+    let catalog = open_catalog(store)?;
+    let mut conjuncts = Vec::new();
+    if let Some(s) = args.get("species") {
+        conjuncts.push(Filter::species(s));
+    }
+    if let Some(s) = args.get("state") {
+        conjuncts.push(Filter::TextEq {
+            field: "state".into(),
+            value: s.to_string(),
+        });
+    }
+    if let Some(y) = args.get("year") {
+        let y: i32 = y.parse().map_err(|_| "bad --year")?;
+        conjuncts.push(Filter::DateRange {
+            field: "collect_date".into(),
+            from: Date::new(y, 1, 1).ok_or("bad year")?,
+            to: Date::new(y, 12, 31).ok_or("bad year")?,
+        });
+    }
+    if conjuncts.is_empty() {
+        return Err("give at least one of --species / --state / --year".into());
+    }
+    let limit = args.get_parsed("limit", 10usize, "integer")?;
+    let q = Query::new(Filter::And(conjuncts));
+    let total = catalog.count(&q)?;
+    let hits = catalog.query(&q.limit(limit))?;
+    println!("{total} matching records; showing {}:", hits.len());
+    for r in hits {
+        println!(
+            "  {}  {}  {} {}  {}",
+            r.id,
+            r.get_text("species").unwrap_or("?"),
+            r.get_text("city").unwrap_or("?"),
+            r.get_text("state").unwrap_or("?"),
+            r.get("collect_date")
+                .map(|v| v.to_string())
+                .unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+fn history(args: &Args, dir: &Path) -> CliResult {
+    let record_id = args.require("record")?;
+    let store = open_store(dir)?;
+    let h = HistoryStore::new(&store);
+    let entries = h.for_record(record_id)?;
+    if entries.is_empty() {
+        println!("no curation history for {record_id}");
+        return Ok(());
+    }
+    println!("curation history of {record_id}:");
+    for e in entries {
+        println!("  #{:<6} [{}] {:?}", e.seq, e.source, e.event);
+    }
+    Ok(())
+}
+
+fn export(args: &Args, dir: &Path) -> CliResult {
+    let out_path = args.require("out")?;
+    let dwc = args.get("dwc").map(|v| v == "true").unwrap_or(false);
+    let store = open_store(dir)?;
+    let catalog = open_catalog(store)?;
+    let records = load_records(&catalog)?;
+    let schema = fnjv::schema();
+    let csv = if dwc {
+        // Darwin-Core subset: only the mapped fields, with DwC headers.
+        let fields: Vec<&str> = preserva_metadata::export::DWC_MAPPING
+            .iter()
+            .map(|(f, _)| *f)
+            .collect();
+        let raw = preserva_metadata::export::to_csv(&records, &fields);
+        // Rewrite the header line to Darwin Core terms.
+        let mut lines = raw.splitn(2, '\n');
+        let _header = lines.next().unwrap_or_default();
+        let body = lines.next().unwrap_or_default();
+        let dwc_header: Vec<&str> = std::iter::once("id")
+            .chain(
+                preserva_metadata::export::DWC_MAPPING
+                    .iter()
+                    .map(|(_, t)| *t),
+            )
+            .collect();
+        format!("{}\n{}", dwc_header.join(","), body)
+    } else {
+        preserva_metadata::export::to_csv_full(&records, &schema)
+    };
+    std::fs::write(out_path, &csv)?;
+    println!(
+        "exported {} records x {} columns to {out_path}",
+        records.len(),
+        csv.lines()
+            .next()
+            .map(|h| h.split(',').count())
+            .unwrap_or(0)
+    );
+    Ok(())
+}
+
+fn assess(dir: &Path) -> CliResult {
+    let store = open_store(dir)?;
+    let config = load_config(&store)?;
+    let catalog = open_catalog(store.clone())?;
+    let records = load_records(&catalog)?;
+    // Re-run the check with full availability to compute accuracy facts.
+    let collection = generator::generate(&config);
+    let service = ColService::new(
+        collection.checklist.clone(),
+        ServiceConfig {
+            availability: 1.0,
+            seed: config.seed ^ 0xC01,
+            ..ServiceConfig::default()
+        },
+    );
+    let report = OutdatedNameDetector::new(&service, 3).check_collection(&records);
+    let schema = fnjv::schema();
+    let completeness =
+        preserva_metadata::completeness::collection_completeness(&schema, &records, false);
+    let ctx = AssessmentContext::new()
+        .with_fact("names_checked", report.checked() as f64)
+        .with_fact("names_correct", report.current as f64)
+        .with_fact("observed_availability", 1.0)
+        .with_annotation("reputation", 1.0)
+        .with_annotation("availability", 0.9);
+    let mut quality = QualityModel::case_study_default().assess("collection", &ctx);
+    quality.push(
+        preserva_quality::dimension::Dimension::completeness(),
+        "51-field fill rate",
+        completeness,
+    );
+    let (consistent, checked) = preserva_metadata::consistency::consistency_counts(&records);
+    if checked > 0 {
+        quality.push(
+            preserva_quality::dimension::Dimension::consistency(),
+            "within-record taxonomy consistency",
+            consistent as f64 / checked as f64,
+        );
+    }
+    print!("{}", quality.render_text());
+    let cross = preserva_metadata::consistency::collection_inconsistencies(&records);
+    if !cross.is_empty() {
+        println!("cross-record inconsistencies needing review:");
+        for i in cross.iter().take(5) {
+            println!("  - {i}");
+        }
+        if cross.len() > 5 {
+            println!("  … and {} more", cross.len() - 5);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("preserva-cli-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn full_cli_flow() {
+        let dir = tmp("flow");
+        let d = dir.to_string_lossy();
+        run(&args(&format!(
+            "ingest --dir {d} --records 400 --species 80 --outdated 6 --seed 3"
+        )))
+        .unwrap();
+        run(&args(&format!("stats --dir {d}"))).unwrap();
+        run(&args(&format!("curate --dir {d}"))).unwrap();
+        run(&args(&format!(
+            "check-names --dir {d} --availability 1.0 --attempts 1"
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "query --dir {d} --state Amazonas --limit 2"
+        )))
+        .unwrap();
+        run(&args(&format!("history --dir {d} --record FNJV-000001"))).unwrap();
+        run(&args(&format!("assess --dir {d}"))).unwrap();
+
+        // The stores hold what the commands claimed.
+        let store = open_store(&dir).unwrap();
+        assert_eq!(store.count("records").unwrap(), 400);
+        assert_eq!(store.count(UPDATED_NAMES_TABLE).unwrap(), 6);
+        assert!(store.count("curation_history").unwrap() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commands_fail_before_ingest() {
+        let dir = tmp("noingest");
+        let d = dir.to_string_lossy();
+        assert!(run(&args(&format!("curate --dir {d}"))).is_err());
+        assert!(run(&args(&format!("check-names --dir {d}"))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_requires_a_filter() {
+        let dir = tmp("nofilter");
+        let d = dir.to_string_lossy();
+        run(&args(&format!(
+            "ingest --dir {d} --records 60 --species 10 --outdated 0"
+        )))
+        .unwrap();
+        assert!(run(&args(&format!("query --dir {d}"))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        let dir = tmp("unknown");
+        let d = dir.to_string_lossy();
+        assert!(run(&args(&format!("frobnicate --dir {d}"))).is_err());
+    }
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    #[test]
+    fn export_writes_csv_both_flavours() {
+        let dir = std::env::temp_dir().join(format!("preserva-cli-{}-export", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_string_lossy();
+        run(&args(&format!(
+            "ingest --dir {d} --records 50 --species 10 --outdated 0 --seed 5"
+        )))
+        .unwrap();
+        let full = dir.join("full.csv");
+        let dwc = dir.join("dwc.csv");
+        run(&args(&format!("export --dir {d} --out {}", full.display()))).unwrap();
+        run(&args(&format!(
+            "export --dir {d} --out {} --dwc true",
+            dwc.display()
+        )))
+        .unwrap();
+        let full_s = std::fs::read_to_string(&full).unwrap();
+        let dwc_s = std::fs::read_to_string(&dwc).unwrap();
+        assert_eq!(full_s.lines().count(), 51); // header + 50 records
+        assert!(full_s.starts_with("id,"));
+        assert!(dwc_s.lines().next().unwrap().contains("dwc:scientificName"));
+        assert_eq!(dwc_s.lines().count(), 51);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,42 @@
+//! `preserva` — command-line front end to the architecture: ingest a
+//! collection, curate it, detect outdated species names, query it, assess
+//! quality and inspect the curation history.
+//!
+//! ```text
+//! preserva ingest      --dir DATA [--records N] [--species N] [--outdated N] [--seed S]
+//! preserva stats       --dir DATA
+//! preserva curate      --dir DATA
+//! preserva check-names --dir DATA [--availability 0.9] [--attempts 8]
+//! preserva query       --dir DATA [--species "..."] [--state "..."] [--year Y]
+//! preserva history     --dir DATA --record FNJV-000001
+//! preserva assess      --dir DATA
+//! ```
+//!
+//! State lives in the `--dir` directory: the storage engine holds the
+//! records (indexed), the curation history, proposed name updates and
+//! quality reports. The synthetic checklist/service is reconstructed
+//! deterministically from the ingest seed (persisted in the `meta` table).
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match Args::parse(argv) {
+        Ok(args) => match commands::run(&args) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

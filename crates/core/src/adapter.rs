@@ -1,0 +1,144 @@
+//! The Workflow Adapter: "allows experts to add quality information to a
+//! workflow specification … without changing the workflow model" (§III).
+//!
+//! Concretely: annotations are *appended* to processors or to the
+//! workflow; the dataflow graph (processors, ports, links) is never
+//! touched, and the adapter enforces that by construction — it only ever
+//! pushes [`AnnotationAssertion`]s.
+
+use preserva_wfms::annotation::AnnotationAssertion;
+use preserva_wfms::model::Workflow;
+
+use crate::roles::ProcessDesigner;
+
+/// Error annotating a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdapterError {
+    /// The workflow has no processor with the given name.
+    UnknownProcessor(String),
+}
+
+impl std::fmt::Display for AdapterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdapterError::UnknownProcessor(p) => {
+                write!(f, "workflow has no processor named {p:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdapterError {}
+
+/// The adapter. Stateless: it acts on workflow values and records who
+/// asserted what.
+#[derive(Debug, Default)]
+pub struct WorkflowAdapter;
+
+impl WorkflowAdapter {
+    /// Create an adapter.
+    pub fn new() -> Self {
+        WorkflowAdapter
+    }
+
+    /// Attach quality annotations (`Q(name): value;` pairs) to a
+    /// processor, asserted by `designer` at `date`.
+    pub fn annotate_processor(
+        &self,
+        workflow: &mut Workflow,
+        processor: &str,
+        quality: &[(&str, f64)],
+        designer: &ProcessDesigner,
+        date: &str,
+    ) -> Result<(), AdapterError> {
+        let assertion = AnnotationAssertion::quality(quality, date, &designer.name);
+        let p = workflow
+            .processor_mut(processor)
+            .ok_or_else(|| AdapterError::UnknownProcessor(processor.to_string()))?;
+        p.annotations.push(assertion);
+        Ok(())
+    }
+
+    /// Attach quality annotations at the workflow level.
+    pub fn annotate_workflow(
+        &self,
+        workflow: &mut Workflow,
+        quality: &[(&str, f64)],
+        designer: &ProcessDesigner,
+        date: &str,
+    ) {
+        workflow
+            .annotations
+            .push(AnnotationAssertion::quality(quality, date, &designer.name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preserva_wfms::annotation::merged_quality;
+    use preserva_wfms::model::Processor;
+
+    fn workflow() -> Workflow {
+        Workflow::new("w", "w").with_processor(Processor::service("col", "svc", &["in"], &["out"]))
+    }
+
+    fn designer() -> ProcessDesigner {
+        ProcessDesigner::new("expert", "IC/Unicamp")
+    }
+
+    #[test]
+    fn annotates_processor_without_changing_model() {
+        let mut w = workflow();
+        let before_links = w.links.clone();
+        let before_kind = w.processor("col").unwrap().kind.clone();
+        WorkflowAdapter::new()
+            .annotate_processor(
+                &mut w,
+                "col",
+                &[("reputation", 1.0), ("availability", 0.9)],
+                &designer(),
+                "2013-11-12",
+            )
+            .unwrap();
+        // Quality attached…
+        let q = merged_quality(&w.processor("col").unwrap().annotations);
+        assert_eq!(q.get("reputation"), Some(&1.0));
+        assert_eq!(q.get("availability"), Some(&0.9));
+        // …and the model untouched.
+        assert_eq!(w.links, before_links);
+        assert_eq!(w.processor("col").unwrap().kind, before_kind);
+        assert_eq!(w.processors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_processor_is_error() {
+        let mut w = workflow();
+        let err = WorkflowAdapter::new()
+            .annotate_processor(&mut w, "ghost", &[], &designer(), "2013")
+            .unwrap_err();
+        assert_eq!(err, AdapterError::UnknownProcessor("ghost".into()));
+    }
+
+    #[test]
+    fn workflow_level_annotations() {
+        let mut w = workflow();
+        WorkflowAdapter::new().annotate_workflow(
+            &mut w,
+            &[("timeliness", 0.8)],
+            &designer(),
+            "2013",
+        );
+        let q = merged_quality(&w.annotations);
+        assert_eq!(q.get("timeliness"), Some(&0.8));
+    }
+
+    #[test]
+    fn assertions_record_the_designer() {
+        let mut w = workflow();
+        WorkflowAdapter::new()
+            .annotate_processor(&mut w, "col", &[("reputation", 1.0)], &designer(), "2013")
+            .unwrap();
+        assert_eq!(w.processor("col").unwrap().annotations[0].creator, "expert");
+    }
+}

@@ -1,0 +1,380 @@
+//! The [`Architecture`] facade: one value owning every box of Figure 1,
+//! sharing a single durable storage engine between the data, workflow and
+//! provenance repositories (the figure's "database management system").
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use preserva_metadata::record::Record;
+use preserva_quality::model::QualityModel;
+use preserva_quality::report::QualityReport;
+use preserva_storage::engine::{Engine as StorageEngine, EngineOptions};
+use preserva_storage::table::TableStore;
+use preserva_wfms::engine::{Engine as WfEngine, EngineConfig, RunError};
+use preserva_wfms::model::Workflow;
+use preserva_wfms::repository::WorkflowRepository;
+use preserva_wfms::services::{PortMap, ServiceRegistry};
+use preserva_wfms::spec;
+use preserva_wfms::trace::ExecutionTrace;
+
+use crate::adapter::WorkflowAdapter;
+use crate::provenance_manager::{ProvenanceError, ProvenanceManager};
+use crate::quality_manager::{DataQualityManager, QualityManagerError};
+use crate::retrieval::{CatalogError, RecordCatalog};
+use crate::roles::EndUser;
+
+/// Table storing observation records (the data repository), keyed by
+/// record id, JSON-encoded.
+pub const RECORDS_TABLE: &str = "records";
+/// Table storing published workflow specs (XML), keyed by `id@version`.
+pub const WORKFLOWS_TABLE: &str = "workflows";
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum ArchitectureError {
+    /// Underlying storage failure.
+    Storage(preserva_storage::StorageError),
+    /// A workflow run failed.
+    Run(RunError),
+    /// Provenance capture or lookup failed.
+    Provenance(ProvenanceError),
+    /// Quality assessment failed.
+    Quality(QualityManagerError),
+    /// Record catalog failure.
+    Catalog(CatalogError),
+    /// No published workflow with that id.
+    UnknownWorkflow(String),
+    /// A stored value failed to (de)serialize.
+    Decode(String),
+}
+
+impl std::fmt::Display for ArchitectureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchitectureError::Storage(e) => write!(f, "architecture storage: {e}"),
+            ArchitectureError::Run(e) => write!(f, "workflow run failed: {e}"),
+            ArchitectureError::Provenance(e) => write!(f, "{e}"),
+            ArchitectureError::Quality(e) => write!(f, "{e}"),
+            ArchitectureError::Catalog(e) => write!(f, "{e}"),
+            ArchitectureError::UnknownWorkflow(id) => write!(f, "unknown workflow {id:?}"),
+            ArchitectureError::Decode(m) => write!(f, "decode: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchitectureError {}
+
+impl From<preserva_storage::StorageError> for ArchitectureError {
+    fn from(e: preserva_storage::StorageError) -> Self {
+        ArchitectureError::Storage(e)
+    }
+}
+
+impl From<ProvenanceError> for ArchitectureError {
+    fn from(e: ProvenanceError) -> Self {
+        ArchitectureError::Provenance(e)
+    }
+}
+
+impl From<QualityManagerError> for ArchitectureError {
+    fn from(e: QualityManagerError) -> Self {
+        ArchitectureError::Quality(e)
+    }
+}
+
+impl From<CatalogError> for ArchitectureError {
+    fn from(e: CatalogError) -> Self {
+        ArchitectureError::Catalog(e)
+    }
+}
+
+/// The assembled architecture.
+pub struct Architecture {
+    store: Arc<TableStore>,
+    workflow_repository: WorkflowRepository,
+    wf_engine: WfEngine,
+    adapter: WorkflowAdapter,
+    provenance: Arc<ProvenanceManager>,
+    quality: DataQualityManager,
+    catalog: RecordCatalog,
+}
+
+impl std::fmt::Debug for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Architecture").finish()
+    }
+}
+
+impl Architecture {
+    /// Open (or create) an architecture instance rooted at `dir`, with the
+    /// services workflows may invoke.
+    pub fn open(
+        dir: &Path,
+        registry: ServiceRegistry,
+        engine_config: EngineConfig,
+    ) -> Result<Architecture, ArchitectureError> {
+        let storage = Arc::new(StorageEngine::open(dir, EngineOptions::default())?);
+        let store = Arc::new(TableStore::new(storage));
+        let provenance = Arc::new(ProvenanceManager::new(store.clone()));
+        let quality = DataQualityManager::new(store.clone(), provenance.clone());
+        let catalog = RecordCatalog::open_on(store.clone(), RECORDS_TABLE)?;
+        Ok(Architecture {
+            store,
+            workflow_repository: WorkflowRepository::new(),
+            wf_engine: WfEngine::new(registry, engine_config),
+            adapter: WorkflowAdapter::new(),
+            provenance,
+            quality,
+            catalog,
+        })
+    }
+
+    /// The shared table store (data repository access).
+    pub fn store(&self) -> &Arc<TableStore> {
+        &self.store
+    }
+
+    /// The Workflow Adapter.
+    pub fn adapter(&self) -> &WorkflowAdapter {
+        &self.adapter
+    }
+
+    /// The Provenance Manager.
+    pub fn provenance(&self) -> &Arc<ProvenanceManager> {
+        &self.provenance
+    }
+
+    /// The Data Quality Manager.
+    pub fn quality_manager(&self) -> &DataQualityManager {
+        &self.quality
+    }
+
+    /// Mutable access for registering end-user quality models.
+    pub fn quality_manager_mut(&mut self) -> &mut DataQualityManager {
+        &mut self.quality
+    }
+
+    /// The workflow repository.
+    pub fn workflow_repository(&self) -> &WorkflowRepository {
+        &self.workflow_repository
+    }
+
+    /// Publish a workflow: versioned in the repository and persisted (as
+    /// the Listing-1 XML format) through the storage engine.
+    pub fn publish_workflow(&self, workflow: Workflow) -> Result<u32, ArchitectureError> {
+        let xml = spec::to_xml(&workflow);
+        let id = workflow.id.clone();
+        let version = self.workflow_repository.publish(workflow);
+        self.store.put(
+            WORKFLOWS_TABLE,
+            format!("{id}@{version}").as_bytes(),
+            xml.as_bytes(),
+        )?;
+        Ok(version)
+    }
+
+    /// Run the latest version of a published workflow and capture its
+    /// provenance. Failed runs are captured too (their traces matter for
+    /// reliability assessment) before the error is returned.
+    pub fn run_workflow(
+        &self,
+        workflow_id: &str,
+        inputs: &PortMap,
+    ) -> Result<ExecutionTrace, ArchitectureError> {
+        let workflow = self
+            .workflow_repository
+            .latest(workflow_id)
+            .ok_or_else(|| ArchitectureError::UnknownWorkflow(workflow_id.to_string()))?;
+        match self.wf_engine.run(&workflow, inputs) {
+            Ok(trace) => {
+                self.provenance.capture(&workflow, &trace)?;
+                Ok(trace)
+            }
+            Err((err, trace)) => {
+                // Best effort: failed traces are still provenance.
+                let _ = self.provenance.capture(&workflow, &trace);
+                Err(ArchitectureError::Run(err))
+            }
+        }
+    }
+
+    /// Assess a finished run for an end user (registering `model` first
+    /// when provided), publishing the report.
+    pub fn assess_run(
+        &mut self,
+        user: &EndUser,
+        model: Option<QualityModel>,
+        subject: &str,
+        run_id: &str,
+        external_facts: &BTreeMap<String, f64>,
+    ) -> Result<QualityReport, ArchitectureError> {
+        if let Some(m) = model {
+            self.quality.register_model(user, m);
+        }
+        let trace = self.provenance.load_trace(run_id)?;
+        let workflow = self
+            .workflow_repository
+            .latest(&trace.workflow_id)
+            .ok_or_else(|| ArchitectureError::UnknownWorkflow(trace.workflow_id.clone()))?;
+        Ok(self
+            .quality
+            .assess_run(user, subject, run_id, &workflow, external_facts)?)
+    }
+
+    /// Health-check a published workflow against the current service
+    /// registry (workflow decay — §V: "workflows may also decay").
+    pub fn check_workflow_health(
+        &self,
+        workflow_id: &str,
+        current_year: i32,
+        max_annotation_age_years: i32,
+    ) -> Result<preserva_wfms::decay::WorkflowHealth, ArchitectureError> {
+        let workflow = self
+            .workflow_repository
+            .latest(workflow_id)
+            .ok_or_else(|| ArchitectureError::UnknownWorkflow(workflow_id.to_string()))?;
+        Ok(preserva_wfms::decay::check(
+            &workflow,
+            self.wf_engine.registry(),
+            current_year,
+            max_annotation_age_years,
+        ))
+    }
+
+    /// Export a stored run's provenance as Linked Data (N-Triples) — the
+    /// §V direction of connecting curated metadata to Linked Data
+    /// initiatives.
+    pub fn export_provenance_rdf(&self, run_id: &str) -> Result<String, ArchitectureError> {
+        let graph = self.provenance.load_graph(run_id)?;
+        Ok(preserva_opm::rdf::to_ntriples(&graph))
+    }
+
+    /// The indexed record catalog over the data repository
+    /// (metadata-based retrieval, §IV).
+    pub fn catalog(&self) -> &RecordCatalog {
+        &self.catalog
+    }
+
+    /// Persist observation records into the data repository (indexed by
+    /// species/genus/state/year for retrieval).
+    pub fn save_records(&self, records: &[Record]) -> Result<(), ArchitectureError> {
+        self.catalog.insert_all(records)?;
+        Ok(())
+    }
+
+    /// Load every observation record.
+    pub fn load_records(&self) -> Result<Vec<Record>, ArchitectureError> {
+        self.store
+            .scan(RECORDS_TABLE)?
+            .into_iter()
+            .map(|(_, v)| {
+                serde_json::from_slice(&v).map_err(|e| ArchitectureError::Decode(e.to_string()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preserva_metadata::value::Value;
+    use preserva_quality::dimension::Dimension;
+    use preserva_wfms::model::Processor;
+    use preserva_wfms::services::port;
+    use serde_json::json;
+
+    fn arch(name: &str) -> Architecture {
+        let dir =
+            std::env::temp_dir().join(format!("preserva-arch-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut registry = ServiceRegistry::new();
+        registry.register_fn("echo", |i: &PortMap| Ok(port("out", i["in"].clone())));
+        Architecture::open(&dir, registry, EngineConfig::default()).unwrap()
+    }
+
+    fn echo_workflow() -> Workflow {
+        Workflow::new("wf-echo", "echo")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("p", "echo", &["in"], &["out"]))
+            .link_input("x", "p", "in")
+            .link_output("p", "out", "y")
+    }
+
+    #[test]
+    fn publish_run_assess_cycle() {
+        let mut a = arch("cycle");
+        let mut w = echo_workflow();
+        a.adapter()
+            .annotate_processor(
+                &mut w,
+                "p",
+                &[("reputation", 1.0), ("availability", 0.9)],
+                &crate::roles::ProcessDesigner::new("expert", "IC"),
+                "2013-11-12",
+            )
+            .unwrap();
+        a.publish_workflow(w).unwrap();
+        let trace = a
+            .run_workflow("wf-echo", &port("x", json!("data")))
+            .unwrap();
+        assert!(trace.succeeded());
+
+        let user = EndUser::new("Dr. Toledo", "IB");
+        let mut facts = BTreeMap::new();
+        facts.insert("names_checked".to_string(), 100.0);
+        facts.insert("names_correct".to_string(), 93.0);
+        let report = a
+            .assess_run(&user, None, "echo-data", &trace.run_id, &facts)
+            .unwrap();
+        assert_eq!(report.score(&Dimension::accuracy()), Some(0.93));
+        assert_eq!(report.score(&Dimension::reputation()), Some(1.0));
+
+        // The provenance repository holds the run.
+        assert_eq!(a.provenance().run_ids().unwrap(), vec![trace.run_id]);
+        // The report is published.
+        assert_eq!(a.quality_manager().reports().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_workflow_is_error() {
+        let a = arch("unknown");
+        assert!(matches!(
+            a.run_workflow("missing", &PortMap::new()),
+            Err(ArchitectureError::UnknownWorkflow(_))
+        ));
+    }
+
+    #[test]
+    fn failed_runs_still_captured() {
+        let a = arch("failed");
+        a.publish_workflow(echo_workflow()).unwrap();
+        // Missing input → run fails fast, but a trace is still stored.
+        let err = a.run_workflow("wf-echo", &PortMap::new()).unwrap_err();
+        assert!(matches!(err, ArchitectureError::Run(_)));
+        assert_eq!(a.provenance().run_ids().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn records_roundtrip_through_data_repository() {
+        let a = arch("records");
+        let records = vec![
+            Record::new("FNJV-1").with("species", Value::Text("Hyla faber".into())),
+            Record::new("FNJV-2").with("species", Value::Text("Scinax ruber".into())),
+        ];
+        a.save_records(&records).unwrap();
+        let loaded = a.load_records().unwrap();
+        assert_eq!(loaded, records);
+    }
+
+    #[test]
+    fn workflow_versions_accumulate() {
+        let a = arch("versions");
+        assert_eq!(a.publish_workflow(echo_workflow()).unwrap(), 1);
+        assert_eq!(a.publish_workflow(echo_workflow()).unwrap(), 2);
+        assert_eq!(a.workflow_repository().version_count("wf-echo"), 2);
+        // Persisted XML copies exist for both versions.
+        assert_eq!(a.store().count(WORKFLOWS_TABLE).unwrap(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! `preserva-core` — the paper's architecture (Figure 1), wired end to
+//! end over the substrates:
+//!
+//! ```text
+//!  Process Designer ──> Workflow Adapter ──> quality-aware workflows
+//!                                               │
+//!  Workflow Repository <────────────────────────┤
+//!                                               ▼
+//!                              Scientific Workflow engine (preserva-wfms)
+//!                                               │  trace
+//!                                               ▼
+//!                     Provenance Manager ──> OPM graph ──> Provenance Repository
+//!                                               │                (preserva-storage)
+//!  End User ──> Data Quality Manager <──────────┘
+//!                    │  (a) provenance  (b) annotations  (c) external sources
+//!                    ▼
+//!            computed quality attributes + workflow trace
+//! ```
+//!
+//! * [`preservation`] — the DPHEP preservation models of Table I
+//! * [`roles`] — Process Designer and End User
+//! * [`adapter`] — the Workflow Adapter (annotate without changing the
+//!   workflow model)
+//! * [`provenance_manager`] — trace → OPM → durable provenance repository
+//! * [`quality_manager`] — the Data Quality Manager
+//! * [`architecture`] — the [`architecture::Architecture`] facade that a
+//!   deployment instantiates (Figure 3 is one such instance; see
+//!   `examples/` and the bench harness)
+
+pub mod adapter;
+pub mod architecture;
+pub mod preservation;
+pub mod provenance_manager;
+pub mod quality_manager;
+pub mod retrieval;
+pub mod roles;
+
+pub use architecture::Architecture;
+pub use preservation::PreservationModel;
+pub use roles::{EndUser, ProcessDesigner};

@@ -1,0 +1,239 @@
+//! The four DPHEP preservation models (paper Table I). The architecture
+//! targets level 1: "provide additional documentation" — metadata is the
+//! preserved surface through which data stays accessible.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four DPHEP preservation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PreservationModel {
+    /// Level 1 — least complex.
+    AdditionalDocumentation,
+    /// Level 2.
+    SimplifiedFormat,
+    /// Level 3.
+    AnalysisLevelSoftware,
+    /// Level 4 — most complex.
+    ReconstructionAndSimulation,
+}
+
+impl PreservationModel {
+    /// All four, least to most complex.
+    pub const ALL: [PreservationModel; 4] = [
+        PreservationModel::AdditionalDocumentation,
+        PreservationModel::SimplifiedFormat,
+        PreservationModel::AnalysisLevelSoftware,
+        PreservationModel::ReconstructionAndSimulation,
+    ];
+
+    /// Complexity level, 1–4.
+    pub fn level(self) -> u8 {
+        match self {
+            PreservationModel::AdditionalDocumentation => 1,
+            PreservationModel::SimplifiedFormat => 2,
+            PreservationModel::AnalysisLevelSoftware => 3,
+            PreservationModel::ReconstructionAndSimulation => 4,
+        }
+    }
+
+    /// Table I's "Preservation Model" column.
+    pub fn description(self) -> &'static str {
+        match self {
+            PreservationModel::AdditionalDocumentation => "Provide additional documentation",
+            PreservationModel::SimplifiedFormat => "Preserve the data in a simplified format",
+            PreservationModel::AnalysisLevelSoftware => {
+                "Preserve the analysis level software and data format"
+            }
+            PreservationModel::ReconstructionAndSimulation => {
+                "Preserve the reconstruction and simulation software and basic level data"
+            }
+        }
+    }
+
+    /// Table I's "Use Case" column.
+    pub fn use_case(self) -> &'static str {
+        match self {
+            PreservationModel::AdditionalDocumentation => "Publication-related information search",
+            PreservationModel::SimplifiedFormat => "Outreach, simple training analyses",
+            PreservationModel::AnalysisLevelSoftware => {
+                "Full scientific analysis based on existing reconstruction"
+            }
+            PreservationModel::ReconstructionAndSimulation => {
+                "Full potential of the experimental data"
+            }
+        }
+    }
+
+    /// The model this paper's architecture targets.
+    pub fn paper_target() -> PreservationModel {
+        PreservationModel::AdditionalDocumentation
+    }
+}
+
+/// Render Table I.
+pub fn render_table1() -> String {
+    let mut out = String::from("Table I — Preservation models for scientific data (from DPHEP)\n");
+    out.push_str(&format!(
+        "{:<5} {:<75} USE CASE\n",
+        "LVL", "PRESERVATION MODEL"
+    ));
+    for m in PreservationModel::ALL {
+        out.push_str(&format!(
+            "{:<5} {:<75} {}\n",
+            m.level(),
+            m.description(),
+            m.use_case()
+        ));
+    }
+    out.push_str("(this architecture targets level 1)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_ordered_1_to_4() {
+        let levels: Vec<u8> = PreservationModel::ALL.iter().map(|m| m.level()).collect();
+        assert_eq!(levels, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn paper_targets_level_1() {
+        assert_eq!(PreservationModel::paper_target().level(), 1);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = render_table1();
+        for m in PreservationModel::ALL {
+            assert!(t.contains(m.description()));
+            assert!(t.contains(m.use_case()));
+        }
+    }
+}
+
+/// A preservation plan for one dataset — §I: "scientists define which
+/// data sets to preserve, and the desired preservation period (i.e., with
+/// associated lifetime)". The plan also fixes the quality threshold below
+/// which the dataset no longer serves its preservation model, from which
+/// the re-assessment cadence follows via the decay model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreservationPlan {
+    /// The dataset under preservation.
+    pub dataset: String,
+    /// Which DPHEP model the preservation targets.
+    pub model: PreservationModel,
+    /// Year preservation started.
+    pub start_year: i32,
+    /// Desired preservation period in years (`None` = indefinitely —
+    /// "every kind of scientific data must be curated forever, in case it
+    /// needs to be reused sometime").
+    pub lifetime_years: Option<u32>,
+    /// Minimum acceptable species-name accuracy before re-curation is due.
+    pub quality_threshold: f64,
+    /// Expected annual knowledge churn (fraction of names changing/year).
+    pub annual_churn: f64,
+}
+
+impl PreservationPlan {
+    /// Whether the plan still covers `year`.
+    pub fn active_in(&self, year: i32) -> bool {
+        if year < self.start_year {
+            return false;
+        }
+        match self.lifetime_years {
+            None => true,
+            Some(n) => year < self.start_year + n as i32,
+        }
+    }
+
+    /// Years between mandatory re-assessments, from the decay model.
+    /// `None` when no churn is expected (nothing ever goes stale).
+    pub fn reassessment_interval_years(&self) -> Option<f64> {
+        preserva_quality::decay::years_until_recuration(self.annual_churn, self.quality_threshold)
+    }
+
+    /// Re-assessment years within the plan's lifetime, starting one
+    /// interval after `start_year` (capped at 100 entries for indefinite
+    /// plans).
+    pub fn reassessment_schedule(&self) -> Vec<i32> {
+        let Some(interval) = self.reassessment_interval_years() else {
+            return Vec::new();
+        };
+        let interval = interval.max(1.0);
+        let mut out = Vec::new();
+        let mut at = self.start_year as f64 + interval;
+        while out.len() < 100 {
+            let year = at.floor() as i32;
+            if !self.active_in(year) {
+                break;
+            }
+            out.push(year);
+            at += interval;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod plan_tests {
+    use super::*;
+
+    fn plan(lifetime: Option<u32>, churn: f64) -> PreservationPlan {
+        PreservationPlan {
+            dataset: "fnjv".into(),
+            model: PreservationModel::AdditionalDocumentation,
+            start_year: 1965,
+            lifetime_years: lifetime,
+            quality_threshold: 0.93,
+            annual_churn: churn,
+        }
+    }
+
+    #[test]
+    fn lifetime_bounds_activity() {
+        let p = plan(Some(50), 0.0015);
+        assert!(!p.active_in(1964));
+        assert!(p.active_in(1965));
+        assert!(p.active_in(2014));
+        assert!(!p.active_in(2015));
+        let forever = plan(None, 0.0015);
+        assert!(forever.active_in(3000));
+    }
+
+    #[test]
+    fn schedule_matches_decay_model() {
+        let p = plan(Some(100), 0.0015);
+        let interval = p.reassessment_interval_years().unwrap();
+        assert!((interval - 48.0).abs() < 2.0, "≈48 years at 0.15%/yr");
+        let schedule = p.reassessment_schedule();
+        assert_eq!(schedule.len(), 2); // 1965+48=2013, 2013+48=2061 < 2065
+        assert_eq!(schedule[0], 2013); // the paper re-curated in 2013!
+    }
+
+    #[test]
+    fn zero_churn_never_reassesses() {
+        let p = plan(Some(50), 0.0);
+        assert_eq!(p.reassessment_interval_years(), None);
+        assert!(p.reassessment_schedule().is_empty());
+    }
+
+    #[test]
+    fn high_churn_caps_at_100_entries_for_indefinite_plans() {
+        let p = plan(None, 0.2);
+        let schedule = p.reassessment_schedule();
+        assert_eq!(schedule.len(), 100);
+        // Strictly increasing years.
+        assert!(schedule.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = plan(Some(50), 0.0015);
+        let s = serde_json::to_string(&p).unwrap();
+        let back: PreservationPlan = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+}

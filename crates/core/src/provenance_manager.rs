@@ -1,0 +1,214 @@
+//! The Provenance Manager: "extracts provenance information from data and
+//! workflows, storing such information in the Data Provenance Repository"
+//! (§III). It merges Taverna-style annotated workflows with execution
+//! logs into OPM graphs (as §IV-C describes) and persists both through
+//! the storage engine.
+
+use std::sync::Arc;
+
+use preserva_opm::graph::OpmGraph;
+use preserva_opm::serialize as opm_ser;
+use preserva_opm::validate as opm_validate;
+use preserva_storage::table::TableStore;
+use preserva_storage::StorageError;
+use preserva_wfms::model::Workflow;
+use preserva_wfms::opm_export;
+use preserva_wfms::trace::ExecutionTrace;
+
+/// Table holding OPM graphs, keyed by run id.
+pub const PROVENANCE_TABLE: &str = "provenance_graphs";
+/// Table holding raw execution traces, keyed by run id.
+pub const TRACES_TABLE: &str = "traces";
+
+/// Errors from the provenance manager.
+#[derive(Debug)]
+pub enum ProvenanceError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// The merged graph failed OPM legality validation.
+    IllegalGraph(String),
+    /// The requested run is not in the repository.
+    UnknownRun(String),
+    /// A stored graph or trace failed to (de)serialize.
+    Decode(String),
+}
+
+impl std::fmt::Display for ProvenanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvenanceError::Storage(e) => write!(f, "provenance storage: {e}"),
+            ProvenanceError::IllegalGraph(m) => write!(f, "illegal OPM graph: {m}"),
+            ProvenanceError::UnknownRun(r) => write!(f, "unknown run {r:?}"),
+            ProvenanceError::Decode(m) => write!(f, "provenance decode: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProvenanceError {}
+
+impl From<StorageError> for ProvenanceError {
+    fn from(e: StorageError) -> Self {
+        ProvenanceError::Storage(e)
+    }
+}
+
+/// The manager, over a shared table store.
+pub struct ProvenanceManager {
+    store: Arc<TableStore>,
+}
+
+impl std::fmt::Debug for ProvenanceManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProvenanceManager").finish()
+    }
+}
+
+impl ProvenanceManager {
+    /// Create over a store.
+    pub fn new(store: Arc<TableStore>) -> Self {
+        ProvenanceManager { store }
+    }
+
+    /// Capture a run: merge the annotated workflow with the execution
+    /// trace into an OPM graph, validate it, persist graph + trace.
+    /// Returns the graph.
+    pub fn capture(
+        &self,
+        workflow: &Workflow,
+        trace: &ExecutionTrace,
+    ) -> Result<OpmGraph, ProvenanceError> {
+        let graph = opm_export::export(workflow, trace);
+        let report = opm_validate::validate(&graph);
+        if !report.is_legal() {
+            return Err(ProvenanceError::IllegalGraph(
+                report
+                    .errors
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            ));
+        }
+        self.store.put(
+            PROVENANCE_TABLE,
+            trace.run_id.as_bytes(),
+            opm_ser::to_json(&graph).as_bytes(),
+        )?;
+        let trace_json =
+            serde_json::to_vec(trace).map_err(|e| ProvenanceError::Decode(e.to_string()))?;
+        self.store
+            .put(TRACES_TABLE, trace.run_id.as_bytes(), &trace_json)?;
+        Ok(graph)
+    }
+
+    /// Load a stored OPM graph.
+    pub fn load_graph(&self, run_id: &str) -> Result<OpmGraph, ProvenanceError> {
+        let bytes = self
+            .store
+            .get(PROVENANCE_TABLE, run_id.as_bytes())?
+            .ok_or_else(|| ProvenanceError::UnknownRun(run_id.to_string()))?;
+        let s = String::from_utf8(bytes).map_err(|e| ProvenanceError::Decode(e.to_string()))?;
+        opm_ser::from_json(&s).map_err(|e| ProvenanceError::Decode(e.to_string()))
+    }
+
+    /// Load a stored trace.
+    pub fn load_trace(&self, run_id: &str) -> Result<ExecutionTrace, ProvenanceError> {
+        let bytes = self
+            .store
+            .get(TRACES_TABLE, run_id.as_bytes())?
+            .ok_or_else(|| ProvenanceError::UnknownRun(run_id.to_string()))?;
+        serde_json::from_slice(&bytes).map_err(|e| ProvenanceError::Decode(e.to_string()))
+    }
+
+    /// Run ids present in the repository, in order.
+    pub fn run_ids(&self) -> Result<Vec<String>, ProvenanceError> {
+        Ok(self
+            .store
+            .scan(PROVENANCE_TABLE)?
+            .into_iter()
+            .filter_map(|(k, _)| String::from_utf8(k).ok())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preserva_storage::engine::{Engine, EngineOptions};
+    use preserva_wfms::engine::{Engine as WfEngine, EngineConfig};
+    use preserva_wfms::model::Processor;
+    use preserva_wfms::services::{port, PortMap, ServiceRegistry};
+    use serde_json::json;
+
+    fn store(name: &str) -> Arc<TableStore> {
+        let dir =
+            std::env::temp_dir().join(format!("preserva-provmgr-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(TableStore::new(Arc::new(
+            Engine::open(&dir, EngineOptions::default()).unwrap(),
+        )))
+    }
+
+    fn run_one() -> (Workflow, ExecutionTrace) {
+        let mut r = ServiceRegistry::new();
+        r.register_fn("id", |i: &PortMap| Ok(port("out", i["in"].clone())));
+        let w = Workflow::new("w", "identity")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("p", "id", &["in"], &["out"]))
+            .link_input("x", "p", "in")
+            .link_output("p", "out", "y");
+        let e = WfEngine::new(r, EngineConfig::default());
+        let t = e.run(&w, &port("x", json!(1))).unwrap();
+        (w, t)
+    }
+
+    #[test]
+    fn capture_then_load_roundtrip() {
+        let s = store("roundtrip");
+        let pm = ProvenanceManager::new(s);
+        let (w, t) = run_one();
+        let g = pm.capture(&w, &t).unwrap();
+        let loaded = pm.load_graph(&t.run_id).unwrap();
+        assert_eq!(g, loaded);
+        let trace = pm.load_trace(&t.run_id).unwrap();
+        assert_eq!(trace.run_id, t.run_id);
+        assert_eq!(pm.run_ids().unwrap(), vec![t.run_id.clone()]);
+    }
+
+    #[test]
+    fn unknown_run_is_error() {
+        let pm = ProvenanceManager::new(store("unknown"));
+        assert!(matches!(
+            pm.load_graph("run-xxxx"),
+            Err(ProvenanceError::UnknownRun(_))
+        ));
+        assert!(matches!(
+            pm.load_trace("run-xxxx"),
+            Err(ProvenanceError::UnknownRun(_))
+        ));
+    }
+
+    #[test]
+    fn captured_graphs_survive_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("preserva-provmgr-{}-persist", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run_id;
+        {
+            let s = Arc::new(TableStore::new(Arc::new(
+                Engine::open(&dir, EngineOptions::default()).unwrap(),
+            )));
+            let pm = ProvenanceManager::new(s);
+            let (w, t) = run_one();
+            pm.capture(&w, &t).unwrap();
+            run_id = t.run_id;
+        }
+        let s = Arc::new(TableStore::new(Arc::new(
+            Engine::open(&dir, EngineOptions::default()).unwrap(),
+        )));
+        let pm = ProvenanceManager::new(s);
+        assert!(pm.load_graph(&run_id).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,59 @@
+//! The two user roles of §III.
+
+use serde::{Deserialize, Serialize};
+
+/// "An expert responsible for specifying some workflow", who embeds
+/// quality-extraction functionality via the Workflow Adapter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessDesigner {
+    /// Designer's name (recorded as annotation creator).
+    pub name: String,
+    /// Institutional affiliation.
+    pub affiliation: String,
+}
+
+impl ProcessDesigner {
+    /// Create a designer identity.
+    pub fn new(name: &str, affiliation: &str) -> Self {
+        ProcessDesigner {
+            name: name.to_string(),
+            affiliation: affiliation.to_string(),
+        }
+    }
+}
+
+/// "A scientist who is interested in the data resulting from workflow
+/// execution", who defines dimensions of interest via the Data Quality
+/// Manager.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndUser {
+    /// Scientist's name (keys their registered quality model).
+    pub name: String,
+    /// Institutional affiliation.
+    pub affiliation: String,
+}
+
+impl EndUser {
+    /// Create an end-user identity.
+    pub fn new(name: &str, affiliation: &str) -> Self {
+        EndUser {
+            name: name.to_string(),
+            affiliation: affiliation.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_roundtrip() {
+        let d = ProcessDesigner::new("Dr. Cugler", "IC/Unicamp");
+        let u = EndUser::new("Dr. Toledo", "IB/Unicamp");
+        assert_eq!(d.name, "Dr. Cugler");
+        let s = serde_json::to_string(&u).unwrap();
+        let back: EndUser = serde_json::from_str(&s).unwrap();
+        assert_eq!(u, back);
+    }
+}

@@ -1,0 +1,336 @@
+//! Stage-1 cleaning passes: syntactic corrections, domain checks,
+//! legacy-format parsing, taxonomy-field consistency and
+//! retro-georeferencing.
+
+use preserva_gazetteer::db::Gazetteer;
+use preserva_gazetteer::georef::{georeference, Georef};
+use preserva_metadata::parse;
+use preserva_metadata::record::Record;
+use preserva_metadata::schema::{Schema, SchemaViolation};
+use preserva_metadata::value::Value;
+use preserva_taxonomy::name::ScientificName;
+
+use crate::pass::{CurationPass, PassOutcome};
+
+/// Trims and collapses whitespace in every text field.
+pub struct WhitespacePass;
+
+impl CurationPass for WhitespacePass {
+    fn name(&self) -> &str {
+        "whitespace-normalization"
+    }
+
+    fn inspect(&self, record: &Record) -> PassOutcome {
+        let mut out = PassOutcome::clean();
+        for (field, value) in record.fields() {
+            if let Value::Text(s) = value {
+                let normalized = s.split_whitespace().collect::<Vec<_>>().join(" ");
+                if normalized != *s {
+                    out = out.change(
+                        field,
+                        Some(value.clone()),
+                        Value::Text(normalized),
+                        "collapsed whitespace",
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Canonicalizes the species binomial (case, spacing, authorship split)
+/// and back-fills the genus field from it.
+pub struct SpeciesNamePass;
+
+impl CurationPass for SpeciesNamePass {
+    fn name(&self) -> &str {
+        "species-name-canonicalization"
+    }
+
+    fn inspect(&self, record: &Record) -> PassOutcome {
+        let mut out = PassOutcome::clean();
+        let Some(raw) = record.get_text("species") else {
+            return out;
+        };
+        match ScientificName::parse(raw) {
+            Some(name) => {
+                let canonical = name.canonical();
+                if canonical != raw {
+                    out = out.change(
+                        "species",
+                        Some(Value::Text(raw.to_string())),
+                        Value::Text(canonical),
+                        "canonicalized binomial",
+                    );
+                }
+                let genus_ok = record
+                    .get_text("genus")
+                    .map(|g| g == name.genus())
+                    .unwrap_or(false);
+                if !genus_ok {
+                    out = out.change(
+                        "genus",
+                        record.get("genus").cloned(),
+                        Value::Text(name.genus().to_string()),
+                        "genus derived from species binomial",
+                    );
+                }
+            }
+            None => {
+                out = out.flag(Some("species"), "species is not a parseable binomial");
+            }
+        }
+        out
+    }
+}
+
+/// Parses legacy text dates/times into typed values
+/// (`"15.III.1982"` → `Date`).
+pub struct LegacyDatePass;
+
+impl CurationPass for LegacyDatePass {
+    fn name(&self) -> &str {
+        "legacy-date-parsing"
+    }
+
+    fn inspect(&self, record: &Record) -> PassOutcome {
+        let mut out = PassOutcome::clean();
+        if let Some(Value::Text(s)) = record.get("collect_date") {
+            match parse::parse_date(s) {
+                Some(d) => {
+                    out = out.change(
+                        "collect_date",
+                        Some(Value::Text(s.clone())),
+                        Value::Date(d),
+                        "parsed legacy date format",
+                    )
+                }
+                None => out = out.flag(Some("collect_date"), "unparseable date"),
+            }
+        }
+        if let Some(Value::Text(s)) = record.get("collect_time") {
+            match parse::parse_time(s) {
+                Some(t) => {
+                    out = out.change(
+                        "collect_time",
+                        Some(Value::Text(s.clone())),
+                        Value::Time(t),
+                        "parsed legacy time format",
+                    )
+                }
+                None => out = out.flag(Some("collect_time"), "unparseable time"),
+            }
+        }
+        out
+    }
+}
+
+/// Flags domain violations against a schema (checking attribute domains —
+/// the paper's first cleaning kind). Violations need review, not blind
+/// repair.
+pub struct DomainCheckPass {
+    schema: Schema,
+}
+
+impl DomainCheckPass {
+    /// Check against the given schema.
+    pub fn new(schema: Schema) -> Self {
+        DomainCheckPass { schema }
+    }
+}
+
+impl CurationPass for DomainCheckPass {
+    fn name(&self) -> &str {
+        "domain-checks"
+    }
+
+    fn inspect(&self, record: &Record) -> PassOutcome {
+        let mut out = PassOutcome::clean();
+        for v in self.schema.validate(record) {
+            let field = match &v {
+                SchemaViolation::MissingRequired { field }
+                | SchemaViolation::TypeMismatch { field, .. }
+                | SchemaViolation::Domain { field, .. }
+                | SchemaViolation::UnknownField { field } => field.clone(),
+            };
+            out = out.flag(Some(&field), &v.to_string());
+        }
+        out
+    }
+}
+
+/// Retro-georeferencing: fills the `coordinates` field from the place
+/// fields when absent (stage-1 step 2). Ambiguous matches are flagged for
+/// the curator.
+pub struct GeoreferencePass {
+    gazetteer: Gazetteer,
+}
+
+impl GeoreferencePass {
+    /// Georeference against the given gazetteer.
+    pub fn new(gazetteer: Gazetteer) -> Self {
+        GeoreferencePass { gazetteer }
+    }
+}
+
+impl CurationPass for GeoreferencePass {
+    fn name(&self) -> &str {
+        "retro-georeferencing"
+    }
+
+    fn inspect(&self, record: &Record) -> PassOutcome {
+        let mut out = PassOutcome::clean();
+        if record.is_filled("coordinates") {
+            return out; // GPS-era record; nothing to do
+        }
+        let result = georeference(
+            &self.gazetteer,
+            record.get_text("country"),
+            record.get_text("state"),
+            record.get_text("city"),
+            record.get_text("location"),
+        );
+        match result {
+            Georef::Resolved {
+                point,
+                uncertainty_km,
+                source,
+            } => {
+                let coords = preserva_metadata::value::Coordinates::new(point.lat, point.lon)
+                    .expect("gazetteer points are valid");
+                out = out
+                    .change(
+                        "coordinates",
+                        None,
+                        Value::Coordinates(coords),
+                        &format!("georeferenced from {source:?}"),
+                    )
+                    .change(
+                        "coordinate_uncertainty_m",
+                        record.get("coordinate_uncertainty_m").cloned(),
+                        Value::Float(uncertainty_km * 1000.0),
+                        "uncertainty radius of the gazetteer match",
+                    );
+            }
+            Georef::NeedsReview(options) => {
+                out = out.flag(
+                    Some("location"),
+                    &format!("ambiguous place: {}", options.join(" | ")),
+                );
+            }
+            Georef::Unresolvable => {
+                out = out.flag(Some("location"), "no gazetteer match for any place field");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preserva_gazetteer::builder::build_gazetteer;
+    use preserva_metadata::fnjv;
+
+    #[test]
+    fn whitespace_pass_normalizes() {
+        let r = Record::new("r").with("city", Value::Text("  Campinas   SP ".into()));
+        let o = WhitespacePass.inspect(&r);
+        assert_eq!(o.changes.len(), 1);
+        assert_eq!(o.changes[0].new, Value::Text("Campinas SP".into()));
+        // Idempotent: applying then re-inspecting proposes nothing.
+        let r2 = crate::pass::apply(&r, &o);
+        assert!(WhitespacePass.inspect(&r2).is_clean());
+    }
+
+    #[test]
+    fn species_pass_canonicalizes_and_backfills_genus() {
+        let r = Record::new("r").with("species", Value::Text("hyla FABER".into()));
+        let o = SpeciesNamePass.inspect(&r);
+        assert_eq!(o.changes.len(), 2);
+        let r2 = crate::pass::apply(&r, &o);
+        assert_eq!(r2.get_text("species"), Some("Hyla faber"));
+        assert_eq!(r2.get_text("genus"), Some("Hyla"));
+        assert!(SpeciesNamePass.inspect(&r2).is_clean());
+    }
+
+    #[test]
+    fn species_pass_flags_garbage() {
+        let r = Record::new("r").with("species", Value::Text("???".into()));
+        let o = SpeciesNamePass.inspect(&r);
+        assert!(o.changes.is_empty());
+        assert_eq!(o.flags.len(), 1);
+    }
+
+    #[test]
+    fn legacy_dates_parsed() {
+        let r = Record::new("r")
+            .with("collect_date", Value::Text("15.III.1982".into()))
+            .with("collect_time", Value::Text("7h45".into()));
+        let o = LegacyDatePass.inspect(&r);
+        assert_eq!(o.changes.len(), 2);
+        let r2 = crate::pass::apply(&r, &o);
+        assert!(matches!(r2.get("collect_date"), Some(Value::Date(_))));
+        assert!(matches!(r2.get("collect_time"), Some(Value::Time(_))));
+        assert!(LegacyDatePass.inspect(&r2).is_clean());
+    }
+
+    #[test]
+    fn unparseable_date_flagged() {
+        let r = Record::new("r").with("collect_date", Value::Text("spring".into()));
+        let o = LegacyDatePass.inspect(&r);
+        assert!(o.changes.is_empty());
+        assert_eq!(o.flags.len(), 1);
+    }
+
+    #[test]
+    fn domain_check_flags_violations() {
+        let r = Record::new("r").with("air_temperature_c", Value::Float(99.0));
+        let o = DomainCheckPass::new(fnjv::schema()).inspect(&r);
+        assert!(o
+            .flags
+            .iter()
+            .any(|f| f.field.as_deref() == Some("air_temperature_c")));
+        // Missing required fields are flagged too.
+        assert!(o
+            .flags
+            .iter()
+            .any(|f| f.field.as_deref() == Some("species")));
+    }
+
+    #[test]
+    fn georeference_fills_coordinates() {
+        let gaz = build_gazetteer(0, 1);
+        let r = Record::new("r")
+            .with("country", Value::Text("Brazil".into()))
+            .with("state", Value::Text("São Paulo".into()))
+            .with("city", Value::Text("Campinas".into()));
+        let o = GeoreferencePass::new(gaz).inspect(&r);
+        assert_eq!(o.changes.len(), 2);
+        let r2 = crate::pass::apply(&r, &o);
+        let c = r2.get("coordinates").unwrap();
+        match c {
+            Value::Coordinates(c) => assert!((c.lat + 22.9).abs() < 0.1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn georeference_skips_gps_records() {
+        let gaz = build_gazetteer(0, 1);
+        let r = Record::new("r").with(
+            "coordinates",
+            Value::Coordinates(preserva_metadata::value::Coordinates::new(-22.9, -47.0).unwrap()),
+        );
+        assert!(GeoreferencePass::new(gaz).inspect(&r).is_clean());
+    }
+
+    #[test]
+    fn georeference_flags_unresolvable() {
+        let gaz = build_gazetteer(0, 1);
+        let r = Record::new("r").with("country", Value::Text("Atlantis".into()));
+        let o = GeoreferencePass::new(gaz).inspect(&r);
+        assert_eq!(o.flags.len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! A synthetic climate archive — the authoritative environmental source
+//! stage-1 step-3 consults ("obtained from authoritative sources, once
+//! location and date were defined").
+//!
+//! The real prototype queried historical weather services; we model a
+//! seasonal climatology: temperature follows latitude and a Southern-
+//! hemisphere seasonal sinusoid plus deterministic per-(place, date)
+//! noise, so the same query always yields the same answer (a property
+//! real archives share and tests rely on).
+
+use preserva_gazetteer::geo::GeoPoint;
+use preserva_metadata::value::Date;
+
+/// One climate observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClimateRecord {
+    /// Air temperature in °C.
+    pub temperature_c: f64,
+    /// Relative humidity in [0, 1].
+    pub relative_humidity: f64,
+    /// Atmospheric-conditions vocabulary term.
+    pub conditions: &'static str,
+}
+
+/// Deterministic pseudo-noise in [0, 1) from the query key.
+fn noise(point: &GeoPoint, date: &Date, salt: u64) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix((point.lat * 1e4) as i64 as u64);
+    mix((point.lon * 1e4) as i64 as u64);
+    mix(date.year as u64);
+    mix(date.month as u64);
+    mix(date.day as u64);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Day of year in [0, 365).
+fn day_of_year(date: &Date) -> f64 {
+    const CUM: [u16; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+    (CUM[(date.month - 1) as usize] as f64) + (date.day as f64) - 1.0
+}
+
+/// Query the archive.
+pub fn lookup(point: &GeoPoint, date: &Date) -> ClimateRecord {
+    // Annual mean falls with |latitude|; the tropics are ~26 °C at sea
+    // level, dropping ~0.45 °C per degree of latitude beyond the tropics.
+    let abs_lat = point.lat.abs();
+    let mean = if abs_lat < 23.5 {
+        26.0 - abs_lat * 0.10
+    } else {
+        26.0 - 2.35 - (abs_lat - 23.5) * 0.45
+    };
+    // Seasonal swing grows with latitude; phase flips by hemisphere
+    // (January = summer in the south).
+    let amplitude = 2.0 + abs_lat * 0.25;
+    let phase = day_of_year(date) / 365.0 * std::f64::consts::TAU;
+    let seasonal = if point.lat < 0.0 {
+        amplitude * phase.cos()
+    } else {
+        -amplitude * phase.cos()
+    };
+    let jitter = (noise(point, date, 1) - 0.5) * 6.0;
+    let temperature_c = mean + seasonal + jitter;
+
+    let humidity_noise = noise(point, date, 2);
+    let relative_humidity = (0.55 + 0.4 * humidity_noise).clamp(0.0, 1.0);
+
+    let w = noise(point, date, 3);
+    let conditions = if w < 0.45 {
+        "Clear"
+    } else if w < 0.75 {
+        "Cloudy"
+    } else if w < 0.92 {
+        "Rainy"
+    } else {
+        "Fog"
+    };
+    ClimateRecord {
+        temperature_c,
+        relative_humidity,
+        conditions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = Date::new(1982, 3, 15).unwrap();
+        let a = lookup(&p(-22.9, -47.06), &d);
+        let b = lookup(&p(-22.9, -47.06), &d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn temperatures_physically_plausible() {
+        for (lat, lon) in [(-3.1, -60.0), (-22.9, -47.0), (-30.0, -51.2)] {
+            for month in 1..=12u8 {
+                let d = Date::new(1990, month, 15).unwrap();
+                let c = lookup(&p(lat, lon), &d);
+                assert!(
+                    (-10.0..=50.0).contains(&c.temperature_c),
+                    "temp {} at lat {lat} month {month}",
+                    c.temperature_c
+                );
+                assert!((0.0..=1.0).contains(&c.relative_humidity));
+            }
+        }
+    }
+
+    #[test]
+    fn tropics_warmer_than_south() {
+        let d = Date::new(1990, 7, 15).unwrap(); // southern winter
+        let manaus = lookup(&p(-3.1, -60.0), &d);
+        let porto_alegre = lookup(&p(-30.0, -51.2), &d);
+        assert!(manaus.temperature_c > porto_alegre.temperature_c + 3.0);
+    }
+
+    #[test]
+    fn southern_summer_warmer_than_winter() {
+        let january = lookup(&p(-30.0, -51.2), &Date::new(1990, 1, 15).unwrap());
+        let july = lookup(&p(-30.0, -51.2), &Date::new(1990, 7, 15).unwrap());
+        assert!(january.temperature_c > july.temperature_c);
+    }
+
+    #[test]
+    fn conditions_are_vocabulary_terms() {
+        let vocab = preserva_metadata::vocab::atmospheric_conditions();
+        for day in 1..=28u8 {
+            let c = lookup(&p(-22.9, -47.0), &Date::new(2000, 6, day).unwrap());
+            assert!(vocab.contains(c.conditions), "{}", c.conditions);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Stage-1 step-3: fill missing environmental fields (temperature,
+//! atmospheric conditions) from the climate archive, once location and
+//! date are known.
+
+use preserva_gazetteer::geo::GeoPoint;
+use preserva_metadata::record::Record;
+use preserva_metadata::value::Value;
+
+use crate::climate;
+use crate::pass::{CurationPass, PassOutcome};
+
+/// The environmental-field filler pass. Runs after georeferencing and
+/// date parsing (it needs typed `coordinates` and `collect_date`).
+pub struct EnvironmentalFillPass;
+
+impl CurationPass for EnvironmentalFillPass {
+    fn name(&self) -> &str {
+        "environmental-field-fill"
+    }
+
+    fn inspect(&self, record: &Record) -> PassOutcome {
+        let mut out = PassOutcome::clean();
+        let needs_temp = !record.is_filled("air_temperature_c");
+        let needs_cond = !record.is_filled("atmospheric_conditions");
+        if !needs_temp && !needs_cond {
+            return out;
+        }
+        let Some(Value::Coordinates(c)) = record.get("coordinates") else {
+            return out; // can't query without a location
+        };
+        let Some(Value::Date(d)) = record.get("collect_date") else {
+            return out; // can't query without a date
+        };
+        let Some(point) = GeoPoint::new(c.lat, c.lon) else {
+            return out;
+        };
+        let climate = climate::lookup(&point, d);
+        if needs_temp {
+            out = out.change(
+                "air_temperature_c",
+                None,
+                Value::Float((climate.temperature_c * 10.0).round() / 10.0),
+                "filled from climate archive (location + date)",
+            );
+        }
+        if needs_cond {
+            out = out.change(
+                "atmospheric_conditions",
+                None,
+                Value::Text(climate.conditions.to_string()),
+                "filled from climate archive (location + date)",
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preserva_metadata::value::{Coordinates, Date};
+
+    fn located_record() -> Record {
+        Record::new("r")
+            .with(
+                "coordinates",
+                Value::Coordinates(Coordinates::new(-22.9, -47.06).unwrap()),
+            )
+            .with("collect_date", Value::Date(Date::new(1982, 3, 15).unwrap()))
+    }
+
+    #[test]
+    fn fills_both_missing_fields() {
+        let o = EnvironmentalFillPass.inspect(&located_record());
+        assert_eq!(o.changes.len(), 2);
+        let fields: Vec<&str> = o.changes.iter().map(|c| c.field.as_str()).collect();
+        assert!(fields.contains(&"air_temperature_c"));
+        assert!(fields.contains(&"atmospheric_conditions"));
+    }
+
+    #[test]
+    fn preserves_existing_values() {
+        let r = located_record().with("air_temperature_c", Value::Float(19.5));
+        let o = EnvironmentalFillPass.inspect(&r);
+        assert_eq!(o.changes.len(), 1);
+        assert_eq!(o.changes[0].field, "atmospheric_conditions");
+    }
+
+    #[test]
+    fn skips_without_location_or_date() {
+        let no_coords =
+            Record::new("r").with("collect_date", Value::Date(Date::new(1982, 3, 15).unwrap()));
+        assert!(EnvironmentalFillPass.inspect(&no_coords).is_clean());
+        let no_date = Record::new("r").with(
+            "coordinates",
+            Value::Coordinates(Coordinates::new(-22.9, -47.06).unwrap()),
+        );
+        assert!(EnvironmentalFillPass.inspect(&no_date).is_clean());
+    }
+
+    #[test]
+    fn idempotent_after_apply() {
+        let r = located_record();
+        let o = EnvironmentalFillPass.inspect(&r);
+        let r2 = crate::pass::apply(&r, &o);
+        assert!(EnvironmentalFillPass.inspect(&r2).is_clean());
+    }
+
+    #[test]
+    fn filled_temperature_within_domain() {
+        let o = EnvironmentalFillPass.inspect(&located_record());
+        let temp = o
+            .changes
+            .iter()
+            .find(|c| c.field == "air_temperature_c")
+            .unwrap();
+        if let Value::Float(t) = temp.new {
+            assert!((-10.0..=50.0).contains(&t));
+        } else {
+            panic!("temperature must be a float");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `preserva-curation` — the metadata curation toolkit implementing the
+//! paper's two-stage prototype (§IV-B):
+//!
+//! **Stage 1** (three steps):
+//! 1. basic cleaning — domain checks and syntactic corrections
+//!    ([`cleaning`], composed via [`pass`] / [`pipeline`]);
+//! 2. retro-georeferencing — adding coordinates to pre-GPS records
+//!    ([`cleaning::GeoreferencePass`] over a gazetteer);
+//! 3. filling missing environmental fields from authoritative sources
+//!    given location + date ([`envfill`] over the synthetic [`climate`]
+//!    archive).
+//!
+//! **Stage 2**: spatial analysis to find misidentified species
+//! (re-exported from `preserva-gazetteer`'s outlier module; wired in
+//! [`pipeline`]).
+//!
+//! The case study's centrepiece, the **Outdated Species Name Detection
+//! Workflow**, lives in [`outdated`]: it checks every distinct species
+//! name against the Catalogue-of-Life service and persists updated names
+//! in a *separate table referencing the unchanged original records*
+//! ([`outdated::persist_updates`]), flagged for biologist review
+//! ([`review`]). Every modification is journaled in the [`log`].
+
+pub mod cleaning;
+pub mod climate;
+pub mod envfill;
+pub mod history;
+pub mod log;
+pub mod outdated;
+pub mod pass;
+pub mod pipeline;
+pub mod review;
+pub mod spatial;
+
+pub use log::{CurationEvent, CurationLog};
+pub use outdated::{NameCheckOutcome, OutdatedNameDetector, OutdatedNameReport};
+pub use pass::{CurationPass, FieldChange, PassOutcome, ReviewFlag};
+pub use pipeline::{CurationPipeline, PipelineSummary};

@@ -1,0 +1,196 @@
+//! The curation log: a journal of every metadata modification — the
+//! "historical log of metadata modifications" the paper's strategy
+//! provides, and the input for the planned "remodelling [of the] FNJV
+//! metadata database to reflect the history of curation processes".
+
+use serde::{Deserialize, Serialize};
+
+use preserva_metadata::value::Value;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CurationEvent {
+    /// A pass changed a field.
+    FieldChanged {
+        /// The changed field.
+        field: String,
+        /// Previous value (None = was absent).
+        old: Option<Value>,
+        /// New value.
+        new: Value,
+        /// Why the pass changed it.
+        reason: String,
+    },
+    /// A pass flagged something for review.
+    Flagged {
+        /// Field concerned (None = whole record).
+        field: Option<String>,
+        /// What needs a human look.
+        message: String,
+    },
+    /// The name checker proposed an update (old → new).
+    NameUpdateProposed {
+        /// The outdated name.
+        old: String,
+        /// The proposed up-to-date name.
+        new: String,
+    },
+    /// A curator validated a proposal.
+    Validated {
+        /// What was approved (rendered).
+        subject: String,
+        /// Who approved it.
+        curator: String,
+    },
+    /// A curator rejected a proposal.
+    Rejected {
+        /// What was rejected (rendered).
+        subject: String,
+        /// Who rejected it.
+        curator: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Monotone sequence number (the log's logical clock).
+    pub seq: u64,
+    /// Record the event concerns.
+    pub record_id: String,
+    /// Which pass / actor produced the event.
+    pub source: String,
+    /// What happened.
+    pub event: CurationEvent,
+}
+
+/// An append-only curation journal.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CurationLog {
+    entries: Vec<LogEntry>,
+}
+
+impl CurationLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event, returning its sequence number.
+    pub fn append(&mut self, record_id: &str, source: &str, event: CurationEvent) -> u64 {
+        let seq = self.entries.len() as u64;
+        self.entries.push(LogEntry {
+            seq,
+            record_id: record_id.to_string(),
+            source: source.to_string(),
+            event,
+        });
+        seq
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Entries concerning one record.
+    pub fn for_record<'a>(&'a self, record_id: &'a str) -> impl Iterator<Item = &'a LogEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.record_id == record_id)
+    }
+
+    /// Count of field changes journaled.
+    pub fn change_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.event, CurationEvent::FieldChanged { .. }))
+            .count()
+    }
+
+    /// Count of review flags journaled.
+    pub fn flag_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.event, CurationEvent::Flagged { .. }))
+            .count()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_monotone_seq() {
+        let mut log = CurationLog::new();
+        let a = log.append(
+            "r1",
+            "whitespace",
+            CurationEvent::Flagged {
+                field: None,
+                message: "x".into(),
+            },
+        );
+        let b = log.append(
+            "r2",
+            "dates",
+            CurationEvent::FieldChanged {
+                field: "collect_date".into(),
+                old: None,
+                new: Value::Text("1982-03-15".into()),
+                reason: "parsed".into(),
+            },
+        );
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.change_count(), 1);
+        assert_eq!(log.flag_count(), 1);
+    }
+
+    #[test]
+    fn per_record_query() {
+        let mut log = CurationLog::new();
+        for i in 0..3 {
+            log.append(
+                if i == 1 { "special" } else { "other" },
+                "p",
+                CurationEvent::Validated {
+                    subject: "s".into(),
+                    curator: "c".into(),
+                },
+            );
+        }
+        assert_eq!(log.for_record("special").count(), 1);
+        assert_eq!(log.for_record("other").count(), 2);
+        assert_eq!(log.for_record("missing").count(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut log = CurationLog::new();
+        log.append(
+            "r",
+            "names",
+            CurationEvent::NameUpdateProposed {
+                old: "Elachistocleis ovalis".into(),
+                new: "Nomen inquirenda".into(),
+            },
+        );
+        let s = serde_json::to_string(&log).unwrap();
+        let back: CurationLog = serde_json::from_str(&s).unwrap();
+        assert_eq!(log.entries(), back.entries());
+    }
+}

@@ -1,0 +1,117 @@
+//! The curation-pass abstraction: a pass inspects one record and proposes
+//! changes and/or review flags. Passes never mutate records in place —
+//! the pipeline applies accepted changes and journals everything.
+
+use preserva_metadata::record::Record;
+use preserva_metadata::value::Value;
+
+/// One proposed field modification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldChange {
+    /// Field to change.
+    pub field: String,
+    /// Current value (None = absent).
+    pub old: Option<Value>,
+    /// Proposed value.
+    pub new: Value,
+    /// Human-readable justification (journaled).
+    pub reason: String,
+}
+
+/// A condition a human curator must look at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReviewFlag {
+    /// Field concerned (None = whole record).
+    pub field: Option<String>,
+    /// What the curator should look at.
+    pub message: String,
+}
+
+/// What a pass proposes for one record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PassOutcome {
+    /// Proposed field changes.
+    pub changes: Vec<FieldChange>,
+    /// Conditions needing human review.
+    pub flags: Vec<ReviewFlag>,
+}
+
+impl PassOutcome {
+    /// An outcome proposing nothing.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// True when the pass proposes neither changes nor flags.
+    pub fn is_clean(&self) -> bool {
+        self.changes.is_empty() && self.flags.is_empty()
+    }
+
+    /// Add a change (builder style).
+    pub fn change(mut self, field: &str, old: Option<Value>, new: Value, reason: &str) -> Self {
+        self.changes.push(FieldChange {
+            field: field.to_string(),
+            old,
+            new,
+            reason: reason.to_string(),
+        });
+        self
+    }
+
+    /// Add a flag (builder style).
+    pub fn flag(mut self, field: Option<&str>, message: &str) -> Self {
+        self.flags.push(ReviewFlag {
+            field: field.map(str::to_string),
+            message: message.to_string(),
+        });
+        self
+    }
+}
+
+/// A curation pass.
+pub trait CurationPass: Send + Sync {
+    /// Stable pass name (journaled with every change).
+    fn name(&self) -> &str;
+
+    /// Inspect `record` and propose changes/flags.
+    fn inspect(&self, record: &Record) -> PassOutcome;
+}
+
+/// Apply an outcome's changes to a copy of the record.
+pub fn apply(record: &Record, outcome: &PassOutcome) -> Record {
+    let mut out = record.clone();
+    for c in &outcome.changes {
+        out.set(&c.field, c.new.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_builders() {
+        let o = PassOutcome::clean()
+            .change(
+                "species",
+                None,
+                Value::Text("Hyla faber".into()),
+                "canonicalized",
+            )
+            .flag(Some("location"), "too vague");
+        assert!(!o.is_clean());
+        assert_eq!(o.changes.len(), 1);
+        assert_eq!(o.flags.len(), 1);
+        assert!(PassOutcome::clean().is_clean());
+    }
+
+    #[test]
+    fn apply_copies_and_sets() {
+        let r = Record::new("r").with("a", Value::Integer(1));
+        let o = PassOutcome::clean().change("a", Some(Value::Integer(1)), Value::Integer(2), "fix");
+        let r2 = apply(&r, &o);
+        assert_eq!(r.get("a"), Some(&Value::Integer(1))); // original untouched
+        assert_eq!(r2.get("a"), Some(&Value::Integer(2)));
+    }
+}

@@ -1,0 +1,261 @@
+//! The human-review queue: "before such names are persisted in the
+//! database, they are flagged to be checked by biologists" (§IV-B).
+//! Every automated proposal waits here until a curator decides.
+
+use serde::{Deserialize, Serialize};
+
+use crate::log::{CurationEvent, CurationLog};
+
+/// What kind of proposal awaits review.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReviewItem {
+    /// Species-name update old → new.
+    NameUpdate {
+        /// Affected record (or batch marker).
+        record_id: String,
+        /// The outdated name.
+        old: String,
+        /// The proposed replacement.
+        new: String,
+    },
+    /// A pass-raised flag.
+    Flag {
+        /// Affected record.
+        record_id: String,
+        /// Field concerned (None = whole record).
+        field: Option<String>,
+        /// What needs review.
+        message: String,
+    },
+}
+
+/// State of one queue entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReviewState {
+    /// Awaiting a curator's decision.
+    Pending,
+    /// Approved.
+    Approved {
+        /// Who approved it.
+        curator: String,
+    },
+    /// Rejected.
+    Rejected {
+        /// Who rejected it.
+        curator: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+/// One queue entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReviewEntry {
+    /// Queue-assigned id.
+    pub id: u64,
+    /// The proposal under review.
+    pub item: ReviewItem,
+    /// Its current decision state.
+    pub state: ReviewState,
+}
+
+/// The queue itself.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReviewQueue {
+    entries: Vec<ReviewEntry>,
+}
+
+impl ReviewQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a proposal; returns its id.
+    pub fn submit(&mut self, item: ReviewItem) -> u64 {
+        let id = self.entries.len() as u64;
+        self.entries.push(ReviewEntry {
+            id,
+            item,
+            state: ReviewState::Pending,
+        });
+        id
+    }
+
+    /// Pending entries.
+    pub fn pending(&self) -> impl Iterator<Item = &ReviewEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.state == ReviewState::Pending)
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[ReviewEntry] {
+        &self.entries
+    }
+
+    fn decide(&mut self, id: u64, state: ReviewState) -> Result<&ReviewEntry, ReviewError> {
+        let entry = self
+            .entries
+            .get_mut(id as usize)
+            .ok_or(ReviewError::UnknownEntry(id))?;
+        if entry.state != ReviewState::Pending {
+            return Err(ReviewError::AlreadyDecided(id));
+        }
+        entry.state = state;
+        Ok(entry)
+    }
+
+    /// Approve a pending entry; journals the validation.
+    pub fn approve(
+        &mut self,
+        id: u64,
+        curator: &str,
+        log: &mut CurationLog,
+    ) -> Result<(), ReviewError> {
+        let entry = self.decide(
+            id,
+            ReviewState::Approved {
+                curator: curator.to_string(),
+            },
+        )?;
+        let (record_id, subject) = match &entry.item {
+            ReviewItem::NameUpdate {
+                record_id,
+                old,
+                new,
+            } => (record_id.clone(), format!("{old} -> {new}")),
+            ReviewItem::Flag {
+                record_id, message, ..
+            } => (record_id.clone(), message.clone()),
+        };
+        log.append(
+            &record_id,
+            "review",
+            CurationEvent::Validated {
+                subject,
+                curator: curator.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Reject a pending entry; journals the rejection.
+    pub fn reject(
+        &mut self,
+        id: u64,
+        curator: &str,
+        reason: &str,
+        log: &mut CurationLog,
+    ) -> Result<(), ReviewError> {
+        let entry = self.decide(
+            id,
+            ReviewState::Rejected {
+                curator: curator.to_string(),
+                reason: reason.to_string(),
+            },
+        )?;
+        let (record_id, subject) = match &entry.item {
+            ReviewItem::NameUpdate {
+                record_id,
+                old,
+                new,
+            } => (record_id.clone(), format!("{old} -> {new}")),
+            ReviewItem::Flag {
+                record_id, message, ..
+            } => (record_id.clone(), message.clone()),
+        };
+        log.append(
+            &record_id,
+            "review",
+            CurationEvent::Rejected {
+                subject,
+                curator: curator.to_string(),
+                reason: reason.to_string(),
+            },
+        );
+        Ok(())
+    }
+}
+
+/// Review-queue errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReviewError {
+    /// No entry with that id exists.
+    UnknownEntry(u64),
+    /// The entry was already approved or rejected.
+    AlreadyDecided(u64),
+}
+
+impl std::fmt::Display for ReviewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReviewError::UnknownEntry(id) => write!(f, "unknown review entry {id}"),
+            ReviewError::AlreadyDecided(id) => write!(f, "review entry {id} already decided"),
+        }
+    }
+}
+
+impl std::error::Error for ReviewError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name_update() -> ReviewItem {
+        ReviewItem::NameUpdate {
+            record_id: "FNJV-3".into(),
+            old: "Elachistocleis ovalis".into(),
+            new: "Nomen inquirenda".into(),
+        }
+    }
+
+    #[test]
+    fn submit_approve_flow() {
+        let mut q = ReviewQueue::new();
+        let mut log = CurationLog::new();
+        let id = q.submit(name_update());
+        assert_eq!(q.pending().count(), 1);
+        q.approve(id, "Dr. Toledo", &mut log).unwrap();
+        assert_eq!(q.pending().count(), 0);
+        assert!(matches!(q.entries()[0].state, ReviewState::Approved { .. }));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn reject_flow_records_reason() {
+        let mut q = ReviewQueue::new();
+        let mut log = CurationLog::new();
+        let id = q.submit(ReviewItem::Flag {
+            record_id: "FNJV-9".into(),
+            field: Some("location".into()),
+            message: "too vague".into(),
+        });
+        q.reject(id, "Dr. Toledo", "location is fine", &mut log)
+            .unwrap();
+        match &q.entries()[0].state {
+            ReviewState::Rejected { reason, .. } => assert_eq!(reason, "location is fine"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            log.entries()[0].event,
+            CurationEvent::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn double_decision_rejected() {
+        let mut q = ReviewQueue::new();
+        let mut log = CurationLog::new();
+        let id = q.submit(name_update());
+        q.approve(id, "a", &mut log).unwrap();
+        assert_eq!(
+            q.approve(id, "b", &mut log),
+            Err(ReviewError::AlreadyDecided(id))
+        );
+        assert_eq!(
+            q.reject(99, "a", "r", &mut log),
+            Err(ReviewError::UnknownEntry(99))
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Generator configuration. Defaults reproduce the paper's case study.
+
+/// All the knobs of the synthetic collection.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Total records (paper: 11,898).
+    pub records: usize,
+    /// Distinct species names used by the collection (paper: 1,929).
+    pub distinct_species: usize,
+    /// Collection names that are outdated in the latest edition
+    /// (paper: 134).
+    pub outdated_names: usize,
+    /// Of the outdated names, how many are *nomina inquirenda* (doubtful,
+    /// no replacement) rather than renames. The paper's Figure 2 lists
+    /// replacements, so the default is 0.
+    pub doubtful_names: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// First and last collection years (core of FNJV dates to the 1960s).
+    pub first_year: i32,
+    /// Last collection year.
+    pub last_year: i32,
+    /// Year GPS became common in the field; earlier records lack
+    /// coordinates.
+    pub gps_era: i32,
+    /// Probability a GPS-era record still lacks coordinates.
+    pub gps_missing_rate: f64,
+    /// Probability a record's date is stored as legacy text
+    /// (roman-numeral or slash format) instead of a typed date.
+    pub legacy_date_rate: f64,
+    /// Probability environmental fields (temperature, conditions) are
+    /// missing.
+    pub missing_env_rate: f64,
+    /// Probability of stray whitespace in text fields.
+    pub whitespace_dirt_rate: f64,
+    /// Probability a record's species string carries a typo
+    /// (0 by default — changes the distinct-name count; used by A2).
+    pub typo_rate: f64,
+    /// Checklist release years after the bootstrap edition.
+    pub release_years: Vec<i32>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            records: 11_898,
+            distinct_species: 1_929,
+            outdated_names: 134,
+            doubtful_names: 0,
+            seed: 42,
+            first_year: 1961,
+            last_year: 2013,
+            gps_era: 1995,
+            gps_missing_rate: 0.15,
+            legacy_date_rate: 0.55,
+            missing_env_rate: 0.45,
+            whitespace_dirt_rate: 0.12,
+            typo_rate: 0.0,
+            release_years: vec![1980, 1995, 2005, 2013],
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration for fast tests (same defect structure).
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            records: 600,
+            distinct_species: 120,
+            outdated_names: 9,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GeneratorConfig::default();
+        assert_eq!(c.records, 11_898);
+        assert_eq!(c.distinct_species, 1_929);
+        assert_eq!(c.outdated_names, 134);
+        assert_eq!(c.typo_rate, 0.0);
+    }
+
+    #[test]
+    fn small_preserves_structure() {
+        let c = GeneratorConfig::small(7);
+        assert!(c.records > c.distinct_species);
+        assert!(c.outdated_names < c.distinct_species);
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,359 @@
+//! The collection generator.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use preserva_gazetteer::builder as gaz_builder;
+use preserva_gazetteer::db::Gazetteer;
+use preserva_metadata::record::Record;
+use preserva_metadata::value::{Coordinates, Date, TimeOfDay, Value};
+use preserva_taxonomy::builder as tax_builder;
+use preserva_taxonomy::checklist::Checklist;
+use preserva_taxonomy::name::ScientificName;
+
+use crate::config::GeneratorConfig;
+
+/// Everything the experiments need: records, the evolving checklist the
+/// service wraps, the gazetteer, and the ground truth.
+#[derive(Debug)]
+pub struct SyntheticCollection {
+    /// The generated observation records.
+    pub records: Vec<Record>,
+    /// The evolving checklist (wrap in `ColService` to query).
+    pub checklist: Checklist,
+    /// The place database used for locations.
+    pub gazetteer: Gazetteer,
+    /// The distinct names the collection uses (ground truth, sorted).
+    pub species_names: Vec<ScientificName>,
+    /// The names planted as outdated (ground truth, sorted).
+    pub planted_outdated: Vec<ScientificName>,
+    /// The configuration that generated all of the above.
+    pub config: GeneratorConfig,
+}
+
+fn roman(m: u8) -> &'static str {
+    [
+        "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII",
+    ][(m - 1) as usize]
+}
+
+/// Render a date in a random legacy text format.
+fn legacy_date_text(d: &Date, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!("{}.{}.{}", d.day, roman(d.month), d.year),
+        1 => format!("{:02}/{:02}/{}", d.day, d.month, d.year),
+        _ => format!("{}-{}-{}", d.day, roman(d.month), d.year),
+    }
+}
+
+/// Introduce one adjacent transposition into the epithet (a distance-1
+/// typo the fuzzy matcher can catch).
+fn typo(name: &ScientificName, rng: &mut StdRng) -> String {
+    let epithet: Vec<char> = name.epithet().chars().collect();
+    if epithet.len() < 3 {
+        return name.canonical();
+    }
+    let i = rng.gen_range(0..epithet.len() - 1);
+    let mut e = epithet;
+    e.swap(i, i + 1);
+    format!("{} {}", name.genus(), e.into_iter().collect::<String>())
+}
+
+fn dirty_whitespace(s: &str, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!(" {s}"),
+        1 => format!("{s}  "),
+        _ => s.replace(' ', "  "),
+    }
+}
+
+/// Generate the collection.
+pub fn generate(config: &GeneratorConfig) -> SyntheticCollection {
+    assert!(
+        config.records >= config.distinct_species,
+        "need records >= species"
+    );
+    assert!(config.outdated_names <= config.distinct_species);
+    assert!(config.doubtful_names <= config.outdated_names);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- taxonomy: backbone + evolving checklist ---
+    let backbone = tax_builder::build_backbone(config.distinct_species, config.seed);
+    let species_names: Vec<ScientificName> = backbone.names().cloned().collect();
+
+    // Distribute the planted churn across the release years (remainder on
+    // the last release); doubts land on the final release.
+    let renames_total = config.outdated_names - config.doubtful_names;
+    let n_rel = config.release_years.len().max(1);
+    let per_release = renames_total / n_rel;
+    let mut plans = Vec::new();
+    let mut assigned = 0usize;
+    for (i, &year) in config.release_years.iter().enumerate() {
+        let renames = if i + 1 == n_rel {
+            renames_total - assigned
+        } else {
+            per_release
+        };
+        assigned += renames;
+        plans.push(tax_builder::ReleasePlan {
+            year,
+            renames,
+            doubts: if i + 1 == n_rel {
+                config.doubtful_names
+            } else {
+                0
+            },
+        });
+    }
+    let checklist = tax_builder::build_checklist(
+        backbone,
+        config.first_year.min(1965).min(config.release_years[0] - 1),
+        &plans,
+        Some(&species_names),
+        config.seed,
+    );
+    let latest = checklist.latest();
+    let planted_outdated: Vec<ScientificName> = species_names
+        .iter()
+        .filter(|n| !latest.status(n).is_current())
+        .cloned()
+        .collect();
+
+    // --- geography ---
+    let gazetteer = gaz_builder::build_gazetteer(3, config.seed ^ 0x9E0);
+    let cities = gaz_builder::cities();
+
+    // --- records ---
+    // Every distinct name appears at least once; the rest are sampled with
+    // a squared-uniform skew (few common species, long tail of rare ones).
+    let mut name_choices: Vec<usize> = (0..config.distinct_species).collect();
+    name_choices.shuffle(&mut rng);
+    let mut records = Vec::with_capacity(config.records);
+    for i in 0..config.records {
+        let species_idx = if let Some(&forced) = name_choices.get(i) {
+            forced
+        } else {
+            let u: f64 = rng.gen::<f64>();
+            ((u * u) * config.distinct_species as f64) as usize % config.distinct_species
+        };
+        let name = &species_names[species_idx];
+        let taxon = checklist
+            .backbone
+            .get(name)
+            .expect("names come from backbone");
+
+        let year = rng.gen_range(config.first_year..=config.last_year);
+        let month = rng.gen_range(1..=12u8);
+        let day = rng.gen_range(1..=28u8);
+        let date = Date::new(year, month, day).expect("day <= 28 is always valid");
+
+        let (city, state, lat, lon) = cities[rng.gen_range(0..cities.len())];
+
+        let mut r = Record::new(format!("FNJV-{:06}", i + 1));
+
+        // Identification (row 1).
+        let mut species_text = name.canonical();
+        if config.typo_rate > 0.0 && rng.gen::<f64>() < config.typo_rate {
+            species_text = typo(name, &mut rng);
+        }
+        if rng.gen::<f64>() < config.whitespace_dirt_rate {
+            species_text = dirty_whitespace(&species_text, &mut rng);
+        }
+        r.set("species", Value::Text(species_text));
+        r.set("genus", Value::Text(name.genus().to_string()));
+        r.set("phylum", Value::Text(taxon.classification.phylum.clone()));
+        r.set("class", Value::Text(taxon.classification.class.clone()));
+        r.set("order", Value::Text(taxon.classification.order.clone()));
+        r.set("family", Value::Text(taxon.classification.family.clone()));
+        if rng.gen::<f64>() < 0.4 {
+            r.set(
+                "gender",
+                Value::Text(if rng.gen::<bool>() { "male" } else { "female" }.into()),
+            );
+        }
+        if rng.gen::<f64>() < 0.7 {
+            r.set(
+                "number_of_individuals",
+                Value::Integer(rng.gen_range(1..=12)),
+            );
+        }
+
+        // Observation conditions (row 2).
+        if rng.gen::<f64>() < config.legacy_date_rate {
+            r.set(
+                "collect_date",
+                Value::Text(legacy_date_text(&date, &mut rng)),
+            );
+        } else {
+            r.set("collect_date", Value::Date(date));
+        }
+        if rng.gen::<f64>() < 0.6 {
+            let t = TimeOfDay::new(rng.gen_range(0..24), rng.gen_range(0..60))
+                .expect("generated in range");
+            r.set("collect_time", Value::Time(t));
+        }
+        r.set("country", Value::Text("Brazil".into()));
+        r.set("state", Value::Text(state.to_string()));
+        r.set("city", Value::Text(city.to_string()));
+        let has_gps = year >= config.gps_era && rng.gen::<f64>() > config.gps_missing_rate;
+        if has_gps {
+            let jlat = lat + rng.gen_range(-0.05..0.05);
+            let jlon = lon + rng.gen_range(-0.05..0.05);
+            r.set(
+                "coordinates",
+                Value::Coordinates(Coordinates::new(jlat, jlon).expect("jitter stays in range")),
+            );
+        }
+        if rng.gen::<f64>() > config.missing_env_rate {
+            r.set(
+                "air_temperature_c",
+                Value::Float((rng.gen_range(5.0..35.0) * 10.0f64).round() / 10.0),
+            );
+            let conds = ["Clear", "Cloudy", "Rainy", "Drizzle", "Fog"];
+            r.set(
+                "atmospheric_conditions",
+                Value::Text(conds[rng.gen_range(0..conds.len())].into()),
+            );
+        }
+
+        // Recording features (row 3).
+        let device =
+            ["Nagra III", "Sony TC-D5M", "Marantz PMD661", "Uher 4000"][rng.gen_range(0..4)];
+        r.set("recording_device", Value::Text(device.to_string()));
+        if rng.gen::<f64>() < 0.8 {
+            let mic = ["Sennheiser ME66", "AKG C451", "Sennheiser MKH816"][rng.gen_range(0..3)];
+            r.set("microphone_model", Value::Text(mic.to_string()));
+        }
+        let format = if year < 1995 { "Magnetic tape" } else { "WAV" };
+        r.set("sound_file_format", Value::Text(format.to_string()));
+        if rng.gen::<f64>() < 0.75 {
+            r.set(
+                "frequency_khz",
+                Value::Float((rng.gen_range(1.0..22.0) * 10.0f64).round() / 10.0),
+            );
+        }
+        records.push(r);
+    }
+
+    SyntheticCollection {
+        records,
+        checklist,
+        gazetteer,
+        species_names,
+        planted_outdated,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn small() -> SyntheticCollection {
+        generate(&GeneratorConfig::small(7))
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let c = small();
+        assert_eq!(c.records.len(), 600);
+        assert_eq!(c.species_names.len(), 120);
+        assert_eq!(c.planted_outdated.len(), 9);
+    }
+
+    #[test]
+    fn every_distinct_name_is_used() {
+        let c = small();
+        let used: BTreeSet<String> = c
+            .records
+            .iter()
+            .filter_map(|r| r.get_text("species"))
+            .filter_map(ScientificName::parse)
+            .map(|n| n.canonical())
+            .collect();
+        // Whitespace dirt normalizes away in parsing; typos are off, so
+        // the used set equals the ground-truth name set.
+        let truth: BTreeSet<String> = c.species_names.iter().map(|n| n.canonical()).collect();
+        assert_eq!(used, truth);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&GeneratorConfig::small(5));
+        let b = generate(&GeneratorConfig::small(5));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.planted_outdated, b.planted_outdated);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GeneratorConfig::small(5));
+        let b = generate(&GeneratorConfig::small(6));
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn outdated_names_resolve_in_latest_edition() {
+        let c = small();
+        let ed = c.checklist.latest();
+        for n in &c.planted_outdated {
+            assert!(!ed.status(n).is_current());
+            // Default config uses renames only → every one has a
+            // replacement.
+            assert!(ed.resolve_accepted(n).is_some(), "{n} has no replacement");
+        }
+    }
+
+    #[test]
+    fn pre_gps_records_lack_coordinates() {
+        let c = small();
+        for r in &c.records {
+            let year = match r.get("collect_date") {
+                Some(Value::Date(d)) => d.year,
+                _ => continue, // legacy text date: year not parsed here
+            };
+            if year < c.config.gps_era {
+                assert!(!r.has("coordinates"), "{} has pre-GPS coordinates", r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_dates_present_and_parseable() {
+        let c = small();
+        let legacy: Vec<&str> = c
+            .records
+            .iter()
+            .filter_map(|r| match r.get("collect_date") {
+                Some(Value::Text(s)) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!legacy.is_empty(), "no legacy dates generated");
+        for s in legacy {
+            assert!(
+                preserva_metadata::parse::parse_date(s).is_some(),
+                "unparseable legacy date {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn typo_rate_injects_unknown_names() {
+        let mut cfg = GeneratorConfig::small(9);
+        cfg.typo_rate = 0.3;
+        let c = generate(&cfg);
+        let truth: BTreeSet<String> = c.species_names.iter().map(|n| n.canonical()).collect();
+        let unknown = c
+            .records
+            .iter()
+            .filter_map(|r| r.get_text("species"))
+            .filter_map(ScientificName::parse)
+            .filter(|n| !truth.contains(&n.canonical()))
+            .count();
+        assert!(unknown > 0, "typo injection produced no unknown names");
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! `preserva-fnjv` — a deterministic synthetic stand-in for the Fonoteca
+//! Neotropical Jacques Vielliard collection.
+//!
+//! The real FNJV database is institutional and not redistributable; the
+//! paper's experiments depend only on its *defect distribution*, which
+//! this generator reproduces exactly (DESIGN.md §3):
+//!
+//! * 11,898 records over 1,929 distinct species names;
+//! * 134 of those names outdated in the latest checklist edition (7%);
+//! * legacy records: pre-GPS coordinates absent, dates in heterogeneous
+//!   text formats, missing environmental fields, stray whitespace;
+//! * optional misspelling injection (off by default — it would change the
+//!   distinct-name count; ablation A2 turns it on).
+//!
+//! Everything derives from a single seed: the same
+//! [`config::GeneratorConfig`] always yields byte-identical collections.
+
+pub mod config;
+pub mod generator;
+pub mod stats;
+
+pub use config::GeneratorConfig;
+pub use generator::{generate, SyntheticCollection};
+pub use stats::CollectionStats;

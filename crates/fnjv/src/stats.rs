@@ -1,0 +1,118 @@
+//! Collection statistics: the numbers the Figure-2 panel and EXPERIMENTS.md
+//! report about the dataset itself.
+
+use std::collections::BTreeSet;
+
+use preserva_metadata::fnjv;
+use preserva_metadata::record::Record;
+use preserva_metadata::value::Value;
+use preserva_taxonomy::name::ScientificName;
+
+/// Summary statistics of a record collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionStats {
+    /// Total records.
+    pub records: usize,
+    /// Distinct parsed species binomials.
+    pub distinct_species: usize,
+    /// Records with a coordinates field.
+    pub with_coordinates: usize,
+    /// Records whose date is typed.
+    pub with_typed_date: usize,
+    /// Records whose date is legacy text.
+    pub with_legacy_text_date: usize,
+    /// Records with a filled temperature.
+    pub with_temperature: usize,
+    /// Mean completeness against the 51-field FNJV schema.
+    pub mean_completeness: f64,
+}
+
+impl CollectionStats {
+    /// Compute statistics for `records`.
+    pub fn compute(records: &[Record]) -> CollectionStats {
+        let schema = fnjv::schema();
+        let mut distinct = BTreeSet::new();
+        let mut with_coordinates = 0;
+        let mut with_typed_date = 0;
+        let mut with_legacy_text_date = 0;
+        let mut with_temperature = 0;
+        for r in records {
+            if let Some(name) = r.get_text("species").and_then(ScientificName::parse) {
+                distinct.insert(name.canonical());
+            }
+            if r.has("coordinates") {
+                with_coordinates += 1;
+            }
+            match r.get("collect_date") {
+                Some(Value::Date(_)) => with_typed_date += 1,
+                Some(Value::Text(_)) => with_legacy_text_date += 1,
+                _ => {}
+            }
+            if r.is_filled("air_temperature_c") {
+                with_temperature += 1;
+            }
+        }
+        CollectionStats {
+            records: records.len(),
+            distinct_species: distinct.len(),
+            with_coordinates,
+            with_typed_date,
+            with_legacy_text_date,
+            with_temperature,
+            mean_completeness: preserva_metadata::completeness::collection_completeness(
+                &schema, records, false,
+            ),
+        }
+    }
+
+    /// Render as a small table.
+    pub fn render(&self) -> String {
+        format!(
+            "records: {}\ndistinct species: {}\nwith coordinates: {}\n\
+             typed dates: {}\nlegacy text dates: {}\nwith temperature: {}\n\
+             mean completeness: {:.1}%\n",
+            self.records,
+            self.distinct_species,
+            self.with_coordinates,
+            self.with_typed_date,
+            self.with_legacy_text_date,
+            self.with_temperature,
+            self.mean_completeness * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn stats_reflect_generated_collection() {
+        let c = generate(&GeneratorConfig::small(3));
+        let s = CollectionStats::compute(&c.records);
+        assert_eq!(s.records, 600);
+        assert_eq!(s.distinct_species, 120);
+        assert!(s.with_legacy_text_date > 0);
+        assert!(s.with_typed_date > 0);
+        assert!(s.with_coordinates < s.records); // pre-GPS gap exists
+        assert!(s.mean_completeness > 0.2 && s.mean_completeness < 0.9);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let s = CollectionStats::compute(&[]);
+        assert_eq!(s.records, 0);
+        assert_eq!(s.distinct_species, 0);
+        assert_eq!(s.mean_completeness, 0.0);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let c = generate(&GeneratorConfig::small(3));
+        let text = CollectionStats::compute(&c.records).render();
+        assert!(text.contains("records: 600"));
+        assert!(text.contains("distinct species: 120"));
+    }
+}

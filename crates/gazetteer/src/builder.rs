@@ -1,0 +1,168 @@
+//! A synthetic but realistically-coordinated Brazilian gazetteer, plus a
+//! locality generator for synthetic collections.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::db::Gazetteer;
+use crate::geo::GeoPoint;
+use crate::place::{Place, PlaceKind};
+
+/// (city, state, lat, lon) — approximate real coordinates for realism.
+const CITIES: &[(&str, &str, f64, f64)] = &[
+    ("Campinas", "São Paulo", -22.9056, -47.0608),
+    ("São Paulo", "São Paulo", -23.5505, -46.6333),
+    ("Ubatuba", "São Paulo", -23.4336, -45.0838),
+    ("Rio Claro", "São Paulo", -22.4065, -47.5613),
+    ("Rio de Janeiro", "Rio de Janeiro", -22.9068, -43.1729),
+    ("Teresópolis", "Rio de Janeiro", -22.4165, -42.9752),
+    ("Belo Horizonte", "Minas Gerais", -19.9167, -43.9345),
+    ("Ouro Preto", "Minas Gerais", -20.3856, -43.5035),
+    ("Curitiba", "Paraná", -25.4284, -49.2733),
+    ("Foz do Iguaçu", "Paraná", -25.5469, -54.5882),
+    ("Porto Alegre", "Rio Grande do Sul", -30.0346, -51.2177),
+    ("Manaus", "Amazonas", -3.1190, -60.0217),
+    ("Belém", "Pará", -1.4558, -48.4902),
+    ("Cuiabá", "Mato Grosso", -15.6014, -56.0979),
+    ("Goiânia", "Goiás", -16.6869, -49.2648),
+    ("Salvador", "Bahia", -12.9777, -38.5016),
+    ("Recife", "Pernambuco", -8.0476, -34.8770),
+    ("Fortaleza", "Ceará", -3.7319, -38.5267),
+    ("Brasília", "Distrito Federal", -15.7939, -47.8828),
+    ("Florianópolis", "Santa Catarina", -27.5954, -48.5480),
+];
+
+const LOCALITY_NAMES: &[&str] = &[
+    "Mata Santa Genebra",
+    "Fazenda Rio das Pedras",
+    "Parque Estadual",
+    "Reserva Biológica",
+    "Estação Ecológica",
+    "Sítio São José",
+    "Mata do Ribeirão",
+    "Lagoa Seca",
+    "Serra do Japi",
+    "Horto Florestal",
+];
+
+/// Build the gazetteer: Brazil, its states (centroids approximated from
+/// their city), the cities above, and `localities_per_city` named
+/// localities jittered around each city (deterministic from `seed`).
+pub fn build_gazetteer(localities_per_city: usize, seed: u64) -> Gazetteer {
+    let mut g = Gazetteer::new();
+    g.insert(Place::new(
+        "Brazil",
+        PlaceKind::Country,
+        "Brazil",
+        None,
+        None,
+        GeoPoint::new(-10.3333, -53.2).expect("static coordinates are valid"),
+    ));
+    let mut seen_states = std::collections::BTreeSet::new();
+    for (city, state, lat, lon) in CITIES {
+        if seen_states.insert(*state) {
+            g.insert(Place::new(
+                state,
+                PlaceKind::State,
+                "Brazil",
+                Some(state),
+                None,
+                GeoPoint::new(*lat, *lon).expect("static coordinates are valid"),
+            ));
+        }
+        g.insert(Place::new(
+            city,
+            PlaceKind::City,
+            "Brazil",
+            Some(state),
+            None,
+            GeoPoint::new(*lat, *lon).expect("static coordinates are valid"),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (city, state, lat, lon) in CITIES {
+        for li in 0..localities_per_city {
+            let base = LOCALITY_NAMES[li % LOCALITY_NAMES.len()];
+            let name = if li < LOCALITY_NAMES.len() {
+                format!("{base} de {city}")
+            } else {
+                format!("{base} {} de {city}", li / LOCALITY_NAMES.len() + 1)
+            };
+            let dlat = rng.gen_range(-0.15..0.15);
+            let dlon = rng.gen_range(-0.15..0.15);
+            let center =
+                GeoPoint::new(lat + dlat, lon + dlon).expect("jitter keeps coordinates in range");
+            g.insert(Place {
+                name,
+                kind: PlaceKind::Locality,
+                country: "Brazil".to_string(),
+                state: Some(state.to_string()),
+                city: Some(city.to_string()),
+                center,
+                uncertainty_km: PlaceKind::Locality.default_uncertainty_km(),
+            });
+        }
+    }
+    g
+}
+
+/// The fixed city list (for generators that need to sample one).
+pub fn cities() -> &'static [(&'static str, &'static str, f64, f64)] {
+    CITIES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::LookupResult;
+
+    #[test]
+    fn builds_expected_counts() {
+        let g = build_gazetteer(3, 1);
+        // 1 country + 14 states + 20 cities + 60 localities.
+        let states: std::collections::BTreeSet<&str> =
+            CITIES.iter().map(|(_, s, _, _)| *s).collect();
+        assert_eq!(g.len(), 1 + states.len() + CITIES.len() + 3 * CITIES.len());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = build_gazetteer(2, 7);
+        let b = build_gazetteer(2, 7);
+        assert_eq!(a.places().len(), b.places().len());
+        for (pa, pb) in a.places().iter().zip(b.places()) {
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_known_city() {
+        let g = build_gazetteer(0, 1);
+        assert!(matches!(
+            g.lookup("Campinas", Some("Brazil"), Some("São Paulo")),
+            LookupResult::Unique(_)
+        ));
+        assert!(matches!(
+            g.lookup("Manaus", None, None),
+            LookupResult::Unique(_)
+        ));
+    }
+
+    #[test]
+    fn localities_are_near_their_city() {
+        let g = build_gazetteer(5, 3);
+        for p in g.places() {
+            if p.kind == PlaceKind::Locality {
+                let city = p.city.as_deref().unwrap();
+                if let LookupResult::Unique(c) = g.lookup(city, Some("Brazil"), p.state.as_deref())
+                {
+                    assert!(
+                        p.center.distance_km(&c.center) < 40.0,
+                        "{} too far from {city}",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The gazetteer database: hierarchical place lookup with normalization
+//! and disambiguation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::place::{Place, PlaceKind};
+
+fn normalize(s: &str) -> String {
+    s.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
+        .chars()
+        .map(|c| match c {
+            'á' | 'à' | 'â' | 'ã' => 'a',
+            'é' | 'ê' => 'e',
+            'í' => 'i',
+            'ó' | 'ô' | 'õ' => 'o',
+            'ú' | 'ü' => 'u',
+            'ç' => 'c',
+            other => other,
+        })
+        .collect()
+}
+
+/// A queryable set of places.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Gazetteer {
+    places: Vec<Place>,
+    /// normalized name → indexes into `places`
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Outcome of a lookup that may be ambiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LookupResult<'a> {
+    /// Exactly one plausible place.
+    Unique(&'a Place),
+    /// Several plausible places, most specific first; a human curator must
+    /// disambiguate (the paper: experts "helped in disambiguating
+    /// information … when a location name was too vague").
+    Ambiguous(Vec<&'a Place>),
+    /// Nothing matched.
+    NotFound,
+}
+
+impl Gazetteer {
+    /// Create an empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a place.
+    pub fn insert(&mut self, place: Place) {
+        let idx = self.places.len();
+        self.by_name
+            .entry(normalize(&place.name))
+            .or_default()
+            .push(idx);
+        self.places.push(place);
+    }
+
+    /// Number of places.
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// True when the gazetteer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// All places.
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+
+    /// The place nearest to `point`, optionally restricted to a minimum
+    /// specificity (e.g. only cities/localities). Used to describe where a
+    /// flagged spatial outlier actually sits ("reverse geocoding").
+    pub fn nearest(
+        &self,
+        point: &crate::geo::GeoPoint,
+        at_least: Option<crate::place::PlaceKind>,
+    ) -> Option<&Place> {
+        self.places
+            .iter()
+            .filter(|p| match at_least {
+                Some(k) => p.kind >= k,
+                None => true,
+            })
+            .min_by(|a, b| {
+                a.center
+                    .distance_km(point)
+                    .partial_cmp(&b.center.distance_km(point))
+                    .expect("distances are finite")
+            })
+    }
+
+    /// Look up a place by name, optionally constrained by admin context.
+    /// Candidates are filtered by country/state when given and ranked most
+    /// specific first.
+    pub fn lookup(
+        &self,
+        name: &str,
+        country: Option<&str>,
+        state: Option<&str>,
+    ) -> LookupResult<'_> {
+        let Some(indexes) = self.by_name.get(&normalize(name)) else {
+            return LookupResult::NotFound;
+        };
+        let mut hits: Vec<&Place> = indexes
+            .iter()
+            .map(|&i| &self.places[i])
+            .filter(|p| match country {
+                Some(c) => normalize(&p.country) == normalize(c),
+                None => true,
+            })
+            .filter(|p| match state {
+                Some(s) => p
+                    .state
+                    .as_deref()
+                    .map(|ps| normalize(ps) == normalize(s))
+                    .unwrap_or(p.kind <= PlaceKind::State),
+                None => true,
+            })
+            .collect();
+        // Most specific first; ties by name for determinism.
+        hits.sort_by(|a, b| b.kind.cmp(&a.kind).then(a.name.cmp(&b.name)));
+        match hits.len() {
+            0 => LookupResult::NotFound,
+            1 => LookupResult::Unique(hits[0]),
+            _ => {
+                // If one hit is strictly more specific than all others it
+                // wins outright.
+                if hits[0].kind > hits[1].kind {
+                    LookupResult::Unique(hits[0])
+                } else {
+                    LookupResult::Ambiguous(hits)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+
+    fn sample() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.insert(Place::new(
+            "Brazil",
+            PlaceKind::Country,
+            "Brazil",
+            None,
+            None,
+            GeoPoint::new(-10.0, -55.0).unwrap(),
+        ));
+        g.insert(Place::new(
+            "Campinas",
+            PlaceKind::City,
+            "Brazil",
+            Some("São Paulo"),
+            None,
+            GeoPoint::new(-22.9056, -47.0608).unwrap(),
+        ));
+        // A second Campinas in another state (real: Campinas, Goiás region).
+        g.insert(Place::new(
+            "Campinas",
+            PlaceKind::City,
+            "Brazil",
+            Some("Goiás"),
+            None,
+            GeoPoint::new(-16.67, -49.27).unwrap(),
+        ));
+        g.insert(Place::new(
+            "Mata Santa Genebra",
+            PlaceKind::Locality,
+            "Brazil",
+            Some("São Paulo"),
+            Some("Campinas"),
+            GeoPoint::new(-22.8225, -47.1075).unwrap(),
+        ));
+        g
+    }
+
+    #[test]
+    fn unique_lookup_with_state() {
+        let g = sample();
+        match g.lookup("Campinas", Some("Brazil"), Some("São Paulo")) {
+            LookupResult::Unique(p) => assert_eq!(p.state.as_deref(), Some("São Paulo")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_without_state() {
+        let g = sample();
+        match g.lookup("Campinas", Some("Brazil"), None) {
+            LookupResult::Ambiguous(hits) => assert_eq!(hits.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalization_handles_case_and_accents() {
+        let g = sample();
+        assert!(matches!(
+            g.lookup("  mata santa GENEBRA ", None, None),
+            LookupResult::Unique(_)
+        ));
+        assert!(matches!(
+            g.lookup("Campinas", Some("brazil"), Some("sao paulo")),
+            LookupResult::Unique(_)
+        ));
+    }
+
+    #[test]
+    fn not_found() {
+        let g = sample();
+        assert_eq!(g.lookup("Atlantis", None, None), LookupResult::NotFound);
+        assert_eq!(
+            g.lookup("Campinas", Some("Argentina"), None),
+            LookupResult::NotFound
+        );
+    }
+
+    #[test]
+    fn nearest_finds_closest_city() {
+        let g = sample();
+        let near_campinas = GeoPoint::new(-22.95, -47.1).unwrap();
+        let p = g.nearest(&near_campinas, Some(PlaceKind::City)).unwrap();
+        assert_eq!(p.name, "Campinas");
+        assert_eq!(p.state.as_deref(), Some("São Paulo"));
+        // Without the specificity floor, the locality (closer) can win.
+        let near_locality = GeoPoint::new(-22.8225, -47.1075).unwrap();
+        let q = g.nearest(&near_locality, None).unwrap();
+        assert_eq!(q.name, "Mata Santa Genebra");
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        let g = Gazetteer::new();
+        assert!(g.nearest(&GeoPoint::new(0.0, 0.0).unwrap(), None).is_none());
+    }
+
+    #[test]
+    fn more_specific_hit_wins() {
+        let mut g = sample();
+        // A state named "Campinas" would rank below the cities.
+        g.insert(Place::new(
+            "Campinas",
+            PlaceKind::State,
+            "Brazil",
+            Some("Campinas"),
+            None,
+            GeoPoint::new(-20.0, -50.0).unwrap(),
+        ));
+        match g.lookup("Campinas", Some("Brazil"), Some("São Paulo")) {
+            // City (more specific) beats state.
+            LookupResult::Unique(p) => assert_eq!(p.kind, PlaceKind::City),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Spherical geometry helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A point on the Earth's surface (decimal degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees.
+    pub lat: f64,
+    /// Longitude in decimal degrees.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct, rejecting out-of-range or non-finite coordinates.
+    pub fn new(lat: f64, lon: f64) -> Option<GeoPoint> {
+        if lat.is_finite()
+            && lon.is_finite()
+            && (-90.0..=90.0).contains(&lat)
+            && (-180.0..=180.0).contains(&lon)
+        {
+            Some(GeoPoint { lat, lon })
+        } else {
+            None
+        }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// Geographic centroid of a set of points (arithmetic in 3-D Cartesian
+/// space, projected back — correct for clustered points, unlike averaging
+/// raw degrees across the antimeridian).
+pub fn centroid(points: &[GeoPoint]) -> Option<GeoPoint> {
+    if points.is_empty() {
+        return None;
+    }
+    let (mut x, mut y, mut z) = (0.0f64, 0.0f64, 0.0f64);
+    for p in points {
+        let lat = p.lat.to_radians();
+        let lon = p.lon.to_radians();
+        x += lat.cos() * lon.cos();
+        y += lat.cos() * lon.sin();
+        z += lat.sin();
+    }
+    let n = points.len() as f64;
+    let (x, y, z) = (x / n, y / n, z / n);
+    let hyp = (x * x + y * y).sqrt();
+    GeoPoint::new(z.atan2(hyp).to_degrees(), y.atan2(x).to_degrees())
+}
+
+/// Median of a slice (interpolated for even lengths). Empty → None.
+pub fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN distances"));
+    let n = values.len();
+    Some(if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campinas() -> GeoPoint {
+        GeoPoint::new(-22.9056, -47.0608).unwrap()
+    }
+
+    fn sao_paulo() -> GeoPoint {
+        GeoPoint::new(-23.5505, -46.6333).unwrap()
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Campinas ↔ São Paulo ≈ 83 km.
+        let d = campinas().distance_km(&sao_paulo());
+        assert!((d - 83.0).abs() < 5.0, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = campinas();
+        let b = sao_paulo();
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn invalid_points_rejected() {
+        assert!(GeoPoint::new(91.0, 0.0).is_none());
+        assert!(GeoPoint::new(0.0, -181.0).is_none());
+        assert!(GeoPoint::new(f64::INFINITY, 0.0).is_none());
+    }
+
+    #[test]
+    fn centroid_of_cluster_is_inside() {
+        let pts = [campinas(), sao_paulo()];
+        let c = centroid(&pts).unwrap();
+        assert!(c.lat < -22.0 && c.lat > -24.0);
+        assert!(c.lon < -46.0 && c.lon > -48.0);
+        // Roughly equidistant from both.
+        let d1 = c.distance_km(&pts[0]);
+        let d2 = c.distance_km(&pts[1]);
+        assert!((d1 - d2).abs() < 1.0);
+    }
+
+    #[test]
+    fn centroid_empty_is_none() {
+        assert!(centroid(&[]).is_none());
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&mut []), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! Retro-georeferencing: assigning coordinates to records that carry only
+//! textual place fields (stage-1 step-2 of the paper's curation pipeline).
+
+use crate::db::{Gazetteer, LookupResult};
+use crate::geo::GeoPoint;
+use crate::place::Place;
+
+/// Result of georeferencing one record's place fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Georef {
+    /// Coordinates assigned automatically.
+    Resolved {
+        /// Assigned coordinates.
+        point: GeoPoint,
+        /// Positional uncertainty radius in km.
+        uncertainty_km: f64,
+        /// Name of the gazetteer entry used.
+        source: String,
+    },
+    /// Several candidates — needs a human curator.
+    NeedsReview(Vec<String>),
+    /// No gazetteer entry matched any place field.
+    Unresolvable,
+}
+
+/// Georeference from the most specific available field to the least:
+/// locality → city → state → country. Ambiguity at the chosen level is
+/// surfaced for review rather than guessed (the paper's workflow flags
+/// such cases for biologists).
+pub fn georeference(
+    gazetteer: &Gazetteer,
+    country: Option<&str>,
+    state: Option<&str>,
+    city: Option<&str>,
+    locality: Option<&str>,
+) -> Georef {
+    let levels: [(Option<&str>, &str); 4] = [
+        (locality, "locality"),
+        (city, "city"),
+        (state, "state"),
+        (country, "country"),
+    ];
+    for (value, _) in levels {
+        let Some(name) = value else { continue };
+        if name.trim().is_empty() {
+            continue;
+        }
+        match gazetteer.lookup(name, country, state) {
+            LookupResult::Unique(p) => return resolved(p),
+            LookupResult::Ambiguous(hits) => {
+                return Georef::NeedsReview(
+                    hits.iter()
+                        .map(|p| {
+                            format!(
+                                "{} ({:?}, {}{})",
+                                p.name,
+                                p.kind,
+                                p.country,
+                                p.state
+                                    .as_deref()
+                                    .map(|s| format!(", {s}"))
+                                    .unwrap_or_default()
+                            )
+                        })
+                        .collect(),
+                )
+            }
+            LookupResult::NotFound => continue,
+        }
+    }
+    Georef::Unresolvable
+}
+
+fn resolved(p: &Place) -> Georef {
+    Georef::Resolved {
+        point: p.center,
+        uncertainty_km: p.uncertainty_km,
+        source: p.name.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::PlaceKind;
+
+    fn gaz() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.insert(Place::new(
+            "Brazil",
+            PlaceKind::Country,
+            "Brazil",
+            None,
+            None,
+            GeoPoint::new(-10.0, -55.0).unwrap(),
+        ));
+        g.insert(Place::new(
+            "São Paulo",
+            PlaceKind::State,
+            "Brazil",
+            Some("São Paulo"),
+            None,
+            GeoPoint::new(-22.0, -48.0).unwrap(),
+        ));
+        g.insert(Place::new(
+            "Campinas",
+            PlaceKind::City,
+            "Brazil",
+            Some("São Paulo"),
+            None,
+            GeoPoint::new(-22.9056, -47.0608).unwrap(),
+        ));
+        g.insert(Place::new(
+            "Campinas",
+            PlaceKind::City,
+            "Brazil",
+            Some("Goiás"),
+            None,
+            GeoPoint::new(-16.67, -49.27).unwrap(),
+        ));
+        g
+    }
+
+    #[test]
+    fn resolves_from_most_specific_field() {
+        let g = gaz();
+        match georeference(
+            &g,
+            Some("Brazil"),
+            Some("São Paulo"),
+            Some("Campinas"),
+            None,
+        ) {
+            Georef::Resolved {
+                uncertainty_km,
+                source,
+                ..
+            } => {
+                assert_eq!(source, "Campinas");
+                assert_eq!(uncertainty_km, 20.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn falls_back_to_state_when_city_unknown() {
+        let g = gaz();
+        match georeference(
+            &g,
+            Some("Brazil"),
+            Some("São Paulo"),
+            Some("Vila Inexistente"),
+            None,
+        ) {
+            Georef::Resolved {
+                uncertainty_km,
+                source,
+                ..
+            } => {
+                assert_eq!(source, "São Paulo");
+                assert_eq!(uncertainty_km, 300.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguity_needs_review() {
+        let g = gaz();
+        match georeference(&g, Some("Brazil"), None, Some("Campinas"), None) {
+            Georef::NeedsReview(options) => assert_eq!(options.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nothing_matches_unresolvable() {
+        let g = gaz();
+        assert_eq!(
+            georeference(&g, Some("Atlantis"), None, None, None),
+            Georef::Unresolvable
+        );
+        assert_eq!(
+            georeference(&g, None, None, None, None),
+            Georef::Unresolvable
+        );
+    }
+
+    #[test]
+    fn blank_fields_skipped() {
+        let g = gaz();
+        match georeference(&g, Some("Brazil"), Some(""), Some("  "), None) {
+            Georef::Resolved { source, .. } => assert_eq!(source, "Brazil"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

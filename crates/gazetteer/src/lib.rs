@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! `preserva-gazetteer` — the geographic substrate behind two curation
+//! steps of the paper:
+//!
+//! * **stage 1, step 2**: "add geographic coordinates to all metadata
+//!   records (since most recordings had been made before the advent of
+//!   GPS)" — retro-georeferencing locality strings against an
+//!   authoritative place database ([`db::Gazetteer`], [`georef`]);
+//! * **stage 2**: "using spatial analysis to check errors … misidentified
+//!   species" — species range models and spatial outlier detection
+//!   ([`ranges`], [`outlier`]).
+//!
+//! [`geo`] supplies the spherical geometry; [`builder`] ships a synthetic
+//! but realistically-coordinated Brazilian gazetteer.
+
+pub mod builder;
+pub mod db;
+pub mod geo;
+pub mod georef;
+pub mod outlier;
+pub mod place;
+pub mod ranges;
+
+pub use db::Gazetteer;
+pub use geo::GeoPoint;
+pub use place::{Place, PlaceKind};

@@ -1,0 +1,163 @@
+//! Spatial outlier detection — the stage-2 "geographical approach for
+//! metadata quality improvement".
+//!
+//! Two detectors:
+//!
+//! * [`range_outliers`] — observations outside the species' known range
+//!   (when a [`RangeAtlas`] covers the species);
+//! * [`cluster_outliers`] — range-free robust screening: flag points whose
+//!   distance to the species' observation centroid exceeds
+//!   `median + k·MAD` of all such distances (median absolute deviation,
+//!   robust to the outliers being hunted).
+
+use crate::geo::{self, GeoPoint};
+use crate::ranges::RangeAtlas;
+
+/// One flagged observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outlier {
+    /// Index into the input observations slice.
+    pub index: usize,
+    /// Species the observation claims.
+    pub species: String,
+    /// Where it was observed.
+    pub point: GeoPoint,
+    /// How anomalous: km outside range, or km beyond the robust threshold.
+    pub excess_km: f64,
+}
+
+/// Observations of one species against its known range.
+/// `slack_km` tolerates range-edge records.
+pub fn range_outliers(
+    atlas: &RangeAtlas,
+    observations: &[(String, GeoPoint)],
+    slack_km: f64,
+) -> Vec<Outlier> {
+    let mut out = Vec::new();
+    for (i, (species, point)) in observations.iter().enumerate() {
+        if let Some(range) = atlas.get(species) {
+            if !range.contains(point, slack_km) {
+                out.push(Outlier {
+                    index: i,
+                    species: species.clone(),
+                    point: *point,
+                    excess_km: range.excess_km(point),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Robust per-species clustering screen. Species with fewer than
+/// `min_points` observations are skipped (no reliable centroid).
+pub fn cluster_outliers(
+    observations: &[(String, GeoPoint)],
+    k: f64,
+    min_points: usize,
+) -> Vec<Outlier> {
+    use std::collections::BTreeMap;
+    let mut by_species: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, (species, _)) in observations.iter().enumerate() {
+        by_species.entry(species).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for (species, idxs) in by_species {
+        if idxs.len() < min_points {
+            continue;
+        }
+        let pts: Vec<GeoPoint> = idxs.iter().map(|&i| observations[i].1).collect();
+        let Some(center) = geo::centroid(&pts) else {
+            continue;
+        };
+        let dists: Vec<f64> = pts.iter().map(|p| center.distance_km(p)).collect();
+        let mut sorted = dists.clone();
+        let med = geo::median(&mut sorted).expect("non-empty");
+        let mut devs: Vec<f64> = dists.iter().map(|d| (d - med).abs()).collect();
+        let mad = geo::median(&mut devs).expect("non-empty");
+        // Floor the MAD so tight clusters still tolerate a little spread.
+        let threshold = med + k * mad.max(1.0);
+        for (&i, d) in idxs.iter().zip(&dists) {
+            if *d > threshold {
+                out.push(Outlier {
+                    index: i,
+                    species: species.to_string(),
+                    point: observations[i].1,
+                    excess_km: d - threshold,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranges::SpeciesRange;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn obs(species: &str, lat: f64, lon: f64) -> (String, GeoPoint) {
+        (species.to_string(), p(lat, lon))
+    }
+
+    #[test]
+    fn range_outliers_flags_out_of_range() {
+        let mut atlas = RangeAtlas::new();
+        atlas.insert(
+            "Hyla faber",
+            SpeciesRange {
+                center: p(-22.9, -47.0),
+                radius_km: 300.0,
+            },
+        );
+        let observations = vec![
+            obs("Hyla faber", -22.9, -47.1), // inside
+            obs("Hyla faber", 4.6, -74.1),   // Bogotá: far outside
+            obs("Unknown sp", 4.6, -74.1),   // no range known: skipped
+        ];
+        let flagged = range_outliers(&atlas, &observations, 0.0);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].index, 1);
+        assert!(flagged[0].excess_km > 1000.0);
+    }
+
+    #[test]
+    fn cluster_outliers_finds_planted_outlier() {
+        // 9 points near Campinas + 1 in Amazonia.
+        let mut observations: Vec<(String, GeoPoint)> = (0..9)
+            .map(|i| obs("Scinax ruber", -22.9 + 0.01 * i as f64, -47.0))
+            .collect();
+        observations.push(obs("Scinax ruber", -3.1, -60.0)); // Manaus
+        let flagged = cluster_outliers(&observations, 5.0, 5);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].index, 9);
+    }
+
+    #[test]
+    fn tight_cluster_produces_no_outliers() {
+        let observations: Vec<(String, GeoPoint)> = (0..10)
+            .map(|i| obs("Hyla faber", -22.9 + 0.001 * i as f64, -47.0))
+            .collect();
+        assert!(cluster_outliers(&observations, 5.0, 5).is_empty());
+    }
+
+    #[test]
+    fn small_samples_skipped() {
+        let observations = vec![obs("Rare sp", -22.9, -47.0), obs("Rare sp", 10.0, 10.0)];
+        assert!(cluster_outliers(&observations, 5.0, 5).is_empty());
+    }
+
+    #[test]
+    fn multiple_species_screened_independently() {
+        let mut observations: Vec<(String, GeoPoint)> = (0..6)
+            .map(|i| obs("A a", -22.9 + 0.01 * i as f64, -47.0))
+            .collect();
+        observations.extend((0..6).map(|i| obs("B b", -3.1 + 0.01 * i as f64, -60.0)));
+        // Each cluster is fine on its own even though they're 2500 km apart.
+        assert!(cluster_outliers(&observations, 5.0, 5).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Places: named locations with an administrative hierarchy and a
+//! coordinate + uncertainty radius.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geo::GeoPoint;
+
+/// How specific a place is; drives georeferencing uncertainty and
+/// disambiguation ranking (more specific wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PlaceKind {
+    /// A whole country.
+    Country,
+    /// A state / admin-1 region.
+    State,
+    /// A municipality.
+    City,
+    /// Named locality within a city (farm, park, reserve, campus…).
+    Locality,
+}
+
+impl PlaceKind {
+    /// Default georeferencing uncertainty radius for this specificity, km.
+    pub fn default_uncertainty_km(self) -> f64 {
+        match self {
+            PlaceKind::Country => 1500.0,
+            PlaceKind::State => 300.0,
+            PlaceKind::City => 20.0,
+            PlaceKind::Locality => 2.0,
+        }
+    }
+}
+
+/// One gazetteer entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Place {
+    /// Place name as written in metadata.
+    pub name: String,
+    /// Specificity of this entry.
+    pub kind: PlaceKind,
+    /// Country it belongs to.
+    pub country: String,
+    /// Admin-1 (state), when applicable.
+    pub state: Option<String>,
+    /// City, for localities.
+    pub city: Option<String>,
+    /// Representative point.
+    pub center: GeoPoint,
+    /// Positional uncertainty radius in km.
+    pub uncertainty_km: f64,
+}
+
+impl Place {
+    /// Build a place with the kind's default uncertainty.
+    pub fn new(
+        name: &str,
+        kind: PlaceKind,
+        country: &str,
+        state: Option<&str>,
+        city: Option<&str>,
+        center: GeoPoint,
+    ) -> Place {
+        Place {
+            name: name.to_string(),
+            kind,
+            country: country.to_string(),
+            state: state.map(str::to_string),
+            city: city.map(str::to_string),
+            center,
+            uncertainty_km: kind.default_uncertainty_km(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specificity_ordering() {
+        assert!(PlaceKind::Country < PlaceKind::Locality);
+        assert!(PlaceKind::City < PlaceKind::Locality);
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_specificity() {
+        let mut last = f64::INFINITY;
+        for k in [
+            PlaceKind::Country,
+            PlaceKind::State,
+            PlaceKind::City,
+            PlaceKind::Locality,
+        ] {
+            assert!(k.default_uncertainty_km() < last);
+            last = k.default_uncertainty_km();
+        }
+    }
+
+    #[test]
+    fn new_uses_default_uncertainty() {
+        let p = Place::new(
+            "Campinas",
+            PlaceKind::City,
+            "Brazil",
+            Some("São Paulo"),
+            None,
+            GeoPoint::new(-22.9, -47.06).unwrap(),
+        );
+        assert_eq!(p.uncertainty_km, 20.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-species geographic range models.
+//!
+//! Stage-2 curation checks observations against known species ranges; an
+//! observation far outside its species' range suggests a misidentification
+//! (or a genuinely new behaviour — both worth expert review, as the paper
+//! notes "misidentified species and discovery of possible new species'
+//! behavior").
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geo::GeoPoint;
+
+/// A circular range: center + radius. Simple but sufficient for outlier
+/// screening; real ranges are polygons, and the API leaves room to extend.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeciesRange {
+    /// Range centre.
+    pub center: GeoPoint,
+    /// Range radius in km.
+    pub radius_km: f64,
+}
+
+impl SpeciesRange {
+    /// Whether a point falls inside the range (with `slack_km` tolerance).
+    pub fn contains(&self, p: &GeoPoint, slack_km: f64) -> bool {
+        self.center.distance_km(p) <= self.radius_km + slack_km
+    }
+
+    /// How far outside the range a point lies (0 when inside).
+    pub fn excess_km(&self, p: &GeoPoint) -> f64 {
+        (self.center.distance_km(p) - self.radius_km).max(0.0)
+    }
+}
+
+/// Known ranges, keyed by canonical species name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RangeAtlas {
+    ranges: BTreeMap<String, SpeciesRange>,
+}
+
+impl RangeAtlas {
+    /// Create an empty atlas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a species range.
+    pub fn insert(&mut self, species: &str, range: SpeciesRange) {
+        self.ranges.insert(species.to_string(), range);
+    }
+
+    /// Look up a species range.
+    pub fn get(&self, species: &str) -> Option<&SpeciesRange> {
+        self.ranges.get(species)
+    }
+
+    /// Number of species covered.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when no ranges are registered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Fit a range from observed points: centroid + (max distance to
+    /// centroid, floored at `min_radius_km`). Returns `None` for no points.
+    pub fn fit(points: &[GeoPoint], min_radius_km: f64) -> Option<SpeciesRange> {
+        let center = crate::geo::centroid(points)?;
+        let radius = points
+            .iter()
+            .map(|p| center.distance_km(p))
+            .fold(0.0f64, f64::max)
+            .max(min_radius_km);
+        Some(SpeciesRange {
+            center,
+            radius_km: radius,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn contains_and_excess() {
+        let r = SpeciesRange {
+            center: p(-22.9, -47.0),
+            radius_km: 100.0,
+        };
+        assert!(r.contains(&p(-22.9, -47.0), 0.0));
+        assert!(!r.contains(&p(-10.0, -47.0), 0.0)); // ~1400 km away
+        assert_eq!(r.excess_km(&p(-22.9, -47.0)), 0.0);
+        assert!(r.excess_km(&p(-10.0, -47.0)) > 1000.0);
+    }
+
+    #[test]
+    fn slack_extends_range() {
+        let r = SpeciesRange {
+            center: p(0.0, 0.0),
+            radius_km: 10.0,
+        };
+        let q = p(0.0, 0.2); // ~22 km
+        assert!(!r.contains(&q, 0.0));
+        assert!(r.contains(&q, 15.0));
+    }
+
+    #[test]
+    fn fit_covers_all_points() {
+        let pts = [p(-22.9, -47.0), p(-23.5, -46.6), p(-21.2, -47.8)];
+        let r = RangeAtlas::fit(&pts, 5.0).unwrap();
+        for q in &pts {
+            assert!(r.contains(q, 1e-6));
+        }
+    }
+
+    #[test]
+    fn fit_respects_min_radius() {
+        let pts = [p(-22.9, -47.0)];
+        let r = RangeAtlas::fit(&pts, 50.0).unwrap();
+        assert_eq!(r.radius_km, 50.0);
+        assert!(RangeAtlas::fit(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn atlas_crud() {
+        let mut a = RangeAtlas::new();
+        assert!(a.is_empty());
+        a.insert(
+            "Hyla faber",
+            SpeciesRange {
+                center: p(-22.0, -47.0),
+                radius_km: 500.0,
+            },
+        );
+        assert_eq!(a.len(), 1);
+        assert!(a.get("Hyla faber").is_some());
+        assert!(a.get("Missing species").is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the geographic substrate: metric properties of the
+//! haversine distance, range-fit coverage, and outlier-detector sanity.
+
+use proptest::prelude::*;
+
+use preserva_gazetteer::geo::{self, GeoPoint};
+use preserva_gazetteer::outlier;
+use preserva_gazetteer::ranges::RangeAtlas;
+
+fn point_strategy() -> impl Strategy<Value = GeoPoint> {
+    (-60.0f64..15.0, -80.0f64..-35.0)
+        .prop_map(|(lat, lon)| GeoPoint::new(lat, lon).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Haversine: non-negative, symmetric, zero on self, triangle
+    /// inequality (within numerical slack), bounded by half the
+    /// circumference.
+    #[test]
+    fn distance_is_a_metric(a in point_strategy(), b in point_strategy(), c in point_strategy()) {
+        let ab = a.distance_km(&b);
+        let ba = b.distance_km(&a);
+        let ac = a.distance_km(&c);
+        let cb = c.distance_km(&b);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(a.distance_km(&a) < 1e-9);
+        prop_assert!(ab <= ac + cb + 1e-6, "triangle violated: {ab} > {ac} + {cb}");
+        prop_assert!(ab <= std::f64::consts::PI * geo::EARTH_RADIUS_KM + 1.0);
+    }
+
+    /// A fitted range contains every point it was fitted from.
+    #[test]
+    fn fitted_range_covers_points(points in proptest::collection::vec(point_strategy(), 1..30)) {
+        let r = RangeAtlas::fit(&points, 1.0).unwrap();
+        for p in &points {
+            prop_assert!(r.contains(p, 1e-6), "point {p:?} outside fitted range");
+        }
+    }
+
+    /// The centroid of a point cloud is within the cloud's maximal
+    /// pairwise distance of every point.
+    #[test]
+    fn centroid_is_central(points in proptest::collection::vec(point_strategy(), 2..20)) {
+        let c = geo::centroid(&points).unwrap();
+        let max_pair = points
+            .iter()
+            .flat_map(|a| points.iter().map(move |b| a.distance_km(b)))
+            .fold(0.0f64, f64::max);
+        for p in &points {
+            prop_assert!(c.distance_km(p) <= max_pair + 1e-6);
+        }
+    }
+
+    /// The cluster screen never flags anything in a collection whose
+    /// points are all within a tight disc, and flags at most the number
+    /// of planted far-away points when they are few.
+    #[test]
+    fn cluster_screen_sanity(
+        n in 6usize..25,
+        jitter in 0.001f64..0.05,
+        planted in 0usize..3,
+    ) {
+        let mut obs: Vec<(String, GeoPoint)> = (0..n)
+            .map(|i| {
+                (
+                    "Hyla faber".to_string(),
+                    GeoPoint::new(-22.9 + jitter * (i % 5) as f64, -47.0 + jitter * (i % 3) as f64)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        for i in 0..planted {
+            obs.push((
+                "Hyla faber".to_string(),
+                GeoPoint::new(10.0 + i as f64, -70.0).unwrap(), // ~4000 km away
+            ));
+        }
+        let flagged = outlier::cluster_outliers(&obs, 6.0, 5);
+        if planted == 0 {
+            prop_assert!(flagged.is_empty(), "false positives in tight cluster");
+        } else {
+            // All planted points flagged, none of the cluster.
+            prop_assert_eq!(flagged.len(), planted, "flagged {:?}", flagged);
+            for f in &flagged {
+                prop_assert!(f.index >= n);
+            }
+        }
+    }
+
+    /// Median: bounded by min/max and idempotent under duplication.
+    #[test]
+    fn median_properties(mut values in proptest::collection::vec(0.0f64..1e6, 1..40)) {
+        let m = geo::median(&mut values.clone()).unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+        // Duplicating the whole slice keeps the median.
+        let mut doubled: Vec<f64> = values.iter().chain(values.iter()).cloned().collect();
+        let m2 = geo::median(&mut doubled).unwrap();
+        prop_assert!((m - m2).abs() < 1e-9);
+        values.sort_by(f64::total_cmp);
+    }
+}

@@ -1,0 +1,116 @@
+//! Completeness metrics: the fraction of fields actually filled, one of
+//! the classical quality dimensions the Data Quality Manager computes.
+
+use crate::record::Record;
+use crate::schema::Schema;
+
+/// Completeness of one record against a schema: filled fields / declared
+/// fields. Optionally restricted to required fields only.
+pub fn record_completeness(schema: &Schema, record: &Record, required_only: bool) -> f64 {
+    let fields: Vec<&str> = schema
+        .fields()
+        .iter()
+        .filter(|f| !required_only || f.required)
+        .map(|f| f.name.as_str())
+        .collect();
+    if fields.is_empty() {
+        return 1.0;
+    }
+    let filled = fields.iter().filter(|f| record.is_filled(f)).count();
+    filled as f64 / fields.len() as f64
+}
+
+/// Per-field fill rates over a collection, in schema declaration order.
+pub fn field_fill_rates<'a>(schema: &'a Schema, records: &[Record]) -> Vec<(&'a str, f64)> {
+    schema
+        .fields()
+        .iter()
+        .map(|f| {
+            let filled = records.iter().filter(|r| r.is_filled(&f.name)).count();
+            let rate = if records.is_empty() {
+                0.0
+            } else {
+                filled as f64 / records.len() as f64
+            };
+            (f.name.as_str(), rate)
+        })
+        .collect()
+}
+
+/// Mean record completeness over a collection.
+pub fn collection_completeness(schema: &Schema, records: &[Record], required_only: bool) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records
+        .iter()
+        .map(|r| record_completeness(schema, r, required_only))
+        .sum::<f64>()
+        / records.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::Domain;
+    use crate::field::{FieldDef, FieldGroup};
+    use crate::value::{Value, ValueType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                FieldDef::required("a", ValueType::Text, FieldGroup::Other)
+                    .with_domain(Domain::NonEmptyText),
+                FieldDef::required("b", ValueType::Text, FieldGroup::Other),
+                FieldDef::optional("c", ValueType::Text, FieldGroup::Other),
+                FieldDef::optional("d", ValueType::Text, FieldGroup::Other),
+            ],
+        )
+    }
+
+    #[test]
+    fn record_completeness_counts_filled() {
+        let r = Record::new("r")
+            .with("a", Value::Text("x".into()))
+            .with("c", Value::Text("y".into()));
+        assert!((record_completeness(&schema(), &r, false) - 0.5).abs() < 1e-12);
+        assert!((record_completeness(&schema(), &r, true) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blank_text_not_counted() {
+        let r = Record::new("r").with("a", Value::Text("  ".into()));
+        assert_eq!(record_completeness(&schema(), &r, false), 0.0);
+    }
+
+    #[test]
+    fn fill_rates_per_field() {
+        let r1 = Record::new("1").with("a", Value::Text("x".into()));
+        let r2 = Record::new("2")
+            .with("a", Value::Text("x".into()))
+            .with("b", Value::Text("y".into()));
+        let s = schema();
+        let rates = field_fill_rates(&s, &[r1, r2]);
+        assert_eq!(rates[0], ("a", 1.0));
+        assert_eq!(rates[1], ("b", 0.5));
+        assert_eq!(rates[2], ("c", 0.0));
+    }
+
+    #[test]
+    fn collection_completeness_averages() {
+        let r1 = Record::new("1").with("a", Value::Text("x".into())); // 0.25
+        let r2 = Record::new("2") // 1.0
+            .with("a", Value::Text("x".into()))
+            .with("b", Value::Text("x".into()))
+            .with("c", Value::Text("x".into()))
+            .with("d", Value::Text("x".into()));
+        let c = collection_completeness(&schema(), &[r1, r2], false);
+        assert!((c - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_collection_is_zero() {
+        assert_eq!(collection_completeness(&schema(), &[], false), 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Internal-consistency checks — the fourth classic quality dimension the
+//! paper cites ("accuracy, completeness, timeliness and consistency have
+//! been extensively cited as some of the most important quality
+//! dimensions"). Two scopes:
+//!
+//! * **within a record** ([`record_inconsistencies`]): the `genus` field
+//!   must match the binomial's genus; an identification must not be more
+//!   precise than its higher taxonomy allows (species without genus);
+//! * **across records** ([`collection_inconsistencies`]): the same
+//!   binomial must carry the same higher classification everywhere —
+//!   divergence means at least one record is misclassified.
+//!
+//! The counts feed `preserva_quality::attribute_based::AttributeCounts`.
+
+use std::collections::BTreeMap;
+
+use crate::record::Record;
+
+/// One consistency violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inconsistency {
+    /// `genus` field disagrees with the species binomial's genus part.
+    GenusMismatch {
+        /// The offending record.
+        record_id: String,
+        /// Genus stated in the `genus` field.
+        genus_field: String,
+        /// Genus implied by the `species` binomial.
+        binomial_genus: String,
+    },
+    /// A species is identified but a broader rank field is blank.
+    MissingHigherRank {
+        /// The offending record.
+        record_id: String,
+        /// The blank broader field (e.g. `family`).
+        missing: &'static str,
+    },
+    /// Two records assign different higher taxonomy to the same binomial.
+    DivergentClassification {
+        /// The binomial with conflicting classifications.
+        species: String,
+        /// The rank that diverges (e.g. `family`).
+        rank: &'static str,
+        /// The distinct values seen.
+        values: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for Inconsistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inconsistency::GenusMismatch {
+                record_id,
+                genus_field,
+                binomial_genus,
+            } => write!(
+                f,
+                "{record_id}: genus field {genus_field:?} disagrees with binomial genus {binomial_genus:?}"
+            ),
+            Inconsistency::MissingHigherRank { record_id, missing } => {
+                write!(f, "{record_id}: species identified but {missing} is blank")
+            }
+            Inconsistency::DivergentClassification { species, rank, values } => write!(
+                f,
+                "{species}: {rank} diverges across records ({})",
+                values.join(" / ")
+            ),
+        }
+    }
+}
+
+/// First word of a binomial string, normalized to capitalized form.
+fn binomial_genus(species: &str) -> Option<String> {
+    let w = species.split_whitespace().next()?;
+    let mut c = w.chars();
+    let first = c.next()?;
+    if !first.is_alphabetic() {
+        return None;
+    }
+    Some(first.to_uppercase().collect::<String>() + &c.as_str().to_lowercase())
+}
+
+/// Within-record checks.
+pub fn record_inconsistencies(record: &Record) -> Vec<Inconsistency> {
+    let mut out = Vec::new();
+    if let Some(species) = record.get_text("species") {
+        if let Some(bg) = binomial_genus(species) {
+            if let Some(genus) = record.get_text("genus") {
+                if !genus.trim().is_empty() && !genus.trim().eq_ignore_ascii_case(&bg) {
+                    out.push(Inconsistency::GenusMismatch {
+                        record_id: record.id.clone(),
+                        genus_field: genus.trim().to_string(),
+                        binomial_genus: bg,
+                    });
+                }
+            }
+        }
+        if record.is_filled("species") {
+            for rank in ["family", "order", "class", "phylum"] {
+                if !record.is_filled(rank) {
+                    out.push(Inconsistency::MissingHigherRank {
+                        record_id: record.id.clone(),
+                        missing: match rank {
+                            "family" => "family",
+                            "order" => "order",
+                            "class" => "class",
+                            _ => "phylum",
+                        },
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cross-record checks: per-binomial agreement of higher taxonomy.
+pub fn collection_inconsistencies(records: &[Record]) -> Vec<Inconsistency> {
+    let mut out = Vec::new();
+    for rank in ["family", "order", "class", "phylum"] {
+        let mut seen: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for r in records {
+            let (Some(species), Some(value)) = (r.get_text("species"), r.get_text(rank)) else {
+                continue;
+            };
+            let Some(genus) = binomial_genus(species) else {
+                continue;
+            };
+            let key = format!(
+                "{genus} {}",
+                species
+                    .split_whitespace()
+                    .nth(1)
+                    .unwrap_or_default()
+                    .to_lowercase()
+            );
+            if value.trim().is_empty() {
+                continue;
+            }
+            *seen.entry(key).or_default().entry(value.trim().to_string()).or_insert(0) += 1;
+        }
+        for (species, values) in seen {
+            if values.len() > 1 {
+                out.push(Inconsistency::DivergentClassification {
+                    species,
+                    rank: match rank {
+                        "family" => "family",
+                        "order" => "order",
+                        "class" => "class",
+                        _ => "phylum",
+                    },
+                    values: values.into_keys().collect(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `(consistent_records, checked_records)` for the attribute-based
+/// baseline: a record is consistent when it has no within-record
+/// violations. Only records with a species are checked.
+pub fn consistency_counts(records: &[Record]) -> (usize, usize) {
+    let mut checked = 0;
+    let mut consistent = 0;
+    for r in records {
+        if r.is_filled("species") {
+            checked += 1;
+            if record_inconsistencies(r).is_empty() {
+                consistent += 1;
+            }
+        }
+    }
+    (consistent, checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn full_record(id: &str, species: &str, genus: &str, family: &str) -> Record {
+        Record::new(id)
+            .with("species", Value::Text(species.into()))
+            .with("genus", Value::Text(genus.into()))
+            .with("family", Value::Text(family.into()))
+            .with("order", Value::Text("Anura".into()))
+            .with("class", Value::Text("Amphibia".into()))
+            .with("phylum", Value::Text("Chordata".into()))
+    }
+
+    #[test]
+    fn consistent_record_is_clean() {
+        let r = full_record("r1", "Hyla faber", "Hyla", "Hylidae");
+        assert!(record_inconsistencies(&r).is_empty());
+    }
+
+    #[test]
+    fn genus_mismatch_detected() {
+        let r = full_record("r1", "Hyla faber", "Scinax", "Hylidae");
+        let v = record_inconsistencies(&r);
+        assert!(matches!(v[0], Inconsistency::GenusMismatch { .. }));
+    }
+
+    #[test]
+    fn genus_comparison_is_case_insensitive() {
+        let r = full_record("r1", "hyla faber", "HYLA", "Hylidae");
+        assert!(record_inconsistencies(&r).is_empty());
+    }
+
+    #[test]
+    fn missing_higher_ranks_detected() {
+        let r = Record::new("r1").with("species", Value::Text("Hyla faber".into()));
+        let v = record_inconsistencies(&r);
+        assert_eq!(v.len(), 4); // family, order, class, phylum all blank
+        assert!(v
+            .iter()
+            .all(|x| matches!(x, Inconsistency::MissingHigherRank { .. })));
+    }
+
+    #[test]
+    fn divergent_classification_detected() {
+        let records = vec![
+            full_record("r1", "Hyla faber", "Hyla", "Hylidae"),
+            full_record("r2", "Hyla faber", "Hyla", "Leptodactylidae"), // misfiled
+            full_record("r3", "Scinax ruber", "Scinax", "Hylidae"),
+        ];
+        let v = collection_inconsistencies(&records);
+        assert_eq!(v.len(), 1);
+        match &v[0] {
+            Inconsistency::DivergentClassification { species, rank, values } => {
+                assert_eq!(species, "Hyla faber");
+                assert_eq!(*rank, "family");
+                assert_eq!(values.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agreement_across_records_is_clean() {
+        let records = vec![
+            full_record("r1", "Hyla faber", "Hyla", "Hylidae"),
+            full_record("r2", "Hyla faber", "Hyla", "Hylidae"),
+        ];
+        assert!(collection_inconsistencies(&records).is_empty());
+    }
+
+    #[test]
+    fn counts_feed_attribute_baseline() {
+        let records = vec![
+            full_record("r1", "Hyla faber", "Hyla", "Hylidae"),
+            full_record("r2", "Hyla faber", "Scinax", "Hylidae"), // mismatch
+            Record::new("r3"),                                    // no species: unchecked
+        ];
+        let (consistent, checked) = consistency_counts(&records);
+        assert_eq!((consistent, checked), (1, 2));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let r = full_record("r1", "Hyla faber", "Scinax", "Hylidae");
+        let v = record_inconsistencies(&r);
+        let msg = v[0].to_string();
+        assert!(msg.contains("r1") && msg.contains("Scinax") && msg.contains("Hyla"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Field domain constraints — the checks behind "basic metadata cleaning
+//! algorithms, e.g., checking attribute domains" (paper §IV-B stage 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{Value, ValueType};
+use crate::vocab::Vocabulary;
+
+/// A constraint on the values a field may take (beyond its type).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Domain {
+    /// Any value of the declared type.
+    Any,
+    /// Numeric value within `[min, max]`.
+    NumericRange {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// Integer count at least `min` (e.g. number of individuals ≥ 1).
+    MinCount {
+        /// Smallest acceptable count.
+        min: i64,
+    },
+    /// Text drawn from a controlled vocabulary.
+    Controlled(Vocabulary),
+    /// Non-empty text after trimming.
+    NonEmptyText,
+    /// Year bounded to a plausible recording era.
+    YearRange {
+        /// Earliest acceptable year.
+        min: i32,
+        /// Latest acceptable year.
+        max: i32,
+    },
+}
+
+/// Why a value violated its domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DomainViolation {
+    /// Value has the wrong type for the domain.
+    WrongType {
+        /// Type the domain requires.
+        expected: ValueType,
+        /// Type the value actually has.
+        got: ValueType,
+    },
+    /// Numeric value outside its range.
+    OutOfRange {
+        /// Offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// Count below the required minimum.
+    BelowMinCount {
+        /// Offending count.
+        value: i64,
+        /// Smallest acceptable count.
+        min: i64,
+    },
+    /// Text not found in the controlled vocabulary.
+    NotInVocabulary {
+        /// Offending text.
+        value: String,
+        /// Name of the vocabulary consulted.
+        vocabulary: String,
+    },
+    /// Text was blank after trimming.
+    EmptyText,
+    /// Date's year outside the plausible era.
+    YearOutOfRange {
+        /// Offending year.
+        year: i32,
+        /// Earliest acceptable year.
+        min: i32,
+        /// Latest acceptable year.
+        max: i32,
+    },
+}
+
+impl std::fmt::Display for DomainViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainViolation::WrongType { expected, got } => {
+                write!(f, "expected {expected:?}, got {got:?}")
+            }
+            DomainViolation::OutOfRange { value, min, max } => {
+                write!(f, "value {value} outside [{min}, {max}]")
+            }
+            DomainViolation::BelowMinCount { value, min } => {
+                write!(f, "count {value} below minimum {min}")
+            }
+            DomainViolation::NotInVocabulary { value, vocabulary } => {
+                write!(f, "{value:?} not in vocabulary {vocabulary:?}")
+            }
+            DomainViolation::EmptyText => f.write_str("empty text"),
+            DomainViolation::YearOutOfRange { year, min, max } => {
+                write!(f, "year {year} outside [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl Domain {
+    /// Check `value` against this domain (type errors are reported by the
+    /// schema layer before this is called, but numeric domains re-check).
+    pub fn check(&self, value: &Value) -> Result<(), DomainViolation> {
+        match self {
+            Domain::Any => Ok(()),
+            Domain::NumericRange { min, max } => {
+                let v = value.as_f64().ok_or(DomainViolation::WrongType {
+                    expected: ValueType::Float,
+                    got: value.value_type(),
+                })?;
+                if v < *min || v > *max {
+                    Err(DomainViolation::OutOfRange {
+                        value: v,
+                        min: *min,
+                        max: *max,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Domain::MinCount { min } => match value {
+                Value::Integer(i) if i >= min => Ok(()),
+                Value::Integer(i) => Err(DomainViolation::BelowMinCount {
+                    value: *i,
+                    min: *min,
+                }),
+                other => Err(DomainViolation::WrongType {
+                    expected: ValueType::Integer,
+                    got: other.value_type(),
+                }),
+            },
+            Domain::Controlled(vocab) => match value {
+                Value::Text(s) if vocab.contains(s) => Ok(()),
+                Value::Text(s) => Err(DomainViolation::NotInVocabulary {
+                    value: s.clone(),
+                    vocabulary: vocab.name.clone(),
+                }),
+                other => Err(DomainViolation::WrongType {
+                    expected: ValueType::Text,
+                    got: other.value_type(),
+                }),
+            },
+            Domain::NonEmptyText => match value {
+                Value::Text(s) if !s.trim().is_empty() => Ok(()),
+                Value::Text(_) => Err(DomainViolation::EmptyText),
+                other => Err(DomainViolation::WrongType {
+                    expected: ValueType::Text,
+                    got: other.value_type(),
+                }),
+            },
+            Domain::YearRange { min, max } => match value {
+                Value::Date(d) if d.year >= *min && d.year <= *max => Ok(()),
+                Value::Date(d) => Err(DomainViolation::YearOutOfRange {
+                    year: d.year,
+                    min: *min,
+                    max: *max,
+                }),
+                other => Err(DomainViolation::WrongType {
+                    expected: ValueType::Date,
+                    got: other.value_type(),
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Date;
+    use crate::vocab;
+
+    #[test]
+    fn numeric_range_checks_bounds() {
+        let d = Domain::NumericRange {
+            min: -10.0,
+            max: 50.0,
+        }; // air temp °C
+        assert!(d.check(&Value::Float(25.0)).is_ok());
+        assert!(d.check(&Value::Integer(-10)).is_ok());
+        assert!(matches!(
+            d.check(&Value::Float(60.0)),
+            Err(DomainViolation::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.check(&Value::Text("hot".into())),
+            Err(DomainViolation::WrongType { .. })
+        ));
+    }
+
+    #[test]
+    fn min_count_checks() {
+        let d = Domain::MinCount { min: 1 };
+        assert!(d.check(&Value::Integer(3)).is_ok());
+        assert!(matches!(
+            d.check(&Value::Integer(0)),
+            Err(DomainViolation::BelowMinCount { .. })
+        ));
+    }
+
+    #[test]
+    fn controlled_vocabulary_checks() {
+        let d = Domain::Controlled(vocab::habitats());
+        assert!(d.check(&Value::Text("forest".into())).is_ok());
+        assert!(d.check(&Value::Text("cerrado".into())).is_ok()); // alias
+        assert!(matches!(
+            d.check(&Value::Text("moon".into())),
+            Err(DomainViolation::NotInVocabulary { .. })
+        ));
+    }
+
+    #[test]
+    fn non_empty_text_checks() {
+        let d = Domain::NonEmptyText;
+        assert!(d.check(&Value::Text("Hyla".into())).is_ok());
+        assert_eq!(
+            d.check(&Value::Text("   ".into())),
+            Err(DomainViolation::EmptyText)
+        );
+    }
+
+    #[test]
+    fn year_range_checks() {
+        let d = Domain::YearRange {
+            min: 1950,
+            max: 2014,
+        };
+        assert!(d
+            .check(&Value::Date(Date::new(1961, 5, 1).unwrap()))
+            .is_ok());
+        assert!(matches!(
+            d.check(&Value::Date(Date::new(1920, 5, 1).unwrap())),
+            Err(DomainViolation::YearOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn any_accepts_everything() {
+        assert!(Domain::Any.check(&Value::Boolean(true)).is_ok());
+        assert!(Domain::Any.check(&Value::Text(String::new())).is_ok());
+    }
+}

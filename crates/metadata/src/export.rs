@@ -1,0 +1,194 @@
+//! Tabular export of observation records — the interchange surface
+//! collections actually publish (the FNJV web site serves its metadata as
+//! tables; aggregators ingest CSV mapped to Darwin Core terms).
+//!
+//! [`to_csv`] writes RFC-4180 CSV with a caller-chosen column set;
+//! [`DWC_MAPPING`] maps FNJV field names onto Darwin Core terms so
+//! exports can feed biodiversity aggregators.
+
+use crate::record::Record;
+use crate::schema::Schema;
+
+/// FNJV field → Darwin Core term, for the fields Darwin Core covers.
+pub const DWC_MAPPING: &[(&str, &str)] = &[
+    ("phylum", "dwc:phylum"),
+    ("class", "dwc:class"),
+    ("order", "dwc:order"),
+    ("family", "dwc:family"),
+    ("genus", "dwc:genus"),
+    ("species", "dwc:scientificName"),
+    ("gender", "dwc:sex"),
+    ("number_of_individuals", "dwc:individualCount"),
+    ("collect_date", "dwc:eventDate"),
+    ("collect_time", "dwc:eventTime"),
+    ("country", "dwc:country"),
+    ("state", "dwc:stateProvince"),
+    ("city", "dwc:municipality"),
+    ("location", "dwc:locality"),
+    ("habitat", "dwc:habitat"),
+    ("coordinates", "dwc:decimalLatitude+decimalLongitude"),
+    (
+        "coordinate_uncertainty_m",
+        "dwc:coordinateUncertaintyInMeters",
+    ),
+    ("recordist", "dwc:recordedBy"),
+    ("identified_by", "dwc:identifiedBy"),
+];
+
+/// The Darwin Core term for an FNJV field, when one exists.
+pub fn dwc_term(field: &str) -> Option<&'static str> {
+    DWC_MAPPING
+        .iter()
+        .find(|(f, _)| *f == field)
+        .map(|(_, t)| *t)
+}
+
+/// RFC-4180 escaping: quote when the cell contains comma, quote or
+/// newline; double embedded quotes.
+fn escape_csv(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Export records as CSV. The first column is always the record id;
+/// `columns` picks and orders the rest. Missing fields render empty.
+pub fn to_csv(records: &[Record], columns: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str("id");
+    for c in columns {
+        out.push(',');
+        out.push_str(&escape_csv(c));
+    }
+    out.push('\n');
+    for r in records {
+        out.push_str(&escape_csv(&r.id));
+        for c in columns {
+            out.push(',');
+            let cell = r.get(c).map(|v| v.to_string()).unwrap_or_default();
+            out.push_str(&escape_csv(&cell));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Export with every schema field as a column, in declaration order.
+pub fn to_csv_full(records: &[Record], schema: &Schema) -> String {
+    let columns: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
+    to_csv(records, &columns)
+}
+
+/// Parse a CSV produced by [`to_csv`] back into `(header, rows)` of plain
+/// strings (round-trip fidelity check; typed re-ingestion goes through
+/// the curation pipeline like any legacy import).
+pub fn parse_csv(input: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                other => cell.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut cell));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {}
+                other => cell.push(other),
+            }
+        }
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Coordinates, Date, Value};
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record::new("FNJV-1")
+                .with("species", Value::Text("Hyla faber".into()))
+                .with(
+                    "location",
+                    Value::Text("Fazenda \"Santa Genebra\", km 2".into()),
+                )
+                .with("collect_date", Value::Date(Date::new(1982, 3, 15).unwrap()))
+                .with(
+                    "coordinates",
+                    Value::Coordinates(Coordinates::new(-22.9, -47.06).unwrap()),
+                ),
+            Record::new("FNJV-2").with("species", Value::Text("Scinax ruber".into())),
+        ]
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&records(), &["species", "collect_date"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "id,species,collect_date");
+        assert_eq!(lines[1], "FNJV-1,Hyla faber,1982-03-15");
+        assert_eq!(lines[2], "FNJV-2,Scinax ruber,");
+    }
+
+    #[test]
+    fn embedded_commas_and_quotes_escaped() {
+        let csv = to_csv(&records(), &["location", "coordinates"]);
+        assert!(csv.contains("\"Fazenda \"\"Santa Genebra\"\", km 2\""));
+        // Coordinates render as "lat,lon" → must be quoted.
+        assert!(csv.contains("\"-22.90000,-47.06000\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_cells() {
+        let csv = to_csv(&records(), &["species", "location", "coordinates"]);
+        let rows = parse_csv(&csv);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec!["id", "species", "location", "coordinates"]);
+        assert_eq!(rows[1][2], "Fazenda \"Santa Genebra\", km 2");
+        assert_eq!(rows[1][3], "-22.90000,-47.06000");
+        assert_eq!(rows[2][1], "Scinax ruber");
+    }
+
+    #[test]
+    fn full_export_covers_all_51_fields() {
+        let schema = crate::fnjv::schema();
+        let csv = to_csv_full(&records(), &schema);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header.split(',').count(), 52); // id + 51 fields
+    }
+
+    #[test]
+    fn dwc_terms_resolve() {
+        assert_eq!(dwc_term("species"), Some("dwc:scientificName"));
+        assert_eq!(dwc_term("state"), Some("dwc:stateProvince"));
+        assert_eq!(dwc_term("frequency_khz"), None); // no DwC term for it
+                                                     // Every mapped field exists in the FNJV schema.
+        let schema = crate::fnjv::schema();
+        for (field, _) in DWC_MAPPING {
+            assert!(schema.field(field).is_some(), "unknown field {field}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Field definitions: name, type, domain, requiredness and the Table II
+//! grouping (what / when-where / how).
+
+use serde::{Deserialize, Serialize};
+
+use crate::domains::Domain;
+use crate::value::ValueType;
+
+/// The three rows of Table II, plus "Other" for the remaining 29 fields of
+/// the full 51-field FNJV schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldGroup {
+    /// Row 1 — what was observed (taxonomy, gender, count).
+    Identification,
+    /// Row 2 — when, where, and environment.
+    ObservationConditions,
+    /// Row 3 — how the recording was made (devices, format).
+    RecordingFeatures,
+    /// Not listed in Table II.
+    Other,
+}
+
+impl FieldGroup {
+    /// The paper's description of the group.
+    pub fn description(self) -> &'static str {
+        match self {
+            FieldGroup::Identification => "information to identify the recorded species",
+            FieldGroup::ObservationConditions => {
+                "observation conditions: when, where and the environment"
+            }
+            FieldGroup::RecordingFeatures => "recording features and devices used",
+            FieldGroup::Other => "additional collection-management fields",
+        }
+    }
+}
+
+/// Definition of one metadata field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Field name (snake_case).
+    pub name: String,
+    /// Declared value type.
+    pub value_type: ValueType,
+    /// Domain constraint beyond the type.
+    pub domain: Domain,
+    /// Required fields count against completeness when blank.
+    pub required: bool,
+    /// Table II grouping.
+    pub group: FieldGroup,
+    /// Whether the field appears in the paper's Table II subset.
+    pub in_table2: bool,
+}
+
+impl FieldDef {
+    /// A required field with `Domain::Any`.
+    pub fn required(name: &str, value_type: ValueType, group: FieldGroup) -> Self {
+        FieldDef {
+            name: name.to_string(),
+            value_type,
+            domain: Domain::Any,
+            required: true,
+            group,
+            in_table2: false,
+        }
+    }
+
+    /// An optional field with `Domain::Any`.
+    pub fn optional(name: &str, value_type: ValueType, group: FieldGroup) -> Self {
+        FieldDef {
+            required: false,
+            ..FieldDef::required(name, value_type, group)
+        }
+    }
+
+    /// Attach a domain constraint (builder style).
+    pub fn with_domain(mut self, domain: Domain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Mark as part of Table II (builder style).
+    pub fn table2(mut self) -> Self {
+        self.in_table2 = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_flags() {
+        let f = FieldDef::required("species", ValueType::Text, FieldGroup::Identification)
+            .with_domain(Domain::NonEmptyText)
+            .table2();
+        assert!(f.required);
+        assert!(f.in_table2);
+        assert!(matches!(f.domain, Domain::NonEmptyText));
+        let o = FieldDef::optional("notes", ValueType::Text, FieldGroup::Other);
+        assert!(!o.required);
+        assert!(!o.in_table2);
+    }
+
+    #[test]
+    fn group_descriptions_exist() {
+        for g in [
+            FieldGroup::Identification,
+            FieldGroup::ObservationConditions,
+            FieldGroup::RecordingFeatures,
+            FieldGroup::Other,
+        ] {
+            assert!(!g.description().is_empty());
+        }
+    }
+}

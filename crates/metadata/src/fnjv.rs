@@ -1,0 +1,281 @@
+//! The FNJV collection schema.
+//!
+//! The paper reports 51 metadata fields and lists 22 in Table II across
+//! three groups. We declare all 51: the 22 published ones exactly as in
+//! the table (Table II lists "Microphone model" twice; we keep one and add
+//! "Microphone serial number", the duplicate's most likely referent), plus
+//! 29 collection-management fields reconstructed from the FNJV web site's
+//! public record layout and Darwin Core conventions.
+
+use crate::domains::Domain;
+use crate::field::{FieldDef, FieldGroup};
+use crate::schema::Schema;
+use crate::value::ValueType;
+use crate::vocab;
+
+/// Names of the Table II row-1 fields (identification).
+pub const IDENTIFICATION_FIELDS: [&str; 8] = [
+    "phylum",
+    "class",
+    "order",
+    "family",
+    "genus",
+    "species",
+    "gender",
+    "number_of_individuals",
+];
+
+/// Names of the Table II row-2 fields (observation conditions).
+pub const CONDITION_FIELDS: [&str; 10] = [
+    "collect_time",
+    "collect_date",
+    "country",
+    "state",
+    "city",
+    "location",
+    "habitat",
+    "micro_habitat",
+    "air_temperature_c",
+    "atmospheric_conditions",
+];
+
+/// Names of the Table II row-3 fields (recording features).
+pub const RECORDING_FIELDS: [&str; 5] = [
+    "recording_device",
+    "microphone_model",
+    "microphone_serial",
+    "sound_file_format",
+    "frequency_khz",
+];
+
+/// Build the full 51-field FNJV schema.
+pub fn schema() -> Schema {
+    use FieldGroup::*;
+    use ValueType::*;
+
+    let mut fields: Vec<FieldDef> = Vec::with_capacity(51);
+
+    // --- Row 1: identification (8 fields, all in Table II) ---
+    for name in ["phylum", "class", "order", "family", "genus", "species"] {
+        fields.push(
+            FieldDef::required(name, Text, Identification)
+                .with_domain(Domain::NonEmptyText)
+                .table2(),
+        );
+    }
+    fields.push(FieldDef::optional("gender", Text, Identification).table2());
+    fields.push(
+        FieldDef::optional("number_of_individuals", Integer, Identification)
+            .with_domain(Domain::MinCount { min: 1 })
+            .table2(),
+    );
+
+    // --- Row 2: observation conditions (10 fields, all in Table II) ---
+    fields.push(FieldDef::optional("collect_time", Time, ObservationConditions).table2());
+    fields.push(
+        FieldDef::required("collect_date", Date, ObservationConditions)
+            .with_domain(Domain::YearRange {
+                min: 1950,
+                max: 2014,
+            })
+            .table2(),
+    );
+    fields.push(
+        FieldDef::required("country", Text, ObservationConditions)
+            .with_domain(Domain::NonEmptyText)
+            .table2(),
+    );
+    fields.push(FieldDef::optional("state", Text, ObservationConditions).table2());
+    fields.push(FieldDef::optional("city", Text, ObservationConditions).table2());
+    fields.push(FieldDef::optional("location", Text, ObservationConditions).table2());
+    fields.push(
+        FieldDef::optional("habitat", Text, ObservationConditions)
+            .with_domain(Domain::Controlled(vocab::habitats()))
+            .table2(),
+    );
+    fields.push(FieldDef::optional("micro_habitat", Text, ObservationConditions).table2());
+    fields.push(
+        FieldDef::optional("air_temperature_c", Float, ObservationConditions)
+            .with_domain(Domain::NumericRange {
+                min: -10.0,
+                max: 50.0,
+            })
+            .table2(),
+    );
+    fields.push(
+        FieldDef::optional("atmospheric_conditions", Text, ObservationConditions)
+            .with_domain(Domain::Controlled(vocab::atmospheric_conditions()))
+            .table2(),
+    );
+
+    // --- Row 3: recording features (5 fields in Table II after the
+    //     duplicate is folded) ---
+    fields.push(FieldDef::optional("recording_device", Text, RecordingFeatures).table2());
+    fields.push(FieldDef::optional("microphone_model", Text, RecordingFeatures).table2());
+    // Table II prints "Microphone model" twice; the duplicate is folded, so
+    // the serial-number stand-in is NOT part of the published 22.
+    fields.push(FieldDef::optional(
+        "microphone_serial",
+        Text,
+        RecordingFeatures,
+    ));
+    fields.push(
+        FieldDef::optional("sound_file_format", Text, RecordingFeatures)
+            .with_domain(Domain::Controlled(vocab::sound_formats()))
+            .table2(),
+    );
+    fields.push(
+        FieldDef::optional("frequency_khz", Float, RecordingFeatures).with_domain(
+            Domain::NumericRange {
+                min: 0.1,
+                max: 400.0,
+            },
+        ),
+    );
+    // Table II lists "Frequency (kHz)":
+    if let Some(f) = fields.last_mut() {
+        f.in_table2 = true;
+    }
+
+    // --- The remaining 28 collection-management fields (not in Table II) ---
+    let other_text: [&str; 20] = [
+        "recordist",
+        "recordist_institution",
+        "collection_code",
+        "catalog_status",
+        "original_media",
+        "digitization_operator",
+        "tape_number",
+        "track_number",
+        "vocalization_type",
+        "identification_confidence",
+        "identified_by",
+        "subspecies",
+        "common_name",
+        "life_stage",
+        "behaviour_notes",
+        "equipment_notes",
+        "copyright_holder",
+        "usage_restrictions",
+        "related_publications",
+        "remarks",
+    ];
+    for name in other_text {
+        fields.push(FieldDef::optional(name, Text, Other));
+    }
+    fields.push(FieldDef::optional("digitization_date", Date, Other));
+    fields.push(FieldDef::optional("metadata_entry_date", Date, Other));
+    fields.push(
+        FieldDef::optional("recording_duration_s", Float, Other).with_domain(
+            Domain::NumericRange {
+                min: 0.0,
+                max: 36_000.0,
+            },
+        ),
+    );
+    fields.push(
+        FieldDef::optional("sample_rate_hz", Integer, Other).with_domain(Domain::NumericRange {
+            min: 8_000.0,
+            max: 384_000.0,
+        }),
+    );
+    fields.push(FieldDef::optional("bit_depth", Integer, Other).with_domain(
+        Domain::NumericRange {
+            min: 8.0,
+            max: 32.0,
+        },
+    ));
+    fields.push(
+        FieldDef::optional("channels", Integer, Other)
+            .with_domain(Domain::NumericRange { min: 1.0, max: 8.0 }),
+    );
+    fields.push(FieldDef::optional("coordinates", Coordinates, Other));
+    fields.push(
+        FieldDef::optional("coordinate_uncertainty_m", Float, Other).with_domain(
+            Domain::NumericRange {
+                min: 0.0,
+                max: 1_000_000.0,
+            },
+        ),
+    );
+
+    Schema::new("fnjv", fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::value::{Date as D, Value};
+
+    #[test]
+    fn schema_has_51_fields() {
+        assert_eq!(schema().len(), 51);
+    }
+
+    #[test]
+    fn table2_subset_has_22_fields() {
+        let n = schema().fields().iter().filter(|f| f.in_table2).count();
+        assert_eq!(n, 22);
+    }
+
+    #[test]
+    fn table2_groups_match_paper_rows() {
+        let s = schema();
+        let row1 = s
+            .fields()
+            .iter()
+            .filter(|f| f.in_table2 && f.group == FieldGroup::Identification)
+            .count();
+        let row2 = s
+            .fields()
+            .iter()
+            .filter(|f| f.in_table2 && f.group == FieldGroup::ObservationConditions)
+            .count();
+        let row3 = s
+            .fields()
+            .iter()
+            .filter(|f| f.in_table2 && f.group == FieldGroup::RecordingFeatures)
+            .count();
+        // Row 3 lists 5 entries but "Microphone model" twice → 4 distinct.
+        assert_eq!((row1, row2, row3), (8, 10, 4));
+        assert_eq!(row1 + row2 + row3, 22);
+    }
+
+    #[test]
+    fn declared_field_lists_exist_in_schema() {
+        let s = schema();
+        for name in IDENTIFICATION_FIELDS
+            .iter()
+            .chain(CONDITION_FIELDS.iter())
+            .chain(RECORDING_FIELDS.iter())
+        {
+            assert!(s.field(name).is_some(), "missing field {name}");
+        }
+    }
+
+    #[test]
+    fn realistic_record_validates() {
+        let r = Record::new("FNJV-000001")
+            .with("phylum", Value::Text("Chordata".into()))
+            .with("class", Value::Text("Amphibia".into()))
+            .with("order", Value::Text("Anura".into()))
+            .with("family", Value::Text("Hylidae".into()))
+            .with("genus", Value::Text("Scinax".into()))
+            .with("species", Value::Text("Scinax fuscomarginatus".into()))
+            .with("collect_date", Value::Date(D::new(1978, 11, 3).unwrap()))
+            .with("country", Value::Text("Brazil".into()))
+            .with("habitat", Value::Text("Forest".into()));
+        assert!(schema().validate(&r).is_empty());
+    }
+
+    #[test]
+    fn pre_1950_date_violates_domain() {
+        let r = Record::new("r").with("collect_date", Value::Date(D::new(1900, 1, 1).unwrap()));
+        let v = schema().validate(&r);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            crate::schema::SchemaViolation::Domain { field, .. } if field == "collect_date"
+        )));
+    }
+}

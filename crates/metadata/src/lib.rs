@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! `preserva-metadata` — the observation-metadata model underlying the
+//! FNJV animal sound collection (paper §II-C, Table II).
+//!
+//! An *observation record* asserts that an entity was observed and a set of
+//! measurements recorded. Records here are typed field maps validated
+//! against a [`schema::Schema`]; the 51-field FNJV schema (of which the
+//! paper lists 22 in Table II) ships in [`fnjv`].
+//!
+//! The crate also provides what "basic metadata cleaning" needs:
+//! domain constraints ([`domains`]), controlled vocabularies ([`vocab`]),
+//! parsers for the heterogeneous legacy date / coordinate formats found in
+//! collections dating to the 1960s ([`parse`]), and completeness metrics
+//! ([`completeness`]).
+
+pub mod completeness;
+pub mod consistency;
+pub mod domains;
+pub mod export;
+pub mod field;
+pub mod fnjv;
+pub mod parse;
+pub mod query;
+pub mod record;
+pub mod schema;
+pub mod value;
+pub mod vocab;
+
+pub use field::{FieldDef, FieldGroup};
+pub use record::Record;
+pub use schema::Schema;
+pub use value::{Date, Value};

@@ -1,0 +1,292 @@
+//! Parsers for the heterogeneous legacy formats found in collections whose
+//! core dates to the 1960s: dates written four different ways (including
+//! the zoologists' roman-numeral month convention) and coordinates in
+//! decimal or degree-minute-second notation.
+
+use crate::value::{Coordinates, Date, TimeOfDay};
+
+const MONTH_NAMES: [&str; 12] = [
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+];
+
+fn roman_month(s: &str) -> Option<u8> {
+    let m = match s.to_ascii_uppercase().as_str() {
+        "I" => 1,
+        "II" => 2,
+        "III" => 3,
+        "IV" => 4,
+        "V" => 5,
+        "VI" => 6,
+        "VII" => 7,
+        "VIII" => 8,
+        "IX" => 9,
+        "X" => 10,
+        "XI" => 11,
+        "XII" => 12,
+        _ => return None,
+    };
+    Some(m)
+}
+
+fn name_month(s: &str) -> Option<u8> {
+    let lower = s.to_lowercase();
+    MONTH_NAMES
+        .iter()
+        .position(|m| *m == lower || m.starts_with(&lower) && lower.len() >= 3)
+        .map(|i| i as u8 + 1)
+}
+
+/// Parse a date written in any of the formats observed in legacy metadata:
+///
+/// * ISO: `1982-03-15`
+/// * day-first slashes (Brazilian convention): `15/03/1982`
+/// * roman-numeral month: `15.III.1982` or `15-III-1982`
+/// * month name: `March 15, 1982` or `15 March 1982`
+pub fn parse_date(input: &str) -> Option<Date> {
+    let s = input.trim();
+    if s.is_empty() {
+        return None;
+    }
+
+    // ISO yyyy-mm-dd
+    let iso: Vec<&str> = s.split('-').collect();
+    if iso.len() == 3 {
+        if let (Ok(y), Ok(m), Ok(d)) = (
+            iso[0].parse::<i32>(),
+            iso[1].parse::<u8>(),
+            iso[2].parse::<u8>(),
+        ) {
+            if iso[0].len() == 4 {
+                return Date::new(y, m, d);
+            }
+        }
+        // 15-III-1982
+        if let (Ok(d), Some(m), Ok(y)) = (
+            iso[0].parse::<u8>(),
+            roman_month(iso[1]),
+            iso[2].parse::<i32>(),
+        ) {
+            return Date::new(y, m, d);
+        }
+    }
+
+    // dd/mm/yyyy
+    let slash: Vec<&str> = s.split('/').collect();
+    if slash.len() == 3 {
+        if let (Ok(d), Ok(m), Ok(y)) = (
+            slash[0].parse::<u8>(),
+            slash[1].parse::<u8>(),
+            slash[2].parse::<i32>(),
+        ) {
+            return Date::new(y, m, d);
+        }
+    }
+
+    // dd.III.yyyy
+    let dots: Vec<&str> = s.split('.').collect();
+    if dots.len() == 3 {
+        if let (Ok(d), Some(m), Ok(y)) = (
+            dots[0].parse::<u8>(),
+            roman_month(dots[1]),
+            dots[2].parse::<i32>(),
+        ) {
+            return Date::new(y, m, d);
+        }
+    }
+
+    // "March 15, 1982" / "15 March 1982"
+    let words: Vec<&str> = s.split([' ', ',']).filter(|w| !w.is_empty()).collect();
+    if words.len() == 3 {
+        if let Some(m) = name_month(words[0]) {
+            if let (Ok(d), Ok(y)) = (words[1].parse::<u8>(), words[2].parse::<i32>()) {
+                return Date::new(y, m, d);
+            }
+        }
+        if let Some(m) = name_month(words[1]) {
+            if let (Ok(d), Ok(y)) = (words[0].parse::<u8>(), words[2].parse::<i32>()) {
+                return Date::new(y, m, d);
+            }
+        }
+    }
+
+    None
+}
+
+/// Parse a time of day: `07:45`, `7:45`, `0745`, `7h45`.
+pub fn parse_time(input: &str) -> Option<TimeOfDay> {
+    let s = input.trim();
+    for sep in [':', 'h'] {
+        if let Some((h, m)) = s.split_once(sep) {
+            if let (Ok(h), Ok(m)) = (h.trim().parse::<u8>(), m.trim().parse::<u8>()) {
+                return TimeOfDay::new(h, m);
+            }
+        }
+    }
+    if s.len() == 4 && s.chars().all(|c| c.is_ascii_digit()) {
+        let h = s[..2].parse::<u8>().ok()?;
+        let m = s[2..].parse::<u8>().ok()?;
+        return TimeOfDay::new(h, m);
+    }
+    None
+}
+
+fn parse_dms_component(s: &str) -> Option<f64> {
+    // "22°49'10\"S" or "22 49 10 S" or decimal "−22.82".
+    let s = s.trim();
+    let (body, sign) = match s.chars().last()? {
+        'S' | 's' | 'W' | 'w' => (&s[..s.len() - 1], -1.0),
+        'N' | 'n' | 'E' | 'e' => (&s[..s.len() - 1], 1.0),
+        _ => (s, f64::NAN), // sign from numeric value itself
+    };
+    let parts: Vec<f64> = body
+        .split(['°', '\'', '"', ' '])
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    let magnitude = match parts.as_slice() {
+        [d] => d.abs(),
+        [d, m] => d.abs() + m / 60.0,
+        [d, m, sec] => d.abs() + m / 60.0 + sec / 3600.0,
+        _ => return None,
+    };
+    if sign.is_nan() {
+        // Decimal form: keep its own sign.
+        match parts.as_slice() {
+            [d] => Some(*d),
+            _ => None, // multi-part needs a hemisphere letter
+        }
+    } else {
+        Some(sign * magnitude)
+    }
+}
+
+/// Parse coordinates in decimal (`-22.82, -47.07`) or DMS
+/// (`22°49'10"S 47°04'20"W`) notation.
+pub fn parse_coordinates(input: &str) -> Option<Coordinates> {
+    let s = input.trim();
+    // Try comma-separated decimal first.
+    if let Some((a, b)) = s.split_once(',') {
+        if let (Ok(lat), Ok(lon)) = (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+            return Coordinates::new(lat, lon);
+        }
+        let (lat, lon) = (parse_dms_component(a)?, parse_dms_component(b)?);
+        return Coordinates::new(lat, lon);
+    }
+    // Space-separated DMS: split at the first hemisphere letter of lat.
+    for (i, c) in s.char_indices() {
+        if matches!(c, 'S' | 's' | 'N' | 'n') {
+            let (a, b) = s.split_at(i + 1);
+            if b.trim().is_empty() {
+                return None;
+            }
+            let (lat, lon) = (parse_dms_component(a)?, parse_dms_component(b)?);
+            return Coordinates::new(lat, lon);
+        }
+    }
+    None
+}
+
+/// Format a date in the collection's canonical ISO form.
+pub fn format_date(d: &Date) -> String {
+    d.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_dates() {
+        assert_eq!(parse_date("1982-03-15"), Date::new(1982, 3, 15));
+        assert_eq!(parse_date(" 2013-10-01 "), Date::new(2013, 10, 1));
+        assert_eq!(parse_date("1982-13-15"), None);
+    }
+
+    #[test]
+    fn brazilian_slash_dates() {
+        assert_eq!(parse_date("15/03/1982"), Date::new(1982, 3, 15));
+        assert_eq!(parse_date("31/02/1982"), None);
+    }
+
+    #[test]
+    fn roman_numeral_dates() {
+        assert_eq!(parse_date("15.III.1982"), Date::new(1982, 3, 15));
+        assert_eq!(parse_date("1.XII.1965"), Date::new(1965, 12, 1));
+        assert_eq!(parse_date("15-III-1982"), Date::new(1982, 3, 15));
+        assert_eq!(parse_date("15.XIII.1982"), None);
+    }
+
+    #[test]
+    fn month_name_dates() {
+        assert_eq!(parse_date("March 15, 1982"), Date::new(1982, 3, 15));
+        assert_eq!(parse_date("15 March 1982"), Date::new(1982, 3, 15));
+        assert_eq!(parse_date("15 Mar 1982"), Date::new(1982, 3, 15));
+    }
+
+    #[test]
+    fn unparseable_dates() {
+        assert_eq!(parse_date(""), None);
+        assert_eq!(parse_date("sometime in spring"), None);
+        assert_eq!(parse_date("99/99/9999"), None);
+    }
+
+    #[test]
+    fn iso_roundtrip() {
+        let d = parse_date("1982-03-15").unwrap();
+        assert_eq!(parse_date(&format_date(&d)), Some(d));
+    }
+
+    #[test]
+    fn times() {
+        assert_eq!(parse_time("07:45"), TimeOfDay::new(7, 45));
+        assert_eq!(parse_time("7h45"), TimeOfDay::new(7, 45));
+        assert_eq!(parse_time("0745"), TimeOfDay::new(7, 45));
+        assert_eq!(parse_time("25:00"), None);
+        assert_eq!(parse_time("noon"), None);
+    }
+
+    #[test]
+    fn decimal_coordinates() {
+        let c = parse_coordinates("-22.82, -47.07").unwrap();
+        assert!((c.lat + 22.82).abs() < 1e-9);
+        assert!((c.lon + 47.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dms_coordinates() {
+        let c = parse_coordinates("22°49'10\"S 47°04'20\"W").unwrap();
+        assert!((c.lat + 22.8194).abs() < 1e-3, "lat {}", c.lat);
+        assert!((c.lon + 47.0722).abs() < 1e-3, "lon {}", c.lon);
+    }
+
+    #[test]
+    fn dms_with_comma() {
+        let c = parse_coordinates("22°49'S, 47°04'W").unwrap();
+        assert!(c.lat < 0.0 && c.lon < 0.0);
+    }
+
+    #[test]
+    fn northern_hemisphere() {
+        let c = parse_coordinates("40°26'N 79°58'W").unwrap();
+        assert!(c.lat > 0.0 && c.lon < 0.0);
+    }
+
+    #[test]
+    fn invalid_coordinates() {
+        assert!(parse_coordinates("").is_none());
+        assert!(parse_coordinates("somewhere in the forest").is_none());
+        assert!(parse_coordinates("95.0, 0.0").is_none()); // out of range
+    }
+}

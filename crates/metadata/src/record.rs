@@ -1,0 +1,125 @@
+//! Observation records: id + typed field map.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A single observation record (one sound recording's metadata).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Collection-unique identifier (e.g. `"FNJV-000123"`).
+    pub id: String,
+    fields: BTreeMap<String, Value>,
+}
+
+impl Record {
+    /// Create an empty record.
+    pub fn new(id: impl Into<String>) -> Self {
+        Record {
+            id: id.into(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Set a field (builder style).
+    pub fn with(mut self, field: &str, value: Value) -> Self {
+        self.set(field, value);
+        self
+    }
+
+    /// Set a field.
+    pub fn set(&mut self, field: &str, value: Value) {
+        self.fields.insert(field.to_string(), value);
+    }
+
+    /// Remove a field, returning its previous value.
+    pub fn unset(&mut self, field: &str) -> Option<Value> {
+        self.fields.remove(field)
+    }
+
+    /// Get a field.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.fields.get(field)
+    }
+
+    /// Get a text field's content.
+    pub fn get_text(&self, field: &str) -> Option<&str> {
+        self.fields.get(field).and_then(Value::as_text)
+    }
+
+    /// Whether a field is present (a present-but-empty text still counts as
+    /// present here; completeness treats it as blank).
+    pub fn has(&self, field: &str) -> bool {
+        self.fields.contains_key(field)
+    }
+
+    /// Whether a field holds a usable (non-blank) value.
+    pub fn is_filled(&self, field: &str) -> bool {
+        match self.fields.get(field) {
+            None => false,
+            Some(Value::Text(s)) => !s.trim().is_empty(),
+            Some(_) => true,
+        }
+    }
+
+    /// Iterate fields in name order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of fields present.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when no field is present.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut r = Record::new("FNJV-1");
+        r.set("species", Value::Text("Hyla faber".into()));
+        assert_eq!(r.get_text("species"), Some("Hyla faber"));
+        assert_eq!(r.unset("species"), Some(Value::Text("Hyla faber".into())));
+        assert!(r.get("species").is_none());
+    }
+
+    #[test]
+    fn is_filled_treats_blank_text_as_missing() {
+        let r = Record::new("r")
+            .with("a", Value::Text("  ".into()))
+            .with("b", Value::Text("x".into()))
+            .with("c", Value::Integer(0));
+        assert!(!r.is_filled("a"));
+        assert!(r.is_filled("b"));
+        assert!(r.is_filled("c"));
+        assert!(!r.is_filled("absent"));
+        assert!(r.has("a"));
+    }
+
+    #[test]
+    fn fields_iterate_sorted() {
+        let r = Record::new("r")
+            .with("z", Value::Integer(1))
+            .with("a", Value::Integer(2));
+        let names: Vec<&str> = r.fields().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = Record::new("FNJV-9").with("species", Value::Text("Scinax fuscomarginatus".into()));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,269 @@
+//! Schemas: ordered field definitions + record validation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::domains::DomainViolation;
+use crate::field::{FieldDef, FieldGroup};
+use crate::record::Record;
+use crate::value::ValueType;
+
+/// A named, ordered collection of field definitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    /// Schema name.
+    pub name: String,
+    fields: Vec<FieldDef>,
+}
+
+/// One problem found while validating a record against a schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchemaViolation {
+    /// Required field absent or blank.
+    MissingRequired {
+        /// The absent/blank required field.
+        field: String,
+    },
+    /// Value type differs from the declaration.
+    TypeMismatch {
+        /// The offending field.
+        field: String,
+        /// Declared type.
+        expected: ValueType,
+        /// Actual type.
+        got: ValueType,
+    },
+    /// Value violates the field's domain.
+    Domain {
+        /// The offending field.
+        field: String,
+        /// The domain check that failed.
+        violation: DomainViolation,
+    },
+    /// Field not declared in the schema.
+    UnknownField {
+        /// The undeclared field.
+        field: String,
+    },
+}
+
+impl std::fmt::Display for SchemaViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaViolation::MissingRequired { field } => {
+                write!(f, "required field {field:?} is missing or blank")
+            }
+            SchemaViolation::TypeMismatch {
+                field,
+                expected,
+                got,
+            } => {
+                write!(f, "field {field:?}: expected {expected:?}, got {got:?}")
+            }
+            SchemaViolation::Domain { field, violation } => {
+                write!(f, "field {field:?}: {violation}")
+            }
+            SchemaViolation::UnknownField { field } => {
+                write!(f, "field {field:?} not in schema")
+            }
+        }
+    }
+}
+
+impl Schema {
+    /// Create a schema from field definitions. Field names must be unique;
+    /// duplicates panic (schemas are built from code, not input).
+    pub fn new(name: &str, fields: Vec<FieldDef>) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &fields {
+            assert!(seen.insert(f.name.clone()), "duplicate field {:?}", f.name);
+        }
+        Schema {
+            name: name.to_string(),
+            fields,
+        }
+    }
+
+    /// All field definitions, in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Look up one field definition.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Fields belonging to a Table II group.
+    pub fn fields_in_group(&self, group: FieldGroup) -> impl Iterator<Item = &FieldDef> {
+        self.fields.iter().filter(move |f| f.group == group)
+    }
+
+    /// Names of required fields.
+    pub fn required_fields(&self) -> impl Iterator<Item = &str> {
+        self.fields
+            .iter()
+            .filter(|f| f.required)
+            .map(|f| f.name.as_str())
+    }
+
+    /// Number of declared fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema declares no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Validate a record: missing required fields, unknown fields, type
+    /// mismatches and domain violations. An empty result means valid.
+    pub fn validate(&self, record: &Record) -> Vec<SchemaViolation> {
+        let mut out = Vec::new();
+        for f in &self.fields {
+            match record.get(&f.name) {
+                None => {
+                    if f.required {
+                        out.push(SchemaViolation::MissingRequired {
+                            field: f.name.clone(),
+                        });
+                    }
+                }
+                Some(v) => {
+                    if v.value_type() != f.value_type {
+                        out.push(SchemaViolation::TypeMismatch {
+                            field: f.name.clone(),
+                            expected: f.value_type,
+                            got: v.value_type(),
+                        });
+                        continue;
+                    }
+                    if f.required && !record.is_filled(&f.name) {
+                        out.push(SchemaViolation::MissingRequired {
+                            field: f.name.clone(),
+                        });
+                        continue;
+                    }
+                    if record.is_filled(&f.name) {
+                        if let Err(violation) = f.domain.check(v) {
+                            out.push(SchemaViolation::Domain {
+                                field: f.name.clone(),
+                                violation,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (name, _) in record.fields() {
+            if self.field(name).is_none() {
+                out.push(SchemaViolation::UnknownField {
+                    field: name.to_string(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::Domain;
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "test",
+            vec![
+                FieldDef::required("species", ValueType::Text, FieldGroup::Identification)
+                    .with_domain(Domain::NonEmptyText),
+                FieldDef::optional(
+                    "air_temperature_c",
+                    ValueType::Float,
+                    FieldGroup::ObservationConditions,
+                )
+                .with_domain(Domain::NumericRange {
+                    min: -10.0,
+                    max: 50.0,
+                }),
+            ],
+        )
+    }
+
+    #[test]
+    fn valid_record_passes() {
+        let r = Record::new("r")
+            .with("species", Value::Text("Hyla faber".into()))
+            .with("air_temperature_c", Value::Float(24.0));
+        assert!(schema().validate(&r).is_empty());
+    }
+
+    #[test]
+    fn missing_required_reported() {
+        let r = Record::new("r");
+        let v = schema().validate(&r);
+        assert_eq!(
+            v,
+            vec![SchemaViolation::MissingRequired {
+                field: "species".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn blank_required_text_reported() {
+        let r = Record::new("r").with("species", Value::Text(" ".into()));
+        let v = schema().validate(&r);
+        assert!(matches!(v[0], SchemaViolation::MissingRequired { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_reported_before_domain() {
+        let r = Record::new("r")
+            .with("species", Value::Text("x".into()))
+            .with("air_temperature_c", Value::Text("hot".into()));
+        let v = schema().validate(&r);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], SchemaViolation::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn domain_violation_reported() {
+        let r = Record::new("r")
+            .with("species", Value::Text("x".into()))
+            .with("air_temperature_c", Value::Float(99.0));
+        let v = schema().validate(&r);
+        assert!(matches!(v[0], SchemaViolation::Domain { .. }));
+    }
+
+    #[test]
+    fn unknown_field_reported() {
+        let r = Record::new("r")
+            .with("species", Value::Text("x".into()))
+            .with("bogus", Value::Integer(1));
+        let v = schema().validate(&r);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, SchemaViolation::UnknownField { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn duplicate_fields_panic() {
+        Schema::new(
+            "bad",
+            vec![
+                FieldDef::optional("a", ValueType::Text, FieldGroup::Other),
+                FieldDef::optional("a", ValueType::Text, FieldGroup::Other),
+            ],
+        );
+    }
+
+    #[test]
+    fn group_filter_and_required_list() {
+        let s = schema();
+        assert_eq!(s.fields_in_group(FieldGroup::Identification).count(), 1);
+        assert_eq!(s.required_fields().collect::<Vec<_>>(), vec!["species"]);
+    }
+}

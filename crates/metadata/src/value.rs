@@ -1,0 +1,296 @@
+//! Typed metadata values.
+
+use serde::{Deserialize, Serialize};
+
+/// A calendar date (proleptic Gregorian), validated on construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// Calendar year.
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date, rejecting out-of-range months/days (leap years
+    /// respected).
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Date> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// Days since 0000-03-01 (a convenient leap-friendly epoch); used for
+    /// date arithmetic such as timeliness decay.
+    pub fn day_number(&self) -> i64 {
+        // Standard civil-from-days inverse (Howard Hinnant's algorithm).
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (self.month as i64 + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe
+    }
+
+    /// Whole years between `self` and a later date (negative if earlier).
+    pub fn years_until(&self, later: &Date) -> f64 {
+        (later.day_number() - self.day_number()) as f64 / 365.2425
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// A time of day (no timezone; field recordings annotate local time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimeOfDay {
+    /// Hour, 0–23.
+    pub hour: u8,
+    /// Minute, 0–59.
+    pub minute: u8,
+}
+
+impl TimeOfDay {
+    /// Construct, rejecting hour ≥ 24 or minute ≥ 60.
+    pub fn new(hour: u8, minute: u8) -> Option<TimeOfDay> {
+        if hour < 24 && minute < 60 {
+            Some(TimeOfDay { hour, minute })
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02}:{:02}", self.hour, self.minute)
+    }
+}
+
+/// Geographic coordinates in decimal degrees, validated on construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coordinates {
+    /// Latitude in decimal degrees.
+    pub lat: f64,
+    /// Longitude in decimal degrees.
+    pub lon: f64,
+}
+
+impl Coordinates {
+    /// Construct, rejecting values outside ±90 / ±180 or NaN.
+    pub fn new(lat: f64, lon: f64) -> Option<Coordinates> {
+        if lat.is_finite()
+            && lon.is_finite()
+            && (-90.0..=90.0).contains(&lat)
+            && (-180.0..=180.0).contains(&lon)
+        {
+            Some(Coordinates { lat, lon })
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Coordinates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.5},{:.5}", self.lat, self.lon)
+    }
+}
+
+/// A typed metadata value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Free text.
+    Text(String),
+    /// Signed integer.
+    Integer(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// Calendar date.
+    Date(Date),
+    /// Time of day.
+    Time(TimeOfDay),
+    /// Geographic coordinates.
+    Coordinates(Coordinates),
+    /// Boolean flag.
+    Boolean(bool),
+}
+
+/// The broad type of a [`Value`]; what [`crate::field::FieldDef`] declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueType {
+    /// Free text.
+    Text,
+    /// Signed integer.
+    Integer,
+    /// Floating-point number.
+    Float,
+    /// Calendar date.
+    Date,
+    /// Time of day.
+    Time,
+    /// Geographic coordinates.
+    Coordinates,
+    /// Boolean flag.
+    Boolean,
+}
+
+impl Value {
+    /// The broad type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Text(_) => ValueType::Text,
+            Value::Integer(_) => ValueType::Integer,
+            Value::Float(_) => ValueType::Float,
+            Value::Date(_) => ValueType::Date,
+            Value::Time(_) => ValueType::Time,
+            Value::Coordinates(_) => ValueType::Coordinates,
+            Value::Boolean(_) => ValueType::Boolean,
+        }
+    }
+
+    /// Text content, if textual.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of integers and floats.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Date content, if a date.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Coordinates content, if coordinates.
+    pub fn as_coordinates(&self) -> Option<Coordinates> {
+        match self {
+            Value::Coordinates(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Text(s) => f.write_str(s),
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::Coordinates(c) => write!(f, "{c}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_validation() {
+        assert!(Date::new(2013, 2, 29).is_none());
+        assert!(Date::new(2012, 2, 29).is_some()); // leap year
+        assert!(Date::new(1900, 2, 29).is_none()); // century non-leap
+        assert!(Date::new(2000, 2, 29).is_some()); // 400-year leap
+        assert!(Date::new(1960, 13, 1).is_none());
+        assert!(Date::new(1960, 0, 1).is_none());
+        assert!(Date::new(1960, 6, 31).is_none());
+        assert!(Date::new(1960, 6, 30).is_some());
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let a = Date::new(1960, 1, 1).unwrap();
+        let b = Date::new(2013, 1, 1).unwrap();
+        let years = a.years_until(&b);
+        assert!((years - 53.0).abs() < 0.01, "got {years}");
+        assert_eq!(b.day_number() - a.day_number(), 19_359);
+    }
+
+    #[test]
+    fn date_ordering_follows_calendar() {
+        let earlier = Date::new(1999, 12, 31).unwrap();
+        let later = Date::new(2000, 1, 1).unwrap();
+        assert!(earlier < later);
+    }
+
+    #[test]
+    fn time_validation() {
+        assert!(TimeOfDay::new(23, 59).is_some());
+        assert!(TimeOfDay::new(24, 0).is_none());
+        assert!(TimeOfDay::new(12, 60).is_none());
+    }
+
+    #[test]
+    fn coordinates_validation() {
+        assert!(Coordinates::new(-22.9, -47.06).is_some()); // Campinas
+        assert!(Coordinates::new(91.0, 0.0).is_none());
+        assert!(Coordinates::new(0.0, 181.0).is_none());
+        assert!(Coordinates::new(f64::NAN, 0.0).is_none());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Integer(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        let d = Date::new(2013, 10, 1).unwrap();
+        assert_eq!(Value::Date(d).as_date(), Some(d));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Date::new(1960, 3, 5).unwrap().to_string(), "1960-03-05");
+        assert_eq!(TimeOfDay::new(7, 5).unwrap().to_string(), "07:05");
+        assert_eq!(
+            Coordinates::new(-22.9, -47.06).unwrap().to_string(),
+            "-22.90000,-47.06000"
+        );
+    }
+}

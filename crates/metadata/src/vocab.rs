@@ -1,0 +1,177 @@
+//! Controlled vocabularies with canonical-form matching.
+//!
+//! Legacy metadata spells the same term many ways ("forest", "Forest ",
+//! "FOREST"). A vocabulary maps case/whitespace-insensitive inputs — plus
+//! registered aliases — to one canonical spelling.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A controlled vocabulary: canonical terms plus aliases.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    /// Vocabulary name.
+    pub name: String,
+    /// normalized form → canonical spelling
+    lookup: BTreeMap<String, String>,
+    /// canonical spellings in insertion order
+    terms: Vec<String>,
+}
+
+fn normalize(s: &str) -> String {
+    s.split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new(name: &str) -> Self {
+        Vocabulary {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Build a vocabulary from canonical terms.
+    pub fn from_terms(name: &str, terms: &[&str]) -> Self {
+        let mut v = Vocabulary::new(name);
+        for t in terms {
+            v.add_term(t);
+        }
+        v
+    }
+
+    /// Register a canonical term (idempotent).
+    pub fn add_term(&mut self, term: &str) {
+        let key = normalize(term);
+        if let std::collections::btree_map::Entry::Vacant(e) = self.lookup.entry(key) {
+            e.insert(term.to_string());
+            self.terms.push(term.to_string());
+        }
+    }
+
+    /// Register an alias resolving to an existing canonical term.
+    /// Returns false when the canonical term is unknown.
+    pub fn add_alias(&mut self, alias: &str, canonical: &str) -> bool {
+        let canon_key = normalize(canonical);
+        let Some(canonical) = self.lookup.get(&canon_key).cloned() else {
+            return false;
+        };
+        self.lookup.insert(normalize(alias), canonical);
+        true
+    }
+
+    /// Resolve an input to its canonical spelling, if recognized.
+    pub fn canonicalize(&self, input: &str) -> Option<&str> {
+        self.lookup.get(&normalize(input)).map(String::as_str)
+    }
+
+    /// Whether the input is a recognized term or alias.
+    pub fn contains(&self, input: &str) -> bool {
+        self.lookup.contains_key(&normalize(input))
+    }
+
+    /// Canonical terms in insertion order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Number of canonical terms (aliases not counted).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no canonical term exists.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// The habitat vocabulary used by the FNJV schema.
+pub fn habitats() -> Vocabulary {
+    let mut v = Vocabulary::from_terms(
+        "habitat",
+        &[
+            "Forest",
+            "Open field",
+            "Wetland",
+            "Urban area",
+            "Savanna",
+            "Riparian forest",
+            "Mangrove",
+            "Cave",
+            "Mountain",
+            "Agricultural area",
+        ],
+    );
+    v.add_alias("cerrado", "Savanna");
+    v.add_alias("mata ciliar", "Riparian forest");
+    v.add_alias("city", "Urban area");
+    v
+}
+
+/// Atmospheric-conditions vocabulary (Table II row 2).
+pub fn atmospheric_conditions() -> Vocabulary {
+    Vocabulary::from_terms(
+        "atmospheric_conditions",
+        &[
+            "Clear", "Cloudy", "Rainy", "Drizzle", "Fog", "Windy", "Storm",
+        ],
+    )
+}
+
+/// Sound-file-format vocabulary (Table II row 3; paper §II-C lists the
+/// digital formats plus legacy tape).
+pub fn sound_formats() -> Vocabulary {
+    Vocabulary::from_terms(
+        "sound_file_format",
+        &["WAV", "MP3", "AIFF", "ATRAC", "FLAC", "Magnetic tape"],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_is_case_and_space_insensitive() {
+        let v = habitats();
+        assert_eq!(v.canonicalize("  forest "), Some("Forest"));
+        assert_eq!(v.canonicalize("OPEN   FIELD"), Some("Open field"));
+        assert_eq!(v.canonicalize("swamp"), None);
+    }
+
+    #[test]
+    fn aliases_resolve_to_canonical() {
+        let v = habitats();
+        assert_eq!(v.canonicalize("Cerrado"), Some("Savanna"));
+        assert_eq!(v.canonicalize("city"), Some("Urban area"));
+    }
+
+    #[test]
+    fn alias_to_unknown_term_fails() {
+        let mut v = Vocabulary::from_terms("t", &["A"]);
+        assert!(!v.add_alias("x", "Nope"));
+        assert!(v.add_alias("x", "a")); // canonical lookup is normalized too
+        assert_eq!(v.canonicalize("X"), Some("A"));
+    }
+
+    #[test]
+    fn add_term_idempotent() {
+        let mut v = Vocabulary::new("t");
+        v.add_term("Forest");
+        v.add_term("forest");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn builtin_vocabularies_nonempty() {
+        assert!(!habitats().is_empty());
+        assert!(!atmospheric_conditions().is_empty());
+        assert!(sound_formats().contains("wav"));
+        assert!(sound_formats().contains("Magnetic Tape"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the metadata layer: parser round-trips, filter
+//! algebra laws and completeness bounds.
+
+use proptest::prelude::*;
+
+use preserva_metadata::completeness;
+use preserva_metadata::fnjv;
+use preserva_metadata::parse;
+use preserva_metadata::query::{Filter, Query};
+use preserva_metadata::record::Record;
+use preserva_metadata::value::{Date, Value};
+
+fn date_strategy() -> impl Strategy<Value = Date> {
+    (1950i32..2020, 1u8..=12, 1u8..=28).prop_map(|(y, m, d)| Date::new(y, m, d).expect("day <= 28"))
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (
+        "[a-z0-9]{1,8}",
+        proptest::option::of("[A-Z][a-z]{2,8} [a-z]{3,10}"),
+        proptest::option::of(date_strategy()),
+        proptest::option::of(-10.0f64..45.0),
+    )
+        .prop_map(|(id, species, date, temp)| {
+            let mut r = Record::new(id);
+            if let Some(s) = species {
+                r.set("species", Value::Text(s));
+            }
+            if let Some(d) = date {
+                r.set("collect_date", Value::Date(d));
+            }
+            if let Some(t) = temp {
+                r.set("air_temperature_c", Value::Float(t));
+            }
+            r
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every valid date survives ISO round-trip, and the legacy renderers
+    /// used by the generator parse back to the same date.
+    #[test]
+    fn date_roundtrips(d in date_strategy()) {
+        prop_assert_eq!(parse::parse_date(&d.to_string()), Some(d));
+        let roman = ["I","II","III","IV","V","VI","VII","VIII","IX","X","XI","XII"][(d.month-1) as usize];
+        prop_assert_eq!(parse::parse_date(&format!("{}.{roman}.{}", d.day, d.year)), Some(d));
+        prop_assert_eq!(parse::parse_date(&format!("{:02}/{:02}/{}", d.day, d.month, d.year)), Some(d));
+    }
+
+    /// day_number is strictly monotone in calendar order.
+    #[test]
+    fn day_number_monotone(a in date_strategy(), b in date_strategy()) {
+        prop_assert_eq!(a < b, a.day_number() < b.day_number());
+        prop_assert_eq!(a == b, a.day_number() == b.day_number());
+    }
+
+    /// Filter algebra: double negation, De Morgan, And/Or identities.
+    #[test]
+    fn filter_algebra_laws(records in proptest::collection::vec(record_strategy(), 1..20)) {
+        let f1 = Filter::Filled { field: "species".into() };
+        let f2 = Filter::NumericRange { field: "air_temperature_c".into(), min: 0.0, max: 30.0 };
+        for r in &records {
+            // double negation
+            let nn = Filter::Not(Box::new(Filter::Not(Box::new(f1.clone()))));
+            prop_assert_eq!(nn.matches(r), f1.matches(r));
+            // De Morgan: !(a && b) == !a || !b
+            let lhs = Filter::Not(Box::new(Filter::And(vec![f1.clone(), f2.clone()])));
+            let rhs = Filter::Or(vec![
+                Filter::Not(Box::new(f1.clone())),
+                Filter::Not(Box::new(f2.clone())),
+            ]);
+            prop_assert_eq!(lhs.matches(r), rhs.matches(r));
+            // empty And is true; empty Or is false
+            prop_assert!(Filter::And(vec![]).matches(r));
+            prop_assert!(!Filter::Or(vec![]).matches(r));
+        }
+        // Query count ≤ record count and equals run().len().
+        let q = Query::new(Filter::Or(vec![f1, f2]));
+        prop_assert_eq!(q.count(&records), q.run(&records).len());
+        prop_assert!(q.count(&records) <= records.len());
+    }
+
+    /// Completeness is always within [0, 1] and monotone under filling a
+    /// field.
+    #[test]
+    fn completeness_bounded_and_monotone(mut r in record_strategy()) {
+        let schema = fnjv::schema();
+        let before = completeness::record_completeness(&schema, &r, false);
+        prop_assert!((0.0..=1.0).contains(&before));
+        r.set("country", Value::Text("Brazil".into()));
+        let after = completeness::record_completeness(&schema, &r, false);
+        prop_assert!(after >= before);
+        prop_assert!((0.0..=1.0).contains(&after));
+    }
+
+    /// Schema validation is deterministic and stable under repetition.
+    #[test]
+    fn validation_deterministic(r in record_strategy()) {
+        let schema = fnjv::schema();
+        let v1 = schema.validate(&r);
+        let v2 = schema.validate(&r);
+        prop_assert_eq!(v1, v2);
+    }
+}

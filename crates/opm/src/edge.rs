@@ -1,0 +1,203 @@
+//! The five OPM causal edge kinds.
+//!
+//! Directionality follows the spec: an edge points from the *effect* to the
+//! *cause* (a `used` edge points from the consuming process back to the
+//! artifact that already existed).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Account, Annotations, NodeId};
+
+/// Discriminates the five causal dependency kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// process → artifact, with a role.
+    Used,
+    /// artifact → process, with a role.
+    WasGeneratedBy,
+    /// process → agent, with a role.
+    WasControlledBy,
+    /// process → process.
+    WasTriggeredBy,
+    /// artifact → artifact.
+    WasDerivedFrom,
+}
+
+impl EdgeKind {
+    /// The spec's lowercase-camel name.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            EdgeKind::Used => "used",
+            EdgeKind::WasGeneratedBy => "wasGeneratedBy",
+            EdgeKind::WasControlledBy => "wasControlledBy",
+            EdgeKind::WasTriggeredBy => "wasTriggeredBy",
+            EdgeKind::WasDerivedFrom => "wasDerivedFrom",
+        }
+    }
+}
+
+/// A causal dependency between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Which of the five causal kinds this edge is.
+    pub kind: EdgeKind,
+    /// Effect node (edge source).
+    pub effect: NodeId,
+    /// Cause node (edge destination).
+    pub cause: NodeId,
+    /// Role qualifier, mandatory for `used` / `wasGeneratedBy` /
+    /// `wasControlledBy` in the spec; we default it to `"undefined"` when
+    /// the caller passes `None`, as the spec permits.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub role: Option<String>,
+    /// Accounts this edge belongs to (empty = the implicit default account).
+    #[serde(default)]
+    pub accounts: Vec<Account>,
+    #[serde(default)]
+    /// Free-form annotations on the dependency.
+    pub annotations: Annotations,
+}
+
+impl Edge {
+    fn new(kind: EdgeKind, effect: NodeId, cause: NodeId, role: Option<&str>) -> Edge {
+        Edge {
+            kind,
+            effect,
+            cause,
+            role: role.map(str::to_string),
+            accounts: Vec::new(),
+            annotations: Annotations::new(),
+        }
+    }
+
+    /// `process used artifact (role)`.
+    pub fn used(process: NodeId, artifact: NodeId, role: Option<&str>) -> Edge {
+        Edge::new(EdgeKind::Used, process, artifact, role)
+    }
+
+    /// `artifact wasGeneratedBy process (role)`.
+    pub fn was_generated_by(artifact: NodeId, process: NodeId, role: Option<&str>) -> Edge {
+        Edge::new(EdgeKind::WasGeneratedBy, artifact, process, role)
+    }
+
+    /// `process wasControlledBy agent (role)`.
+    pub fn was_controlled_by(process: NodeId, agent: NodeId, role: Option<&str>) -> Edge {
+        Edge::new(EdgeKind::WasControlledBy, process, agent, role)
+    }
+
+    /// `process2 wasTriggeredBy process1`.
+    pub fn was_triggered_by(effect: NodeId, cause: NodeId) -> Edge {
+        Edge::new(EdgeKind::WasTriggeredBy, effect, cause, None)
+    }
+
+    /// `artifact2 wasDerivedFrom artifact1`.
+    pub fn was_derived_from(effect: NodeId, cause: NodeId) -> Edge {
+        Edge::new(EdgeKind::WasDerivedFrom, effect, cause, None)
+    }
+
+    /// Assign the edge to an account (builder style).
+    pub fn in_account(mut self, account: Account) -> Edge {
+        if !self.accounts.contains(&account) {
+            self.accounts.push(account);
+        }
+        self
+    }
+
+    /// Attach one annotation (builder style).
+    pub fn with_annotation(mut self, key: impl Into<String>, value: impl Into<String>) -> Edge {
+        self.annotations.insert(key.into(), value.into());
+        self
+    }
+
+    /// Whether this edge belongs to `account` (edges with no explicit
+    /// account belong to the default account only).
+    pub fn is_in_account(&self, account: Option<&Account>) -> bool {
+        match account {
+            None => true, // every edge is visible in the union view
+            Some(acc) => self.accounts.contains(acc),
+        }
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.role {
+            Some(r) => write!(
+                f,
+                "{} -{}({})-> {}",
+                self.effect,
+                self.kind.spec_name(),
+                r,
+                self.cause
+            ),
+            None => write!(
+                f,
+                "{} -{}-> {}",
+                self.effect,
+                self.kind.spec_name(),
+                self.cause
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        let e = Edge::used("p:1".into(), "a:1".into(), Some("in"));
+        assert_eq!(e.kind, EdgeKind::Used);
+        assert_eq!(e.effect.as_str(), "p:1");
+        assert_eq!(e.cause.as_str(), "a:1");
+        let g = Edge::was_generated_by("a:2".into(), "p:1".into(), Some("out"));
+        assert_eq!(g.effect.as_str(), "a:2");
+        assert_eq!(g.cause.as_str(), "p:1");
+    }
+
+    #[test]
+    fn display_includes_role() {
+        let e = Edge::used("p:1".into(), "a:1".into(), Some("in"));
+        assert_eq!(e.to_string(), "p:1 -used(in)-> a:1");
+        let d = Edge::was_derived_from("a:2".into(), "a:1".into());
+        assert_eq!(d.to_string(), "a:2 -wasDerivedFrom-> a:1");
+    }
+
+    #[test]
+    fn account_membership() {
+        let acc = Account::new("curation-2013");
+        let e = Edge::was_triggered_by("p:2".into(), "p:1".into()).in_account(acc.clone());
+        assert!(e.is_in_account(Some(&acc)));
+        assert!(e.is_in_account(None));
+        assert!(!e.is_in_account(Some(&Account::new("other"))));
+    }
+
+    #[test]
+    fn in_account_is_idempotent() {
+        let acc = Account::new("a");
+        let e = Edge::was_derived_from("a:2".into(), "a:1".into())
+            .in_account(acc.clone())
+            .in_account(acc);
+        assert_eq!(e.accounts.len(), 1);
+    }
+
+    #[test]
+    fn spec_names_match_opm() {
+        assert_eq!(EdgeKind::Used.spec_name(), "used");
+        assert_eq!(EdgeKind::WasGeneratedBy.spec_name(), "wasGeneratedBy");
+        assert_eq!(EdgeKind::WasControlledBy.spec_name(), "wasControlledBy");
+        assert_eq!(EdgeKind::WasTriggeredBy.spec_name(), "wasTriggeredBy");
+        assert_eq!(EdgeKind::WasDerivedFrom.spec_name(), "wasDerivedFrom");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Edge::used("p:1".into(), "a:1".into(), Some("in"))
+            .in_account(Account::new("acc"))
+            .with_annotation("t", "0");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Edge = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,372 @@
+//! The OPM graph container: nodes, edges, accounts and traversal queries.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::edge::{Edge, EdgeKind};
+use crate::model::{Account, Agent, Artifact, NodeId, Process};
+
+/// Error raised when an edge references a node the graph doesn't contain,
+/// or connects nodes of the wrong kinds for its edge kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node the graph does not contain.
+    UnknownNode(NodeId),
+    /// An edge endpoint has the wrong node kind for its edge kind.
+    WrongNodeKind {
+        /// The offending edge kind (spec name).
+        edge: &'static str,
+        /// The node kind that position requires.
+        expected: &'static str,
+        /// The node actually referenced.
+        got: NodeId,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "edge references unknown node {id}"),
+            GraphError::WrongNodeKind {
+                edge,
+                expected,
+                got,
+            } => {
+                write!(f, "{edge} edge expects a {expected} endpoint, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A complete OPM provenance graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct OpmGraph {
+    /// Artifacts by id.
+    pub artifacts: BTreeMap<NodeId, Artifact>,
+    /// Processes by id.
+    pub processes: BTreeMap<NodeId, Process>,
+    /// Agents by id.
+    pub agents: BTreeMap<NodeId, Agent>,
+    /// All causal edges, in insertion order.
+    pub edges: Vec<Edge>,
+    /// Declared accounts (edges may also mention accounts implicitly).
+    pub accounts: BTreeSet<Account>,
+}
+
+impl OpmGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an artifact, returning its id.
+    pub fn add_artifact(&mut self, a: Artifact) -> NodeId {
+        let id = a.id.clone();
+        self.artifacts.insert(id.clone(), a);
+        id
+    }
+
+    /// Insert a process, returning its id.
+    pub fn add_process(&mut self, p: Process) -> NodeId {
+        let id = p.id.clone();
+        self.processes.insert(id.clone(), p);
+        id
+    }
+
+    /// Insert an agent, returning its id.
+    pub fn add_agent(&mut self, ag: Agent) -> NodeId {
+        let id = ag.id.clone();
+        self.agents.insert(id.clone(), ag);
+        id
+    }
+
+    /// Declare an account.
+    pub fn add_account(&mut self, acc: Account) {
+        self.accounts.insert(acc);
+    }
+
+    fn check_kind(
+        &self,
+        id: &NodeId,
+        want_artifact: bool,
+        want_process: bool,
+        want_agent: bool,
+        edge: &'static str,
+        expected: &'static str,
+    ) -> Result<(), GraphError> {
+        let is_artifact = self.artifacts.contains_key(id);
+        let is_process = self.processes.contains_key(id);
+        let is_agent = self.agents.contains_key(id);
+        if !is_artifact && !is_process && !is_agent {
+            return Err(GraphError::UnknownNode(id.clone()));
+        }
+        if (want_artifact && is_artifact)
+            || (want_process && is_process)
+            || (want_agent && is_agent)
+        {
+            Ok(())
+        } else {
+            Err(GraphError::WrongNodeKind {
+                edge,
+                expected,
+                got: id.clone(),
+            })
+        }
+    }
+
+    /// Add an edge after checking endpoint existence and kinds.
+    pub fn add_edge(&mut self, e: Edge) -> Result<(), GraphError> {
+        match e.kind {
+            EdgeKind::Used => {
+                self.check_kind(&e.effect, false, true, false, "used", "process")?;
+                self.check_kind(&e.cause, true, false, false, "used", "artifact")?;
+            }
+            EdgeKind::WasGeneratedBy => {
+                self.check_kind(&e.effect, true, false, false, "wasGeneratedBy", "artifact")?;
+                self.check_kind(&e.cause, false, true, false, "wasGeneratedBy", "process")?;
+            }
+            EdgeKind::WasControlledBy => {
+                self.check_kind(&e.effect, false, true, false, "wasControlledBy", "process")?;
+                self.check_kind(&e.cause, false, false, true, "wasControlledBy", "agent")?;
+            }
+            EdgeKind::WasTriggeredBy => {
+                self.check_kind(&e.effect, false, true, false, "wasTriggeredBy", "process")?;
+                self.check_kind(&e.cause, false, true, false, "wasTriggeredBy", "process")?;
+            }
+            EdgeKind::WasDerivedFrom => {
+                self.check_kind(&e.effect, true, false, false, "wasDerivedFrom", "artifact")?;
+                self.check_kind(&e.cause, true, false, false, "wasDerivedFrom", "artifact")?;
+            }
+        }
+        for acc in &e.accounts {
+            self.accounts.insert(acc.clone());
+        }
+        self.edges.push(e);
+        Ok(())
+    }
+
+    /// All edges of a given kind.
+    pub fn edges_of_kind(&self, kind: EdgeKind) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Edges whose effect is `node`.
+    pub fn edges_from(&self, node: &NodeId) -> impl Iterator<Item = &Edge> {
+        let node = node.clone();
+        self.edges.iter().filter(move |e| e.effect == node)
+    }
+
+    /// Edges whose cause is `node`.
+    pub fn edges_to(&self, node: &NodeId) -> impl Iterator<Item = &Edge> {
+        let node = node.clone();
+        self.edges.iter().filter(move |e| e.cause == node)
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.artifacts.len() + self.processes.len() + self.agents.len()
+    }
+
+    /// The *lineage* of a node: every node reachable by following causal
+    /// edges from effect to cause (i.e. everything that contributed to it),
+    /// excluding the start node itself.
+    pub fn lineage(&self, start: &NodeId) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(start.clone());
+        while let Some(n) = queue.pop_front() {
+            for e in self.edges_from(&n) {
+                if seen.insert(e.cause.clone()) {
+                    queue.push_back(e.cause.clone());
+                }
+            }
+        }
+        seen.remove(start);
+        seen
+    }
+
+    /// The *impact* of a node: every node whose lineage includes it.
+    pub fn impact(&self, start: &NodeId) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(start.clone());
+        while let Some(n) = queue.pop_front() {
+            for e in self.edges_to(&n) {
+                if seen.insert(e.effect.clone()) {
+                    queue.push_back(e.effect.clone());
+                }
+            }
+        }
+        seen.remove(start);
+        seen
+    }
+
+    /// Restrict the graph to one account: keeps edges in the account plus
+    /// every node either retained edge endpoint mentions.
+    pub fn account_view(&self, account: &Account) -> OpmGraph {
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .filter(|e| e.is_in_account(Some(account)))
+            .cloned()
+            .collect();
+        let mut used_nodes = BTreeSet::new();
+        for e in &edges {
+            used_nodes.insert(e.effect.clone());
+            used_nodes.insert(e.cause.clone());
+        }
+        OpmGraph {
+            artifacts: self
+                .artifacts
+                .iter()
+                .filter(|(id, _)| used_nodes.contains(*id))
+                .map(|(id, a)| (id.clone(), a.clone()))
+                .collect(),
+            processes: self
+                .processes
+                .iter()
+                .filter(|(id, _)| used_nodes.contains(*id))
+                .map(|(id, p)| (id.clone(), p.clone()))
+                .collect(),
+            agents: self
+                .agents
+                .iter()
+                .filter(|(id, _)| used_nodes.contains(*id))
+                .map(|(id, a)| (id.clone(), a.clone()))
+                .collect(),
+            edges,
+            accounts: std::iter::once(account.clone()).collect(),
+        }
+    }
+
+    /// Merge another graph into this one (union semantics; duplicate edges
+    /// are kept only once).
+    pub fn merge(&mut self, other: &OpmGraph) {
+        for (id, a) in &other.artifacts {
+            self.artifacts
+                .entry(id.clone())
+                .or_insert_with(|| a.clone());
+        }
+        for (id, p) in &other.processes {
+            self.processes
+                .entry(id.clone())
+                .or_insert_with(|| p.clone());
+        }
+        for (id, a) in &other.agents {
+            self.agents.entry(id.clone()).or_insert_with(|| a.clone());
+        }
+        for e in &other.edges {
+            if !self.edges.contains(e) {
+                self.edges.push(e.clone());
+            }
+        }
+        for acc in &other.accounts {
+            self.accounts.insert(acc.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// input -used- check; report -wasGeneratedBy- check; curator controls.
+    fn case_study_graph() -> OpmGraph {
+        let mut g = OpmGraph::new();
+        g.add_artifact(Artifact::new("a:names", "species names"));
+        g.add_artifact(Artifact::new("a:report", "report"));
+        g.add_process(Process::new("p:check", "outdated-name check"));
+        g.add_agent(Agent::new("ag:curator", "curator"));
+        g.add_edge(Edge::used("p:check".into(), "a:names".into(), Some("in")))
+            .unwrap();
+        g.add_edge(Edge::was_generated_by(
+            "a:report".into(),
+            "p:check".into(),
+            Some("out"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::was_controlled_by(
+            "p:check".into(),
+            "ag:curator".into(),
+            Some("expert"),
+        ))
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut g = OpmGraph::new();
+        g.add_process(Process::new("p:1", "p"));
+        let err = g
+            .add_edge(Edge::used("p:1".into(), "a:missing".into(), None))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let mut g = OpmGraph::new();
+        g.add_artifact(Artifact::new("a:1", "a"));
+        g.add_artifact(Artifact::new("a:2", "b"));
+        // `used` requires a process effect; a:1 is an artifact.
+        let err = g
+            .add_edge(Edge::used("a:1".into(), "a:2".into(), None))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::WrongNodeKind { .. }));
+    }
+
+    #[test]
+    fn lineage_walks_effect_to_cause() {
+        let g = case_study_graph();
+        let lin = g.lineage(&"a:report".into());
+        let ids: Vec<&str> = lin.iter().map(|n| n.as_str()).collect();
+        assert_eq!(ids, vec!["a:names", "ag:curator", "p:check"]);
+    }
+
+    #[test]
+    fn impact_is_inverse_of_lineage() {
+        let g = case_study_graph();
+        let imp = g.impact(&"a:names".into());
+        assert!(imp.contains(&"p:check".into()));
+        assert!(imp.contains(&"a:report".into()));
+        assert!(!imp.contains(&"a:names".into()));
+    }
+
+    #[test]
+    fn account_view_filters_edges_and_nodes() {
+        let mut g = case_study_graph();
+        let acc = Account::new("alt");
+        g.add_artifact(Artifact::new("a:other", "other"));
+        g.add_process(Process::new("p:other", "other"));
+        g.add_edge(Edge::used("p:other".into(), "a:other".into(), None).in_account(acc.clone()))
+            .unwrap();
+        let view = g.account_view(&acc);
+        assert_eq!(view.edges.len(), 1);
+        assert_eq!(view.node_count(), 2);
+        assert!(view.artifacts.contains_key(&"a:other".into()));
+    }
+
+    #[test]
+    fn merge_unions_without_duplicates() {
+        let mut g1 = case_study_graph();
+        let g2 = case_study_graph();
+        let before = g1.edges.len();
+        g1.merge(&g2);
+        assert_eq!(g1.edges.len(), before);
+        let mut g3 = OpmGraph::new();
+        g3.add_artifact(Artifact::new("a:new", "new"));
+        g1.merge(&g3);
+        assert!(g1.artifacts.contains_key(&"a:new".into()));
+    }
+
+    #[test]
+    fn edges_of_kind_filters() {
+        let g = case_study_graph();
+        assert_eq!(g.edges_of_kind(EdgeKind::Used).count(), 1);
+        assert_eq!(g.edges_of_kind(EdgeKind::WasDerivedFrom).count(), 0);
+    }
+}

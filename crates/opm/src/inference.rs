@@ -1,0 +1,229 @@
+//! OPM completion rules and multi-step ("starred") edge inference.
+//!
+//! The v1.1 spec defines inferred dependencies:
+//!
+//! * **artifact-introduction** (completion rule): `a₂ wasGeneratedBy p` and
+//!   `p used a₁` ⟹ `a₂ wasDerivedFrom a₁` *may* be inferred (weakly — the
+//!   spec says the process may not actually have used a₁ to make a₂; we
+//!   expose it as an explicit inference the caller opts into).
+//! * **process-introduction**: `p₂ used a` and `a wasGeneratedBy p₁` ⟹
+//!   `p₂ wasTriggeredBy p₁`.
+//! * **multi-step edges**: `wasDerivedFrom*` and `used*`/`wasGeneratedBy*`
+//!   transitive closures.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::edge::{Edge, EdgeKind};
+use crate::graph::OpmGraph;
+use crate::model::NodeId;
+
+/// Apply the artifact-introduction completion rule: for every process `p`,
+/// every generated artifact is inferred to derive from every used artifact.
+/// Returns the new edges (not yet inserted into the graph).
+pub fn infer_derivations(g: &OpmGraph) -> Vec<Edge> {
+    let mut used_by: BTreeMap<&NodeId, Vec<&NodeId>> = BTreeMap::new();
+    for e in g.edges_of_kind(EdgeKind::Used) {
+        used_by.entry(&e.effect).or_default().push(&e.cause);
+    }
+    let mut out = Vec::new();
+    let existing: BTreeSet<(NodeId, NodeId)> = g
+        .edges_of_kind(EdgeKind::WasDerivedFrom)
+        .map(|e| (e.effect.clone(), e.cause.clone()))
+        .collect();
+    for gen in g.edges_of_kind(EdgeKind::WasGeneratedBy) {
+        if let Some(inputs) = used_by.get(&gen.cause) {
+            for input in inputs {
+                if gen.effect != **input
+                    && !existing.contains(&(gen.effect.clone(), (*input).clone()))
+                {
+                    out.push(Edge::was_derived_from(gen.effect.clone(), (*input).clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply the process-introduction completion rule: `p₂ used a` and
+/// `a wasGeneratedBy p₁` ⟹ `p₂ wasTriggeredBy p₁`.
+pub fn infer_triggers(g: &OpmGraph) -> Vec<Edge> {
+    let mut generated_by: BTreeMap<&NodeId, Vec<&NodeId>> = BTreeMap::new();
+    for e in g.edges_of_kind(EdgeKind::WasGeneratedBy) {
+        generated_by.entry(&e.effect).or_default().push(&e.cause);
+    }
+    let existing: BTreeSet<(NodeId, NodeId)> = g
+        .edges_of_kind(EdgeKind::WasTriggeredBy)
+        .map(|e| (e.effect.clone(), e.cause.clone()))
+        .collect();
+    let mut out = Vec::new();
+    for used in g.edges_of_kind(EdgeKind::Used) {
+        if let Some(producers) = generated_by.get(&used.cause) {
+            for p1 in producers {
+                if used.effect != **p1 && !existing.contains(&(used.effect.clone(), (*p1).clone()))
+                {
+                    out.push(Edge::was_triggered_by(used.effect.clone(), (*p1).clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multi-step derivation: the transitive closure of `wasDerivedFrom`
+/// (single-step edges plus the completion-rule derivations). Returns, for
+/// each artifact, the set of artifacts it (transitively) derives from.
+pub fn derivation_closure(g: &OpmGraph) -> BTreeMap<NodeId, BTreeSet<NodeId>> {
+    let mut direct: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for e in g.edges_of_kind(EdgeKind::WasDerivedFrom) {
+        direct
+            .entry(e.effect.clone())
+            .or_default()
+            .insert(e.cause.clone());
+    }
+    for e in infer_derivations(g) {
+        direct.entry(e.effect).or_default().insert(e.cause);
+    }
+    let artifacts: Vec<NodeId> = direct.keys().cloned().collect();
+    let mut closure = BTreeMap::new();
+    for a in artifacts {
+        let mut seen = BTreeSet::new();
+        let mut queue: VecDeque<NodeId> = direct
+            .get(&a)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        while let Some(n) = queue.pop_front() {
+            if seen.insert(n.clone()) {
+                if let Some(next) = direct.get(&n) {
+                    queue.extend(next.iter().cloned());
+                }
+            }
+        }
+        seen.remove(&a); // an artifact never "derives from itself"
+        closure.insert(a, seen);
+    }
+    closure
+}
+
+/// Saturate the graph: insert all completion-rule edges until a fixpoint.
+/// Returns the number of edges added. Because each rule only *reads*
+/// `used`/`wasGeneratedBy` edges (which are never added), one pass of each
+/// rule reaches the fixpoint; the loop guards against future rules.
+pub fn saturate(g: &mut OpmGraph) -> usize {
+    let mut added = 0;
+    loop {
+        let mut new_edges = infer_derivations(g);
+        new_edges.extend(infer_triggers(g));
+        if new_edges.is_empty() {
+            break;
+        }
+        for e in new_edges {
+            g.add_edge(e)
+                .expect("inferred edges reference existing nodes");
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Artifact, Process};
+
+    /// a1 -> p1 -> a2 -> p2 -> a3 (pipeline of two steps).
+    fn pipeline() -> OpmGraph {
+        let mut g = OpmGraph::new();
+        for a in ["a:1", "a:2", "a:3"] {
+            g.add_artifact(Artifact::new(a, a));
+        }
+        for p in ["p:1", "p:2"] {
+            g.add_process(Process::new(p, p));
+        }
+        g.add_edge(Edge::used("p:1".into(), "a:1".into(), None))
+            .unwrap();
+        g.add_edge(Edge::was_generated_by("a:2".into(), "p:1".into(), None))
+            .unwrap();
+        g.add_edge(Edge::used("p:2".into(), "a:2".into(), None))
+            .unwrap();
+        g.add_edge(Edge::was_generated_by("a:3".into(), "p:2".into(), None))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn derivations_inferred_per_process() {
+        let g = pipeline();
+        let d = infer_derivations(&g);
+        let pairs: BTreeSet<(String, String)> = d
+            .iter()
+            .map(|e| (e.effect.to_string(), e.cause.to_string()))
+            .collect();
+        assert!(pairs.contains(&("a:2".into(), "a:1".into())));
+        assert!(pairs.contains(&("a:3".into(), "a:2".into())));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn triggers_inferred_across_shared_artifact() {
+        let g = pipeline();
+        let t = infer_triggers(&g);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].effect.as_str(), "p:2");
+        assert_eq!(t[0].cause.as_str(), "p:1");
+    }
+
+    #[test]
+    fn closure_spans_pipeline() {
+        let g = pipeline();
+        let c = derivation_closure(&g);
+        let a3 = c.get(&"a:3".into()).unwrap();
+        assert!(a3.contains(&"a:2".into()));
+        assert!(a3.contains(&"a:1".into()));
+    }
+
+    #[test]
+    fn saturate_reaches_fixpoint_and_is_idempotent() {
+        let mut g = pipeline();
+        let added = saturate(&mut g);
+        assert_eq!(added, 3); // 2 derivations + 1 trigger
+        let again = saturate(&mut g);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn inference_skips_existing_edges() {
+        let mut g = pipeline();
+        g.add_edge(Edge::was_derived_from("a:2".into(), "a:1".into()))
+            .unwrap();
+        let d = infer_derivations(&g);
+        assert_eq!(d.len(), 1); // only a:3 <- a:2 remains to infer
+    }
+
+    #[test]
+    fn self_loops_never_inferred() {
+        let mut g = OpmGraph::new();
+        g.add_artifact(Artifact::new("a:x", "x"));
+        g.add_process(Process::new("p:id", "identity"));
+        // p uses a:x and regenerates a:x (an in-place "update").
+        g.add_edge(Edge::used("p:id".into(), "a:x".into(), None))
+            .unwrap();
+        g.add_edge(Edge::was_generated_by("a:x".into(), "p:id".into(), None))
+            .unwrap();
+        assert!(infer_derivations(&g).is_empty());
+        assert!(infer_triggers(&g).is_empty());
+    }
+
+    #[test]
+    fn closure_handles_cycles_without_hanging() {
+        let mut g = OpmGraph::new();
+        g.add_artifact(Artifact::new("a:1", "1"));
+        g.add_artifact(Artifact::new("a:2", "2"));
+        g.add_edge(Edge::was_derived_from("a:1".into(), "a:2".into()))
+            .unwrap();
+        g.add_edge(Edge::was_derived_from("a:2".into(), "a:1".into()))
+            .unwrap();
+        let c = derivation_closure(&g);
+        assert!(c[&NodeId::new("a:1")].contains(&"a:2".into()));
+        assert!(c[&NodeId::new("a:2")].contains(&"a:1".into()));
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! `preserva-opm` — an implementation of the Open Provenance Model (OPM)
+//! core specification v1.1 (Moreau et al., FGCS 2011), the provenance
+//! interchange model the paper's Provenance Manager consumes from Taverna.
+//!
+//! OPM describes a past execution as a directed graph of three node kinds —
+//! [`model::Artifact`] (immutable piece of state), [`model::Process`]
+//! (action) and [`model::Agent`] (contextual controller) — connected by
+//! five causal [`edge::Edge`] kinds:
+//!
+//! | edge | from → to | reading |
+//! |---|---|---|
+//! | `used(r)` | process → artifact | the process consumed the artifact in role *r* |
+//! | `wasGeneratedBy(r)` | artifact → process | the artifact was produced by the process in role *r* |
+//! | `wasControlledBy(r)` | process → agent | the agent controlled the process |
+//! | `wasTriggeredBy` | process₂ → process₁ | process₁ caused process₂ to start |
+//! | `wasDerivedFrom` | artifact₂ → artifact₁ | artifact₁ influenced artifact₂ |
+//!
+//! Edges may belong to *accounts* (alternative descriptions of the same
+//! execution). [`inference`] implements the spec's completion rules and
+//! multi-step (starred) transitive edges; [`validate`] enforces graph
+//! legality; [`serialize`] round-trips graphs through JSON and exports
+//! GraphViz DOT.
+//!
+//! # Example
+//!
+//! ```
+//! use preserva_opm::graph::OpmGraph;
+//! use preserva_opm::model::{Artifact, Process};
+//! use preserva_opm::edge::Edge;
+//!
+//! let mut g = OpmGraph::new();
+//! let names = g.add_artifact(Artifact::new("a:names", "FNJV species names"));
+//! let check = g.add_process(Process::new("p:check", "Outdated name detection"));
+//! let report = g.add_artifact(Artifact::new("a:report", "Updated-name report"));
+//! g.add_edge(Edge::used(check.clone(), names.clone(), Some("input"))).unwrap();
+//! g.add_edge(Edge::was_generated_by(report.clone(), check, Some("output"))).unwrap();
+//! // The completion rule infers report -wasDerivedFrom-> names.
+//! let derived = preserva_opm::inference::infer_derivations(&g);
+//! assert_eq!(derived.len(), 1);
+//! ```
+
+pub mod edge;
+pub mod graph;
+pub mod inference;
+pub mod model;
+pub mod rdf;
+pub mod serialize;
+pub mod validate;
+
+pub use edge::{Edge, EdgeKind};
+pub use graph::OpmGraph;
+pub use model::{Agent, Artifact, NodeId, Process};

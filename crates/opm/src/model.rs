@@ -1,0 +1,175 @@
+//! OPM node kinds: artifacts, processes and agents.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of any OPM node. IDs are opaque strings; by convention the
+/// workflow layer prefixes them (`a:` artifact, `p:` process, `ag:` agent).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub String);
+
+impl NodeId {
+    /// Wrap a string as a node id.
+    pub fn new(id: impl Into<String>) -> Self {
+        NodeId(id.into())
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for NodeId {
+    fn from(s: &str) -> Self {
+        NodeId(s.to_string())
+    }
+}
+
+/// Free-form key→value annotations attached to nodes and edges.
+///
+/// The paper's Workflow Adapter stores quality annotations (e.g.
+/// `Q(reputation) = "1"`) here, exactly mirroring Listing 1.
+pub type Annotations = BTreeMap<String, String>;
+
+/// An immutable piece of state — a dataset, a metadata record set, a report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Human-readable label.
+    pub label: String,
+    #[serde(default)]
+    /// Free-form annotations (incl. quality annotations).
+    pub annotations: Annotations,
+}
+
+impl Artifact {
+    /// Create an artifact with no annotations.
+    pub fn new(id: impl Into<String>, label: impl Into<String>) -> Self {
+        Artifact {
+            id: NodeId::new(id),
+            label: label.into(),
+            annotations: Annotations::new(),
+        }
+    }
+
+    /// Attach one annotation (builder style).
+    pub fn with_annotation(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.annotations.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// An action performed on or caused by artifacts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Process {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Human-readable label.
+    pub label: String,
+    #[serde(default)]
+    /// Free-form annotations (incl. quality annotations).
+    pub annotations: Annotations,
+}
+
+impl Process {
+    /// Create a process with no annotations.
+    pub fn new(id: impl Into<String>, label: impl Into<String>) -> Self {
+        Process {
+            id: NodeId::new(id),
+            label: label.into(),
+            annotations: Annotations::new(),
+        }
+    }
+
+    /// Attach one annotation (builder style).
+    pub fn with_annotation(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.annotations.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// A contextual entity controlling processes (a curator, a service, a
+/// workflow engine).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Agent {
+    /// Unique node id.
+    pub id: NodeId,
+    /// Human-readable label.
+    pub label: String,
+    #[serde(default)]
+    /// Free-form annotations (incl. quality annotations).
+    pub annotations: Annotations,
+}
+
+impl Agent {
+    /// Create an agent with no annotations.
+    pub fn new(id: impl Into<String>, label: impl Into<String>) -> Self {
+        Agent {
+            id: NodeId::new(id),
+            label: label.into(),
+            annotations: Annotations::new(),
+        }
+    }
+
+    /// Attach one annotation (builder style).
+    pub fn with_annotation(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.annotations.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// Account name: one alternative description of an execution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Account(pub String);
+
+impl Account {
+    /// Wrap a string as an account name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Account(name.into())
+    }
+}
+
+impl std::fmt::Display for Account {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_attach_annotations() {
+        let a = Artifact::new("a:1", "input").with_annotation("Q(reputation)", "1");
+        assert_eq!(a.annotations.get("Q(reputation)").unwrap(), "1");
+        let p = Process::new("p:1", "check").with_annotation("host", "local");
+        assert_eq!(p.annotations.len(), 1);
+        let ag = Agent::new("ag:1", "curator").with_annotation("role", "biologist");
+        assert_eq!(ag.annotations.get("role").unwrap(), "biologist");
+    }
+
+    #[test]
+    fn node_id_display_and_conversion() {
+        let id: NodeId = "a:x".into();
+        assert_eq!(id.to_string(), "a:x");
+        assert_eq!(id.as_str(), "a:x");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Artifact::new("a:1", "input").with_annotation("k", "v");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Artifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

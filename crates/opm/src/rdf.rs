@@ -1,0 +1,194 @@
+//! Linked Data export — the paper's §V: "provide support to connect
+//! curated metadata with Linked Data initiatives … allow cross-
+//! referencing scientific papers across distinct research communities".
+//!
+//! OPM graphs serialize to N-Triples using the OPM vocabulary namespace
+//! (`opm:`) plus RDFS labels; annotations become literal-valued
+//! predicates in a local namespace. The output is line-oriented and
+//! deterministic (sorted), so exports diff cleanly across curation runs.
+
+use crate::edge::EdgeKind;
+use crate::graph::OpmGraph;
+use crate::model::{Annotations, NodeId};
+
+/// Namespace prefixes used in the export.
+pub const OPM_NS: &str = "http://openprovenance.org/model/opmo#";
+/// RDFS `label` predicate IRI.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+/// RDF `type` predicate IRI.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// Local namespace for preserva nodes and annotation predicates.
+pub const PRESERVA_NS: &str = "https://preserva.example.org/ns#";
+
+fn escape_literal(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+/// Percent-encode the characters N-Triples forbids in IRIs.
+fn encode_iri_part(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            '<' => out.push_str("%3C"),
+            '>' => out.push_str("%3E"),
+            '"' => out.push_str("%22"),
+            '{' => out.push_str("%7B"),
+            '}' => out.push_str("%7D"),
+            '|' => out.push_str("%7C"),
+            '^' => out.push_str("%5E"),
+            '`' => out.push_str("%60"),
+            '\\' => out.push_str("%5C"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn node_iri(id: &NodeId) -> String {
+    format!("<{}node/{}>", PRESERVA_NS, encode_iri_part(id.as_str()))
+}
+
+fn triple(subject: &str, predicate: &str, object: &str) -> String {
+    format!("{subject} <{predicate}> {object} .")
+}
+
+fn literal(value: &str) -> String {
+    format!("\"{}\"", escape_literal(value))
+}
+
+fn annotation_triples(out: &mut Vec<String>, subject: &str, ann: &Annotations) {
+    for (k, v) in ann {
+        let pred = format!("{}annotation/{}", PRESERVA_NS, encode_iri_part(k));
+        out.push(triple(subject, &pred, &literal(v)));
+    }
+}
+
+/// The OPM-vocabulary property name for an edge kind.
+fn edge_property(kind: EdgeKind) -> String {
+    format!("{}{}", OPM_NS, kind.spec_name())
+}
+
+/// Export the graph as sorted N-Triples.
+pub fn to_ntriples(g: &OpmGraph) -> String {
+    let mut lines = Vec::new();
+    for (id, a) in &g.artifacts {
+        let s = node_iri(id);
+        lines.push(triple(&s, RDF_TYPE, &format!("<{OPM_NS}Artifact>")));
+        lines.push(triple(&s, RDFS_LABEL, &literal(&a.label)));
+        annotation_triples(&mut lines, &s, &a.annotations);
+    }
+    for (id, p) in &g.processes {
+        let s = node_iri(id);
+        lines.push(triple(&s, RDF_TYPE, &format!("<{OPM_NS}Process>")));
+        lines.push(triple(&s, RDFS_LABEL, &literal(&p.label)));
+        annotation_triples(&mut lines, &s, &p.annotations);
+    }
+    for (id, a) in &g.agents {
+        let s = node_iri(id);
+        lines.push(triple(&s, RDF_TYPE, &format!("<{OPM_NS}Agent>")));
+        lines.push(triple(&s, RDFS_LABEL, &literal(&a.label)));
+        annotation_triples(&mut lines, &s, &a.annotations);
+    }
+    for e in &g.edges {
+        lines.push(triple(
+            &node_iri(&e.effect),
+            &edge_property(e.kind),
+            &node_iri(&e.cause),
+        ));
+    }
+    lines.sort();
+    lines.dedup();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Count of triples an export would produce (cheap, for reporting).
+pub fn triple_count(g: &OpmGraph) -> usize {
+    let node_triples = |ann: &Annotations| 2 + ann.len();
+    g.artifacts
+        .values()
+        .map(|a| node_triples(&a.annotations))
+        .sum::<usize>()
+        + g.processes
+            .values()
+            .map(|p| node_triples(&p.annotations))
+            .sum::<usize>()
+        + g.agents
+            .values()
+            .map(|a| node_triples(&a.annotations))
+            .sum::<usize>()
+        + g.edges.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use crate::model::{Artifact, Process};
+
+    fn graph() -> OpmGraph {
+        let mut g = OpmGraph::new();
+        g.add_artifact(
+            Artifact::new("a:names", "FNJV \"species\" names")
+                .with_annotation("Q(reputation)", "1"),
+        );
+        g.add_process(Process::new("p:check", "outdated-name check"));
+        g.add_edge(Edge::used("p:check".into(), "a:names".into(), Some("in")))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn export_contains_types_labels_edges() {
+        let nt = to_ntriples(&graph());
+        assert!(nt.contains("opmo#Artifact>"));
+        assert!(nt.contains("opmo#Process>"));
+        assert!(nt.contains("opmo#used>"));
+        assert!(nt.contains("rdf-schema#label>"));
+        assert!(nt.contains("annotation/Q(reputation)>"));
+    }
+
+    #[test]
+    fn every_line_is_a_terminated_triple() {
+        let nt = to_ntriples(&graph());
+        for line in nt.lines() {
+            assert!(line.ends_with(" ."), "unterminated: {line}");
+            assert!(line.starts_with('<'), "bad subject: {line}");
+        }
+    }
+
+    #[test]
+    fn literals_escaped_and_iris_encoded() {
+        let nt = to_ntriples(&graph());
+        // The label contained quotes; they must be escaped.
+        assert!(nt.contains("FNJV \\\"species\\\" names"));
+        // Node ids with ':' are fine but spaces would be encoded.
+        let mut g = graph();
+        g.add_artifact(Artifact::new("a:with space", "x"));
+        let nt2 = to_ntriples(&g);
+        assert!(nt2.contains("a:with%20space"));
+        assert!(!nt2.contains("a:with space>"));
+    }
+
+    #[test]
+    fn export_is_sorted_and_deterministic() {
+        let nt1 = to_ntriples(&graph());
+        let nt2 = to_ntriples(&graph());
+        assert_eq!(nt1, nt2);
+        let lines: Vec<&str> = nt1.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn triple_count_matches_export() {
+        let g = graph();
+        assert_eq!(to_ntriples(&g).lines().count(), triple_count(&g));
+    }
+}

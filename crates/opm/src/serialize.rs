@@ -1,0 +1,114 @@
+//! Graph serialization: JSON (interchange, via serde) and GraphViz DOT
+//! (inspection). JSON is what the Provenance Manager persists into the
+//! provenance repository.
+
+use crate::edge::EdgeKind;
+use crate::graph::OpmGraph;
+
+/// Serialize a graph to pretty JSON.
+pub fn to_json(g: &OpmGraph) -> String {
+    serde_json::to_string_pretty(g).expect("OPM graphs are always serializable")
+}
+
+/// Parse a graph from JSON.
+pub fn from_json(s: &str) -> Result<OpmGraph, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the graph as GraphViz DOT. Artifacts are ellipses, processes
+/// boxes, agents octagons — the conventional OPM pictography.
+pub fn to_dot(g: &OpmGraph) -> String {
+    let mut out = String::from("digraph opm {\n  rankdir=BT;\n");
+    for (id, a) in &g.artifacts {
+        out.push_str(&format!(
+            "  \"{}\" [shape=ellipse,label=\"{}\"];\n",
+            dot_escape(id.as_str()),
+            dot_escape(&a.label)
+        ));
+    }
+    for (id, p) in &g.processes {
+        out.push_str(&format!(
+            "  \"{}\" [shape=box,label=\"{}\"];\n",
+            dot_escape(id.as_str()),
+            dot_escape(&p.label)
+        ));
+    }
+    for (id, ag) in &g.agents {
+        out.push_str(&format!(
+            "  \"{}\" [shape=octagon,label=\"{}\"];\n",
+            dot_escape(id.as_str()),
+            dot_escape(&ag.label)
+        ));
+    }
+    for e in &g.edges {
+        let style = match e.kind {
+            EdgeKind::WasDerivedFrom | EdgeKind::WasTriggeredBy => ",style=dashed",
+            _ => "",
+        };
+        let label = match &e.role {
+            Some(r) => format!("{}({})", e.kind.spec_name(), r),
+            None => e.kind.spec_name().to_string(),
+        };
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{}\"{}];\n",
+            dot_escape(e.effect.as_str()),
+            dot_escape(e.cause.as_str()),
+            dot_escape(&label),
+            style
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+    use crate::model::{Agent, Artifact, Process};
+
+    fn sample() -> OpmGraph {
+        let mut g = OpmGraph::new();
+        g.add_artifact(Artifact::new("a:in", "input \"quoted\""));
+        g.add_process(Process::new("p:run", "run"));
+        g.add_agent(Agent::new("ag:u", "user"));
+        g.add_edge(Edge::used("p:run".into(), "a:in".into(), Some("data")))
+            .unwrap();
+        g.add_edge(Edge::was_controlled_by(
+            "p:run".into(),
+            "ag:u".into(),
+            Some("op"),
+        ))
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_graph() {
+        let g = sample();
+        let back = from_json(&to_json(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_escapes() {
+        let dot = to_dot(&sample());
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=octagon"));
+        assert!(dot.contains("used(data)"));
+        assert!(dot.contains("\\\"quoted\\\""));
+        assert!(dot.starts_with("digraph opm {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn bad_json_is_error_not_panic() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"artifacts\": 3}").is_err());
+    }
+}

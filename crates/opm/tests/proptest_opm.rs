@@ -1,0 +1,124 @@
+//! Property tests for OPM invariants (DESIGN.md §7): inference
+//! monotonicity/idempotence, closure correctness, serialization fidelity.
+
+use proptest::prelude::*;
+
+use preserva_opm::edge::Edge;
+use preserva_opm::graph::OpmGraph;
+use preserva_opm::inference;
+use preserva_opm::model::{Artifact, Process};
+use preserva_opm::serialize;
+use preserva_opm::validate;
+
+/// Build a random bipartite-ish provenance graph: `n_art` artifacts,
+/// `n_proc` processes, and used/generated edges drawn from index pairs.
+fn random_graph(
+    n_art: usize,
+    n_proc: usize,
+    used: &[(usize, usize)],
+    generated: &[(usize, usize)],
+) -> OpmGraph {
+    let mut g = OpmGraph::new();
+    for i in 0..n_art {
+        g.add_artifact(Artifact::new(format!("a:{i}"), format!("artifact {i}")));
+    }
+    for i in 0..n_proc {
+        g.add_process(Process::new(format!("p:{i}"), format!("process {i}")));
+    }
+    for &(p, a) in used {
+        g.add_edge(Edge::used(
+            format!("p:{}", p % n_proc).as_str().into(),
+            format!("a:{}", a % n_art).as_str().into(),
+            Some("in"),
+        ))
+        .unwrap();
+    }
+    for &(a, p) in generated {
+        g.add_edge(Edge::was_generated_by(
+            format!("a:{}", a % n_art).as_str().into(),
+            format!("p:{}", p % n_proc).as_str().into(),
+            Some("out"),
+        ))
+        .unwrap();
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Saturation reaches a fixpoint and a second run adds nothing.
+    #[test]
+    fn saturation_idempotent(
+        used in proptest::collection::vec((0usize..6, 0usize..6), 0..12),
+        generated in proptest::collection::vec((0usize..6, 0usize..6), 0..12),
+    ) {
+        let mut g = random_graph(6, 6, &used, &generated);
+        inference::saturate(&mut g);
+        let count = g.edges.len();
+        let added = inference::saturate(&mut g);
+        prop_assert_eq!(added, 0);
+        prop_assert_eq!(g.edges.len(), count);
+    }
+
+    /// The derivation closure is monotone: adding an edge never removes
+    /// pairs from the closure.
+    #[test]
+    fn closure_monotone(
+        used in proptest::collection::vec((0usize..5, 0usize..5), 1..10),
+        generated in proptest::collection::vec((0usize..5, 0usize..5), 1..10),
+        extra in (0usize..5, 0usize..5),
+    ) {
+        let g1 = random_graph(5, 5, &used, &generated);
+        let before = inference::derivation_closure(&g1);
+        let mut g2 = g1.clone();
+        let (ea, ec) = extra;
+        if ea != ec {
+            g2.add_edge(Edge::was_derived_from(
+                format!("a:{ea}").as_str().into(),
+                format!("a:{ec}").as_str().into(),
+            )).unwrap();
+        }
+        let after = inference::derivation_closure(&g2);
+        for (k, v) in &before {
+            let bigger = after.get(k).cloned().unwrap_or_default();
+            prop_assert!(v.is_subset(&bigger), "closure shrank for {k:?}");
+        }
+    }
+
+    /// JSON round-trip is the identity on random graphs (post-saturation,
+    /// to include inferred edges too).
+    #[test]
+    fn json_roundtrip_identity(
+        used in proptest::collection::vec((0usize..4, 0usize..4), 0..8),
+        generated in proptest::collection::vec((0usize..4, 0usize..4), 0..8),
+    ) {
+        let mut g = random_graph(4, 4, &used, &generated);
+        inference::saturate(&mut g);
+        let back = serialize::from_json(&serialize::to_json(&g)).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    /// The validator never panics, and single-generation graphs validate.
+    #[test]
+    fn validator_total(
+        used in proptest::collection::vec((0usize..5, 0usize..5), 0..10),
+        generated_arts in proptest::collection::vec(0usize..5, 0..5),
+    ) {
+        // Give each artifact at most one generating process.
+        let generated: Vec<(usize, usize)> = generated_arts
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, a)| (a, i % 5))
+            .collect::<std::collections::BTreeMap<_, _>>() // dedup by artifact
+            .into_iter()
+            .collect();
+        let g = random_graph(5, 5, &used, &generated);
+        let report = validate::validate(&g);
+        prop_assert!(
+            report.errors.iter().all(|v| !matches!(v, validate::Violation::MultipleGeneration { .. })),
+            "no artifact has two generators by construction"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Score combinators: how several dimension scores become one number.
+
+use crate::dimension::clamp_score;
+
+/// How to combine multiple scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Weighted arithmetic mean (weights normalized).
+    WeightedMean,
+    /// The worst score dominates — appropriate when any failing dimension
+    /// makes the data unusable.
+    Min,
+    /// Geometric mean — penalizes imbalance more than the arithmetic mean.
+    Geometric,
+}
+
+/// Combine `(score, weight)` pairs. Returns `None` for an empty input or
+/// all-zero weights.
+pub fn combine(pairs: &[(f64, f64)], how: Combine) -> Option<f64> {
+    let pairs: Vec<(f64, f64)> = pairs
+        .iter()
+        .filter(|(_, w)| *w > 0.0)
+        .map(|(s, w)| (clamp_score(*s), *w))
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let total_w: f64 = pairs.iter().map(|(_, w)| w).sum();
+    Some(match how {
+        Combine::WeightedMean => pairs.iter().map(|(s, w)| s * w).sum::<f64>() / total_w,
+        Combine::Min => pairs.iter().map(|(s, _)| *s).fold(f64::INFINITY, f64::min),
+        Combine::Geometric => {
+            // Weighted geometric mean; zero scores yield zero.
+            if pairs.iter().any(|(s, _)| *s == 0.0) {
+                0.0
+            } else {
+                (pairs
+                    .iter()
+                    .map(|(s, w)| (w / total_w) * s.ln())
+                    .sum::<f64>())
+                .exp()
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean_basic() {
+        let got = combine(&[(1.0, 1.0), (0.5, 1.0)], Combine::WeightedMean).unwrap();
+        assert!((got - 0.75).abs() < 1e-12);
+        let weighted = combine(&[(1.0, 3.0), (0.0, 1.0)], Combine::WeightedMean).unwrap();
+        assert!((weighted - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_is_scale_invariant_in_weights() {
+        let a = combine(&[(0.9, 1.0), (0.6, 2.0)], Combine::WeightedMean).unwrap();
+        let b = combine(&[(0.9, 10.0), (0.6, 20.0)], Combine::WeightedMean).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_takes_worst() {
+        assert_eq!(combine(&[(0.9, 1.0), (0.2, 1.0)], Combine::Min), Some(0.2));
+    }
+
+    #[test]
+    fn geometric_penalizes_imbalance() {
+        let arith = combine(&[(1.0, 1.0), (0.25, 1.0)], Combine::WeightedMean).unwrap();
+        let geo = combine(&[(1.0, 1.0), (0.25, 1.0)], Combine::Geometric).unwrap();
+        assert!(geo < arith);
+        assert!((geo - 0.5).abs() < 1e-9); // sqrt(0.25)
+    }
+
+    #[test]
+    fn geometric_zero_dominates() {
+        assert_eq!(
+            combine(&[(0.0, 1.0), (1.0, 1.0)], Combine::Geometric),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn empty_or_zero_weights_none() {
+        assert_eq!(combine(&[], Combine::Min), None);
+        assert_eq!(combine(&[(0.9, 0.0)], Combine::WeightedMean), None);
+    }
+
+    #[test]
+    fn results_stay_in_unit_interval() {
+        for how in [Combine::WeightedMean, Combine::Min, Combine::Geometric] {
+            let got = combine(&[(2.0, 1.0), (-1.0, 2.0), (0.5, 3.0)], how).unwrap();
+            assert!((0.0..=1.0).contains(&got), "{how:?} → {got}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Attribute-based quality assessment — the related-work baseline that
+//! "disregards \[provenance\], considering other attributes" (§II-B).
+//!
+//! The baseline looks only at the data's own observable attributes:
+//! how many fields are filled, how many pass their domain checks, how
+//! internally consistent the records are. It is deliberately blind to
+//! *where the data came from*, which is exactly what ablation A1 probes:
+//! when a source degrades, attribute-based scores stay flat while
+//! provenance-based scores drop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dimension::{clamp_score, Dimension};
+use crate::report::QualityReport;
+
+/// Observable attribute counts for one dataset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttributeCounts {
+    /// Declared field slots across all records.
+    pub total_fields: usize,
+    /// Slots actually filled.
+    pub filled_fields: usize,
+    /// Values that were checked against a domain.
+    pub domain_checked: usize,
+    /// Checked values that passed.
+    pub domain_valid: usize,
+    /// Records checked for internal consistency.
+    pub consistency_checked: usize,
+    /// Records with no internal contradiction.
+    pub consistent: usize,
+}
+
+impl AttributeCounts {
+    fn ratio(num: usize, den: usize) -> Option<f64> {
+        if den == 0 {
+            None
+        } else {
+            Some(clamp_score(num as f64 / den as f64))
+        }
+    }
+
+    /// Completeness = filled / total.
+    pub fn completeness(&self) -> Option<f64> {
+        Self::ratio(self.filled_fields, self.total_fields)
+    }
+
+    /// Domain validity = valid / checked (a *syntactic* accuracy proxy —
+    /// it cannot see semantically outdated values).
+    pub fn domain_validity(&self) -> Option<f64> {
+        Self::ratio(self.domain_valid, self.domain_checked)
+    }
+
+    /// Consistency = consistent / checked.
+    pub fn consistency(&self) -> Option<f64> {
+        Self::ratio(self.consistent, self.consistency_checked)
+    }
+}
+
+/// Produce a quality report from attributes alone.
+pub fn assess(subject: &str, counts: &AttributeCounts) -> QualityReport {
+    let mut report = QualityReport::new(subject);
+    let mut unavailable = Vec::new();
+    match counts.completeness() {
+        Some(s) => report.push(Dimension::completeness(), "attribute: fill rate", s),
+        None => unavailable.push(Dimension::completeness()),
+    }
+    match counts.domain_validity() {
+        Some(s) => report.push(Dimension::accuracy(), "attribute: domain validity", s),
+        None => unavailable.push(Dimension::accuracy()),
+    }
+    match counts.consistency() {
+        Some(s) => report.push(Dimension::consistency(), "attribute: consistency", s),
+        None => unavailable.push(Dimension::consistency()),
+    }
+    report.unavailable = unavailable;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> AttributeCounts {
+        AttributeCounts {
+            total_fields: 100,
+            filled_fields: 80,
+            domain_checked: 50,
+            domain_valid: 45,
+            consistency_checked: 10,
+            consistent: 10,
+        }
+    }
+
+    #[test]
+    fn ratios_computed() {
+        let c = counts();
+        assert_eq!(c.completeness(), Some(0.8));
+        assert_eq!(c.domain_validity(), Some(0.9));
+        assert_eq!(c.consistency(), Some(1.0));
+    }
+
+    #[test]
+    fn zero_denominators_unavailable() {
+        let report = assess("s", &AttributeCounts::default());
+        assert!(report.attributes.is_empty());
+        assert_eq!(report.unavailable.len(), 3);
+    }
+
+    #[test]
+    fn report_carries_all_three_dimensions() {
+        let report = assess("s", &counts());
+        assert_eq!(report.score(&Dimension::completeness()), Some(0.8));
+        assert_eq!(report.score(&Dimension::accuracy()), Some(0.9));
+        assert_eq!(report.score(&Dimension::consistency()), Some(1.0));
+        assert!(report.unavailable.is_empty());
+    }
+
+    #[test]
+    fn blind_to_source_degradation() {
+        // The defining limitation: identical attributes → identical score,
+        // regardless of any upstream source change.
+        let before = assess("s", &counts());
+        let after = assess("s", &counts()); // source degraded "elsewhere"
+        assert_eq!(
+            before.score(&Dimension::accuracy()),
+            after.score(&Dimension::accuracy())
+        );
+    }
+}

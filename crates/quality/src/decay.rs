@@ -1,0 +1,97 @@
+//! Temporal quality decay — "curated (meta)data that in the past was
+//! reliable may have its content degraded with time … new discoveries may
+//! invalidate (meta)data" (§IV-A).
+//!
+//! Two mechanisms matter to the architecture:
+//!
+//! * [`currency`]: a smooth freshness decay of a value assessed at some
+//!   age (half-life model) — drives re-assessment scheduling;
+//! * [`expected_name_accuracy`]: the *knowledge-evolution* decay of the
+//!   case study — if a fraction `churn` of accepted names changes per
+//!   year, metadata checked `age` years ago is expected to be only
+//!   `(1 − churn)^age` accurate today.
+
+/// Freshness in `[0, 1]` after `age_years` with the given half-life.
+pub fn currency(age_years: f64, half_life_years: f64) -> f64 {
+    if half_life_years <= 0.0 {
+        return if age_years <= 0.0 { 1.0 } else { 0.0 };
+    }
+    0.5f64.powf(age_years.max(0.0) / half_life_years)
+}
+
+/// Expected species-name accuracy after `age_years` when a fraction
+/// `annual_churn` of accepted names changes each year.
+pub fn expected_name_accuracy(age_years: f64, annual_churn: f64) -> f64 {
+    (1.0 - annual_churn.clamp(0.0, 1.0)).powf(age_years.max(0.0))
+}
+
+/// Years until quality decays from 1.0 to `threshold` under
+/// [`expected_name_accuracy`] — i.e. when re-curation is due.
+/// `None` when churn is 0 (never decays) or threshold ≥ 1.
+pub fn years_until_recuration(annual_churn: f64, threshold: f64) -> Option<f64> {
+    if !(0.0..1.0).contains(&threshold) {
+        return None;
+    }
+    let keep = 1.0 - annual_churn.clamp(0.0, 1.0);
+    if keep >= 1.0 {
+        return None;
+    }
+    if keep <= 0.0 {
+        return Some(0.0);
+    }
+    Some(threshold.ln() / keep.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn currency_halves_at_half_life() {
+        assert!((currency(10.0, 10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(currency(0.0, 10.0), 1.0);
+        assert!(currency(40.0, 10.0) < 0.07);
+    }
+
+    #[test]
+    fn currency_monotone_in_age() {
+        let mut last = 1.1;
+        for age in 0..50 {
+            let c = currency(age as f64, 15.0);
+            assert!(c < last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn degenerate_half_life() {
+        assert_eq!(currency(5.0, 0.0), 0.0);
+        assert_eq!(currency(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn name_accuracy_matches_case_study_scale() {
+        // The paper found 7% of names outdated for a collection whose core
+        // dates back ~48 years (1965→2013). That implies annual churn of
+        // about 0.15%: (1 − 0.0015)^48 ≈ 0.931.
+        let acc = expected_name_accuracy(48.0, 0.0015);
+        assert!((acc - 0.93).abs() < 0.01, "got {acc}");
+    }
+
+    #[test]
+    fn recuration_due_when_threshold_crossed() {
+        let years = years_until_recuration(0.0015, 0.93).unwrap();
+        // Decaying to 93% at 0.15%/year takes ≈ 48 years.
+        assert!((years - 48.0).abs() < 2.0, "got {years}");
+        // Sanity: plugging back in lands on the threshold.
+        assert!((expected_name_accuracy(years, 0.0015) - 0.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recuration_edge_cases() {
+        assert_eq!(years_until_recuration(0.0, 0.9), None);
+        assert_eq!(years_until_recuration(1.0, 0.9), Some(0.0));
+        assert_eq!(years_until_recuration(0.1, 1.0), None);
+        assert_eq!(years_until_recuration(0.1, -0.1), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Quality dimensions: "a set of data quality attributes that allow to
+//! represent a particular characteristic of quality" (paper §II-B).
+
+use serde::{Deserialize, Serialize};
+
+/// A named quality dimension. Scores for every dimension are normalized to
+/// `[0, 1]`, 1 being best.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dimension(pub String);
+
+impl Dimension {
+    /// Create a dimension by name (lowercased for identity).
+    pub fn new(name: &str) -> Self {
+        Dimension(name.to_lowercase())
+    }
+
+    /// Fraction of values that agree with an authoritative source — the
+    /// dimension the case study computes (93%).
+    pub fn accuracy() -> Self {
+        Dimension::new("accuracy")
+    }
+
+    /// Fraction of fields actually filled.
+    pub fn completeness() -> Self {
+        Dimension::new("completeness")
+    }
+
+    /// How up-to-date values are relative to current knowledge.
+    pub fn timeliness() -> Self {
+        Dimension::new("timeliness")
+    }
+
+    /// Absence of internal contradictions.
+    pub fn consistency() -> Self {
+        Dimension::new("consistency")
+    }
+
+    /// Fraction of requests an external source answers (paper: 0.9).
+    pub fn availability() -> Self {
+        Dimension::new("availability")
+    }
+
+    /// Expert-assigned trust in a source (paper: 1.0).
+    pub fn reputation() -> Self {
+        Dimension::new("reputation")
+    }
+
+    /// Probability a process completes correctly.
+    pub fn reliability() -> Self {
+        Dimension::new("reliability")
+    }
+
+    /// Freshness of the data itself (decays with age).
+    pub fn currency() -> Self {
+        Dimension::new("currency")
+    }
+
+    /// The dimension's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Dimension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Clamp any raw score into the legal `[0, 1]` range (NaN → 0).
+pub fn clamp_score(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_case_insensitive() {
+        assert_eq!(Dimension::new("Accuracy"), Dimension::accuracy());
+        assert_eq!(Dimension::new("ACCURACY").name(), "accuracy");
+    }
+
+    #[test]
+    fn builtin_dimensions_distinct() {
+        let all = [
+            Dimension::accuracy(),
+            Dimension::completeness(),
+            Dimension::timeliness(),
+            Dimension::consistency(),
+            Dimension::availability(),
+            Dimension::reputation(),
+            Dimension::reliability(),
+            Dimension::currency(),
+        ];
+        let set: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn clamp_handles_edge_cases() {
+        assert_eq!(clamp_score(0.5), 0.5);
+        assert_eq!(clamp_score(-1.0), 0.0);
+        assert_eq!(clamp_score(2.0), 1.0);
+        assert_eq!(clamp_score(f64::NAN), 0.0);
+    }
+}

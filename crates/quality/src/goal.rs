@@ -1,0 +1,157 @@
+//! Quality goals: user-defined targets over dimensions (Lemos' metamodel:
+//! "the input is based on the definition of quality goals and a set of
+//! quality metrics").
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::Combine;
+use crate::dimension::Dimension;
+use crate::report::QualityReport;
+
+/// One dimension's target inside a goal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoalTerm {
+    /// Dimension this term constrains.
+    pub dimension: Dimension,
+    /// Weight in the overall score.
+    pub weight: f64,
+    /// Minimum acceptable score; below it the term fails.
+    pub min_score: f64,
+}
+
+/// A named quality goal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityGoal {
+    /// Goal name.
+    pub name: String,
+    /// The constrained dimensions.
+    pub terms: Vec<GoalTerm>,
+}
+
+/// Evaluation outcome of a goal against a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoalEvaluation {
+    /// Name of the evaluated goal.
+    pub goal: String,
+    /// Weighted overall score (None when nothing was measurable).
+    pub overall: Option<f64>,
+    /// Terms whose minimum was not met, with the observed score
+    /// (None = dimension unavailable, which also fails the term).
+    pub failed_terms: Vec<(Dimension, Option<f64>)>,
+}
+
+impl GoalEvaluation {
+    /// The goal is satisfied when every term met its minimum.
+    pub fn satisfied(&self) -> bool {
+        self.failed_terms.is_empty()
+    }
+}
+
+impl QualityGoal {
+    /// Create a goal.
+    pub fn new(name: &str) -> Self {
+        QualityGoal {
+            name: name.to_string(),
+            terms: Vec::new(),
+        }
+    }
+
+    /// Add a term (builder style).
+    pub fn require(mut self, dimension: Dimension, weight: f64, min_score: f64) -> Self {
+        self.terms.push(GoalTerm {
+            dimension,
+            weight,
+            min_score,
+        });
+        self
+    }
+
+    /// Evaluate against a report.
+    pub fn evaluate(&self, report: &QualityReport) -> GoalEvaluation {
+        let mut failed = Vec::new();
+        for t in &self.terms {
+            match report.score(&t.dimension) {
+                Some(s) if s >= t.min_score => {}
+                other => failed.push((t.dimension.clone(), other)),
+            }
+        }
+        let weights: BTreeMap<Dimension, f64> = self
+            .terms
+            .iter()
+            .map(|t| (t.dimension.clone(), t.weight))
+            .collect();
+        GoalEvaluation {
+            goal: self.name.clone(),
+            overall: report.overall(&weights, Combine::WeightedMean),
+            failed_terms: failed,
+        }
+    }
+
+    /// The preservation-readiness goal used in the examples: accurate,
+    /// reasonably complete metadata from a reputable source.
+    pub fn preservation_ready() -> QualityGoal {
+        QualityGoal::new("preservation-ready")
+            .require(Dimension::accuracy(), 3.0, 0.9)
+            .require(Dimension::completeness(), 2.0, 0.6)
+            .require(Dimension::reputation(), 1.0, 0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(acc: f64, comp: f64, rep: f64) -> QualityReport {
+        let mut r = QualityReport::new("s");
+        r.push(Dimension::accuracy(), "m", acc);
+        r.push(Dimension::completeness(), "m", comp);
+        r.push(Dimension::reputation(), "m", rep);
+        r
+    }
+
+    #[test]
+    fn satisfied_goal() {
+        let e = QualityGoal::preservation_ready().evaluate(&report(0.93, 0.7, 1.0));
+        assert!(e.satisfied());
+        assert!(e.overall.unwrap() > 0.8);
+    }
+
+    #[test]
+    fn failing_term_reported_with_score() {
+        let e = QualityGoal::preservation_ready().evaluate(&report(0.85, 0.7, 1.0));
+        assert!(!e.satisfied());
+        assert_eq!(e.failed_terms, vec![(Dimension::accuracy(), Some(0.85))]);
+    }
+
+    #[test]
+    fn unavailable_dimension_fails_term() {
+        let mut r = QualityReport::new("s");
+        r.push(Dimension::accuracy(), "m", 0.95);
+        let e = QualityGoal::preservation_ready().evaluate(&r);
+        assert!(!e.satisfied());
+        assert!(e
+            .failed_terms
+            .iter()
+            .any(|(d, s)| d == &Dimension::completeness() && s.is_none()));
+    }
+
+    #[test]
+    fn overall_uses_term_weights() {
+        let goal = QualityGoal::new("g")
+            .require(Dimension::accuracy(), 1.0, 0.0)
+            .require(Dimension::completeness(), 3.0, 0.0);
+        let e = goal.evaluate(&report(1.0, 0.5, 0.0));
+        // reputation has weight 0 → excluded; (1*1 + 0.5*3) / 4 = 0.625.
+        assert!((e.overall.unwrap() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = QualityGoal::preservation_ready();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: QualityGoal = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, back);
+    }
+}

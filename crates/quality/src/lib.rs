@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! `preserva-quality` — the quality metamodel and assessment engine behind
+//! the paper's Data Quality Manager.
+//!
+//! The design follows Lemos' proposal the paper says its final Quality
+//! Manager will be based on: users define **quality goals** over
+//! **dimensions**, each dimension measured by **metrics** whose
+//! **measurement methods** are pluggable code. Assessment draws on three
+//! inputs (paper §III): (a) stored provenance, (b) quality annotations
+//! added by the Workflow Adapter, and (c) external data sources.
+//!
+//! * [`dimension`] — the dimension vocabulary (accuracy, completeness,
+//!   timeliness, availability, reputation, …)
+//! * [`metric`] — metrics + measurement methods over an
+//!   [`metric::AssessmentContext`]
+//! * [`model`] — the metamodel: register metrics, run assessments
+//! * [`goal`] — quality goals with weights and minimum thresholds
+//! * [`report`] — assessment reports (per-dimension scores + provenance of
+//!   the assessment itself)
+//! * [`provenance_based`] — score propagation over OPM lineage (the
+//!   paper's approach)
+//! * [`attribute_based`] — the related-work baseline that ignores
+//!   provenance (ablation A1 contrasts the two)
+//! * [`decay`] — temporal quality decay ("quality decrease with time")
+//! * [`aggregate`] — weighted/min/geometric score combinators
+
+pub mod aggregate;
+pub mod attribute_based;
+pub mod decay;
+pub mod dimension;
+pub mod goal;
+pub mod metric;
+pub mod model;
+pub mod provenance_based;
+pub mod report;
+pub mod sources;
+
+pub use dimension::Dimension;
+pub use goal::QualityGoal;
+pub use metric::{AssessmentContext, Metric};
+pub use model::QualityModel;
+pub use report::QualityReport;

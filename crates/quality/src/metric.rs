@@ -1,0 +1,182 @@
+//! Metrics and measurement methods.
+//!
+//! A metric binds a [`Dimension`] to a *measurement method* — code that
+//! computes a normalized score from an [`AssessmentContext`]. End users
+//! "specify dimensions and indicate means to compute them — e.g.,
+//! designating web services or software components" (paper §IV-C); here a
+//! method is any `Fn(&AssessmentContext) -> Option<f64>`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use preserva_opm::graph::OpmGraph;
+
+use crate::dimension::{clamp_score, Dimension};
+
+/// Everything a measurement method may draw on — the three input kinds of
+/// the paper's Data Quality Manager.
+#[derive(Debug, Clone, Default)]
+pub struct AssessmentContext {
+    /// (a) stored provenance of the assessed data.
+    pub provenance: Option<OpmGraph>,
+    /// (b) quality annotations from the Workflow Adapter
+    /// (e.g. `"reputation" → 1.0` for the Catalogue of Life processor).
+    pub annotations: BTreeMap<String, f64>,
+    /// (c) facts from external sources / the workflow output
+    /// (e.g. `"names_checked" → 1929`, `"names_outdated" → 134`).
+    pub facts: BTreeMap<String, f64>,
+}
+
+impl AssessmentContext {
+    /// Empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: attach provenance.
+    pub fn with_provenance(mut self, g: OpmGraph) -> Self {
+        self.provenance = Some(g);
+        self
+    }
+
+    /// Builder: add a workflow quality annotation.
+    pub fn with_annotation(mut self, key: &str, value: f64) -> Self {
+        self.annotations.insert(key.to_string(), value);
+        self
+    }
+
+    /// Builder: add an external fact / measurement.
+    pub fn with_fact(mut self, key: &str, value: f64) -> Self {
+        self.facts.insert(key.to_string(), value);
+        self
+    }
+
+    /// `facts[num] / facts[den]`, when both exist and den > 0.
+    pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let n = self.facts.get(num)?;
+        let d = self.facts.get(den)?;
+        if *d > 0.0 {
+            Some(n / d)
+        } else {
+            None
+        }
+    }
+}
+
+/// A measurement method: computes a raw score, `None` when the context
+/// lacks what it needs ("not all quality dimensions requested by the end
+/// user may be available" — §III).
+pub type MeasurementMethod = Arc<dyn Fn(&AssessmentContext) -> Option<f64> + Send + Sync>;
+
+/// A metric: a named way of measuring one dimension.
+#[derive(Clone)]
+pub struct Metric {
+    /// Human-readable metric name (shown in reports).
+    pub name: String,
+    /// Dimension this metric measures.
+    pub dimension: Dimension,
+    method: MeasurementMethod,
+}
+
+impl std::fmt::Debug for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metric")
+            .field("name", &self.name)
+            .field("dimension", &self.dimension)
+            .finish()
+    }
+}
+
+impl Metric {
+    /// Create a metric from a closure.
+    pub fn new<F>(name: &str, dimension: Dimension, method: F) -> Metric
+    where
+        F: Fn(&AssessmentContext) -> Option<f64> + Send + Sync + 'static,
+    {
+        Metric {
+            name: name.to_string(),
+            dimension,
+            method: Arc::new(method),
+        }
+    }
+
+    /// A metric that reads one annotation verbatim (how reputation and
+    /// availability flow from Listing 1 into the report).
+    pub fn from_annotation(name: &str, dimension: Dimension, key: &str) -> Metric {
+        let key = key.to_string();
+        Metric::new(name, dimension, move |ctx| {
+            ctx.annotations.get(&key).copied()
+        })
+    }
+
+    /// A metric that reads one fact verbatim.
+    pub fn from_fact(name: &str, dimension: Dimension, key: &str) -> Metric {
+        let key = key.to_string();
+        Metric::new(name, dimension, move |ctx| ctx.facts.get(&key).copied())
+    }
+
+    /// A ratio-of-facts metric, e.g. accuracy = correct / checked.
+    pub fn from_ratio(name: &str, dimension: Dimension, num: &str, den: &str) -> Metric {
+        let num = num.to_string();
+        let den = den.to_string();
+        Metric::new(name, dimension, move |ctx| ctx.ratio(&num, &den))
+    }
+
+    /// Run the method, clamping into `[0, 1]`.
+    pub fn measure(&self, ctx: &AssessmentContext) -> Option<f64> {
+        (self.method)(ctx).map(clamp_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_metric_reads_annotation() {
+        let m = Metric::from_annotation("rep", Dimension::reputation(), "reputation");
+        let ctx = AssessmentContext::new().with_annotation("reputation", 1.0);
+        assert_eq!(m.measure(&ctx), Some(1.0));
+        assert_eq!(m.measure(&AssessmentContext::new()), None);
+    }
+
+    #[test]
+    fn ratio_metric_computes_case_study_accuracy() {
+        // 1929 names checked, 134 outdated → 1795 correct → 93.05%.
+        let m = Metric::from_ratio(
+            "acc",
+            Dimension::accuracy(),
+            "names_correct",
+            "names_checked",
+        );
+        let ctx = AssessmentContext::new()
+            .with_fact("names_checked", 1929.0)
+            .with_fact("names_correct", 1929.0 - 134.0);
+        let score = m.measure(&ctx).unwrap();
+        assert!((score - 0.9305).abs() < 0.001, "got {score}");
+    }
+
+    #[test]
+    fn ratio_with_zero_denominator_is_none() {
+        let m = Metric::from_ratio("r", Dimension::accuracy(), "a", "b");
+        let ctx = AssessmentContext::new()
+            .with_fact("a", 1.0)
+            .with_fact("b", 0.0);
+        assert_eq!(m.measure(&ctx), None);
+    }
+
+    #[test]
+    fn scores_are_clamped() {
+        let m = Metric::new("wild", Dimension::new("custom"), |_| Some(3.5));
+        assert_eq!(m.measure(&AssessmentContext::new()), Some(1.0));
+        let neg = Metric::new("neg", Dimension::new("custom"), |_| Some(-0.5));
+        assert_eq!(neg.measure(&AssessmentContext::new()), Some(0.0));
+    }
+
+    #[test]
+    fn fact_metric_reads_fact() {
+        let m = Metric::from_fact("avail", Dimension::availability(), "observed_availability");
+        let ctx = AssessmentContext::new().with_fact("observed_availability", 0.9);
+        assert_eq!(m.measure(&ctx), Some(0.9));
+    }
+}

@@ -1,0 +1,164 @@
+//! The quality metamodel: registered metrics, run on demand.
+//!
+//! End users (scientists) register the dimensions they care about and the
+//! metrics that compute them; [`QualityModel::assess`] runs every metric
+//! against a context and reports scores plus which requested dimensions
+//! were unavailable.
+
+use crate::dimension::Dimension;
+use crate::metric::{AssessmentContext, Metric};
+use crate::report::QualityReport;
+
+/// A user-configured set of metrics.
+///
+/// # Example
+///
+/// ```
+/// use preserva_quality::dimension::Dimension;
+/// use preserva_quality::metric::{AssessmentContext, Metric};
+/// use preserva_quality::model::QualityModel;
+///
+/// let model = QualityModel::new().with_metric(Metric::from_ratio(
+///     "accuracy", Dimension::accuracy(), "names_correct", "names_checked",
+/// ));
+/// let ctx = AssessmentContext::new()
+///     .with_fact("names_checked", 1929.0)
+///     .with_fact("names_correct", 1795.0);
+/// let report = model.assess("fnjv", &ctx);
+/// let acc = report.score(&Dimension::accuracy()).unwrap();
+/// assert!((acc - 0.9305).abs() < 0.001); // the paper's 93%
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QualityModel {
+    metrics: Vec<Metric>,
+}
+
+impl QualityModel {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a metric (builder style).
+    pub fn with_metric(mut self, m: Metric) -> Self {
+        self.add_metric(m);
+        self
+    }
+
+    /// Register a metric.
+    pub fn add_metric(&mut self, m: Metric) {
+        self.metrics.push(m);
+    }
+
+    /// Registered metrics.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Dimensions covered by at least one metric.
+    pub fn dimensions(&self) -> Vec<&Dimension> {
+        let mut out: Vec<&Dimension> = self.metrics.iter().map(|m| &m.dimension).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Run every metric against `ctx`. Metrics that return `None` put
+    /// their dimension on the `unavailable` list (unless another metric
+    /// computed it).
+    pub fn assess(&self, subject: &str, ctx: &AssessmentContext) -> QualityReport {
+        let mut report = QualityReport::new(subject);
+        let mut missing: Vec<Dimension> = Vec::new();
+        for m in &self.metrics {
+            match m.measure(ctx) {
+                Some(score) => report.push(m.dimension.clone(), &m.name, score),
+                None => missing.push(m.dimension.clone()),
+            }
+        }
+        missing.retain(|d| report.score(d).is_none());
+        missing.sort();
+        missing.dedup();
+        report.unavailable = missing;
+        report
+    }
+
+    /// The default model for the paper's case study: accuracy from the
+    /// name-check counts, reputation/availability from the Catalogue of
+    /// Life annotations, reliability from observed run behaviour.
+    pub fn case_study_default() -> QualityModel {
+        QualityModel::new()
+            .with_metric(Metric::from_ratio(
+                "species-name accuracy (vs Catalogue of Life)",
+                Dimension::accuracy(),
+                "names_correct",
+                "names_checked",
+            ))
+            .with_metric(Metric::from_annotation(
+                "Catalogue of Life reputation (expert annotation)",
+                Dimension::reputation(),
+                "reputation",
+            ))
+            .with_metric(Metric::from_annotation(
+                "Catalogue of Life availability (expert annotation)",
+                Dimension::availability(),
+                "availability",
+            ))
+            .with_metric(Metric::from_fact(
+                "workflow reliability (observed)",
+                Dimension::reliability(),
+                "observed_availability",
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case_study_ctx() -> AssessmentContext {
+        AssessmentContext::new()
+            .with_fact("names_checked", 1929.0)
+            .with_fact("names_correct", 1795.0)
+            .with_annotation("reputation", 1.0)
+            .with_annotation("availability", 0.9)
+            .with_fact("observed_availability", 0.91)
+    }
+
+    #[test]
+    fn case_study_model_reproduces_93_percent() {
+        let model = QualityModel::case_study_default();
+        let report = model.assess("fnjv", &case_study_ctx());
+        let acc = report.score(&Dimension::accuracy()).unwrap();
+        assert!((acc - 0.9305).abs() < 0.001, "accuracy {acc}");
+        assert_eq!(report.score(&Dimension::reputation()), Some(1.0));
+        assert_eq!(report.score(&Dimension::availability()), Some(0.9));
+        assert!(report.unavailable.is_empty());
+    }
+
+    #[test]
+    fn missing_inputs_reported_unavailable() {
+        let model = QualityModel::case_study_default();
+        let report = model.assess("fnjv", &AssessmentContext::new());
+        assert!(report.unavailable.contains(&Dimension::accuracy()));
+        assert!(report.attributes.is_empty());
+    }
+
+    #[test]
+    fn dimension_available_if_any_metric_computes() {
+        let model = QualityModel::new()
+            .with_metric(Metric::new("never", Dimension::accuracy(), |_| None))
+            .with_metric(Metric::new("always", Dimension::accuracy(), |_| Some(0.5)));
+        let report = model.assess("s", &AssessmentContext::new());
+        assert_eq!(report.score(&Dimension::accuracy()), Some(0.5));
+        assert!(report.unavailable.is_empty());
+    }
+
+    #[test]
+    fn dimensions_deduplicated() {
+        let model = QualityModel::new()
+            .with_metric(Metric::new("a", Dimension::accuracy(), |_| Some(1.0)))
+            .with_metric(Metric::new("b", Dimension::accuracy(), |_| Some(0.9)));
+        assert_eq!(model.dimensions().len(), 1);
+        assert_eq!(model.metrics().len(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Provenance-based quality assessment — the paper's core idea.
+//!
+//! "Related work either considers provenance to assess quality (which we
+//! call provenance-based) or disregards it" (§II-B). Here quality flows
+//! along the OPM graph: an artifact is only as trustworthy as the sources
+//! and processes in its lineage. Nodes carry `Q(dimension)` annotations
+//! (put there by the Workflow Adapter / Provenance Manager merge);
+//! [`lineage_score`] combines every annotated value found in a node's
+//! lineage — including the node itself — under a chosen combinator.
+
+use preserva_opm::graph::OpmGraph;
+use preserva_opm::model::NodeId;
+
+use crate::aggregate::{combine, Combine};
+use crate::dimension::Dimension;
+
+fn annotation_value(g: &OpmGraph, node: &NodeId, key: &str) -> Option<f64> {
+    let ann = g
+        .artifacts
+        .get(node)
+        .map(|a| &a.annotations)
+        .or_else(|| g.processes.get(node).map(|p| &p.annotations))
+        .or_else(|| g.agents.get(node).map(|a| &a.annotations))?;
+    ann.get(key)?.parse::<f64>().ok()
+}
+
+/// Combine every `Q(dimension)` annotation found on `node` and its lineage.
+/// Returns `None` when no node in the lineage is annotated for the
+/// dimension — the provenance simply doesn't speak to it.
+pub fn lineage_score(
+    g: &OpmGraph,
+    node: &NodeId,
+    dimension: &Dimension,
+    how: Combine,
+) -> Option<f64> {
+    let key = format!("Q({})", dimension.name());
+    let mut values = Vec::new();
+    if let Some(v) = annotation_value(g, node, &key) {
+        values.push((v, 1.0));
+    }
+    for n in g.lineage(node) {
+        if let Some(v) = annotation_value(g, &n, &key) {
+            values.push((v, 1.0));
+        }
+    }
+    combine(&values, how)
+}
+
+/// Assess one node across several dimensions.
+pub fn assess_node(
+    g: &OpmGraph,
+    node: &NodeId,
+    dimensions: &[Dimension],
+    how: Combine,
+) -> Vec<(Dimension, Option<f64>)> {
+    dimensions
+        .iter()
+        .map(|d| (d.clone(), lineage_score(g, node, d, how)))
+        .collect()
+}
+
+/// Rank artifacts by a dimension's lineage score (best first; unscored
+/// artifacts excluded). This is the "scoring and ranking data" use the
+/// related work (Gamble & Goble) motivates.
+pub fn rank_artifacts(g: &OpmGraph, dimension: &Dimension, how: Combine) -> Vec<(NodeId, f64)> {
+    let mut out: Vec<(NodeId, f64)> = g
+        .artifacts
+        .keys()
+        .filter_map(|id| lineage_score(g, id, dimension, how).map(|s| (id.clone(), s)))
+        .collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preserva_opm::edge::Edge;
+    use preserva_opm::model::{Artifact, Process};
+
+    /// source(rep 0.6) -> p:clean(rep 1.0) -> a:out; a:other standalone(0.9)
+    fn graph() -> OpmGraph {
+        let mut g = OpmGraph::new();
+        g.add_artifact(
+            Artifact::new("a:src", "raw metadata").with_annotation("Q(reputation)", "0.6"),
+        );
+        g.add_process(Process::new("p:clean", "cleaning").with_annotation("Q(reputation)", "1.0"));
+        g.add_artifact(Artifact::new("a:out", "cleaned metadata"));
+        g.add_artifact(
+            Artifact::new("a:other", "unrelated").with_annotation("Q(reputation)", "0.9"),
+        );
+        g.add_edge(Edge::used("p:clean".into(), "a:src".into(), Some("in")))
+            .unwrap();
+        g.add_edge(Edge::was_generated_by(
+            "a:out".into(),
+            "p:clean".into(),
+            Some("out"),
+        ))
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn lineage_score_combines_upstream_annotations() {
+        let g = graph();
+        let rep = Dimension::reputation();
+        // a:out has no own annotation; lineage = {p:clean 1.0, a:src 0.6}.
+        let mean = lineage_score(&g, &"a:out".into(), &rep, Combine::WeightedMean).unwrap();
+        assert!((mean - 0.8).abs() < 1e-12);
+        let min = lineage_score(&g, &"a:out".into(), &rep, Combine::Min).unwrap();
+        assert!((min - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn own_annotation_included() {
+        let g = graph();
+        let rep = Dimension::reputation();
+        let own = lineage_score(&g, &"a:other".into(), &rep, Combine::Min).unwrap();
+        assert!((own - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unannotated_dimension_is_none() {
+        let g = graph();
+        assert_eq!(
+            lineage_score(&g, &"a:out".into(), &Dimension::currency(), Combine::Min),
+            None
+        );
+    }
+
+    #[test]
+    fn degraded_source_lowers_derived_artifact() {
+        // The provenance-based hallmark: downgrading the *source* changes
+        // the score of the *derived* artifact even though nothing about
+        // the artifact itself changed.
+        let mut g = graph();
+        let rep = Dimension::reputation();
+        let before = lineage_score(&g, &"a:out".into(), &rep, Combine::Min).unwrap();
+        g.artifacts
+            .get_mut(&"a:src".into())
+            .unwrap()
+            .annotations
+            .insert("Q(reputation)".into(), "0.2".into());
+        let after = lineage_score(&g, &"a:out".into(), &rep, Combine::Min).unwrap();
+        assert!(after < before);
+        assert!((after - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_orders_by_score() {
+        let g = graph();
+        let ranked = rank_artifacts(&g, &Dimension::reputation(), Combine::Min);
+        // a:other (0.9) > a:out (0.6 via lineage) > a:src (0.6 own).
+        assert_eq!(ranked[0].0.as_str(), "a:other");
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
+    }
+
+    #[test]
+    fn assess_node_reports_per_dimension() {
+        let g = graph();
+        let dims = [Dimension::reputation(), Dimension::currency()];
+        let got = assess_node(&g, &"a:out".into(), &dims, Combine::Min);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].1.is_some());
+        assert!(got[1].1.is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Assessment reports — "the results of quality assessment are published
+//! in two formats: (i) the workflow trace; and (ii) computed quality
+//! attributes" (paper §III). This type is format (ii); it records which
+//! run produced it so format (i) can always be joined back.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{combine, Combine};
+use crate::dimension::Dimension;
+
+/// One row of [`QualityReport::diff`]:
+/// `(dimension, earlier score, later score, later − earlier)`.
+pub type DimensionDelta<'a> = (&'a Dimension, Option<f64>, Option<f64>, Option<f64>);
+
+/// One computed quality attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputedAttribute {
+    /// Dimension measured.
+    pub dimension: Dimension,
+    /// Metric that produced the score.
+    pub metric: String,
+    /// Normalized score in [0, 1].
+    pub score: f64,
+}
+
+/// The computed quality attributes of one assessment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// What was assessed (dataset / record-set identifier).
+    pub subject: String,
+    /// The workflow run whose trace backs this assessment, if any.
+    pub run_id: Option<String>,
+    /// Every computed attribute, in computation order.
+    pub attributes: Vec<ComputedAttribute>,
+    /// Dimensions requested but not computable from the available inputs.
+    pub unavailable: Vec<Dimension>,
+}
+
+impl QualityReport {
+    /// Create an empty report for `subject`.
+    pub fn new(subject: &str) -> Self {
+        QualityReport {
+            subject: subject.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Record a computed attribute.
+    pub fn push(&mut self, dimension: Dimension, metric: &str, score: f64) {
+        self.attributes.push(ComputedAttribute {
+            dimension,
+            metric: metric.to_string(),
+            score,
+        });
+    }
+
+    /// Score for a dimension (first metric that computed it).
+    pub fn score(&self, dimension: &Dimension) -> Option<f64> {
+        self.attributes
+            .iter()
+            .find(|a| &a.dimension == dimension)
+            .map(|a| a.score)
+    }
+
+    /// All scores per dimension.
+    pub fn by_dimension(&self) -> BTreeMap<&Dimension, Vec<f64>> {
+        let mut out: BTreeMap<&Dimension, Vec<f64>> = BTreeMap::new();
+        for a in &self.attributes {
+            out.entry(&a.dimension).or_default().push(a.score);
+        }
+        out
+    }
+
+    /// Overall score with per-dimension weights (unknown dimensions get
+    /// weight 0 and drop out).
+    pub fn overall(&self, weights: &BTreeMap<Dimension, f64>, how: Combine) -> Option<f64> {
+        let pairs: Vec<(f64, f64)> = self
+            .attributes
+            .iter()
+            .map(|a| (a.score, weights.get(&a.dimension).copied().unwrap_or(0.0)))
+            .collect();
+        combine(&pairs, how)
+    }
+
+    /// Compare against an earlier assessment of the same subject: for
+    /// every dimension either report scores, the delta `later − earlier`.
+    /// Dimensions scored by only one side appear with the side's score and
+    /// `None` for the other. The tool behind "periodically assessing
+    /// (meta)data quality": a negative accuracy delta is the signal that
+    /// re-curation is due.
+    pub fn diff<'a>(&'a self, earlier: &'a QualityReport) -> Vec<DimensionDelta<'a>> {
+        let mut dims: Vec<&Dimension> = self
+            .attributes
+            .iter()
+            .chain(earlier.attributes.iter())
+            .map(|a| &a.dimension)
+            .collect();
+        dims.sort();
+        dims.dedup();
+        dims.into_iter()
+            .map(|d| {
+                let was = earlier.score(d);
+                let now = self.score(d);
+                let delta = match (was, now) {
+                    (Some(w), Some(n)) => Some(n - w),
+                    _ => None,
+                };
+                (d, was, now, delta)
+            })
+            .collect()
+    }
+
+    /// Render the report as the user-facing text block of Figure 2's
+    /// summary panel.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("Quality assessment for {}\n", self.subject);
+        if let Some(run) = &self.run_id {
+            out.push_str(&format!("  backed by workflow trace: {run}\n"));
+        }
+        for a in &self.attributes {
+            out.push_str(&format!(
+                "  {:<14} {:>7.2}%   ({})\n",
+                a.dimension.name(),
+                a.score * 100.0,
+                a.metric
+            ));
+        }
+        for d in &self.unavailable {
+            out.push_str(&format!("  {:<14} unavailable\n", d.name()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> QualityReport {
+        let mut r = QualityReport::new("fnjv-species-names");
+        r.run_id = Some("run-000001".into());
+        r.push(Dimension::accuracy(), "col-check", 0.93);
+        r.push(Dimension::reputation(), "annotation", 1.0);
+        r.push(Dimension::availability(), "annotation", 0.9);
+        r
+    }
+
+    #[test]
+    fn score_lookup() {
+        let r = report();
+        assert_eq!(r.score(&Dimension::accuracy()), Some(0.93));
+        assert_eq!(r.score(&Dimension::currency()), None);
+    }
+
+    #[test]
+    fn overall_weighted() {
+        let r = report();
+        let mut w = BTreeMap::new();
+        w.insert(Dimension::accuracy(), 2.0);
+        w.insert(Dimension::reputation(), 1.0);
+        let got = r.overall(&w, Combine::WeightedMean).unwrap();
+        assert!((got - (0.93 * 2.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_key_numbers() {
+        let text = report().render_text();
+        assert!(text.contains("accuracy"));
+        assert!(text.contains("93.00%"));
+        assert!(text.contains("run-000001"));
+    }
+
+    #[test]
+    fn unavailable_dimensions_rendered() {
+        let mut r = report();
+        r.unavailable.push(Dimension::currency());
+        assert!(r.render_text().contains("currency"));
+        assert!(r.render_text().contains("unavailable"));
+    }
+
+    #[test]
+    fn diff_tracks_decay() {
+        let mut earlier = QualityReport::new("fnjv");
+        earlier.push(Dimension::accuracy(), "m", 0.99);
+        earlier.push(Dimension::reputation(), "m", 1.0);
+        let mut later = QualityReport::new("fnjv");
+        later.push(Dimension::accuracy(), "m", 0.93);
+        later.push(Dimension::currency(), "m", 0.8);
+        let d = later.diff(&earlier);
+        // Sorted by dimension name: accuracy, currency, reputation.
+        assert_eq!(d.len(), 3);
+        let acc = d
+            .iter()
+            .find(|(dim, ..)| **dim == Dimension::accuracy())
+            .unwrap();
+        assert!(
+            (acc.3.unwrap() + 0.06).abs() < 1e-12,
+            "accuracy fell by 6pp"
+        );
+        let cur = d
+            .iter()
+            .find(|(dim, ..)| **dim == Dimension::currency())
+            .unwrap();
+        assert_eq!(cur.1, None); // not scored earlier
+        assert_eq!(cur.3, None);
+        let rep = d
+            .iter()
+            .find(|(dim, ..)| **dim == Dimension::reputation())
+            .unwrap();
+        assert_eq!(rep.2, None); // not scored later
+    }
+
+    #[test]
+    fn diff_with_self_is_zero() {
+        let r = report();
+        for (_, _, _, delta) in r.diff(&r) {
+            assert_eq!(delta, Some(0.0));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = report();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: QualityReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+}

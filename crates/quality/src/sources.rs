@@ -1,0 +1,204 @@
+//! External semantic data sources — input (c) of the Data Quality
+//! Manager: "the Data Quality Manager can also look for information from
+//! external semantic data sources to complement the facts provided by the
+//! repositories" (§III).
+//!
+//! A source answers fact queries about a subject; a [`SourceRegistry`]
+//! holds the sources an installation knows and merges their answers into
+//! an assessment context. Sources are ordered: later registrations
+//! override earlier ones on key collisions (more specific sources are
+//! registered later).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::metric::AssessmentContext;
+
+/// Anything that can contribute facts about a subject.
+pub trait ExternalSource: Send + Sync {
+    /// Stable source name (recorded with provenance of the assessment).
+    fn name(&self) -> &str;
+
+    /// Facts this source knows about `subject` (empty map = nothing).
+    fn facts(&self, subject: &str) -> BTreeMap<String, f64>;
+}
+
+/// A source backed by a closure.
+pub struct FnSource<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnSource<F>
+where
+    F: Fn(&str) -> BTreeMap<String, f64> + Send + Sync,
+{
+    /// Wrap a closure as a source.
+    pub fn new(name: &str, f: F) -> Self {
+        FnSource {
+            name: name.to_string(),
+            f,
+        }
+    }
+}
+
+impl<F> ExternalSource for FnSource<F>
+where
+    F: Fn(&str) -> BTreeMap<String, f64> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn facts(&self, subject: &str) -> BTreeMap<String, f64> {
+        (self.f)(subject)
+    }
+}
+
+/// A static source: fixed facts per subject.
+#[derive(Default)]
+pub struct StaticSource {
+    name: String,
+    by_subject: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+impl StaticSource {
+    /// Create an empty static source.
+    pub fn new(name: &str) -> Self {
+        StaticSource {
+            name: name.to_string(),
+            by_subject: BTreeMap::new(),
+        }
+    }
+
+    /// Add one fact (builder style).
+    pub fn with_fact(mut self, subject: &str, key: &str, value: f64) -> Self {
+        self.by_subject
+            .entry(subject.to_string())
+            .or_default()
+            .insert(key.to_string(), value);
+        self
+    }
+}
+
+impl ExternalSource for StaticSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn facts(&self, subject: &str) -> BTreeMap<String, f64> {
+        self.by_subject.get(subject).cloned().unwrap_or_default()
+    }
+}
+
+/// An ordered collection of sources.
+#[derive(Clone, Default)]
+pub struct SourceRegistry {
+    sources: Vec<Arc<dyn ExternalSource>>,
+}
+
+impl std::fmt::Debug for SourceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceRegistry")
+            .field(
+                "sources",
+                &self
+                    .sources
+                    .iter()
+                    .map(|s| s.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl SourceRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a source (later registrations win on key collisions).
+    pub fn register(&mut self, source: Arc<dyn ExternalSource>) {
+        self.sources.push(source);
+    }
+
+    /// Registered source names, in consultation order.
+    pub fn names(&self) -> Vec<&str> {
+        self.sources.iter().map(|s| s.name()).collect()
+    }
+
+    /// Merge every source's facts about `subject`.
+    pub fn facts(&self, subject: &str) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for s in &self.sources {
+            out.extend(s.facts(subject));
+        }
+        out
+    }
+
+    /// Enrich an assessment context in place.
+    pub fn enrich(&self, subject: &str, ctx: &mut AssessmentContext) {
+        for (k, v) in self.facts(subject) {
+            ctx.facts.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_source_answers_per_subject() {
+        let s = StaticSource::new("climatology")
+            .with_fact("fnjv", "mean_humidity", 0.72)
+            .with_fact("other", "mean_humidity", 0.4);
+        assert_eq!(s.facts("fnjv").get("mean_humidity"), Some(&0.72));
+        assert!(s.facts("unknown").is_empty());
+        assert_eq!(s.name(), "climatology");
+    }
+
+    #[test]
+    fn fn_source_computes() {
+        let s = FnSource::new("len", |subject: &str| {
+            let mut m = BTreeMap::new();
+            m.insert("subject_len".into(), subject.len() as f64);
+            m
+        });
+        assert_eq!(s.facts("fnjv").get("subject_len"), Some(&4.0));
+    }
+
+    #[test]
+    fn registry_merges_with_later_override() {
+        let mut r = SourceRegistry::new();
+        r.register(Arc::new(StaticSource::new("coarse").with_fact(
+            "fnjv",
+            "reputation",
+            0.5,
+        )));
+        r.register(Arc::new(
+            StaticSource::new("specific")
+                .with_fact("fnjv", "reputation", 0.9)
+                .with_fact("fnjv", "coverage", 0.8),
+        ));
+        let facts = r.facts("fnjv");
+        assert_eq!(facts.get("reputation"), Some(&0.9)); // later wins
+        assert_eq!(facts.get("coverage"), Some(&0.8));
+        assert_eq!(r.names(), vec!["coarse", "specific"]);
+    }
+
+    #[test]
+    fn enrich_adds_facts_to_context() {
+        let mut r = SourceRegistry::new();
+        r.register(Arc::new(StaticSource::new("s").with_fact(
+            "fnjv",
+            "names_checked",
+            1929.0,
+        )));
+        let mut ctx = AssessmentContext::new().with_fact("existing", 1.0);
+        r.enrich("fnjv", &mut ctx);
+        assert_eq!(ctx.facts.get("names_checked"), Some(&1929.0));
+        assert_eq!(ctx.facts.get("existing"), Some(&1.0));
+    }
+}

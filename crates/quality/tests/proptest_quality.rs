@@ -1,0 +1,113 @@
+//! Property tests for quality invariants (DESIGN.md §7): scores stay in
+//! [0,1], aggregation is weight-scale-invariant, decay is monotone.
+
+use proptest::prelude::*;
+
+use preserva_quality::aggregate::{combine, Combine};
+use preserva_quality::decay;
+use preserva_quality::dimension::{clamp_score, Dimension};
+use preserva_quality::goal::QualityGoal;
+use preserva_quality::metric::{AssessmentContext, Metric};
+use preserva_quality::model::QualityModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All combinators keep scores in [0, 1] for arbitrary inputs.
+    #[test]
+    fn combinators_bounded(pairs in proptest::collection::vec((-2.0f64..3.0, 0.0f64..5.0), 0..10)) {
+        for how in [Combine::WeightedMean, Combine::Min, Combine::Geometric] {
+            if let Some(got) = combine(&pairs, how) {
+                prop_assert!((0.0..=1.0).contains(&got), "{how:?} -> {got}");
+            }
+        }
+    }
+
+    /// Weighted mean is invariant under uniform weight scaling.
+    #[test]
+    fn weighted_mean_scale_invariant(
+        pairs in proptest::collection::vec((0.0f64..1.0, 0.01f64..5.0), 1..8),
+        scale in 0.1f64..100.0,
+    ) {
+        let scaled: Vec<(f64, f64)> = pairs.iter().map(|(s, w)| (*s, w * scale)).collect();
+        let a = combine(&pairs, Combine::WeightedMean).unwrap();
+        let b = combine(&scaled, Combine::WeightedMean).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Min ≤ geometric ≤ weighted mean (the AM–GM chain for scores).
+    #[test]
+    fn combinator_ordering(scores in proptest::collection::vec(0.01f64..1.0, 1..8)) {
+        let pairs: Vec<(f64, f64)> = scores.iter().map(|s| (*s, 1.0)).collect();
+        let min = combine(&pairs, Combine::Min).unwrap();
+        let geo = combine(&pairs, Combine::Geometric).unwrap();
+        let mean = combine(&pairs, Combine::WeightedMean).unwrap();
+        prop_assert!(min <= geo + 1e-9);
+        prop_assert!(geo <= mean + 1e-9);
+    }
+
+    /// Metric measurement always lands in [0, 1] no matter what the
+    /// method returns.
+    #[test]
+    fn metric_scores_clamped(raw in -10.0f64..10.0) {
+        let m = Metric::new("wild", Dimension::new("d"), move |_| Some(raw));
+        let got = m.measure(&AssessmentContext::new()).unwrap();
+        prop_assert!((0.0..=1.0).contains(&got));
+        prop_assert_eq!(got, clamp_score(raw));
+    }
+
+    /// Decay functions are monotone non-increasing in age and bounded.
+    #[test]
+    fn decay_monotone(half_life in 0.5f64..100.0, churn in 0.0f64..0.2) {
+        let mut last_c = f64::INFINITY;
+        let mut last_a = f64::INFINITY;
+        for age in 0..60 {
+            let c = decay::currency(age as f64, half_life);
+            let a = decay::expected_name_accuracy(age as f64, churn);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert!(c <= last_c + 1e-12);
+            prop_assert!(a <= last_a + 1e-12);
+            last_c = c;
+            last_a = a;
+        }
+    }
+
+    /// years_until_recuration inverts expected_name_accuracy.
+    #[test]
+    fn recuration_inverts_decay(churn in 0.001f64..0.2, threshold in 0.1f64..0.99) {
+        if let Some(years) = decay::years_until_recuration(churn, threshold) {
+            let acc = decay::expected_name_accuracy(years, churn);
+            prop_assert!((acc - threshold).abs() < 1e-6, "acc {acc} vs {threshold}");
+        }
+    }
+
+    /// Goal evaluation: satisfied ⇔ every term's dimension scored ≥ its
+    /// minimum.
+    #[test]
+    fn goal_satisfaction_consistent(
+        scores in proptest::collection::vec(0.0f64..1.0, 3),
+        mins in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let dims = [Dimension::accuracy(), Dimension::completeness(), Dimension::reputation()];
+        let model = {
+            let mut m = QualityModel::new();
+            for (d, s) in dims.iter().zip(&scores) {
+                let s = *s;
+                m.add_metric(Metric::new("m", d.clone(), move |_| Some(s)));
+            }
+            m
+        };
+        let report = model.assess("s", &AssessmentContext::new());
+        let mut goal = QualityGoal::new("g");
+        for (d, min) in dims.iter().zip(&mins) {
+            goal = goal.require(d.clone(), 1.0, *min);
+        }
+        let eval = goal.evaluate(&report);
+        let expect_satisfied = scores.iter().zip(&mins).all(|(s, m)| clamp_score(*s) >= *m);
+        prop_assert_eq!(eval.satisfied(), expect_satisfied);
+        if let Some(overall) = eval.overall {
+            prop_assert!((0.0..=1.0).contains(&overall));
+        }
+    }
+}

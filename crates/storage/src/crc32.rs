@@ -1,0 +1,95 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to frame WAL and snapshot records.
+//!
+//! Implemented locally so the storage engine stays dependency-free; the
+//! table-driven form is the classic byte-at-a-time variant.
+
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Compute the CRC-32 of `data` in one shot.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// Start a fresh checksum computation.
+    pub fn new() -> Self {
+        Hasher { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed more bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ t[idx];
+        }
+    }
+
+    /// Finish and return the checksum.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(checksum(b""), 0);
+        assert_eq!(checksum(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Hasher::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), checksum(data));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(checksum(b"fnjv:1"), checksum(b"fnjv:2"));
+    }
+}

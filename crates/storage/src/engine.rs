@@ -1,0 +1,604 @@
+//! The engine: snapshot + WAL + memtable, with atomic batches, range scans,
+//! checkpointing and crash recovery.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/wal.log          -- active write-ahead log
+//! <dir>/snap-<id>.sst    -- snapshot files; highest readable id wins
+//! <dir>/LOCK             -- advisory single-instance lock
+//! ```
+//!
+//! ## Recovery
+//!
+//! On open, the engine loads the newest readable snapshot, then replays
+//! the WAL. Only operations covered by a `Commit` frame are applied —
+//! a crash between `append` and `Commit` rolls the partial transaction
+//! back, which is exactly the behaviour the curation layer relies on for
+//! its "original records are never half-updated" guarantee.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::StorageResult;
+use crate::memtable::{Memtable, NsKey};
+use crate::sstable;
+use crate::wal::{self, Wal, WalRecord};
+
+/// Tuning knobs for [`Engine::open`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Issue `fsync` on every commit. Disable for tests/benches.
+    pub fsync: bool,
+    /// Checkpoint automatically once the memtable holds this many bytes.
+    pub checkpoint_bytes: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            fsync: false,
+            checkpoint_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Counters exposed for the benchmark harness and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineStats {
+    /// Single-key upserts applied.
+    pub puts: u64,
+    /// Single-key deletions applied.
+    pub deletes: u64,
+    /// Point reads served.
+    pub gets: u64,
+    /// Range scans served.
+    pub scans: u64,
+    /// Atomic batches committed.
+    pub commits: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Committed WAL operations replayed at the last open.
+    pub recovered_records: u64,
+    /// Entries loaded from the snapshot at the last open.
+    pub recovered_from_snapshot: u64,
+    /// Whether a torn WAL tail was discarded during recovery.
+    pub torn_tail_discarded: bool,
+}
+
+struct Inner {
+    /// Durable base state from the last checkpoint.
+    snapshot: BTreeMap<NsKey, Option<Vec<u8>>>,
+    /// Writes since the last checkpoint.
+    memtable: Memtable,
+    wal: Wal,
+    stats: EngineStats,
+    snapshot_id: u64,
+}
+
+/// An embedded, durable, ordered key-value engine with named tables.
+pub struct Engine {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    next_txid: AtomicU64,
+    options: EngineOptions,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine").field("dir", &self.dir).finish()
+    }
+}
+
+fn snapshot_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("snap-{id:016}.sst"))
+}
+
+fn list_snapshot_ids(dir: &Path) -> StorageResult<Vec<u64>> {
+    let mut ids = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name.strip_prefix("snap-") {
+            if let Some(idpart) = rest.strip_suffix(".sst") {
+                if let Ok(id) = idpart.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+impl Engine {
+    /// Open (creating if needed) an engine rooted at `dir` and recover any
+    /// previous state: newest readable snapshot + committed WAL suffix.
+    pub fn open(dir: &Path, options: EngineOptions) -> StorageResult<Engine> {
+        std::fs::create_dir_all(dir)?;
+        let mut stats = EngineStats::default();
+
+        // Load the newest readable snapshot; fall back to older ones if the
+        // newest is corrupt (its checkpoint may not have completed).
+        let mut snapshot = BTreeMap::new();
+        let mut snapshot_id = 0u64;
+        let mut ids = list_snapshot_ids(dir)?;
+        while let Some(id) = ids.pop() {
+            match sstable::read_snapshot(&snapshot_path(dir, id)) {
+                Ok(map) => {
+                    stats.recovered_from_snapshot = map.len() as u64;
+                    snapshot = map;
+                    snapshot_id = id;
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+
+        // Replay committed WAL operations on top.
+        let wal_path = dir.join("wal.log");
+        let replayed = wal::replay(&wal_path)?;
+        stats.torn_tail_discarded = replayed.torn_tail;
+        let mut memtable = Memtable::new();
+        let mut pending: Vec<WalRecord> = Vec::new();
+        let mut max_txid = 0u64;
+        for rec in replayed.records {
+            match rec {
+                WalRecord::Commit { txid } => {
+                    max_txid = max_txid.max(txid);
+                    for p in pending.drain(..) {
+                        stats.recovered_records += 1;
+                        match p {
+                            WalRecord::Put { table, key, value } => {
+                                memtable.put(&table, &key, value)
+                            }
+                            WalRecord::Delete { table, key } => memtable.delete(&table, &key),
+                            _ => unreachable!("only puts/deletes are pending"),
+                        }
+                    }
+                }
+                WalRecord::Checkpoint { snapshot_id: sid } => {
+                    // A checkpoint frame inside a live WAL means reset()
+                    // didn't complete; operations before it are already in
+                    // snapshot `sid` if we loaded it.
+                    if sid <= snapshot_id {
+                        memtable.clear();
+                    }
+                    pending.clear();
+                }
+                op => pending.push(op),
+            }
+        }
+        // Uncommitted trailing operations in `pending` are dropped: that is
+        // the atomicity guarantee.
+
+        let wal = Wal::open(&wal_path, options.fsync)?;
+        Ok(Engine {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(Inner {
+                snapshot,
+                memtable,
+                wal,
+                stats,
+                snapshot_id,
+            }),
+            next_txid: AtomicU64::new(max_txid + 1),
+            options,
+        })
+    }
+
+    /// Directory this engine lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Upsert a single key (its own transaction).
+    pub fn put(&self, table: &str, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        self.apply_batch(vec![BatchOp::Put {
+            table: table.to_string(),
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }])
+    }
+
+    /// Delete a single key (its own transaction).
+    pub fn delete(&self, table: &str, key: &[u8]) -> StorageResult<()> {
+        self.apply_batch(vec![BatchOp::Delete {
+            table: table.to_string(),
+            key: key.to_vec(),
+        }])
+    }
+
+    /// Read a key.
+    pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        let mut inner = self.inner.lock().expect("engine poisoned");
+        inner.stats.gets += 1;
+        if let Some(hit) = inner.memtable.get(table, key) {
+            return Ok(hit.map(|v| v.to_vec()));
+        }
+        Ok(inner
+            .snapshot
+            .get(&(table.to_string(), key.to_vec()))
+            .and_then(|v| v.clone()))
+    }
+
+    /// Range scan over `table`: keys in `[start, end)`, `end = None` meaning
+    /// unbounded. Returns owned pairs sorted by key, memtable entries
+    /// shadowing snapshot entries, tombstones suppressed.
+    pub fn scan(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut inner = self.inner.lock().expect("engine poisoned");
+        inner.stats.scans += 1;
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let lo = (table.to_string(), start.to_vec());
+        for ((t, k), v) in inner.snapshot.range(lo..) {
+            if t != table {
+                break;
+            }
+            if let Some(e) = end {
+                if k.as_slice() >= e {
+                    break;
+                }
+            }
+            merged.insert(k.clone(), v.clone());
+        }
+        for (k, v) in inner.memtable.range(table, start, end) {
+            merged.insert(k.to_vec(), v.map(|x| x.to_vec()));
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Full-table scan.
+    pub fn scan_all(&self, table: &str) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan(table, b"", None)
+    }
+
+    /// Number of live keys in `table`.
+    pub fn count(&self, table: &str) -> StorageResult<usize> {
+        Ok(self.scan_all(table)?.len())
+    }
+
+    /// Apply a batch of operations atomically: either every operation is
+    /// visible after a crash, or none is.
+    pub fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("engine poisoned");
+        for op in &ops {
+            let rec = match op {
+                BatchOp::Put { table, key, value } => WalRecord::Put {
+                    table: table.clone(),
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+                BatchOp::Delete { table, key } => WalRecord::Delete {
+                    table: table.clone(),
+                    key: key.clone(),
+                },
+            };
+            inner.wal.append(&rec)?;
+        }
+        inner.wal.append(&WalRecord::Commit { txid })?;
+        inner.wal.sync()?;
+        for op in ops {
+            match op {
+                BatchOp::Put { table, key, value } => {
+                    inner.stats.puts += 1;
+                    inner.memtable.put(&table, &key, value);
+                }
+                BatchOp::Delete { table, key } => {
+                    inner.stats.deletes += 1;
+                    inner.memtable.delete(&table, &key);
+                }
+            }
+        }
+        inner.stats.commits += 1;
+        let needs_checkpoint = inner.memtable.approx_bytes() >= self.options.checkpoint_bytes;
+        drop(inner);
+        if needs_checkpoint {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Fold the memtable into a new snapshot file and truncate the WAL.
+    pub fn checkpoint(&self) -> StorageResult<u64> {
+        let mut inner = self.inner.lock().expect("engine poisoned");
+        let new_id = inner.snapshot_id + 1;
+        // Merge memtable over snapshot; drop tombstones at the top level.
+        let mut merged = inner.snapshot.clone();
+        for (k, v) in inner.memtable.iter() {
+            match v {
+                Some(val) => {
+                    merged.insert(k.clone(), Some(val.clone()));
+                }
+                None => {
+                    merged.remove(k);
+                }
+            }
+        }
+        let path = snapshot_path(&self.dir, new_id);
+        sstable::write_snapshot(&path, merged.iter())?;
+        inner.wal.append(&WalRecord::Checkpoint {
+            snapshot_id: new_id,
+        })?;
+        inner.wal.sync()?;
+        inner.wal.reset()?;
+        // Remove the superseded snapshot only after the new one is durable.
+        let old = snapshot_path(&self.dir, inner.snapshot_id);
+        if inner.snapshot_id > 0 {
+            let _ = std::fs::remove_file(old);
+        }
+        inner.snapshot = merged;
+        inner.snapshot_id = new_id;
+        inner.memtable.clear();
+        inner.stats.checkpoints += 1;
+        Ok(new_id)
+    }
+
+    /// List every table that currently holds at least one live key.
+    pub fn tables(&self) -> StorageResult<Vec<String>> {
+        let inner = self.inner.lock().expect("engine poisoned");
+        let mut names: Vec<String> = Vec::new();
+        let mut push = |t: &str| {
+            if names.last().map(String::as_str) != Some(t) && !names.iter().any(|n| n == t) {
+                names.push(t.to_string());
+            }
+        };
+        for ((t, _), v) in inner.snapshot.iter() {
+            if v.is_some() {
+                push(t);
+            }
+        }
+        for ((t, _), v) in inner.memtable.iter() {
+            if v.is_some() {
+                push(t);
+            }
+        }
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.lock().expect("engine poisoned").stats
+    }
+}
+
+/// One operation inside an atomic batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Upsert `key` in `table`.
+    Put {
+        /// Target table.
+        table: String,
+        /// Key to upsert.
+        key: Vec<u8>,
+        /// Value to store.
+        value: Vec<u8>,
+    },
+    /// Delete `key` from `table`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Key to delete.
+        key: Vec<u8>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("preserva-engine-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let dir = tmpdir("basic");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        e.put("t", b"k", b"v").unwrap();
+        assert_eq!(e.get("t", b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        e.delete("t", b"k").unwrap();
+        assert_eq!(e.get("t", b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_replays_committed_writes() {
+        let dir = tmpdir("recover");
+        {
+            let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+            e.put("records", b"1", b"frog").unwrap();
+            e.put("records", b"2", b"bird").unwrap();
+            e.delete("records", b"1").unwrap();
+        }
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.get("records", b"1").unwrap(), None);
+        assert_eq!(
+            e.get("records", b"2").unwrap().as_deref(),
+            Some(&b"bird"[..])
+        );
+        assert_eq!(e.stats().recovered_records, 3);
+    }
+
+    #[test]
+    fn uncommitted_batch_is_rolled_back() {
+        let dir = tmpdir("atomicity");
+        {
+            let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+            e.put("t", b"committed", b"yes").unwrap();
+        }
+        // Hand-craft a torn transaction: a Put with no Commit frame.
+        {
+            let mut w = Wal::open(&dir.join("wal.log"), false).unwrap();
+            w.append(&WalRecord::Put {
+                table: "t".into(),
+                key: b"uncommitted".to_vec(),
+                value: b"no".to_vec(),
+            })
+            .unwrap();
+            w.sync().unwrap();
+        }
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(
+            e.get("t", b"committed").unwrap().as_deref(),
+            Some(&b"yes"[..])
+        );
+        assert_eq!(e.get("t", b"uncommitted").unwrap(), None);
+    }
+
+    #[test]
+    fn checkpoint_then_recover() {
+        let dir = tmpdir("checkpoint");
+        {
+            let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+            for i in 0..100u32 {
+                e.put("t", &i.to_be_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            e.checkpoint().unwrap();
+            e.put("t", &200u32.to_be_bytes(), b"after").unwrap();
+        }
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.count("t").unwrap(), 101);
+        assert_eq!(
+            e.get("t", &200u32.to_be_bytes()).unwrap().as_deref(),
+            Some(&b"after"[..])
+        );
+        // Snapshot-resident key still readable.
+        assert_eq!(
+            e.get("t", &42u32.to_be_bytes()).unwrap().as_deref(),
+            Some(&b"v42"[..])
+        );
+    }
+
+    #[test]
+    fn checkpoint_folds_tombstones() {
+        let dir = tmpdir("tombfold");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        e.put("t", b"a", b"1").unwrap();
+        e.checkpoint().unwrap();
+        e.delete("t", b"a").unwrap();
+        e.checkpoint().unwrap();
+        assert_eq!(e.get("t", b"a").unwrap(), None);
+        drop(e);
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.get("t", b"a").unwrap(), None);
+        assert_eq!(e.count("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn scan_merges_snapshot_and_memtable() {
+        let dir = tmpdir("scanmerge");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        e.put("t", b"a", b"snap").unwrap();
+        e.put("t", b"b", b"snap").unwrap();
+        e.checkpoint().unwrap();
+        e.put("t", b"b", b"mem").unwrap(); // shadow
+        e.put("t", b"c", b"mem").unwrap(); // new
+        e.delete("t", b"a").unwrap(); // tombstone over snapshot
+        let rows = e.scan_all("t").unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (b"b".to_vec(), b"mem".to_vec()),
+                (b"c".to_vec(), b"mem".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_range_bounds() {
+        let dir = tmpdir("scanrange");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        for k in ["a", "b", "c", "d"] {
+            e.put("t", k.as_bytes(), b"x").unwrap();
+        }
+        let rows = e.scan("t", b"b", Some(b"d")).unwrap();
+        let keys: Vec<_> = rows.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn inverted_scan_bounds_yield_empty() {
+        let dir = tmpdir("inverted");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        e.put("t", b"m", b"v").unwrap();
+        assert!(e.scan("t", b"z", Some(b"a")).unwrap().is_empty());
+        assert!(e.scan("t", b"m", Some(b"m")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tables_lists_live_tables_only() {
+        let dir = tmpdir("tables");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        e.put("alpha", b"k", b"v").unwrap();
+        e.put("beta", b"k", b"v").unwrap();
+        e.delete("beta", b"k").unwrap();
+        assert_eq!(e.tables().unwrap(), vec!["alpha".to_string()]);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_threshold() {
+        let dir = tmpdir("auto");
+        let opts = EngineOptions {
+            fsync: false,
+            checkpoint_bytes: 64,
+        };
+        let e = Engine::open(&dir, opts).unwrap();
+        for i in 0..20u32 {
+            e.put("t", &i.to_be_bytes(), &[0u8; 32]).unwrap();
+        }
+        assert!(e.stats().checkpoints >= 1);
+    }
+
+    #[test]
+    fn batch_is_atomic_in_memory_too() {
+        let dir = tmpdir("batch");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        e.apply_batch(vec![
+            BatchOp::Put {
+                table: "t".into(),
+                key: b"x".to_vec(),
+                value: b"1".to_vec(),
+            },
+            BatchOp::Put {
+                table: "t".into(),
+                key: b"y".to_vec(),
+                value: b"2".to_vec(),
+            },
+            BatchOp::Delete {
+                table: "t".into(),
+                key: b"x".to_vec(),
+            },
+        ])
+        .unwrap();
+        assert_eq!(e.get("t", b"x").unwrap(), None);
+        assert_eq!(e.get("t", b"y").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(e.stats().commits, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let dir = tmpdir("emptybatch");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        e.apply_batch(vec![]).unwrap();
+        assert_eq!(e.stats().commits, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by every storage-layer module.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Everything that can go wrong inside the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// A WAL or snapshot record failed its CRC or framing check.
+    ///
+    /// Carries the byte offset at which corruption was detected.
+    Corrupt {
+        /// Byte offset at which corruption was detected.
+        offset: u64,
+        /// What failed (CRC, framing, magic…).
+        reason: String,
+    },
+    /// A value could not be decoded into the expected shape.
+    Decode(String),
+    /// The engine directory is already locked by another live instance.
+    Locked(String),
+    /// A table name contained the reserved separator byte.
+    InvalidTableName(String),
+    /// A transaction was used after commit/abort.
+    TransactionClosed,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt { offset, reason } => {
+                write!(f, "corruption at offset {offset}: {reason}")
+            }
+            StorageError::Decode(msg) => write!(f, "decode error: {msg}"),
+            StorageError::Locked(path) => write!(f, "engine directory locked: {path}"),
+            StorageError::InvalidTableName(name) => {
+                write!(f, "invalid table name (reserved byte): {name:?}")
+            }
+            StorageError::TransactionClosed => write!(f, "transaction already closed"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_informative() {
+        let io = StorageError::from(io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        let c = StorageError::Corrupt {
+            offset: 17,
+            reason: "bad crc".into(),
+        };
+        assert!(c.to_string().contains("17"));
+        assert!(c.to_string().contains("bad crc"));
+        assert!(StorageError::TransactionClosed
+            .to_string()
+            .contains("closed"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let err = StorageError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! `preserva-storage` — the embedded storage engine that backs every
+//! repository in the preserva architecture (data, workflow and provenance
+//! repositories; see DESIGN.md §2).
+//!
+//! The paper's architecture delegates persistence to "the database
+//! management system". We implement that substrate as a small
+//! log-structured engine:
+//!
+//! * a segmented [`wal::Wal`] (write-ahead log) with CRC-checked framing
+//!   and torn-tail tolerance provides durability;
+//! * an ordered in-memory [`memtable::Memtable`] absorbs writes;
+//! * [`sstable`] sorted-run files produced by checkpoints bound recovery
+//!   time and memory;
+//! * [`engine::Engine`] ties these together with atomic multi-key commits,
+//!   range scans and crash recovery (snapshot + WAL replay);
+//! * [`table::TableStore`] layers named tables and secondary indexes on
+//!   top of the flat key space.
+//!
+//! The engine is deliberately dependency-free: encoding lives in
+//! [`codec`], checksums in [`crc32`].
+//!
+//! # Example
+//!
+//! ```
+//! use preserva_storage::engine::{Engine, EngineOptions};
+//!
+//! let dir = std::env::temp_dir().join(format!("preserva-doc-{}", std::process::id()));
+//! let engine = Engine::open(&dir, EngineOptions::default()).unwrap();
+//! engine.put("records", b"fnjv:1", b"Elachistocleis ovalis").unwrap();
+//! assert_eq!(
+//!     engine.get("records", b"fnjv:1").unwrap().as_deref(),
+//!     Some(&b"Elachistocleis ovalis"[..])
+//! );
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod codec;
+pub mod crc32;
+pub mod engine;
+pub mod error;
+pub mod memtable;
+pub mod sstable;
+pub mod table;
+pub mod wal;
+
+pub use engine::{Engine, EngineOptions};
+pub use error::{StorageError, StorageResult};
+pub use table::{IndexDef, TableStore};

@@ -1,0 +1,173 @@
+//! Ordered in-memory write buffer.
+//!
+//! Keys are namespaced `(table, key)` pairs kept in a single `BTreeMap` so
+//! range scans within a table are contiguous. Deletions are retained as
+//! tombstones (`None`) so they shadow older snapshot entries until the next
+//! checkpoint folds them in.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Composite key: table name + user key, ordered by table first.
+pub type NsKey = (String, Vec<u8>);
+
+/// The mutable, ordered write buffer of the engine.
+#[derive(Debug, Default, Clone)]
+pub struct Memtable {
+    entries: BTreeMap<NsKey, Option<Vec<u8>>>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Upsert a value.
+    pub fn put(&mut self, table: &str, key: &[u8], value: Vec<u8>) {
+        self.approx_bytes += table.len() + key.len() + value.len();
+        self.entries
+            .insert((table.to_string(), key.to_vec()), Some(value));
+    }
+
+    /// Record a deletion tombstone.
+    pub fn delete(&mut self, table: &str, key: &[u8]) {
+        self.approx_bytes += table.len() + key.len();
+        self.entries.insert((table.to_string(), key.to_vec()), None);
+    }
+
+    /// Look up a key. `None` means "not present in the memtable";
+    /// `Some(None)` means "deleted here" (tombstone).
+    pub fn get(&self, table: &str, key: &[u8]) -> Option<Option<&[u8]>> {
+        // Avoid allocating the composite key for the common miss path only
+        // when the table has no entries at all.
+        self.entries
+            .get(&(table.to_string(), key.to_vec()))
+            .map(|v| v.as_deref())
+    }
+
+    /// Iterate entries of `table` whose key is in `[start, end)` (an empty
+    /// `end` means unbounded). Tombstones are included.
+    pub fn range<'a>(
+        &'a self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
+        // An inverted range is empty, not a panic (BTreeMap::range panics
+        // on start > end).
+        let inverted = matches!(end, Some(e) if e < start);
+        let start: &[u8] = if inverted { &[] } else { start };
+        let end = if inverted { Some(&[][..]) } else { end };
+        let lo = Bound::Included((table.to_string(), start.to_vec()));
+        let hi = match end {
+            Some(e) => Bound::Excluded((table.to_string(), e.to_vec())),
+            None => {
+                // Upper bound = first key of the "next" table; emulate with
+                // an excluded bound on table name + 0xFF sentinel via
+                // unbounded scan and a take_while below.
+                Bound::Unbounded
+            }
+        };
+        let table_owned = table.to_string();
+        self.entries
+            .range((lo, hi))
+            .take_while(move |((t, _), _)| *t == table_owned)
+            .map(|((_, k), v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Iterate every entry in composite-key order (used by checkpoints).
+    pub fn iter(&self) -> impl Iterator<Item = (&NsKey, &Option<Vec<u8>>)> {
+        self.entries.iter()
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rough bytes consumed; drives checkpoint scheduling.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.approx_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = Memtable::new();
+        m.put("t", b"k", b"v".to_vec());
+        assert_eq!(m.get("t", b"k"), Some(Some(&b"v"[..])));
+        m.delete("t", b"k");
+        assert_eq!(m.get("t", b"k"), Some(None));
+        assert_eq!(m.get("t", b"absent"), None);
+        assert_eq!(m.get("other", b"k"), None);
+    }
+
+    #[test]
+    fn range_is_table_scoped_and_ordered() {
+        let mut m = Memtable::new();
+        m.put("a", b"2", b"a2".to_vec());
+        m.put("a", b"1", b"a1".to_vec());
+        m.put("b", b"0", b"b0".to_vec());
+        let keys: Vec<_> = m.range("a", b"", None).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"1".to_vec(), b"2".to_vec()]);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut m = Memtable::new();
+        for k in [b"a", b"b", b"c", b"d"] {
+            m.put("t", k, k.to_vec());
+        }
+        let keys: Vec<_> = m
+            .range("t", b"b", Some(b"d"))
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn inverted_range_is_empty_not_panic() {
+        let mut m = Memtable::new();
+        m.put("t", b"m", b"v".to_vec());
+        assert_eq!(m.range("t", b"z", Some(b"a")).count(), 0);
+        // Equal bounds: empty half-open interval.
+        assert_eq!(m.range("t", b"m", Some(b"m")).count(), 0);
+    }
+
+    #[test]
+    fn tombstones_appear_in_range() {
+        let mut m = Memtable::new();
+        m.put("t", b"a", b"1".to_vec());
+        m.delete("t", b"b");
+        let got: Vec<_> = m.range("t", b"", None).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].1, None);
+    }
+
+    #[test]
+    fn clear_resets_size() {
+        let mut m = Memtable::new();
+        m.put("t", b"a", vec![0; 100]);
+        assert!(m.approx_bytes() >= 100);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+}

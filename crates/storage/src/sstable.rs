@@ -1,0 +1,203 @@
+//! Sorted-run snapshot files ("SSTables").
+//!
+//! A checkpoint folds the memtable into the previous snapshot and writes a
+//! new immutable, sorted file. Layout:
+//!
+//! ```text
+//! [entry]*                      -- sorted by (table, key)
+//! [footer: count u64, crc u32, MAGIC u32]
+//! ```
+//!
+//! Each entry is `table | key | value` as length-prefixed byte strings,
+//! with a one-byte tag distinguishing live values from tombstones (the
+//! top-level snapshot never stores tombstones, but the format supports
+//! them so partial compactions could). The body CRC covers all entries.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::codec;
+use crate::crc32;
+use crate::error::{StorageError, StorageResult};
+use crate::memtable::NsKey;
+
+const MAGIC: u32 = 0x5053_5354; // "PSST"
+const TAG_LIVE: u8 = 0;
+const TAG_TOMBSTONE: u8 = 1;
+
+/// Write `entries` (sorted by caller — a `BTreeMap` iteration qualifies)
+/// as a snapshot file at `path`. Tombstones (`None` values) may be included
+/// and round-trip.
+pub fn write_snapshot<'a, I>(path: &Path, entries: I) -> StorageResult<u64>
+where
+    I: Iterator<Item = (&'a NsKey, &'a Option<Vec<u8>>)>,
+{
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut body = Vec::new();
+    let mut count = 0u64;
+    for ((table, key), value) in entries {
+        match value {
+            Some(v) => {
+                body.push(TAG_LIVE);
+                codec::put_bytes(&mut body, table.as_bytes());
+                codec::put_bytes(&mut body, key);
+                codec::put_bytes(&mut body, v);
+            }
+            None => {
+                body.push(TAG_TOMBSTONE);
+                codec::put_bytes(&mut body, table.as_bytes());
+                codec::put_bytes(&mut body, key);
+            }
+        }
+        count += 1;
+    }
+    w.write_all(&body)?;
+    let mut footer = Vec::with_capacity(16);
+    codec::put_u64(&mut footer, count);
+    codec::put_u32(&mut footer, crc32::checksum(&body));
+    codec::put_u32(&mut footer, MAGIC);
+    w.write_all(&footer)?;
+    w.flush()?;
+    w.get_ref().sync_data()?;
+    Ok(count)
+}
+
+/// Read a snapshot file back into an ordered map.
+///
+/// Verifies magic and body CRC; any mismatch is reported as
+/// [`StorageError::Corrupt`].
+pub fn read_snapshot(path: &Path) -> StorageResult<BTreeMap<NsKey, Option<Vec<u8>>>> {
+    let mut file = File::open(path)?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    if buf.len() < 16 {
+        return Err(StorageError::Corrupt {
+            offset: 0,
+            reason: "snapshot shorter than footer".into(),
+        });
+    }
+    let footer_at = buf.len() - 16;
+    let (count, _) = codec::get_u64(&buf[footer_at..])?;
+    let (crc, _) = codec::get_u32(&buf[footer_at + 8..])?;
+    let (magic, _) = codec::get_u32(&buf[footer_at + 12..])?;
+    if magic != MAGIC {
+        return Err(StorageError::Corrupt {
+            offset: footer_at as u64 + 12,
+            reason: format!("bad snapshot magic {magic:#x}"),
+        });
+    }
+    let body = &buf[..footer_at];
+    if crc32::checksum(body) != crc {
+        return Err(StorageError::Corrupt {
+            offset: 0,
+            reason: "snapshot body CRC mismatch".into(),
+        });
+    }
+    let mut map = BTreeMap::new();
+    let mut pos = 0usize;
+    for _ in 0..count {
+        let tag = *body.get(pos).ok_or(StorageError::Corrupt {
+            offset: pos as u64,
+            reason: "truncated snapshot entry".into(),
+        })?;
+        pos += 1;
+        let (table, n) = codec::get_bytes(&body[pos..])?;
+        pos += n;
+        let (key, n) = codec::get_bytes(&body[pos..])?;
+        pos += n;
+        let value = if tag == TAG_LIVE {
+            let (v, n) = codec::get_bytes(&body[pos..])?;
+            pos += n;
+            Some(v.to_vec())
+        } else {
+            None
+        };
+        let table = String::from_utf8(table.to_vec())
+            .map_err(|_| StorageError::Decode("non-utf8 table in snapshot".into()))?;
+        map.insert((table, key.to_vec()), value);
+    }
+    if pos != body.len() {
+        return Err(StorageError::Corrupt {
+            offset: pos as u64,
+            reason: "trailing bytes after snapshot entries".into(),
+        });
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("preserva-sst-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("snap.sst")
+    }
+
+    fn sample() -> BTreeMap<NsKey, Option<Vec<u8>>> {
+        let mut m = BTreeMap::new();
+        m.insert(("records".into(), b"1".to_vec()), Some(b"frog".to_vec()));
+        m.insert(("records".into(), b"2".to_vec()), Some(b"bird".to_vec()));
+        m.insert(("names".into(), b"x".to_vec()), None);
+        m
+    }
+
+    #[test]
+    fn roundtrip_including_tombstones() {
+        let path = tmpfile("roundtrip");
+        let data = sample();
+        let n = write_snapshot(&path, data.iter()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(read_snapshot(&path).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let path = tmpfile("empty");
+        let data = BTreeMap::new();
+        write_snapshot(&path, data.iter()).unwrap();
+        assert!(read_snapshot(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_body_detected() {
+        let path = tmpfile("corrupt");
+        write_snapshot(&path, sample().iter()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[2] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let path = tmpfile("magic");
+        write_snapshot(&path, sample().iter()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let path = tmpfile("trunc");
+        write_snapshot(&path, sample().iter()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..5]).unwrap();
+        assert!(read_snapshot(&path).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Named tables with secondary indexes, layered over [`crate::Engine`].
+//!
+//! Index entries live in shadow tables named `__idx:<table>:<index>` whose
+//! keys are `indexed-value ++ 0x00 ++ primary-key`, so an index lookup is a
+//! prefix scan and all maintenance happens in the same atomic batch as the
+//! row write — an index can never disagree with its table after a crash.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::engine::{BatchOp, Engine};
+use crate::error::{StorageError, StorageResult};
+
+/// Extracts the indexed value from a row, or `None` to skip the row.
+pub type KeyExtractor = Arc<dyn Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync>;
+
+/// Declaration of a secondary index over a table.
+#[derive(Clone)]
+pub struct IndexDef {
+    /// Index name, unique within its table.
+    pub name: String,
+    /// Value extractor applied to each row.
+    pub extract: KeyExtractor,
+}
+
+impl std::fmt::Debug for IndexDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexDef")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl IndexDef {
+    /// Build an index definition from a plain function or closure.
+    pub fn new<F>(name: &str, extract: F) -> Self
+    where
+        F: Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync + 'static,
+    {
+        IndexDef {
+            name: name.to_string(),
+            extract: Arc::new(extract),
+        }
+    }
+}
+
+const IDX_PREFIX: &str = "__idx";
+const SEP: u8 = 0x00;
+
+fn index_table(table: &str, index: &str) -> String {
+    format!("{IDX_PREFIX}:{table}:{index}")
+}
+
+fn index_key(value: &[u8], pk: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(value.len() + 1 + pk.len());
+    k.extend_from_slice(value);
+    k.push(SEP);
+    k.extend_from_slice(pk);
+    k
+}
+
+fn check_name(name: &str) -> StorageResult<()> {
+    if name.is_empty() || name.contains(':') || name.starts_with("__") {
+        return Err(StorageError::InvalidTableName(name.to_string()));
+    }
+    Ok(())
+}
+
+/// A store of named tables with registered secondary indexes.
+pub struct TableStore {
+    engine: Arc<Engine>,
+    indexes: parking_lot_free::RwLock<HashMap<String, Vec<IndexDef>>>,
+}
+
+/// Tiny stand-in module so the storage crate stays dependency-free: wraps
+/// `std::sync::RwLock` with the subset of the `parking_lot` API we use.
+mod parking_lot_free {
+    pub struct RwLock<T>(std::sync::RwLock<T>);
+    impl<T> RwLock<T> {
+        pub fn new(v: T) -> Self {
+            RwLock(std::sync::RwLock::new(v))
+        }
+        pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+            self.0.read().expect("lock poisoned")
+        }
+        pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+            self.0.write().expect("lock poisoned")
+        }
+    }
+}
+
+impl std::fmt::Debug for TableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableStore").finish()
+    }
+}
+
+impl TableStore {
+    /// Wrap an engine. Indexes must be (re-)registered after every open;
+    /// they are code, not data.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        TableStore {
+            engine,
+            indexes: parking_lot_free::RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Access the underlying engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Register a secondary index and backfill it from existing rows.
+    pub fn create_index(&self, table: &str, def: IndexDef) -> StorageResult<()> {
+        check_name(table)?;
+        let rows = self.engine.scan_all(table)?;
+        let idx_table = index_table(table, &def.name);
+        let mut batch = Vec::new();
+        for (pk, row) in &rows {
+            if let Some(v) = (def.extract)(row) {
+                batch.push(BatchOp::Put {
+                    table: idx_table.clone(),
+                    key: index_key(&v, pk),
+                    value: pk.clone(),
+                });
+            }
+        }
+        self.engine.apply_batch(batch)?;
+        self.indexes
+            .write()
+            .entry(table.to_string())
+            .or_default()
+            .push(def);
+        Ok(())
+    }
+
+    /// Insert or update a row, maintaining all indexes atomically.
+    pub fn put(&self, table: &str, key: &[u8], value: &[u8]) -> StorageResult<()> {
+        check_name(table)?;
+        let mut batch = Vec::new();
+        self.index_maintenance(table, key, Some(value), &mut batch)?;
+        batch.push(BatchOp::Put {
+            table: table.to_string(),
+            key: key.to_vec(),
+            value: value.to_vec(),
+        });
+        self.engine.apply_batch(batch)
+    }
+
+    /// Delete a row, maintaining all indexes atomically.
+    pub fn delete(&self, table: &str, key: &[u8]) -> StorageResult<()> {
+        check_name(table)?;
+        let mut batch = Vec::new();
+        self.index_maintenance(table, key, None, &mut batch)?;
+        batch.push(BatchOp::Delete {
+            table: table.to_string(),
+            key: key.to_vec(),
+        });
+        self.engine.apply_batch(batch)
+    }
+
+    fn index_maintenance(
+        &self,
+        table: &str,
+        key: &[u8],
+        new_value: Option<&[u8]>,
+        batch: &mut Vec<BatchOp>,
+    ) -> StorageResult<()> {
+        let indexes = self.indexes.read();
+        let Some(defs) = indexes.get(table) else {
+            return Ok(());
+        };
+        let old = self.engine.get(table, key)?;
+        for def in defs {
+            let idx_table = index_table(table, &def.name);
+            let old_v = old.as_deref().and_then(|r| (def.extract)(r));
+            let new_v = new_value.and_then(|r| (def.extract)(r));
+            if old_v == new_v {
+                continue;
+            }
+            if let Some(ov) = old_v {
+                batch.push(BatchOp::Delete {
+                    table: idx_table.clone(),
+                    key: index_key(&ov, key),
+                });
+            }
+            if let Some(nv) = new_v {
+                batch.push(BatchOp::Put {
+                    table: idx_table.clone(),
+                    key: index_key(&nv, key),
+                    value: key.to_vec(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a row.
+    pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        check_name(table)?;
+        self.engine.get(table, key)
+    }
+
+    /// All rows of a table in key order.
+    pub fn scan(&self, table: &str) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        check_name(table)?;
+        self.engine.scan_all(table)
+    }
+
+    /// Primary keys of rows whose indexed value equals `value`.
+    pub fn lookup(&self, table: &str, index: &str, value: &[u8]) -> StorageResult<Vec<Vec<u8>>> {
+        check_name(table)?;
+        let idx_table = index_table(table, index);
+        let mut start = value.to_vec();
+        start.push(SEP);
+        let mut end = value.to_vec();
+        end.push(SEP + 1);
+        let hits = self.engine.scan(&idx_table, &start, Some(&end))?;
+        Ok(hits.into_iter().map(|(_, pk)| pk).collect())
+    }
+
+    /// Number of live rows in a table.
+    pub fn count(&self, table: &str) -> StorageResult<usize> {
+        check_name(table)?;
+        self.engine.count(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use std::path::PathBuf;
+
+    fn store(name: &str) -> TableStore {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("preserva-table-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        TableStore::new(Arc::new(
+            Engine::open(&dir, EngineOptions::default()).unwrap(),
+        ))
+    }
+
+    /// Index on the first byte of the row value.
+    fn first_byte_index() -> IndexDef {
+        IndexDef::new("first", |row: &[u8]| row.first().map(|b| vec![*b]))
+    }
+
+    #[test]
+    fn reserved_table_names_rejected() {
+        let s = store("reserved");
+        assert!(s.put("__idx:t:i", b"k", b"v").is_err());
+        assert!(s.put("a:b", b"k", b"v").is_err());
+        assert!(s.put("", b"k", b"v").is_err());
+    }
+
+    #[test]
+    fn index_lookup_finds_rows() {
+        let s = store("lookup");
+        s.create_index("t", first_byte_index()).unwrap();
+        s.put("t", b"pk1", b"Afrog").unwrap();
+        s.put("t", b"pk2", b"Abird").unwrap();
+        s.put("t", b"pk3", b"Bbat").unwrap();
+        let mut hits = s.lookup("t", "first", b"A").unwrap();
+        hits.sort();
+        assert_eq!(hits, vec![b"pk1".to_vec(), b"pk2".to_vec()]);
+        assert_eq!(s.lookup("t", "first", b"B").unwrap(), vec![b"pk3".to_vec()]);
+        assert!(s.lookup("t", "first", b"Z").unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_updates_on_row_change() {
+        let s = store("update");
+        s.create_index("t", first_byte_index()).unwrap();
+        s.put("t", b"pk", b"Aone").unwrap();
+        s.put("t", b"pk", b"Btwo").unwrap();
+        assert!(s.lookup("t", "first", b"A").unwrap().is_empty());
+        assert_eq!(s.lookup("t", "first", b"B").unwrap(), vec![b"pk".to_vec()]);
+    }
+
+    #[test]
+    fn index_removes_on_delete() {
+        let s = store("delete");
+        s.create_index("t", first_byte_index()).unwrap();
+        s.put("t", b"pk", b"Aone").unwrap();
+        s.delete("t", b"pk").unwrap();
+        assert!(s.lookup("t", "first", b"A").unwrap().is_empty());
+        assert_eq!(s.get("t", b"pk").unwrap(), None);
+    }
+
+    #[test]
+    fn backfill_indexes_existing_rows() {
+        let s = store("backfill");
+        s.put("t", b"pk1", b"Aone").unwrap();
+        s.put("t", b"pk2", b"Btwo").unwrap();
+        s.create_index("t", first_byte_index()).unwrap();
+        assert_eq!(s.lookup("t", "first", b"A").unwrap(), vec![b"pk1".to_vec()]);
+        assert_eq!(s.lookup("t", "first", b"B").unwrap(), vec![b"pk2".to_vec()]);
+    }
+
+    #[test]
+    fn extractor_none_skips_row() {
+        let s = store("skip");
+        s.create_index(
+            "t",
+            IndexDef::new("maybe", |row: &[u8]| {
+                if row.starts_with(b"yes") {
+                    Some(b"y".to_vec())
+                } else {
+                    None
+                }
+            }),
+        )
+        .unwrap();
+        s.put("t", b"pk1", b"yes-row").unwrap();
+        s.put("t", b"pk2", b"no-row").unwrap();
+        assert_eq!(s.lookup("t", "maybe", b"y").unwrap(), vec![b"pk1".to_vec()]);
+    }
+
+    #[test]
+    fn scan_excludes_index_shadow_tables() {
+        let s = store("shadow");
+        s.create_index("t", first_byte_index()).unwrap();
+        s.put("t", b"pk", b"Aone").unwrap();
+        let rows = s.scan("t").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, b"pk".to_vec());
+    }
+}

@@ -1,0 +1,380 @@
+//! Write-ahead log.
+//!
+//! The WAL is a single append-only file of CRC-framed records. Each frame
+//! is `[len: u32][crc: u32][payload: len bytes]`. A record whose frame is
+//! truncated or whose CRC fails marks the logical end of the log (a "torn
+//! tail", the expected result of a crash mid-append); replay stops there.
+//!
+//! Record payloads encode the logical operations of the engine:
+//! `Put`, `Delete`, `Commit` (transaction boundary) and `Checkpoint`
+//! (everything before this point is captured by snapshot `id`).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec;
+use crate::crc32;
+use crate::error::{StorageError, StorageResult};
+
+/// Logical operations recorded in the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Upsert of `key` in `table`.
+    Put {
+        /// Target table.
+        table: String,
+        /// Key being upserted.
+        key: Vec<u8>,
+        /// Value being stored.
+        value: Vec<u8>,
+    },
+    /// Deletion of `key` from `table`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Key being deleted.
+        key: Vec<u8>,
+    },
+    /// All operations since the previous `Commit` become visible atomically.
+    Commit {
+        /// Transaction id assigned by the engine.
+        txid: u64,
+    },
+    /// Snapshot `snapshot_id` captures the state up to this point.
+    Checkpoint {
+        /// Id of the snapshot file that captured the state.
+        snapshot_id: u64,
+    },
+}
+
+const TAG_PUT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_CHECKPOINT: u8 = 4;
+
+impl WalRecord {
+    /// Serialize the record payload (without framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            WalRecord::Put { table, key, value } => {
+                out.push(TAG_PUT);
+                codec::put_bytes(&mut out, table.as_bytes());
+                codec::put_bytes(&mut out, key);
+                codec::put_bytes(&mut out, value);
+            }
+            WalRecord::Delete { table, key } => {
+                out.push(TAG_DELETE);
+                codec::put_bytes(&mut out, table.as_bytes());
+                codec::put_bytes(&mut out, key);
+            }
+            WalRecord::Commit { txid } => {
+                out.push(TAG_COMMIT);
+                codec::put_u64(&mut out, *txid);
+            }
+            WalRecord::Checkpoint { snapshot_id } => {
+                out.push(TAG_CHECKPOINT);
+                codec::put_u64(&mut out, *snapshot_id);
+            }
+        }
+        out
+    }
+
+    /// Decode a record payload produced by [`WalRecord::encode`].
+    pub fn decode(buf: &[u8]) -> StorageResult<WalRecord> {
+        let (&tag, rest) = buf
+            .split_first()
+            .ok_or_else(|| StorageError::Decode("empty WAL record".into()))?;
+        match tag {
+            TAG_PUT => {
+                let (table, n) = codec::get_bytes(rest)?;
+                let (key, m) = codec::get_bytes(&rest[n..])?;
+                let (value, _) = codec::get_bytes(&rest[n + m..])?;
+                Ok(WalRecord::Put {
+                    table: String::from_utf8(table.to_vec())
+                        .map_err(|_| StorageError::Decode("non-utf8 table name".into()))?,
+                    key: key.to_vec(),
+                    value: value.to_vec(),
+                })
+            }
+            TAG_DELETE => {
+                let (table, n) = codec::get_bytes(rest)?;
+                let (key, _) = codec::get_bytes(&rest[n..])?;
+                Ok(WalRecord::Delete {
+                    table: String::from_utf8(table.to_vec())
+                        .map_err(|_| StorageError::Decode("non-utf8 table name".into()))?,
+                    key: key.to_vec(),
+                })
+            }
+            TAG_COMMIT => {
+                let (txid, _) = codec::get_u64(rest)?;
+                Ok(WalRecord::Commit { txid })
+            }
+            TAG_CHECKPOINT => {
+                let (snapshot_id, _) = codec::get_u64(rest)?;
+                Ok(WalRecord::Checkpoint { snapshot_id })
+            }
+            other => Err(StorageError::Decode(format!("unknown WAL tag {other}"))),
+        }
+    }
+}
+
+/// Append handle over the WAL file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Bytes durably framed so far (logical length).
+    len: u64,
+    /// Whether `fsync` is issued on every [`Wal::sync`].
+    fsync: bool,
+}
+
+impl Wal {
+    /// Open (creating if absent) the WAL at `path`, positioned for append.
+    ///
+    /// `fsync = false` is useful for tests and benchmarks where durability
+    /// across power loss is not under test.
+    pub fn open(path: &Path, fsync: bool) -> StorageResult<Wal> {
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Wal {
+            path: path.to_path_buf(),
+            writer: BufWriter::new(file),
+            len,
+            fsync,
+        })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Logical length in bytes (frames written so far).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no frame has ever been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one framed record. The record is buffered; call [`Wal::sync`]
+    /// to make it durable.
+    pub fn append(&mut self, record: &WalRecord) -> StorageResult<()> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        codec::put_u32(&mut frame, payload.len() as u32);
+        codec::put_u32(&mut frame, crc32::checksum(&payload));
+        frame.extend_from_slice(&payload);
+        self.writer.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flush buffered frames to the OS (and to disk when fsync is enabled).
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.writer.flush()?;
+        if self.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Truncate the log to zero length (after a successful checkpoint has
+    /// captured its contents elsewhere).
+    pub fn reset(&mut self) -> StorageResult<()> {
+        self.writer.flush()?;
+        let file = self.writer.get_ref();
+        file.set_len(0)?;
+        if self.fsync {
+            file.sync_data()?;
+        }
+        // Re-open so the append cursor returns to offset 0.
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        self.len = 0;
+        Ok(())
+    }
+}
+
+/// Outcome of replaying a WAL file.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Records up to (and excluding) the first torn/corrupt frame.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the valid prefix.
+    pub valid_len: u64,
+    /// True when a torn tail was detected and discarded.
+    pub torn_tail: bool,
+}
+
+/// Replay the WAL at `path`, tolerating a torn tail.
+///
+/// Returns all complete, CRC-valid records in order. A missing file is
+/// treated as an empty log.
+pub fn replay(path: &Path) -> StorageResult<Replay> {
+    let mut out = Replay::default();
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e.into()),
+    };
+    let mut buf = Vec::new();
+    file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(&mut buf)?;
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if buf.len() - pos < 8 {
+            out.torn_tail = true;
+            break;
+        }
+        let (len, _) = codec::get_u32(&buf[pos..])?;
+        let (crc, _) = codec::get_u32(&buf[pos + 4..])?;
+        let start = pos + 8;
+        let end = match start.checked_add(len as usize) {
+            Some(e) if e <= buf.len() => e,
+            _ => {
+                out.torn_tail = true;
+                break;
+            }
+        };
+        let payload = &buf[start..end];
+        if crc32::checksum(payload) != crc {
+            out.torn_tail = true;
+            break;
+        }
+        match WalRecord::decode(payload) {
+            Ok(r) => out.records.push(r),
+            Err(_) => {
+                out.torn_tail = true;
+                break;
+            }
+        }
+        pos = end;
+        out.valid_len = pos as u64;
+    }
+    if !out.torn_tail {
+        out.valid_len = pos as u64;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("preserva-wal-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn put(table: &str, k: &[u8], v: &[u8]) -> WalRecord {
+        WalRecord::Put {
+            table: table.into(),
+            key: k.to_vec(),
+            value: v.to_vec(),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_all_variants() {
+        let records = [
+            put("records", b"k1", b"v1"),
+            WalRecord::Delete {
+                table: "records".into(),
+                key: b"k1".to_vec(),
+            },
+            WalRecord::Commit { txid: 42 },
+            WalRecord::Checkpoint { snapshot_id: 7 },
+        ];
+        for r in &records {
+            assert_eq!(&WalRecord::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn append_then_replay() {
+        let path = tmpfile("append");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&put("t", b"a", b"1")).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        wal.sync().unwrap();
+        let rep = replay(&path).unwrap();
+        assert_eq!(rep.records.len(), 2);
+        assert!(!rep.torn_tail);
+        assert_eq!(rep.valid_len, wal.len());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let path = tmpfile("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&put("t", b"a", b"1")).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        wal.append(&put("t", b"b", b"2")).unwrap();
+        wal.sync().unwrap();
+        // Simulate crash mid-write of the last frame.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let rep = replay(&path).unwrap();
+        assert_eq!(rep.records.len(), 2);
+        assert!(rep.torn_tail);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let path = tmpfile("crc");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&put("t", b"a", b"1")).unwrap();
+        wal.append(&put("t", b"b", b"2")).unwrap();
+        wal.sync().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the second frame.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let rep = replay(&path).unwrap();
+        assert_eq!(rep.records.len(), 1);
+        assert!(rep.torn_tail);
+    }
+
+    #[test]
+    fn reset_empties_log() {
+        let path = tmpfile("reset");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&put("t", b"a", b"1")).unwrap();
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        assert!(replay(&path).unwrap().records.is_empty());
+        // The log remains usable after reset.
+        wal.append(&put("t", b"c", b"3")).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(replay(&path).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let path = tmpfile("missing").join("nonexistent.log");
+        let rep = replay(&path).unwrap();
+        assert!(rep.records.is_empty());
+        assert!(!rep.torn_tail);
+    }
+}

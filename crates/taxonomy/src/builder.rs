@@ -1,0 +1,445 @@
+//! Deterministic synthetic Neotropical backbones and evolving checklists.
+//!
+//! The FNJV collection covers "all vertebrate groups (fishes, amphibians,
+//! reptiles, birds and mammals) and some groups of invertebrates (as
+//! insects and arachnids)". The builder generates realistic binomials from
+//! per-group genus pools and a shared epithet pool, then evolves a
+//! checklist by renaming/doubting a caller-chosen number of names per
+//! release — the knob the case-study generator uses to plant exactly the
+//! paper's 134 outdated names.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::backbone::{Backbone, Classification, Taxon};
+use crate::checklist::{Checklist, Evolution};
+use crate::name::ScientificName;
+
+/// One taxonomic group with its genus pool and fixed higher classification.
+struct GroupPool {
+    classification: Classification,
+    genera: &'static [&'static str],
+}
+
+fn group_pools() -> Vec<GroupPool> {
+    vec![
+        GroupPool {
+            classification: Classification::new("Chordata", "Amphibia", "Anura", "Hylidae"),
+            genera: &[
+                "Hyla",
+                "Scinax",
+                "Dendropsophus",
+                "Bokermannohyla",
+                "Aplastodiscus",
+                "Boana",
+                "Phyllomedusa",
+                "Itapotihyla",
+                "Trachycephalus",
+                "Pseudis",
+            ],
+        },
+        GroupPool {
+            classification: Classification::new("Chordata", "Amphibia", "Anura", "Leptodactylidae"),
+            genera: &[
+                "Leptodactylus",
+                "Physalaemus",
+                "Adenomera",
+                "Pseudopaludicola",
+                "Crossodactylus",
+                "Paratelmatobius",
+            ],
+        },
+        GroupPool {
+            classification: Classification::new("Chordata", "Amphibia", "Anura", "Microhylidae"),
+            genera: &[
+                "Elachistocleis",
+                "Chiasmocleis",
+                "Dermatonotus",
+                "Myersiella",
+            ],
+        },
+        GroupPool {
+            classification: Classification::new("Chordata", "Aves", "Passeriformes", "Thraupidae"),
+            genera: &[
+                "Tangara",
+                "Thraupis",
+                "Sporophila",
+                "Sicalis",
+                "Dacnis",
+                "Tersina",
+                "Ramphocelus",
+                "Conirostrum",
+            ],
+        },
+        GroupPool {
+            classification: Classification::new("Chordata", "Aves", "Passeriformes", "Furnariidae"),
+            genera: &[
+                "Furnarius",
+                "Synallaxis",
+                "Automolus",
+                "Xenops",
+                "Phacellodomus",
+                "Cranioleuca",
+                "Anumbius",
+            ],
+        },
+        GroupPool {
+            classification: Classification::new("Chordata", "Aves", "Passeriformes", "Tyrannidae"),
+            genera: &[
+                "Pitangus",
+                "Tyrannus",
+                "Elaenia",
+                "Myiarchus",
+                "Camptostoma",
+                "Todirostrum",
+                "Serpophaga",
+            ],
+        },
+        GroupPool {
+            classification: Classification::new(
+                "Chordata",
+                "Mammalia",
+                "Primates",
+                "Callitrichidae",
+            ),
+            genera: &["Callithrix", "Leontopithecus", "Mico"],
+        },
+        GroupPool {
+            classification: Classification::new(
+                "Chordata",
+                "Mammalia",
+                "Chiroptera",
+                "Phyllostomidae",
+            ),
+            genera: &["Artibeus", "Carollia", "Sturnira", "Glossophaga"],
+        },
+        GroupPool {
+            classification: Classification::new("Chordata", "Reptilia", "Squamata", "Gekkonidae"),
+            genera: &["Hemidactylus", "Gymnodactylus", "Phyllopezus"],
+        },
+        GroupPool {
+            classification: Classification::new(
+                "Chordata",
+                "Actinopterygii",
+                "Siluriformes",
+                "Pimelodidae",
+            ),
+            genera: &["Pimelodus", "Pseudoplatystoma", "Rhamdia"],
+        },
+        GroupPool {
+            classification: Classification::new("Arthropoda", "Insecta", "Orthoptera", "Gryllidae"),
+            genera: &["Gryllus", "Oecanthus", "Anurogryllus", "Eneoptera"],
+        },
+        GroupPool {
+            classification: Classification::new("Arthropoda", "Insecta", "Hemiptera", "Cicadidae"),
+            genera: &["Quesada", "Fidicina", "Dorisiana", "Carineta"],
+        },
+    ]
+}
+
+const EPITHETS: &[&str] = &[
+    "ovalis",
+    "faber",
+    "fuscomarginatus",
+    "cruciger",
+    "albifrons",
+    "bilineata",
+    "marginatus",
+    "punctatus",
+    "viridis",
+    "nigricans",
+    "aurantiacus",
+    "minor",
+    "major",
+    "gracilis",
+    "robustus",
+    "elegans",
+    "similis",
+    "dubius",
+    "montanus",
+    "campestris",
+    "fluminensis",
+    "paulensis",
+    "brasiliensis",
+    "neotropicalis",
+    "sylvaticus",
+    "riparius",
+    "lacustris",
+    "pratensis",
+    "nocturnus",
+    "diurnus",
+    "vocalis",
+    "sonorus",
+    "melodicus",
+    "stridulans",
+    "crepitans",
+    "clamitans",
+    "flavescens",
+    "rubescens",
+    "cinereus",
+    "fuscus",
+    "pallidus",
+    "obscurus",
+    "ornatus",
+    "pictus",
+    "lineatus",
+    "striatus",
+    "maculatus",
+    "guttatus",
+    "parvulus",
+    "grandis",
+    "longipes",
+    "brevirostris",
+    "latifrons",
+    "angustus",
+    "septentrionalis",
+    "meridionalis",
+    "orientalis",
+    "occidentalis",
+    "australis",
+    "borealis",
+    "vulgaris",
+    "rarus",
+    "insularis",
+    "continentalis",
+    "altus",
+    "humilis",
+    "velox",
+    "tardus",
+    "ferus",
+    "domesticus",
+    "agrestis",
+    "nemoralis",
+    "palustris",
+    "arboreus",
+    "terrestris",
+    "aquaticus",
+    "saxicola",
+    "arenicola",
+];
+
+/// Generate a backbone of exactly `n_species` distinct binomials,
+/// deterministically from `seed`. Panics if `n_species` exceeds the
+/// genus × epithet pool (currently > 4,500 combinations).
+pub fn build_backbone(n_species: usize, seed: u64) -> Backbone {
+    let pools = group_pools();
+    let mut combos: Vec<(usize, &'static str, &'static str)> = Vec::new();
+    for (gi, pool) in pools.iter().enumerate() {
+        for genus in pool.genera {
+            for epithet in EPITHETS {
+                combos.push((gi, genus, epithet));
+            }
+        }
+    }
+    assert!(
+        n_species <= combos.len(),
+        "requested {n_species} species but pool holds only {}",
+        combos.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    combos.shuffle(&mut rng);
+    let mut backbone = Backbone::new();
+    for (gi, genus, epithet) in combos.into_iter().take(n_species) {
+        backbone.insert(Taxon {
+            name: ScientificName::new(genus, epithet).expect("pool entries are valid"),
+            classification: pools[gi].classification.clone(),
+            common_name: None,
+        });
+    }
+    assert_eq!(
+        backbone.len(),
+        n_species,
+        "combos are distinct by construction"
+    );
+    backbone
+}
+
+/// Plan for one checklist release.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleasePlan {
+    /// Release year of this edition.
+    pub year: i32,
+    /// Accepted names to rename into fresh binomials.
+    pub renames: usize,
+    /// Accepted names to demote to *nomen inquirendum*.
+    pub doubts: usize,
+}
+
+/// Build an evolving checklist: bootstrap at `start_year`, then apply each
+/// release plan, renaming/doubting names chosen deterministically.
+/// Optionally restrict churn to `eligible` names (so a caller can plant
+/// outdated names only among the species a collection actually uses).
+pub fn build_checklist(
+    backbone: Backbone,
+    start_year: i32,
+    plans: &[ReleasePlan],
+    eligible: Option<&[ScientificName]>,
+    seed: u64,
+) -> Checklist {
+    let mut checklist = Checklist::bootstrap(backbone, start_year);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    for plan in plans {
+        let accepted: Vec<ScientificName> = match eligible {
+            Some(white) => {
+                let ed = checklist.latest();
+                white
+                    .iter()
+                    .filter(|n| ed.status(n).is_current())
+                    .map(|n| n.bare())
+                    .collect()
+            }
+            None => checklist.latest().accepted_names().cloned().collect(),
+        };
+        let mut pool = accepted;
+        pool.shuffle(&mut rng);
+        let mut ops = Vec::new();
+        for (taken, name) in pool.iter().take(plan.renames).enumerate() {
+            // Renamed species get a fresh alphabetic epithet suffix
+            // (base-26 letters so the binomial stays a valid name).
+            let mut suffix = String::new();
+            let mut k = taken;
+            loop {
+                suffix.push((b'a' + (k % 26) as u8) as char);
+                k /= 26;
+                if k == 0 {
+                    break;
+                }
+            }
+            let new_epithet = format!("{}novus{suffix}", name.epithet().replace('-', ""));
+            let new = ScientificName::new(name.genus(), &new_epithet)
+                .expect("constructed epithet is alphabetic");
+            ops.push(Evolution::Rename {
+                old: name.clone(),
+                new,
+            });
+        }
+        for name in pool.iter().skip(plan.renames).take(plan.doubts) {
+            ops.push(Evolution::Doubt { name: name.clone() });
+        }
+        let _ = rng.gen::<u64>(); // advance stream per release for stability
+        checklist
+            .release(plan.year, &ops)
+            .expect("generated operations are valid");
+    }
+    checklist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::NameStatus;
+
+    #[test]
+    fn backbone_has_requested_species() {
+        let b = build_backbone(1929, 42);
+        assert_eq!(b.len(), 1929);
+    }
+
+    #[test]
+    fn backbone_is_deterministic() {
+        let a = build_backbone(100, 7);
+        let b = build_backbone(100, 7);
+        let na: Vec<String> = a.names().map(|n| n.to_string()).collect();
+        let nb: Vec<String> = b.names().map(|n| n.to_string()).collect();
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build_backbone(100, 1);
+        let b = build_backbone(100, 2);
+        let na: Vec<String> = a.names().map(|n| n.to_string()).collect();
+        let nb: Vec<String> = b.names().map(|n| n.to_string()).collect();
+        assert_ne!(na, nb);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool holds only")]
+    fn oversized_request_panics() {
+        build_backbone(1_000_000, 0);
+    }
+
+    #[test]
+    fn checklist_churn_produces_exact_outdated_count() {
+        let b = build_backbone(500, 42);
+        let names: Vec<ScientificName> = b.names().cloned().collect();
+        let c = build_checklist(
+            b,
+            1965,
+            &[
+                ReleasePlan {
+                    year: 1990,
+                    renames: 20,
+                    doubts: 5,
+                },
+                ReleasePlan {
+                    year: 2013,
+                    renames: 10,
+                    doubts: 2,
+                },
+            ],
+            None,
+            42,
+        );
+        let ed = c.latest();
+        let outdated = names.iter().filter(|n| !ed.status(n).is_current()).count();
+        assert_eq!(outdated, 37);
+        let renamed = names
+            .iter()
+            .filter(|n| matches!(ed.status(n), NameStatus::Synonym { .. }))
+            .count();
+        assert_eq!(renamed, 30);
+    }
+
+    #[test]
+    fn eligible_restriction_limits_churn() {
+        let b = build_backbone(200, 9);
+        let all: Vec<ScientificName> = b.names().cloned().collect();
+        let eligible: Vec<ScientificName> = all.iter().take(50).cloned().collect();
+        let c = build_checklist(
+            b,
+            1965,
+            &[ReleasePlan {
+                year: 2013,
+                renames: 30,
+                doubts: 0,
+            }],
+            Some(&eligible),
+            9,
+        );
+        let ed = c.latest();
+        for n in all.iter().skip(50) {
+            assert!(ed.status(n).is_current(), "non-eligible {n} was churned");
+        }
+        let churned = eligible
+            .iter()
+            .filter(|n| !ed.status(n).is_current())
+            .count();
+        assert_eq!(churned, 30);
+    }
+
+    #[test]
+    fn renamed_names_resolve_to_accepted() {
+        let b = build_backbone(50, 3);
+        let names: Vec<ScientificName> = b.names().cloned().collect();
+        let c = build_checklist(
+            b,
+            1965,
+            &[ReleasePlan {
+                year: 2013,
+                renames: 10,
+                doubts: 0,
+            }],
+            None,
+            3,
+        );
+        let ed = c.latest();
+        for n in &names {
+            if let NameStatus::Synonym { .. } = ed.status(n) {
+                let acc = ed.resolve_accepted(n).expect("renames resolve");
+                assert!(ed.status(&acc).is_current());
+            }
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Versioned checklist editions — how taxonomic knowledge evolves.
+//!
+//! A [`Checklist`] is an ordered sequence of [`ChecklistEdition`]s (e.g.
+//! yearly Catalogue of Life releases). Each edition maps names to
+//! [`NameStatus`]es. New editions start as copies of their predecessor and
+//! then apply *evolution operations*: renames (old name becomes a synonym
+//! of a new accepted name), synonymizations (two taxa merged) and
+//! demotions to *nomen inquirendum*.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::backbone::{Backbone, Taxon};
+use crate::name::ScientificName;
+use crate::status::NameStatus;
+
+/// One released edition of the checklist.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChecklistEdition {
+    /// Release year (editions are keyed and ordered by year).
+    pub year: i32,
+    statuses: BTreeMap<ScientificName, NameStatus>,
+}
+
+impl ChecklistEdition {
+    /// Create an empty edition for `year`.
+    pub fn new(year: i32) -> Self {
+        ChecklistEdition {
+            year,
+            statuses: BTreeMap::new(),
+        }
+    }
+
+    /// Set a name's status.
+    pub fn set_status(&mut self, name: ScientificName, status: NameStatus) {
+        self.statuses.insert(name.bare(), status);
+    }
+
+    /// The status of a name in this edition (`Unknown` when absent).
+    pub fn status(&self, name: &ScientificName) -> NameStatus {
+        self.statuses
+            .get(&name.bare())
+            .cloned()
+            .unwrap_or(NameStatus::Unknown)
+    }
+
+    /// Resolve a name to its accepted name, following synonym chains.
+    /// Returns `None` for unknown names and *nomina inquirenda* (no valid
+    /// current name exists). Cycles are detected and treated as
+    /// irresolvable (malformed edition).
+    pub fn resolve_accepted(&self, name: &ScientificName) -> Option<ScientificName> {
+        let mut current = name.bare();
+        let mut hops = 0usize;
+        loop {
+            match self.status(&current) {
+                NameStatus::Accepted => return Some(current),
+                NameStatus::Synonym { accepted } => {
+                    hops += 1;
+                    if hops > self.statuses.len() {
+                        return None; // cycle
+                    }
+                    current = accepted.bare();
+                }
+                NameStatus::NomenInquirendum | NameStatus::Unknown => return None,
+            }
+        }
+    }
+
+    /// All accepted names in this edition.
+    pub fn accepted_names(&self) -> impl Iterator<Item = &ScientificName> {
+        self.statuses
+            .iter()
+            .filter(|(_, s)| s.is_current())
+            .map(|(n, _)| n)
+    }
+
+    /// Total names known to this edition (any status).
+    pub fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// True when the edition knows no names.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty()
+    }
+}
+
+/// Evolution operations applied when deriving a new edition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Evolution {
+    /// `old` is renamed: it becomes a synonym of the (new) accepted `new`.
+    Rename {
+        /// Name being retired.
+        old: ScientificName,
+        /// The new accepted name.
+        new: ScientificName,
+    },
+    /// `junior` is synonymized under the already-accepted `senior`.
+    Synonymize {
+        /// Name demoted to synonymy.
+        junior: ScientificName,
+        /// The accepted senior name it now points to.
+        senior: ScientificName,
+    },
+    /// `name` is demoted to *nomen inquirendum*.
+    Doubt {
+        /// The name demoted to *nomen inquirendum*.
+        name: ScientificName,
+    },
+    /// A newly described species enters the checklist.
+    Describe {
+        /// The newly described species' name.
+        name: ScientificName,
+    },
+}
+
+/// A backbone plus its sequence of editions.
+///
+/// # Example
+///
+/// ```
+/// use preserva_taxonomy::backbone::{Backbone, Classification, Taxon};
+/// use preserva_taxonomy::checklist::{Checklist, Evolution};
+/// use preserva_taxonomy::name::ScientificName;
+///
+/// let mut b = Backbone::new();
+/// b.insert(Taxon {
+///     name: ScientificName::parse("Elachistocleis ovalis").unwrap(),
+///     classification: Classification::new("Chordata", "Amphibia", "Anura", "Microhylidae"),
+///     common_name: None,
+/// });
+/// let mut c = Checklist::bootstrap(b, 1965);
+/// c.release(2010, &[Evolution::Rename {
+///     old: ScientificName::parse("Elachistocleis ovalis").unwrap(),
+///     new: ScientificName::parse("Nomen inquirenda").unwrap(),
+/// }]).unwrap();
+/// // The 1965-annotated name is outdated in the latest edition…
+/// let old = ScientificName::parse("Elachistocleis ovalis").unwrap();
+/// assert!(!c.latest().status(&old).is_current());
+/// // …and resolves to its replacement.
+/// assert_eq!(c.latest().resolve_accepted(&old).unwrap().to_string(), "Nomen inquirenda");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checklist {
+    /// Shared taxa with their classifications.
+    pub backbone: Backbone,
+    editions: Vec<ChecklistEdition>,
+}
+
+/// Error applying an evolution operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvolutionError {
+    /// The operation references a name the edition doesn't list as accepted.
+    NotAccepted(String),
+    /// A `Describe` collides with an existing name.
+    AlreadyKnown(String),
+    /// Editions must be created in strictly increasing year order.
+    NonMonotonicYear {
+        /// Year of the latest existing edition.
+        last: i32,
+        /// The (non-increasing) year requested.
+        got: i32,
+    },
+}
+
+impl std::fmt::Display for EvolutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvolutionError::NotAccepted(n) => write!(f, "{n} is not an accepted name"),
+            EvolutionError::AlreadyKnown(n) => write!(f, "{n} already exists"),
+            EvolutionError::NonMonotonicYear { last, got } => {
+                write!(f, "edition year {got} not after {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvolutionError {}
+
+impl Checklist {
+    /// Start a checklist with a first edition in `year` where every
+    /// backbone taxon is accepted.
+    pub fn bootstrap(backbone: Backbone, year: i32) -> Self {
+        let mut first = ChecklistEdition::new(year);
+        for name in backbone.names() {
+            first.set_status(name.clone(), NameStatus::Accepted);
+        }
+        Checklist {
+            backbone,
+            editions: vec![first],
+        }
+    }
+
+    /// Derive a new edition from the latest one by applying `ops`.
+    pub fn release(&mut self, year: i32, ops: &[Evolution]) -> Result<(), EvolutionError> {
+        let last = self.latest();
+        if year <= last.year {
+            return Err(EvolutionError::NonMonotonicYear {
+                last: last.year,
+                got: year,
+            });
+        }
+        let mut next = last.clone();
+        next.year = year;
+        for op in ops {
+            match op {
+                Evolution::Rename { old, new } => {
+                    if !next.status(old).is_current() {
+                        return Err(EvolutionError::NotAccepted(old.to_string()));
+                    }
+                    next.set_status(new.clone(), NameStatus::Accepted);
+                    next.set_status(
+                        old.clone(),
+                        NameStatus::Synonym {
+                            accepted: new.bare(),
+                        },
+                    );
+                    // The new name inherits the old taxon's classification.
+                    if let Some(t) = self.backbone.get(old) {
+                        let mut t2: Taxon = t.clone();
+                        t2.name = new.bare();
+                        self.backbone.insert(t2);
+                    }
+                }
+                Evolution::Synonymize { junior, senior } => {
+                    if !next.status(junior).is_current() {
+                        return Err(EvolutionError::NotAccepted(junior.to_string()));
+                    }
+                    if !next.status(senior).is_current() {
+                        return Err(EvolutionError::NotAccepted(senior.to_string()));
+                    }
+                    next.set_status(
+                        junior.clone(),
+                        NameStatus::Synonym {
+                            accepted: senior.bare(),
+                        },
+                    );
+                }
+                Evolution::Doubt { name } => {
+                    if !next.status(name).is_current() {
+                        return Err(EvolutionError::NotAccepted(name.to_string()));
+                    }
+                    next.set_status(name.clone(), NameStatus::NomenInquirendum);
+                }
+                Evolution::Describe { name } => {
+                    if next.status(name) != NameStatus::Unknown {
+                        return Err(EvolutionError::AlreadyKnown(name.to_string()));
+                    }
+                    next.set_status(name.clone(), NameStatus::Accepted);
+                }
+            }
+        }
+        self.editions.push(next);
+        Ok(())
+    }
+
+    /// The newest edition.
+    pub fn latest(&self) -> &ChecklistEdition {
+        self.editions
+            .last()
+            .expect("bootstrap guarantees one edition")
+    }
+
+    /// The edition current at `year`: the newest edition with
+    /// `edition.year <= year` (the first edition if `year` predates all).
+    pub fn edition_at(&self, year: i32) -> &ChecklistEdition {
+        self.editions
+            .iter()
+            .rev()
+            .find(|e| e.year <= year)
+            .unwrap_or(&self.editions[0])
+    }
+
+    /// All editions, oldest first.
+    pub fn editions(&self) -> &[ChecklistEdition] {
+        &self.editions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::Classification;
+
+    fn n(s: &str) -> ScientificName {
+        ScientificName::parse(s).unwrap()
+    }
+
+    fn backbone(names: &[&str]) -> Backbone {
+        let mut b = Backbone::new();
+        for s in names {
+            b.insert(Taxon {
+                name: n(s),
+                classification: Classification::new("Chordata", "Amphibia", "Anura", "Hylidae"),
+                common_name: None,
+            });
+        }
+        b
+    }
+
+    #[test]
+    fn bootstrap_accepts_everything() {
+        let c = Checklist::bootstrap(backbone(&["Hyla faber", "Scinax ruber"]), 1965);
+        assert_eq!(c.latest().year, 1965);
+        assert_eq!(c.latest().accepted_names().count(), 2);
+        assert!(c.latest().status(&n("Hyla faber")).is_current());
+        assert_eq!(c.latest().status(&n("Absent species")), NameStatus::Unknown);
+    }
+
+    #[test]
+    fn rename_makes_old_a_synonym() {
+        let mut c = Checklist::bootstrap(backbone(&["Elachistocleis ovalis"]), 1965);
+        c.release(
+            2010,
+            &[Evolution::Rename {
+                old: n("Elachistocleis ovalis"),
+                new: n("Nomen inquirenda"),
+            }],
+        )
+        .unwrap();
+        let ed = c.latest();
+        assert_eq!(
+            ed.resolve_accepted(&n("Elachistocleis ovalis")),
+            Some(n("Nomen inquirenda"))
+        );
+        assert!(ed.status(&n("Nomen inquirenda")).is_current());
+        // The earlier edition still considers the old name accepted.
+        assert!(c
+            .edition_at(1990)
+            .status(&n("Elachistocleis ovalis"))
+            .is_current());
+    }
+
+    #[test]
+    fn chained_renames_resolve_transitively() {
+        let mut c = Checklist::bootstrap(backbone(&["Hyla alba"]), 1965);
+        c.release(
+            1980,
+            &[Evolution::Rename {
+                old: n("Hyla alba"),
+                new: n("Hyla beta"),
+            }],
+        )
+        .unwrap();
+        c.release(
+            2000,
+            &[Evolution::Rename {
+                old: n("Hyla beta"),
+                new: n("Hyla gamma"),
+            }],
+        )
+        .unwrap();
+        assert_eq!(
+            c.latest().resolve_accepted(&n("Hyla alba")),
+            Some(n("Hyla gamma"))
+        );
+    }
+
+    #[test]
+    fn doubt_leaves_no_replacement() {
+        let mut c = Checklist::bootstrap(backbone(&["Hyla dubia"]), 1965);
+        c.release(
+            2013,
+            &[Evolution::Doubt {
+                name: n("Hyla dubia"),
+            }],
+        )
+        .unwrap();
+        assert_eq!(c.latest().resolve_accepted(&n("Hyla dubia")), None);
+        assert_eq!(
+            c.latest().status(&n("Hyla dubia")),
+            NameStatus::NomenInquirendum
+        );
+    }
+
+    #[test]
+    fn describe_adds_new_species() {
+        let mut c = Checklist::bootstrap(backbone(&["Hyla faber"]), 1965);
+        c.release(
+            2013,
+            &[Evolution::Describe {
+                name: n("Hyla nova"),
+            }],
+        )
+        .unwrap();
+        assert!(c.latest().status(&n("Hyla nova")).is_current());
+        assert_eq!(
+            c.edition_at(1965).status(&n("Hyla nova")),
+            NameStatus::Unknown
+        );
+    }
+
+    #[test]
+    fn invalid_operations_rejected() {
+        let mut c = Checklist::bootstrap(backbone(&["Hyla faber"]), 1965);
+        assert!(matches!(
+            c.release(
+                2000,
+                &[Evolution::Rename {
+                    old: n("Hyla ghost"),
+                    new: n("Hyla x")
+                }]
+            ),
+            Err(EvolutionError::NotAccepted(_))
+        ));
+        assert!(matches!(
+            c.release(
+                2000,
+                &[Evolution::Describe {
+                    name: n("Hyla faber")
+                }]
+            ),
+            Err(EvolutionError::AlreadyKnown(_))
+        ));
+        c.release(2000, &[]).unwrap();
+        assert!(matches!(
+            c.release(1999, &[]),
+            Err(EvolutionError::NonMonotonicYear { .. })
+        ));
+    }
+
+    #[test]
+    fn edition_at_picks_correct_release() {
+        let mut c = Checklist::bootstrap(backbone(&["Hyla faber"]), 1965);
+        c.release(1990, &[]).unwrap();
+        c.release(2010, &[]).unwrap();
+        assert_eq!(c.edition_at(1964).year, 1965); // clamp to first
+        assert_eq!(c.edition_at(1989).year, 1965);
+        assert_eq!(c.edition_at(1990).year, 1990);
+        assert_eq!(c.edition_at(2013).year, 2010);
+    }
+
+    #[test]
+    fn synonymize_merges_taxa() {
+        let mut c = Checklist::bootstrap(backbone(&["Hyla a", "Hyla b"]), 1965);
+        c.release(
+            2005,
+            &[Evolution::Synonymize {
+                junior: n("Hyla b"),
+                senior: n("Hyla a"),
+            }],
+        )
+        .unwrap();
+        assert_eq!(c.latest().resolve_accepted(&n("Hyla b")), Some(n("Hyla a")));
+        assert_eq!(c.latest().accepted_names().count(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Fuzzy name matching for misspelled metadata.
+//!
+//! Legacy records contain typos introduced at annotation or digitization
+//! time. [`damerau_levenshtein`] (optimal string alignment variant —
+//! insertions, deletions, substitutions and adjacent transpositions)
+//! powers [`best_match`], which suggests the closest checklist name within
+//! a distance budget.
+
+/// Optimal-string-alignment Damerau–Levenshtein distance.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: two-back, previous, current.
+    let mut prev2 = vec![0usize; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                cur[j] = cur[j].min(prev2[j - 2] + 1);
+            }
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// A fuzzy-match hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match<'a> {
+    /// The candidate that matched.
+    pub candidate: &'a str,
+    /// Its edit distance from the query.
+    pub distance: usize,
+}
+
+/// Find the closest candidate within `max_distance` (ties broken by
+/// lexicographic order for determinism). Case-insensitive.
+pub fn best_match<'a, I>(query: &str, candidates: I, max_distance: usize) -> Option<Match<'a>>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let q = query.to_lowercase();
+    let mut best: Option<Match<'a>> = None;
+    for cand in candidates {
+        // Cheap length screen: |len difference| already bounds distance.
+        let len_gap = cand.chars().count().abs_diff(q.chars().count());
+        if len_gap > max_distance {
+            continue;
+        }
+        let d = damerau_levenshtein(&q, &cand.to_lowercase());
+        if d > max_distance {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some(m) => d < m.distance || (d == m.distance && cand < m.candidate),
+        };
+        if better {
+            best = Some(Match {
+                candidate: cand,
+                distance: d,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("", "abc"), 3);
+        assert_eq!(damerau_levenshtein("hyla", "hyla"), 0);
+        assert_eq!(damerau_levenshtein("hyla", "hylo"), 1); // substitution
+        assert_eq!(damerau_levenshtein("hyla", "hyl"), 1); // deletion
+        assert_eq!(damerau_levenshtein("hyla", "hylla"), 1); // insertion
+        assert_eq!(damerau_levenshtein("hyla", "hlya"), 1); // transposition
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let pairs = [("faber", "fabre"), ("scinax", "scniax"), ("a", "xyz")];
+        for (a, b) in pairs {
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn transposition_counts_once() {
+        // Plain Levenshtein would give 2 here.
+        assert_eq!(damerau_levenshtein("elachistocleis", "elachsitocleis"), 1);
+    }
+
+    #[test]
+    fn best_match_prefers_smallest_distance() {
+        let cands = ["Hyla faber", "Hyla albopunctata", "Scinax ruber"];
+        let m = best_match("hyla fabre", cands.iter().copied(), 2).unwrap();
+        assert_eq!(m.candidate, "Hyla faber");
+        assert_eq!(m.distance, 1);
+    }
+
+    #[test]
+    fn best_match_respects_budget() {
+        let cands = ["Hyla faber"];
+        assert!(best_match("completely different", cands.iter().copied(), 2).is_none());
+    }
+
+    #[test]
+    fn best_match_breaks_ties_deterministically() {
+        let cands = ["Hyla fabex", "Hyla fabez"];
+        let m = best_match("Hyla faber", cands.iter().copied(), 2).unwrap();
+        assert_eq!(m.candidate, "Hyla fabex"); // lexicographically first
+    }
+
+    #[test]
+    fn exact_match_is_distance_zero() {
+        let cands = ["Hyla faber"];
+        let m = best_match("HYLA FABER", cands.iter().copied(), 2).unwrap();
+        assert_eq!(m.distance, 0);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(damerau_levenshtein("café", "cafe"), 1);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! `preserva-taxonomy` — a taxonomic backbone with *versioned checklist
+//! editions*, standing in for the Catalogue of Life web service the
+//! paper's Outdated Species Name Detection Workflow queries.
+//!
+//! The substrate models the exact phenomenon the case study depends on:
+//! *knowledge about the world evolves*. A [`checklist::Checklist`] is a
+//! sequence of editions; between editions, species can be renamed,
+//! synonymized, or demoted to *nomen inquirendum* (as happened to
+//! `Elachistocleis ovalis` in the paper). A name that was accepted in the
+//! edition current when a recording was annotated may, in a later edition,
+//! resolve to a different accepted name — that is an "outdated species
+//! name".
+//!
+//! * [`name`] — scientific-name parsing and canonical formatting
+//! * [`rank`], [`status`] — Linnaean ranks and nomenclatural statuses
+//! * [`backbone`] — taxa with full higher classification
+//! * [`checklist`] — editions and the evolution operations between them
+//! * [`fuzzy`] — Damerau–Levenshtein matching for misspelled names
+//! * [`service`] — the `ColService` façade with simulated availability
+//!   (the paper annotates the real service `Q(availability): 0.9`)
+//! * [`builder`] — deterministic synthetic Neotropical backbones
+
+pub mod backbone;
+pub mod builder;
+pub mod checklist;
+pub mod fuzzy;
+pub mod name;
+pub mod rank;
+pub mod service;
+pub mod status;
+
+pub use checklist::{Checklist, ChecklistEdition};
+pub use name::ScientificName;
+pub use service::{ColService, LookupOutcome, ServiceConfig};
+pub use status::NameStatus;

@@ -1,0 +1,161 @@
+//! Scientific-name parsing and canonical formatting.
+//!
+//! A binomial is `Genus epithet` — genus capitalized, epithet lowercase.
+//! Legacy metadata contains case errors, stray whitespace and optional
+//! authorship strings (`"Hyla faber Wied-Neuwied, 1821"`); the parser
+//! normalizes all of these.
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed binomial (genus + specific epithet), in canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ScientificName {
+    genus: String,
+    epithet: String,
+    /// Authorship, kept verbatim if present (not part of identity).
+    authorship: Option<String>,
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + &c.as_str().to_lowercase(),
+        None => String::new(),
+    }
+}
+
+fn is_name_word(w: &str) -> bool {
+    !w.is_empty() && w.chars().all(|c| c.is_ascii_alphabetic() || c == '-')
+}
+
+impl ScientificName {
+    /// Construct from already-separated parts (normalizing case).
+    pub fn new(genus: &str, epithet: &str) -> Option<ScientificName> {
+        if !is_name_word(genus) || !is_name_word(epithet) {
+            return None;
+        }
+        Some(ScientificName {
+            genus: capitalize(genus),
+            epithet: epithet.to_lowercase(),
+            authorship: None,
+        })
+    }
+
+    /// Parse a free-text name: `"Genus epithet [Authorship…]"`.
+    ///
+    /// Authorship is recognized as everything after the epithet when it
+    /// starts with an uppercase letter, a parenthesis or a digit.
+    pub fn parse(input: &str) -> Option<ScientificName> {
+        let trimmed = input.trim();
+        let mut words = trimmed.split_whitespace();
+        let genus = words.next()?;
+        let epithet = words.next()?;
+        let rest: Vec<&str> = words.collect();
+        let mut name = ScientificName::new(genus, epithet)?;
+        if !rest.is_empty() {
+            let auth = rest.join(" ");
+            let first = auth.chars().next().unwrap();
+            if first.is_uppercase() || first == '(' || first.is_ascii_digit() {
+                name.authorship = Some(auth);
+            } else {
+                return None; // trailing lowercase junk → not a clean binomial
+            }
+        }
+        Some(name)
+    }
+
+    /// The genus part (capitalized).
+    pub fn genus(&self) -> &str {
+        &self.genus
+    }
+
+    /// The specific epithet (lowercase).
+    pub fn epithet(&self) -> &str {
+        &self.epithet
+    }
+
+    /// The authorship, if present.
+    pub fn authorship(&self) -> Option<&str> {
+        self.authorship.as_deref()
+    }
+
+    /// Canonical binomial without authorship — the identity used by
+    /// checklists and equality.
+    pub fn canonical(&self) -> String {
+        format!("{} {}", self.genus, self.epithet)
+    }
+
+    /// Same name with authorship attached (builder style).
+    pub fn with_authorship(mut self, authorship: &str) -> ScientificName {
+        self.authorship = Some(authorship.to_string());
+        self
+    }
+
+    /// Drop the authorship, leaving the bare binomial identity.
+    pub fn bare(&self) -> ScientificName {
+        ScientificName {
+            genus: self.genus.clone(),
+            epithet: self.epithet.clone(),
+            authorship: None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScientificName {
+    /// Writes the canonical binomial (authorship omitted: identity).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.genus, self.epithet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalizes_case_and_space() {
+        let n = ScientificName::parse("  hyla   FABER ").unwrap();
+        assert_eq!(n.genus(), "Hyla");
+        assert_eq!(n.epithet(), "faber");
+        assert_eq!(n.canonical(), "Hyla faber");
+    }
+
+    #[test]
+    fn parse_with_authorship() {
+        let n = ScientificName::parse("Hyla faber Wied-Neuwied, 1821").unwrap();
+        assert_eq!(n.canonical(), "Hyla faber");
+        assert_eq!(n.authorship(), Some("Wied-Neuwied, 1821"));
+        let p = ScientificName::parse("Elachistocleis ovalis (Schneider, 1799)").unwrap();
+        assert_eq!(p.authorship(), Some("(Schneider, 1799)"));
+    }
+
+    #[test]
+    fn authorship_not_part_of_identity() {
+        let a = ScientificName::parse("Hyla faber Wied-Neuwied, 1821").unwrap();
+        let b = ScientificName::parse("Hyla faber").unwrap();
+        assert_ne!(a, b); // full equality includes authorship...
+        assert_eq!(a.bare(), b); // ...identity comparison uses bare()
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn rejects_non_binomials() {
+        assert!(ScientificName::parse("Hyla").is_none());
+        assert!(ScientificName::parse("").is_none());
+        assert!(ScientificName::parse("Hyla faber junk").is_none());
+        assert!(ScientificName::parse("123 456").is_none());
+    }
+
+    #[test]
+    fn hyphenated_epithets_allowed() {
+        let n = ScientificName::parse("Scinax fusco-marginatus").unwrap();
+        assert_eq!(n.epithet(), "fusco-marginatus");
+    }
+
+    #[test]
+    fn ordering_is_alphabetical() {
+        let a = ScientificName::parse("Ameerega flavopicta").unwrap();
+        let b = ScientificName::parse("Hyla faber").unwrap();
+        assert!(a < b);
+    }
+}

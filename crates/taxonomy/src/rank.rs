@@ -1,0 +1,68 @@
+//! Linnaean ranks used by the FNJV identification fields (Table II row 1).
+
+use serde::{Deserialize, Serialize};
+
+/// The taxonomic ranks recorded in the collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rank {
+    /// Phylum.
+    Phylum,
+    /// Class.
+    Class,
+    /// Order.
+    Order,
+    /// Family.
+    Family,
+    /// Genus.
+    Genus,
+    /// Species.
+    Species,
+}
+
+impl Rank {
+    /// All ranks from broadest to narrowest.
+    pub const ALL: [Rank; 6] = [
+        Rank::Phylum,
+        Rank::Class,
+        Rank::Order,
+        Rank::Family,
+        Rank::Genus,
+        Rank::Species,
+    ];
+
+    /// Lowercase field-style name (matches the FNJV schema field names).
+    pub fn field_name(self) -> &'static str {
+        match self {
+            Rank::Phylum => "phylum",
+            Rank::Class => "class",
+            Rank::Order => "order",
+            Rank::Family => "family",
+            Rank::Genus => "genus",
+            Rank::Species => "species",
+        }
+    }
+}
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.field_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_broad_to_narrow() {
+        assert!(Rank::Phylum < Rank::Species);
+        assert!(Rank::Genus < Rank::Species);
+        assert_eq!(Rank::ALL.len(), 6);
+    }
+
+    #[test]
+    fn field_names_match_schema() {
+        assert_eq!(Rank::Species.field_name(), "species");
+        assert_eq!(Rank::Phylum.to_string(), "phylum");
+    }
+}

@@ -1,0 +1,448 @@
+//! The Catalogue-of-Life service façade.
+//!
+//! The paper's workflow queries the real Catalogue of Life web service,
+//! annotated by experts with `Q(reputation): 1` and `Q(availability): 0.9`
+//! "since there are several connection problems" (Listing 1). This façade
+//! reproduces those connection problems: each request fails with
+//! probability `1 − availability`, drawn from a deterministic seeded RNG,
+//! so availability-sensitive behaviour (retries, the availability quality
+//! dimension) is exercised for real and reproducibly.
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::backbone::Classification;
+use crate::checklist::Checklist;
+use crate::fuzzy;
+use crate::name::ScientificName;
+use crate::status::NameStatus;
+
+/// Service tuning: quality annotations + failure simulation.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Probability a request succeeds (paper: 0.9).
+    pub availability: f64,
+    /// Expert-assigned source reputation in [0, 1] (paper: 1.0).
+    pub reputation: f64,
+    /// Simulated per-request latency in milliseconds (virtual; recorded in
+    /// stats, never slept).
+    pub latency_ms: u64,
+    /// RNG seed for the failure process.
+    pub seed: u64,
+    /// Maximum fuzzy-match distance when exact lookup misses
+    /// (0 disables fuzzy matching).
+    pub fuzzy_distance: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            availability: 0.9,
+            reputation: 1.0,
+            latency_ms: 120,
+            seed: 0xC01,
+            fuzzy_distance: 2,
+        }
+    }
+}
+
+/// Outcome of a successful lookup request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LookupOutcome {
+    /// The queried name is the current accepted name.
+    Current {
+        /// Higher classification, when the backbone covers the taxon.
+        classification: Option<Classification>,
+    },
+    /// The queried name is outdated; the checklist supplies the up-to-date
+    /// accepted name (the paper's Figure 2 content).
+    Outdated {
+        /// The current accepted name to adopt.
+        accepted: ScientificName,
+        /// Higher classification of the accepted taxon.
+        classification: Option<Classification>,
+    },
+    /// The name exists but has no valid replacement (nomen inquirendum).
+    Doubtful,
+    /// Exact lookup missed but a close spelling exists.
+    Misspelled {
+        /// The closest known name.
+        suggestion: ScientificName,
+        /// Its edit distance from the query.
+        distance: usize,
+    },
+    /// The service does not know the name at all.
+    NotFound,
+}
+
+/// Transport-level failure (the simulated "connection problem").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceUnavailable {
+    /// Which attempt failed (1-based).
+    pub attempt: u32,
+}
+
+impl std::fmt::Display for ServiceUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Catalogue of Life unavailable (attempt {})",
+            self.attempt
+        )
+    }
+}
+
+impl std::error::Error for ServiceUnavailable {}
+
+/// Request counters, exposed so the quality layer can *measure*
+/// availability instead of trusting the annotation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServiceStats {
+    /// Total requests received.
+    pub requests: u64,
+    /// Requests that failed with a connection problem.
+    pub failures: u64,
+    /// Retries performed by `lookup_with_retries`.
+    pub retries: u64,
+    /// Total virtual latency accumulated (ms).
+    pub virtual_latency_ms: u64,
+}
+
+impl ServiceStats {
+    /// Observed availability: successes / requests (1.0 before any request).
+    pub fn observed_availability(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            (self.requests - self.failures) as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The service façade over a [`Checklist`].
+///
+/// # Example
+///
+/// ```
+/// use preserva_taxonomy::builder::build_backbone;
+/// use preserva_taxonomy::checklist::Checklist;
+/// use preserva_taxonomy::name::ScientificName;
+/// use preserva_taxonomy::service::{ColService, LookupOutcome, ServiceConfig};
+///
+/// let backbone = build_backbone(50, 42);
+/// let name = backbone.names().next().unwrap().clone();
+/// let service = ColService::new(
+///     Checklist::bootstrap(backbone, 1965),
+///     ServiceConfig { availability: 1.0, ..ServiceConfig::default() },
+/// );
+/// assert!(matches!(
+///     service.lookup(&name).unwrap(),
+///     LookupOutcome::Current { .. }
+/// ));
+/// ```
+#[derive(Debug)]
+pub struct ColService {
+    checklist: Checklist,
+    config: ServiceConfig,
+    rng: Mutex<StdRng>,
+    stats: Mutex<ServiceStats>,
+}
+
+impl ColService {
+    /// Wrap a checklist with the given configuration.
+    pub fn new(checklist: Checklist, config: ServiceConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        ColService {
+            checklist,
+            config,
+            rng: Mutex::new(rng),
+            stats: Mutex::new(ServiceStats::default()),
+        }
+    }
+
+    /// The service's expert-annotated reputation.
+    pub fn reputation(&self) -> f64 {
+        self.config.reputation
+    }
+
+    /// The service's expert-annotated availability.
+    pub fn configured_availability(&self) -> f64 {
+        self.config.availability
+    }
+
+    /// Request counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// The wrapped checklist (read-only).
+    pub fn checklist(&self) -> &Checklist {
+        &self.checklist
+    }
+
+    fn simulate_transport(&self) -> bool {
+        let mut stats = self.stats.lock().expect("stats lock");
+        stats.requests += 1;
+        stats.virtual_latency_ms += self.config.latency_ms;
+        let ok = self.rng.lock().expect("rng lock").gen::<f64>() < self.config.availability;
+        if !ok {
+            stats.failures += 1;
+        }
+        ok
+    }
+
+    /// One lookup attempt against the latest edition.
+    pub fn lookup(&self, name: &ScientificName) -> Result<LookupOutcome, ServiceUnavailable> {
+        self.lookup_at(name, i32::MAX)
+    }
+
+    /// One lookup attempt against the edition current at `year`
+    /// (`i32::MAX` = latest).
+    pub fn lookup_at(
+        &self,
+        name: &ScientificName,
+        year: i32,
+    ) -> Result<LookupOutcome, ServiceUnavailable> {
+        if !self.simulate_transport() {
+            return Err(ServiceUnavailable { attempt: 1 });
+        }
+        Ok(self.answer(name, year))
+    }
+
+    /// Lookup with up to `max_attempts` total tries on transport failure.
+    pub fn lookup_with_retries(
+        &self,
+        name: &ScientificName,
+        max_attempts: u32,
+    ) -> Result<LookupOutcome, ServiceUnavailable> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            if self.simulate_transport() {
+                return Ok(self.answer(name, i32::MAX));
+            }
+            if attempt >= max_attempts {
+                return Err(ServiceUnavailable { attempt });
+            }
+            self.stats.lock().expect("stats lock").retries += 1;
+        }
+    }
+
+    fn answer(&self, name: &ScientificName, year: i32) -> LookupOutcome {
+        let edition = if year == i32::MAX {
+            self.checklist.latest()
+        } else {
+            self.checklist.edition_at(year)
+        };
+        match edition.status(name) {
+            NameStatus::Accepted => LookupOutcome::Current {
+                classification: self
+                    .checklist
+                    .backbone
+                    .get(name)
+                    .map(|t| t.classification.clone()),
+            },
+            NameStatus::Synonym { .. } => match edition.resolve_accepted(name) {
+                Some(accepted) => {
+                    let classification = self
+                        .checklist
+                        .backbone
+                        .get(&accepted)
+                        .map(|t| t.classification.clone());
+                    LookupOutcome::Outdated {
+                        accepted,
+                        classification,
+                    }
+                }
+                None => LookupOutcome::Doubtful,
+            },
+            NameStatus::NomenInquirendum => LookupOutcome::Doubtful,
+            NameStatus::Unknown => {
+                if self.config.fuzzy_distance == 0 {
+                    return LookupOutcome::NotFound;
+                }
+                let query = name.canonical();
+                let names: Vec<String> = self
+                    .checklist
+                    .backbone
+                    .names()
+                    .map(|n| n.canonical())
+                    .collect();
+                match fuzzy::best_match(
+                    &query,
+                    names.iter().map(String::as_str),
+                    self.config.fuzzy_distance,
+                ) {
+                    Some(m) if m.distance > 0 => LookupOutcome::Misspelled {
+                        suggestion: ScientificName::parse(m.candidate)
+                            .expect("backbone names are valid binomials"),
+                        distance: m.distance,
+                    },
+                    _ => LookupOutcome::NotFound,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::{Backbone, Taxon};
+    use crate::checklist::Evolution;
+
+    fn n(s: &str) -> ScientificName {
+        ScientificName::parse(s).unwrap()
+    }
+
+    fn service(availability: f64) -> ColService {
+        let mut b = Backbone::new();
+        for name in ["Elachistocleis ovalis", "Hyla faber", "Scinax ruber"] {
+            b.insert(Taxon {
+                name: n(name),
+                classification: Classification::new("Chordata", "Amphibia", "Anura", "F"),
+                common_name: None,
+            });
+        }
+        let mut c = Checklist::bootstrap(b, 1965);
+        c.release(
+            2010,
+            &[Evolution::Rename {
+                old: n("Elachistocleis ovalis"),
+                new: n("Nomen inquirenda"),
+            }],
+        )
+        .unwrap();
+        ColService::new(
+            c,
+            ServiceConfig {
+                availability,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn current_name_reported_current() {
+        let s = service(1.0);
+        match s.lookup(&n("Hyla faber")).unwrap() {
+            LookupOutcome::Current { classification } => {
+                assert_eq!(classification.unwrap().class, "Amphibia");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outdated_name_gets_replacement() {
+        let s = service(1.0);
+        match s.lookup(&n("Elachistocleis ovalis")).unwrap() {
+            LookupOutcome::Outdated { accepted, .. } => {
+                assert_eq!(accepted, n("Nomen inquirenda"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn historical_edition_still_accepts_old_name() {
+        let s = service(1.0);
+        match s.lookup_at(&n("Elachistocleis ovalis"), 1990).unwrap() {
+            LookupOutcome::Current { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misspelling_gets_suggestion() {
+        let s = service(1.0);
+        match s.lookup(&n("Hyla fabre")).unwrap() {
+            LookupOutcome::Misspelled {
+                suggestion,
+                distance,
+            } => {
+                assert_eq!(suggestion, n("Hyla faber"));
+                assert!(distance <= 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_name_not_found() {
+        let s = service(1.0);
+        assert_eq!(
+            s.lookup(&n("Totally unrelated")).unwrap(),
+            LookupOutcome::NotFound
+        );
+    }
+
+    #[test]
+    fn fuzzy_disabled_returns_not_found() {
+        let mut b = Backbone::new();
+        b.insert(Taxon {
+            name: n("Hyla faber"),
+            classification: Classification::new("C", "A", "O", "F"),
+            common_name: None,
+        });
+        let c = Checklist::bootstrap(b, 1965);
+        let s = ColService::new(
+            c,
+            ServiceConfig {
+                availability: 1.0,
+                fuzzy_distance: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(s.lookup(&n("Hyla fabre")).unwrap(), LookupOutcome::NotFound);
+    }
+
+    #[test]
+    fn failures_happen_at_configured_rate() {
+        let s = service(0.7);
+        let mut failures = 0;
+        for _ in 0..2000 {
+            if s.lookup(&n("Hyla faber")).is_err() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "failure rate {rate}");
+        let obs = s.stats().observed_availability();
+        assert!((obs - 0.7).abs() < 0.05, "observed {obs}");
+    }
+
+    #[test]
+    fn retries_recover_from_transient_failures() {
+        let s = service(0.5);
+        let mut hard_failures = 0;
+        for _ in 0..300 {
+            if s.lookup_with_retries(&n("Hyla faber"), 5).is_err() {
+                hard_failures += 1;
+            }
+        }
+        // P(5 consecutive failures) = 0.5^5 ≈ 3%; must be far below 300.
+        assert!(hard_failures < 30, "hard failures {hard_failures}");
+        assert!(s.stats().retries > 0);
+    }
+
+    #[test]
+    fn perfect_availability_never_fails() {
+        let s = service(1.0);
+        for _ in 0..100 {
+            assert!(s.lookup(&n("Hyla faber")).is_ok());
+        }
+        assert_eq!(s.stats().failures, 0);
+        assert_eq!(s.stats().observed_availability(), 1.0);
+    }
+
+    #[test]
+    fn virtual_latency_accumulates() {
+        let s = service(1.0);
+        s.lookup(&n("Hyla faber")).unwrap();
+        s.lookup(&n("Hyla faber")).unwrap();
+        assert_eq!(s.stats().virtual_latency_ms, 240);
+    }
+}

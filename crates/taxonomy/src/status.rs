@@ -1,0 +1,74 @@
+//! Nomenclatural status of a name within one checklist edition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::name::ScientificName;
+
+/// The status a checklist edition assigns to a scientific name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NameStatus {
+    /// The current valid name of a taxon.
+    Accepted,
+    /// A junior synonym: the taxon's accepted name is `accepted`.
+    Synonym {
+        /// The taxon's current accepted name.
+        accepted: ScientificName,
+    },
+    /// "Name of doubtful application" — under investigation, not usable as
+    /// an accepted identification (the fate of *Elachistocleis ovalis*).
+    NomenInquirendum,
+    /// The name is not known to this edition at all.
+    Unknown,
+}
+
+impl NameStatus {
+    /// Whether a record annotated with this name is up to date.
+    pub fn is_current(&self) -> bool {
+        matches!(self, NameStatus::Accepted)
+    }
+
+    /// The replacement name to suggest, if any.
+    pub fn replacement(&self) -> Option<&ScientificName> {
+        match self {
+            NameStatus::Synonym { accepted } => Some(accepted),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for NameStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NameStatus::Accepted => f.write_str("accepted"),
+            NameStatus::Synonym { accepted } => write!(f, "synonym of {accepted}"),
+            NameStatus::NomenInquirendum => f.write_str("nomen inquirendum"),
+            NameStatus::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn currency_and_replacement() {
+        assert!(NameStatus::Accepted.is_current());
+        assert!(!NameStatus::NomenInquirendum.is_current());
+        assert!(!NameStatus::Unknown.is_current());
+        let syn = NameStatus::Synonym {
+            accepted: ScientificName::parse("Nomen inquirenda").unwrap(),
+        };
+        assert!(!syn.is_current());
+        assert_eq!(syn.replacement().unwrap().to_string(), "Nomen inquirenda");
+        assert_eq!(NameStatus::Accepted.replacement(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            NameStatus::NomenInquirendum.to_string(),
+            "nomen inquirendum"
+        );
+    }
+}

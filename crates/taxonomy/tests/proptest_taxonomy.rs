@@ -1,0 +1,117 @@
+//! Property tests for taxonomy invariants (DESIGN.md §7): accepted-name
+//! resolution is a fixpoint, synonym chains terminate, distances behave.
+
+use proptest::prelude::*;
+
+use preserva_taxonomy::builder::{build_backbone, build_checklist, ReleasePlan};
+use preserva_taxonomy::fuzzy::damerau_levenshtein;
+use preserva_taxonomy::name::ScientificName;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Resolving a name to its accepted form is a fixpoint: resolving the
+    /// result again yields the same name; and the result is accepted.
+    #[test]
+    fn resolution_is_fixpoint(
+        n_species in 20usize..120,
+        renames in 0usize..15,
+        doubts in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let b = build_backbone(n_species, seed);
+        let names: Vec<ScientificName> = b.names().cloned().collect();
+        let c = build_checklist(
+            b,
+            1965,
+            &[ReleasePlan { year: 2013, renames, doubts }],
+            None,
+            seed,
+        );
+        let ed = c.latest();
+        for n in &names {
+            if let Some(acc) = ed.resolve_accepted(n) {
+                prop_assert!(ed.status(&acc).is_current());
+                prop_assert_eq!(ed.resolve_accepted(&acc), Some(acc));
+            }
+        }
+    }
+
+    /// Across consecutive releases, the number of accepted names among the
+    /// original pool never grows (renames/doubts only retire originals).
+    #[test]
+    fn original_accepted_count_monotone_down(
+        n_species in 30usize..100,
+        churn1 in 0usize..10,
+        churn2 in 0usize..10,
+        seed in 0u64..500,
+    ) {
+        let b = build_backbone(n_species, seed);
+        let names: Vec<ScientificName> = b.names().cloned().collect();
+        let c = build_checklist(
+            b,
+            1965,
+            &[
+                ReleasePlan { year: 1990, renames: churn1, doubts: 0 },
+                ReleasePlan { year: 2013, renames: churn2, doubts: 0 },
+            ],
+            None,
+            seed,
+        );
+        let mut prev = usize::MAX;
+        for ed in c.editions() {
+            let current = names.iter().filter(|n| ed.status(n).is_current()).count();
+            prop_assert!(current <= prev);
+            prev = current;
+        }
+    }
+
+    /// Damerau–Levenshtein: symmetric, zero iff equal, bounded by max len.
+    #[test]
+    fn distance_properties(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        let d = damerau_levenshtein(&a, &b);
+        prop_assert_eq!(d, damerau_levenshtein(&b, &a));
+        prop_assert_eq!(d == 0, a == b);
+        prop_assert!(d <= a.len().max(b.len()));
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+    }
+
+    /// Single-character edits are distance ≤ 1.
+    #[test]
+    fn single_edit_distance_one(s in "[a-z]{2,10}", idx in 0usize..10, cx in 0u8..26) {
+        let c = (b'a' + cx) as char;
+        let chars: Vec<char> = s.chars().collect();
+        let i = idx % chars.len();
+        // substitution
+        let mut sub = chars.clone();
+        sub[i] = c;
+        let sub: String = sub.into_iter().collect();
+        prop_assert!(damerau_levenshtein(&s, &sub) <= 1);
+        // deletion
+        let mut del = chars.clone();
+        del.remove(i);
+        let del: String = del.into_iter().collect();
+        prop_assert_eq!(damerau_levenshtein(&s, &del), 1);
+        // transposition of adjacent chars
+        if i + 1 < chars.len() {
+            let mut tr = chars.clone();
+            tr.swap(i, i + 1);
+            let tr: String = tr.into_iter().collect();
+            prop_assert!(damerau_levenshtein(&s, &tr) <= 1);
+        }
+    }
+
+    /// Name parsing normalizes to a canonical form that re-parses to the
+    /// same identity.
+    #[test]
+    fn name_parse_canonical_roundtrip(genus in "[A-Za-z]{2,10}", epithet in "[A-Za-z]{2,12}") {
+        let raw = format!("  {genus}   {epithet} ");
+        if let Some(n) = ScientificName::parse(&raw) {
+            let re = ScientificName::parse(&n.canonical()).unwrap();
+            prop_assert_eq!(n.bare(), re);
+            // Canonical form: capitalized genus, lowercase epithet.
+            prop_assert!(n.genus().chars().next().unwrap().is_uppercase());
+            prop_assert!(n.epithet().chars().all(|c| !c.is_uppercase()));
+        }
+    }
+}

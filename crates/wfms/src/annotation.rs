@@ -1,0 +1,155 @@
+//! Annotation assertions — the Taverna Annotation Editor surface the
+//! Workflow Adapter uses.
+//!
+//! Listing 1 of the paper shows the annotated workflow spec: an
+//! `annotationAssertion` with free text carrying quality annotations in a
+//! `Q(dimension): value;` micro-syntax:
+//!
+//! ```text
+//! Q(reputation): 1;
+//! Q(availability): 0.9;
+//! ```
+//!
+//! [`AnnotationAssertion::quality_annotations`] parses that syntax.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One annotation assertion attached to a processor or workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationAssertion {
+    /// Free text; quality annotations use the `Q(name): value;` syntax.
+    pub text: String,
+    /// ISO-ish timestamp string (kept verbatim; provenance only).
+    pub date: String,
+    /// Who asserted it (the Process Designer).
+    pub creator: String,
+}
+
+impl AnnotationAssertion {
+    /// Create an assertion.
+    pub fn new(text: &str, date: &str, creator: &str) -> Self {
+        AnnotationAssertion {
+            text: text.to_string(),
+            date: date.to_string(),
+            creator: creator.to_string(),
+        }
+    }
+
+    /// Convenience: build an assertion carrying quality annotations.
+    pub fn quality(pairs: &[(&str, f64)], date: &str, creator: &str) -> Self {
+        let text = pairs
+            .iter()
+            .map(|(k, v)| format!("Q({k}): {v};"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        AnnotationAssertion::new(&text, date, creator)
+    }
+
+    /// Parse every `Q(name): value;` pair in the text. Malformed entries
+    /// are skipped (annotations are free text; strictness would reject
+    /// legitimate prose around them).
+    pub fn quality_annotations(&self) -> BTreeMap<String, f64> {
+        parse_quality_text(&self.text)
+    }
+}
+
+/// Parse `Q(name): value;` pairs out of free text.
+pub fn parse_quality_text(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("Q(") {
+        rest = &rest[start + 2..];
+        let Some(close) = rest.find(')') else { break };
+        let name = rest[..close].trim().to_string();
+        rest = &rest[close + 1..];
+        let Some(colon) = rest.find(':') else {
+            continue;
+        };
+        // Nothing but whitespace may sit between ')' and ':'.
+        if !rest[..colon].trim().is_empty() {
+            continue;
+        }
+        rest = &rest[colon + 1..];
+        let end = rest.find(';').unwrap_or(rest.len());
+        let value_str = rest[..end].trim();
+        if let Ok(v) = value_str.parse::<f64>() {
+            if !name.is_empty() {
+                out.insert(name, v);
+            }
+        }
+        rest = &rest[end.min(rest.len())..];
+    }
+    out
+}
+
+/// Merge the quality annotations of many assertions (later assertions
+/// override earlier ones, mirroring annotation-editor behaviour).
+pub fn merged_quality(assertions: &[AnnotationAssertion]) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for a in assertions {
+        out.extend(a.quality_annotations());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing_1_text() {
+        let a = AnnotationAssertion::new(
+            "Q(reputation): 1;\nQ(availability): 0.9;",
+            "2013-11-12 19:58:09.767 UTC",
+            "expert",
+        );
+        let q = a.quality_annotations();
+        assert_eq!(q.get("reputation"), Some(&1.0));
+        assert_eq!(q.get("availability"), Some(&0.9));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn quality_builder_roundtrips() {
+        let a = AnnotationAssertion::quality(
+            &[("reputation", 1.0), ("availability", 0.9)],
+            "2013-11-12",
+            "expert",
+        );
+        let q = a.quality_annotations();
+        assert_eq!(q.get("reputation"), Some(&1.0));
+        assert_eq!(q.get("availability"), Some(&0.9));
+    }
+
+    #[test]
+    fn tolerates_surrounding_prose() {
+        let q = parse_quality_text(
+            "The Catalogue of Life is authoritative. Q(reputation): 1; see docs. Q(timeliness): 0.8;",
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.get("timeliness"), Some(&0.8));
+    }
+
+    #[test]
+    fn skips_malformed_entries() {
+        let q = parse_quality_text("Q(oops) 1; Q(): 2; Q(fine): 3; Q(bad): not-a-number;");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.get("fine"), Some(&3.0));
+    }
+
+    #[test]
+    fn later_assertions_override() {
+        let a1 = AnnotationAssertion::quality(&[("availability", 0.9)], "2011", "x");
+        let a2 = AnnotationAssertion::quality(&[("availability", 0.95)], "2013", "x");
+        let merged = merged_quality(&[a1, a2]);
+        assert_eq!(merged.get("availability"), Some(&0.95));
+    }
+
+    #[test]
+    fn empty_text_is_empty_map() {
+        assert!(parse_quality_text("").is_empty());
+        assert!(parse_quality_text("no annotations here").is_empty());
+    }
+}

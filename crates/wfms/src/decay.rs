@@ -1,0 +1,290 @@
+//! Workflow decay detection.
+//!
+//! The paper's conclusion flags that "workflows may also decay — e.g.,
+//! see Zhao et al. [Why workflows break]", so quality assessment must
+//! cover the *processes*, not just the data. This module health-checks a
+//! stored workflow specification against the current environment:
+//!
+//! * **missing services** — the registry no longer provides a service the
+//!   spec references (the dominant decay cause in Zhao et al.: third-party
+//!   services disappear);
+//! * **structural rot** — the spec no longer validates (e.g. it was
+//!   hand-edited in the repository);
+//! * **stale annotations** — quality assertions older than a freshness
+//!   horizon; the expert's `Q(availability)` from years ago says little
+//!   about the service today;
+//! * **unannotated externals** — service processors with no quality
+//!   annotations at all, leaving the Data Quality Manager blind.
+
+use crate::annotation::AnnotationAssertion;
+use crate::model::{ProcessorKind, Workflow};
+use crate::services::ServiceRegistry;
+use crate::validate;
+
+/// One decay finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecayFinding {
+    /// A processor references a service absent from the registry.
+    MissingService {
+        /// Processor that needs the service.
+        processor: String,
+        /// The vanished service name.
+        service: String,
+    },
+    /// The spec fails structural validation.
+    Invalid {
+        /// Number of structural violations found.
+        violations: usize,
+    },
+    /// An annotation is older than the freshness horizon.
+    StaleAnnotation {
+        /// Annotated processor (None = workflow-level annotation).
+        processor: Option<String>,
+        /// The stale assertion's date string.
+        date: String,
+    },
+    /// A service processor carries no quality annotations.
+    UnannotatedService {
+        /// The service processor lacking quality annotations.
+        processor: String,
+    },
+}
+
+impl std::fmt::Display for DecayFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecayFinding::MissingService { processor, service } => {
+                write!(
+                    f,
+                    "processor {processor:?}: service {service:?} no longer available"
+                )
+            }
+            DecayFinding::Invalid { violations } => {
+                write!(f, "spec fails validation with {violations} violations")
+            }
+            DecayFinding::StaleAnnotation { processor, date } => write!(
+                f,
+                "annotation on {} dated {date:?} is stale",
+                processor.as_deref().unwrap_or("<workflow>")
+            ),
+            DecayFinding::UnannotatedService { processor } => {
+                write!(
+                    f,
+                    "service processor {processor:?} has no quality annotations"
+                )
+            }
+        }
+    }
+}
+
+/// Health report for one workflow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkflowHealth {
+    /// Everything the check found, in detection order.
+    pub findings: Vec<DecayFinding>,
+}
+
+impl WorkflowHealth {
+    /// A workflow is runnable when no missing-service or invalid finding
+    /// exists (stale/unannotated findings degrade quality, not execution).
+    pub fn is_runnable(&self) -> bool {
+        !self.findings.iter().any(|f| {
+            matches!(
+                f,
+                DecayFinding::MissingService { .. } | DecayFinding::Invalid { .. }
+            )
+        })
+    }
+
+    /// A workflow is healthy when there are no findings at all.
+    pub fn is_healthy(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Extract the 4-digit year prefix of an annotation date string
+/// (`"2013-11-12 …"` → 2013). Unparseable dates count as year 0
+/// (i.e. maximally stale) — an unreadable date is itself decay.
+fn annotation_year(a: &AnnotationAssertion) -> i32 {
+    a.date
+        .get(..4)
+        .and_then(|y| y.parse::<i32>().ok())
+        .unwrap_or(0)
+}
+
+/// Health-check `workflow` against `registry` as of `current_year`,
+/// flagging annotations older than `max_annotation_age_years`.
+pub fn check(
+    workflow: &Workflow,
+    registry: &ServiceRegistry,
+    current_year: i32,
+    max_annotation_age_years: i32,
+) -> WorkflowHealth {
+    let mut findings = Vec::new();
+    let violations = validate::validate(workflow);
+    if !violations.is_empty() {
+        findings.push(DecayFinding::Invalid {
+            violations: violations.len(),
+        });
+    }
+    for p in &workflow.processors {
+        if let ProcessorKind::Service { service } = &p.kind {
+            if registry.get(service).is_none() {
+                findings.push(DecayFinding::MissingService {
+                    processor: p.name.clone(),
+                    service: service.clone(),
+                });
+            }
+            if p.annotations
+                .iter()
+                .all(|a| a.quality_annotations().is_empty())
+            {
+                findings.push(DecayFinding::UnannotatedService {
+                    processor: p.name.clone(),
+                });
+            }
+        }
+        for a in &p.annotations {
+            if current_year - annotation_year(a) > max_annotation_age_years {
+                findings.push(DecayFinding::StaleAnnotation {
+                    processor: Some(p.name.clone()),
+                    date: a.date.clone(),
+                });
+            }
+        }
+    }
+    for a in &workflow.annotations {
+        if current_year - annotation_year(a) > max_annotation_age_years {
+            findings.push(DecayFinding::StaleAnnotation {
+                processor: None,
+                date: a.date.clone(),
+            });
+        }
+    }
+    WorkflowHealth { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Processor;
+    use crate::services::PortMap;
+
+    fn registry_with(names: &[&str]) -> ServiceRegistry {
+        let mut r = ServiceRegistry::new();
+        for n in names {
+            r.register_fn(n, |_: &PortMap| Ok(PortMap::new()));
+        }
+        r
+    }
+
+    fn annotated_workflow(date: &str) -> Workflow {
+        let mut w = Workflow::new("w", "w")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("col", "col_lookup", &["in"], &["out"]))
+            .link_input("x", "col", "in")
+            .link_output("col", "out", "y");
+        w.processor_mut("col")
+            .unwrap()
+            .annotations
+            .push(AnnotationAssertion::quality(
+                &[("availability", 0.9)],
+                date,
+                "expert",
+            ));
+        w
+    }
+
+    #[test]
+    fn healthy_workflow_reports_nothing() {
+        let w = annotated_workflow("2013-11-12");
+        let h = check(&w, &registry_with(&["col_lookup"]), 2014, 5);
+        assert!(h.is_healthy(), "{:?}", h.findings);
+        assert!(h.is_runnable());
+    }
+
+    #[test]
+    fn missing_service_detected_and_blocks_running() {
+        let w = annotated_workflow("2013-11-12");
+        let h = check(&w, &registry_with(&[]), 2014, 5);
+        assert!(!h.is_runnable());
+        assert!(h
+            .findings
+            .iter()
+            .any(|f| matches!(f, DecayFinding::MissingService { .. })));
+    }
+
+    #[test]
+    fn stale_annotation_detected_but_still_runnable() {
+        let w = annotated_workflow("2001-05-01");
+        let h = check(&w, &registry_with(&["col_lookup"]), 2014, 5);
+        assert!(h.is_runnable());
+        assert!(h
+            .findings
+            .iter()
+            .any(|f| matches!(f, DecayFinding::StaleAnnotation { .. })));
+    }
+
+    #[test]
+    fn unparseable_date_is_maximally_stale() {
+        let w = annotated_workflow("sometime");
+        let h = check(&w, &registry_with(&["col_lookup"]), 2014, 5);
+        assert!(h
+            .findings
+            .iter()
+            .any(|f| matches!(f, DecayFinding::StaleAnnotation { .. })));
+    }
+
+    #[test]
+    fn unannotated_service_flagged() {
+        let w = Workflow::new("w", "w")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("p", "svc", &["in"], &["out"]))
+            .link_input("x", "p", "in")
+            .link_output("p", "out", "y");
+        let h = check(&w, &registry_with(&["svc"]), 2014, 5);
+        assert!(h.is_runnable());
+        assert_eq!(
+            h.findings,
+            vec![DecayFinding::UnannotatedService {
+                processor: "p".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn invalid_spec_detected() {
+        let w = Workflow::new("w", "rotten").with_processor(Processor::service(
+            "p",
+            "svc",
+            &["unfed"],
+            &["out"],
+        ));
+        let h = check(&w, &registry_with(&["svc"]), 2014, 5);
+        assert!(!h.is_runnable());
+        assert!(h
+            .findings
+            .iter()
+            .any(|f| matches!(f, DecayFinding::Invalid { .. })));
+    }
+
+    #[test]
+    fn workflow_level_stale_annotations_flagged() {
+        let mut w = annotated_workflow("2013-11-12");
+        w.annotations.push(AnnotationAssertion::quality(
+            &[("timeliness", 1.0)],
+            "1999-01-01",
+            "expert",
+        ));
+        let h = check(&w, &registry_with(&["col_lookup"]), 2014, 5);
+        assert!(h.findings.iter().any(|f| matches!(
+            f,
+            DecayFinding::StaleAnnotation {
+                processor: None,
+                ..
+            }
+        )));
+    }
+}

@@ -1,0 +1,632 @@
+//! The execution engine: wave-parallel dataflow evaluation with retry
+//! policies and trace capture.
+//!
+//! Execution proceeds in *waves*: every processor whose inputs are all
+//! available runs concurrently (one crossbeam scoped thread each), then
+//! the next wave is computed. Within a wave, results are collected in
+//! processor-name order, so traces are deterministic even though execution
+//! is parallel.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde_json::Value;
+
+use crate::model::{Endpoint, ProcessorKind, Workflow};
+use crate::services::{PortMap, ServiceError, ServiceRegistry};
+use crate::trace::{ExecutionTrace, RunStatus, TraceEvent};
+use crate::validate::{self, WorkflowViolation};
+
+/// Engine tuning.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Total attempts per processor invocation (1 = no retries).
+    pub max_attempts: u32,
+    /// Run wave members on separate threads. Disable for debugging.
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_attempts: 3,
+            parallel: true,
+        }
+    }
+}
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The workflow failed structural validation.
+    Invalid(Vec<WorkflowViolation>),
+    /// A required workflow input was not supplied.
+    MissingInput(String),
+    /// A processor references a service the registry doesn't know.
+    UnknownService {
+        /// Processor that needs the service.
+        processor: String,
+        /// The unregistered service name.
+        service: String,
+    },
+    /// A processor failed permanently (or exhausted its retries).
+    ProcessorFailed {
+        /// The failing processor.
+        processor: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The final error message.
+        error: String,
+    },
+    /// A service completed but did not produce a declared output port.
+    MissingOutputPort {
+        /// The offending processor.
+        processor: String,
+        /// The declared-but-unproduced port.
+        port: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Invalid(v) => write!(f, "workflow invalid: {} violations", v.len()),
+            RunError::MissingInput(p) => write!(f, "missing workflow input {p:?}"),
+            RunError::UnknownService { processor, service } => {
+                write!(
+                    f,
+                    "processor {processor:?} needs unknown service {service:?}"
+                )
+            }
+            RunError::ProcessorFailed {
+                processor,
+                attempts,
+                error,
+            } => {
+                write!(
+                    f,
+                    "processor {processor:?} failed after {attempts} attempts: {error}"
+                )
+            }
+            RunError::MissingOutputPort { processor, port } => {
+                write!(
+                    f,
+                    "processor {processor:?} produced no output port {port:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Result of one processor invocation within a wave:
+/// `(name, inputs, Ok((outputs, attempts, retries)) | Err((error, attempts)))`.
+type WaveResult<'a> = (&'a str, PortMap, Result<(PortMap, u32, u32), (String, u32)>);
+
+/// The workflow execution engine.
+#[derive(Debug)]
+pub struct Engine {
+    registry: ServiceRegistry,
+    config: EngineConfig,
+    run_counter: AtomicU64,
+}
+
+impl Engine {
+    /// Create an engine over a service registry.
+    pub fn new(registry: ServiceRegistry, config: EngineConfig) -> Engine {
+        Engine {
+            registry,
+            config,
+            run_counter: AtomicU64::new(1),
+        }
+    }
+
+    /// The registry this engine resolves services from.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+
+    /// Run `workflow` with the given workflow-level inputs. Returns the
+    /// trace either way; `Err` carries the trace of the failed run.
+    pub fn run(
+        &self,
+        workflow: &Workflow,
+        inputs: &PortMap,
+    ) -> Result<ExecutionTrace, (RunError, Box<ExecutionTrace>)> {
+        let started = Instant::now();
+        let run_id = format!(
+            "run-{:06}",
+            self.run_counter.fetch_add(1, Ordering::Relaxed)
+        );
+        let mut trace = ExecutionTrace {
+            run_id,
+            workflow_id: workflow.id.clone(),
+            workflow_name: workflow.name.clone(),
+            status: RunStatus::Succeeded,
+            events: vec![TraceEvent::RunStarted {
+                workflow: workflow.name.clone(),
+            }],
+            processor_inputs: BTreeMap::new(),
+            processor_outputs: BTreeMap::new(),
+            workflow_inputs: inputs.clone(),
+            workflow_outputs: PortMap::new(),
+            elapsed: Default::default(),
+            total_retries: 0,
+        };
+
+        let fail = |mut trace: ExecutionTrace, err: RunError, started: Instant| {
+            trace.status = RunStatus::Failed {
+                error: err.to_string(),
+            };
+            trace.events.push(TraceEvent::RunFailed {
+                error: err.to_string(),
+            });
+            trace.elapsed = started.elapsed();
+            Err((err, Box::new(trace)))
+        };
+
+        let violations = validate::validate(workflow);
+        if !violations.is_empty() {
+            return fail(trace, RunError::Invalid(violations), started);
+        }
+        for port in &workflow.inputs {
+            if !inputs.contains_key(port) {
+                return fail(trace, RunError::MissingInput(port.clone()), started);
+            }
+        }
+        // Pre-resolve services (recursing into sub-workflows) so missing
+        // registrations fail fast.
+        if let Some((processor, service)) = self.unresolved_service(workflow) {
+            return fail(
+                trace,
+                RunError::UnknownService { processor, service },
+                started,
+            );
+        }
+
+        // Values held on each link source endpoint as they become available.
+        let mut available: BTreeMap<Endpoint, Value> = BTreeMap::new();
+        for (port, value) in inputs {
+            available.insert(
+                Endpoint::WorkflowInput { port: port.clone() },
+                value.clone(),
+            );
+        }
+
+        let order = workflow
+            .topological_order()
+            .expect("validated workflows are acyclic");
+        let mut remaining: Vec<&str> = order;
+        while !remaining.is_empty() {
+            // A processor is ready when every incoming link's source value
+            // is available.
+            let ready: Vec<&str> = remaining
+                .iter()
+                .copied()
+                .filter(|name| {
+                    workflow
+                        .links
+                        .iter()
+                        .filter(|l| matches!(&l.to, Endpoint::ProcessorPort { processor, .. } if processor == name))
+                        .all(|l| available.contains_key(&l.from))
+                })
+                .collect();
+            assert!(
+                !ready.is_empty(),
+                "topological order guarantees progress on a validated DAG"
+            );
+            remaining.retain(|n| !ready.contains(n));
+
+            // Gather each ready processor's inputs.
+            let mut wave: Vec<(&str, PortMap)> = Vec::with_capacity(ready.len());
+            for name in &ready {
+                let mut pm = PortMap::new();
+                for l in &workflow.links {
+                    if let Endpoint::ProcessorPort { processor, port } = &l.to {
+                        if processor == name {
+                            pm.insert(
+                                port.clone(),
+                                available
+                                    .get(&l.from)
+                                    .expect("readiness checked above")
+                                    .clone(),
+                            );
+                        }
+                    }
+                }
+                wave.push((name, pm));
+            }
+
+            // Execute the wave.
+            let results: Vec<WaveResult<'_>> = if self.config.parallel && wave.len() > 1 {
+                crossbeam::scope(|s| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|(name, pm)| {
+                            let proc = workflow.processor(name).expect("known");
+                            s.spawn(move |_| self.invoke(proc, pm))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .zip(wave.iter())
+                        .map(|(h, (name, pm))| {
+                            (*name, pm.clone(), h.join().expect("worker panicked"))
+                        })
+                        .collect()
+                })
+                .expect("scope never panics")
+            } else {
+                wave.iter()
+                    .map(|(name, pm)| {
+                        let proc = workflow.processor(name).expect("known");
+                        (*name, pm.clone(), self.invoke(proc, pm))
+                    })
+                    .collect()
+            };
+
+            // Fold results deterministically (wave order = name order from
+            // topological_order, which is deterministic).
+            for (name, pm, result) in results {
+                trace.processor_inputs.insert(name.to_string(), pm);
+                match result {
+                    Ok((outputs, attempts, retries)) => {
+                        for attempt in 1..=attempts {
+                            trace.events.push(TraceEvent::ProcessorStarted {
+                                processor: name.to_string(),
+                                attempt,
+                            });
+                            if attempt < attempts {
+                                trace.events.push(TraceEvent::ProcessorRetried {
+                                    processor: name.to_string(),
+                                    attempt,
+                                    error: "transient service failure".into(),
+                                });
+                            }
+                        }
+                        trace.total_retries += retries;
+                        trace.events.push(TraceEvent::ProcessorCompleted {
+                            processor: name.to_string(),
+                            attempt: attempts,
+                        });
+                        // Check declared output ports exist.
+                        let proc = workflow.processor(name).expect("known");
+                        for port in &proc.outputs {
+                            if !outputs.contains_key(port) {
+                                return fail(
+                                    trace,
+                                    RunError::MissingOutputPort {
+                                        processor: name.to_string(),
+                                        port: port.clone(),
+                                    },
+                                    started,
+                                );
+                            }
+                        }
+                        for (port, value) in &outputs {
+                            available.insert(
+                                Endpoint::ProcessorPort {
+                                    processor: name.to_string(),
+                                    port: port.clone(),
+                                },
+                                value.clone(),
+                            );
+                        }
+                        trace.processor_outputs.insert(name.to_string(), outputs);
+                    }
+                    Err((error, attempts)) => {
+                        for attempt in 1..=attempts {
+                            trace.events.push(TraceEvent::ProcessorStarted {
+                                processor: name.to_string(),
+                                attempt,
+                            });
+                            if attempt < attempts {
+                                trace.events.push(TraceEvent::ProcessorRetried {
+                                    processor: name.to_string(),
+                                    attempt,
+                                    error: error.clone(),
+                                });
+                            }
+                        }
+                        trace.total_retries += attempts - 1;
+                        trace.events.push(TraceEvent::ProcessorFailed {
+                            processor: name.to_string(),
+                            attempts,
+                            error: error.clone(),
+                        });
+                        return fail(
+                            trace,
+                            RunError::ProcessorFailed {
+                                processor: name.to_string(),
+                                attempts,
+                                error,
+                            },
+                            started,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Collect workflow outputs.
+        for l in &workflow.links {
+            if let Endpoint::WorkflowOutput { port } = &l.to {
+                if let Some(v) = available.get(&l.from) {
+                    trace.workflow_outputs.insert(port.clone(), v.clone());
+                }
+            }
+        }
+        trace.events.push(TraceEvent::RunCompleted);
+        trace.elapsed = started.elapsed();
+        Ok(trace)
+    }
+
+    /// First `(processor, service)` in `workflow` (including nested
+    /// sub-workflows) whose service the registry cannot resolve.
+    fn unresolved_service(&self, workflow: &Workflow) -> Option<(String, String)> {
+        for p in &workflow.processors {
+            match &p.kind {
+                ProcessorKind::Service { service } => {
+                    if self.registry.get(service).is_none() {
+                        return Some((p.name.clone(), service.clone()));
+                    }
+                }
+                ProcessorKind::SubWorkflow { workflow } => {
+                    if let Some((inner_proc, service)) = self.unresolved_service(workflow) {
+                        return Some((format!("{}/{}", p.name, inner_proc), service));
+                    }
+                }
+                ProcessorKind::Constant { .. } => {}
+            }
+        }
+        None
+    }
+
+    /// Invoke one processor with retry policy. Returns
+    /// `Ok((outputs, attempts, retries))` or `Err((error, attempts))`.
+    fn invoke(
+        &self,
+        processor: &crate::model::Processor,
+        inputs: &PortMap,
+    ) -> Result<(PortMap, u32, u32), (String, u32)> {
+        match &processor.kind {
+            ProcessorKind::Constant { value } => {
+                let mut out = PortMap::new();
+                out.insert("value".to_string(), value.clone());
+                Ok((out, 1, 0))
+            }
+            ProcessorKind::Service { service } => {
+                let svc = self
+                    .registry
+                    .get(service)
+                    .expect("pre-resolved before execution");
+                let mut attempt = 0u32;
+                loop {
+                    attempt += 1;
+                    match svc.invoke(inputs) {
+                        Ok(outputs) => return Ok((outputs, attempt, attempt - 1)),
+                        Err(ServiceError::Transient(msg)) => {
+                            if attempt >= self.config.max_attempts {
+                                return Err((msg, attempt));
+                            }
+                        }
+                        Err(ServiceError::Permanent(msg)) => return Err((msg, attempt)),
+                    }
+                }
+            }
+            ProcessorKind::SubWorkflow { workflow } => {
+                // A nested run with its own trace; from the parent's view
+                // the sub-workflow is one processor invocation.
+                match self.run(workflow, inputs) {
+                    Ok(sub_trace) => Ok((sub_trace.workflow_outputs, 1, sub_trace.total_retries)),
+                    Err((err, _sub_trace)) => {
+                        Err((format!("sub-workflow {:?} failed: {err}", workflow.name), 1))
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Processor;
+    use crate::services::{port, FlakyService, FnService};
+    use serde_json::json;
+    use std::sync::Arc;
+
+    fn registry() -> ServiceRegistry {
+        let mut r = ServiceRegistry::new();
+        r.register_fn("double", |i: &PortMap| {
+            let x = i["in"]
+                .as_i64()
+                .ok_or(ServiceError::Permanent("int".into()))?;
+            Ok(port("out", json!(x * 2)))
+        });
+        r.register_fn("add", |i: &PortMap| {
+            let l = i["l"].as_i64().unwrap_or(0);
+            let r = i["r"].as_i64().unwrap_or(0);
+            Ok(port("out", json!(l + r)))
+        });
+        r
+    }
+
+    fn diamond() -> Workflow {
+        Workflow::new("w1", "diamond")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("a", "double", &["in"], &["out"]))
+            .with_processor(Processor::service("b", "double", &["in"], &["out"]))
+            .with_processor(Processor::service("c", "double", &["in"], &["out"]))
+            .with_processor(Processor::service("d", "add", &["l", "r"], &["out"]))
+            .link_input("x", "a", "in")
+            .link("a", "out", "b", "in")
+            .link("a", "out", "c", "in")
+            .link("b", "out", "d", "l")
+            .link("c", "out", "d", "r")
+            .link_output("d", "out", "y")
+    }
+
+    #[test]
+    fn diamond_evaluates_correctly() {
+        let e = Engine::new(registry(), EngineConfig::default());
+        let t = e.run(&diamond(), &port("x", json!(3))).unwrap();
+        // a = 6, b = c = 12, d = 24.
+        assert_eq!(t.workflow_outputs["y"], json!(24));
+        assert!(t.succeeded());
+        assert_eq!(t.completed_processors().len(), 4);
+    }
+
+    #[test]
+    fn sequential_mode_matches_parallel() {
+        let seq = Engine::new(
+            registry(),
+            EngineConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        let par = Engine::new(registry(), EngineConfig::default());
+        let ts = seq.run(&diamond(), &port("x", json!(5))).unwrap();
+        let tp = par.run(&diamond(), &port("x", json!(5))).unwrap();
+        assert_eq!(ts.workflow_outputs, tp.workflow_outputs);
+        assert_eq!(ts.processor_outputs, tp.processor_outputs);
+    }
+
+    #[test]
+    fn constants_feed_downstream() {
+        let w = Workflow::new("w", "const")
+            .with_output("y")
+            .with_processor(Processor::constant("c", json!(7)))
+            .with_processor(Processor::service("p", "double", &["in"], &["out"]))
+            .link("c", "value", "p", "in")
+            .link_output("p", "out", "y");
+        let e = Engine::new(registry(), EngineConfig::default());
+        let t = e.run(&w, &PortMap::new()).unwrap();
+        assert_eq!(t.workflow_outputs["y"], json!(14));
+    }
+
+    #[test]
+    fn missing_input_fails_fast() {
+        let e = Engine::new(registry(), EngineConfig::default());
+        let (err, trace) = e.run(&diamond(), &PortMap::new()).unwrap_err();
+        assert_eq!(err, RunError::MissingInput("x".into()));
+        assert!(!trace.succeeded());
+    }
+
+    #[test]
+    fn unknown_service_fails_fast() {
+        let w =
+            Workflow::new("w", "w").with_processor(Processor::service("p", "nope", &[], &["out"]));
+        let e = Engine::new(registry(), EngineConfig::default());
+        let (err, _) = e.run(&w, &PortMap::new()).unwrap_err();
+        assert!(matches!(err, RunError::UnknownService { .. }));
+    }
+
+    #[test]
+    fn invalid_workflow_fails_fast() {
+        let w = Workflow::new("w", "w").with_processor(Processor::service(
+            "p",
+            "double",
+            &["in"],
+            &["out"],
+        ));
+        let e = Engine::new(registry(), EngineConfig::default());
+        let (err, _) = e.run(&w, &PortMap::new()).unwrap_err();
+        assert!(matches!(err, RunError::Invalid(_)));
+    }
+
+    #[test]
+    fn permanent_failure_not_retried() {
+        let mut r = registry();
+        r.register_fn("bad", |_: &PortMap| {
+            Err(ServiceError::Permanent("broken".into()))
+        });
+        let w =
+            Workflow::new("w", "w").with_processor(Processor::service("p", "bad", &[], &["out"]));
+        let e = Engine::new(r, EngineConfig::default());
+        let (err, trace) = e.run(&w, &PortMap::new()).unwrap_err();
+        match err {
+            RunError::ProcessorFailed { attempts, .. } => assert_eq!(attempts, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(trace.total_retries, 0);
+    }
+
+    #[test]
+    fn transient_failures_retried_until_success() {
+        let mut r = registry();
+        let inner: Arc<dyn crate::services::Service> =
+            Arc::new(FnService::new(|_: &PortMap| Ok(port("out", json!("ok")))));
+        // availability 0.3: most first attempts fail, retries recover.
+        r.register("flaky", Arc::new(FlakyService::new(inner, 0.3, 7)));
+        let w = Workflow::new("w", "w")
+            .with_output("y")
+            .with_processor(Processor::service("p", "flaky", &[], &["out"]))
+            .link_output("p", "out", "y");
+        let e = Engine::new(
+            r,
+            EngineConfig {
+                max_attempts: 50,
+                parallel: true,
+            },
+        );
+        let t = e.run(&w, &PortMap::new()).unwrap();
+        assert_eq!(t.workflow_outputs["y"], json!("ok"));
+        // With availability 0.3 over repeated runs, some retries happen.
+        let mut total_retries = t.total_retries;
+        for _ in 0..10 {
+            total_retries += e.run(&w, &PortMap::new()).unwrap().total_retries;
+        }
+        assert!(total_retries > 0);
+    }
+
+    #[test]
+    fn retries_exhausted_reports_failure() {
+        let mut r = registry();
+        let inner: Arc<dyn crate::services::Service> =
+            Arc::new(FnService::new(|_: &PortMap| Ok(PortMap::new())));
+        r.register("dead", Arc::new(FlakyService::new(inner, 0.0, 1)));
+        let w = Workflow::new("w", "w").with_processor(Processor::service("p", "dead", &[], &[]));
+        let e = Engine::new(
+            r,
+            EngineConfig {
+                max_attempts: 3,
+                parallel: true,
+            },
+        );
+        let (err, trace) = e.run(&w, &PortMap::new()).unwrap_err();
+        match err {
+            RunError::ProcessorFailed { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(trace.total_retries, 2);
+        assert!(trace.observed_availability() < 1.0);
+    }
+
+    #[test]
+    fn missing_output_port_detected() {
+        let mut r = registry();
+        r.register_fn("empty", |_: &PortMap| Ok(PortMap::new()));
+        let w = Workflow::new("w", "w").with_processor(Processor::service(
+            "p",
+            "empty",
+            &[],
+            &["declared"],
+        ));
+        let e = Engine::new(r, EngineConfig::default());
+        let (err, _) = e.run(&w, &PortMap::new()).unwrap_err();
+        assert!(matches!(err, RunError::MissingOutputPort { .. }));
+    }
+
+    #[test]
+    fn run_ids_are_unique() {
+        let e = Engine::new(registry(), EngineConfig::default());
+        let t1 = e.run(&diamond(), &port("x", json!(1))).unwrap();
+        let t2 = e.run(&diamond(), &port("x", json!(1))).unwrap();
+        assert_ne!(t1.run_id, t2.run_id);
+    }
+}

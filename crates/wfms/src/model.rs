@@ -1,0 +1,400 @@
+//! The dataflow workflow model: processors, ports and data links.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotation::AnnotationAssertion;
+
+/// What a processor does when fired.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProcessorKind {
+    /// Invoke a named service from the [`crate::services::ServiceRegistry`].
+    Service {
+        /// Registry name of the service to invoke.
+        service: String,
+    },
+    /// Emit a constant on the output port `"value"`.
+    Constant {
+        /// The constant emitted on port `value`.
+        value: serde_json::Value,
+    },
+    /// Run a nested workflow: the processor's input ports feed the
+    /// sub-workflow's workflow inputs (same names) and its workflow
+    /// outputs become the processor's output ports — Taverna's nested
+    /// workflows.
+    SubWorkflow {
+        /// The nested specification.
+        workflow: Box<Workflow>,
+    },
+}
+
+/// One node of the dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Processor name, unique within the workflow.
+    pub name: String,
+    /// What the processor does when fired.
+    pub kind: ProcessorKind,
+    /// Declared input port names (each must be fed by exactly one link).
+    pub inputs: Vec<String>,
+    /// Declared output port names.
+    pub outputs: Vec<String>,
+    /// Annotation assertions attached by the Workflow Adapter.
+    #[serde(default)]
+    pub annotations: Vec<AnnotationAssertion>,
+}
+
+impl Processor {
+    /// A service-backed processor.
+    pub fn service(name: &str, service: &str, inputs: &[&str], outputs: &[&str]) -> Processor {
+        Processor {
+            name: name.to_string(),
+            kind: ProcessorKind::Service {
+                service: service.to_string(),
+            },
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            annotations: Vec::new(),
+        }
+    }
+
+    /// A constant source (one output port named `value`).
+    pub fn constant(name: &str, value: serde_json::Value) -> Processor {
+        Processor {
+            name: name.to_string(),
+            kind: ProcessorKind::Constant { value },
+            inputs: Vec::new(),
+            outputs: vec!["value".to_string()],
+            annotations: Vec::new(),
+        }
+    }
+
+    /// A nested-workflow processor: ports mirror the sub-workflow's
+    /// workflow-level inputs and outputs.
+    pub fn subworkflow(name: &str, workflow: Workflow) -> Processor {
+        Processor {
+            name: name.to_string(),
+            inputs: workflow.inputs.clone(),
+            outputs: workflow.outputs.clone(),
+            kind: ProcessorKind::SubWorkflow {
+                workflow: Box::new(workflow),
+            },
+            annotations: Vec::new(),
+        }
+    }
+}
+
+/// One end of a data link.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// A workflow-level input port.
+    WorkflowInput {
+        /// Workflow-level input port name.
+        port: String,
+    },
+    /// A workflow-level output port.
+    WorkflowOutput {
+        /// Workflow-level output port name.
+        port: String,
+    },
+    /// A processor port.
+    ProcessorPort {
+        /// Owning processor.
+        processor: String,
+        /// Port name on that processor.
+        port: String,
+    },
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::WorkflowInput { port } => write!(f, "in:{port}"),
+            Endpoint::WorkflowOutput { port } => write!(f, "out:{port}"),
+            Endpoint::ProcessorPort { processor, port } => write!(f, "{processor}.{port}"),
+        }
+    }
+}
+
+/// A directed data link `from → to`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataLink {
+    /// Source endpoint (a value producer).
+    pub from: Endpoint,
+    /// Destination endpoint (a value consumer).
+    pub to: Endpoint,
+}
+
+/// A complete workflow specification.
+///
+/// # Example
+///
+/// ```
+/// use preserva_wfms::model::{Processor, Workflow};
+///
+/// let w = Workflow::new("wf-demo", "demo")
+///     .with_input("names")
+///     .with_output("checked")
+///     .with_processor(Processor::service("col", "col_lookup", &["in"], &["out"]))
+///     .link_input("names", "col", "in")
+///     .link_output("col", "out", "checked");
+/// assert!(preserva_wfms::validate::validate(&w).is_empty());
+/// assert_eq!(w.topological_order().unwrap(), vec!["col"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Stable workflow identifier (repository key).
+    pub id: String,
+    /// Human-readable title.
+    pub name: String,
+    /// The dataflow nodes.
+    pub processors: Vec<Processor>,
+    /// The dataflow edges.
+    pub links: Vec<DataLink>,
+    /// Workflow-level input port names.
+    pub inputs: Vec<String>,
+    /// Workflow-level output port names.
+    pub outputs: Vec<String>,
+    /// Workflow-level annotations.
+    #[serde(default)]
+    pub annotations: Vec<AnnotationAssertion>,
+}
+
+impl Workflow {
+    /// Create an empty workflow.
+    pub fn new(id: &str, name: &str) -> Workflow {
+        Workflow {
+            id: id.to_string(),
+            name: name.to_string(),
+            processors: Vec::new(),
+            links: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            annotations: Vec::new(),
+        }
+    }
+
+    /// Add a processor (builder style). Panics on duplicate names —
+    /// workflows are constructed in code.
+    pub fn with_processor(mut self, p: Processor) -> Workflow {
+        assert!(
+            self.processor(&p.name).is_none(),
+            "duplicate processor {:?}",
+            p.name
+        );
+        self.processors.push(p);
+        self
+    }
+
+    /// Declare a workflow input port (builder style).
+    pub fn with_input(mut self, port: &str) -> Workflow {
+        self.inputs.push(port.to_string());
+        self
+    }
+
+    /// Declare a workflow output port (builder style).
+    pub fn with_output(mut self, port: &str) -> Workflow {
+        self.outputs.push(port.to_string());
+        self
+    }
+
+    /// Link a workflow input to a processor input port (builder style).
+    pub fn link_input(mut self, port: &str, processor: &str, to_port: &str) -> Workflow {
+        self.links.push(DataLink {
+            from: Endpoint::WorkflowInput {
+                port: port.to_string(),
+            },
+            to: Endpoint::ProcessorPort {
+                processor: processor.to_string(),
+                port: to_port.to_string(),
+            },
+        });
+        self
+    }
+
+    /// Link a processor output to another processor's input (builder style).
+    pub fn link(
+        mut self,
+        from_processor: &str,
+        from_port: &str,
+        to_processor: &str,
+        to_port: &str,
+    ) -> Workflow {
+        self.links.push(DataLink {
+            from: Endpoint::ProcessorPort {
+                processor: from_processor.to_string(),
+                port: from_port.to_string(),
+            },
+            to: Endpoint::ProcessorPort {
+                processor: to_processor.to_string(),
+                port: to_port.to_string(),
+            },
+        });
+        self
+    }
+
+    /// Link a processor output to a workflow output (builder style).
+    pub fn link_output(mut self, processor: &str, port: &str, out_port: &str) -> Workflow {
+        self.links.push(DataLink {
+            from: Endpoint::ProcessorPort {
+                processor: processor.to_string(),
+                port: port.to_string(),
+            },
+            to: Endpoint::WorkflowOutput {
+                port: out_port.to_string(),
+            },
+        });
+        self
+    }
+
+    /// Find a processor by name.
+    pub fn processor(&self, name: &str) -> Option<&Processor> {
+        self.processors.iter().find(|p| p.name == name)
+    }
+
+    /// Mutable processor lookup (used by the Workflow Adapter to attach
+    /// annotations without rebuilding the workflow).
+    pub fn processor_mut(&mut self, name: &str) -> Option<&mut Processor> {
+        self.processors.iter_mut().find(|p| p.name == name)
+    }
+
+    /// Processor-to-processor dependency edges `(upstream, downstream)`.
+    pub fn dependencies(&self) -> Vec<(&str, &str)> {
+        self.links
+            .iter()
+            .filter_map(|l| match (&l.from, &l.to) {
+                (
+                    Endpoint::ProcessorPort { processor: up, .. },
+                    Endpoint::ProcessorPort {
+                        processor: down, ..
+                    },
+                ) => Some((up.as_str(), down.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A topological order of processors, or `None` if the graph has a
+    /// cycle (Kahn's algorithm; ties broken by name for determinism).
+    pub fn topological_order(&self) -> Option<Vec<&str>> {
+        let mut indegree: BTreeMap<&str, usize> = self
+            .processors
+            .iter()
+            .map(|p| (p.name.as_str(), 0))
+            .collect();
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (up, down) in self.dependencies() {
+            adj.entry(up).or_default().push(down);
+            if let Some(d) = indegree.get_mut(down) {
+                *d += 1;
+            }
+        }
+        // Kept sorted descending so pop() yields the lexicographically
+        // smallest ready processor (deterministic schedules).
+        let mut ready: Vec<&str> = indegree
+            .iter()
+            .rev()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(self.processors.len());
+        while let Some(n) = ready.pop() {
+            order.push(n);
+            if let Some(downs) = adj.get(n) {
+                for &d in downs {
+                    let deg = indegree.get_mut(d).expect("dependency of known node");
+                    *deg -= 1;
+                    if *deg == 0 {
+                        // Keep `ready` sorted descending so pop() is the
+                        // lexicographically smallest.
+                        let pos = ready.partition_point(|&x| x > d);
+                        ready.insert(pos, d);
+                    }
+                }
+            }
+        }
+        if order.len() == self.processors.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn diamond() -> Workflow {
+        Workflow::new("w1", "diamond")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("a", "svc", &["in"], &["out"]))
+            .with_processor(Processor::service("b", "svc", &["in"], &["out"]))
+            .with_processor(Processor::service("c", "svc", &["in"], &["out"]))
+            .with_processor(Processor::service("d", "svc", &["l", "r"], &["out"]))
+            .link_input("x", "a", "in")
+            .link("a", "out", "b", "in")
+            .link("a", "out", "c", "in")
+            .link("b", "out", "d", "l")
+            .link("c", "out", "d", "r")
+            .link_output("d", "out", "y")
+    }
+
+    #[test]
+    fn builder_constructs_graph() {
+        let w = diamond();
+        assert_eq!(w.processors.len(), 4);
+        assert_eq!(w.links.len(), 6);
+        assert!(w.processor("a").is_some());
+        assert!(w.processor("zzz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate processor")]
+    fn duplicate_processor_panics() {
+        Workflow::new("w", "w")
+            .with_processor(Processor::constant("a", json!(1)))
+            .with_processor(Processor::constant("a", json!(2)));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let w = diamond();
+        let order = w.topological_order().unwrap();
+        let pos = |n: &str| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("a") < pos("c"));
+        assert!(pos("b") < pos("d"));
+        assert!(pos("c") < pos("d"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let w = Workflow::new("w", "cyclic")
+            .with_processor(Processor::service("a", "s", &["in"], &["out"]))
+            .with_processor(Processor::service("b", "s", &["in"], &["out"]))
+            .link("a", "out", "b", "in")
+            .link("b", "out", "a", "in");
+        assert!(w.topological_order().is_none());
+    }
+
+    #[test]
+    fn topological_order_is_deterministic() {
+        let w = Workflow::new("w", "parallel")
+            .with_processor(Processor::constant("zeta", json!(1)))
+            .with_processor(Processor::constant("alpha", json!(2)))
+            .with_processor(Processor::constant("mid", json!(3)));
+        assert_eq!(w.topological_order().unwrap(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let w = diamond();
+        let s = serde_json::to_string(&w).unwrap();
+        let back: Workflow = serde_json::from_str(&s).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,221 @@
+//! Trace → OPM conversion, mirroring Taverna's OPM export (the paper:
+//! "Taverna exports provenance information using the OPM model").
+//!
+//! Mapping:
+//!
+//! * each completed processor invocation → an OPM **process** (annotated
+//!   with the processor's quality annotations, so the Provenance Manager's
+//!   merge of "Taverna's annotated workflow" with the execution log is
+//!   already done here);
+//! * each workflow input and each produced output port value → an
+//!   **artifact** (annotated with a value preview);
+//! * the run itself → an **agent** controlling every process;
+//! * data consumption/production → `used` / `wasGeneratedBy` edges with
+//!   the port name as role.
+
+use preserva_opm::edge::Edge;
+use preserva_opm::graph::OpmGraph;
+use preserva_opm::model::{Agent, Artifact, NodeId, Process};
+
+use crate::annotation;
+use crate::model::{Endpoint, Workflow};
+use crate::trace::ExecutionTrace;
+
+/// Render a short preview of a JSON value for artifact annotations.
+fn preview(v: &serde_json::Value) -> String {
+    let s = v.to_string();
+    if s.len() > 120 {
+        format!("{}…", &s[..120])
+    } else {
+        s
+    }
+}
+
+fn artifact_id(run: &str, endpoint: &Endpoint) -> NodeId {
+    NodeId::new(format!("a:{run}:{endpoint}"))
+}
+
+fn process_id(run: &str, processor: &str) -> NodeId {
+    NodeId::new(format!("p:{run}:{processor}"))
+}
+
+/// Convert an execution trace (plus its workflow spec, for annotations and
+/// link topology) into an OPM graph.
+pub fn export(workflow: &Workflow, trace: &ExecutionTrace) -> OpmGraph {
+    let run = &trace.run_id;
+    let mut g = OpmGraph::new();
+
+    let agent_id = g.add_agent(
+        Agent::new(
+            format!("ag:{run}:engine"),
+            format!("preserva-wfms engine ({})", trace.workflow_name),
+        )
+        .with_annotation("run_id", run.clone())
+        .with_annotation("status", format!("{:?}", trace.status)),
+    );
+
+    // Workflow input artifacts.
+    for (port, value) in &trace.workflow_inputs {
+        let ep = Endpoint::WorkflowInput { port: port.clone() };
+        g.add_artifact(
+            Artifact::new(
+                artifact_id(run, &ep).as_str(),
+                format!("workflow input {port}"),
+            )
+            .with_annotation("value", preview(value)),
+        );
+    }
+
+    // Processes + their output artifacts.
+    for (proc_name, outputs) in &trace.processor_outputs {
+        let Some(proc) = workflow.processor(proc_name) else {
+            continue;
+        };
+        let mut p = Process::new(process_id(run, proc_name).as_str(), proc_name.clone());
+        for (k, v) in annotation::merged_quality(&proc.annotations) {
+            p = p.with_annotation(format!("Q({k})"), v.to_string());
+        }
+        p = p.with_annotation("attempts", trace.attempts_for(proc_name).to_string());
+        let pid = g.add_process(p);
+
+        for (port, value) in outputs {
+            let ep = Endpoint::ProcessorPort {
+                processor: proc_name.clone(),
+                port: port.clone(),
+            };
+            let aid = g.add_artifact(
+                Artifact::new(
+                    artifact_id(run, &ep).as_str(),
+                    format!("{proc_name} output {port}"),
+                )
+                .with_annotation("value", preview(value)),
+            );
+            g.add_edge(Edge::was_generated_by(aid, pid.clone(), Some(port)))
+                .expect("nodes just added");
+        }
+        g.add_edge(Edge::was_controlled_by(
+            pid,
+            agent_id.clone(),
+            Some("execution"),
+        ))
+        .expect("nodes just added");
+    }
+
+    // `used` edges follow the workflow's data links: the consuming process
+    // used the artifact sitting on the link's source endpoint.
+    for link in &workflow.links {
+        if let Endpoint::ProcessorPort { processor, port } = &link.to {
+            if !trace.processor_outputs.contains_key(processor) {
+                continue; // processor never completed — no process node
+            }
+            let source_artifact = artifact_id(run, &link.from);
+            if g.artifacts.contains_key(&source_artifact) {
+                g.add_edge(Edge::used(
+                    process_id(run, processor),
+                    source_artifact,
+                    Some(port),
+                ))
+                .expect("artifact existence checked");
+            }
+        }
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::AnnotationAssertion;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::model::Processor;
+    use crate::services::{port, PortMap, ServiceRegistry};
+    use preserva_opm::inference;
+    use preserva_opm::validate::validate;
+    use serde_json::json;
+
+    fn run_simple() -> (Workflow, ExecutionTrace) {
+        let mut r = ServiceRegistry::new();
+        r.register_fn("upper", |i: &PortMap| {
+            let s = i["in"].as_str().unwrap_or_default().to_uppercase();
+            Ok(port("out", json!(s)))
+        });
+        let mut w = Workflow::new("w1", "upper-flow")
+            .with_input("text")
+            .with_output("result")
+            .with_processor(Processor::service("up", "upper", &["in"], &["out"]))
+            .link_input("text", "up", "in")
+            .link_output("up", "out", "result");
+        w.processor_mut("up")
+            .unwrap()
+            .annotations
+            .push(AnnotationAssertion::quality(
+                &[("reputation", 1.0)],
+                "2013-11-12",
+                "expert",
+            ));
+        let e = Engine::new(r, EngineConfig::default());
+        let t = e.run(&w, &port("text", json!("frog"))).unwrap();
+        (w, t)
+    }
+
+    #[test]
+    fn export_creates_expected_nodes() {
+        let (w, t) = run_simple();
+        let g = export(&w, &t);
+        assert_eq!(g.processes.len(), 1);
+        assert_eq!(g.agents.len(), 1);
+        assert_eq!(g.artifacts.len(), 2); // input + output
+    }
+
+    #[test]
+    fn export_links_used_and_generated() {
+        let (w, t) = run_simple();
+        let g = export(&w, &t);
+        use preserva_opm::edge::EdgeKind;
+        assert_eq!(g.edges_of_kind(EdgeKind::Used).count(), 1);
+        assert_eq!(g.edges_of_kind(EdgeKind::WasGeneratedBy).count(), 1);
+        assert_eq!(g.edges_of_kind(EdgeKind::WasControlledBy).count(), 1);
+    }
+
+    #[test]
+    fn quality_annotations_land_on_process() {
+        let (w, t) = run_simple();
+        let g = export(&w, &t);
+        let p = g.processes.values().next().unwrap();
+        assert_eq!(
+            p.annotations.get("Q(reputation)").map(String::as_str),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn exported_graph_is_legal_opm() {
+        let (w, t) = run_simple();
+        let g = export(&w, &t);
+        assert!(validate(&g).is_legal());
+    }
+
+    #[test]
+    fn derivation_inference_connects_output_to_input() {
+        let (w, t) = run_simple();
+        let g = export(&w, &t);
+        let derived = inference::infer_derivations(&g);
+        assert_eq!(derived.len(), 1);
+        assert!(derived[0].effect.as_str().contains("up.out"));
+        assert!(derived[0].cause.as_str().contains("in:text"));
+    }
+
+    #[test]
+    fn artifact_values_are_previewed() {
+        let (w, t) = run_simple();
+        let g = export(&w, &t);
+        let values: Vec<&str> = g
+            .artifacts
+            .values()
+            .filter_map(|a| a.annotations.get("value").map(String::as_str))
+            .collect();
+        assert!(values.contains(&"\"frog\""));
+        assert!(values.contains(&"\"FROG\""));
+    }
+}

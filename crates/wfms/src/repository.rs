@@ -1,0 +1,102 @@
+//! The workflow repository: versioned storage of workflow specs
+//! ("Workflows are made available via a workflow repository" — §III).
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::model::Workflow;
+
+/// A stored version of a workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredWorkflow {
+    /// Version number (1-based, per workflow id).
+    pub version: u32,
+    /// The spec as published.
+    pub workflow: Workflow,
+}
+
+/// In-memory versioned repository. (The core crate persists specs through
+/// the storage engine; this type is the WFMS-side API.)
+#[derive(Debug, Default)]
+pub struct WorkflowRepository {
+    entries: RwLock<BTreeMap<String, Vec<StoredWorkflow>>>,
+}
+
+impl WorkflowRepository {
+    /// Create an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a workflow; returns the assigned version (1-based,
+    /// monotonically increasing per workflow id).
+    pub fn publish(&self, workflow: Workflow) -> u32 {
+        let mut entries = self.entries.write();
+        let versions = entries.entry(workflow.id.clone()).or_default();
+        let version = versions.last().map(|s| s.version + 1).unwrap_or(1);
+        versions.push(StoredWorkflow { version, workflow });
+        version
+    }
+
+    /// Latest version of a workflow.
+    pub fn latest(&self, id: &str) -> Option<Workflow> {
+        self.entries
+            .read()
+            .get(id)
+            .and_then(|v| v.last())
+            .map(|s| s.workflow.clone())
+    }
+
+    /// A specific version.
+    pub fn version(&self, id: &str, version: u32) -> Option<Workflow> {
+        self.entries
+            .read()
+            .get(id)?
+            .iter()
+            .find(|s| s.version == version)
+            .map(|s| s.workflow.clone())
+    }
+
+    /// All workflow ids.
+    pub fn ids(&self) -> Vec<String> {
+        self.entries.read().keys().cloned().collect()
+    }
+
+    /// Number of versions stored for `id`.
+    pub fn version_count(&self, id: &str) -> usize {
+        self.entries.read().get(id).map(Vec::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_assigns_increasing_versions() {
+        let repo = WorkflowRepository::new();
+        let v1 = repo.publish(Workflow::new("w", "first"));
+        let v2 = repo.publish(Workflow::new("w", "second"));
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(repo.latest("w").unwrap().name, "second");
+        assert_eq!(repo.version("w", 1).unwrap().name, "first");
+        assert_eq!(repo.version_count("w"), 2);
+    }
+
+    #[test]
+    fn missing_ids_return_none() {
+        let repo = WorkflowRepository::new();
+        assert!(repo.latest("nope").is_none());
+        assert!(repo.version("nope", 1).is_none());
+        assert_eq!(repo.version_count("nope"), 0);
+    }
+
+    #[test]
+    fn ids_lists_all() {
+        let repo = WorkflowRepository::new();
+        repo.publish(Workflow::new("b", "b"));
+        repo.publish(Workflow::new("a", "a"));
+        assert_eq!(repo.ids(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

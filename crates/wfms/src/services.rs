@@ -1,0 +1,207 @@
+//! Services a workflow can invoke: the registry, the service trait, local
+//! function services and the fault-injecting wrapper.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+
+/// Port-name → value map flowing in and out of services.
+pub type PortMap = BTreeMap<String, Value>;
+
+/// Why a service invocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Worth retrying (network blip, timeout, HTTP 503).
+    Transient(String),
+    /// Retrying cannot help (bad input, missing port, logic error).
+    Permanent(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Transient(m) => write!(f, "transient service failure: {m}"),
+            ServiceError::Permanent(m) => write!(f, "permanent service failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Anything a `ProcessorKind::Service` processor can invoke.
+pub trait Service: Send + Sync {
+    /// Consume the input ports and produce the output ports.
+    fn invoke(&self, inputs: &PortMap) -> Result<PortMap, ServiceError>;
+}
+
+/// A service backed by a plain function or closure.
+pub struct FnService<F>(F);
+
+impl<F> FnService<F>
+where
+    F: Fn(&PortMap) -> Result<PortMap, ServiceError> + Send + Sync,
+{
+    /// Wrap a closure as a service.
+    pub fn new(f: F) -> Self {
+        FnService(f)
+    }
+}
+
+impl<F> Service for FnService<F>
+where
+    F: Fn(&PortMap) -> Result<PortMap, ServiceError> + Send + Sync,
+{
+    fn invoke(&self, inputs: &PortMap) -> Result<PortMap, ServiceError> {
+        (self.0)(inputs)
+    }
+}
+
+/// Wraps any service with seeded availability faults: each invocation
+/// fails transiently with probability `1 − availability`. This is how
+/// the Catalogue of Life's "connection problems" (availability 0.9)
+/// manifest inside workflow runs.
+pub struct FlakyService {
+    inner: Arc<dyn Service>,
+    availability: f64,
+    rng: Mutex<StdRng>,
+}
+
+impl FlakyService {
+    /// Wrap `inner` with the given availability and RNG seed.
+    pub fn new(inner: Arc<dyn Service>, availability: f64, seed: u64) -> Self {
+        FlakyService {
+            inner,
+            availability,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl Service for FlakyService {
+    fn invoke(&self, inputs: &PortMap) -> Result<PortMap, ServiceError> {
+        let ok = self.rng.lock().gen::<f64>() < self.availability;
+        if !ok {
+            return Err(ServiceError::Transient("connection problem".into()));
+        }
+        self.inner.invoke(inputs)
+    }
+}
+
+/// Named service registry shared by engine runs.
+#[derive(Clone, Default)]
+pub struct ServiceRegistry {
+    services: BTreeMap<String, Arc<dyn Service>>,
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("services", &self.services.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ServiceRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a service under `name`.
+    pub fn register(&mut self, name: &str, service: Arc<dyn Service>) {
+        self.services.insert(name.to_string(), service);
+    }
+
+    /// Register a closure-backed service.
+    pub fn register_fn<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&PortMap) -> Result<PortMap, ServiceError> + Send + Sync + 'static,
+    {
+        self.register(name, Arc::new(FnService::new(f)));
+    }
+
+    /// Look up a service.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Service>> {
+        self.services.get(name).cloned()
+    }
+
+    /// Registered service names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.services.keys().map(String::as_str)
+    }
+}
+
+/// Helper: a single-entry PortMap.
+pub fn port(name: &str, value: Value) -> PortMap {
+    let mut m = PortMap::new();
+    m.insert(name.to_string(), value);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn fn_service_invokes() {
+        let s = FnService::new(|inputs: &PortMap| {
+            let x = inputs["x"]
+                .as_i64()
+                .ok_or_else(|| ServiceError::Permanent("x must be an integer".into()))?;
+            Ok(port("y", json!(x * 2)))
+        });
+        let out = s.invoke(&port("x", json!(21))).unwrap();
+        assert_eq!(out["y"], json!(42));
+        assert!(matches!(
+            s.invoke(&port("x", json!("nope"))),
+            Err(ServiceError::Permanent(_))
+        ));
+    }
+
+    #[test]
+    fn registry_register_get() {
+        let mut r = ServiceRegistry::new();
+        r.register_fn("double", |i| Ok(port("y", i["x"].clone())));
+        assert!(r.get("double").is_some());
+        assert!(r.get("missing").is_none());
+        assert_eq!(r.names().collect::<Vec<_>>(), vec!["double"]);
+    }
+
+    #[test]
+    fn flaky_service_fails_at_rate() {
+        let inner: Arc<dyn Service> = Arc::new(FnService::new(|_: &PortMap| Ok(PortMap::new())));
+        let flaky = FlakyService::new(inner, 0.6, 99);
+        let mut failures = 0;
+        for _ in 0..1000 {
+            if flaky.invoke(&PortMap::new()).is_err() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / 1000.0;
+        assert!((rate - 0.4).abs() < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    fn flaky_failures_are_transient() {
+        let inner: Arc<dyn Service> = Arc::new(FnService::new(|_: &PortMap| Ok(PortMap::new())));
+        let flaky = FlakyService::new(inner, 0.0, 1);
+        assert!(matches!(
+            flaky.invoke(&PortMap::new()),
+            Err(ServiceError::Transient(_))
+        ));
+    }
+
+    #[test]
+    fn perfect_availability_never_fails() {
+        let inner: Arc<dyn Service> = Arc::new(FnService::new(|_: &PortMap| Ok(PortMap::new())));
+        let flaky = FlakyService::new(inner, 1.0, 1);
+        for _ in 0..100 {
+            assert!(flaky.invoke(&PortMap::new()).is_ok());
+        }
+    }
+}

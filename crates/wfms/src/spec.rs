@@ -1,0 +1,526 @@
+//! Workflow spec serialization in the Taverna-style XML format excerpted
+//! in the paper's Listing 1 (element-only XML; fully round-trippable).
+
+use serde_json::Value;
+
+use crate::annotation::AnnotationAssertion;
+use crate::model::{DataLink, Endpoint, Processor, ProcessorKind, Workflow};
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
+}
+
+fn endpoint_str(e: &Endpoint) -> String {
+    e.to_string()
+}
+
+fn parse_endpoint(s: &str) -> Result<Endpoint, SpecError> {
+    if let Some(port) = s.strip_prefix("in:") {
+        return Ok(Endpoint::WorkflowInput {
+            port: port.to_string(),
+        });
+    }
+    if let Some(port) = s.strip_prefix("out:") {
+        return Ok(Endpoint::WorkflowOutput {
+            port: port.to_string(),
+        });
+    }
+    match s.split_once('.') {
+        Some((processor, port)) => Ok(Endpoint::ProcessorPort {
+            processor: processor.to_string(),
+            port: port.to_string(),
+        }),
+        None => Err(SpecError::BadEndpoint(s.to_string())),
+    }
+}
+
+/// Serialize a workflow to the Listing-1-style XML format.
+pub fn to_xml(w: &Workflow) -> String {
+    let mut out = String::new();
+    out.push_str("<workflow>\n");
+    out.push_str(&format!("  <id>{}</id>\n", escape(&w.id)));
+    out.push_str(&format!("  <name>{}</name>\n", escape(&w.name)));
+    out.push_str("  <inputs>\n");
+    for p in &w.inputs {
+        out.push_str(&format!("    <port>{}</port>\n", escape(p)));
+    }
+    out.push_str("  </inputs>\n  <outputs>\n");
+    for p in &w.outputs {
+        out.push_str(&format!("    <port>{}</port>\n", escape(p)));
+    }
+    out.push_str("  </outputs>\n  <processors>\n");
+    for p in &w.processors {
+        out.push_str("    <processor>\n");
+        out.push_str(&format!("      <name>{}</name>\n", escape(&p.name)));
+        match &p.kind {
+            ProcessorKind::Service { service } => {
+                out.push_str(&format!("      <service>{}</service>\n", escape(service)));
+            }
+            ProcessorKind::Constant { value } => {
+                out.push_str(&format!(
+                    "      <constant>{}</constant>\n",
+                    escape(&value.to_string())
+                ));
+            }
+            ProcessorKind::SubWorkflow { workflow } => {
+                out.push_str("      <subworkflow>\n");
+                for line in to_xml(workflow).lines() {
+                    out.push_str("        ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                out.push_str("      </subworkflow>\n");
+            }
+        }
+        out.push_str("      <inputPorts>\n");
+        for port in &p.inputs {
+            out.push_str(&format!("        <port>{}</port>\n", escape(port)));
+        }
+        out.push_str("      </inputPorts>\n      <outputPorts>\n");
+        for port in &p.outputs {
+            out.push_str(&format!("        <port>{}</port>\n", escape(port)));
+        }
+        out.push_str("      </outputPorts>\n");
+        out.push_str("      <annotations>\n");
+        for a in &p.annotations {
+            push_assertion(&mut out, a, 8);
+        }
+        out.push_str("      </annotations>\n");
+        out.push_str("    </processor>\n");
+    }
+    out.push_str("  </processors>\n  <datalinks>\n");
+    for l in &w.links {
+        out.push_str(&format!(
+            "    <datalink><from>{}</from><to>{}</to></datalink>\n",
+            escape(&endpoint_str(&l.from)),
+            escape(&endpoint_str(&l.to))
+        ));
+    }
+    out.push_str("  </datalinks>\n  <annotations>\n");
+    for a in &w.annotations {
+        push_assertion(&mut out, a, 4);
+    }
+    out.push_str("  </annotations>\n</workflow>\n");
+    out
+}
+
+fn push_assertion(out: &mut String, a: &AnnotationAssertion, indent: usize) {
+    let pad = " ".repeat(indent);
+    out.push_str(&format!("{pad}<annotationAssertion>\n"));
+    out.push_str(&format!("{pad}  <text>{}</text>\n", escape(&a.text)));
+    out.push_str(&format!("{pad}  <date>{}</date>\n", escape(&a.date)));
+    out.push_str(&format!(
+        "{pad}  <creator>{}</creator>\n",
+        escape(&a.creator)
+    ));
+    out.push_str(&format!("{pad}</annotationAssertion>\n"));
+}
+
+/// Parse error for the spec format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The document ended mid-element.
+    UnexpectedEof,
+    /// A different tag than required appeared.
+    ExpectedTag {
+        /// Tag the grammar requires here.
+        expected: String,
+        /// What was actually read.
+        got: String,
+    },
+    /// An endpoint string was not `in:p`, `out:p` or `proc.port`.
+    BadEndpoint(String),
+    /// A `<constant>` body was not valid JSON.
+    BadConstant(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnexpectedEof => f.write_str("unexpected end of spec"),
+            SpecError::ExpectedTag { expected, got } => {
+                write!(f, "expected <{expected}>, got <{got}>")
+            }
+            SpecError::BadEndpoint(s) => write!(f, "malformed endpoint {s:?}"),
+            SpecError::BadConstant(s) => write!(f, "malformed constant JSON {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A minimal pull-parser over the element-only XML the writer emits.
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+#[derive(Debug, PartialEq)]
+enum Token {
+    Open(String),
+    Close(String),
+    Text(String),
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { rest: s }
+    }
+
+    /// Next token; whitespace-only text between tags is skipped.
+    fn next(&mut self) -> Result<Token, SpecError> {
+        loop {
+            if self.rest.is_empty() {
+                return Err(SpecError::UnexpectedEof);
+            }
+            if let Some(after) = self.rest.strip_prefix('<') {
+                let end = after.find('>').ok_or(SpecError::UnexpectedEof)?;
+                let tag = &after[..end];
+                self.rest = &after[end + 1..];
+                return Ok(if let Some(name) = tag.strip_prefix('/') {
+                    Token::Close(name.to_string())
+                } else {
+                    Token::Open(tag.to_string())
+                });
+            }
+            let next_tag = self.rest.find('<').unwrap_or(self.rest.len());
+            let text = &self.rest[..next_tag];
+            self.rest = &self.rest[next_tag..];
+            if !text.trim().is_empty() {
+                return Ok(Token::Text(unescape(text)));
+            }
+            // Whitespace-only: loop for the next real token.
+            if self.rest.is_empty() {
+                return Err(SpecError::UnexpectedEof);
+            }
+        }
+    }
+
+    fn expect_open(&mut self, name: &str) -> Result<(), SpecError> {
+        match self.next()? {
+            Token::Open(t) if t == name => Ok(()),
+            Token::Open(t) | Token::Close(t) => Err(SpecError::ExpectedTag {
+                expected: name.to_string(),
+                got: t,
+            }),
+            Token::Text(t) => Err(SpecError::ExpectedTag {
+                expected: name.to_string(),
+                got: format!("text {t:?}"),
+            }),
+        }
+    }
+
+    /// Read `<name>text</name>`, allowing empty text.
+    fn text_element_body(&mut self, name: &str) -> Result<String, SpecError> {
+        match self.next()? {
+            Token::Text(t) => match self.next()? {
+                Token::Close(c) if c == name => Ok(t),
+                other => Err(SpecError::ExpectedTag {
+                    expected: format!("/{name}"),
+                    got: format!("{other:?}"),
+                }),
+            },
+            Token::Close(c) if c == name => Ok(String::new()),
+            other => Err(SpecError::ExpectedTag {
+                expected: format!("text or /{name}"),
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Repeatedly read `<port>…</port>` until `</wrapper>`.
+    fn port_list(&mut self, wrapper: &str) -> Result<Vec<String>, SpecError> {
+        let mut out = Vec::new();
+        loop {
+            match self.next()? {
+                Token::Open(t) if t == "port" => out.push(self.text_element_body("port")?),
+                Token::Close(t) if t == wrapper => return Ok(out),
+                other => {
+                    return Err(SpecError::ExpectedTag {
+                        expected: format!("port or /{wrapper}"),
+                        got: format!("{other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Read assertions until `</annotations>`.
+    fn annotations(&mut self) -> Result<Vec<AnnotationAssertion>, SpecError> {
+        let mut out = Vec::new();
+        loop {
+            match self.next()? {
+                Token::Open(t) if t == "annotationAssertion" => {
+                    self.expect_open("text")?;
+                    let text = self.text_element_body("text")?;
+                    self.expect_open("date")?;
+                    let date = self.text_element_body("date")?;
+                    self.expect_open("creator")?;
+                    let creator = self.text_element_body("creator")?;
+                    match self.next()? {
+                        Token::Close(c) if c == "annotationAssertion" => {}
+                        other => {
+                            return Err(SpecError::ExpectedTag {
+                                expected: "/annotationAssertion".into(),
+                                got: format!("{other:?}"),
+                            })
+                        }
+                    }
+                    out.push(AnnotationAssertion::new(&text, &date, &creator));
+                }
+                Token::Close(t) if t == "annotations" => return Ok(out),
+                other => {
+                    return Err(SpecError::ExpectedTag {
+                        expected: "annotationAssertion or /annotations".into(),
+                        got: format!("{other:?}"),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Parse a workflow from the XML format produced by [`to_xml`].
+pub fn from_xml(s: &str) -> Result<Workflow, SpecError> {
+    let mut p = Parser::new(s);
+    p.expect_open("workflow")?;
+    parse_workflow_body(&mut p)
+}
+
+/// Parse a workflow whose `<workflow>` open tag was already consumed,
+/// consuming everything up to (but not including) a trailing close tag —
+/// the top-level document simply ends, while nested documents are closed
+/// by their `</subworkflow>` wrapper after an explicit `</workflow>`.
+fn parse_workflow_body(p: &mut Parser) -> Result<Workflow, SpecError> {
+    p.expect_open("id")?;
+    let id = p.text_element_body("id")?;
+    p.expect_open("name")?;
+    let name = p.text_element_body("name")?;
+    let mut w = Workflow::new(&id, &name);
+    p.expect_open("inputs")?;
+    w.inputs = p.port_list("inputs")?;
+    p.expect_open("outputs")?;
+    w.outputs = p.port_list("outputs")?;
+    p.expect_open("processors")?;
+    loop {
+        match p.next()? {
+            Token::Open(t) if t == "processor" => {
+                p.expect_open("name")?;
+                let pname = p.text_element_body("name")?;
+                let kind = match p.next()? {
+                    Token::Open(t) if t == "service" => {
+                        let service = p.text_element_body("service")?;
+                        ProcessorKind::Service { service }
+                    }
+                    Token::Open(t) if t == "constant" => {
+                        let raw = p.text_element_body("constant")?;
+                        let value: Value =
+                            serde_json::from_str(&raw).map_err(|_| SpecError::BadConstant(raw))?;
+                        ProcessorKind::Constant { value }
+                    }
+                    Token::Open(t) if t == "subworkflow" => {
+                        p.expect_open("workflow")?;
+                        let inner = parse_workflow_body(p)?;
+                        // parse_workflow_body stops after <annotations>;
+                        // consume the nested </workflow> and the wrapper.
+                        match p.next()? {
+                            Token::Close(c) if c == "workflow" => {}
+                            other => {
+                                return Err(SpecError::ExpectedTag {
+                                    expected: "/workflow".into(),
+                                    got: format!("{other:?}"),
+                                })
+                            }
+                        }
+                        match p.next()? {
+                            Token::Close(c) if c == "subworkflow" => {}
+                            other => {
+                                return Err(SpecError::ExpectedTag {
+                                    expected: "/subworkflow".into(),
+                                    got: format!("{other:?}"),
+                                })
+                            }
+                        }
+                        ProcessorKind::SubWorkflow {
+                            workflow: Box::new(inner),
+                        }
+                    }
+                    other => {
+                        return Err(SpecError::ExpectedTag {
+                            expected: "service, constant or subworkflow".into(),
+                            got: format!("{other:?}"),
+                        })
+                    }
+                };
+                p.expect_open("inputPorts")?;
+                let inputs = p.port_list("inputPorts")?;
+                p.expect_open("outputPorts")?;
+                let outputs = p.port_list("outputPorts")?;
+                p.expect_open("annotations")?;
+                let annotations = p.annotations()?;
+                match p.next()? {
+                    Token::Close(c) if c == "processor" => {}
+                    other => {
+                        return Err(SpecError::ExpectedTag {
+                            expected: "/processor".into(),
+                            got: format!("{other:?}"),
+                        })
+                    }
+                }
+                w.processors.push(Processor {
+                    name: pname,
+                    kind,
+                    inputs,
+                    outputs,
+                    annotations,
+                });
+            }
+            Token::Close(t) if t == "processors" => break,
+            other => {
+                return Err(SpecError::ExpectedTag {
+                    expected: "processor or /processors".into(),
+                    got: format!("{other:?}"),
+                })
+            }
+        }
+    }
+    p.expect_open("datalinks")?;
+    loop {
+        match p.next()? {
+            Token::Open(t) if t == "datalink" => {
+                p.expect_open("from")?;
+                let from = parse_endpoint(&p.text_element_body("from")?)?;
+                p.expect_open("to")?;
+                let to = parse_endpoint(&p.text_element_body("to")?)?;
+                match p.next()? {
+                    Token::Close(c) if c == "datalink" => {}
+                    other => {
+                        return Err(SpecError::ExpectedTag {
+                            expected: "/datalink".into(),
+                            got: format!("{other:?}"),
+                        })
+                    }
+                }
+                w.links.push(DataLink { from, to });
+            }
+            Token::Close(t) if t == "datalinks" => break,
+            other => {
+                return Err(SpecError::ExpectedTag {
+                    expected: "datalink or /datalinks".into(),
+                    got: format!("{other:?}"),
+                })
+            }
+        }
+    }
+    p.expect_open("annotations")?;
+    w.annotations = p.annotations()?;
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn listing1_workflow() -> Workflow {
+        let mut w = Workflow::new("wf-col", "Outdated Species Name Detection")
+            .with_input("species_names")
+            .with_output("report")
+            .with_processor(Processor::service(
+                "Catalog_of_life",
+                "col_lookup",
+                &["names"],
+                &["checked"],
+            ))
+            .with_processor(Processor::constant("edition", json!(2013)))
+            .link_input("species_names", "Catalog_of_life", "names")
+            .link_output("Catalog_of_life", "checked", "report");
+        w.processor_mut("Catalog_of_life")
+            .unwrap()
+            .annotations
+            .push(AnnotationAssertion::new(
+                "Q(reputation): 1;\nQ(availability): 0.9;",
+                "2013-11-12 19:58:09.767 UTC",
+                "expert",
+            ));
+        w
+    }
+
+    #[test]
+    fn xml_contains_listing1_elements() {
+        let xml = to_xml(&listing1_workflow());
+        assert!(xml.contains("<name>Catalog_of_life</name>"));
+        assert!(xml.contains("Q(reputation): 1;"));
+        assert!(xml.contains("Q(availability): 0.9;"));
+        assert!(xml.contains("<date>2013-11-12 19:58:09.767 UTC</date>"));
+        assert!(xml.contains("<annotationAssertion>"));
+    }
+
+    #[test]
+    fn xml_roundtrip_is_identity() {
+        let w = listing1_workflow();
+        let back = from_xml(&to_xml(&w)).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let mut w = Workflow::new("id<&>", "name & more");
+        w.annotations.push(AnnotationAssertion::new(
+            "uses <angle> & ampersand",
+            "2013",
+            "a<b>c",
+        ));
+        let back = from_xml(&to_xml(&w)).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let w = Workflow::new("w", "w")
+            .with_processor(Processor::constant("c", json!({"k": [1, 2, 3]})));
+        let back = from_xml(&to_xml(&w)).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn truncated_spec_is_error() {
+        let xml = to_xml(&listing1_workflow());
+        let truncated = &xml[..xml.len() / 2];
+        assert!(from_xml(truncated).is_err());
+    }
+
+    #[test]
+    fn wrong_tag_is_error() {
+        assert!(matches!(
+            from_xml("<workflow><wrong>x</wrong></workflow>"),
+            Err(SpecError::ExpectedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_endpoint_is_error() {
+        let xml = "<workflow><id>i</id><name>n</name><inputs></inputs>\
+                   <outputs></outputs><processors></processors>\
+                   <datalinks><datalink><from>noseparator</from><to>a.b</to></datalink></datalinks>\
+                   <annotations></annotations></workflow>";
+        assert!(matches!(from_xml(xml), Err(SpecError::BadEndpoint(_))));
+    }
+
+    #[test]
+    fn parsed_annotations_still_parse_quality() {
+        let back = from_xml(&to_xml(&listing1_workflow())).unwrap();
+        let q = crate::annotation::merged_quality(
+            &back.processor("Catalog_of_life").unwrap().annotations,
+        );
+        assert_eq!(q.get("reputation"), Some(&1.0));
+        assert_eq!(q.get("availability"), Some(&0.9));
+    }
+}

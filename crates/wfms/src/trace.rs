@@ -1,0 +1,230 @@
+//! Execution traces: the raw material of provenance.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::services::PortMap;
+
+/// The lifecycle events of one run, in occurrence order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The run began.
+    RunStarted {
+        /// Workflow name.
+        workflow: String,
+    },
+    /// A processor attempt began.
+    ProcessorStarted {
+        /// The processor.
+        processor: String,
+        /// Attempt number (1-based).
+        attempt: u32,
+    },
+    /// A processor finished successfully.
+    ProcessorCompleted {
+        /// The processor.
+        processor: String,
+        /// The attempt that succeeded.
+        attempt: u32,
+    },
+    /// A transient failure triggered a retry.
+    ProcessorRetried {
+        /// The processor.
+        processor: String,
+        /// The attempt that failed.
+        attempt: u32,
+        /// The transient error.
+        error: String,
+    },
+    /// A processor failed permanently or exhausted retries.
+    ProcessorFailed {
+        /// The processor.
+        processor: String,
+        /// Total attempts made.
+        attempts: u32,
+        /// The final error.
+        error: String,
+    },
+    /// The run finished successfully.
+    RunCompleted,
+    /// The run failed.
+    RunFailed {
+        /// Why.
+        error: String,
+    },
+}
+
+/// Final status of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// The run completed and produced its outputs.
+    Succeeded,
+    /// The run aborted.
+    Failed {
+        /// Why.
+        error: String,
+    },
+}
+
+/// Everything recorded about one workflow execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Unique run identifier, assigned by the engine.
+    pub run_id: String,
+    /// Id of the workflow spec that ran.
+    pub workflow_id: String,
+    /// Its human-readable name.
+    pub workflow_name: String,
+    /// Final status.
+    pub status: RunStatus,
+    /// Ordered lifecycle events.
+    pub events: Vec<TraceEvent>,
+    /// Per-processor inputs as consumed.
+    pub processor_inputs: BTreeMap<String, PortMap>,
+    /// Per-processor outputs as produced.
+    pub processor_outputs: BTreeMap<String, PortMap>,
+    /// Workflow-level inputs supplied by the caller.
+    pub workflow_inputs: PortMap,
+    /// Workflow-level outputs (empty on failure).
+    pub workflow_outputs: PortMap,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Retries performed across all processors.
+    pub total_retries: u32,
+}
+
+impl ExecutionTrace {
+    /// Whether the run succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.status == RunStatus::Succeeded
+    }
+
+    /// Processors that completed, in event order.
+    pub fn completed_processors(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ProcessorCompleted { processor, .. } => Some(processor.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Attempts made for one processor (0 when it never started).
+    pub fn attempts_for(&self, processor: &str) -> u32 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ProcessorStarted {
+                    processor: p,
+                    attempt,
+                } if p == processor => Some(*attempt),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Observed service availability during this run: successful processor
+    /// attempts / total attempts. 1.0 for a run with no attempts.
+    pub fn observed_availability(&self) -> f64 {
+        let mut attempts = 0u32;
+        let mut failures = 0u32;
+        for e in &self.events {
+            match e {
+                TraceEvent::ProcessorStarted { .. } => attempts += 1,
+                TraceEvent::ProcessorRetried { .. } => failures += 1,
+                TraceEvent::ProcessorFailed { .. } => failures += 1,
+                _ => {}
+            }
+        }
+        if attempts == 0 {
+            1.0
+        } else {
+            (attempts.saturating_sub(failures)) as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(events: Vec<TraceEvent>) -> ExecutionTrace {
+        ExecutionTrace {
+            run_id: "run-1".into(),
+            workflow_id: "w".into(),
+            workflow_name: "w".into(),
+            status: RunStatus::Succeeded,
+            events,
+            processor_inputs: BTreeMap::new(),
+            processor_outputs: BTreeMap::new(),
+            workflow_inputs: PortMap::new(),
+            workflow_outputs: PortMap::new(),
+            elapsed: Duration::from_millis(5),
+            total_retries: 0,
+        }
+    }
+
+    #[test]
+    fn completed_processors_in_order() {
+        let t = trace(vec![
+            TraceEvent::RunStarted {
+                workflow: "w".into(),
+            },
+            TraceEvent::ProcessorStarted {
+                processor: "a".into(),
+                attempt: 1,
+            },
+            TraceEvent::ProcessorCompleted {
+                processor: "a".into(),
+                attempt: 1,
+            },
+            TraceEvent::ProcessorStarted {
+                processor: "b".into(),
+                attempt: 1,
+            },
+            TraceEvent::ProcessorCompleted {
+                processor: "b".into(),
+                attempt: 1,
+            },
+            TraceEvent::RunCompleted,
+        ]);
+        assert_eq!(t.completed_processors(), vec!["a", "b"]);
+        assert_eq!(t.attempts_for("a"), 1);
+        assert_eq!(t.attempts_for("never"), 0);
+        assert!(t.succeeded());
+    }
+
+    #[test]
+    fn observed_availability_counts_retries() {
+        let t = trace(vec![
+            TraceEvent::ProcessorStarted {
+                processor: "a".into(),
+                attempt: 1,
+            },
+            TraceEvent::ProcessorRetried {
+                processor: "a".into(),
+                attempt: 1,
+                error: "blip".into(),
+            },
+            TraceEvent::ProcessorStarted {
+                processor: "a".into(),
+                attempt: 2,
+            },
+            TraceEvent::ProcessorCompleted {
+                processor: "a".into(),
+                attempt: 2,
+            },
+        ]);
+        assert!((t.observed_availability() - 0.5).abs() < 1e-12);
+        assert_eq!(t.attempts_for("a"), 2);
+    }
+
+    #[test]
+    fn empty_trace_availability_is_one() {
+        assert_eq!(trace(vec![]).observed_availability(), 1.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Structural validation of workflow specifications, run before execution.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::model::{Endpoint, Workflow};
+
+/// One structural problem in a workflow spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowViolation {
+    /// A link mentions a processor the workflow doesn't declare.
+    UnknownProcessor {
+        /// The offending endpoint (rendered).
+        endpoint: String,
+    },
+    /// A link mentions a port its processor doesn't declare.
+    UnknownPort {
+        /// The offending endpoint (rendered).
+        endpoint: String,
+    },
+    /// A link mentions a workflow input/output port that isn't declared.
+    UnknownWorkflowPort {
+        /// The offending endpoint (rendered).
+        endpoint: String,
+    },
+    /// An input port is fed by more than one link.
+    MultiplyFedPort {
+        /// The port fed by more than one link.
+        endpoint: String,
+    },
+    /// A processor input port has no incoming link.
+    UnfedPort {
+        /// The input port with no incoming link.
+        endpoint: String,
+    },
+    /// A workflow output port has no incoming link.
+    UnfedWorkflowOutput {
+        /// The unfed workflow output port.
+        port: String,
+    },
+    /// The dependency graph is cyclic.
+    Cycle,
+    /// A nested sub-workflow is itself invalid.
+    InvalidSubWorkflow {
+        /// The processor wrapping the nested workflow.
+        processor: String,
+        /// How many violations the nested spec has.
+        violations: usize,
+    },
+    /// A sub-workflow processor's ports don't mirror the nested
+    /// workflow's inputs/outputs.
+    SubWorkflowPortMismatch {
+        /// The offending processor.
+        processor: String,
+    },
+    /// A link flows into a workflow input or out of a workflow output.
+    BackwardsLink {
+        /// Source endpoint (rendered).
+        from: String,
+        /// Destination endpoint (rendered).
+        to: String,
+    },
+}
+
+impl std::fmt::Display for WorkflowViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowViolation::UnknownProcessor { endpoint } => {
+                write!(f, "link references unknown processor at {endpoint}")
+            }
+            WorkflowViolation::UnknownPort { endpoint } => {
+                write!(f, "link references undeclared port at {endpoint}")
+            }
+            WorkflowViolation::UnknownWorkflowPort { endpoint } => {
+                write!(f, "link references undeclared workflow port at {endpoint}")
+            }
+            WorkflowViolation::MultiplyFedPort { endpoint } => {
+                write!(f, "input port {endpoint} fed by multiple links")
+            }
+            WorkflowViolation::UnfedPort { endpoint } => {
+                write!(f, "input port {endpoint} has no incoming link")
+            }
+            WorkflowViolation::UnfedWorkflowOutput { port } => {
+                write!(f, "workflow output {port:?} has no incoming link")
+            }
+            WorkflowViolation::Cycle => f.write_str("workflow graph is cyclic"),
+            WorkflowViolation::InvalidSubWorkflow {
+                processor,
+                violations,
+            } => {
+                write!(
+                    f,
+                    "sub-workflow in {processor:?} has {violations} violations"
+                )
+            }
+            WorkflowViolation::SubWorkflowPortMismatch { processor } => {
+                write!(
+                    f,
+                    "processor {processor:?} ports don't mirror its sub-workflow's inputs/outputs"
+                )
+            }
+            WorkflowViolation::BackwardsLink { from, to } => {
+                write!(f, "backwards link {from} -> {to}")
+            }
+        }
+    }
+}
+
+/// Validate a workflow. Empty result = executable.
+pub fn validate(w: &Workflow) -> Vec<WorkflowViolation> {
+    let mut out = Vec::new();
+    let proc_ports: BTreeMap<&str, (BTreeSet<&str>, BTreeSet<&str>)> = w
+        .processors
+        .iter()
+        .map(|p| {
+            (
+                p.name.as_str(),
+                (
+                    p.inputs.iter().map(String::as_str).collect(),
+                    p.outputs.iter().map(String::as_str).collect(),
+                ),
+            )
+        })
+        .collect();
+    let wf_inputs: BTreeSet<&str> = w.inputs.iter().map(String::as_str).collect();
+    let wf_outputs: BTreeSet<&str> = w.outputs.iter().map(String::as_str).collect();
+
+    let mut fed: BTreeMap<String, usize> = BTreeMap::new();
+    let mut fed_outputs: BTreeSet<&str> = BTreeSet::new();
+
+    for l in &w.links {
+        // Source side.
+        match &l.from {
+            Endpoint::WorkflowInput { port } => {
+                if !wf_inputs.contains(port.as_str()) {
+                    out.push(WorkflowViolation::UnknownWorkflowPort {
+                        endpoint: l.from.to_string(),
+                    });
+                }
+            }
+            Endpoint::ProcessorPort { processor, port } => match proc_ports.get(processor.as_str())
+            {
+                None => out.push(WorkflowViolation::UnknownProcessor {
+                    endpoint: l.from.to_string(),
+                }),
+                Some((_, outputs)) => {
+                    if !outputs.contains(port.as_str()) {
+                        out.push(WorkflowViolation::UnknownPort {
+                            endpoint: l.from.to_string(),
+                        });
+                    }
+                }
+            },
+            Endpoint::WorkflowOutput { .. } => out.push(WorkflowViolation::BackwardsLink {
+                from: l.from.to_string(),
+                to: l.to.to_string(),
+            }),
+        }
+        // Destination side.
+        match &l.to {
+            Endpoint::WorkflowOutput { port } => {
+                if !wf_outputs.contains(port.as_str()) {
+                    out.push(WorkflowViolation::UnknownWorkflowPort {
+                        endpoint: l.to.to_string(),
+                    });
+                } else {
+                    fed_outputs.insert(port.as_str());
+                }
+            }
+            Endpoint::ProcessorPort { processor, port } => {
+                match proc_ports.get(processor.as_str()) {
+                    None => out.push(WorkflowViolation::UnknownProcessor {
+                        endpoint: l.to.to_string(),
+                    }),
+                    Some((inputs, _)) => {
+                        if !inputs.contains(port.as_str()) {
+                            out.push(WorkflowViolation::UnknownPort {
+                                endpoint: l.to.to_string(),
+                            });
+                        }
+                    }
+                }
+                *fed.entry(l.to.to_string()).or_insert(0) += 1;
+            }
+            Endpoint::WorkflowInput { .. } => out.push(WorkflowViolation::BackwardsLink {
+                from: l.from.to_string(),
+                to: l.to.to_string(),
+            }),
+        }
+    }
+
+    // Every declared processor input must be fed exactly once.
+    for p in &w.processors {
+        for port in &p.inputs {
+            let key = format!("{}.{}", p.name, port);
+            match fed.get(&key).copied().unwrap_or(0) {
+                0 => out.push(WorkflowViolation::UnfedPort { endpoint: key }),
+                1 => {}
+                _ => out.push(WorkflowViolation::MultiplyFedPort { endpoint: key }),
+            }
+        }
+    }
+    // Every declared workflow output must be fed.
+    for port in &w.outputs {
+        if !fed_outputs.contains(port.as_str()) {
+            out.push(WorkflowViolation::UnfedWorkflowOutput { port: port.clone() });
+        }
+    }
+    if w.topological_order().is_none() {
+        out.push(WorkflowViolation::Cycle);
+    }
+    // Recurse into nested workflows.
+    for p in &w.processors {
+        if let crate::model::ProcessorKind::SubWorkflow { workflow } = &p.kind {
+            let inner = validate(workflow);
+            if !inner.is_empty() {
+                out.push(WorkflowViolation::InvalidSubWorkflow {
+                    processor: p.name.clone(),
+                    violations: inner.len(),
+                });
+            }
+            if p.inputs != workflow.inputs || p.outputs != workflow.outputs {
+                out.push(WorkflowViolation::SubWorkflowPortMismatch {
+                    processor: p.name.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Processor;
+    use serde_json::json;
+
+    fn valid() -> Workflow {
+        Workflow::new("w", "valid")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("p", "svc", &["in"], &["out"]))
+            .link_input("x", "p", "in")
+            .link_output("p", "out", "y")
+    }
+
+    #[test]
+    fn valid_workflow_has_no_violations() {
+        assert!(validate(&valid()).is_empty());
+    }
+
+    #[test]
+    fn unknown_processor_flagged() {
+        let w = valid().link("ghost", "out", "p", "in");
+        let v = validate(&w);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WorkflowViolation::UnknownProcessor { .. })));
+    }
+
+    #[test]
+    fn unknown_port_flagged() {
+        let w = Workflow::new("w", "w")
+            .with_input("x")
+            .with_processor(Processor::service("p", "svc", &["in"], &["out"]))
+            .link_input("x", "p", "wrong_port");
+        let v = validate(&w);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WorkflowViolation::UnknownPort { .. })));
+    }
+
+    #[test]
+    fn unfed_port_flagged() {
+        let w = Workflow::new("w", "w").with_processor(Processor::service(
+            "p",
+            "svc",
+            &["in"],
+            &["out"],
+        ));
+        let v = validate(&w);
+        assert_eq!(
+            v,
+            vec![WorkflowViolation::UnfedPort {
+                endpoint: "p.in".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn multiply_fed_port_flagged() {
+        let w = Workflow::new("w", "w")
+            .with_processor(Processor::constant("c1", json!(1)))
+            .with_processor(Processor::constant("c2", json!(2)))
+            .with_processor(Processor::service("p", "svc", &["in"], &["out"]))
+            .link("c1", "value", "p", "in")
+            .link("c2", "value", "p", "in");
+        let v = validate(&w);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WorkflowViolation::MultiplyFedPort { .. })));
+    }
+
+    #[test]
+    fn unfed_workflow_output_flagged() {
+        let w = Workflow::new("w", "w").with_output("y");
+        let v = validate(&w);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WorkflowViolation::UnfedWorkflowOutput { .. })));
+    }
+
+    #[test]
+    fn cycle_flagged() {
+        let w = Workflow::new("w", "w")
+            .with_processor(Processor::service("a", "s", &["in"], &["out"]))
+            .with_processor(Processor::service("b", "s", &["in"], &["out"]))
+            .link("a", "out", "b", "in")
+            .link("b", "out", "a", "in");
+        assert!(validate(&w).contains(&WorkflowViolation::Cycle));
+    }
+
+    #[test]
+    fn undeclared_workflow_input_flagged() {
+        let w = Workflow::new("w", "w")
+            .with_processor(Processor::service("p", "svc", &["in"], &["out"]))
+            .link_input("undeclared", "p", "in");
+        let v = validate(&w);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WorkflowViolation::UnknownWorkflowPort { .. })));
+    }
+}

@@ -1,0 +1,248 @@
+//! Property tests for the workflow engine (DESIGN.md §7): parallel
+//! execution equals sequential reference evaluation on random DAGs, and
+//! spec round-trips are the identity.
+
+use proptest::prelude::*;
+use serde_json::json;
+
+use preserva_wfms::engine::{Engine, EngineConfig};
+use preserva_wfms::model::{Processor, Workflow};
+use preserva_wfms::services::{port, PortMap, ServiceError, ServiceRegistry};
+use preserva_wfms::spec;
+
+/// Build a random layered DAG: `layers` of `width` processors; each
+/// processor in layer i > 0 consumes one or two outputs from layer i-1
+/// chosen by the `picks` table; layer 0 processors are constants.
+fn layered_workflow(layers: usize, width: usize, picks: &[(usize, usize)]) -> Workflow {
+    let mut w = Workflow::new("gen", "generated");
+    let mut pick_iter = picks.iter().cycle();
+    for layer in 0..layers {
+        for i in 0..width {
+            let name = format!("p{layer}_{i}");
+            if layer == 0 {
+                w = w.with_processor(Processor::constant(&name, json!((i + 1) as i64)));
+            } else {
+                let (a, b) = pick_iter.next().copied().unwrap_or((0, 0));
+                let ua = format!("p{}_{}", layer - 1, a % width);
+                let ub = format!("p{}_{}", layer - 1, b % width);
+                w = w
+                    .with_processor(Processor::service(&name, "combine", &["l", "r"], &["out"]))
+                    .link(&ua, if layer == 1 { "value" } else { "out" }, &name, "l")
+                    .link(&ub, if layer == 1 { "value" } else { "out" }, &name, "r");
+            }
+        }
+    }
+    // Expose the last layer's first processor as output.
+    let last = format!("p{}_0", layers - 1);
+    let last_port = if layers == 1 { "value" } else { "out" };
+    w.with_output("y").link_output(&last, last_port, "y")
+}
+
+fn registry() -> ServiceRegistry {
+    let mut r = ServiceRegistry::new();
+    r.register_fn("combine", |i: &PortMap| {
+        let l = i["l"].as_i64().ok_or(ServiceError::Permanent("l".into()))?;
+        let r = i["r"].as_i64().ok_or(ServiceError::Permanent("r".into()))?;
+        Ok(port("out", json!(l.wrapping_mul(31).wrapping_add(r))))
+    });
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parallel and sequential execution produce identical outputs and
+    /// per-processor data on random layered DAGs.
+    #[test]
+    fn parallel_equals_sequential(
+        layers in 1usize..5,
+        width in 1usize..5,
+        picks in proptest::collection::vec((0usize..5, 0usize..5), 1..20),
+    ) {
+        let w = layered_workflow(layers, width, &picks);
+        let par = Engine::new(registry(), EngineConfig { parallel: true, max_attempts: 1 });
+        let seq = Engine::new(registry(), EngineConfig { parallel: false, max_attempts: 1 });
+        let tp = par.run(&w, &PortMap::new()).unwrap();
+        let ts = seq.run(&w, &PortMap::new()).unwrap();
+        prop_assert_eq!(&tp.workflow_outputs, &ts.workflow_outputs);
+        prop_assert_eq!(&tp.processor_outputs, &ts.processor_outputs);
+        // Every processor completed exactly once.
+        prop_assert_eq!(tp.completed_processors().len(), layers * width);
+    }
+
+    /// Spec XML round-trip is the identity on random layered DAGs.
+    #[test]
+    fn spec_roundtrip_identity(
+        layers in 1usize..4,
+        width in 1usize..4,
+        picks in proptest::collection::vec((0usize..4, 0usize..4), 1..10),
+    ) {
+        let w = layered_workflow(layers, width, &picks);
+        let back = spec::from_xml(&spec::to_xml(&w)).unwrap();
+        prop_assert_eq!(w, back);
+    }
+
+    /// Running twice is deterministic (same outputs, same completion set).
+    #[test]
+    fn runs_are_deterministic(
+        layers in 1usize..4,
+        width in 1usize..4,
+        picks in proptest::collection::vec((0usize..4, 0usize..4), 1..10),
+    ) {
+        let w = layered_workflow(layers, width, &picks);
+        let e = Engine::new(registry(), EngineConfig::default());
+        let t1 = e.run(&w, &PortMap::new()).unwrap();
+        let t2 = e.run(&w, &PortMap::new()).unwrap();
+        prop_assert_eq!(&t1.workflow_outputs, &t2.workflow_outputs);
+        prop_assert_eq!(t1.completed_processors(), t2.completed_processors());
+    }
+}
+
+/// Sub-workflow (nested workflow) behaviour: regression tests living with
+/// the engine property suite.
+mod subworkflow {
+    use preserva_wfms::engine::{Engine, EngineConfig};
+    use preserva_wfms::model::{Processor, Workflow};
+    use preserva_wfms::services::{port, PortMap, ServiceError, ServiceRegistry};
+    use preserva_wfms::spec;
+    use preserva_wfms::validate::{validate, WorkflowViolation};
+    use serde_json::json;
+
+    fn registry() -> ServiceRegistry {
+        let mut r = ServiceRegistry::new();
+        r.register_fn("double", |i: &PortMap| {
+            let x = i["in"]
+                .as_i64()
+                .ok_or(ServiceError::Permanent("int".into()))?;
+            Ok(port("out", json!(x * 2)))
+        });
+        r
+    }
+
+    /// Inner workflow: x → double → double → y (i.e. ×4).
+    fn inner() -> Workflow {
+        Workflow::new("wf-inner", "times-four")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("d1", "double", &["in"], &["out"]))
+            .with_processor(Processor::service("d2", "double", &["in"], &["out"]))
+            .link_input("x", "d1", "in")
+            .link("d1", "out", "d2", "in")
+            .link_output("d2", "out", "y")
+    }
+
+    /// Outer workflow: a → nested(×4) → double → b (i.e. ×8).
+    fn outer() -> Workflow {
+        Workflow::new("wf-outer", "times-eight")
+            .with_input("a")
+            .with_output("b")
+            .with_processor(Processor::subworkflow("quad", inner()))
+            .with_processor(Processor::service("d3", "double", &["in"], &["out"]))
+            .link_input("a", "quad", "x")
+            .link("quad", "y", "d3", "in")
+            .link_output("d3", "out", "b")
+    }
+
+    #[test]
+    fn nested_execution_composes() {
+        let e = Engine::new(registry(), EngineConfig::default());
+        let t = e.run(&outer(), &port("a", json!(3))).unwrap();
+        assert_eq!(t.workflow_outputs["b"], json!(24)); // 3 × 8
+                                                        // The sub-workflow appears as one completed processor.
+        assert!(t.completed_processors().contains(&"quad"));
+    }
+
+    #[test]
+    fn nested_spec_roundtrips() {
+        let w = outer();
+        let xml = spec::to_xml(&w);
+        assert!(xml.contains("<subworkflow>"));
+        let back = spec::from_xml(&xml).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn missing_service_inside_nest_fails_fast() {
+        let e = Engine::new(ServiceRegistry::new(), EngineConfig::default());
+        let (err, _) = e.run(&outer(), &port("a", json!(1))).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("quad/d1"), "nested path in {msg}");
+    }
+
+    #[test]
+    fn invalid_nested_workflow_detected_by_validation() {
+        let broken_inner = Workflow::new("wf-bad", "bad")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("p", "double", &["in"], &["out"]))
+            .link_input("x", "p", "in"); // output y never fed
+        let w = Workflow::new("wf", "outer")
+            .with_input("a")
+            .with_output("b")
+            .with_processor(Processor::subworkflow("sub", broken_inner))
+            .link_input("a", "sub", "x")
+            .link_output("sub", "y", "b");
+        let v = validate(&w);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WorkflowViolation::InvalidSubWorkflow { .. })));
+    }
+
+    #[test]
+    fn port_mismatch_detected() {
+        let mut p = Processor::subworkflow("sub", inner());
+        p.inputs = vec!["renamed".into()]; // no longer mirrors the nest
+        let w = Workflow::new("wf", "outer")
+            .with_input("a")
+            .with_output("b")
+            .with_processor(p)
+            .link_input("a", "sub", "renamed")
+            .link_output("sub", "y", "b");
+        let v = validate(&w);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, WorkflowViolation::SubWorkflowPortMismatch { .. })));
+    }
+
+    #[test]
+    fn doubly_nested_spec_roundtrips() {
+        let level2 = Workflow::new("wf-l2", "l2")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::subworkflow("n1", inner()))
+            .link_input("x", "n1", "x")
+            .link_output("n1", "y", "y");
+        let level3 = Workflow::new("wf-l3", "l3")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::subworkflow("n2", level2))
+            .link_input("x", "n2", "x")
+            .link_output("n2", "y", "y");
+        let xml = spec::to_xml(&level3);
+        let back = spec::from_xml(&xml).unwrap();
+        assert_eq!(level3, back);
+    }
+
+    #[test]
+    fn deeply_nested_workflows_run() {
+        // three levels: ×2 at each → ×8 total
+        let level1 = inner(); // ×4
+        let level2 = Workflow::new("wf-l2", "l2")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::subworkflow("n1", level1))
+            .with_processor(Processor::service("d", "double", &["in"], &["out"]))
+            .link_input("x", "n1", "x")
+            .link("n1", "y", "d", "in")
+            .link_output("d", "out", "y"); // ×8
+        let level3 = Workflow::new("wf-l3", "l3")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::subworkflow("n2", level2))
+            .link_input("x", "n2", "x")
+            .link_output("n2", "y", "y"); // ×8
+        let e = Engine::new(registry(), EngineConfig::default());
+        let t = e.run(&level3, &port("x", json!(2))).unwrap();
+        assert_eq!(t.workflow_outputs["y"], json!(16));
+    }
+}

@@ -1,0 +1,115 @@
+//! A curator's quality dashboard: custom dimensions, goals, provenance-
+//! based ranking and decay forecasting — the End-User side of the
+//! architecture.
+//!
+//! ```sh
+//! cargo run --example quality_dashboard
+//! ```
+
+use std::collections::BTreeMap;
+
+use preserva::opm::edge::Edge;
+use preserva::opm::graph::OpmGraph;
+use preserva::opm::model::{Artifact, Process};
+use preserva::quality::aggregate::Combine;
+use preserva::quality::decay;
+use preserva::quality::dimension::Dimension;
+use preserva::quality::goal::QualityGoal;
+use preserva::quality::metric::{AssessmentContext, Metric};
+use preserva::quality::model::QualityModel;
+use preserva::quality::provenance_based;
+
+fn main() {
+    // --- An end user defines their own dimensions and metrics ---
+    let model = QualityModel::new()
+        .with_metric(Metric::from_ratio(
+            "accuracy = correct / checked",
+            Dimension::accuracy(),
+            "names_correct",
+            "names_checked",
+        ))
+        .with_metric(Metric::from_annotation(
+            "source reputation",
+            Dimension::reputation(),
+            "reputation",
+        ))
+        .with_metric(Metric::new(
+            "georeferencing coverage",
+            Dimension::new("georeferencing"),
+            |ctx| ctx.ratio("records_with_coordinates", "records_total"),
+        ));
+
+    let ctx = AssessmentContext::new()
+        .with_fact("names_checked", 1929.0)
+        .with_fact("names_correct", 1795.0)
+        .with_fact("records_total", 11898.0)
+        .with_fact("records_with_coordinates", 9860.0)
+        .with_annotation("reputation", 1.0);
+    let report = model.assess("fnjv-2013", &ctx);
+    println!("--- assessment ---");
+    print!("{}", report.render_text());
+
+    // --- Goals: is this collection preservation-ready? ---
+    let goal = QualityGoal::new("fnjv-preservation")
+        .require(Dimension::accuracy(), 3.0, 0.9)
+        .require(Dimension::reputation(), 1.0, 0.8)
+        .require(Dimension::new("georeferencing"), 2.0, 0.7);
+    let eval = goal.evaluate(&report);
+    println!(
+        "goal {:?}: overall {:.2}, satisfied: {}",
+        eval.goal,
+        eval.overall.unwrap_or(0.0),
+        eval.satisfied()
+    );
+
+    // --- Provenance-based ranking of candidate datasets ---
+    let mut g = OpmGraph::new();
+    for (name, rep) in [
+        ("col", "1.0"),
+        ("legacy-cards", "0.55"),
+        ("field-notes", "0.8"),
+    ] {
+        g.add_artifact(
+            Artifact::new(format!("a:src-{name}"), name).with_annotation("Q(reputation)", rep),
+        );
+        g.add_process(Process::new(format!("p:{name}"), format!("ingest {name}")));
+        g.add_artifact(Artifact::new(
+            format!("a:ds-{name}"),
+            format!("dataset via {name}"),
+        ));
+        g.add_edge(Edge::used(
+            format!("p:{name}").as_str().into(),
+            format!("a:src-{name}").as_str().into(),
+            Some("in"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::was_generated_by(
+            format!("a:ds-{name}").as_str().into(),
+            format!("p:{name}").as_str().into(),
+            Some("out"),
+        ))
+        .unwrap();
+    }
+    println!("\n--- provenance-based dataset ranking (reputation, min over lineage) ---");
+    for (node, score) in
+        provenance_based::rank_artifacts(&g, &Dimension::reputation(), Combine::Min)
+    {
+        println!("  {score:.2}  {node}");
+    }
+
+    // --- Decay forecast: when is re-curation due? ---
+    println!("\n--- decay forecast ---");
+    let churn = 0.0015; // ~0.15% of accepted names change per year
+    let mut weights = BTreeMap::new();
+    weights.insert(Dimension::accuracy(), 1.0);
+    for years in [0, 10, 25, 48] {
+        println!(
+            "  after {years:>2} years: expected name accuracy {:.1}%",
+            decay::expected_name_accuracy(years as f64, churn) * 100.0
+        );
+    }
+    println!(
+        "  re-curation due (93% threshold): every {:.0} years",
+        decay::years_until_recuration(churn, 0.93).unwrap()
+    );
+}

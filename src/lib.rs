@@ -1,0 +1,26 @@
+//! `preserva` — umbrella crate re-exporting the full public API of the
+//! provenance-based (meta)data quality assessment system.
+//!
+//! See the crate-level docs of each subsystem:
+//!
+//! * [`storage`] — embedded durable repositories
+//! * [`opm`] — Open Provenance Model v1.1
+//! * [`wfms`] — scientific workflow management (Taverna substrate)
+//! * [`metadata`] — observation metadata model and the FNJV schema
+//! * [`taxonomy`] — versioned taxonomic backbone (Catalogue of Life substrate)
+//! * [`gazetteer`] — georeferencing and spatial analysis
+//! * [`curation`] — cleaning, enrichment and outdated-name detection
+//! * [`quality`] — quality metamodel and provenance-based assessment
+//! * [`core`] — the paper's architecture (Fig. 1) wired end to end
+//! * [`fnjv`] — synthetic FNJV animal sound collection generator
+
+pub use preserva_core as core;
+pub use preserva_curation as curation;
+pub use preserva_fnjv as fnjv;
+pub use preserva_gazetteer as gazetteer;
+pub use preserva_metadata as metadata;
+pub use preserva_opm as opm;
+pub use preserva_quality as quality;
+pub use preserva_storage as storage;
+pub use preserva_taxonomy as taxonomy;
+pub use preserva_wfms as wfms;

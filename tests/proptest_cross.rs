@@ -1,0 +1,113 @@
+//! Cross-crate property tests: invariants that only hold when the
+//! substrates compose correctly.
+
+use proptest::prelude::*;
+
+use preserva::curation::log::CurationLog;
+use preserva::curation::outdated::OutdatedNameDetector;
+use preserva::curation::pipeline::CurationPipeline;
+use preserva::curation::review::ReviewQueue;
+use preserva::fnjv::config::GeneratorConfig;
+use preserva::fnjv::generator;
+use preserva::metadata::fnjv as fnjv_schema;
+use preserva::taxonomy::service::{ColService, ServiceConfig};
+
+fn small_config(
+    seed: u64,
+    records: usize,
+    distinct: usize,
+    outdated: usize,
+    typo: f64,
+) -> GeneratorConfig {
+    GeneratorConfig {
+        records,
+        distinct_species: distinct,
+        outdated_names: outdated,
+        typo_rate: typo,
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The detector's verdict buckets always partition the distinct names.
+    #[test]
+    fn verdicts_partition_distinct_names(
+        seed in 0u64..500,
+        distinct in 20usize..80,
+        outdated_frac in 0usize..10,
+        typo in 0usize..2,
+        availability in 0usize..2,
+    ) {
+        let outdated = distinct * outdated_frac / 20;
+        let config = small_config(seed, distinct * 3, distinct, outdated, typo as f64 * 0.05);
+        let collection = generator::generate(&config);
+        let service = ColService::new(
+            collection.checklist.clone(),
+            ServiceConfig {
+                availability: if availability == 0 { 1.0 } else { 0.8 },
+                seed,
+                ..ServiceConfig::default()
+            },
+        );
+        let report = OutdatedNameDetector::new(&service, 2).check_collection(&collection.records);
+        let sum = report.current
+            + report.outdated.len()
+            + report.doubtful.len()
+            + report.misspelled.len()
+            + report.not_found.len()
+            + report.unavailable.len();
+        prop_assert_eq!(sum, report.distinct_names);
+        // Accuracy in [0, 1] always.
+        prop_assert!((0.0..=1.0).contains(&report.accuracy()));
+        // With full availability and no typos, detection equals planted truth.
+        if availability == 0 && typo == 0 {
+            prop_assert_eq!(report.outdated.len() + report.doubtful.len(), outdated);
+        }
+    }
+
+    /// Stage-1 curation is idempotent and never decreases completeness,
+    /// on arbitrary generated collections.
+    #[test]
+    fn curation_monotone_and_idempotent(seed in 0u64..300) {
+        let config = small_config(seed, 80, 25, 2, 0.0);
+        let collection = generator::generate(&config);
+        let pipeline =
+            CurationPipeline::stage1(collection.gazetteer.clone(), fnjv_schema::schema());
+        let schema = fnjv_schema::schema();
+        let mut log = CurationLog::new();
+        let mut queue = ReviewQueue::new();
+        let (once, _) = pipeline.run(&collection.records, &mut log, &mut queue);
+        for (before, after) in collection.records.iter().zip(&once) {
+            let cb = preserva::metadata::completeness::record_completeness(&schema, before, false);
+            let ca = preserva::metadata::completeness::record_completeness(&schema, after, false);
+            prop_assert!(ca >= cb - 1e-12, "completeness dropped: {cb} -> {ca}");
+        }
+        let (twice, summary2) = pipeline.run(&once, &mut log, &mut queue);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(summary2.field_changes, 0);
+    }
+
+    /// Curation never changes the *identity* of a record's species (only
+    /// its spelling/canonical form): the parsed binomial is preserved.
+    #[test]
+    fn curation_preserves_species_identity(seed in 0u64..300) {
+        use preserva::taxonomy::name::ScientificName;
+        let config = small_config(seed, 60, 20, 2, 0.0);
+        let collection = generator::generate(&config);
+        let pipeline =
+            CurationPipeline::stage1(collection.gazetteer.clone(), fnjv_schema::schema());
+        let mut log = CurationLog::new();
+        let mut queue = ReviewQueue::new();
+        let (curated, _) = pipeline.run(&collection.records, &mut log, &mut queue);
+        for (before, after) in collection.records.iter().zip(&curated) {
+            let b = before.get_text("species").and_then(ScientificName::parse);
+            let a = after.get_text("species").and_then(ScientificName::parse);
+            if let (Some(b), Some(a)) = (b, a) {
+                prop_assert_eq!(b.bare(), a.bare());
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's re-curation story as provenance: "even though the 'first'
+//! stage was initially finished in 2011, it was reinitiated in 2013,
+//! given preservation requirements". Two curation campaigns over the same
+//! collection become two OPM accounts in one merged graph; lineage spans
+//! campaigns, and each account view stays legal on its own.
+
+use preserva::opm::edge::Edge;
+use preserva::opm::graph::OpmGraph;
+use preserva::opm::inference;
+use preserva::opm::model::{Account, Agent, Artifact, Process};
+use preserva::opm::rdf;
+use preserva::opm::validate::validate;
+
+fn campaign(
+    g: &mut OpmGraph,
+    account: &Account,
+    year: i32,
+    input_artifact: &str,
+    output_artifact: &str,
+) {
+    let process = format!("p:curation-{year}");
+    let agent = format!("ag:curators-{year}");
+    g.add_process(Process::new(&process, format!("stage-1 curation, {year}")));
+    g.add_agent(Agent::new(&agent, format!("curation team {year}")));
+    g.add_artifact(Artifact::new(
+        output_artifact,
+        format!("FNJV metadata as of {year}"),
+    ));
+    g.add_edge(
+        Edge::used(
+            process.as_str().into(),
+            input_artifact.into(),
+            Some("metadata"),
+        )
+        .in_account(account.clone()),
+    )
+    .unwrap();
+    g.add_edge(
+        Edge::was_generated_by(
+            output_artifact.into(),
+            process.as_str().into(),
+            Some("curated"),
+        )
+        .in_account(account.clone()),
+    )
+    .unwrap();
+    g.add_edge(
+        Edge::was_controlled_by(
+            process.as_str().into(),
+            agent.as_str().into(),
+            Some("experts"),
+        )
+        .in_account(account.clone()),
+    )
+    .unwrap();
+}
+
+fn build() -> OpmGraph {
+    let mut g = OpmGraph::new();
+    g.add_artifact(Artifact::new("a:fnjv-raw", "FNJV legacy metadata"));
+    let acc2011 = Account::new("campaign-2011");
+    let acc2013 = Account::new("campaign-2013");
+    campaign(&mut g, &acc2011, 2011, "a:fnjv-raw", "a:fnjv-2011");
+    campaign(&mut g, &acc2013, 2013, "a:fnjv-2011", "a:fnjv-2013");
+    g
+}
+
+#[test]
+fn lineage_spans_both_campaigns() {
+    let g = build();
+    let lineage = g.lineage(&"a:fnjv-2013".into());
+    assert!(lineage.contains(&"a:fnjv-2011".into()));
+    assert!(lineage.contains(&"a:fnjv-raw".into()));
+    assert!(lineage.contains(&"p:curation-2011".into()));
+    assert!(lineage.contains(&"ag:curators-2013".into()));
+}
+
+#[test]
+fn account_views_isolate_campaigns() {
+    let g = build();
+    let v2011 = g.account_view(&Account::new("campaign-2011"));
+    assert_eq!(v2011.edges.len(), 3);
+    assert!(v2011.artifacts.contains_key(&"a:fnjv-raw".into()));
+    assert!(!v2011.artifacts.contains_key(&"a:fnjv-2013".into()));
+    let v2013 = g.account_view(&Account::new("campaign-2013"));
+    assert!(v2013.artifacts.contains_key(&"a:fnjv-2011".into()));
+    assert!(!v2013.processes.contains_key(&"p:curation-2011".into()));
+}
+
+#[test]
+fn merged_graph_is_legal_and_saturates() {
+    let mut g = build();
+    let report = validate(&g);
+    assert!(report.is_legal(), "{:?}", report.errors);
+    let added = inference::saturate(&mut g);
+    assert!(added >= 2, "derivations across both campaigns");
+    // a:fnjv-2013 transitively derives from the raw collection.
+    let closure = inference::derivation_closure(&g);
+    assert!(closure[&"a:fnjv-2013".into()].contains(&"a:fnjv-raw".into()));
+}
+
+#[test]
+fn merge_of_separately_captured_graphs_equals_joint_graph() {
+    // Capture each campaign as its own graph (as two separate runs
+    // would), then merge — the union must contain the joint edges.
+    let mut g1 = OpmGraph::new();
+    g1.add_artifact(Artifact::new("a:fnjv-raw", "raw"));
+    campaign(
+        &mut g1,
+        &Account::new("campaign-2011"),
+        2011,
+        "a:fnjv-raw",
+        "a:fnjv-2011",
+    );
+    let mut g2 = OpmGraph::new();
+    g2.add_artifact(Artifact::new("a:fnjv-2011", "2011"));
+    campaign(
+        &mut g2,
+        &Account::new("campaign-2013"),
+        2013,
+        "a:fnjv-2011",
+        "a:fnjv-2013",
+    );
+
+    let mut merged = g1.clone();
+    merged.merge(&g2);
+    let joint = build();
+    assert_eq!(merged.edges.len(), joint.edges.len());
+    let lineage = merged.lineage(&"a:fnjv-2013".into());
+    assert!(lineage.contains(&"a:fnjv-raw".into()));
+}
+
+#[test]
+fn rdf_export_covers_both_campaigns() {
+    let g = build();
+    let nt = rdf::to_ntriples(&g);
+    assert!(nt.contains("curation-2011"));
+    assert!(nt.contains("curation-2013"));
+    assert_eq!(nt.lines().count(), rdf::triple_count(&g));
+}
