@@ -1,6 +1,8 @@
 //! Workflow-engine microbenchmarks: run latency of the diamond graph and
 //! trace→OPM export.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use serde_json::json;
 
@@ -8,6 +10,7 @@ use preserva_wfms::engine::{Engine, EngineConfig};
 use preserva_wfms::model::{Processor, Workflow};
 use preserva_wfms::opm_export;
 use preserva_wfms::services::{port, PortMap, ServiceError, ServiceRegistry};
+use preserva_wfms::{BufferingSink, NullSink};
 
 fn registry() -> ServiceRegistry {
     let mut r = ServiceRegistry::new();
@@ -50,18 +53,44 @@ fn bench_run(c: &mut Criterion) {
             parallel: false,
             max_attempts: 1,
         },
-    );
+    )
+    .with_sink(Arc::new(NullSink));
     let par = Engine::new(
         registry(),
         EngineConfig {
             parallel: true,
             max_attempts: 1,
         },
-    );
+    )
+    .with_sink(Arc::new(NullSink));
     let input = port("x", json!(21));
     let mut g = c.benchmark_group("wfms/run_diamond");
     g.bench_function("sequential", |b| b.iter(|| seq.run(&w, &input).unwrap()));
     g.bench_function("parallel", |b| b.iter(|| par.run(&w, &input).unwrap()));
+    g.finish();
+}
+
+/// Cost of provenance recording at the sink seam: the same diamond run
+/// with the no-op sink versus one that clones every trace into memory.
+fn bench_sink_overhead(c: &mut Criterion) {
+    let w = diamond();
+    let cfg = EngineConfig {
+        parallel: false,
+        max_attempts: 1,
+    };
+    let null = Engine::new(registry(), cfg.clone()).with_sink(Arc::new(NullSink));
+    let buffering_sink = Arc::new(BufferingSink::new());
+    let buffered = Engine::new(registry(), cfg).with_sink(buffering_sink.clone());
+    let input = port("x", json!(21));
+    let mut g = c.benchmark_group("wfms/sink_overhead");
+    g.bench_function("null_sink", |b| b.iter(|| null.run(&w, &input).unwrap()));
+    g.bench_function("buffering_sink", |b| {
+        b.iter(|| {
+            let t = buffered.run(&w, &input).unwrap();
+            buffering_sink.drain(); // keep memory flat across iterations
+            t
+        })
+    });
     g.finish();
 }
 
@@ -74,5 +103,5 @@ fn bench_export(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_run, bench_export);
+criterion_group!(benches, bench_run, bench_sink_overhead, bench_export);
 criterion_main!(benches);

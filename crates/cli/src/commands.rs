@@ -109,7 +109,12 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
     };
     let collection = generator::generate(&config);
     let store = open_store(dir)?;
-    store.put(
+    let catalog = open_catalog(store.clone())?;
+    // Metadata, every record and all index maintenance land in one
+    // write session — a single WAL commit and fsync for the whole ingest.
+    let commits_before = store.engine().stats().commits;
+    let mut session = store.session();
+    session.put(
         META_TABLE,
         b"ingest",
         serde_json::json!({
@@ -119,8 +124,11 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
         .to_string()
         .as_bytes(),
     )?;
-    let catalog = open_catalog(store)?;
-    catalog.insert_all(&collection.records)?;
+    for record in &collection.records {
+        catalog.stage(&mut session, record)?;
+    }
+    session.commit()?;
+    let commits = store.engine().stats().commits - commits_before;
     println!(
         "ingested {} records ({} distinct species, {} planted outdated, seed {}) into {}",
         records,
@@ -129,14 +137,35 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
         seed,
         dir.display()
     );
+    println!(
+        "storage commits: {} ({:.4} per record)",
+        commits,
+        commits as f64 / (records.max(1)) as f64
+    );
     Ok(())
 }
 
 fn stats(dir: &Path) -> CliResult {
     let store = open_store(dir)?;
-    let catalog = open_catalog(store)?;
+    let catalog = open_catalog(store.clone())?;
     let records = load_records(&catalog)?;
     print!("{}", CollectionStats::compute(&records).render());
+    let s = store.engine().stats();
+    println!("storage engine:");
+    println!(
+        "  puts {} / deletes {} / commits {}",
+        s.puts, s.deletes, s.commits
+    );
+    println!(
+        "  gets {} / scans {} / checkpoints {}",
+        s.gets, s.scans, s.checkpoints
+    );
+    println!(
+        "  recovery: {} records replayed, {} from snapshot, torn tail discarded: {}",
+        s.recovered_records,
+        s.recovered_from_snapshot,
+        if s.torn_tail_discarded { "yes" } else { "no" }
+    );
     Ok(())
 }
 

@@ -21,6 +21,7 @@ use preserva_wfms::trace::ExecutionTrace;
 use crate::adapter::WorkflowAdapter;
 use crate::provenance_manager::{ProvenanceError, ProvenanceManager};
 use crate::quality_manager::{DataQualityManager, QualityManagerError};
+use crate::repository::{CodecError, RepositoryError};
 use crate::retrieval::{CatalogError, RecordCatalog};
 use crate::roles::EndUser;
 
@@ -29,6 +30,10 @@ use crate::roles::EndUser;
 pub const RECORDS_TABLE: &str = "records";
 /// Table storing published workflow specs (XML), keyed by `id@version`.
 pub const WORKFLOWS_TABLE: &str = "workflows";
+/// Table storing the latest published version per workflow id — written
+/// in the same commit as the spec itself, so a reader never sees a
+/// pointer without its spec (or the reverse).
+pub const WORKFLOW_VERSIONS_TABLE: &str = "workflow_versions";
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -46,7 +51,7 @@ pub enum ArchitectureError {
     /// No published workflow with that id.
     UnknownWorkflow(String),
     /// A stored value failed to (de)serialize.
-    Decode(String),
+    Codec(CodecError),
 }
 
 impl std::fmt::Display for ArchitectureError {
@@ -58,16 +63,49 @@ impl std::fmt::Display for ArchitectureError {
             ArchitectureError::Quality(e) => write!(f, "{e}"),
             ArchitectureError::Catalog(e) => write!(f, "{e}"),
             ArchitectureError::UnknownWorkflow(id) => write!(f, "unknown workflow {id:?}"),
-            ArchitectureError::Decode(m) => write!(f, "decode: {m}"),
+            ArchitectureError::Codec(e) => write!(f, "architecture codec: {e}"),
         }
     }
 }
 
-impl std::error::Error for ArchitectureError {}
+impl std::error::Error for ArchitectureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchitectureError::Storage(e) => Some(e),
+            ArchitectureError::Run(e) => Some(e),
+            ArchitectureError::Provenance(e) => Some(e),
+            ArchitectureError::Quality(e) => Some(e),
+            ArchitectureError::Catalog(e) => Some(e),
+            ArchitectureError::Codec(e) => Some(e),
+            ArchitectureError::UnknownWorkflow(_) => None,
+        }
+    }
+}
 
 impl From<preserva_storage::StorageError> for ArchitectureError {
     fn from(e: preserva_storage::StorageError) -> Self {
         ArchitectureError::Storage(e)
+    }
+}
+
+impl From<RunError> for ArchitectureError {
+    fn from(e: RunError) -> Self {
+        ArchitectureError::Run(e)
+    }
+}
+
+impl From<CodecError> for ArchitectureError {
+    fn from(e: CodecError) -> Self {
+        ArchitectureError::Codec(e)
+    }
+}
+
+impl From<RepositoryError> for ArchitectureError {
+    fn from(e: RepositoryError) -> Self {
+        match e {
+            RepositoryError::Storage(e) => ArchitectureError::Storage(e),
+            RepositoryError::Codec(e) => ArchitectureError::Codec(e),
+        }
     }
 }
 
@@ -119,10 +157,13 @@ impl Architecture {
         let provenance = Arc::new(ProvenanceManager::new(store.clone()));
         let quality = DataQualityManager::new(store.clone(), provenance.clone());
         let catalog = RecordCatalog::open_on(store.clone(), RECORDS_TABLE)?;
+        // The WFMS engine reports every top-level run to the provenance
+        // manager through the sink seam — capture is not a facade concern.
+        let wf_engine = WfEngine::new(registry, engine_config).with_sink(provenance.clone());
         Ok(Architecture {
             store,
             workflow_repository: WorkflowRepository::new(),
-            wf_engine: WfEngine::new(registry, engine_config),
+            wf_engine,
             adapter: WorkflowAdapter::new(),
             provenance,
             quality,
@@ -161,22 +202,41 @@ impl Architecture {
     }
 
     /// Publish a workflow: versioned in the repository and persisted (as
-    /// the Listing-1 XML format) through the storage engine.
+    /// the Listing-1 XML format) through the storage engine. The spec row
+    /// and the latest-version pointer commit as one storage batch.
     pub fn publish_workflow(&self, workflow: Workflow) -> Result<u32, ArchitectureError> {
         let xml = spec::to_xml(&workflow);
         let id = workflow.id.clone();
         let version = self.workflow_repository.publish(workflow);
-        self.store.put(
+        let mut session = self.store.session();
+        session.put(
             WORKFLOWS_TABLE,
             format!("{id}@{version}").as_bytes(),
             xml.as_bytes(),
         )?;
+        session.put(
+            WORKFLOW_VERSIONS_TABLE,
+            id.as_bytes(),
+            version.to_string().as_bytes(),
+        )?;
+        session.commit()?;
         Ok(version)
     }
 
-    /// Run the latest version of a published workflow and capture its
-    /// provenance. Failed runs are captured too (their traces matter for
-    /// reliability assessment) before the error is returned.
+    /// The latest persisted version of a published workflow, read from the
+    /// version-pointer table.
+    pub fn published_version(&self, workflow_id: &str) -> Result<Option<u32>, ArchitectureError> {
+        Ok(self
+            .store
+            .get(WORKFLOW_VERSIONS_TABLE, workflow_id.as_bytes())?
+            .and_then(|v| String::from_utf8(v).ok())
+            .and_then(|s| s.parse().ok()))
+    }
+
+    /// Run the latest version of a published workflow. Provenance capture
+    /// happens inside the engine via its sink (the provenance manager), so
+    /// failed runs are captured too — their traces matter for reliability
+    /// assessment.
     pub fn run_workflow(
         &self,
         workflow_id: &str,
@@ -186,17 +246,9 @@ impl Architecture {
             .workflow_repository
             .latest(workflow_id)
             .ok_or_else(|| ArchitectureError::UnknownWorkflow(workflow_id.to_string()))?;
-        match self.wf_engine.run(&workflow, inputs) {
-            Ok(trace) => {
-                self.provenance.capture(&workflow, &trace)?;
-                Ok(trace)
-            }
-            Err((err, trace)) => {
-                // Best effort: failed traces are still provenance.
-                let _ = self.provenance.capture(&workflow, &trace);
-                Err(ArchitectureError::Run(err))
-            }
-        }
+        self.wf_engine
+            .run(&workflow, inputs)
+            .map_err(|(err, _trace)| ArchitectureError::Run(err))
     }
 
     /// Assess a finished run for an end user (registering `model` first
@@ -257,7 +309,8 @@ impl Architecture {
     }
 
     /// Persist observation records into the data repository (indexed by
-    /// species/genus/state/year for retrieval).
+    /// species/genus/state/year for retrieval). All records — and their
+    /// index entries — land in ONE storage commit.
     pub fn save_records(&self, records: &[Record]) -> Result<(), ArchitectureError> {
         self.catalog.insert_all(records)?;
         Ok(())
@@ -265,13 +318,7 @@ impl Architecture {
 
     /// Load every observation record.
     pub fn load_records(&self) -> Result<Vec<Record>, ArchitectureError> {
-        self.store
-            .scan(RECORDS_TABLE)?
-            .into_iter()
-            .map(|(_, v)| {
-                serde_json::from_slice(&v).map_err(|e| ArchitectureError::Decode(e.to_string()))
-            })
-            .collect()
+        Ok(self.catalog.all()?)
     }
 }
 
@@ -374,7 +421,53 @@ mod tests {
         assert_eq!(a.publish_workflow(echo_workflow()).unwrap(), 1);
         assert_eq!(a.publish_workflow(echo_workflow()).unwrap(), 2);
         assert_eq!(a.workflow_repository().version_count("wf-echo"), 2);
-        // Persisted XML copies exist for both versions.
+        // Persisted XML copies exist for both versions, and the version
+        // pointer tracks the latest.
         assert_eq!(a.store().count(WORKFLOWS_TABLE).unwrap(), 2);
+        assert_eq!(a.published_version("wf-echo").unwrap(), Some(2));
+        assert_eq!(a.published_version("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn publish_commits_spec_and_version_pointer_together() {
+        let a = arch("atomic-publish");
+        let before = a.store().engine().stats().commits;
+        a.publish_workflow(echo_workflow()).unwrap();
+        assert_eq!(
+            a.store().engine().stats().commits,
+            before + 1,
+            "spec row + version pointer must be one commit"
+        );
+    }
+
+    #[test]
+    fn ingest_is_one_commit_regardless_of_record_count() {
+        let a = arch("ingest-commits");
+        let records: Vec<Record> = (0..50)
+            .map(|i| {
+                Record::new(format!("FNJV-{i:03}"))
+                    .with("species", Value::Text("Hyla faber".into()))
+            })
+            .collect();
+        let before = a.store().engine().stats().commits;
+        a.save_records(&records).unwrap();
+        assert_eq!(a.store().engine().stats().commits, before + 1);
+        assert_eq!(a.catalog().len().unwrap(), 50);
+    }
+
+    #[test]
+    fn run_capture_is_one_commit_via_the_sink() {
+        let a = arch("run-commits");
+        a.publish_workflow(echo_workflow()).unwrap();
+        let before = a.store().engine().stats().commits;
+        let trace = a.run_workflow("wf-echo", &port("x", json!("v"))).unwrap();
+        assert_eq!(
+            a.store().engine().stats().commits,
+            before + 1,
+            "one run's provenance (graph + trace) must be one commit"
+        );
+        // Capture went through the engine's sink, not a facade call.
+        assert!(a.provenance().load_graph(&trace.run_id).is_ok());
+        assert!(a.provenance().load_trace(&trace.run_id).is_ok());
     }
 }

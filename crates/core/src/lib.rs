@@ -34,9 +34,11 @@ pub mod architecture;
 pub mod preservation;
 pub mod provenance_manager;
 pub mod quality_manager;
+pub mod repository;
 pub mod retrieval;
 pub mod roles;
 
 pub use architecture::Architecture;
 pub use preservation::PreservationModel;
+pub use repository::{CodecError, Repository, RepositoryError};
 pub use roles::{EndUser, ProcessDesigner};

@@ -13,7 +13,10 @@ use preserva_storage::table::TableStore;
 use preserva_storage::StorageError;
 use preserva_wfms::model::Workflow;
 use preserva_wfms::opm_export;
+use preserva_wfms::sink::{ProvenanceSink, SinkError};
 use preserva_wfms::trace::ExecutionTrace;
+
+use crate::repository::{CodecError, Repository, RepositoryError};
 
 /// Table holding OPM graphs, keyed by run id.
 pub const PROVENANCE_TABLE: &str = "provenance_graphs";
@@ -30,7 +33,7 @@ pub enum ProvenanceError {
     /// The requested run is not in the repository.
     UnknownRun(String),
     /// A stored graph or trace failed to (de)serialize.
-    Decode(String),
+    Codec(CodecError),
 }
 
 impl std::fmt::Display for ProvenanceError {
@@ -39,12 +42,20 @@ impl std::fmt::Display for ProvenanceError {
             ProvenanceError::Storage(e) => write!(f, "provenance storage: {e}"),
             ProvenanceError::IllegalGraph(m) => write!(f, "illegal OPM graph: {m}"),
             ProvenanceError::UnknownRun(r) => write!(f, "unknown run {r:?}"),
-            ProvenanceError::Decode(m) => write!(f, "provenance decode: {m}"),
+            ProvenanceError::Codec(e) => write!(f, "provenance codec: {e}"),
         }
     }
 }
 
-impl std::error::Error for ProvenanceError {}
+impl std::error::Error for ProvenanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProvenanceError::Storage(e) => Some(e),
+            ProvenanceError::Codec(e) => Some(e),
+            ProvenanceError::IllegalGraph(_) | ProvenanceError::UnknownRun(_) => None,
+        }
+    }
+}
 
 impl From<StorageError> for ProvenanceError {
     fn from(e: StorageError) -> Self {
@@ -52,9 +63,27 @@ impl From<StorageError> for ProvenanceError {
     }
 }
 
-/// The manager, over a shared table store.
+impl From<CodecError> for ProvenanceError {
+    fn from(e: CodecError) -> Self {
+        ProvenanceError::Codec(e)
+    }
+}
+
+impl From<RepositoryError> for ProvenanceError {
+    fn from(e: RepositoryError) -> Self {
+        match e {
+            RepositoryError::Storage(e) => ProvenanceError::Storage(e),
+            RepositoryError::Codec(e) => ProvenanceError::Codec(e),
+        }
+    }
+}
+
+/// The manager, over a shared table store. OPM graphs are stored in the
+/// custom OPM-JSON interchange format (raw bytes); traces go through a
+/// typed [`Repository`].
 pub struct ProvenanceManager {
     store: Arc<TableStore>,
+    traces: Repository<ExecutionTrace>,
 }
 
 impl std::fmt::Debug for ProvenanceManager {
@@ -66,12 +95,16 @@ impl std::fmt::Debug for ProvenanceManager {
 impl ProvenanceManager {
     /// Create over a store.
     pub fn new(store: Arc<TableStore>) -> Self {
-        ProvenanceManager { store }
+        let traces = Repository::new(store.clone(), TRACES_TABLE, |t: &ExecutionTrace| {
+            t.run_id.clone()
+        });
+        ProvenanceManager { store, traces }
     }
 
     /// Capture a run: merge the annotated workflow with the execution
-    /// trace into an OPM graph, validate it, persist graph + trace.
-    /// Returns the graph.
+    /// trace into an OPM graph, validate it, persist graph + trace in ONE
+    /// storage commit — recovery never sees a graph without its trace, or
+    /// the reverse. Returns the graph.
     pub fn capture(
         &self,
         workflow: &Workflow,
@@ -89,15 +122,14 @@ impl ProvenanceManager {
                     .join("; "),
             ));
         }
-        self.store.put(
+        let mut session = self.store.session();
+        session.put(
             PROVENANCE_TABLE,
             trace.run_id.as_bytes(),
             opm_ser::to_json(&graph).as_bytes(),
         )?;
-        let trace_json =
-            serde_json::to_vec(trace).map_err(|e| ProvenanceError::Decode(e.to_string()))?;
-        self.store
-            .put(TRACES_TABLE, trace.run_id.as_bytes(), &trace_json)?;
+        self.traces.stage(&mut session, trace)?;
+        session.commit()?;
         Ok(graph)
     }
 
@@ -107,17 +139,16 @@ impl ProvenanceManager {
             .store
             .get(PROVENANCE_TABLE, run_id.as_bytes())?
             .ok_or_else(|| ProvenanceError::UnknownRun(run_id.to_string()))?;
-        let s = String::from_utf8(bytes).map_err(|e| ProvenanceError::Decode(e.to_string()))?;
-        opm_ser::from_json(&s).map_err(|e| ProvenanceError::Decode(e.to_string()))
+        let s =
+            String::from_utf8(bytes).map_err(|e| CodecError::new(PROVENANCE_TABLE, run_id, e))?;
+        opm_ser::from_json(&s).map_err(|e| CodecError::new(PROVENANCE_TABLE, run_id, e).into())
     }
 
     /// Load a stored trace.
     pub fn load_trace(&self, run_id: &str) -> Result<ExecutionTrace, ProvenanceError> {
-        let bytes = self
-            .store
-            .get(TRACES_TABLE, run_id.as_bytes())?
-            .ok_or_else(|| ProvenanceError::UnknownRun(run_id.to_string()))?;
-        serde_json::from_slice(&bytes).map_err(|e| ProvenanceError::Decode(e.to_string()))
+        self.traces
+            .get(run_id)?
+            .ok_or_else(|| ProvenanceError::UnknownRun(run_id.to_string()))
     }
 
     /// Run ids present in the repository, in order.
@@ -128,6 +159,16 @@ impl ProvenanceManager {
             .into_iter()
             .filter_map(|(k, _)| String::from_utf8(k).ok())
             .collect())
+    }
+}
+
+/// The manager is the architecture's provenance sink: every top-level
+/// run the WFMS engine finishes is captured into the repository.
+impl ProvenanceSink for ProvenanceManager {
+    fn record(&self, workflow: &Workflow, trace: &ExecutionTrace) -> Result<(), SinkError> {
+        self.capture(workflow, trace)
+            .map(|_| ())
+            .map_err(SinkError::new)
     }
 }
 
@@ -174,6 +215,47 @@ mod tests {
         let trace = pm.load_trace(&t.run_id).unwrap();
         assert_eq!(trace.run_id, t.run_id);
         assert_eq!(pm.run_ids().unwrap(), vec![t.run_id.clone()]);
+    }
+
+    #[test]
+    fn capture_is_one_commit_with_no_orphans() {
+        let s = store("atomic");
+        let before = s.engine().stats().commits;
+        let pm = ProvenanceManager::new(s.clone());
+        let (w, t) = run_one();
+        pm.capture(&w, &t).unwrap();
+        assert_eq!(
+            s.engine().stats().commits,
+            before + 1,
+            "graph + trace must land in a single storage commit"
+        );
+        // Both tables hold exactly the same run ids — no graph without its
+        // trace, no trace without its graph.
+        let graphs: Vec<Vec<u8>> = s
+            .scan(PROVENANCE_TABLE)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let traces: Vec<Vec<u8>> = s
+            .scan(TRACES_TABLE)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(graphs, traces);
+        assert_eq!(graphs, vec![t.run_id.into_bytes()]);
+    }
+
+    #[test]
+    fn manager_acts_as_the_engine_sink() {
+        use preserva_wfms::sink::ProvenanceSink;
+        let s = store("sink");
+        let pm = Arc::new(ProvenanceManager::new(s));
+        let (w, t) = run_one();
+        pm.record(&w, &t).unwrap();
+        assert_eq!(pm.run_ids().unwrap(), vec![t.run_id.clone()]);
+        assert!(pm.load_trace(&t.run_id).is_ok());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use preserva_wfms::annotation;
 use preserva_wfms::model::Workflow;
 
 use crate::provenance_manager::{ProvenanceError, ProvenanceManager};
+use crate::repository::{CodecError, Repository, RepositoryError};
 use crate::roles::EndUser;
 
 /// Table holding published quality reports, keyed by `run_id/subject`.
@@ -34,7 +35,7 @@ pub enum QualityManagerError {
     /// Underlying storage failure.
     Storage(preserva_storage::StorageError),
     /// A stored report failed to (de)serialize.
-    Decode(String),
+    Codec(CodecError),
 }
 
 impl std::fmt::Display for QualityManagerError {
@@ -42,12 +43,20 @@ impl std::fmt::Display for QualityManagerError {
         match self {
             QualityManagerError::Provenance(e) => write!(f, "quality manager: {e}"),
             QualityManagerError::Storage(e) => write!(f, "quality manager storage: {e}"),
-            QualityManagerError::Decode(m) => write!(f, "quality manager decode: {m}"),
+            QualityManagerError::Codec(e) => write!(f, "quality manager codec: {e}"),
         }
     }
 }
 
-impl std::error::Error for QualityManagerError {}
+impl std::error::Error for QualityManagerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QualityManagerError::Provenance(e) => Some(e),
+            QualityManagerError::Storage(e) => Some(e),
+            QualityManagerError::Codec(e) => Some(e),
+        }
+    }
+}
 
 impl From<ProvenanceError> for QualityManagerError {
     fn from(e: ProvenanceError) -> Self {
@@ -61,9 +70,26 @@ impl From<preserva_storage::StorageError> for QualityManagerError {
     }
 }
 
+impl From<RepositoryError> for QualityManagerError {
+    fn from(e: RepositoryError) -> Self {
+        match e {
+            RepositoryError::Storage(e) => QualityManagerError::Storage(e),
+            RepositoryError::Codec(e) => QualityManagerError::Codec(e),
+        }
+    }
+}
+
+fn report_key(report: &QualityReport) -> String {
+    format!(
+        "{}/{}",
+        report.run_id.as_deref().unwrap_or("-"),
+        report.subject
+    )
+}
+
 /// The manager: per-end-user quality models over the shared repositories.
 pub struct DataQualityManager {
-    store: Arc<TableStore>,
+    reports: Repository<QualityReport>,
     provenance: Arc<ProvenanceManager>,
     /// Registered models, keyed by end-user name ("quality can be assessed
     /// differently by distinct sets of users").
@@ -85,7 +111,7 @@ impl DataQualityManager {
     /// Create over the shared repositories.
     pub fn new(store: Arc<TableStore>, provenance: Arc<ProvenanceManager>) -> Self {
         DataQualityManager {
-            store,
+            reports: Repository::new(store, REPORTS_TABLE, report_key),
             provenance,
             models: BTreeMap::new(),
             sources: SourceRegistry::new(),
@@ -172,28 +198,14 @@ impl DataQualityManager {
         Ok(report)
     }
 
-    /// Persist a report.
+    /// Persist a report (keyed by `run_id/subject`).
     pub fn publish(&self, report: &QualityReport) -> Result<(), QualityManagerError> {
-        let key = format!(
-            "{}/{}",
-            report.run_id.as_deref().unwrap_or("-"),
-            report.subject
-        );
-        let bytes =
-            serde_json::to_vec(report).map_err(|e| QualityManagerError::Decode(e.to_string()))?;
-        self.store.put(REPORTS_TABLE, key.as_bytes(), &bytes)?;
-        Ok(())
+        Ok(self.reports.save(report)?)
     }
 
     /// Load every published report.
     pub fn reports(&self) -> Result<Vec<QualityReport>, QualityManagerError> {
-        self.store
-            .scan(REPORTS_TABLE)?
-            .into_iter()
-            .map(|(_, v)| {
-                serde_json::from_slice(&v).map_err(|e| QualityManagerError::Decode(e.to_string()))
-            })
-            .collect()
+        Ok(self.reports.load_all()?)
     }
 }
 

@@ -9,9 +9,11 @@ use std::sync::Arc;
 use preserva_metadata::query::{Filter, Query};
 use preserva_metadata::record::Record;
 use preserva_metadata::value::Value;
-use preserva_storage::table::{IndexDef, TableStore};
+use preserva_storage::table::{IndexDef, TableStore, WriteSession};
 use preserva_storage::StorageError;
 use preserva_taxonomy::name::ScientificName;
+
+use crate::repository::{decode_row, CodecError, Repository, RepositoryError};
 
 /// Table holding catalog records (shares the architecture's data
 /// repository naming).
@@ -23,19 +25,26 @@ pub enum CatalogError {
     /// Underlying storage failure.
     Storage(StorageError),
     /// A stored record failed to (de)serialize.
-    Decode(String),
+    Codec(CodecError),
 }
 
 impl std::fmt::Display for CatalogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CatalogError::Storage(e) => write!(f, "catalog storage: {e}"),
-            CatalogError::Decode(m) => write!(f, "catalog decode: {m}"),
+            CatalogError::Codec(e) => write!(f, "catalog codec: {e}"),
         }
     }
 }
 
-impl std::error::Error for CatalogError {}
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Storage(e) => Some(e),
+            CatalogError::Codec(e) => Some(e),
+        }
+    }
+}
 
 impl From<StorageError> for CatalogError {
     fn from(e: StorageError) -> Self {
@@ -43,8 +52,17 @@ impl From<StorageError> for CatalogError {
     }
 }
 
+impl From<RepositoryError> for CatalogError {
+    fn from(e: RepositoryError) -> Self {
+        match e {
+            RepositoryError::Storage(e) => CatalogError::Storage(e),
+            RepositoryError::Codec(e) => CatalogError::Codec(e),
+        }
+    }
+}
+
 fn decode(row: &[u8]) -> Option<Record> {
-    serde_json::from_slice(row).ok()
+    decode_row(row)
 }
 
 fn text_field_extractor(field: &'static str) -> impl Fn(&[u8]) -> Option<Vec<u8>> {
@@ -75,16 +93,17 @@ fn year_extractor(row: &[u8]) -> Option<Vec<u8>> {
     }
 }
 
-/// The record catalog: an indexed view over the data repository.
+/// The record catalog: an indexed view over the data repository. Row
+/// encoding is delegated to a [`Repository<Record>`]; the catalog adds
+/// index registration and query planning on top.
 pub struct RecordCatalog {
-    store: Arc<TableStore>,
-    table: String,
+    repo: Repository<Record>,
 }
 
 impl std::fmt::Debug for RecordCatalog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RecordCatalog")
-            .field("table", &self.table)
+            .field("table", &self.repo.table())
             .finish()
     }
 }
@@ -105,49 +124,63 @@ impl RecordCatalog {
         store.create_index(table, IndexDef::new("state", text_field_extractor("state")))?;
         store.create_index(table, IndexDef::new("year", year_extractor))?;
         Ok(RecordCatalog {
-            store,
-            table: table.to_string(),
+            repo: Repository::new(store, table, |r: &Record| r.id.clone()),
         })
+    }
+
+    fn store(&self) -> &Arc<TableStore> {
+        self.repo.store()
+    }
+
+    fn table(&self) -> &str {
+        self.repo.table()
     }
 
     /// Insert or update a record (indexes maintained atomically).
     pub fn insert(&self, record: &Record) -> Result<(), CatalogError> {
-        let bytes = serde_json::to_vec(record).map_err(|e| CatalogError::Decode(e.to_string()))?;
-        self.store.put(&self.table, record.id.as_bytes(), &bytes)?;
-        Ok(())
+        Ok(self.repo.save(record)?)
     }
 
-    /// Bulk insert.
+    /// Bulk insert: all records land in ONE storage commit, index
+    /// maintenance included.
     pub fn insert_all(&self, records: &[Record]) -> Result<(), CatalogError> {
-        for r in records {
-            self.insert(r)?;
-        }
-        Ok(())
+        Ok(self.repo.save_all(records)?)
+    }
+
+    /// Stage a record into a caller-owned session so it commits
+    /// atomically with writes to other repositories.
+    pub fn stage(
+        &self,
+        session: &mut WriteSession<'_>,
+        record: &Record,
+    ) -> Result<(), CatalogError> {
+        Ok(self.repo.stage(session, record)?)
     }
 
     /// Load one record by id.
     pub fn get(&self, id: &str) -> Result<Option<Record>, CatalogError> {
-        Ok(self
-            .store
-            .get(&self.table, id.as_bytes())?
-            .as_deref()
-            .and_then(decode))
+        Ok(self.repo.get(id)?)
+    }
+
+    /// Every record, in id order.
+    pub fn all(&self) -> Result<Vec<Record>, CatalogError> {
+        Ok(self.repo.load_all()?)
     }
 
     /// Number of records.
     pub fn len(&self) -> Result<usize, CatalogError> {
-        Ok(self.store.count(&self.table)?)
+        Ok(self.repo.len()?)
     }
 
     /// True when the catalog is empty.
     pub fn is_empty(&self) -> Result<bool, CatalogError> {
-        Ok(self.len()? == 0)
+        Ok(self.repo.is_empty()?)
     }
 
     fn load_by_pks(&self, pks: Vec<Vec<u8>>) -> Result<Vec<Record>, CatalogError> {
         let mut out = Vec::with_capacity(pks.len());
         for pk in pks {
-            if let Some(row) = self.store.get(&self.table, &pk)? {
+            if let Some(row) = self.store().get(self.table(), &pk)? {
                 if let Some(r) = decode(&row) {
                     out.push(r);
                 }
@@ -162,8 +195,8 @@ impl RecordCatalog {
         let Some(canonical) = ScientificName::parse(name) else {
             return Ok(Vec::new());
         };
-        let pks = self.store.lookup(
-            &self.table,
+        let pks = self.store().lookup(
+            self.table(),
             "species",
             canonical.canonical().to_lowercase().as_bytes(),
         )?;
@@ -173,8 +206,8 @@ impl RecordCatalog {
     /// Records collected in `year` (typed dates only).
     pub fn by_year(&self, year: i32) -> Result<Vec<Record>, CatalogError> {
         let pks = self
-            .store
-            .lookup(&self.table, "year", format!("{year:04}").as_bytes())?;
+            .store()
+            .lookup(self.table(), "year", format!("{year:04}").as_bytes())?;
         self.load_by_pks(pks)
     }
 
@@ -200,12 +233,12 @@ impl RecordCatalog {
     pub fn query(&self, query: &Query) -> Result<Vec<Record>, CatalogError> {
         let candidates = match Self::plan(&query.filter) {
             Some((index, key)) => {
-                let pks = self.store.lookup(&self.table, index, &key)?;
+                let pks = self.store().lookup(self.table(), index, &key)?;
                 self.load_by_pks(pks)?
             }
             None => self
-                .store
-                .scan(&self.table)?
+                .store()
+                .scan(self.table())?
                 .into_iter()
                 .filter_map(|(_, row)| decode(&row))
                 .collect(),
@@ -336,6 +369,20 @@ mod tests {
         assert!(c.by_species("Hyla faber").unwrap().is_empty());
         assert_eq!(c.by_species("Boana faber").unwrap().len(), 1);
         assert_eq!(c.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn insert_all_is_a_single_commit() {
+        let c = catalog("one-commit");
+        let before = c.store().engine().stats().commits;
+        c.insert_all(&sample()).unwrap();
+        assert_eq!(
+            c.store().engine().stats().commits,
+            before + 1,
+            "bulk ingest must cost one commit regardless of record count"
+        );
+        // Index maintenance rode along in the same commit.
+        assert_eq!(c.by_species("Hyla faber").unwrap().len(), 2);
     }
 
     #[test]

@@ -34,7 +34,14 @@ impl std::fmt::Display for HistoryError {
     }
 }
 
-impl std::error::Error for HistoryError {}
+impl std::error::Error for HistoryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HistoryError::Storage(e) => Some(e),
+            HistoryError::Decode(_) => None,
+        }
+    }
+}
 
 impl From<StorageError> for HistoryError {
     fn from(e: StorageError) -> Self {
@@ -67,9 +74,12 @@ impl<'a> HistoryStore<'a> {
     }
 
     /// Persist every entry of an in-memory log, assigning fresh global
-    /// sequence numbers. Returns the count written.
+    /// sequence numbers. The whole log lands in ONE storage commit: a
+    /// crash mid-campaign never leaves a partial journal. Returns the
+    /// count written.
     pub fn persist(&self, log: &CurationLog) -> Result<usize, HistoryError> {
         let base = self.next_seq()?;
+        let mut session = self.store.session();
         let mut written = 0;
         for (offset, entry) in log.entries().iter().enumerate() {
             let seq = base + offset as u64;
@@ -77,10 +87,10 @@ impl<'a> HistoryStore<'a> {
             persisted.seq = seq;
             let bytes =
                 serde_json::to_vec(&persisted).map_err(|e| HistoryError::Decode(e.to_string()))?;
-            self.store
-                .put(HISTORY_TABLE, format!("{seq:020}").as_bytes(), &bytes)?;
+            session.put(HISTORY_TABLE, format!("{seq:020}").as_bytes(), &bytes)?;
             written += 1;
         }
+        session.commit()?;
         Ok(written)
     }
 
@@ -197,6 +207,19 @@ mod tests {
         assert_eq!(hist[1].2, Value::Text("Boana faber".into()));
         // The first change's new value is the second's old value.
         assert_eq!(Some(hist[0].2.clone()), hist[1].1);
+    }
+
+    #[test]
+    fn persist_is_one_commit_per_campaign() {
+        let s = store("one-commit");
+        let h = HistoryStore::new(&s);
+        let mut log = CurationLog::new();
+        for i in 0..10 {
+            log.append("r", "p", change("f", None, &i.to_string()));
+        }
+        let before = s.engine().stats().commits;
+        assert_eq!(h.persist(&log).unwrap(), 10);
+        assert_eq!(s.engine().stats().commits, before + 1);
     }
 
     #[test]

@@ -221,11 +221,14 @@ pub const NAME_REFS_TABLE: &str = "name_refs";
 /// Persist detected updates: the `updated_names` table maps each outdated
 /// name to its replacement (flagged unverified until a biologist approves)
 /// and `name_refs` maps each affected record id to its outdated name. The
-/// original records table is **never touched**.
+/// original records table is **never touched**. Both tables are written in
+/// ONE storage commit so a crash can't leave a replacement name without
+/// the records it affects.
 pub fn persist_updates(
     store: &TableStore,
     report: &OutdatedNameReport,
 ) -> Result<usize, preserva_storage::StorageError> {
+    let mut session = store.session();
     let mut written = 0usize;
     for (old, new) in &report.outdated {
         let value = serde_json::json!({
@@ -233,7 +236,7 @@ pub fn persist_updates(
             "new": new.canonical(),
             "verified": false,
         });
-        store.put(
+        session.put(
             UPDATED_NAMES_TABLE,
             old.canonical().as_bytes(),
             value.to_string().as_bytes(),
@@ -244,7 +247,7 @@ pub fn persist_updates(
         report.outdated.iter().map(|(old, _)| old).collect();
     for (record_id, name) in &report.record_names {
         if outdated.contains(name) {
-            store.put(
+            session.put(
                 NAME_REFS_TABLE,
                 record_id.as_bytes(),
                 name.canonical().as_bytes(),
@@ -252,6 +255,7 @@ pub fn persist_updates(
             written += 1;
         }
     }
+    session.commit()?;
     Ok(written)
 }
 

@@ -137,7 +137,11 @@ pub fn collection_inconsistencies(records: &[Record]) -> Vec<Inconsistency> {
             if value.trim().is_empty() {
                 continue;
             }
-            *seen.entry(key).or_default().entry(value.trim().to_string()).or_insert(0) += 1;
+            *seen
+                .entry(key)
+                .or_default()
+                .entry(value.trim().to_string())
+                .or_insert(0) += 1;
         }
         for (species, values) in seen {
             if values.len() > 1 {
@@ -228,7 +232,11 @@ mod tests {
         let v = collection_inconsistencies(&records);
         assert_eq!(v.len(), 1);
         match &v[0] {
-            Inconsistency::DivergentClassification { species, rank, values } => {
+            Inconsistency::DivergentClassification {
+                species,
+                rank,
+                values,
+            } => {
                 assert_eq!(species, "Hyla faber");
                 assert_eq!(*rank, "family");
                 assert_eq!(values.len(), 2);

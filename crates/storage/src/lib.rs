@@ -45,6 +45,6 @@ pub mod sstable;
 pub mod table;
 pub mod wal;
 
-pub use engine::{Engine, EngineOptions};
+pub use engine::{Engine, EngineOptions, EngineStats};
 pub use error::{StorageError, StorageResult};
-pub use table::{IndexDef, TableStore};
+pub use table::{IndexDef, TableStore, WriteSession};

@@ -224,6 +224,140 @@ impl TableStore {
         check_name(table)?;
         self.engine.count(table)
     }
+
+    /// Open a [`WriteSession`] that accumulates puts and deletes across
+    /// any number of tables and commits them as one atomic batch.
+    pub fn session(&self) -> WriteSession<'_> {
+        WriteSession {
+            store: self,
+            staged: Vec::new(),
+            latest: HashMap::new(),
+        }
+    }
+}
+
+/// A multi-table write session: puts and deletes staged against a
+/// [`TableStore`] that commit together as one `Engine::apply_batch` —
+/// one WAL commit frame, one fsync. Index maintenance is folded into
+/// the same batch, so after a crash either the whole session (rows and
+/// index entries alike) is visible or none of it is.
+///
+/// Dropping a session without calling [`WriteSession::commit`] discards
+/// every staged operation.
+pub struct WriteSession<'a> {
+    store: &'a TableStore,
+    /// Operations in the order staged: `Some(value)` puts, `None` deletes.
+    staged: Vec<(String, Vec<u8>, Option<Vec<u8>>)>,
+    /// Latest staged state per `(table, key)`, for read-your-writes.
+    latest: HashMap<(String, Vec<u8>), Option<Vec<u8>>>,
+}
+
+impl std::fmt::Debug for WriteSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteSession")
+            .field("staged", &self.staged.len())
+            .finish()
+    }
+}
+
+impl WriteSession<'_> {
+    /// Stage an insert or update.
+    pub fn put(&mut self, table: &str, key: &[u8], value: &[u8]) -> StorageResult<&mut Self> {
+        check_name(table)?;
+        self.stage(table, key, Some(value.to_vec()));
+        Ok(self)
+    }
+
+    /// Stage a deletion.
+    pub fn delete(&mut self, table: &str, key: &[u8]) -> StorageResult<&mut Self> {
+        check_name(table)?;
+        self.stage(table, key, None);
+        Ok(self)
+    }
+
+    fn stage(&mut self, table: &str, key: &[u8], value: Option<Vec<u8>>) {
+        self.latest
+            .insert((table.to_string(), key.to_vec()), value.clone());
+        self.staged.push((table.to_string(), key.to_vec(), value));
+    }
+
+    /// Read through the session: staged writes shadow stored rows.
+    pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        check_name(table)?;
+        if let Some(v) = self.latest.get(&(table.to_string(), key.to_vec())) {
+            return Ok(v.clone());
+        }
+        self.store.engine.get(table, key)
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether nothing has been staged yet.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Commit every staged operation — and the index maintenance they
+    /// imply — as a single atomic batch. A session staging several
+    /// writes to one key replays them in order; indexes are maintained
+    /// against the evolving in-session state, not just the stored rows.
+    pub fn commit(self) -> StorageResult<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let indexes = self.store.indexes.read();
+        let mut batch = Vec::with_capacity(self.staged.len());
+        // Value each key held before the op being generated, so repeated
+        // writes to one key within the session produce correct index ops.
+        let mut current: HashMap<(String, Vec<u8>), Option<Vec<u8>>> = HashMap::new();
+        for (table, key, new_value) in self.staged {
+            let slot = (table.clone(), key.clone());
+            let old = match current.get(&slot) {
+                Some(v) => v.clone(),
+                None => self.store.engine.get(&table, &key)?,
+            };
+            if let Some(defs) = indexes.get(&table) {
+                for def in defs {
+                    let idx_table = index_table(&table, &def.name);
+                    let old_v = old.as_deref().and_then(|r| (def.extract)(r));
+                    let new_v = new_value.as_deref().and_then(|r| (def.extract)(r));
+                    if old_v == new_v {
+                        continue;
+                    }
+                    if let Some(ov) = old_v {
+                        batch.push(BatchOp::Delete {
+                            table: idx_table.clone(),
+                            key: index_key(&ov, &key),
+                        });
+                    }
+                    if let Some(nv) = new_v {
+                        batch.push(BatchOp::Put {
+                            table: idx_table,
+                            key: index_key(&nv, &key),
+                            value: key.clone(),
+                        });
+                    }
+                }
+            }
+            match &new_value {
+                Some(value) => batch.push(BatchOp::Put {
+                    table: table.clone(),
+                    key: key.clone(),
+                    value: value.clone(),
+                }),
+                None => batch.push(BatchOp::Delete {
+                    table: table.clone(),
+                    key: key.clone(),
+                }),
+            }
+            current.insert(slot, new_value);
+        }
+        drop(indexes);
+        self.store.engine.apply_batch(batch)
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +449,83 @@ mod tests {
         s.put("t", b"pk1", b"yes-row").unwrap();
         s.put("t", b"pk2", b"no-row").unwrap();
         assert_eq!(s.lookup("t", "maybe", b"y").unwrap(), vec![b"pk1".to_vec()]);
+    }
+
+    #[test]
+    fn session_commits_across_tables_in_one_batch() {
+        let s = store("session-multi");
+        let before = s.engine().stats().commits;
+        let mut session = s.session();
+        session.put("records", b"r1", b"one").unwrap();
+        session.put("records", b"r2", b"two").unwrap();
+        session.put("catalog", b"c1", b"meta").unwrap();
+        session.delete("records", b"absent").unwrap();
+        session.commit().unwrap();
+        assert_eq!(s.engine().stats().commits, before + 1);
+        assert_eq!(s.get("records", b"r1").unwrap(), Some(b"one".to_vec()));
+        assert_eq!(s.get("records", b"r2").unwrap(), Some(b"two".to_vec()));
+        assert_eq!(s.get("catalog", b"c1").unwrap(), Some(b"meta".to_vec()));
+    }
+
+    #[test]
+    fn session_maintains_indexes_atomically() {
+        let s = store("session-idx");
+        s.create_index("t", first_byte_index()).unwrap();
+        s.put("t", b"pk", b"Aone").unwrap();
+        let mut session = s.session();
+        // Two writes to one key within the session: index ops must track
+        // the evolving in-session value, ending at "C".
+        session.put("t", b"pk", b"Btwo").unwrap();
+        session.put("t", b"pk", b"Cthree").unwrap();
+        session.put("t", b"pk2", b"Cfour").unwrap();
+        session.commit().unwrap();
+        assert!(s.lookup("t", "first", b"A").unwrap().is_empty());
+        assert!(s.lookup("t", "first", b"B").unwrap().is_empty());
+        let mut hits = s.lookup("t", "first", b"C").unwrap();
+        hits.sort();
+        assert_eq!(hits, vec![b"pk".to_vec(), b"pk2".to_vec()]);
+    }
+
+    #[test]
+    fn session_reads_its_own_writes() {
+        let s = store("session-ryw");
+        s.put("t", b"k", b"stored").unwrap();
+        let mut session = s.session();
+        assert_eq!(session.get("t", b"k").unwrap(), Some(b"stored".to_vec()));
+        session.put("t", b"k", b"staged").unwrap();
+        assert_eq!(session.get("t", b"k").unwrap(), Some(b"staged".to_vec()));
+        session.delete("t", b"k").unwrap();
+        assert_eq!(session.get("t", b"k").unwrap(), None);
+        // Nothing visible outside the session until commit.
+        assert_eq!(s.get("t", b"k").unwrap(), Some(b"stored".to_vec()));
+    }
+
+    #[test]
+    fn dropped_session_discards_staged_ops() {
+        let s = store("session-drop");
+        let before = s.engine().stats().commits;
+        {
+            let mut session = s.session();
+            session.put("t", b"k", b"v").unwrap();
+        }
+        assert_eq!(s.get("t", b"k").unwrap(), None);
+        assert_eq!(s.engine().stats().commits, before);
+    }
+
+    #[test]
+    fn empty_session_commit_is_free() {
+        let s = store("session-empty");
+        let before = s.engine().stats().commits;
+        s.session().commit().unwrap();
+        assert_eq!(s.engine().stats().commits, before);
+    }
+
+    #[test]
+    fn session_rejects_reserved_table_names() {
+        let s = store("session-reserved");
+        let mut session = s.session();
+        assert!(session.put("__idx:t:i", b"k", b"v").is_err());
+        assert!(session.delete("a:b", b"k").is_err());
     }
 
     #[test]

@@ -168,6 +168,81 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A committed WriteSession spanning several tables is all-or-none
+    /// under crash: whatever byte the WAL is torn at, recovery sees either
+    /// every row of the session (when the tear is past its commit frame)
+    /// or none of them — never a subset. The baseline commit before it
+    /// must survive untouched either way.
+    #[test]
+    fn write_session_all_or_none_across_wal_tear(
+        rows in proptest::collection::vec(
+            (0usize..3, proptest::collection::vec(0u8..6, 1..4), proptest::collection::vec(any::<u8>(), 1..8)),
+            1..10
+        ),
+        cut_seed in any::<u64>(),
+    ) {
+        const TABLES: [&str; 3] = ["ta", "tb", "tc"];
+        let dir = tmpdir("session-tear");
+        let wal_path = dir.join("wal.log");
+        let baseline_len;
+        {
+            let store = TableStore::new(Arc::new(Engine::open(&dir, EngineOptions::default()).unwrap()));
+            let mut s = store.session();
+            for t in TABLES {
+                s.put(t, b"baseline", b"pre").unwrap();
+            }
+            s.commit().unwrap();
+            baseline_len = std::fs::metadata(&wal_path).unwrap().len();
+
+            let mut s = store.session();
+            for (t, k, v) in &rows {
+                s.put(TABLES[*t], k, v).unwrap();
+            }
+            s.commit().unwrap();
+        }
+        let full_len = std::fs::metadata(&wal_path).unwrap().len();
+        prop_assert!(full_len > baseline_len, "the second session must have appended frames");
+
+        // Tear the WAL at an arbitrary byte within the second session's
+        // frames (including exactly at its start and exactly at its end).
+        let span = full_len - baseline_len;
+        let cut = baseline_len + cut_seed % (span + 1);
+        let f = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let store = TableStore::new(Arc::new(Engine::open(&dir, EngineOptions::default()).unwrap()));
+        // Baseline commit is intact in every table.
+        for t in TABLES {
+            prop_assert_eq!(store.get(t, b"baseline").unwrap().as_deref(), Some(&b"pre"[..]));
+        }
+        // Last-write-wins expectation per (table, key) for the torn session.
+        let mut expected: BTreeMap<(usize, Vec<u8>), Vec<u8>> = BTreeMap::new();
+        for (t, k, v) in &rows {
+            expected.insert((*t, k.clone()), v.clone());
+        }
+        let present: Vec<bool> = expected
+            .iter()
+            .map(|((t, k), v)| {
+                store.get(TABLES[*t], k).unwrap().as_deref() == Some(v.as_slice())
+            })
+            .collect();
+        let all = present.iter().all(|&p| p);
+        let none = expected
+            .keys()
+            .all(|(t, k)| store.get(TABLES[*t], k).unwrap().is_none());
+        prop_assert!(
+            all || none,
+            "torn session must be all-or-none; cut at {} of {} (baseline {}): {:?}",
+            cut, full_len, baseline_len, present
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// Non-property regression tests that belong with the recovery suite.
 mod recovery_edge_cases {
     use preserva_storage::engine::{Engine, EngineOptions};

@@ -279,6 +279,11 @@ pub fn build_checklist(
 ) -> Checklist {
     let mut checklist = Checklist::bootstrap(backbone, start_year);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    // Names introduced as rename targets. Excluded from later churn so
+    // every rename/doubt lands on an original backbone name — that keeps
+    // the planted outdated count exactly Σ(renames + doubts) for any
+    // seed, which the case-study generator relies on.
+    let mut introduced: std::collections::HashSet<String> = std::collections::HashSet::new();
     for plan in plans {
         let accepted: Vec<ScientificName> = match eligible {
             Some(white) => {
@@ -291,7 +296,10 @@ pub fn build_checklist(
             }
             None => checklist.latest().accepted_names().cloned().collect(),
         };
-        let mut pool = accepted;
+        let mut pool: Vec<ScientificName> = accepted
+            .into_iter()
+            .filter(|n| !introduced.contains(&n.to_string()))
+            .collect();
         pool.shuffle(&mut rng);
         let mut ops = Vec::new();
         for (taken, name) in pool.iter().take(plan.renames).enumerate() {
@@ -309,6 +317,7 @@ pub fn build_checklist(
             let new_epithet = format!("{}novus{suffix}", name.epithet().replace('-', ""));
             let new = ScientificName::new(name.genus(), &new_epithet)
                 .expect("constructed epithet is alphabetic");
+            introduced.insert(new.to_string());
             ops.push(Evolution::Rename {
                 old: name.clone(),
                 new,

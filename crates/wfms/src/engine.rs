@@ -9,12 +9,14 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde_json::Value;
 
 use crate::model::{Endpoint, ProcessorKind, Workflow};
 use crate::services::{PortMap, ServiceError, ServiceRegistry};
+use crate::sink::{NullSink, ProvenanceSink};
 use crate::trace::{ExecutionTrace, RunStatus, TraceEvent};
 use crate::validate::{self, WorkflowViolation};
 
@@ -66,6 +68,9 @@ pub enum RunError {
         /// The declared-but-unproduced port.
         port: String,
     },
+    /// The run itself succeeded but the provenance sink failed to record
+    /// it. The trace attached to the error is the successful trace.
+    SinkFailed(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -95,6 +100,9 @@ impl std::fmt::Display for RunError {
                     "processor {processor:?} produced no output port {port:?}"
                 )
             }
+            RunError::SinkFailed(m) => {
+                write!(f, "run succeeded but provenance capture failed: {m}")
+            }
         }
     }
 }
@@ -106,21 +114,40 @@ impl std::error::Error for RunError {}
 type WaveResult<'a> = (&'a str, PortMap, Result<(PortMap, u32, u32), (String, u32)>);
 
 /// The workflow execution engine.
-#[derive(Debug)]
 pub struct Engine {
     registry: ServiceRegistry,
     config: EngineConfig,
     run_counter: AtomicU64,
+    sink: Arc<dyn ProvenanceSink>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("registry", &self.registry)
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 impl Engine {
-    /// Create an engine over a service registry.
+    /// Create an engine over a service registry. Runs are not recorded
+    /// anywhere until a sink is attached with [`Engine::with_sink`].
     pub fn new(registry: ServiceRegistry, config: EngineConfig) -> Engine {
         Engine {
             registry,
             config,
             run_counter: AtomicU64::new(1),
+            sink: Arc::new(NullSink),
         }
+    }
+
+    /// Attach a provenance sink. Every *top-level* run — successful or
+    /// failed — is reported to it; sub-workflow invocations are folded
+    /// into their parent's trace and never reported separately.
+    pub fn with_sink(mut self, sink: Arc<dyn ProvenanceSink>) -> Engine {
+        self.sink = sink;
+        self
     }
 
     /// The registry this engine resolves services from.
@@ -128,9 +155,37 @@ impl Engine {
         &self.registry
     }
 
-    /// Run `workflow` with the given workflow-level inputs. Returns the
-    /// trace either way; `Err` carries the trace of the failed run.
+    /// Run `workflow` with the given workflow-level inputs, reporting the
+    /// finished run to the provenance sink. Returns the trace either way;
+    /// `Err` carries the trace of the failed run.
+    ///
+    /// If the run succeeds but the sink cannot record it, the run is
+    /// reported as [`RunError::SinkFailed`] with the successful trace
+    /// attached — a preservation archive treats an uncaptured run as a
+    /// failure. If the run fails, sink recording is best-effort and the
+    /// original error wins.
     pub fn run(
+        &self,
+        workflow: &Workflow,
+        inputs: &PortMap,
+    ) -> Result<ExecutionTrace, (RunError, Box<ExecutionTrace>)> {
+        match self.run_inner(workflow, inputs) {
+            Ok(trace) => {
+                if let Err(e) = self.sink.record(workflow, &trace) {
+                    return Err((RunError::SinkFailed(e.to_string()), Box::new(trace)));
+                }
+                Ok(trace)
+            }
+            Err((err, trace)) => {
+                let _ = self.sink.record(workflow, &trace);
+                Err((err, trace))
+            }
+        }
+    }
+
+    /// The execution core, shared by top-level runs and sub-workflow
+    /// invocations (which must not hit the sink).
+    fn run_inner(
         &self,
         workflow: &Workflow,
         inputs: &PortMap,
@@ -419,7 +474,7 @@ impl Engine {
             ProcessorKind::SubWorkflow { workflow } => {
                 // A nested run with its own trace; from the parent's view
                 // the sub-workflow is one processor invocation.
-                match self.run(workflow, inputs) {
+                match self.run_inner(workflow, inputs) {
                     Ok(sub_trace) => Ok((sub_trace.workflow_outputs, 1, sub_trace.total_retries)),
                     Err((err, _sub_trace)) => {
                         Err((format!("sub-workflow {:?} failed: {err}", workflow.name), 1))
@@ -628,5 +683,68 @@ mod tests {
         let t1 = e.run(&diamond(), &port("x", json!(1))).unwrap();
         let t2 = e.run(&diamond(), &port("x", json!(1))).unwrap();
         assert_ne!(t1.run_id, t2.run_id);
+    }
+
+    #[test]
+    fn sink_sees_each_top_level_run_once() {
+        let sink = Arc::new(crate::sink::BufferingSink::new());
+        let e = Engine::new(registry(), EngineConfig::default()).with_sink(sink.clone());
+        let t = e.run(&diamond(), &port("x", json!(2))).unwrap();
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.drain()[0].run_id, t.run_id);
+    }
+
+    #[test]
+    fn sub_workflow_runs_are_not_reported_separately() {
+        let sink = Arc::new(crate::sink::BufferingSink::new());
+        let inner = Workflow::new("inner", "inner")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("p", "double", &["in"], &["out"]))
+            .link_input("x", "p", "in")
+            .link_output("p", "out", "y");
+        let outer = Workflow::new("outer", "outer")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::subworkflow("nested", inner))
+            .link_input("x", "nested", "x")
+            .link_output("nested", "y", "y");
+        let e = Engine::new(registry(), EngineConfig::default()).with_sink(sink.clone());
+        let t = e.run(&outer, &port("x", json!(4))).unwrap();
+        assert_eq!(t.workflow_outputs["y"], json!(8));
+        // Exactly one record: the outer run. The nested invocation is part
+        // of the outer trace, not a run of its own.
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.drain()[0].workflow_id, "outer");
+    }
+
+    #[test]
+    fn failed_runs_reach_the_sink_best_effort() {
+        let sink = Arc::new(crate::sink::BufferingSink::new());
+        let e = Engine::new(registry(), EngineConfig::default()).with_sink(sink.clone());
+        let (err, _) = e.run(&diamond(), &PortMap::new()).unwrap_err();
+        assert_eq!(err, RunError::MissingInput("x".into()));
+        assert_eq!(sink.len(), 1, "the failed run's partial trace is recorded");
+        assert!(!sink.drain()[0].succeeded());
+    }
+
+    #[test]
+    fn sink_failure_on_successful_run_surfaces_with_trace() {
+        struct FailingSink;
+        impl crate::sink::ProvenanceSink for FailingSink {
+            fn record(
+                &self,
+                _w: &Workflow,
+                _t: &ExecutionTrace,
+            ) -> Result<(), crate::sink::SinkError> {
+                Err(crate::sink::SinkError::new("repository offline"))
+            }
+        }
+        let e = Engine::new(registry(), EngineConfig::default()).with_sink(Arc::new(FailingSink));
+        let (err, trace) = e.run(&diamond(), &port("x", json!(1))).unwrap_err();
+        assert!(matches!(err, RunError::SinkFailed(_)));
+        // The computation itself succeeded; the trace proves it.
+        assert!(trace.succeeded());
+        assert_eq!(trace.workflow_outputs["y"], json!(8));
     }
 }

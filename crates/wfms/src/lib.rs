@@ -35,6 +35,7 @@ pub mod model;
 pub mod opm_export;
 pub mod repository;
 pub mod services;
+pub mod sink;
 pub mod spec;
 pub mod trace;
 pub mod validate;
@@ -42,4 +43,5 @@ pub mod validate;
 pub use engine::{Engine, EngineConfig};
 pub use model::{DataLink, Endpoint, Processor, ProcessorKind, Workflow};
 pub use services::{PortMap, Service, ServiceError, ServiceRegistry};
+pub use sink::{BufferingSink, NullSink, ProvenanceSink, SinkError};
 pub use trace::ExecutionTrace;

@@ -1,0 +1,139 @@
+//! Provenance sinks: the seam between the workflow engine and whatever
+//! records its runs.
+//!
+//! In the paper the WFMS hands execution logs to the Provenance Manager,
+//! which stores them in the provenance repository. Coupling the engine
+//! directly to that manager would force every bench and test to drag in
+//! the storage stack, so the engine instead talks to a
+//! [`ProvenanceSink`]: `preserva-core` implements it for its
+//! `ProvenanceManager`, while benches and tests plug in [`NullSink`] (no
+//! capture overhead) or [`BufferingSink`] (capture in memory, inspect
+//! afterwards).
+
+use std::sync::Mutex;
+
+use crate::model::Workflow;
+use crate::trace::ExecutionTrace;
+
+/// A sink failed to record a run.
+#[derive(Debug)]
+pub struct SinkError(Box<dyn std::error::Error + Send + Sync>);
+
+impl SinkError {
+    /// Wrap any underlying error.
+    pub fn new(source: impl Into<Box<dyn std::error::Error + Send + Sync>>) -> Self {
+        SinkError(source.into())
+    }
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "provenance sink: {}", self.0)
+    }
+}
+
+impl std::error::Error for SinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.0.as_ref())
+    }
+}
+
+/// Receives every top-level run the engine completes (sub-workflow
+/// invocations are part of their parent's trace and are not reported
+/// separately).
+pub trait ProvenanceSink: Send + Sync {
+    /// Record one finished run (successful or failed — failed runs carry
+    /// their partial trace, which the paper's curators still want).
+    fn record(&self, workflow: &Workflow, trace: &ExecutionTrace) -> Result<(), SinkError>;
+}
+
+/// Discards every run. The default for benches and engine-only tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ProvenanceSink for NullSink {
+    fn record(&self, _workflow: &Workflow, _trace: &ExecutionTrace) -> Result<(), SinkError> {
+        Ok(())
+    }
+}
+
+/// Buffers traces in memory for later inspection.
+#[derive(Debug, Default)]
+pub struct BufferingSink {
+    traces: Mutex<Vec<ExecutionTrace>>,
+}
+
+impl BufferingSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufferingSink::default()
+    }
+
+    /// Number of buffered traces.
+    pub fn len(&self) -> usize {
+        self.traces.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take all buffered traces, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<ExecutionTrace> {
+        std::mem::take(&mut *self.traces.lock().unwrap())
+    }
+}
+
+impl ProvenanceSink for BufferingSink {
+    fn record(&self, _workflow: &Workflow, trace: &ExecutionTrace) -> Result<(), SinkError> {
+        self.traces.lock().unwrap().push(trace.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::PortMap;
+    use crate::trace::RunStatus;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    fn empty_trace() -> ExecutionTrace {
+        ExecutionTrace {
+            run_id: "run-000001".into(),
+            workflow_id: "w".into(),
+            workflow_name: "w".into(),
+            status: RunStatus::Succeeded,
+            events: Vec::new(),
+            processor_inputs: BTreeMap::new(),
+            processor_outputs: BTreeMap::new(),
+            workflow_inputs: PortMap::new(),
+            workflow_outputs: PortMap::new(),
+            elapsed: Duration::from_millis(1),
+            total_retries: 0,
+        }
+    }
+
+    #[test]
+    fn buffering_sink_accumulates_and_drains() {
+        let sink = BufferingSink::new();
+        let w = Workflow::new("w", "t");
+        let t = empty_trace();
+        assert!(sink.is_empty());
+        sink.record(&w, &t).unwrap();
+        sink.record(&w, &t).unwrap();
+        assert_eq!(sink.len(), 2);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn sink_error_keeps_source_chain() {
+        let e = SinkError::new(std::io::Error::other("disk gone"));
+        assert!(e.to_string().contains("disk gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

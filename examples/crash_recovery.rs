@@ -8,34 +8,37 @@
 //! cargo run --example crash_recovery
 //! ```
 
-use preserva::storage::engine::{BatchOp, Engine, EngineOptions};
+use std::sync::Arc;
+
+use preserva::storage::engine::{Engine, EngineOptions};
+use preserva::storage::table::TableStore;
 use preserva::storage::wal::{Wal, WalRecord};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("preserva-ex-crash-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    // Batch 1: commit two name updates atomically.
+    // Session 1: commit two name updates atomically via a write session.
     {
-        let engine = Engine::open(&dir, EngineOptions::default()).unwrap();
-        engine
+        let store = TableStore::new(Arc::new(
+            Engine::open(&dir, EngineOptions::default()).unwrap(),
+        ));
+        store
             .put("records", b"FNJV-000001", b"{original record}")
             .unwrap();
-        engine
-            .apply_batch(vec![
-                BatchOp::Put {
-                    table: "updated_names".into(),
-                    key: b"Elachistocleis ovalis".to_vec(),
-                    value: br#"{"new":"Nomen inquirenda","verified":false}"#.to_vec(),
-                },
-                BatchOp::Put {
-                    table: "name_refs".into(),
-                    key: b"FNJV-000001".to_vec(),
-                    value: b"Elachistocleis ovalis".to_vec(),
-                },
-            ])
+        let mut session = store.session();
+        session
+            .put(
+                "updated_names",
+                b"Elachistocleis ovalis",
+                br#"{"new":"Nomen inquirenda","verified":false}"#,
+            )
             .unwrap();
-        println!("committed batch 1 (update + reference, atomically)");
+        session
+            .put("name_refs", b"FNJV-000001", b"Elachistocleis ovalis")
+            .unwrap();
+        session.commit().unwrap();
+        println!("committed session 1 (update + reference, atomically)");
     } // clean close
 
     // Simulate a crash mid-batch: write a Put with no Commit frame, as if

@@ -1,0 +1,281 @@
+//! Vendored, dependency-free stand-in for the `criterion` surface this
+//! workspace's benches use. It is a real (if simple) harness: each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! short measurement window, and mean time per iteration is printed
+//! together with derived throughput.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine call.
+    PerIteration,
+    /// Small batches of routine calls per setup.
+    SmallInput,
+    /// Large batches of routine calls per setup.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier rendered from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Identifier from a function name plus parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher<'a> {
+    measurement: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+struct Sample {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: estimate the per-iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement;
+        let iters = (target.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        *self.result = Some(Sample {
+            mean: total / (iters as u32).max(1),
+            iters,
+        });
+    }
+
+    /// Time `routine` over values produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measurement.as_nanos() / first.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        *self.result = Some(Sample {
+            mean: total / (iters as u32).max(1),
+            iters,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the sample count (accepted for API compatibility; this
+    /// harness sizes iterations from the measurement window instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut result = None;
+        let mut b = Bencher {
+            measurement: self.criterion.measurement,
+            result: &mut result,
+        };
+        f(&mut b);
+        report(&full, result, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut result = None;
+        let mut b = Bencher {
+            measurement: self.criterion.measurement,
+            result: &mut result,
+        };
+        f(&mut b, input);
+        report(&full, result, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; symmetry with criterion).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, sample: Option<Sample>, throughput: Option<Throughput>) {
+    let Some(s) = sample else {
+        println!("{name:<48} (no measurement)");
+        return;
+    };
+    let per_iter = s.mean;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
+            let per_sec = n as f64 * 1e9 / per_iter.as_nanos() as f64;
+            format!("  {per_sec:>12.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) if per_iter.as_nanos() > 0 => {
+            let per_sec = n as f64 * 1e9 / per_iter.as_nanos() as f64;
+            format!("  {:>12.1} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} {:>12}  ({} iters){rate}",
+        format_duration(per_iter),
+        s.iters
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            // Short window: these are smoke benches in an offline build.
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        let mut b = Bencher {
+            measurement: self.measurement,
+            result: &mut result,
+        };
+        f(&mut b);
+        report(id, result, None);
+        self
+    }
+}
+
+/// Define a benchmark group function, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark `main`, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

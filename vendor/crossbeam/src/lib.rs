@@ -1,0 +1,92 @@
+//! Vendored stand-in for the `crossbeam::scope` scoped-thread API,
+//! implemented over `std::thread::scope`. Only the surface this
+//! workspace uses: `crossbeam::scope(|s| { s.spawn(|_| ...) })` with
+//! `ScopedJoinHandle::join` returning a panic-capturing `Result`.
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result of joining a scoped thread: `Err` carries the panic
+    /// payload, like `std::thread::Result`.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle passed to the closure of [`scope`]; spawn threads
+    /// through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result; `Err` if it
+        /// panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope whose threads are all joined before this
+    /// function returns. Always `Ok` unless the closure itself observes
+    /// a panic, mirroring how this workspace uses crossbeam (children
+    /// are explicitly joined inside the closure).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_and_join() {
+        let data = [1, 2, 3];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum::<i32>()
+        })
+        .expect("scope never panics");
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn panics_are_captured_by_join() {
+        super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,681 @@
+//! Vendored, dependency-free stand-in for the `proptest` surface this
+//! workspace uses: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, `prop_oneof!`, `Just`, `any`, range and tuple
+//! strategies, `collection::vec`, and `Strategy::prop_map`.
+//!
+//! Differences from the real crate, deliberate for an offline build:
+//! cases are generated from a seed derived deterministically from the
+//! test's module path and case index (reproducible across runs and
+//! machines), and failing inputs are reported but not shrunk. Assertion
+//! macros panic (the runner catches the panic, prints the generated
+//! inputs, and re-raises), so test bodies need no `Result` plumbing.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic RNG and per-test configuration.
+
+    /// SplitMix64: tiny, full-period, plenty for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Deterministic stream for one test case: seeded from the test
+        /// identifier and the case index.
+        pub fn for_case(test_id: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_id.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            TestRng(h ^ ((case as u64) << 32 | 0x9E3779B9))
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between type-erased strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Build from `(weight, strategy)` arms. Weights must sum > 0.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights are exhaustive")
+    }
+}
+
+// --- ranges ----------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+) ;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A0, A1)
+    (A0, A1, A2)
+    (A0, A1, A2, A3)
+    (A0, A1, A2, A3, A4)
+    (A0, A1, A2, A3, A4, A5)
+}
+
+// --- any / Arbitrary -------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.below(5) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- collections -----------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector strategy over `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// --- string patterns -------------------------------------------------------
+
+/// A `&str` in strategy position is interpreted as a regex-subset
+/// pattern, like the real proptest: literal characters, `[...]` classes
+/// with ranges, `\d`/`\w`/`\s` escapes, and `{n}` / `{n,m}` / `?` /
+/// `+` / `*` quantifiers (unbounded repetition capped at 8).
+mod string {
+    use super::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Lit(char),
+        /// Inclusive character ranges; singletons are `(c, c)`.
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = match chars.next() {
+                            Some(']') => break,
+                            Some('\\') => chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                            Some(ch) => ch,
+                            None => panic!("unterminated class in {pattern:?}"),
+                        };
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            match chars.next() {
+                                Some(']') => {
+                                    ranges.push((lo, lo));
+                                    ranges.push(('-', '-'));
+                                    break;
+                                }
+                                Some(hi) => ranges.push((lo, hi)),
+                                None => panic!("unterminated class in {pattern:?}"),
+                            }
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => match chars.next() {
+                    Some('d') => Atom::Class(vec![('0', '9')]),
+                    Some('w') => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    Some('s') => Atom::Lit(' '),
+                    Some(ch) => Atom::Lit(ch),
+                    None => panic!("dangling escape in {pattern:?}"),
+                },
+                '.' => Atom::Class(vec![(' ', '~')]),
+                ch => Atom::Lit(ch),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for ch in chars.by_ref() {
+                        if ch == '}' {
+                            break;
+                        }
+                        spec.push(ch);
+                    }
+                    let parse_n = |s: &str| {
+                        s.parse::<usize>()
+                            .unwrap_or_else(|_| panic!("bad repeat count {s:?} in {pattern:?}"))
+                    };
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                        None => {
+                            let n = parse_n(&spec);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "empty repeat range in {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub fn generate(pieces: &[Piece], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in pieces {
+            let span = (piece.max - piece.min) as u64 + 1;
+            let count = piece.min + rng.below(span) as usize;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                            .sum();
+                        let mut idx = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let size = (*hi as u64) - (*lo as u64) + 1;
+                            if idx < size {
+                                out.push(
+                                    char::from_u32(*lo as u32 + idx as u32)
+                                        .expect("class range spans invalid codepoint"),
+                                );
+                                break;
+                            }
+                            idx -= size;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate(&string::parse(self), rng)
+    }
+}
+
+// --- option ----------------------------------------------------------------
+
+/// Strategies for `Option`, mirroring `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // `Some` with probability 1/2, like the real default.
+            if rng.below(2) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `Some` of `strategy` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+        OptionStrategy(strategy)
+    }
+}
+
+// --- macros ----------------------------------------------------------------
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, Strategy,
+    };
+}
+
+/// Assert inside a property test; on failure the runner reports the
+/// generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted (or unweighted) choice between strategies yielding the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($( 1 => $strat ),+)
+    };
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// expands to a `#[test]` that runs the body over generated inputs,
+/// printing the inputs of a failing case before re-raising its panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __test_id = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__test_id, __case);
+                let mut __inputs: Vec<String> = Vec::new();
+                $(
+                    let __value = $crate::Strategy::generate(&($strat), &mut __rng);
+                    __inputs.push(format!("{} = {:?}", stringify!($pat), __value));
+                    let $pat = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} with inputs:\n  {}",
+                        __test_id,
+                        __case + 1,
+                        __config.cases,
+                        __inputs.join("\n  "),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds and map composes.
+        #[test]
+        fn ranges_and_map(x in 0u8..8, y in 1u8..=12, e in even(), f in -0.5f64..0.5) {
+            prop_assert!(x < 8);
+            prop_assert!((1..=12).contains(&y));
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!((-0.5..0.5).contains(&f));
+        }
+
+        #[test]
+        fn collections_and_oneof(
+            v in collection::vec(any::<u8>(), 0..16),
+            exact in collection::vec(0.0f64..1.0, 3),
+            pick in prop_oneof![4 => Just(0u8), 1 => 1u8..3],
+            mut sortable in collection::vec(any::<u32>(), 1..10),
+        ) {
+            prop_assert!(v.len() < 16);
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!(pick < 3);
+            sortable.sort_unstable();
+            prop_assert!(sortable.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,551 @@
+//! Vendored, dependency-free stand-in for the `serde` facade used by this
+//! workspace. The build environment has no network access and no crates-io
+//! mirror, so the workspace patches `serde` to this crate (see the root
+//! `Cargo.toml` `[patch.crates-io]` table).
+//!
+//! Instead of serde's visitor-based data model this crate routes every
+//! (de)serialization through one self-describing [`Content`] tree — the
+//! JSON data model — which is all the formats this workspace uses need.
+//! The derive macros (re-exported from `serde_derive`) generate
+//! `to_content` / `from_content` implementations that mirror serde's
+//! externally-tagged defaults, so JSON produced by the real serde stack
+//! remains readable and vice versa.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every serializer and deserializer in
+/// this workspace speaks. Maps preserve insertion order (struct fields
+/// serialize in declaration order, like serde's derived impls).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`'s positive range or
+    /// originated from an unsigned type.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A string-keyed map in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the content kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a field by name in map content (linear scan; structs in this
+/// workspace are small).
+pub fn content_field<'a>(map: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an "expected X, found Y while deserializing T" error.
+    pub fn expected(expected: &str, found: &Content, ty: &str) -> DeError {
+        DeError(format!(
+            "expected {expected}, found {} while deserializing {ty}",
+            found.kind()
+        ))
+    }
+
+    /// Build a "missing field" error.
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        DeError(format!("missing field `{field}` of {ty}"))
+    }
+
+    /// Build an "unknown variant" error.
+    pub fn unknown_variant(ty: &str, variant: &str) -> DeError {
+        DeError(format!("unknown variant `{variant}` of {ty}"))
+    }
+
+    /// Build an error from any message.
+    pub fn custom(msg: impl std::fmt::Display) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Convert to the self-describing tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the self-describing tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// serde-compatible module path for `DeserializeOwned` and the error
+/// trait alias (`serde::de::DeserializeOwned` in bounds).
+pub mod de {
+    /// Owned deserialization — with this crate's lifetime-free
+    /// [`crate::Deserialize`], every implementor qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+
+    pub use crate::DeError as Error;
+}
+
+/// serde-compatible module path for the serialization trait.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom("unsigned value out of range"))?,
+                    Content::F64(v) if v.fract() == 0.0 => *v as i64,
+                    other => return Err(DeError::expected("integer", other, stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::custom(concat!("value out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::custom("negative value for unsigned type"))?,
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => *v as u64,
+                    other => return Err(DeError::expected("integer", other, stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::custom(concat!("value out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(DeError::expected("number", other, stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other, "bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other, "char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other, "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", other, "()")),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    /// `{ "secs": u64, "nanos": u32 }`, matching real serde's encoding.
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Content::U64(self.subsec_nanos() as u64),
+            ),
+        ])
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", c, "Duration"))?;
+        let secs = content_field(m, "secs")
+            .map(u64::from_content)
+            .transpose()?
+            .ok_or_else(|| DeError::missing_field("Duration", "secs"))?;
+        let nanos = content_field(m, "nanos")
+            .map(u32::from_content)
+            .transpose()?
+            .ok_or_else(|| DeError::missing_field("Duration", "nanos"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", c, "Vec"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", c, "VecDeque"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", c, "BTreeSet"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+/// Serialize a map key: must render as a string (matching JSON's
+/// string-keyed objects). Newtype wrappers over `String` (e.g. node ids)
+/// satisfy this through their derived impls; integers are rendered in
+/// decimal like serde_json does.
+fn key_to_string(c: Content) -> Result<String, DeError> {
+    match c {
+        Content::Str(s) => Ok(s),
+        Content::I64(v) => Ok(v.to_string()),
+        Content::U64(v) => Ok(v.to_string()),
+        other => Err(DeError::custom(format!(
+            "map key must serialize to a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(k.to_content()).expect("unsupported map key"),
+                        v.to_content(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", c, "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::from_content(&Content::Str(k.clone()))?,
+                    V::from_content(v)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Deterministic output: sort by rendered key.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(k.to_content()).expect("unsupported map key"),
+                    v.to_content(),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", c, "HashMap"))?
+            .iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::from_content(&Content::Str(k.clone()))?,
+                    V::from_content(v)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", c, "tuple"))?;
+                let expected = [$($n),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {expected}, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(
+            i32::from_content(&42i32.to_content()).unwrap(),
+            42,
+            "i32 roundtrip"
+        );
+        assert_eq!(u64::from_content(&7u64.to_content()).unwrap(), 7);
+        assert_eq!(
+            String::from_content(&"frog".to_string().to_content()).unwrap(),
+            "frog"
+        );
+        assert_eq!(
+            Option::<i32>::from_content(&Content::Null).unwrap(),
+            None::<i32>
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_content(&v.to_content()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        assert_eq!(
+            BTreeMap::<String, f64>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,518 @@
+//! Vendored `serde_derive`: hand-rolled derive macros for the minimal
+//! serde facade in `vendor/serde`. No `syn`/`quote` — the input item is
+//! parsed directly from the token stream (this workspace only derives on
+//! non-generic structs and enums), and the generated impl is assembled as
+//! a string and re-parsed.
+//!
+//! Supported shapes, matching everything this workspace derives on:
+//! - structs with named fields (`#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` honoured per field)
+//! - newtype and tuple structs
+//! - enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default representation)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` (content-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (content-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Tokens {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn new(ts: TokenStream) -> Tokens {
+        Tokens {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip (and collect serde-relevant parts of) leading `#[...]`
+    /// attributes, including the `#[doc = "..."]` form doc comments
+    /// lower to.
+    fn take_attrs(&mut self) -> Result<FieldAttrs, String> {
+        let mut attrs = FieldAttrs::default();
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                return Err("expected [...] after #".to_string());
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let Some(TokenTree::Group(args)) = inner.get(1) else {
+                continue;
+            };
+            let mut it = args.stream().into_iter().peekable();
+            while let Some(tok) = it.next() {
+                match tok {
+                    TokenTree::Ident(i) if i.to_string() == "default" => attrs.default = true,
+                    TokenTree::Ident(i) if i.to_string() == "skip_serializing_if" => {
+                        // consume `= "path"`
+                        let _eq = it.next();
+                        if let Some(TokenTree::Literal(l)) = it.next() {
+                            let s = l.to_string();
+                            attrs.skip_serializing_if = Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                    TokenTree::Punct(_) => {}
+                    other => {
+                        return Err(format!("unsupported serde attribute: {other}"));
+                    }
+                }
+            }
+        }
+        Ok(attrs)
+    }
+
+    /// Skip an optional `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip tokens of a type until a top-level `,` (consumed) or the end.
+    /// Angle brackets are depth-tracked; `(..)`/`[..]` groups are atomic
+    /// token trees and need no tracking.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        self.next();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut t = Tokens::new(input);
+    t.take_attrs()?;
+    t.skip_vis();
+    let kw = match t.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match t.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(t.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type {name}"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => match t.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            other => Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match t.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body for {name}, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for item kind {other}")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut t = Tokens::new(body);
+    let mut fields = Vec::new();
+    while !t.at_end() {
+        let attrs = t.take_attrs()?;
+        if t.at_end() {
+            break;
+        }
+        t.skip_vis();
+        let name = match t.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match t.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        t.skip_type();
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut t = Tokens::new(body);
+    let mut count = 0;
+    while !t.at_end() {
+        let _ = t.take_attrs();
+        if t.at_end() {
+            break;
+        }
+        t.skip_vis();
+        if t.at_end() {
+            break;
+        }
+        t.skip_type();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut t = Tokens::new(body);
+    let mut variants = Vec::new();
+    while !t.at_end() {
+        t.take_attrs()?;
+        if t.at_end() {
+            break;
+        }
+        let name = match t.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let shape = match t.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                t.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                t.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume the separating comma, if any.
+        if matches!(t.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            t.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body =
+                String::from("let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            for f in fields {
+                let push = format!(
+                    "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_content(&self.{n})));\n",
+                    n = f.name
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    body.push_str(&format!("if !{pred}(&self.{}) {{ {push} }}\n", f.name));
+                } else {
+                    body.push_str(&push);
+                }
+            }
+            body.push_str("::serde::Content::Map(__m)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            let push = format!(
+                                "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_content({n})));\n",
+                                n = f.name
+                            );
+                            if let Some(pred) = &f.attrs.skip_serializing_if {
+                                inner.push_str(&format!("if !{pred}({}) {{ {push} }}\n", f.name));
+                            } else {
+                                inner.push_str(&push);
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Map(__m))]) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_fields_de(ty_label: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fallback = if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::DeError::missing_field(\"{ty_label}\", \"{n}\"))",
+                n = f.name
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match ::serde::content_field({map_expr}, \"{n}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                 None => {fallback},\n\
+             }},\n",
+            n = f.name
+        ));
+    }
+    inits
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = named_fields_de(name, fields, "__map");
+            let body = format!(
+                "let __map = __c.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", __c, \"{name}\"))?;\n\
+                 Ok({name} {{\n{inits}\n}})"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let __seq = __c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", __c, \"{name}\"))?;\n\
+                     if __seq.len() != {arity} {{\n\
+                         return Err(::serde::DeError::custom(\"wrong tuple length for {name}\"));\n\
+                     }}\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let build = if *arity == 1 {
+                            format!("Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?))")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&__seq[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", __v, \"{name}::{vn}\"))?;\n\
+                                   if __seq.len() != {arity} {{\n\
+                                       return Err(::serde::DeError::custom(\"wrong arity for {name}::{vn}\"));\n\
+                                   }}\n\
+                                   Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{vn}\" => {build},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let label = format!("{name}::{vn}");
+                        let inits = named_fields_de(&label, fields, "__vmap");
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __vmap = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", __v, \"{label}\"))?;\n\
+                                 Ok({name}::{vn} {{\n{inits}\n}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                     }},\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __v) = &__m[0];\n\
+                         match __k.as_str() {{\n\
+                             {payload_arms}\
+                             __other => Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                         }}\n\
+                     }},\n\
+                     __other => Err(::serde::DeError::expected(\"variant string or single-key map\", __other, \"{name}\")),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

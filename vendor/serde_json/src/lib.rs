@@ -1,0 +1,742 @@
+//! Vendored, dependency-free stand-in for `serde_json`, built on the
+//! [`serde::Content`] tree from the vendored `serde` facade. Implements
+//! the subset of the real crate's API this workspace uses: [`Value`],
+//! [`Number`], the [`json!`] macro, and the string/bytes entry points
+//! (`to_string`, `to_string_pretty`, `to_vec`, `from_str`, `from_slice`).
+//!
+//! Output is real JSON, compatible with what the genuine serde stack
+//! would produce for the same data.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+mod parse;
+mod write;
+
+pub use parse::parse_content;
+
+// ---------------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------------
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Number
+// ---------------------------------------------------------------------------
+
+/// A JSON number: a non-negative integer, a negative integer, or a float.
+/// Construction normalizes non-negative integers to the unsigned variant
+/// so equal numbers always compare equal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Build from a float; returns `None` for NaN/infinity (not
+    /// representable in JSON).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number(N::Float(f)))
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(u) => i64::try_from(u).ok(),
+            N::NegInt(i) => Some(i),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(u) => Some(u),
+            N::NegInt(_) | N::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always succeeds, possibly lossily).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::PosInt(u) => u as f64,
+            N::NegInt(i) => i as f64,
+            N::Float(f) => f,
+        })
+    }
+
+    /// Whether this number is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::Float(_))
+    }
+
+    /// Whether this number fits in `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// Whether this number is a non-negative integer.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, N::PosInt(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(u) => write!(f, "{u}"),
+            N::NegInt(i) => write!(f, "{i}"),
+            N::Float(x) => write!(f, "{}", write::format_f64(x)),
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Number {
+        Number(N::PosInt(v))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Number {
+        if v >= 0 {
+            Number(N::PosInt(v as u64))
+        } else {
+            Number(N::NegInt(v))
+        }
+    }
+}
+
+macro_rules! number_from_int {
+    ($($t:ty => $via:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number { Number::from(v as $via) }
+        }
+    )*};
+}
+number_from_int!(i8 => i64, i16 => i64, i32 => i64, isize => i64,
+                 u8 => u64, u16 => u64, u32 => u64, usize => u64);
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Number {
+        Number(N::Float(v))
+    }
+}
+
+impl From<f32> for Number {
+    fn from(v: f32) -> Number {
+        Number(N::Float(v as f64))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// The map type used for JSON objects (sorted keys, like serde_json's
+/// default).
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `Some(&str)` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(bool)` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `Some(i64)` if this is an integer in `i64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(u64)` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(f64)` if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Vec<Value>)` if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the array elements.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `Some(&Map)` if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the object entries.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value is a boolean.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// Whether this value is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Whether this value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Object-field or array-element lookup, like `serde_json`'s `get`.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// Replace this value with `Null`, returning the old value.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+/// Types usable as an index into a [`Value`] (`&str` for objects,
+/// `usize` for arrays).
+pub trait ValueIndex {
+    /// Resolve the index against a value.
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+
+    /// Resolve the index for mutation, inserting as needed (objects
+    /// auto-vivify like the real `serde_json`; arrays panic out of
+    /// bounds).
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value;
+}
+
+impl ValueIndex for str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object().and_then(|m| m.get(self))
+    }
+
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        if let Value::Null = v {
+            *v = Value::Object(Map::new());
+        }
+        match v {
+            Value::Object(m) => m.entry(self.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index {other:?} with string \"{self}\""),
+        }
+    }
+}
+
+impl ValueIndex for &str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        (*self).index_into(v)
+    }
+
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        (*self).index_into_mut(v)
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().index_into(v)
+    }
+
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        self.as_str().index_into_mut(v)
+    }
+}
+
+impl ValueIndex for usize {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        match v {
+            Value::Array(a) => {
+                let len = a.len();
+                a.get_mut(*self).unwrap_or_else(|| {
+                    panic!("index {self} out of bounds of array of length {len}")
+                })
+            }
+            other => panic!("cannot index {other:?} with {self}"),
+        }
+    }
+}
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl<I: ValueIndex> std::ops::IndexMut<I> for Value {
+    fn index_mut(&mut self, index: I) -> &mut Value {
+        index.index_into_mut(self)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering, like `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&write::write_content(&self.to_content(), None))
+    }
+}
+
+// --- conversions -----------------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+macro_rules! value_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(Number::from(n))
+            }
+        }
+    )*};
+}
+value_from_number!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+// --- comparisons with primitives ------------------------------------------
+
+macro_rules! value_partial_eq {
+    ($($t:ty => |$v:ident, $o:ident| $cmp:expr),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, $o: &$t) -> bool {
+                let $v = self;
+                $cmp
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_partial_eq! {
+    bool => |v, o| v.as_bool() == Some(*o),
+    &str => |v, o| v.as_str() == Some(*o),
+    String => |v, o| v.as_str() == Some(o.as_str()),
+    i32 => |v, o| v.as_i64() == Some(*o as i64),
+    i64 => |v, o| v.as_i64() == Some(*o),
+    u32 => |v, o| v.as_u64() == Some(*o as u64),
+    u64 => |v, o| v.as_u64() == Some(*o),
+    usize => |v, o| v.as_u64() == Some(*o as u64),
+    f64 => |v, o| v.as_f64() == Some(*o),
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+// --- serde bridge ----------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => match n.0 {
+                N::PosInt(u) => Content::U64(u),
+                N::NegInt(i) => Content::I64(i),
+                N::Float(f) => Content::F64(f),
+            },
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(a) => Content::Seq(a.iter().map(Serialize::to_content).collect()),
+            Value::Object(m) => {
+                Content::Map(m.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+            }
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> std::result::Result<Self, DeError> {
+        Ok(match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::I64(i) => Value::Number(Number::from(*i)),
+            Content::U64(u) => Value::Number(Number::from(*u)),
+            Content::F64(f) => Value::Number(Number::from(*f)),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(s) => Value::Array(
+                s.iter()
+                    .map(Value::from_content)
+                    .collect::<std::result::Result<_, _>>()?,
+            ),
+            Content::Map(m) => Value::Object(
+                m.iter()
+                    .map(|(k, v)| Ok((k.clone(), Value::from_content(v)?)))
+                    .collect::<std::result::Result<_, DeError>>()?,
+            ),
+        })
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Value {
+    Value::from_content(&value.to_content()).expect("Value::from_content is total")
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::write_content(&value.to_content(), None))
+}
+
+/// Serialize to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::write_content(&value.to_content(), Some(0)))
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let content = parse::parse_content(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(v: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(v).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] from JSON-ish syntax: `null`, literals, arrays,
+/// and objects nest arbitrarily; non-literal values are any expression
+/// implementing `Serialize`. Same recursive token-muncher shape as the
+/// real `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+/// Implementation detail of [`json!`]; exported because macro expansion
+/// is textual. Do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////////////////////////////////////////////////////////////////
+    // @array: accumulate elements into [$($elems:expr,)*].
+    //////////////////////////////////////////////////////////////////
+
+    // Done with trailing comma.
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    // Done without trailing comma.
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    // Next element is `null`.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    // Next element is `true`.
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    // Next element is `false`.
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    // Next element is an array.
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    // Next element is an object.
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    // Next element is an expression followed by a comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    // Last element is an expression with no trailing comma.
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    // Comma after the most recent element.
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////////////////////////////////////////////////////
+    // @object: munch `key: value` pairs into an existing map binding.
+    // State: (partial key tokens) (remaining tokens) (copy of remaining)
+    //////////////////////////////////////////////////////////////////
+
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert the current entry followed by a trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the last entry without a trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Next value is `null`.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    // Next value is `true`.
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    // Next value is `false`.
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    // Next value is an array.
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    // Next value is an object.
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    // Next value is an expression followed by a comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    // Last value is an expression with no trailing comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch a token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) $copy);
+    };
+
+    //////////////////////////////////////////////////////////////////
+    // Entry points.
+    //////////////////////////////////////////////////////////////////
+
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(from_str::<Value>("42").unwrap(), json!(42));
+        assert_eq!(from_str::<Value>("-3").unwrap(), json!(-3));
+        assert_eq!(from_str::<Value>("2.5").unwrap(), json!(2.5));
+        assert_eq!(from_str::<Value>("\"frog\"").unwrap(), json!("frog"));
+        assert_eq!(from_str::<Value>("true").unwrap(), json!(true));
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn object_macro_and_access() {
+        let v = json!({"name": "Hyla faber", "year": 2013, "checked": 0.8});
+        assert_eq!(v["name"], "Hyla faber");
+        assert_eq!(v["year"].as_u64(), Some(2013));
+        assert_eq!(v["checked"].as_f64(), Some(0.8));
+        assert!(v["missing"].is_null());
+        assert_eq!(v.get("year").and_then(Value::as_i64), Some(2013));
+    }
+
+    #[test]
+    fn float_keeps_float_syntax() {
+        let v = json!(2.0);
+        assert_eq!(to_string(&v).unwrap(), "2.0");
+        assert_eq!(from_str::<Value>("2.0").unwrap(), v);
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let v = json!({"k": [1, 2, 3], "inner": json!({"a": true})});
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
+        assert_eq!(v["k"].as_array().map(Vec::len), Some(3));
+        assert_eq!(v["inner"]["a"], true);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!("line\nbreak \"quoted\" tab\t\\ \u{1F438}");
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let s = to_string_pretty(&json!({"a": [1]})).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{oops}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<u8>("300").is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Recursive-descent JSON parser producing a [`Content`] tree.
+
+use serde::Content;
+
+use crate::Error;
+
+/// Parse a JSON document into a content tree. Trailing whitespace is
+/// allowed; trailing non-whitespace is an error.
+pub fn parse_content(s: &str) -> Result<Content, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::msg(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_keyword("null").map(|_| Content::Null),
+            Some(b't') => self.expect_keyword("true").map(|_| Content::Bool(true)),
+            Some(b'f') => self.expect_keyword("false").map(|_| Content::Bool(false)),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Content::Seq(items)),
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Content::Map(entries)),
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let first = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: a `\uXXXX` low surrogate
+                            // must follow.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let low = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: the input is a valid &str, so
+                    // re-decode the full character from the source.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    self.pos = start + width;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Some(rest) = text.strip_prefix('-') {
+                if rest.parse::<u64>().is_ok() {
+                    if let Ok(v) = text.parse::<i64>() {
+                        return Ok(Content::I64(v));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::msg(format!("invalid number `{text}` at byte {start}")))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}

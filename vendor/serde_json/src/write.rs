@@ -1,0 +1,122 @@
+//! JSON text output from a [`Content`] tree.
+
+use serde::Content;
+
+/// Render a finite float so it parses back as a float: integral values
+/// get a trailing `.0`, everything else uses Rust's shortest round-trip
+/// formatting (which never drops the decimal point for fractional
+/// values). Non-finite values have no JSON representation and render as
+/// `null`.
+pub(crate) fn format_f64(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e16 {
+        format!("{f:.1}")
+    } else {
+        let s = format!("{f}");
+        // `{}` switches to `1e21`-style output for very large magnitudes,
+        // which is still valid JSON.
+        s
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialize a content tree to JSON text. `indent` of `None` means
+/// compact output; `Some(level)` means pretty output with two spaces per
+/// level, matching `serde_json::to_string_pretty`.
+pub(crate) fn write_content(c: &Content, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_inner(c, indent, &mut out);
+    out
+}
+
+fn newline_indent(level: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_inner(c: &Content, indent: Option<usize>, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&format_f64(*v)),
+        Content::Str(s) => escape_into(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match indent {
+                    Some(level) => {
+                        newline_indent(level + 1, out);
+                        write_inner(item, Some(level + 1), out);
+                    }
+                    None => write_inner(item, None, out),
+                }
+            }
+            if let Some(level) = indent {
+                newline_indent(level, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match indent {
+                    Some(level) => {
+                        newline_indent(level + 1, out);
+                        escape_into(k, out);
+                        out.push_str(": ");
+                        write_inner(v, Some(level + 1), out);
+                    }
+                    None => {
+                        escape_into(k, out);
+                        out.push(':');
+                        write_inner(v, None, out);
+                    }
+                }
+            }
+            if let Some(level) = indent {
+                newline_indent(level, out);
+            }
+            out.push('}');
+        }
+    }
+}
