@@ -1,0 +1,124 @@
+//! Fault-tolerance benchmarks: bounded pool vs thread-per-processor
+//! waves, and breaker fast-fail vs burning the full retry budget.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+use preserva_wfms::breaker::BreakerConfig;
+use preserva_wfms::engine::{Engine, EngineConfig, RetryPolicy};
+use preserva_wfms::model::{Processor, Workflow};
+use preserva_wfms::services::{port, PortMap, ServiceError, ServiceRegistry};
+
+/// A single-wave workflow `width` processors wide.
+fn wide_workflow(width: usize) -> Workflow {
+    let mut w = Workflow::new("wide", "wide").with_input("x");
+    for i in 0..width {
+        let name = format!("p{i:03}");
+        let out = format!("y{i:03}");
+        w = w
+            .with_output(&out)
+            .with_processor(Processor::service(&name, "work", &["in"], &["out"]))
+            .link_input("x", &name, "in")
+            .link_output(&name, "out", &out);
+    }
+    w
+}
+
+fn work_registry() -> ServiceRegistry {
+    let mut r = ServiceRegistry::new();
+    r.register_fn("work", |i: &PortMap| {
+        // A little CPU per processor so scheduling costs don't dominate.
+        let mut acc = i["in"].as_i64().unwrap_or(0) as u64;
+        for _ in 0..2_000 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        Ok(port("out", json!(acc)))
+    });
+    r
+}
+
+/// One 64-wide wave: bounded pool (hardware parallelism) versus one
+/// thread per processor (the engine's old spawn-per-member strategy,
+/// recovered by setting the bound to the wave width).
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    let width = 64;
+    let w = wide_workflow(width);
+    let input = port("x", json!(3));
+    let engine_for = |max_concurrency: usize| {
+        Engine::new(
+            work_registry(),
+            EngineConfig {
+                max_attempts: 1,
+                max_concurrency,
+                ..Default::default()
+            },
+        )
+    };
+    let bounded = engine_for(0); // 0 = available parallelism
+    let spawny = engine_for(width); // one worker per wave member
+    let sequential = engine_for(1);
+    let mut g = c.benchmark_group("fault/wave64");
+    g.bench_function("pool_auto", |b| b.iter(|| bounded.run(&w, &input).unwrap()));
+    g.bench_function("thread_per_processor", |b| {
+        b.iter(|| spawny.run(&w, &input).unwrap())
+    });
+    g.bench_function("sequential", |b| {
+        b.iter(|| sequential.run(&w, &input).unwrap())
+    });
+    g.finish();
+}
+
+/// A dead service: failing through the whole retry budget versus failing
+/// fast on a tripped breaker.
+fn bench_breaker_fast_fail(c: &mut Criterion) {
+    let dead_registry = || {
+        let mut r = ServiceRegistry::new();
+        r.register_fn("dead", |_: &PortMap| {
+            Err(ServiceError::Transient("upstream unreachable".into()))
+        });
+        r
+    };
+    let w =
+        Workflow::new("w", "dead-call").with_processor(Processor::service("p", "dead", &[], &[]));
+    let input = PortMap::new();
+
+    let no_breaker = Engine::new(
+        dead_registry(),
+        EngineConfig {
+            max_attempts: 8,
+            retry: RetryPolicy::none(), // isolate attempt cost from sleeps
+            breaker: BreakerConfig::disabled(),
+            ..Default::default()
+        },
+    );
+    let breaker = Engine::new(
+        dead_registry(),
+        EngineConfig {
+            max_attempts: 8,
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_secs(3600), // stays open all bench
+                half_open_probes: 1,
+            },
+            ..Default::default()
+        },
+    );
+    // Trip it before measuring: steady-state is the open-breaker path.
+    let _ = breaker.run(&w, &input);
+    assert!(breaker.stats().breaker_trips >= 1);
+
+    let mut g = c.benchmark_group("fault/dead_service");
+    g.bench_function("full_retry_budget", |b| {
+        b.iter(|| no_breaker.run(&w, &input).unwrap_err())
+    });
+    g.bench_function("breaker_fast_fail", |b| {
+        b.iter(|| breaker.run(&w, &input).unwrap_err())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_vs_spawn, bench_breaker_fast_fail);
+criterion_main!(benches);

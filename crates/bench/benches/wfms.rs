@@ -52,6 +52,7 @@ fn bench_run(c: &mut Criterion) {
         EngineConfig {
             parallel: false,
             max_attempts: 1,
+            ..Default::default()
         },
     )
     .with_sink(Arc::new(NullSink));
@@ -60,6 +61,7 @@ fn bench_run(c: &mut Criterion) {
         EngineConfig {
             parallel: true,
             max_attempts: 1,
+            ..Default::default()
         },
     )
     .with_sink(Arc::new(NullSink));
@@ -77,6 +79,7 @@ fn bench_sink_overhead(c: &mut Criterion) {
     let cfg = EngineConfig {
         parallel: false,
         max_attempts: 1,
+        ..Default::default()
     };
     let null = Engine::new(registry(), cfg.clone()).with_sink(Arc::new(NullSink));
     let buffering_sink = Arc::new(BufferingSink::new());

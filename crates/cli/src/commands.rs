@@ -40,6 +40,10 @@ commands:
   history      show a record's curation history --record ID
   assess       compute quality attributes for the collection
   export       write the collection as CSV --out FILE [--dwc true]
+  stress       hammer the workflow engine with concurrent flaky runs
+               [--runs 200] [--threads 4] [--availability 0.7]
+               [--max-concurrency 0] [--max-attempts 8] [--timeout-ms 0]
+               [--breaker-threshold 5] [--breaker-cooldown-ms 200] [--seed 42]
 ";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -78,6 +82,10 @@ fn load_records(catalog: &RecordCatalog) -> Result<Vec<Record>, Box<dyn Error>> 
 
 /// Dispatch a parsed command line.
 pub fn run(args: &Args) -> CliResult {
+    // `stress` exercises the in-memory engine; it needs no data directory.
+    if args.command == "stress" {
+        return stress(args);
+    }
     let dir = PathBuf::from(args.require("dir")?);
     match args.command.as_str() {
         "ingest" => ingest(args, &dir),
@@ -373,6 +381,145 @@ fn assess(dir: &Path) -> CliResult {
     Ok(())
 }
 
+/// Fault-tolerance stress drill: hundreds of concurrent runs over flaky
+/// services through the bounded pool, reporting engine + breaker stats.
+fn stress(args: &Args) -> CliResult {
+    use preserva_wfms::breaker::BreakerConfig;
+    use preserva_wfms::engine::{Engine as WfEngine, EngineConfig, RetryPolicy};
+    use preserva_wfms::model::{Processor, Workflow};
+    use preserva_wfms::services::{port, FlakyService, FnService, PortMap, Service};
+    use preserva_wfms::sink::BufferingSink;
+    use preserva_wfms::ServiceRegistry;
+    use std::time::{Duration, Instant};
+
+    let runs = args.get_parsed("runs", 200usize, "integer")?;
+    let threads = args.get_parsed("threads", 4usize, "integer")?.max(1);
+    let availability = args.get_parsed("availability", 0.7f64, "number in [0,1]")?;
+    let max_concurrency = args.get_parsed("max-concurrency", 0usize, "integer")?;
+    let max_attempts = args.get_parsed("max-attempts", 8u32, "integer")?;
+    let timeout_ms = args.get_parsed("timeout-ms", 0u64, "integer")?;
+    let breaker_threshold = args.get_parsed("breaker-threshold", 5u32, "integer")?;
+    let breaker_cooldown_ms = args.get_parsed("breaker-cooldown-ms", 200u64, "integer")?;
+    let seed = args.get_parsed("seed", 42u64, "integer")?;
+
+    let echo: Arc<dyn Service> = Arc::new(FnService::new(|i: &PortMap| {
+        Ok(port("out", i["in"].clone()))
+    }));
+    let mut registry = ServiceRegistry::new();
+    for (i, name) in ["col_lookup", "normalise", "archive"].iter().enumerate() {
+        registry.register(
+            name,
+            Arc::new(FlakyService::new(
+                echo.clone(),
+                availability,
+                seed + i as u64,
+            )),
+        );
+    }
+    let workflow = Workflow::new("stress", "curation-chain")
+        .with_input("specimen")
+        .with_output("archived")
+        .with_processor(Processor::service(
+            "lookup",
+            "col_lookup",
+            &["in"],
+            &["out"],
+        ))
+        .with_processor(Processor::service(
+            "normalise",
+            "normalise",
+            &["in"],
+            &["out"],
+        ))
+        .with_processor(Processor::service("archive", "archive", &["in"], &["out"]))
+        .link_input("specimen", "lookup", "in")
+        .link("lookup", "out", "normalise", "in")
+        .link("normalise", "out", "archive", "in")
+        .link_output("archive", "out", "archived");
+
+    let sink = Arc::new(BufferingSink::new());
+    let engine = WfEngine::new(
+        registry,
+        EngineConfig {
+            max_attempts,
+            max_concurrency,
+            retry: RetryPolicy::default(),
+            processor_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+            breaker: BreakerConfig {
+                failure_threshold: breaker_threshold,
+                cooldown: Duration::from_millis(breaker_cooldown_ms),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .with_sink(sink.clone());
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (engine, workflow) = (&engine, &workflow);
+            // Spread `runs` across the threads, remainder to the first.
+            let share = runs / threads + usize::from(t < runs % threads);
+            s.spawn(move || {
+                for i in 0..share {
+                    let _ = engine.run(
+                        workflow,
+                        &port("specimen", serde_json::json!(format!("s-{t}-{i}"))),
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let traces = sink.drain();
+    let unique: std::collections::HashSet<&str> =
+        traces.iter().map(|t| t.run_id.as_str()).collect();
+    let stats = engine.stats();
+    println!(
+        "{} runs in {:.2?} on {} client threads ({:.0} runs/s)",
+        stats.runs,
+        elapsed,
+        threads,
+        stats.runs as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  succeeded {} / failed {}; {} captured, {} unique run ids{}",
+        stats.runs - stats.runs_failed,
+        stats.runs_failed,
+        traces.len(),
+        unique.len(),
+        if unique.len() == traces.len() {
+            ""
+        } else {
+            "  ** COLLISION **"
+        }
+    );
+    println!(
+        "  invocations {} / retries {} / timeouts {}",
+        stats.invocations, stats.retries, stats.timeouts
+    );
+    println!(
+        "  breaker: {} rejections, {} trips, {} recoveries",
+        stats.breaker_rejections, stats.breaker_trips, stats.breaker_recoveries
+    );
+    println!(
+        "  pool: widest wave {} / peak workers {}",
+        stats.widest_wave, stats.peak_workers
+    );
+    for (name, b) in engine.registry().breaker_snapshots() {
+        println!(
+            "  service {name}: {} (trips {}, rejections {}, recoveries {})",
+            b.state, b.trips, b.rejections, b.recoveries
+        );
+    }
+    if unique.len() != traces.len() {
+        return Err("run id collision detected".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +582,14 @@ mod tests {
         .unwrap();
         assert!(run(&args(&format!("query --dir {d}"))).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stress_command_runs_without_a_data_dir() {
+        run(&args(
+            "stress --runs 40 --threads 2 --availability 0.8 --max-attempts 12 --max-concurrency 2",
+        ))
+        .unwrap();
     }
 
     #[test]

@@ -11,7 +11,8 @@ use preserva_quality::model::QualityModel;
 use preserva_quality::report::QualityReport;
 use preserva_storage::engine::{Engine as StorageEngine, EngineOptions};
 use preserva_storage::table::TableStore;
-use preserva_wfms::engine::{Engine as WfEngine, EngineConfig, RunError};
+use preserva_wfms::breaker::BreakerSnapshot;
+use preserva_wfms::engine::{Engine as WfEngine, EngineConfig, EngineStats, RunError};
 use preserva_wfms::model::Workflow;
 use preserva_wfms::repository::WorkflowRepository;
 use preserva_wfms::services::{PortMap, ServiceRegistry};
@@ -199,6 +200,17 @@ impl Architecture {
     /// The workflow repository.
     pub fn workflow_repository(&self) -> &WorkflowRepository {
         &self.workflow_repository
+    }
+
+    /// Execution counters of the embedded WFMS engine (runs, retries,
+    /// timeouts, breaker activity, pool high-water marks).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.wf_engine.stats()
+    }
+
+    /// Per-service circuit-breaker snapshots, by service name.
+    pub fn breaker_snapshots(&self) -> Vec<(String, BreakerSnapshot)> {
+        self.wf_engine.registry().breaker_snapshots()
     }
 
     /// Publish a workflow: versioned in the repository and persisted (as

@@ -32,6 +32,10 @@ pub enum ProvenanceError {
     IllegalGraph(String),
     /// The requested run is not in the repository.
     UnknownRun(String),
+    /// A *different* trace is already stored under this run id. Silently
+    /// overwriting it would destroy provenance; the id-minting side is
+    /// broken and must be fixed, not papered over.
+    DuplicateRun(String),
     /// A stored graph or trace failed to (de)serialize.
     Codec(CodecError),
 }
@@ -42,6 +46,10 @@ impl std::fmt::Display for ProvenanceError {
             ProvenanceError::Storage(e) => write!(f, "provenance storage: {e}"),
             ProvenanceError::IllegalGraph(m) => write!(f, "illegal OPM graph: {m}"),
             ProvenanceError::UnknownRun(r) => write!(f, "unknown run {r:?}"),
+            ProvenanceError::DuplicateRun(r) => write!(
+                f,
+                "run {r:?} already captured with a different trace; refusing to overwrite"
+            ),
             ProvenanceError::Codec(e) => write!(f, "provenance codec: {e}"),
         }
     }
@@ -52,7 +60,9 @@ impl std::error::Error for ProvenanceError {
         match self {
             ProvenanceError::Storage(e) => Some(e),
             ProvenanceError::Codec(e) => Some(e),
-            ProvenanceError::IllegalGraph(_) | ProvenanceError::UnknownRun(_) => None,
+            ProvenanceError::IllegalGraph(_)
+            | ProvenanceError::UnknownRun(_)
+            | ProvenanceError::DuplicateRun(_) => None,
         }
     }
 }
@@ -105,11 +115,28 @@ impl ProvenanceManager {
     /// trace into an OPM graph, validate it, persist graph + trace in ONE
     /// storage commit — recovery never sees a graph without its trace, or
     /// the reverse. Returns the graph.
+    ///
+    /// A run id may be captured at most once: re-capturing the identical
+    /// trace is an idempotent no-op, but a *different* trace under an
+    /// existing id is refused with [`ProvenanceError::DuplicateRun`] —
+    /// overwriting stored provenance would be a silent preservation
+    /// failure (and means run-id minting is broken upstream).
     pub fn capture(
         &self,
         workflow: &Workflow,
         trace: &ExecutionTrace,
     ) -> Result<OpmGraph, ProvenanceError> {
+        if let Some(existing) = self.traces.get(&trace.run_id)? {
+            let same = serde_json::to_string(&existing)
+                .and_then(|a| serde_json::to_string(trace).map(|b| a == b))
+                .unwrap_or(false);
+            if !same {
+                return Err(ProvenanceError::DuplicateRun(trace.run_id.clone()));
+            }
+            // Identical re-capture (e.g. a retried sink call): keep the
+            // stored row, just rebuild and return the graph.
+            return Ok(opm_export::export(workflow, trace));
+        }
         let graph = opm_export::export(workflow, trace);
         let report = opm_validate::validate(&graph);
         if !report.is_legal() {
@@ -256,6 +283,64 @@ mod tests {
         pm.record(&w, &t).unwrap();
         assert_eq!(pm.run_ids().unwrap(), vec![t.run_id.clone()]);
         assert!(pm.load_trace(&t.run_id).is_ok());
+    }
+
+    #[test]
+    fn identical_recapture_is_idempotent() {
+        let pm = ProvenanceManager::new(store("idempotent"));
+        let (w, t) = run_one();
+        let g1 = pm.capture(&w, &t).unwrap();
+        let g2 = pm.capture(&w, &t).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(pm.run_ids().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn different_trace_under_same_run_id_is_refused() {
+        let pm = ProvenanceManager::new(store("duplicate"));
+        let (w, t) = run_one();
+        pm.capture(&w, &t).unwrap();
+        // A second run forced onto the first run's id must be rejected,
+        // and the stored trace must be untouched.
+        let (_, mut t2) = run_one();
+        t2.run_id = t.run_id.clone();
+        assert!(matches!(
+            pm.capture(&w, &t2),
+            Err(ProvenanceError::DuplicateRun(id)) if id == t.run_id
+        ));
+        let stored = pm.load_trace(&t.run_id).unwrap();
+        assert_eq!(stored.elapsed, t.elapsed, "original trace preserved");
+    }
+
+    /// Regression: two engines sharing one repository used to both mint
+    /// `run-000001`, the second silently overwriting the first run's
+    /// provenance. Run ids are now globally unique, so both captures land.
+    #[test]
+    fn two_engines_sharing_one_repository_never_collide() {
+        let pm = Arc::new(ProvenanceManager::new(store("two-engines")));
+        let mut r = ServiceRegistry::new();
+        r.register_fn("id", |i: &PortMap| Ok(port("out", i["in"].clone())));
+        let w = Workflow::new("w", "identity")
+            .with_input("x")
+            .with_output("y")
+            .with_processor(Processor::service("p", "id", &["in"], &["out"]))
+            .link_input("x", "p", "in")
+            .link_output("p", "out", "y");
+        let e1 = WfEngine::new(r.clone(), EngineConfig::default()).with_sink(pm.clone());
+        let e2 = WfEngine::new(r, EngineConfig::default()).with_sink(pm.clone());
+        let t1 = e1.run(&w, &port("x", json!(1))).unwrap();
+        let t2 = e2.run(&w, &port("x", json!(2))).unwrap();
+        assert_ne!(t1.run_id, t2.run_id, "first runs of two engines collided");
+        let ids = pm.run_ids().unwrap();
+        assert_eq!(ids.len(), 2, "both runs captured, nothing overwritten");
+        assert_eq!(
+            pm.load_trace(&t1.run_id).unwrap().workflow_inputs["x"],
+            json!(1)
+        );
+        assert_eq!(
+            pm.load_trace(&t2.run_id).unwrap().workflow_inputs["x"],
+            json!(2)
+        );
     }
 
     #[test]

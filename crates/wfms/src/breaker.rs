@@ -1,0 +1,359 @@
+//! Per-service circuit breakers: fail fast when a remote source is down.
+//!
+//! The paper's quality dimensions are computed *from* execution
+//! provenance, so a dead Catalogue-of-Life-style source must not melt the
+//! engine down: without a breaker, every processor that touches the dead
+//! service burns its whole retry budget (attempts × backoff) before
+//! failing. The breaker is the classic three-state machine:
+//!
+//! ```text
+//!           failure_threshold consecutive failures
+//!   Closed ────────────────────────────────────────▶ Open
+//!     ▲                                               │ cooldown elapses
+//!     │ half_open_probes successes                    ▼
+//!     └──────────────────────────────────────────  HalfOpen
+//!                  (probe failure reopens)
+//! ```
+//!
+//! While `Open`, every admission is rejected instantly — pending
+//! invocations fail in microseconds instead of seconds. After `cooldown`
+//! the breaker admits a bounded number of probes (`HalfOpen`); a probe
+//! success closes the breaker again, a probe failure re-opens it.
+//!
+//! Only *transient* failures (including injected timeouts) count toward
+//! tripping: a permanent failure is a property of the input, not of the
+//! service's health.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Breaker tuning, part of the engine's [`crate::engine::EngineConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip the breaker. `0` disables
+    /// circuit breaking entirely.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting probes.
+    pub cooldown: Duration,
+    /// Probe successes required in half-open state to close again.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(500),
+            half_open_probes: 1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A config with circuit breaking turned off.
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            failure_threshold: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Whether this config enables breaking at all.
+    pub fn enabled(&self) -> bool {
+        self.failure_threshold > 0
+    }
+}
+
+/// The three breaker states, as observed from outside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are rejected without touching the service.
+    Open,
+    /// A bounded number of probe requests are admitted.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Verdict of [`CircuitBreaker::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed with the invocation; report the outcome back.
+    Admitted,
+    /// The circuit is open (or half-open with all probe slots taken):
+    /// fail fast without invoking the service.
+    Rejected,
+}
+
+#[derive(Debug)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen { in_flight: u32, successes: u32 },
+}
+
+/// Point-in-time counters for one breaker, for stats output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// Current state.
+    pub state: BreakerState,
+    /// Closed→Open and HalfOpen→Open transitions so far.
+    pub trips: u64,
+    /// Invocations rejected without touching the service.
+    pub rejections: u64,
+    /// HalfOpen→Closed transitions (service came back).
+    pub recoveries: u64,
+}
+
+/// One service's circuit breaker. Shared across engine runs via `Arc`
+/// (the [`crate::services::ServiceRegistry`] owns one per service).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+    trips: AtomicU64,
+    rejections: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given config.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+            trips: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Ask to invoke the service. On [`Admission::Admitted`] the caller
+    /// MUST later report [`record_success`](Self::record_success) or
+    /// [`record_failure`](Self::record_failure) exactly once.
+    pub fn admit(&self) -> Admission {
+        if !self.config.enabled() {
+            return Admission::Admitted;
+        }
+        let mut state = self.state.lock();
+        match &mut *state {
+            State::Closed { .. } => Admission::Admitted,
+            State::Open { until } => {
+                if Instant::now() >= *until {
+                    *state = State::HalfOpen {
+                        in_flight: 1,
+                        successes: 0,
+                    };
+                    Admission::Admitted
+                } else {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    Admission::Rejected
+                }
+            }
+            State::HalfOpen {
+                in_flight,
+                successes,
+            } => {
+                // Admit at most the probe budget concurrently.
+                if *in_flight + *successes < self.config.half_open_probes {
+                    *in_flight += 1;
+                    Admission::Admitted
+                } else {
+                    self.rejections.fetch_add(1, Ordering::Relaxed);
+                    Admission::Rejected
+                }
+            }
+        }
+    }
+
+    /// Report a successful admitted invocation.
+    pub fn record_success(&self) {
+        if !self.config.enabled() {
+            return;
+        }
+        let mut state = self.state.lock();
+        match &mut *state {
+            State::Closed {
+                consecutive_failures,
+            } => *consecutive_failures = 0,
+            State::Open { .. } => {} // stale report from before the trip
+            State::HalfOpen {
+                in_flight,
+                successes,
+            } => {
+                *in_flight = in_flight.saturating_sub(1);
+                *successes += 1;
+                if *successes >= self.config.half_open_probes {
+                    self.recoveries.fetch_add(1, Ordering::Relaxed);
+                    *state = State::Closed {
+                        consecutive_failures: 0,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Report a transiently failed admitted invocation (timeouts count).
+    pub fn record_failure(&self) {
+        if !self.config.enabled() {
+            return;
+        }
+        let mut state = self.state.lock();
+        match &mut *state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.config.failure_threshold {
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    *state = State::Open {
+                        until: Instant::now() + self.config.cooldown,
+                    };
+                }
+            }
+            State::Open { .. } => {}
+            State::HalfOpen { .. } => {
+                // The probe failed: the service is still down.
+                self.trips.fetch_add(1, Ordering::Relaxed);
+                *state = State::Open {
+                    until: Instant::now() + self.config.cooldown,
+                };
+            }
+        }
+    }
+
+    /// Current state (for stats; the admit path re-checks atomically).
+    pub fn state(&self) -> BreakerState {
+        match &*self.state.lock() {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { until } => {
+                if Instant::now() >= *until {
+                    BreakerState::HalfOpen // would admit a probe
+                } else {
+                    BreakerState::Open
+                }
+            }
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Counters + state for stats output.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state(),
+            trips: self.trips.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(threshold: u32, cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+            half_open_probes: 1,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(config(3, 10_000));
+        for _ in 0..2 {
+            assert_eq!(b.admit(), Admission::Admitted);
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Admitted);
+        b.record_failure(); // third consecutive failure trips it
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Rejected);
+        let s = b.snapshot();
+        assert_eq!(s.trips, 1);
+        assert_eq!(s.rejections, 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(config(3, 10_000));
+        for _ in 0..2 {
+            b.admit();
+            b.record_failure();
+        }
+        b.admit();
+        b.record_success(); // streak broken
+        for _ in 0..2 {
+            b.admit();
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "streak restarted");
+    }
+
+    #[test]
+    fn half_open_probe_recovers() {
+        let b = CircuitBreaker::new(config(1, 20));
+        b.admit();
+        b.record_failure();
+        assert_eq!(b.admit(), Admission::Rejected, "open during cooldown");
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), Admission::Admitted, "cooldown elapsed: probe");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.snapshot().recoveries, 1);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = CircuitBreaker::new(config(1, 10));
+        b.admit();
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.admit(), Admission::Admitted);
+        b.record_failure(); // probe fails → open again
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Rejected);
+        assert_eq!(b.snapshot().trips, 2);
+    }
+
+    #[test]
+    fn half_open_admits_only_the_probe_budget() {
+        let b = CircuitBreaker::new(config(1, 5));
+        b.admit();
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.admit(), Admission::Admitted, "first probe in");
+        // Probe still in flight: a second caller must not pile on.
+        assert_eq!(b.admit(), Admission::Rejected);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn disabled_breaker_never_rejects() {
+        let b = CircuitBreaker::new(BreakerConfig::disabled());
+        for _ in 0..100 {
+            assert_eq!(b.admit(), Admission::Admitted);
+            b.record_failure();
+        }
+        assert_eq!(b.snapshot().trips, 0);
+    }
+}

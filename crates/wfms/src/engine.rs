@@ -1,32 +1,112 @@
-//! The execution engine: wave-parallel dataflow evaluation with retry
-//! policies and trace capture.
+//! The execution engine: wave-parallel dataflow evaluation with a
+//! bounded worker pool, real retry policies (exponential backoff +
+//! jitter, wall-clock timeouts), per-service circuit breakers and trace
+//! capture.
 //!
 //! Execution proceeds in *waves*: every processor whose inputs are all
-//! available runs concurrently (one crossbeam scoped thread each), then
-//! the next wave is computed. Within a wave, results are collected in
-//! processor-name order, so traces are deterministic even though execution
-//! is parallel.
+//! available runs concurrently on a bounded worker pool (at most
+//! [`EngineConfig::max_concurrency`] threads, not one thread per
+//! processor), then the next wave is computed. Within a wave, results
+//! are collected in processor-name order, so traces are deterministic
+//! even though execution is parallel.
+//!
+//! Fault tolerance is layered:
+//!
+//! * **retry with backoff** — transient service failures are retried up
+//!   to [`EngineConfig::max_attempts`] times, sleeping an exponentially
+//!   growing, jittered delay between attempts ([`RetryPolicy`]);
+//! * **wall-clock timeout** — [`EngineConfig::processor_timeout`] bounds
+//!   one processor invocation *including* all its retries and backoff;
+//! * **circuit breakers** — consecutive transient failures of one
+//!   service trip its breaker (shared through the
+//!   [`ServiceRegistry`]), after which invocations fail fast instead of
+//!   burning their retry budget; cooled-down breakers admit half-open
+//!   probes and close again on success ([`crate::breaker`]).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
+use crate::breaker::{Admission, BreakerConfig};
 use crate::model::{Endpoint, ProcessorKind, Workflow};
+use crate::pool;
 use crate::services::{PortMap, ServiceError, ServiceRegistry};
 use crate::sink::{NullSink, ProvenanceSink};
 use crate::trace::{ExecutionTrace, RunStatus, TraceEvent};
 use crate::validate::{self, WorkflowViolation};
+
+/// Exponential-backoff retry timing, part of [`EngineConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry; doubles per failed attempt.
+    pub base_delay: Duration,
+    /// Cap on the (pre-jitter) backoff delay.
+    pub max_delay: Duration,
+    /// Fraction of the delay randomly shaved off (0.0 = deterministic
+    /// full delay, 1.0 = anywhere in `[0, delay)`). Jitter is derived
+    /// deterministically from the engine nonce + processor + attempt, so
+    /// runs are reproducible while engines still decorrelate.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Zero-delay retries (the pre-backoff behaviour; useful in tests).
+    pub fn none() -> Self {
+        RetryPolicy {
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// Backoff before the retry that follows `failed_attempts` failures,
+    /// jittered deterministically by `salt`.
+    pub fn delay_for(&self, failed_attempts: u32, salt: u64) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = failed_attempts.saturating_sub(1).min(20);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay.max(self.base_delay));
+        let unit =
+            (splitmix64(salt ^ u64::from(failed_attempts)) >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - self.jitter.clamp(0.0, 1.0) * unit;
+        raw.mul_f64(factor.max(0.0))
+    }
+}
 
 /// Engine tuning.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Total attempts per processor invocation (1 = no retries).
     pub max_attempts: u32,
-    /// Run wave members on separate threads. Disable for debugging.
+    /// Run wave members on the worker pool. Disable for debugging.
     pub parallel: bool,
+    /// Worker-pool thread bound per wave (0 = available parallelism).
+    /// A wave wider than this queues; it never spawns more threads.
+    pub max_concurrency: usize,
+    /// Backoff between retry attempts.
+    pub retry: RetryPolicy,
+    /// Wall-clock budget for one processor invocation including all its
+    /// retries and backoff sleeps. `None` = unbounded.
+    pub processor_timeout: Option<Duration>,
+    /// Per-service circuit-breaker policy (shared via the registry).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for EngineConfig {
@@ -34,6 +114,10 @@ impl Default for EngineConfig {
         EngineConfig {
             max_attempts: 3,
             parallel: true,
+            max_concurrency: 0,
+            retry: RetryPolicy::default(),
+            processor_timeout: None,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -61,11 +145,26 @@ pub enum RunError {
         /// The final error message.
         error: String,
     },
+    /// A processor invocation was rejected because the service's circuit
+    /// breaker is open (the service is considered down).
+    CircuitOpen {
+        /// The processor whose invocation was rejected.
+        processor: String,
+        /// The service whose breaker is open.
+        service: String,
+    },
     /// A service completed but did not produce a declared output port.
     MissingOutputPort {
         /// The offending processor.
         processor: String,
         /// The declared-but-unproduced port.
+        port: String,
+    },
+    /// The run completed but a declared workflow output never
+    /// materialised — a "successful" trace missing outputs would be a
+    /// silent preservation failure, so the run fails instead.
+    MissingWorkflowOutput {
+        /// The declared-but-absent workflow output port.
         port: String,
     },
     /// The run itself succeeded but the provenance sink failed to record
@@ -94,11 +193,20 @@ impl std::fmt::Display for RunError {
                     "processor {processor:?} failed after {attempts} attempts: {error}"
                 )
             }
+            RunError::CircuitOpen { processor, service } => {
+                write!(
+                    f,
+                    "processor {processor:?} rejected: circuit open for service {service:?}"
+                )
+            }
             RunError::MissingOutputPort { processor, port } => {
                 write!(
                     f,
                     "processor {processor:?} produced no output port {port:?}"
                 )
+            }
+            RunError::MissingWorkflowOutput { port } => {
+                write!(f, "declared workflow output {port:?} never materialised")
             }
             RunError::SinkFailed(m) => {
                 write!(f, "run succeeded but provenance capture failed: {m}")
@@ -109,15 +217,76 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// Result of one processor invocation within a wave:
-/// `(name, inputs, Ok((outputs, attempts, retries)) | Err((error, attempts)))`.
-type WaveResult<'a> = (&'a str, PortMap, Result<(PortMap, u32, u32), (String, u32)>);
+/// A successful processor invocation.
+struct Invocation {
+    outputs: PortMap,
+    /// Real error message of every failed (and retried) attempt, in
+    /// attempt order — threaded into the trace verbatim.
+    attempt_errors: Vec<String>,
+    /// Retries performed inside a sub-workflow invocation.
+    nested_retries: u32,
+}
+
+/// A failed processor invocation.
+struct InvokeFailure {
+    /// The final error message.
+    error: String,
+    /// Real error message of every failed attempt actually made.
+    attempt_errors: Vec<String>,
+    /// `Some(service)` when the failure is an open circuit breaker
+    /// rejecting the invocation (before the next attempt was made).
+    rejected_by_breaker: Option<String>,
+}
+
+/// Result of one processor invocation within a wave.
+type WaveResult<'a> = (&'a str, PortMap, Result<Invocation, InvokeFailure>);
+
+/// Point-in-time execution counters for one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Top-level runs started.
+    pub runs: u64,
+    /// Top-level runs that failed (including sink failures).
+    pub runs_failed: u64,
+    /// Service attempts actually made (all processors, all attempts).
+    pub invocations: u64,
+    /// Re-attempts after a transient failure.
+    pub retries: u64,
+    /// Invocations cut off by the wall-clock timeout.
+    pub timeouts: u64,
+    /// Invocations rejected fast by an open circuit breaker.
+    pub breaker_rejections: u64,
+    /// Breaker trips (closed/half-open → open) across all services.
+    pub breaker_trips: u64,
+    /// Breaker recoveries (half-open → closed) across all services.
+    pub breaker_recoveries: u64,
+    /// Widest wave executed.
+    pub widest_wave: u64,
+    /// Most worker threads used for a single wave.
+    pub peak_workers: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    runs: AtomicU64,
+    runs_failed: AtomicU64,
+    invocations: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    breaker_rejections: AtomicU64,
+    widest_wave: AtomicU64,
+    peak_workers: AtomicU64,
+}
 
 /// The workflow execution engine.
 pub struct Engine {
     registry: ServiceRegistry,
     config: EngineConfig,
+    /// Random per-engine nonce baked into every run id, so engines (and
+    /// processes) sharing one provenance repository can never collide.
+    nonce: u64,
     run_counter: AtomicU64,
+    stats: StatCells,
     sink: Arc<dyn ProvenanceSink>,
 }
 
@@ -126,8 +295,81 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("registry", &self.registry)
             .field("config", &self.config)
+            .field("nonce", &format_args!("{:016x}", self.nonce))
             .finish()
     }
+}
+
+/// SplitMix64: cheap, well-mixed 64-bit hash for nonces and jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a string, for jitter salts.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A fresh engine nonce: wall clock ⊕ process id ⊕ a process-global
+/// counter, mixed. Two engines — in one process or across processes
+/// sharing a repository — get distinct nonces.
+fn fresh_nonce() -> u64 {
+    static PER_PROCESS: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seq = PER_PROCESS.fetch_add(1, Ordering::Relaxed);
+    splitmix64(
+        nanos
+            ^ (u64::from(std::process::id())).rotate_left(32)
+            ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// Gather declared workflow outputs from the link-source values; absence
+/// of any declared output is an error, never a silent skip.
+fn collect_workflow_outputs(
+    workflow: &Workflow,
+    available: &BTreeMap<Endpoint, Value>,
+) -> Result<PortMap, RunError> {
+    let mut outputs = PortMap::new();
+    for l in &workflow.links {
+        if let Endpoint::WorkflowOutput { port } = &l.to {
+            if let Some(v) = available.get(&l.from) {
+                outputs.insert(port.clone(), v.clone());
+            }
+        }
+    }
+    for port in &workflow.outputs {
+        if !outputs.contains_key(port) {
+            return Err(RunError::MissingWorkflowOutput { port: port.clone() });
+        }
+    }
+    Ok(outputs)
+}
+
+/// Run a service invocation under a wall-clock deadline on a watchdog
+/// thread. `Err(())` means the deadline passed; the abandoned thread's
+/// eventual result is discarded.
+fn invoke_with_deadline(
+    svc: Arc<dyn crate::services::Service>,
+    inputs: PortMap,
+    remaining: Duration,
+) -> Result<Result<PortMap, ServiceError>, ()> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(svc.invoke(&inputs));
+    });
+    rx.recv_timeout(remaining).map_err(|_| ())
 }
 
 impl Engine {
@@ -137,7 +379,9 @@ impl Engine {
         Engine {
             registry,
             config,
+            nonce: fresh_nonce(),
             run_counter: AtomicU64::new(1),
+            stats: StatCells::default(),
             sink: Arc::new(NullSink),
         }
     }
@@ -155,6 +399,53 @@ impl Engine {
         &self.registry
     }
 
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Execution counters so far, with breaker trip/recovery counts
+    /// aggregated over every service breaker in the registry.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = EngineStats {
+            runs: self.stats.runs.load(Ordering::Relaxed),
+            runs_failed: self.stats.runs_failed.load(Ordering::Relaxed),
+            invocations: self.stats.invocations.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            breaker_rejections: self.stats.breaker_rejections.load(Ordering::Relaxed),
+            breaker_trips: 0,
+            breaker_recoveries: 0,
+            widest_wave: self.stats.widest_wave.load(Ordering::Relaxed),
+            peak_workers: self.stats.peak_workers.load(Ordering::Relaxed),
+        };
+        for (_, b) in self.registry.breaker_snapshots() {
+            s.breaker_trips += b.trips;
+            s.breaker_recoveries += b.recoveries;
+        }
+        s
+    }
+
+    /// The concurrency bound actually applied to waves.
+    fn effective_concurrency(&self) -> usize {
+        if !self.config.parallel {
+            1
+        } else if self.config.max_concurrency == 0 {
+            pool::available_parallelism()
+        } else {
+            self.config.max_concurrency
+        }
+    }
+
+    /// Mint a globally-unique run id: engine nonce + per-engine counter.
+    fn next_run_id(&self) -> String {
+        format!(
+            "run-{:016x}-{:06}",
+            self.nonce,
+            self.run_counter.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
     /// Run `workflow` with the given workflow-level inputs, reporting the
     /// finished run to the provenance sink. Returns the trace either way;
     /// `Err` carries the trace of the failed run.
@@ -169,14 +460,17 @@ impl Engine {
         workflow: &Workflow,
         inputs: &PortMap,
     ) -> Result<ExecutionTrace, (RunError, Box<ExecutionTrace>)> {
+        self.stats.runs.fetch_add(1, Ordering::Relaxed);
         match self.run_inner(workflow, inputs) {
             Ok(trace) => {
                 if let Err(e) = self.sink.record(workflow, &trace) {
+                    self.stats.runs_failed.fetch_add(1, Ordering::Relaxed);
                     return Err((RunError::SinkFailed(e.to_string()), Box::new(trace)));
                 }
                 Ok(trace)
             }
             Err((err, trace)) => {
+                self.stats.runs_failed.fetch_add(1, Ordering::Relaxed);
                 let _ = self.sink.record(workflow, &trace);
                 Err((err, trace))
             }
@@ -191,12 +485,8 @@ impl Engine {
         inputs: &PortMap,
     ) -> Result<ExecutionTrace, (RunError, Box<ExecutionTrace>)> {
         let started = Instant::now();
-        let run_id = format!(
-            "run-{:06}",
-            self.run_counter.fetch_add(1, Ordering::Relaxed)
-        );
         let mut trace = ExecutionTrace {
-            run_id,
+            run_id: self.next_run_id(),
             workflow_id: workflow.id.clone(),
             workflow_name: workflow.name.clone(),
             status: RunStatus::Succeeded,
@@ -209,6 +499,7 @@ impl Engine {
             workflow_outputs: PortMap::new(),
             elapsed: Default::default(),
             total_retries: 0,
+            breaker_rejections: 0,
         };
 
         let fail = |mut trace: ExecutionTrace, err: RunError, started: Instant| {
@@ -294,54 +585,47 @@ impl Engine {
                 wave.push((name, pm));
             }
 
-            // Execute the wave.
-            let results: Vec<WaveResult<'_>> = if self.config.parallel && wave.len() > 1 {
-                crossbeam::scope(|s| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .map(|(name, pm)| {
-                            let proc = workflow.processor(name).expect("known");
-                            s.spawn(move |_| self.invoke(proc, pm))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .zip(wave.iter())
-                        .map(|(h, (name, pm))| {
-                            (*name, pm.clone(), h.join().expect("worker panicked"))
-                        })
-                        .collect()
-                })
-                .expect("scope never panics")
-            } else {
-                wave.iter()
-                    .map(|(name, pm)| {
-                        let proc = workflow.processor(name).expect("known");
-                        (*name, pm.clone(), self.invoke(proc, pm))
-                    })
-                    .collect()
-            };
+            // Execute the wave on the bounded pool (results in wave order,
+            // which is deterministic name order from topological_order).
+            let (results, report): (Vec<WaveResult<'_>>, pool::PoolReport) = pool::scoped_run(
+                self.effective_concurrency(),
+                &wave,
+                |item: &(&str, PortMap)| {
+                    let (name, pm) = item;
+                    let proc = workflow.processor(name).expect("known");
+                    (*name, pm.clone(), self.invoke(proc, pm))
+                },
+            );
+            self.stats
+                .widest_wave
+                .fetch_max(report.tasks as u64, Ordering::Relaxed);
+            self.stats
+                .peak_workers
+                .fetch_max(report.workers as u64, Ordering::Relaxed);
 
-            // Fold results deterministically (wave order = name order from
-            // topological_order, which is deterministic).
+            // Fold results deterministically.
             for (name, pm, result) in results {
                 trace.processor_inputs.insert(name.to_string(), pm);
                 match result {
-                    Ok((outputs, attempts, retries)) => {
-                        for attempt in 1..=attempts {
+                    Ok(inv) => {
+                        let attempts = inv.attempt_errors.len() as u32 + 1;
+                        for (i, error) in inv.attempt_errors.iter().enumerate() {
+                            let attempt = i as u32 + 1;
                             trace.events.push(TraceEvent::ProcessorStarted {
                                 processor: name.to_string(),
                                 attempt,
                             });
-                            if attempt < attempts {
-                                trace.events.push(TraceEvent::ProcessorRetried {
-                                    processor: name.to_string(),
-                                    attempt,
-                                    error: "transient service failure".into(),
-                                });
-                            }
+                            trace.events.push(TraceEvent::ProcessorRetried {
+                                processor: name.to_string(),
+                                attempt,
+                                error: error.clone(),
+                            });
                         }
-                        trace.total_retries += retries;
+                        trace.events.push(TraceEvent::ProcessorStarted {
+                            processor: name.to_string(),
+                            attempt: attempts,
+                        });
+                        trace.total_retries += inv.attempt_errors.len() as u32 + inv.nested_retries;
                         trace.events.push(TraceEvent::ProcessorCompleted {
                             processor: name.to_string(),
                             attempt: attempts,
@@ -349,7 +633,7 @@ impl Engine {
                         // Check declared output ports exist.
                         let proc = workflow.processor(name).expect("known");
                         for port in &proc.outputs {
-                            if !outputs.contains_key(port) {
+                            if !inv.outputs.contains_key(port) {
                                 return fail(
                                     trace,
                                     RunError::MissingOutputPort {
@@ -360,7 +644,7 @@ impl Engine {
                                 );
                             }
                         }
-                        for (port, value) in &outputs {
+                        for (port, value) in &inv.outputs {
                             available.insert(
                                 Endpoint::ProcessorPort {
                                     processor: name.to_string(),
@@ -369,15 +653,22 @@ impl Engine {
                                 value.clone(),
                             );
                         }
-                        trace.processor_outputs.insert(name.to_string(), outputs);
+                        trace
+                            .processor_outputs
+                            .insert(name.to_string(), inv.outputs);
                     }
-                    Err((error, attempts)) => {
-                        for attempt in 1..=attempts {
+                    Err(failure) => {
+                        let made = failure.attempt_errors.len() as u32;
+                        for (i, error) in failure.attempt_errors.iter().enumerate() {
+                            let attempt = i as u32 + 1;
                             trace.events.push(TraceEvent::ProcessorStarted {
                                 processor: name.to_string(),
                                 attempt,
                             });
-                            if attempt < attempts {
+                            // Every attempt before the last was retried;
+                            // with a breaker rejection, even the last made
+                            // attempt was followed by a retry decision.
+                            if attempt < made || failure.rejected_by_breaker.is_some() {
                                 trace.events.push(TraceEvent::ProcessorRetried {
                                     processor: name.to_string(),
                                     attempt,
@@ -385,33 +676,40 @@ impl Engine {
                                 });
                             }
                         }
-                        trace.total_retries += attempts - 1;
-                        trace.events.push(TraceEvent::ProcessorFailed {
-                            processor: name.to_string(),
-                            attempts,
-                            error: error.clone(),
-                        });
-                        return fail(
-                            trace,
+                        trace.total_retries += made.saturating_sub(1);
+                        let err = if let Some(service) = failure.rejected_by_breaker {
+                            trace.breaker_rejections += 1;
+                            trace.events.push(TraceEvent::BreakerRejected {
+                                processor: name.to_string(),
+                                service: service.clone(),
+                            });
+                            RunError::CircuitOpen {
+                                processor: name.to_string(),
+                                service,
+                            }
+                        } else {
                             RunError::ProcessorFailed {
                                 processor: name.to_string(),
-                                attempts,
-                                error,
-                            },
-                            started,
-                        );
+                                attempts: made,
+                                error: failure.error.clone(),
+                            }
+                        };
+                        trace.events.push(TraceEvent::ProcessorFailed {
+                            processor: name.to_string(),
+                            attempts: made,
+                            error: failure.error,
+                        });
+                        return fail(trace, err, started);
                     }
                 }
             }
         }
 
-        // Collect workflow outputs.
-        for l in &workflow.links {
-            if let Endpoint::WorkflowOutput { port } = &l.to {
-                if let Some(v) = available.get(&l.from) {
-                    trace.workflow_outputs.insert(port.clone(), v.clone());
-                }
-            }
+        // Collect workflow outputs; a missing declared output fails the
+        // run instead of being silently dropped.
+        match collect_workflow_outputs(workflow, &available) {
+            Ok(outputs) => trace.workflow_outputs = outputs,
+            Err(err) => return fail(trace, err, started),
         }
         trace.events.push(TraceEvent::RunCompleted);
         trace.elapsed = started.elapsed();
@@ -439,45 +737,175 @@ impl Engine {
         None
     }
 
-    /// Invoke one processor with retry policy. Returns
-    /// `Ok((outputs, attempts, retries))` or `Err((error, attempts))`.
+    /// Invoke one processor under the full fault-tolerance policy:
+    /// breaker admission, wall-clock deadline, retry with backoff.
     fn invoke(
         &self,
         processor: &crate::model::Processor,
         inputs: &PortMap,
-    ) -> Result<(PortMap, u32, u32), (String, u32)> {
+    ) -> Result<Invocation, InvokeFailure> {
         match &processor.kind {
             ProcessorKind::Constant { value } => {
                 let mut out = PortMap::new();
                 out.insert("value".to_string(), value.clone());
-                Ok((out, 1, 0))
+                Ok(Invocation {
+                    outputs: out,
+                    attempt_errors: Vec::new(),
+                    nested_retries: 0,
+                })
             }
             ProcessorKind::Service { service } => {
-                let svc = self
-                    .registry
-                    .get(service)
-                    .expect("pre-resolved before execution");
-                let mut attempt = 0u32;
-                loop {
-                    attempt += 1;
-                    match svc.invoke(inputs) {
-                        Ok(outputs) => return Ok((outputs, attempt, attempt - 1)),
-                        Err(ServiceError::Transient(msg)) => {
-                            if attempt >= self.config.max_attempts {
-                                return Err((msg, attempt));
-                            }
-                        }
-                        Err(ServiceError::Permanent(msg)) => return Err((msg, attempt)),
-                    }
-                }
+                self.invoke_service(&processor.name, service, inputs)
             }
             ProcessorKind::SubWorkflow { workflow } => {
                 // A nested run with its own trace; from the parent's view
                 // the sub-workflow is one processor invocation.
                 match self.run_inner(workflow, inputs) {
-                    Ok(sub_trace) => Ok((sub_trace.workflow_outputs, 1, sub_trace.total_retries)),
-                    Err((err, _sub_trace)) => {
-                        Err((format!("sub-workflow {:?} failed: {err}", workflow.name), 1))
+                    Ok(sub_trace) => Ok(Invocation {
+                        outputs: sub_trace.workflow_outputs,
+                        attempt_errors: Vec::new(),
+                        nested_retries: sub_trace.total_retries,
+                    }),
+                    Err((err, _sub_trace)) => Err(InvokeFailure {
+                        error: format!("sub-workflow {:?} failed: {err}", workflow.name),
+                        attempt_errors: vec![format!(
+                            "sub-workflow {:?} failed: {err}",
+                            workflow.name
+                        )],
+                        rejected_by_breaker: None,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The service retry loop: breaker-gated, deadline-bounded attempts
+    /// with exponential backoff, collecting every real attempt error.
+    fn invoke_service(
+        &self,
+        processor: &str,
+        service: &str,
+        inputs: &PortMap,
+    ) -> Result<Invocation, InvokeFailure> {
+        let svc = self
+            .registry
+            .get(service)
+            .expect("pre-resolved before execution");
+        let breaker = self
+            .config
+            .breaker
+            .enabled()
+            .then(|| self.registry.breaker(service, &self.config.breaker));
+        let deadline = self
+            .config
+            .processor_timeout
+            .map(|t| (t, Instant::now() + t));
+        let salt = self.nonce ^ fnv1a(processor);
+        let mut attempt_errors: Vec<String> = Vec::new();
+        loop {
+            let attempt = attempt_errors.len() as u32 + 1;
+            if let Some(b) = &breaker {
+                if b.admit() == Admission::Rejected {
+                    self.stats
+                        .breaker_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(InvokeFailure {
+                        error: format!("circuit open for service {service:?}"),
+                        attempt_errors,
+                        rejected_by_breaker: Some(service.to_string()),
+                    });
+                }
+            }
+            if attempt > 1 {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            self.stats.invocations.fetch_add(1, Ordering::Relaxed);
+
+            let attempt_result = match deadline {
+                None => Some(svc.invoke(inputs)),
+                Some((budget, d)) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    let outcome = if remaining.is_zero() {
+                        None
+                    } else {
+                        invoke_with_deadline(svc.clone(), inputs.clone(), remaining).ok()
+                    };
+                    if outcome.is_none() {
+                        // Deadline hit before or during the attempt.
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(b) = &breaker {
+                            b.record_failure();
+                        }
+                        attempt_errors.push(format!(
+                            "processor {processor:?} timed out after {budget:?} (attempt {attempt})"
+                        ));
+                    }
+                    outcome
+                }
+            };
+            let Some(result) = attempt_result else {
+                // Wall-clock budget exhausted: no more attempts.
+                return Err(InvokeFailure {
+                    error: attempt_errors.last().cloned().unwrap_or_default(),
+                    attempt_errors,
+                    rejected_by_breaker: None,
+                });
+            };
+
+            match result {
+                Ok(outputs) => {
+                    if let Some(b) = &breaker {
+                        b.record_success();
+                    }
+                    return Ok(Invocation {
+                        outputs,
+                        attempt_errors,
+                        nested_retries: 0,
+                    });
+                }
+                Err(ServiceError::Permanent(msg)) => {
+                    // A permanent error is a property of the input, not of
+                    // the service's health: the service responded.
+                    if let Some(b) = &breaker {
+                        b.record_success();
+                    }
+                    attempt_errors.push(msg.clone());
+                    return Err(InvokeFailure {
+                        error: msg,
+                        attempt_errors,
+                        rejected_by_breaker: None,
+                    });
+                }
+                Err(ServiceError::Transient(msg)) => {
+                    if let Some(b) = &breaker {
+                        b.record_failure();
+                    }
+                    attempt_errors.push(msg.clone());
+                    if attempt >= self.config.max_attempts {
+                        return Err(InvokeFailure {
+                            error: msg,
+                            attempt_errors,
+                            rejected_by_breaker: None,
+                        });
+                    }
+                    let delay = self.config.retry.delay_for(attempt, salt);
+                    if let Some((budget, d)) = deadline {
+                        if Instant::now() + delay >= d {
+                            // Backing off would overrun the budget.
+                            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            let msg = format!(
+                                "processor {processor:?} timed out after {budget:?} (backoff after attempt {attempt})"
+                            );
+                            attempt_errors.push(msg.clone());
+                            return Err(InvokeFailure {
+                                error: msg,
+                                attempt_errors,
+                                rejected_by_breaker: None,
+                            });
+                        }
+                    }
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
                     }
                 }
             }
@@ -488,8 +916,10 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::BreakerState;
+    use crate::fault::FaultPlan;
     use crate::model::Processor;
-    use crate::services::{port, FlakyService, FnService};
+    use crate::services::{port, FlakyService, FnService, Service};
     use serde_json::json;
     use std::sync::Arc;
 
@@ -507,6 +937,15 @@ mod tests {
             Ok(port("out", json!(l + r)))
         });
         r
+    }
+
+    /// Fast test config: no backoff sleeps, no breaker interference.
+    fn fast_config() -> EngineConfig {
+        EngineConfig {
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig::disabled(),
+            ..Default::default()
+        }
     }
 
     fn diamond() -> Workflow {
@@ -549,6 +988,75 @@ mod tests {
         let tp = par.run(&diamond(), &port("x", json!(5))).unwrap();
         assert_eq!(ts.workflow_outputs, tp.workflow_outputs);
         assert_eq!(ts.processor_outputs, tp.processor_outputs);
+    }
+
+    #[test]
+    fn bounded_pool_matches_unbounded_output() {
+        let narrow = Engine::new(
+            registry(),
+            EngineConfig {
+                max_concurrency: 1,
+                ..Default::default()
+            },
+        );
+        let wide = Engine::new(
+            registry(),
+            EngineConfig {
+                max_concurrency: 64,
+                ..Default::default()
+            },
+        );
+        let tn = narrow.run(&diamond(), &port("x", json!(5))).unwrap();
+        let tw = wide.run(&diamond(), &port("x", json!(5))).unwrap();
+        assert_eq!(tn.workflow_outputs, tw.workflow_outputs);
+        assert_eq!(tn.processor_outputs, tw.processor_outputs);
+    }
+
+    /// A wave far wider than the pool completes, and the pool really does
+    /// bound concurrency (observed via a high-water mark in the service).
+    #[test]
+    fn wave_wider_than_pool_completes_within_bound() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (a2, p2) = (active.clone(), peak.clone());
+        let mut r = ServiceRegistry::new();
+        r.register_fn("probe", move |i: &PortMap| {
+            let now = a2.fetch_add(1, Ordering::SeqCst) + 1;
+            p2.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            a2.fetch_sub(1, Ordering::SeqCst);
+            Ok(port("out", i["in"].clone()))
+        });
+        let width = 32;
+        let limit = 3;
+        let mut w = Workflow::new("wide", "wide").with_input("x");
+        for i in 0..width {
+            let name = format!("p{i:02}");
+            let out = format!("y{i:02}");
+            w = w
+                .with_output(&out)
+                .with_processor(Processor::service(&name, "probe", &["in"], &["out"]))
+                .link_input("x", &name, "in")
+                .link_output(&name, "out", &out);
+        }
+        let e = Engine::new(
+            r,
+            EngineConfig {
+                max_concurrency: limit,
+                ..fast_config()
+            },
+        );
+        let t = e.run(&w, &port("x", json!(1))).unwrap();
+        assert_eq!(t.completed_processors().len(), width);
+        assert!(
+            peak.load(Ordering::SeqCst) <= limit,
+            "peak {} exceeded pool bound {limit}",
+            peak.load(Ordering::SeqCst)
+        );
+        let stats = e.stats();
+        assert_eq!(stats.widest_wave, width as u64);
+        assert!(stats.peak_workers <= limit as u64);
     }
 
     #[test]
@@ -626,7 +1134,7 @@ mod tests {
             r,
             EngineConfig {
                 max_attempts: 50,
-                parallel: true,
+                ..fast_config()
             },
         );
         let t = e.run(&w, &PortMap::new()).unwrap();
@@ -637,6 +1145,44 @@ mod tests {
             total_retries += e.run(&w, &PortMap::new()).unwrap().total_retries;
         }
         assert!(total_retries > 0);
+        assert_eq!(e.stats().retries, u64::from(total_retries));
+    }
+
+    #[test]
+    fn retry_trace_carries_the_real_attempt_errors() {
+        let plan = FaultPlan::new();
+        plan.fail_invocations("col", &[1, 2]);
+        let ok: Arc<dyn Service> =
+            Arc::new(FnService::new(|_: &PortMap| Ok(port("out", json!("ok")))));
+        let mut r = ServiceRegistry::new();
+        r.register("col", plan.wrap("col", ok));
+        let w = Workflow::new("w", "w")
+            .with_output("y")
+            .with_processor(Processor::service("p", "col", &[], &["out"]))
+            .link_output("p", "out", "y");
+        let e = Engine::new(
+            r,
+            EngineConfig {
+                max_attempts: 5,
+                ..fast_config()
+            },
+        );
+        let t = e.run(&w, &PortMap::new()).unwrap();
+        let retried: Vec<&str> = t
+            .events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::ProcessorRetried { error, .. } => Some(error.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retried.len(), 2);
+        assert!(retried[0].contains("invocation 1"), "{retried:?}");
+        assert!(retried[1].contains("invocation 2"), "{retried:?}");
+        assert!(
+            retried.iter().all(|m| *m != "transient service failure"),
+            "no fabricated placeholder messages: {retried:?}"
+        );
     }
 
     #[test]
@@ -650,16 +1196,141 @@ mod tests {
             r,
             EngineConfig {
                 max_attempts: 3,
-                parallel: true,
+                ..fast_config()
             },
         );
         let (err, trace) = e.run(&w, &PortMap::new()).unwrap_err();
         match err {
-            RunError::ProcessorFailed { attempts, .. } => assert_eq!(attempts, 3),
+            RunError::ProcessorFailed {
+                attempts,
+                ref error,
+                ..
+            } => {
+                assert_eq!(attempts, 3);
+                assert!(error.contains("connection problem"), "{error}");
+            }
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(trace.total_retries, 2);
         assert!(trace.observed_availability() < 1.0);
+    }
+
+    #[test]
+    fn processor_timeout_bounds_the_invocation() {
+        let mut r = ServiceRegistry::new();
+        r.register_fn("slow", |_: &PortMap| {
+            std::thread::sleep(Duration::from_millis(200));
+            Ok(port("out", json!("late")))
+        });
+        let w = Workflow::new("w", "w")
+            .with_output("y")
+            .with_processor(Processor::service("p", "slow", &[], &["out"]))
+            .link_output("p", "out", "y");
+        let e = Engine::new(
+            r,
+            EngineConfig {
+                max_attempts: 3,
+                processor_timeout: Some(Duration::from_millis(30)),
+                ..fast_config()
+            },
+        );
+        let started = Instant::now();
+        let (err, _) = e.run(&w, &PortMap::new()).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_millis(150),
+            "timed out well before the service finished"
+        );
+        match err {
+            RunError::ProcessorFailed { ref error, .. } => {
+                assert!(error.contains("timed out"), "{error}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(e.stats().timeouts >= 1);
+    }
+
+    #[test]
+    fn backoff_delays_grow_and_respect_jitter() {
+        let p = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            jitter: 0.0,
+        };
+        assert_eq!(p.delay_for(1, 42), Duration::from_millis(10));
+        assert_eq!(p.delay_for(2, 42), Duration::from_millis(20));
+        assert_eq!(p.delay_for(3, 42), Duration::from_millis(40));
+        assert_eq!(p.delay_for(4, 42), Duration::from_millis(80));
+        assert_eq!(p.delay_for(9, 42), Duration::from_millis(80), "capped");
+        let jittered = RetryPolicy { jitter: 0.5, ..p };
+        let d = jittered.delay_for(3, 42);
+        assert!(d <= Duration::from_millis(40));
+        assert!(d >= Duration::from_millis(20), "at most half shaved: {d:?}");
+        assert_eq!(
+            jittered.delay_for(3, 42),
+            d,
+            "jitter is deterministic per salt"
+        );
+        assert_eq!(RetryPolicy::none().delay_for(5, 1), Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_trips_then_fails_fast_then_recovers() {
+        let plan = FaultPlan::new();
+        // Dead for the first 3 invocations, healthy afterwards.
+        plan.fail_invocations("col", &[1, 2, 3]);
+        let ok: Arc<dyn Service> =
+            Arc::new(FnService::new(|_: &PortMap| Ok(port("out", json!("ok")))));
+        let mut r = ServiceRegistry::new();
+        r.register("col", plan.wrap("col", ok));
+        let w = Workflow::new("w", "w")
+            .with_output("y")
+            .with_processor(Processor::service("p", "col", &[], &["out"]))
+            .link_output("p", "out", "y");
+        let e = Engine::new(
+            r,
+            EngineConfig {
+                max_attempts: 2,
+                retry: RetryPolicy::none(),
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown: Duration::from_millis(40),
+                    half_open_probes: 1,
+                },
+                ..Default::default()
+            },
+        );
+        // Run 1: attempts 1+2 fail transiently → run fails, streak = 2.
+        let (err, _) = e.run(&w, &PortMap::new()).unwrap_err();
+        assert!(matches!(err, RunError::ProcessorFailed { .. }));
+        // Run 2: attempt 3 fails → breaker trips mid-run; the follow-up
+        // attempt is rejected by the open breaker.
+        let (err, trace) = e.run(&w, &PortMap::new()).unwrap_err();
+        assert!(matches!(err, RunError::CircuitOpen { .. }), "{err:?}");
+        assert_eq!(trace.breaker_rejections, 1);
+        assert!(trace
+            .events
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::BreakerRejected { .. })));
+        // Run 3 (still open): rejected instantly, zero service attempts.
+        let invocations_before = e.stats().invocations;
+        let started = Instant::now();
+        let (err, _) = e.run(&w, &PortMap::new()).unwrap_err();
+        assert!(matches!(err, RunError::CircuitOpen { .. }));
+        assert!(started.elapsed() < Duration::from_millis(20), "fail fast");
+        assert_eq!(e.stats().invocations, invocations_before, "no attempts");
+        // After cooldown the half-open probe succeeds and closes it.
+        std::thread::sleep(Duration::from_millis(60));
+        let t = e.run(&w, &PortMap::new()).unwrap();
+        assert_eq!(t.workflow_outputs["y"], json!("ok"));
+        let snaps = e.registry().breaker_snapshots();
+        let (_, snap) = snaps.iter().find(|(n, _)| n == "col").unwrap();
+        assert_eq!(snap.state, BreakerState::Closed);
+        assert!(snap.trips >= 1);
+        assert_eq!(snap.recoveries, 1);
+        let stats = e.stats();
+        assert!(stats.breaker_trips >= 1);
+        assert_eq!(stats.breaker_recoveries, 1);
+        assert!(stats.breaker_rejections >= 2);
     }
 
     #[test]
@@ -677,12 +1348,58 @@ mod tests {
         assert!(matches!(err, RunError::MissingOutputPort { .. }));
     }
 
+    /// The output-collection guard: a declared workflow output whose
+    /// source value never materialised must fail, never be skipped.
+    #[test]
+    fn missing_workflow_output_is_an_error_not_a_skip() {
+        // Simulate validation/execution drift: the output's feeding link
+        // references a source endpoint no processor ever produced.
+        let w = Workflow::new("w", "w")
+            .with_output("y")
+            .with_processor(Processor::constant("c", json!(1)))
+            .link_output("c", "value", "y");
+        let mut available: BTreeMap<Endpoint, Value> = BTreeMap::new();
+        // Happy path: value present → output collected.
+        available.insert(
+            Endpoint::ProcessorPort {
+                processor: "c".into(),
+                port: "value".into(),
+            },
+            json!(1),
+        );
+        let out = collect_workflow_outputs(&w, &available).unwrap();
+        assert_eq!(out["y"], json!(1));
+        // Drifted path: value absent → hard error, not a silent skip.
+        available.clear();
+        match collect_workflow_outputs(&w, &available) {
+            Err(RunError::MissingWorkflowOutput { port }) => assert_eq!(port, "y"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
     #[test]
     fn run_ids_are_unique() {
         let e = Engine::new(registry(), EngineConfig::default());
         let t1 = e.run(&diamond(), &port("x", json!(1))).unwrap();
         let t2 = e.run(&diamond(), &port("x", json!(1))).unwrap();
         assert_ne!(t1.run_id, t2.run_id);
+    }
+
+    /// Two engines (as two processes sharing a repository would) must
+    /// never mint the same run id.
+    #[test]
+    fn run_ids_are_unique_across_engines() {
+        let e1 = Engine::new(registry(), EngineConfig::default());
+        let e2 = Engine::new(registry(), EngineConfig::default());
+        let t1 = e1.run(&diamond(), &port("x", json!(1))).unwrap();
+        let t2 = e2.run(&diamond(), &port("x", json!(1))).unwrap();
+        assert_ne!(
+            t1.run_id, t2.run_id,
+            "first runs of two engines must not collide"
+        );
+        // The nonce part differs, not just the counter.
+        let nonce = |id: &str| id.split('-').nth(1).map(str::to_string);
+        assert_ne!(nonce(&t1.run_id), nonce(&t2.run_id));
     }
 
     #[test]
@@ -746,5 +1463,16 @@ mod tests {
         // The computation itself succeeded; the trace proves it.
         assert!(trace.succeeded());
         assert_eq!(trace.workflow_outputs["y"], json!(8));
+    }
+
+    #[test]
+    fn stats_track_runs_and_failures() {
+        let e = Engine::new(registry(), EngineConfig::default());
+        e.run(&diamond(), &port("x", json!(1))).unwrap();
+        let _ = e.run(&diamond(), &PortMap::new());
+        let s = e.stats();
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.runs_failed, 1);
+        assert!(s.invocations >= 4, "diamond made 4 service calls");
     }
 }

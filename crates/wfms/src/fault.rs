@@ -1,0 +1,210 @@
+//! Deterministic fault injection for stress-testing the execution layer.
+//!
+//! [`FlakyService`](crate::services::FlakyService) injects *random*
+//! faults at a seeded rate; that is right for reproducing the paper's
+//! availability numbers but wrong for pinning down retry/breaker edge
+//! cases. A [`FaultPlan`] is fully deterministic: per labelled service it
+//! scripts exactly which invocations fail transiently, how much latency
+//! each invocation pays, and after how many invocations the service dies
+//! permanently. Wrap any service with [`FaultPlan::wrap`] and register
+//! the wrapper under the processor's service name.
+//!
+//! Injected error messages carry the label and invocation number, so
+//! trace assertions can verify the *real* per-attempt error text is
+//! threaded through (no fabricated placeholder messages).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::services::{PortMap, Service, ServiceError};
+
+/// Scripted faults for one labelled service.
+#[derive(Debug, Clone, Default)]
+struct FaultRule {
+    /// 1-based invocation numbers that fail transiently.
+    fail_invocations: Vec<u64>,
+    /// Latency injected into every invocation.
+    delay: Duration,
+    /// After this many invocations, every further call fails permanently.
+    permanent_after: Option<u64>,
+}
+
+/// A shared, deterministic fault script, cloneable across services and
+/// test threads.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Arc<Mutex<BTreeMap<String, FaultRule>>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Script transient failures for the given 1-based invocation numbers
+    /// of `label` (e.g. `fail_invocations("col", &[1, 2])` fails the first
+    /// two calls, then lets calls through).
+    pub fn fail_invocations(&self, label: &str, invocations: &[u64]) -> &Self {
+        self.rules
+            .lock()
+            .entry(label.to_string())
+            .or_default()
+            .fail_invocations
+            .extend_from_slice(invocations);
+        self
+    }
+
+    /// Inject `delay` of latency into every invocation of `label`.
+    pub fn delay(&self, label: &str, delay: Duration) -> &Self {
+        self.rules
+            .lock()
+            .entry(label.to_string())
+            .or_default()
+            .delay = delay;
+        self
+    }
+
+    /// After `count` invocations of `label`, every further call fails
+    /// permanently (the service is gone for good).
+    pub fn permanent_after(&self, label: &str, count: u64) -> &Self {
+        self.rules
+            .lock()
+            .entry(label.to_string())
+            .or_default()
+            .permanent_after = Some(count);
+        self
+    }
+
+    /// Wrap `inner` so its invocations follow this plan under `label`.
+    pub fn wrap(&self, label: &str, inner: Arc<dyn Service>) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            label: label.to_string(),
+            plan: self.clone(),
+            inner,
+            invocations: AtomicU64::new(0),
+        })
+    }
+
+    fn rule_for(&self, label: &str) -> FaultRule {
+        self.rules.lock().get(label).cloned().unwrap_or_default()
+    }
+}
+
+/// A service wrapper executing a [`FaultPlan`] script.
+pub struct FaultInjector {
+    label: String,
+    plan: FaultPlan,
+    inner: Arc<dyn Service>,
+    invocations: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Invocations seen so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+}
+
+impl Service for FaultInjector {
+    fn invoke(&self, inputs: &PortMap) -> Result<PortMap, ServiceError> {
+        let n = self.invocations.fetch_add(1, Ordering::Relaxed) + 1;
+        let rule = self.plan.rule_for(&self.label);
+        if !rule.delay.is_zero() {
+            std::thread::sleep(rule.delay);
+        }
+        if let Some(k) = rule.permanent_after {
+            if n > k {
+                return Err(ServiceError::Permanent(format!(
+                    "injected permanent fault on {:?} (invocation {n} > {k})",
+                    self.label
+                )));
+            }
+        }
+        if rule.fail_invocations.contains(&n) {
+            return Err(ServiceError::Transient(format!(
+                "injected transient fault on {:?} (invocation {n})",
+                self.label
+            )));
+        }
+        self.inner.invoke(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::{port, FnService};
+    use serde_json::json;
+    use std::time::Instant;
+
+    fn ok_service() -> Arc<dyn Service> {
+        Arc::new(FnService::new(|_: &PortMap| Ok(port("out", json!("ok")))))
+    }
+
+    #[test]
+    fn scripted_invocations_fail_then_recover() {
+        let plan = FaultPlan::new();
+        plan.fail_invocations("svc", &[1, 3]);
+        let svc = plan.wrap("svc", ok_service());
+        assert!(matches!(
+            svc.invoke(&PortMap::new()),
+            Err(ServiceError::Transient(_))
+        ));
+        assert!(svc.invoke(&PortMap::new()).is_ok());
+        assert!(svc.invoke(&PortMap::new()).is_err());
+        assert!(svc.invoke(&PortMap::new()).is_ok());
+        assert_eq!(svc.invocations(), 4);
+    }
+
+    #[test]
+    fn error_messages_identify_label_and_invocation() {
+        let plan = FaultPlan::new();
+        plan.fail_invocations("col", &[1]);
+        let svc = plan.wrap("col", ok_service());
+        match svc.invoke(&PortMap::new()) {
+            Err(ServiceError::Transient(m)) => {
+                assert!(m.contains("col"), "{m}");
+                assert!(m.contains("invocation 1"), "{m}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permanent_after_kills_the_service_for_good() {
+        let plan = FaultPlan::new();
+        plan.permanent_after("svc", 2);
+        let svc = plan.wrap("svc", ok_service());
+        assert!(svc.invoke(&PortMap::new()).is_ok());
+        assert!(svc.invoke(&PortMap::new()).is_ok());
+        for _ in 0..3 {
+            assert!(matches!(
+                svc.invoke(&PortMap::new()),
+                Err(ServiceError::Permanent(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn delay_is_injected() {
+        let plan = FaultPlan::new();
+        plan.delay("svc", Duration::from_millis(20));
+        let svc = plan.wrap("svc", ok_service());
+        let t0 = Instant::now();
+        svc.invoke(&PortMap::new()).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn unlabelled_services_pass_through() {
+        let plan = FaultPlan::new();
+        plan.fail_invocations("other", &[1]);
+        let svc = plan.wrap("svc", ok_service());
+        assert!(svc.invoke(&PortMap::new()).is_ok());
+    }
+}

@@ -29,10 +29,13 @@
 //! reproducible.
 
 pub mod annotation;
+pub mod breaker;
 pub mod decay;
 pub mod engine;
+pub mod fault;
 pub mod model;
 pub mod opm_export;
+pub mod pool;
 pub mod repository;
 pub mod services;
 pub mod sink;
@@ -40,7 +43,9 @@ pub mod spec;
 pub mod trace;
 pub mod validate;
 
-pub use engine::{Engine, EngineConfig};
+pub use breaker::{BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
+pub use engine::{Engine, EngineConfig, EngineStats, RetryPolicy, RunError};
+pub use fault::{FaultInjector, FaultPlan};
 pub use model::{DataLink, Endpoint, Processor, ProcessorKind, Workflow};
 pub use services::{PortMap, Service, ServiceError, ServiceRegistry};
 pub use sink::{BufferingSink, NullSink, ProvenanceSink, SinkError};

@@ -1,0 +1,137 @@
+//! Bounded scoped worker pool for wave execution.
+//!
+//! The engine used to spawn one scoped thread per wave member, so a
+//! 1,000-processor wave spawned 1,000 OS threads. [`scoped_run`] instead
+//! spawns `min(limit, items)` workers that pull work items off a shared
+//! cursor, keeping thread count bounded by configuration while preserving
+//! the per-item result order the deterministic trace relies on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Outcome of one [`scoped_run`] call, for engine stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolReport {
+    /// Worker threads actually spawned (0 when run inline).
+    pub workers: usize,
+    /// Items executed.
+    pub tasks: usize,
+}
+
+/// Apply `f` to every item with at most `limit` concurrent worker
+/// threads, returning results in item order.
+///
+/// `limit <= 1` or a wave of one item runs inline on the caller's thread
+/// (no spawn at all). Worker panics propagate to the caller once all
+/// workers are joined.
+pub fn scoped_run<T, R, F>(limit: usize, items: &[T], f: F) -> (Vec<R>, PoolReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let tasks = items.len();
+    if limit <= 1 || tasks <= 1 {
+        let results = items.iter().map(&f).collect();
+        return (results, PoolReport { workers: 0, tasks });
+    }
+
+    let workers = limit.min(tasks);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let slots = &slots;
+                let f = &f;
+                s.spawn(move |_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    *slots[i].lock() = Some(f(&items[i]));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    })
+    .expect("scope never panics");
+
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled by a worker"))
+        .collect();
+    (results, PoolReport { workers, tasks })
+}
+
+/// The default concurrency bound: what the hardware offers.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_keep_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let (out, report) = scoped_run(4, &items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.tasks, 100);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_the_limit() {
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let limit = 3;
+        scoped_run(limit, &items, |_| {
+            let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            active.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= limit,
+            "peak {} > limit {limit}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn wave_wider_than_the_pool_completes() {
+        let items: Vec<usize> = (0..1000).collect();
+        let (out, report) = scoped_run(2, &items, |&x| x + 1);
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[999], 1000);
+        assert_eq!(report.workers, 2, "two workers drained a 1000-item wave");
+    }
+
+    #[test]
+    fn single_item_and_sequential_limits_run_inline() {
+        let (out, report) = scoped_run(8, &[7], |&x: &i32| x * 3);
+        assert_eq!(out, vec![21]);
+        assert_eq!(report.workers, 0);
+        let (out, report) = scoped_run(1, &[1, 2, 3], |&x: &i32| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        assert_eq!(report.workers, 0);
+    }
+
+    #[test]
+    fn pool_never_spawns_more_workers_than_tasks() {
+        let items = [1, 2, 3];
+        let (_, report) = scoped_run(64, &items, |&x: &i32| x);
+        assert_eq!(report.workers, 3);
+    }
+}

@@ -9,6 +9,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
 
+use crate::breaker::{BreakerConfig, BreakerSnapshot, CircuitBreaker};
+
 /// Port-name → value map flowing in and out of services.
 pub type PortMap = BTreeMap<String, Value>;
 
@@ -92,9 +94,15 @@ impl Service for FlakyService {
 }
 
 /// Named service registry shared by engine runs.
+///
+/// Besides service lookup, the registry owns one [`CircuitBreaker`] per
+/// service, shared across registry clones — a dead external source trips
+/// once for *every* engine and processor that resolves through this
+/// registry, not once per caller.
 #[derive(Clone, Default)]
 pub struct ServiceRegistry {
     services: BTreeMap<String, Arc<dyn Service>>,
+    breakers: Arc<Mutex<BTreeMap<String, Arc<CircuitBreaker>>>>,
 }
 
 impl std::fmt::Debug for ServiceRegistry {
@@ -132,6 +140,27 @@ impl ServiceRegistry {
     /// Registered service names.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.services.keys().map(String::as_str)
+    }
+
+    /// The circuit breaker guarding `name`, created on first use with
+    /// `config`. Shared across registry clones: every engine resolving
+    /// through (a clone of) this registry sees the same breaker state.
+    pub fn breaker(&self, name: &str, config: &BreakerConfig) -> Arc<CircuitBreaker> {
+        self.breakers
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(config.clone())))
+            .clone()
+    }
+
+    /// Snapshot of every breaker that has been exercised, by service
+    /// name (services never invoked have no breaker yet).
+    pub fn breaker_snapshots(&self) -> Vec<(String, BreakerSnapshot)> {
+        self.breakers
+            .lock()
+            .iter()
+            .map(|(name, b)| (name.clone(), b.snapshot()))
+            .collect()
     }
 }
 
@@ -194,6 +223,27 @@ mod tests {
             flaky.invoke(&PortMap::new()),
             Err(ServiceError::Transient(_))
         ));
+    }
+
+    #[test]
+    fn breakers_are_shared_across_registry_clones() {
+        let mut r = ServiceRegistry::new();
+        r.register_fn("svc", |_| Ok(PortMap::new()));
+        let clone = r.clone();
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            ..Default::default()
+        };
+        let b1 = r.breaker("svc", &cfg);
+        b1.admit();
+        b1.record_failure(); // trips
+        let b2 = clone.breaker("svc", &cfg);
+        assert_eq!(
+            b2.state(),
+            crate::breaker::BreakerState::Open,
+            "the clone sees the same tripped breaker"
+        );
+        assert_eq!(b2.snapshot().trips, 1);
     }
 
     #[test]

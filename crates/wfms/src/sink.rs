@@ -113,6 +113,7 @@ mod tests {
             workflow_outputs: PortMap::new(),
             elapsed: Duration::from_millis(1),
             total_retries: 0,
+            breaker_rejections: 0,
         }
     }
 

@@ -47,6 +47,14 @@ pub enum TraceEvent {
         /// The final error.
         error: String,
     },
+    /// An invocation was rejected without touching the service because
+    /// the service's circuit breaker was open.
+    BreakerRejected {
+        /// The processor whose invocation was rejected.
+        processor: String,
+        /// The service whose breaker is open.
+        service: String,
+    },
     /// The run finished successfully.
     RunCompleted,
     /// The run failed.
@@ -93,6 +101,10 @@ pub struct ExecutionTrace {
     pub elapsed: Duration,
     /// Retries performed across all processors.
     pub total_retries: u32,
+    /// Invocations rejected by an open circuit breaker during this run
+    /// (traces stored before breakers existed deserialize as 0).
+    #[serde(default)]
+    pub breaker_rejections: u32,
 }
 
 impl ExecutionTrace {
@@ -165,6 +177,7 @@ mod tests {
             workflow_outputs: PortMap::new(),
             elapsed: Duration::from_millis(5),
             total_retries: 0,
+            breaker_rejections: 0,
         }
     }
 

@@ -60,8 +60,8 @@ proptest! {
         picks in proptest::collection::vec((0usize..5, 0usize..5), 1..20),
     ) {
         let w = layered_workflow(layers, width, &picks);
-        let par = Engine::new(registry(), EngineConfig { parallel: true, max_attempts: 1 });
-        let seq = Engine::new(registry(), EngineConfig { parallel: false, max_attempts: 1 });
+        let par = Engine::new(registry(), EngineConfig { parallel: true, max_attempts: 1, ..Default::default() });
+        let seq = Engine::new(registry(), EngineConfig { parallel: false, max_attempts: 1, ..Default::default() });
         let tp = par.run(&w, &PortMap::new()).unwrap();
         let ts = seq.run(&w, &PortMap::new()).unwrap();
         prop_assert_eq!(&tp.workflow_outputs, &ts.workflow_outputs);

@@ -1,0 +1,332 @@
+//! Fault-injection stress suite for the execution layer.
+//!
+//! Hundreds of concurrent workflow runs over flaky services, executed by
+//! several engines sharing one provenance sink — the multi-engine,
+//! shared-repository deployment the preservation architecture assumes.
+//! Asserts the fault-tolerance invariants end to end: every run lands in
+//! the sink exactly once under a globally-unique id, retry traces carry
+//! the real per-attempt errors (never a fabricated placeholder), and a
+//! tripped circuit breaker fails fast before recovering through its
+//! half-open probe.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use preserva_wfms::breaker::{BreakerConfig, BreakerState};
+use preserva_wfms::engine::{Engine, EngineConfig, RetryPolicy, RunError};
+use preserva_wfms::fault::FaultPlan;
+use preserva_wfms::model::{Processor, Workflow};
+use preserva_wfms::services::{port, FlakyService, FnService, PortMap, Service, ServiceError};
+use preserva_wfms::sink::BufferingSink;
+use preserva_wfms::trace::TraceEvent;
+use preserva_wfms::ServiceRegistry;
+use serde_json::json;
+
+/// A three-stage curation chain: lookup → normalise → archive.
+fn chain_workflow() -> Workflow {
+    Workflow::new("stress", "curation-chain")
+        .with_input("specimen")
+        .with_output("archived")
+        .with_processor(Processor::service(
+            "lookup",
+            "col_lookup",
+            &["in"],
+            &["out"],
+        ))
+        .with_processor(Processor::service(
+            "normalise",
+            "normalise",
+            &["in"],
+            &["out"],
+        ))
+        .with_processor(Processor::service("archive", "archive", &["in"], &["out"]))
+        .link_input("specimen", "lookup", "in")
+        .link("lookup", "out", "normalise", "in")
+        .link("normalise", "out", "archive", "in")
+        .link_output("archive", "out", "archived")
+}
+
+fn echo() -> Arc<dyn Service> {
+    Arc::new(FnService::new(|i: &PortMap| {
+        Ok(port("out", i["in"].clone()))
+    }))
+}
+
+/// Registry where every service is flaky (seeded, availability 0.7).
+fn flaky_registry(seed: u64) -> ServiceRegistry {
+    let mut r = ServiceRegistry::new();
+    for (i, name) in ["col_lookup", "normalise", "archive"].iter().enumerate() {
+        r.register(
+            name,
+            Arc::new(FlakyService::new(echo(), 0.7, seed + i as u64)),
+        );
+    }
+    r
+}
+
+/// ≥200 concurrent flaky runs across four engines sharing one sink:
+/// every run is recorded exactly once, every run id is unique, retries
+/// happened and carried the real transient error text.
+#[test]
+fn concurrent_flaky_runs_land_in_the_sink_exactly_once() {
+    const ENGINES: usize = 4;
+    const RUNS_PER_ENGINE: usize = 60; // 240 total
+
+    let sink = Arc::new(BufferingSink::new());
+    let engines: Vec<Engine> = (0..ENGINES)
+        .map(|i| {
+            Engine::new(
+                flaky_registry(1000 + i as u64),
+                EngineConfig {
+                    max_attempts: 25,
+                    max_concurrency: 4,
+                    retry: RetryPolicy::none(),
+                    // Random flakiness must not trip breakers here; the
+                    // breaker invariants get their own deterministic test.
+                    breaker: BreakerConfig::disabled(),
+                    ..Default::default()
+                },
+            )
+            .with_sink(sink.clone())
+        })
+        .collect();
+
+    let workflow = chain_workflow();
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for (i, engine) in engines.iter().enumerate() {
+            let workflow = &workflow;
+            let completed = &completed;
+            s.spawn(move || {
+                for run in 0..RUNS_PER_ENGINE {
+                    let t = engine
+                        .run(workflow, &port("specimen", json!(format!("s-{i}-{run}"))))
+                        .expect("25 attempts at availability 0.7 always converge");
+                    assert_eq!(
+                        t.workflow_outputs["archived"],
+                        json!(format!("s-{i}-{run}"))
+                    );
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(completed.load(Ordering::Relaxed), ENGINES * RUNS_PER_ENGINE);
+    let traces = sink.drain();
+    // Exactly once: one sink record per run() call, no more, no less.
+    assert_eq!(traces.len(), ENGINES * RUNS_PER_ENGINE);
+    let ids: HashSet<&str> = traces.iter().map(|t| t.run_id.as_str()).collect();
+    assert_eq!(
+        ids.len(),
+        traces.len(),
+        "run ids must be globally unique across engines"
+    );
+    // Flakiness at 0.7 over 720 processor executions certainly retried.
+    let total_retries: u32 = traces.iter().map(|t| t.total_retries).sum();
+    assert!(total_retries > 0, "the fault injection did nothing");
+    // Every retry event carries the service's real error, never the old
+    // fabricated placeholder.
+    for t in &traces {
+        assert!(t.succeeded());
+        for ev in &t.events {
+            if let TraceEvent::ProcessorRetried { error, .. } = ev {
+                assert_ne!(error, "transient service failure", "fabricated message");
+                assert!(
+                    error.contains("connection problem"),
+                    "real error, got {error:?}"
+                );
+            }
+        }
+    }
+    // Engine stats agree with the trace-level retry count.
+    let stats_retries: u64 = engines.iter().map(|e| e.stats().retries).sum();
+    assert_eq!(stats_retries, u64::from(total_retries));
+    for e in &engines {
+        let s = e.stats();
+        assert_eq!(s.runs, RUNS_PER_ENGINE as u64);
+        assert_eq!(s.runs_failed, 0);
+    }
+}
+
+/// Deterministic fault scripts drive runs through retry-then-recover and
+/// permanent-failure paths concurrently; failed runs are recorded too,
+/// and the injected error text survives into the stored trace.
+#[test]
+fn scripted_faults_produce_faithful_traces_under_concurrency() {
+    let plan = FaultPlan::new();
+    // First two lookups fail transiently, then the service heals.
+    plan.fail_invocations("col_lookup", &[1, 2]);
+    // The archive dies for good after 120 calls.
+    plan.permanent_after("archive", 120);
+
+    let mut r = ServiceRegistry::new();
+    r.register("col_lookup", plan.wrap("col_lookup", echo()));
+    r.register("normalise", echo());
+    r.register("archive", plan.wrap("archive", echo()));
+    let sink = Arc::new(BufferingSink::new());
+    let engine = Engine::new(
+        r,
+        EngineConfig {
+            max_attempts: 5,
+            max_concurrency: 8,
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig::disabled(),
+            ..Default::default()
+        },
+    )
+    .with_sink(sink.clone());
+
+    let workflow = chain_workflow();
+    let failures = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let (engine, workflow, failures) = (&engine, &workflow, &failures);
+            s.spawn(move || {
+                for _ in 0..25 {
+                    match engine.run(workflow, &port("specimen", json!("x"))) {
+                        Ok(_) => {}
+                        Err((
+                            RunError::ProcessorFailed {
+                                processor, error, ..
+                            },
+                            _,
+                        )) => {
+                            assert_eq!(processor, "archive");
+                            assert!(error.contains("injected permanent fault"), "{error}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err((other, _)) => panic!("unexpected error {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // 200 runs, archive allows 120: exactly 80 runs failed permanently.
+    assert_eq!(failures.load(Ordering::Relaxed), 80);
+    let traces = sink.drain();
+    assert_eq!(traces.len(), 200, "failed runs are recorded too");
+    let ids: HashSet<&str> = traces.iter().map(|t| t.run_id.as_str()).collect();
+    assert_eq!(ids.len(), 200);
+    assert_eq!(traces.iter().filter(|t| !t.succeeded()).count(), 80);
+    // The two scripted lookup faults surfaced verbatim in retry events.
+    let lookup_retries: Vec<String> = traces
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter_map(|ev| match ev {
+            TraceEvent::ProcessorRetried {
+                processor, error, ..
+            } if processor == "lookup" => Some(error.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lookup_retries.len(), 2);
+    assert!(lookup_retries
+        .iter()
+        .all(|e| e.contains("injected transient fault on \"col_lookup\"")));
+}
+
+/// A dead service trips its breaker under concurrent load; while open,
+/// runs fail in microseconds (bounded elapsed time, zero service calls);
+/// after cooldown the half-open probe closes it and runs succeed again.
+#[test]
+fn tripped_breaker_fails_fast_then_recovers() {
+    let down = Arc::new(AtomicBool::new(true));
+    let calls = Arc::new(AtomicUsize::new(0));
+    let (down2, calls2) = (down.clone(), calls.clone());
+    let mut r = ServiceRegistry::new();
+    r.register(
+        "col_lookup",
+        Arc::new(FnService::new(move |i: &PortMap| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            if down2.load(Ordering::SeqCst) {
+                Err(ServiceError::Transient("upstream unreachable".into()))
+            } else {
+                Ok(port("out", i["in"].clone()))
+            }
+        })),
+    );
+    r.register("normalise", echo());
+    r.register("archive", echo());
+
+    let cooldown = Duration::from_millis(150);
+    let engine = Engine::new(
+        r,
+        EngineConfig {
+            max_attempts: 2,
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig {
+                failure_threshold: 4,
+                cooldown,
+                half_open_probes: 1,
+            },
+            ..Default::default()
+        },
+    );
+    let workflow = chain_workflow();
+    let input = port("specimen", json!("x"));
+
+    // Hammer the dead service concurrently until the breaker trips.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (engine, workflow, input) = (&engine, &workflow, &input);
+            s.spawn(move || {
+                for _ in 0..5 {
+                    assert!(engine.run(workflow, input).is_err(), "service is down");
+                }
+            });
+        }
+    });
+    let snapshot = engine
+        .registry()
+        .breaker_snapshots()
+        .into_iter()
+        .find(|(n, _)| n == "col_lookup")
+        .map(|(_, s)| s)
+        .expect("breaker exists after use");
+    assert!(snapshot.trips >= 1, "20 failing runs must trip the breaker");
+    assert_eq!(snapshot.state, BreakerState::Open);
+
+    // While open: rejected without touching the service, and fast. The
+    // elapsed bound is generous (cooldown / 2) yet far below what even one
+    // real attempt cycle would cost if the engine were still invoking.
+    let calls_before = calls.load(Ordering::SeqCst);
+    let started = Instant::now();
+    let (err, trace) = engine.run(&workflow, &input).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(matches!(err, RunError::CircuitOpen { .. }), "{err:?}");
+    assert!(
+        elapsed < cooldown / 2,
+        "open breaker must fail fast, took {elapsed:?}"
+    );
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        calls_before,
+        "no service call"
+    );
+    assert_eq!(trace.breaker_rejections, 1);
+
+    // Service comes back; after cooldown the probe recovers the breaker.
+    down.store(false, Ordering::SeqCst);
+    std::thread::sleep(cooldown + Duration::from_millis(20));
+    let t = engine
+        .run(&workflow, &input)
+        .expect("probe admits and succeeds");
+    assert_eq!(t.workflow_outputs["archived"], json!("x"));
+    let snapshot = engine
+        .registry()
+        .breaker_snapshots()
+        .into_iter()
+        .find(|(n, _)| n == "col_lookup")
+        .map(|(_, s)| s)
+        .unwrap();
+    assert_eq!(snapshot.state, BreakerState::Closed);
+    assert!(snapshot.recoveries >= 1);
+    let stats = engine.stats();
+    assert!(stats.breaker_trips >= 1);
+    assert!(stats.breaker_rejections >= 1);
+    assert!(stats.breaker_recoveries >= 1);
+}
