@@ -1,0 +1,81 @@
+//! Instrumentation-overhead benchmark (ISSUE: <5% on the wfms engine).
+//!
+//! Runs the same diamond workflow through two engines: one reporting to a
+//! live metrics registry, one wired to a no-op registry whose instruments
+//! compile down to a single branch. Compare `wfms_overhead/observed` to
+//! `wfms_overhead/noop` in the criterion report — the gap is the full
+//! cost of the observability layer on the engine hot path.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+use preserva_obs::Registry;
+use preserva_wfms::engine::{Engine, EngineConfig};
+use preserva_wfms::model::{Processor, Workflow};
+use preserva_wfms::services::{port, PortMap, ServiceError, ServiceRegistry};
+use preserva_wfms::NullSink;
+
+fn registry() -> ServiceRegistry {
+    let mut r = ServiceRegistry::new();
+    r.register_fn("double", |i: &PortMap| {
+        let x = i["in"]
+            .as_i64()
+            .ok_or(ServiceError::Permanent("int".into()))?;
+        Ok(port("out", json!(x * 2)))
+    });
+    r.register_fn("add", |i: &PortMap| {
+        Ok(port(
+            "out",
+            json!(i["l"].as_i64().unwrap_or(0) + i["r"].as_i64().unwrap_or(0)),
+        ))
+    });
+    r
+}
+
+fn diamond() -> Workflow {
+    Workflow::new("w1", "diamond")
+        .with_input("x")
+        .with_output("y")
+        .with_processor(Processor::service("a", "double", &["in"], &["out"]))
+        .with_processor(Processor::service("b", "double", &["in"], &["out"]))
+        .with_processor(Processor::service("c", "double", &["in"], &["out"]))
+        .with_processor(Processor::service("d", "add", &["l", "r"], &["out"]))
+        .link_input("x", "a", "in")
+        .link("a", "out", "b", "in")
+        .link("a", "out", "c", "in")
+        .link("b", "out", "d", "l")
+        .link("c", "out", "d", "r")
+        .link_output("d", "out", "y")
+}
+
+fn engine(obs: Arc<Registry>) -> Engine {
+    Engine::new(
+        registry(),
+        EngineConfig {
+            parallel: false,
+            max_attempts: 1,
+            ..Default::default()
+        },
+    )
+    .with_metrics(obs)
+    .with_sink(Arc::new(NullSink))
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let w = diamond();
+    let observed = engine(Arc::new(Registry::new()));
+    let noop = engine(Arc::new(Registry::noop()));
+    let inputs = port("x", json!(21));
+
+    let mut g = c.benchmark_group("wfms_overhead");
+    g.bench_function("observed", |b| {
+        b.iter(|| observed.run(&w, &inputs).unwrap())
+    });
+    g.bench_function("noop", |b| b.iter(|| noop.run(&w, &inputs).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

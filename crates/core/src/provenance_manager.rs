@@ -5,7 +5,9 @@
 //! the storage engine.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use preserva_obs::{Counter, Histogram, Registry};
 use preserva_opm::graph::OpmGraph;
 use preserva_opm::serialize as opm_ser;
 use preserva_opm::validate as opm_validate;
@@ -88,12 +90,59 @@ impl From<RepositoryError> for ProvenanceError {
     }
 }
 
+/// Provenance-capture instruments, resolved once at construction so the
+/// capture path touches only atomic handles.
+struct ProvMetrics {
+    captures: Arc<Counter>,
+    duplicate_runs: Arc<Counter>,
+    capture_seconds: Arc<Histogram>,
+    graph_nodes: Arc<Histogram>,
+    graph_bytes: Arc<Histogram>,
+    trace_steps: Arc<Histogram>,
+}
+
+impl ProvMetrics {
+    fn resolve(reg: &Arc<Registry>) -> ProvMetrics {
+        ProvMetrics {
+            captures: reg.counter(
+                "preserva_provenance_captures_total",
+                "Provenance captures persisted (graph + trace committed).",
+            ),
+            duplicate_runs: reg.counter(
+                "preserva_provenance_duplicate_runs_total",
+                "Capture attempts refused because a different trace already \
+                 owned the run id.",
+            ),
+            capture_seconds: reg.latency_histogram(
+                "preserva_provenance_capture_seconds",
+                "Latency of provenance capture (merge, validate, commit).",
+            ),
+            graph_nodes: reg.histogram(
+                "preserva_provenance_graph_nodes",
+                "Node count (artifacts + processes + agents) of captured OPM graphs.",
+                &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0],
+            ),
+            graph_bytes: reg.size_histogram(
+                "preserva_provenance_graph_bytes",
+                "Serialized size of captured OPM graphs.",
+            ),
+            trace_steps: reg.histogram(
+                "preserva_provenance_trace_steps",
+                "Processor invocations recorded in captured execution traces.",
+                &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0],
+            ),
+        }
+    }
+}
+
 /// The manager, over a shared table store. OPM graphs are stored in the
 /// custom OPM-JSON interchange format (raw bytes); traces go through a
 /// typed [`Repository`].
 pub struct ProvenanceManager {
     store: Arc<TableStore>,
     traces: Repository<ExecutionTrace>,
+    obs: Arc<Registry>,
+    metrics: ProvMetrics,
 }
 
 impl std::fmt::Debug for ProvenanceManager {
@@ -103,12 +152,34 @@ impl std::fmt::Debug for ProvenanceManager {
 }
 
 impl ProvenanceManager {
-    /// Create over a store.
+    /// Create over a store, with a private metrics registry. Use
+    /// [`with_metrics`](Self::with_metrics) to report into a shared one.
     pub fn new(store: Arc<TableStore>) -> Self {
+        Self::build(store, Arc::new(Registry::new()))
+    }
+
+    /// Create over a store, reporting capture metrics and trace events to
+    /// `registry` (typically shared with the storage engine and WFMS).
+    pub fn with_metrics(store: Arc<TableStore>, registry: Arc<Registry>) -> Self {
+        Self::build(store, registry)
+    }
+
+    fn build(store: Arc<TableStore>, registry: Arc<Registry>) -> Self {
         let traces = Repository::new(store.clone(), TRACES_TABLE, |t: &ExecutionTrace| {
             t.run_id.clone()
         });
-        ProvenanceManager { store, traces }
+        let metrics = ProvMetrics::resolve(&registry);
+        ProvenanceManager {
+            store,
+            traces,
+            obs: registry,
+            metrics,
+        }
+    }
+
+    /// The metrics registry this manager reports to.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Capture a run: merge the annotated workflow with the execution
@@ -126,11 +197,20 @@ impl ProvenanceManager {
         workflow: &Workflow,
         trace: &ExecutionTrace,
     ) -> Result<OpmGraph, ProvenanceError> {
+        let started = Instant::now();
         if let Some(existing) = self.traces.get(&trace.run_id)? {
             let same = serde_json::to_string(&existing)
                 .and_then(|a| serde_json::to_string(trace).map(|b| a == b))
                 .unwrap_or(false);
             if !same {
+                self.metrics.duplicate_runs.inc();
+                self.obs.trace(
+                    "provenance",
+                    format!(
+                        "refused duplicate capture of run {} (different trace)",
+                        trace.run_id
+                    ),
+                );
                 return Err(ProvenanceError::DuplicateRun(trace.run_id.clone()));
             }
             // Identical re-capture (e.g. a retried sink call): keep the
@@ -149,14 +229,24 @@ impl ProvenanceManager {
                     .join("; "),
             ));
         }
+        let serialized = opm_ser::to_json(&graph);
         let mut session = self.store.session();
         session.put(
             PROVENANCE_TABLE,
             trace.run_id.as_bytes(),
-            opm_ser::to_json(&graph).as_bytes(),
+            serialized.as_bytes(),
         )?;
         self.traces.stage(&mut session, trace)?;
         session.commit()?;
+        self.metrics.captures.inc();
+        self.metrics.graph_nodes.observe(graph.node_count() as f64);
+        self.metrics.graph_bytes.observe(serialized.len() as f64);
+        self.metrics
+            .trace_steps
+            .observe(trace.processor_outputs.len() as f64);
+        self.metrics
+            .capture_seconds
+            .observe_duration(started.elapsed());
         Ok(graph)
     }
 
@@ -341,6 +431,36 @@ mod tests {
             pm.load_trace(&t2.run_id).unwrap().workflow_inputs["x"],
             json!(2)
         );
+    }
+
+    #[test]
+    fn capture_metrics_reach_a_shared_registry() {
+        let obs = Arc::new(preserva_obs::Registry::new());
+        let pm = ProvenanceManager::with_metrics(store("metrics"), obs.clone());
+        let (w, t) = run_one();
+        pm.capture(&w, &t).unwrap();
+        // Idempotent re-capture is not a new capture.
+        pm.capture(&w, &t).unwrap();
+        // A conflicting trace is refused and counted.
+        let (_, mut t2) = run_one();
+        t2.run_id = t.run_id.clone();
+        assert!(pm.capture(&w, &t2).is_err());
+
+        let text = obs.render_prometheus();
+        assert!(
+            text.contains("preserva_provenance_captures_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("preserva_provenance_duplicate_runs_total 1"));
+        assert!(text.contains("preserva_provenance_capture_seconds_count 1"));
+        assert!(text.contains("preserva_provenance_graph_bytes_count 1"));
+        assert!(text.contains("preserva_provenance_graph_nodes_count 1"));
+        assert!(text.contains("preserva_provenance_trace_steps_count 1"));
+        assert!(obs
+            .trace_events()
+            .iter()
+            .any(|e| e.category == "provenance" && e.message.contains("duplicate")));
+        assert!(Arc::ptr_eq(pm.metrics_registry(), &obs));
     }
 
     #[test]

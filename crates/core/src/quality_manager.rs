@@ -97,6 +97,8 @@ pub struct DataQualityManager {
     /// External semantic data sources consulted during assessment
     /// (input c of §III).
     sources: SourceRegistry,
+    /// Metrics registry assessments report into (private by default).
+    obs: Arc<preserva_obs::Registry>,
 }
 
 impl std::fmt::Debug for DataQualityManager {
@@ -108,14 +110,28 @@ impl std::fmt::Debug for DataQualityManager {
 }
 
 impl DataQualityManager {
-    /// Create over the shared repositories.
+    /// Create over the shared repositories, with a private metrics
+    /// registry. Use [`with_metrics`](Self::with_metrics) to report
+    /// evaluation timings into a shared one.
     pub fn new(store: Arc<TableStore>, provenance: Arc<ProvenanceManager>) -> Self {
         DataQualityManager {
             reports: Repository::new(store, REPORTS_TABLE, report_key),
             provenance,
             models: BTreeMap::new(),
             sources: SourceRegistry::new(),
+            obs: Arc::new(preserva_obs::Registry::new()),
         }
+    }
+
+    /// Report metric-evaluation timings to `registry` (builder style).
+    pub fn with_metrics(mut self, registry: Arc<preserva_obs::Registry>) -> Self {
+        self.obs = registry;
+        self
+    }
+
+    /// The metrics registry assessments report into.
+    pub fn metrics_registry(&self) -> &Arc<preserva_obs::Registry> {
+        &self.obs
     }
 
     /// Register an external semantic data source; its facts about the
@@ -192,7 +208,7 @@ impl DataQualityManager {
         for (k, v) in self.sources.facts(subject) {
             ctx.facts.entry(k).or_insert(v);
         }
-        let mut report = model.assess(subject, &ctx);
+        let mut report = model.assess_observed(subject, &ctx, &self.obs);
         report.run_id = Some(run_id.to_string());
         self.publish(&report)?;
         Ok(report)
@@ -302,6 +318,27 @@ pub(crate) mod tests {
         assert_eq!(report.attributes.len(), 1);
         assert_eq!(report.score(&Dimension::reputation()), Some(1.0));
         assert!(dqm.model_for(&user).is_some());
+    }
+
+    #[test]
+    fn assessments_report_into_a_shared_registry() {
+        let (store, pm, w, run_id) = setup("qm-metrics");
+        let obs = Arc::new(preserva_obs::Registry::new());
+        let dqm = DataQualityManager::new(store, pm).with_metrics(obs.clone());
+        let user = EndUser::new("u", "a");
+        let mut facts = BTreeMap::new();
+        facts.insert("names_checked".to_string(), 1929.0);
+        facts.insert("names_correct".to_string(), 1795.0);
+        dqm.assess_run(&user, "fnjv", &run_id, &w, &facts).unwrap();
+        dqm.assess_run(&user, "fnjv", &run_id, &w, &facts).unwrap();
+        let text = obs.render_prometheus();
+        assert!(
+            text.contains("preserva_quality_assessments_total 2"),
+            "{text}"
+        );
+        assert!(text.contains("preserva_quality_evaluation_seconds_count 2"));
+        assert!(text.contains("preserva_quality_metric_evaluation_seconds"));
+        assert!(Arc::ptr_eq(dqm.metrics_registry(), &obs));
     }
 
     #[test]

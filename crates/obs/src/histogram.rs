@@ -1,0 +1,217 @@
+//! Fixed-bucket histograms: p50/p95/p99 without hot-path allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Default buckets for latency histograms, in seconds: 1µs … 10s.
+///
+/// A 1-2.5-5 progression keeps relative quantile error under ~2.5× per
+/// decade, which is plenty for "did commit latency regress" questions while
+/// the whole histogram stays 23 cache lines of atomics.
+pub const LATENCY_SECONDS_BUCKETS: &[f64] = &[
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Default buckets for byte-size histograms: 64 B … 64 MiB in powers of four.
+pub const SIZE_BYTES_BUCKETS: &[f64] = &[
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0, 16777216.0,
+    67108864.0,
+];
+
+/// A fixed-bucket histogram with atomic bucket counts.
+///
+/// `observe` does a branchless-ish binary search over the (immutable) bound
+/// slice, one relaxed `fetch_add` on the chosen bucket, and a CAS loop to
+/// accumulate the f64 sum — no allocation, no lock. Quantiles are estimated
+/// by linear interpolation inside the covering bucket, the standard
+/// Prometheus approach.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Finite upper bounds, ascending. `buckets[i]` counts observations
+    /// `<= bounds[i]`; `buckets[bounds.len()]` is the +Inf bucket.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations as f64 bits, CAS-accumulated.
+    sum_bits: AtomicU64,
+    enabled: bool,
+}
+
+impl Histogram {
+    pub(crate) fn new(bounds: &[f64], enabled: bool) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, || AtomicU64::new(0));
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            enabled,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self
+            .bounds
+            .partition_point(|b| *b < v)
+            .min(self.bounds.len());
+        // partition_point gives the first bound >= v, i.e. the Prometheus
+        // `le` bucket; out-of-range values land in +Inf.
+        let idx = if idx < self.bounds.len() && v <= self.bounds[idx] {
+            idx
+        } else {
+            self.bounds.len()
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Record a [`Duration`] in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() / n as f64)
+    }
+
+    /// Finite upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the +Inf bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`), or `None` if empty.
+    ///
+    /// Linear interpolation inside the covering bucket; observations in the
+    /// +Inf bucket report the largest finite bound (an under-estimate, by
+    /// construction — widen the buckets if that matters).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if cum >= rank {
+                if i >= self.bounds.len() {
+                    return Some(*self.bounds.last().unwrap());
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = if *c == 0 {
+                    1.0
+                } else {
+                    (rank - prev) as f64 / *c as f64
+                };
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_le_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0], true);
+        h.observe(0.5); // le=1
+        h.observe(1.0); // le=1 (inclusive upper bound)
+        h.observe(3.0); // le=4
+        h.observe(100.0); // +Inf
+        assert_eq!(h.bucket_counts(), vec![2, 0, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 104.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0], true);
+        for _ in 0..100 {
+            h.observe(0.5);
+        }
+        // All mass in the first bucket: p50 interpolates inside (0, 1].
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 > 0.0 && p50 <= 1.0, "p50 = {p50}");
+        // p100 still inside the first bucket.
+        assert!(h.quantile(1.0).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn inf_bucket_reports_last_finite_bound() {
+        let h = Histogram::new(&[1.0, 2.0], true);
+        h.observe(50.0);
+        assert_eq!(h.quantile(0.99), Some(2.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(&[1.0], true);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn disabled_histogram_records_nothing() {
+        let h = Histogram::new(&[1.0], false);
+        h.observe(0.5);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn default_bucket_tables_are_ascending() {
+        assert!(LATENCY_SECONDS_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+        assert!(SIZE_BYTES_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,44 @@
+//! Process-wide observability for preserva.
+//!
+//! The paper treats quality assessment as a *continuous* process over stored
+//! provenance; this crate gives the system itself the same property — every
+//! layer (storage, wfms, provenance, quality) records what it does into one
+//! [`Registry`] that can be rendered as Prometheus-style text exposition or
+//! a human summary at any moment.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost must be a handful of atomic ops.** Counters and gauges
+//!    are single `AtomicU64`s; histograms are fixed-bucket arrays indexed by
+//!    binary search over a bound slice — no allocation, no locking, no
+//!    syscalls on `inc`/`observe`.
+//! 2. **Std only.** `preserva-storage` is deliberately dependency-free and
+//!    depends on this crate, so this crate must not pull in anything.
+//! 3. **Registries are values, not ambient state.** Components default to a
+//!    private registry (tests keep exact per-instance counts); the CLI wires
+//!    [`Registry::global`] through every layer to get the process-wide view.
+//!
+//! ```
+//! use preserva_obs::Registry;
+//! use std::time::Duration;
+//!
+//! let reg = Registry::new();
+//! let commits = reg.counter("demo_commits_total", "Batches committed.");
+//! commits.inc();
+//! let lat = reg.latency_histogram("demo_commit_seconds", "Commit latency.");
+//! lat.observe_duration(Duration::from_micros(250));
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("demo_commits_total 1"));
+//! assert!(text.contains("demo_commit_seconds_count 1"));
+//! ```
+
+mod histogram;
+mod instrument;
+mod registry;
+mod render;
+mod trace;
+
+pub use histogram::{Histogram, LATENCY_SECONDS_BUCKETS, SIZE_BYTES_BUCKETS};
+pub use instrument::{Counter, Gauge};
+pub use registry::Registry;
+pub use trace::{TraceEvent, TraceRing, DEFAULT_TRACE_CAPACITY};

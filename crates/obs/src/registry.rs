@@ -1,0 +1,278 @@
+//! The metrics registry: named, optionally labeled instrument families.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::{Histogram, LATENCY_SECONDS_BUCKETS, SIZE_BYTES_BUCKETS};
+use crate::instrument::{Counter, Gauge};
+use crate::trace::{TraceEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
+
+/// Label set: sorted `(key, value)` pairs identifying one series in a family.
+pub(crate) type LabelSet = Vec<(String, String)>;
+
+/// One rendered family: `(name, help, series)` with each series carrying
+/// its sorted label set.
+pub(crate) type FamilySnapshot = (String, String, Vec<(LabelSet, InstrumentRef)>);
+
+#[derive(Debug, Clone)]
+pub(crate) enum InstrumentRef {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl InstrumentRef {
+    fn kind(&self) -> &'static str {
+        match self {
+            InstrumentRef::Counter(_) => "counter",
+            InstrumentRef::Gauge(_) => "gauge",
+            InstrumentRef::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Family {
+    pub(crate) help: String,
+    pub(crate) series: BTreeMap<LabelSet, InstrumentRef>,
+}
+
+/// A set of named metric families plus a trace-event ring.
+///
+/// Get-or-create lookups (`counter`, `gauge`, `histogram` and their
+/// `_with`-labels variants) take a registry-wide mutex; callers are expected
+/// to resolve handles once at construction time and hammer the returned
+/// `Arc`s on the hot path. Re-resolving the same name returns the same
+/// underlying instrument, which is also how tests read values written by
+/// instrumented components.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    families: Mutex<BTreeMap<String, Family>>,
+    trace: TraceRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Registry {
+        Registry {
+            enabled: true,
+            families: Mutex::new(BTreeMap::new()),
+            trace: TraceRing::new(DEFAULT_TRACE_CAPACITY, true),
+        }
+    }
+
+    /// A registry whose instruments record nothing.
+    ///
+    /// Handles resolve normally but every `inc`/`observe`/`record` is a
+    /// predicted-not-taken branch; the overhead bench compares an engine
+    /// wired to `noop()` against one wired to `new()`.
+    pub fn noop() -> Registry {
+        Registry {
+            enabled: false,
+            families: Mutex::new(BTreeMap::new()),
+            trace: TraceRing::new(1, false),
+        }
+    }
+
+    /// The process-wide registry, created on first use.
+    ///
+    /// Nothing registers here implicitly: components default to private
+    /// registries and the CLI passes this one down explicitly.
+    pub fn global() -> Arc<Registry> {
+        static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Registry::new())).clone()
+    }
+
+    /// Whether instruments from this registry record anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn series<F>(&self, name: &str, help: &str, labels: &[(&str, &str)], make: F) -> InstrumentRef
+    where
+        F: FnOnce(bool) -> InstrumentRef,
+    {
+        let mut labels: LabelSet = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        let made = make(self.enabled);
+        let existing = family.series.entry(labels).or_insert_with(|| made.clone());
+        assert_eq!(
+            existing.kind(),
+            made.kind(),
+            "metric `{name}` registered twice with different types ({} vs {})",
+            existing.kind(),
+            made.kind(),
+        );
+        existing.clone()
+    }
+
+    /// Get or create an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get or create a labeled counter series.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(name, help, labels, |en| {
+            InstrumentRef::Counter(Arc::new(Counter::new(en)))
+        }) {
+            InstrumentRef::Counter(c) => c,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Get or create an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get or create a labeled gauge series.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(name, help, labels, |en| {
+            InstrumentRef::Gauge(Arc::new(Gauge::new(en)))
+        }) {
+            InstrumentRef::Gauge(g) => g,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Get or create an unlabeled histogram with explicit bucket bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Get or create a labeled histogram series with explicit bucket bounds.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.series(name, help, labels, |en| {
+            InstrumentRef::Histogram(Arc::new(Histogram::new(bounds, en)))
+        }) {
+            InstrumentRef::Histogram(h) => h,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Histogram with the default latency buckets (1µs … 10s).
+    pub fn latency_histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram(name, help, LATENCY_SECONDS_BUCKETS)
+    }
+
+    /// Labeled histogram with the default latency buckets.
+    pub fn latency_histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.histogram_with(name, help, LATENCY_SECONDS_BUCKETS, labels)
+    }
+
+    /// Histogram with the default byte-size buckets (64 B … 64 MiB).
+    pub fn size_histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram(name, help, SIZE_BYTES_BUCKETS)
+    }
+
+    /// Record a trace event.
+    pub fn trace(&self, category: &'static str, message: String) {
+        self.trace.record(category, message);
+    }
+
+    /// Retained trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events()
+    }
+
+    /// The underlying trace ring.
+    pub fn trace_ring(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Stable snapshot of every family for rendering.
+    pub(crate) fn snapshot(&self) -> Vec<FamilySnapshot> {
+        let families = self.families.lock().expect("registry poisoned");
+        families
+            .iter()
+            .map(|(name, fam)| {
+                (
+                    name.clone(),
+                    fam.help.clone(),
+                    fam.series
+                        .iter()
+                        .map(|(l, i)| (l.clone(), i.clone()))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn label_sets_are_distinct_series() {
+        let r = Registry::new();
+        let a = r.counter_with("y_total", "y", &[("svc", "a")]);
+        let b = r.counter_with("y_total", "y", &[("svc", "b")]);
+        a.add(3);
+        assert_eq!(b.get(), 0);
+        // Label order must not matter.
+        let a2 = r.counter_with("y_total", "y", &[("svc", "a")]);
+        assert_eq!(a2.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different types")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("z", "z");
+        let _ = r.gauge("z", "z");
+    }
+
+    #[test]
+    fn noop_registry_records_nothing() {
+        let r = Registry::noop();
+        let c = r.counter("c_total", "c");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        r.trace("t", "event".into());
+        assert!(r.trace_events().is_empty());
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = Registry::global();
+        let b = Registry::global();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

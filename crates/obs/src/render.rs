@@ -1,0 +1,227 @@
+//! Renderers: Prometheus text exposition and a human-readable summary.
+
+use std::fmt::Write as _;
+
+use crate::registry::{InstrumentRef, LabelSet, Registry};
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn format_labels(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Registry {
+    /// Render every family in Prometheus text exposition format.
+    ///
+    /// Families are sorted by name; histogram series expand into
+    /// `_bucket{le=...}`, `_sum` and `_count` lines, cumulative as the
+    /// format requires.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, series) in self.snapshot() {
+            let kind = match series.first() {
+                Some((_, InstrumentRef::Counter(_))) => "counter",
+                Some((_, InstrumentRef::Gauge(_))) => "gauge",
+                Some((_, InstrumentRef::Histogram(_))) => "histogram",
+                None => continue,
+            };
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, instrument) in &series {
+                match instrument {
+                    InstrumentRef::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", format_labels(labels, None), c.get());
+                    }
+                    InstrumentRef::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", format_labels(labels, None), g.get());
+                    }
+                    InstrumentRef::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cum = 0u64;
+                        for (i, bound) in h.bounds().iter().enumerate() {
+                            cum += counts[i];
+                            let le = format!("{bound}");
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                format_labels(labels, Some(("le", &le)))
+                            );
+                        }
+                        cum += counts[h.bounds().len()];
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            format_labels(labels, Some(("le", "+Inf")))
+                        );
+                        let _ =
+                            writeln!(out, "{name}_sum{} {}", format_labels(labels, None), h.sum());
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            format_labels(labels, None),
+                            h.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render a compact human-readable summary: counters and gauges as
+    /// `name = value`, histograms as count/mean/p50/p95/p99, plus the tail
+    /// of the trace ring.
+    pub fn render_summary(&self) -> String {
+        let mut scalars = String::new();
+        let mut histograms = String::new();
+        for (name, _help, series) in self.snapshot() {
+            for (labels, instrument) in &series {
+                let id = format!("{name}{}", format_labels(labels, None));
+                match instrument {
+                    InstrumentRef::Counter(c) => {
+                        let _ = writeln!(scalars, "  {id} = {}", c.get());
+                    }
+                    InstrumentRef::Gauge(g) => {
+                        let _ = writeln!(scalars, "  {id} = {}", g.get());
+                    }
+                    InstrumentRef::Histogram(h) => {
+                        if h.count() == 0 {
+                            let _ = writeln!(histograms, "  {id}: no observations");
+                            continue;
+                        }
+                        // Time units only make sense for latency families;
+                        // size/count histograms print plain numbers.
+                        let is_duration = name.ends_with("_seconds");
+                        let fmt = |v: Option<f64>| match v {
+                            Some(v) if !is_duration => format!("{v:.0}"),
+                            Some(v) if v >= 1.0 => format!("{v:.3}s"),
+                            Some(v) if v >= 1e-3 => format!("{:.3}ms", v * 1e3),
+                            Some(v) => format!("{:.1}us", v * 1e6),
+                            None => "-".to_string(),
+                        };
+                        let _ = writeln!(
+                            histograms,
+                            "  {id}: count={} mean={} p50={} p95={} p99={}",
+                            h.count(),
+                            fmt(h.mean()),
+                            fmt(h.quantile(0.50)),
+                            fmt(h.quantile(0.95)),
+                            fmt(h.quantile(0.99)),
+                        );
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        if !scalars.is_empty() {
+            out.push_str("counters & gauges:\n");
+            out.push_str(&scalars);
+        }
+        if !histograms.is_empty() {
+            out.push_str("latency & size distributions:\n");
+            out.push_str(&histograms);
+        }
+        let events = self.trace_events();
+        if !events.is_empty() {
+            out.push_str("recent trace events:\n");
+            let tail = events.len().saturating_sub(12);
+            for e in &events[tail..] {
+                let _ = writeln!(
+                    out,
+                    "  [{:>10}us] #{:<4} {:<12} {}",
+                    e.elapsed_micros, e.seq, e.category, e.message
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("no metrics recorded\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("demo_ops_total", "Ops.").add(7);
+        r.gauge("demo_depth", "Depth.").set(3);
+        let h = r.histogram("demo_seconds", "Latency.", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE demo_ops_total counter"));
+        assert!(text.contains("demo_ops_total 7"));
+        assert!(text.contains("# TYPE demo_depth gauge"));
+        assert!(text.contains("demo_depth 3"));
+        assert!(text.contains("# TYPE demo_seconds histogram"));
+        assert!(text.contains("demo_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("demo_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("demo_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("demo_seconds_count 2"));
+    }
+
+    #[test]
+    fn labeled_series_render_sorted_labels() {
+        let r = Registry::new();
+        r.counter_with("jobs_total", "Jobs.", &[("state", "ok"), ("svc", "a")])
+            .inc();
+        let text = r.render_prometheus();
+        // Labels are stored sorted by key.
+        assert!(text.contains("jobs_total{state=\"ok\",svc=\"a\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("esc_total", "Esc.", &[("p", "a\"b\\c")])
+            .inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("esc_total{p=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn summary_mentions_quantiles_and_traces() {
+        let r = Registry::new();
+        let h = r.latency_histogram("s_seconds", "S.");
+        h.observe(0.002);
+        r.trace("test", "something happened".into());
+        let s = r.render_summary();
+        assert!(s.contains("p95="));
+        assert!(s.contains("something happened"));
+    }
+
+    #[test]
+    fn summary_size_histograms_print_plain_numbers() {
+        let r = Registry::new();
+        let h = r.size_histogram("payload_bytes", "Payload sizes.");
+        h.observe(2684.0);
+        let s = r.render_summary();
+        assert!(s.contains("count=1 mean=2684"), "{s}");
+        assert!(!s.contains("2684.000s"), "{s}");
+    }
+
+    #[test]
+    fn empty_registry_summary() {
+        let r = Registry::new();
+        assert!(r.render_summary().contains("no metrics recorded"));
+    }
+}

@@ -1,0 +1,144 @@
+//! A bounded ring buffer of structured trace events.
+//!
+//! Trace events capture *state transitions* (breaker opened, checkpoint
+//! written, duplicate run rejected) rather than per-operation samples, so a
+//! small ring is enough to answer "what just happened" without unbounded
+//! memory. Recording takes a short mutex on a `VecDeque` — acceptable
+//! because transitions are rare by construction; the per-operation hot path
+//! uses counters and histograms instead.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default number of events retained by a [`TraceRing`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Microseconds since the owning registry was created.
+    pub elapsed_micros: u128,
+    /// Coarse category, e.g. `"storage"`, `"breaker"`, `"provenance"`.
+    pub category: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Fixed-capacity event ring; oldest events are evicted first.
+#[derive(Debug)]
+pub struct TraceRing {
+    start: Instant,
+    capacity: usize,
+    enabled: bool,
+    inner: Mutex<RingInner>,
+}
+
+impl TraceRing {
+    pub(crate) fn new(capacity: usize, enabled: bool) -> TraceRing {
+        TraceRing {
+            start: Instant::now(),
+            capacity,
+            enabled,
+            inner: Mutex::new(RingInner {
+                events: VecDeque::with_capacity(capacity.min(64)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Record an event; oldest event is evicted when the ring is full.
+    pub fn record(&self, category: &'static str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        let elapsed = self.start.elapsed();
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(TraceEvent {
+            seq,
+            elapsed_micros: elapsed.as_micros(),
+            category,
+            message,
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .expect("trace ring poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").dropped
+    }
+
+    /// Total events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("trace ring poisoned").next_seq
+    }
+
+    /// Time since the ring (and owning registry) was created.
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let r = TraceRing::new(8, true);
+        r.record("a", "first".into());
+        r.record("b", "second".into());
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(evs[1].category, "b");
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let r = TraceRing::new(3, true);
+        for i in 0..5 {
+            r.record("t", format!("e{i}"));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].message, "e2");
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let r = TraceRing::new(3, false);
+        r.record("t", "x".into());
+        assert!(r.events().is_empty());
+        assert_eq!(r.recorded(), 0);
+    }
+}

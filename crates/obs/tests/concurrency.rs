@@ -1,0 +1,147 @@
+//! Registry under contention: totals must be exact, quantiles sane.
+
+use std::sync::Arc;
+use std::thread;
+
+use preserva_obs::Registry;
+
+#[test]
+fn counters_are_exact_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                // Half the threads resolve the handle once (the intended hot
+                // path); the other half re-resolve per batch to stress the
+                // get-or-create lock.
+                if t % 2 == 0 {
+                    let c = reg.counter("contended_total", "C.");
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                    }
+                } else {
+                    for chunk in 0..(PER_THREAD / 1000) {
+                        let c = reg.counter("contended_total", "C.");
+                        let _ = chunk;
+                        for _ in 0..1000 {
+                            c.inc();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        reg.counter("contended_total", "C.").get(),
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+#[test]
+fn labeled_series_do_not_cross_talk_under_contention() {
+    const THREADS: usize = 6;
+    const PER_THREAD: u64 = 20_000;
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                let svc = format!("svc{}", t % 3);
+                let c = reg.counter_with("per_svc_total", "C.", &[("svc", &svc)]);
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for s in 0..3 {
+        let svc = format!("svc{s}");
+        let c = reg.counter_with("per_svc_total", "C.", &[("svc", &svc)]);
+        assert_eq!(c.get(), 2 * PER_THREAD, "series {svc}");
+    }
+}
+
+#[test]
+fn histogram_totals_exact_and_quantiles_sane_under_contention() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 25_000;
+    let reg = Arc::new(Registry::new());
+    let h = reg.histogram("contended_seconds", "H.", &[0.001, 0.01, 0.1, 1.0, 10.0]);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic mix: 80% fast (5ms), 15% medium (50ms),
+                    // 5% slow (500ms) — integral in units of 5ms so the
+                    // CAS-accumulated sum is exactly representable.
+                    let v = match (t + i) % 20 {
+                        0 => 0.5,
+                        1..=3 => 0.05,
+                        _ => 0.005,
+                    };
+                    h.observe(v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let n = (THREADS * PER_THREAD) as u64;
+    assert_eq!(h.count(), n);
+    let buckets = h.bucket_counts();
+    assert_eq!(buckets.iter().sum::<u64>(), n);
+    // 16/20 at 5ms, 3/20 at 50ms, 1/20 at 500ms.
+    assert_eq!(buckets, vec![0, n * 16 / 20, n * 3 / 20, n / 20, 0, 0]);
+    // Sum is exact: every observation is a multiple of 0.005 and the CAS
+    // loop never drops an add.
+    let expected_sum =
+        0.005 * (n * 16 / 20) as f64 + 0.05 * (n * 3 / 20) as f64 + 0.5 * (n / 20) as f64;
+    assert!((h.sum() - expected_sum).abs() < 1e-6);
+    // Quantile sanity: p50 inside the 5ms bucket, p95 at/under the 50ms
+    // bound's bucket, p99 inside the 500ms bucket.
+    let p50 = h.quantile(0.5).unwrap();
+    assert!(p50 > 0.001 && p50 <= 0.01, "p50 = {p50}");
+    let p95 = h.quantile(0.95).unwrap();
+    assert!(p95 > 0.001 && p95 <= 0.1, "p95 = {p95}");
+    let p99 = h.quantile(0.99).unwrap();
+    assert!(p99 > 0.1 && p99 <= 1.0, "p99 = {p99}");
+    // Quantiles are monotone in q.
+    assert!(p50 <= p95 && p95 <= p99);
+}
+
+#[test]
+fn trace_ring_sequences_are_unique_under_contention() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 600; // > ring capacity, forces eviction
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    reg.trace("stress", format!("t{t} e{i}"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let events = reg.trace_events();
+    let ring = reg.trace_ring();
+    assert_eq!(ring.recorded(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(events.len() as u64 + ring.dropped(), ring.recorded());
+    // Sequence numbers strictly increase — no duplicates, no reordering.
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+}

@@ -8,15 +8,31 @@ pub enum Combine {
     /// Weighted arithmetic mean (weights normalized).
     WeightedMean,
     /// The worst score dominates — appropriate when any failing dimension
-    /// makes the data unusable.
+    /// makes the data unusable. Weights are ignored entirely: "unusable"
+    /// does not become usable by being down-weighted, so even a
+    /// zero-weight dimension can dominate.
     Min,
     /// Geometric mean — penalizes imbalance more than the arithmetic mean.
     Geometric,
 }
 
-/// Combine `(score, weight)` pairs. Returns `None` for an empty input or
-/// all-zero weights.
+/// Combine `(score, weight)` pairs. Returns `None` for an empty input —
+/// and, for the weight-sensitive combinators, for all-zero weights.
+///
+/// `Combine::Min` is weight-*insensitive* by definition: it answers "how
+/// bad is the worst dimension", and a dimension does not stop being the
+/// worst because its weight is zero. (An earlier implementation filtered
+/// zero-weight pairs before *every* combinator, which silently let a
+/// zero-weighted worst dimension stop dominating the minimum.)
 pub fn combine(pairs: &[(f64, f64)], how: Combine) -> Option<f64> {
+    if let Combine::Min = how {
+        return pairs
+            .iter()
+            .map(|(s, _)| clamp_score(*s))
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.min(s)))
+            });
+    }
     let pairs: Vec<(f64, f64)> = pairs
         .iter()
         .filter(|(_, w)| *w > 0.0)
@@ -28,7 +44,7 @@ pub fn combine(pairs: &[(f64, f64)], how: Combine) -> Option<f64> {
     let total_w: f64 = pairs.iter().map(|(_, w)| w).sum();
     Some(match how {
         Combine::WeightedMean => pairs.iter().map(|(s, w)| s * w).sum::<f64>() / total_w,
-        Combine::Min => pairs.iter().map(|(s, _)| *s).fold(f64::INFINITY, f64::min),
+        Combine::Min => unreachable!("handled above"),
         Combine::Geometric => {
             // Weighted geometric mean; zero scores yield zero.
             if pairs.iter().any(|(s, _)| *s == 0.0) {
@@ -66,6 +82,24 @@ mod tests {
     #[test]
     fn min_takes_worst() {
         assert_eq!(combine(&[(0.9, 1.0), (0.2, 1.0)], Combine::Min), Some(0.2));
+    }
+
+    /// Regression: zero-weight pairs were filtered out before `Min`, so a
+    /// zero-weighted worst dimension silently stopped dominating.
+    #[test]
+    fn min_ignores_weights_entirely() {
+        // The worst score carries weight 0.0 — it must still dominate.
+        assert_eq!(combine(&[(0.9, 1.0), (0.2, 0.0)], Combine::Min), Some(0.2));
+        // All-zero weights: Min is still defined (weights are irrelevant),
+        // unlike the weight-sensitive combinators.
+        assert_eq!(combine(&[(0.9, 0.0)], Combine::Min), Some(0.9));
+        // Weight magnitudes never change the winner.
+        assert_eq!(
+            combine(&[(0.5, 100.0), (0.6, 0.001)], Combine::Min),
+            Some(0.5)
+        );
+        // Scores are still clamped to the unit interval.
+        assert_eq!(combine(&[(-3.0, 0.0)], Combine::Min), Some(0.0));
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! against a context and reports scores plus which requested dimensions
 //! were unavailable.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use preserva_obs::Registry;
+
 use crate::dimension::Dimension;
 use crate::metric::{AssessmentContext, Metric};
 use crate::report::QualityReport;
@@ -67,10 +72,46 @@ impl QualityModel {
     /// their dimension on the `unavailable` list (unless another metric
     /// computed it).
     pub fn assess(&self, subject: &str, ctx: &AssessmentContext) -> QualityReport {
+        self.assess_inner(subject, ctx, None)
+    }
+
+    /// Like [`assess`](Self::assess), but reports evaluation timings to
+    /// `obs`:
+    ///
+    /// - `preserva_quality_assessments_total` — assessments run;
+    /// - `preserva_quality_evaluation_seconds` — whole-assessment latency;
+    /// - `preserva_quality_metric_evaluation_seconds{metric}` — per-metric
+    ///   latency, labelled by metric name.
+    pub fn assess_observed(
+        &self,
+        subject: &str,
+        ctx: &AssessmentContext,
+        obs: &Arc<Registry>,
+    ) -> QualityReport {
+        self.assess_inner(subject, ctx, Some(obs))
+    }
+
+    fn assess_inner(
+        &self,
+        subject: &str,
+        ctx: &AssessmentContext,
+        obs: Option<&Arc<Registry>>,
+    ) -> QualityReport {
+        let started = obs.map(|_| Instant::now());
         let mut report = QualityReport::new(subject);
         let mut missing: Vec<Dimension> = Vec::new();
         for m in &self.metrics {
-            match m.measure(ctx) {
+            let metric_started = obs.map(|_| Instant::now());
+            let measured = m.measure(ctx);
+            if let (Some(obs), Some(t0)) = (obs, metric_started) {
+                obs.latency_histogram_with(
+                    "preserva_quality_metric_evaluation_seconds",
+                    "Latency of individual quality-metric evaluations.",
+                    &[("metric", &m.name)],
+                )
+                .observe_duration(t0.elapsed());
+            }
+            match measured {
                 Some(score) => report.push(m.dimension.clone(), &m.name, score),
                 None => missing.push(m.dimension.clone()),
             }
@@ -79,6 +120,18 @@ impl QualityModel {
         missing.sort();
         missing.dedup();
         report.unavailable = missing;
+        if let (Some(obs), Some(t0)) = (obs, started) {
+            obs.counter(
+                "preserva_quality_assessments_total",
+                "Quality assessments run.",
+            )
+            .inc();
+            obs.latency_histogram(
+                "preserva_quality_evaluation_seconds",
+                "Latency of whole quality assessments (all metrics).",
+            )
+            .observe_duration(t0.elapsed());
+        }
         report
     }
 
@@ -151,6 +204,31 @@ mod tests {
         let report = model.assess("s", &AssessmentContext::new());
         assert_eq!(report.score(&Dimension::accuracy()), Some(0.5));
         assert!(report.unavailable.is_empty());
+    }
+
+    #[test]
+    fn observed_assessment_times_every_metric() {
+        let obs = Arc::new(Registry::new());
+        let model = QualityModel::case_study_default();
+        let a = model.assess("fnjv", &case_study_ctx());
+        let b = model.assess_observed("fnjv", &case_study_ctx(), &obs);
+        assert_eq!(
+            a.attributes.len(),
+            b.attributes.len(),
+            "same report either way"
+        );
+        let text = obs.render_prometheus();
+        assert!(text.contains("preserva_quality_assessments_total 1"));
+        assert!(text.contains("preserva_quality_evaluation_seconds_count 1"));
+        // One labelled series per registered metric, one observation each.
+        for m in model.metrics() {
+            let h = obs.latency_histogram_with(
+                "preserva_quality_metric_evaluation_seconds",
+                "Latency of individual quality-metric evaluations.",
+                &[("metric", &m.name)],
+            );
+            assert_eq!(h.count(), 1, "metric {:?} timed once", m.name);
+        }
     }
 
     #[test]

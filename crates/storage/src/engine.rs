@@ -20,7 +20,10 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use preserva_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::error::StorageResult;
 use crate::memtable::{Memtable, NsKey};
@@ -34,6 +37,11 @@ pub struct EngineOptions {
     pub fsync: bool,
     /// Checkpoint automatically once the memtable holds this many bytes.
     pub checkpoint_bytes: usize,
+    /// Metrics registry to record into. `None` (the default) gives the
+    /// engine a private registry, so per-instance counters stay exact; the
+    /// CLI passes [`Registry::global`] to get one process-wide view. When a
+    /// registry is shared across engines, counters aggregate across them.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl Default for EngineOptions {
@@ -41,11 +49,91 @@ impl Default for EngineOptions {
         EngineOptions {
             fsync: false,
             checkpoint_bytes: 8 * 1024 * 1024,
+            metrics: None,
+        }
+    }
+}
+
+/// Resolved instrument handles; one atomic op each on the hot path.
+#[derive(Debug)]
+struct StorageMetrics {
+    puts: Arc<Counter>,
+    deletes: Arc<Counter>,
+    gets: Arc<Counter>,
+    scans: Arc<Counter>,
+    commits: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    wal_appends: Arc<Counter>,
+    wal_fsyncs: Arc<Counter>,
+    value_bytes_read: Arc<Counter>,
+    recovered_records: Arc<Counter>,
+    recovered_snapshot_entries: Arc<Counter>,
+    torn_tail_discards: Arc<Counter>,
+    commit_seconds: Arc<Histogram>,
+    checkpoint_seconds: Arc<Histogram>,
+    memtable_bytes: Arc<Gauge>,
+}
+
+impl StorageMetrics {
+    fn resolve(reg: &Registry) -> StorageMetrics {
+        StorageMetrics {
+            puts: reg.counter("preserva_storage_puts_total", "Single-key upserts applied."),
+            deletes: reg.counter(
+                "preserva_storage_deletes_total",
+                "Single-key deletions applied.",
+            ),
+            gets: reg.counter("preserva_storage_gets_total", "Point reads served."),
+            scans: reg.counter("preserva_storage_scans_total", "Range scans served."),
+            commits: reg.counter(
+                "preserva_storage_commits_total",
+                "Atomic batches committed.",
+            ),
+            checkpoints: reg.counter("preserva_storage_checkpoints_total", "Checkpoints written."),
+            wal_appends: reg.counter(
+                "preserva_storage_wal_appends_total",
+                "WAL frames appended (operations + commit/checkpoint frames).",
+            ),
+            wal_fsyncs: reg.counter(
+                "preserva_storage_wal_fsyncs_total",
+                "WAL fsyncs issued (0 unless the fsync option is on).",
+            ),
+            value_bytes_read: reg.counter(
+                "preserva_storage_value_bytes_read_total",
+                "Value bytes materialized by reads (gets and scans; counts must stay at 0).",
+            ),
+            recovered_records: reg.counter(
+                "preserva_storage_recovered_records_total",
+                "Committed WAL operations replayed at open.",
+            ),
+            recovered_snapshot_entries: reg.counter(
+                "preserva_storage_recovered_snapshot_entries_total",
+                "Entries loaded from snapshots at open.",
+            ),
+            torn_tail_discards: reg.counter(
+                "preserva_storage_torn_tail_discards_total",
+                "Torn WAL tails discarded during recovery.",
+            ),
+            commit_seconds: reg.latency_histogram(
+                "preserva_storage_commit_seconds",
+                "Latency of atomic batch commits (WAL append + sync + apply).",
+            ),
+            checkpoint_seconds: reg.latency_histogram(
+                "preserva_storage_checkpoint_seconds",
+                "Latency of checkpoints (fold + snapshot write + WAL reset).",
+            ),
+            memtable_bytes: reg.gauge(
+                "preserva_storage_memtable_bytes",
+                "Approximate bytes held in the memtable.",
+            ),
         }
     }
 }
 
 /// Counters exposed for the benchmark harness and tests.
+///
+/// Since the observability refactor this is a *view* assembled from the
+/// engine's metrics registry (see [`EngineOptions::metrics`]); when a
+/// registry is shared across engines the values aggregate across them.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct EngineStats {
     /// Single-key upserts applied.
@@ -74,7 +162,6 @@ struct Inner {
     /// Writes since the last checkpoint.
     memtable: Memtable,
     wal: Wal,
-    stats: EngineStats,
     snapshot_id: u64,
 }
 
@@ -84,6 +171,8 @@ pub struct Engine {
     inner: Mutex<Inner>,
     next_txid: AtomicU64,
     options: EngineOptions,
+    obs: Arc<Registry>,
+    metrics: StorageMetrics,
 }
 
 impl std::fmt::Debug for Engine {
@@ -118,7 +207,11 @@ impl Engine {
     /// previous state: newest readable snapshot + committed WAL suffix.
     pub fn open(dir: &Path, options: EngineOptions) -> StorageResult<Engine> {
         std::fs::create_dir_all(dir)?;
-        let mut stats = EngineStats::default();
+        let obs = options
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+        let metrics = StorageMetrics::resolve(&obs);
 
         // Load the newest readable snapshot; fall back to older ones if the
         // newest is corrupt (its checkpoint may not have completed).
@@ -128,7 +221,7 @@ impl Engine {
         while let Some(id) = ids.pop() {
             match sstable::read_snapshot(&snapshot_path(dir, id)) {
                 Ok(map) => {
-                    stats.recovered_from_snapshot = map.len() as u64;
+                    metrics.recovered_snapshot_entries.add(map.len() as u64);
                     snapshot = map;
                     snapshot_id = id;
                     break;
@@ -140,16 +233,26 @@ impl Engine {
         // Replay committed WAL operations on top.
         let wal_path = dir.join("wal.log");
         let replayed = wal::replay(&wal_path)?;
-        stats.torn_tail_discarded = replayed.torn_tail;
+        if replayed.torn_tail {
+            metrics.torn_tail_discards.inc();
+            obs.trace(
+                "storage",
+                format!(
+                    "torn WAL tail discarded during recovery of {}",
+                    dir.display()
+                ),
+            );
+        }
         let mut memtable = Memtable::new();
         let mut pending: Vec<WalRecord> = Vec::new();
         let mut max_txid = 0u64;
+        let mut replayed_ops = 0u64;
         for rec in replayed.records {
             match rec {
                 WalRecord::Commit { txid } => {
                     max_txid = max_txid.max(txid);
                     for p in pending.drain(..) {
-                        stats.recovered_records += 1;
+                        replayed_ops += 1;
                         match p {
                             WalRecord::Put { table, key, value } => {
                                 memtable.put(&table, &key, value)
@@ -173,6 +276,17 @@ impl Engine {
         }
         // Uncommitted trailing operations in `pending` are dropped: that is
         // the atomicity guarantee.
+        metrics.recovered_records.add(replayed_ops);
+        metrics.memtable_bytes.set(memtable.approx_bytes() as u64);
+        if replayed_ops > 0 || snapshot_id > 0 {
+            obs.trace(
+                "storage",
+                format!(
+                    "recovered {} ({replayed_ops} WAL ops over snapshot {snapshot_id})",
+                    dir.display()
+                ),
+            );
+        }
 
         let wal = Wal::open(&wal_path, options.fsync)?;
         Ok(Engine {
@@ -181,12 +295,18 @@ impl Engine {
                 snapshot,
                 memtable,
                 wal,
-                stats,
                 snapshot_id,
             }),
             next_txid: AtomicU64::new(max_txid + 1),
             options,
+            obs,
+            metrics,
         })
+    }
+
+    /// The metrics registry this engine records into.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Directory this engine lives in.
@@ -213,15 +333,20 @@ impl Engine {
 
     /// Read a key.
     pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
-        let mut inner = self.inner.lock().expect("engine poisoned");
-        inner.stats.gets += 1;
-        if let Some(hit) = inner.memtable.get(table, key) {
-            return Ok(hit.map(|v| v.to_vec()));
+        let inner = self.inner.lock().expect("engine poisoned");
+        self.metrics.gets.inc();
+        let hit = if let Some(hit) = inner.memtable.get(table, key) {
+            hit.map(|v| v.to_vec())
+        } else {
+            inner
+                .snapshot
+                .get(&(table.to_string(), key.to_vec()))
+                .and_then(|v| v.clone())
+        };
+        if let Some(v) = &hit {
+            self.metrics.value_bytes_read.add(v.len() as u64);
         }
-        Ok(inner
-            .snapshot
-            .get(&(table.to_string(), key.to_vec()))
-            .and_then(|v| v.clone()))
+        Ok(hit)
     }
 
     /// Range scan over `table`: keys in `[start, end)`, `end = None` meaning
@@ -233,8 +358,8 @@ impl Engine {
         start: &[u8],
         end: Option<&[u8]>,
     ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut inner = self.inner.lock().expect("engine poisoned");
-        inner.stats.scans += 1;
+        let inner = self.inner.lock().expect("engine poisoned");
+        self.metrics.scans.inc();
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         let lo = (table.to_string(), start.to_vec());
         for ((t, k), v) in inner.snapshot.range(lo..) {
@@ -251,10 +376,14 @@ impl Engine {
         for (k, v) in inner.memtable.range(table, start, end) {
             merged.insert(k.to_vec(), v.map(|x| x.to_vec()));
         }
-        Ok(merged
+        let rows: Vec<(Vec<u8>, Vec<u8>)> = merged
             .into_iter()
             .filter_map(|(k, v)| v.map(|v| (k, v)))
-            .collect())
+            .collect();
+        self.metrics
+            .value_bytes_read
+            .add(rows.iter().map(|(_, v)| v.len() as u64).sum());
+        Ok(rows)
     }
 
     /// Full-table scan.
@@ -263,8 +392,27 @@ impl Engine {
     }
 
     /// Number of live keys in `table`.
+    ///
+    /// Counts from the merged *key* view — memtable entries (including
+    /// tombstones) shadowing snapshot entries — without cloning a single
+    /// value byte. The `value_bytes_read` metric stays untouched, which the
+    /// regression test asserts.
     pub fn count(&self, table: &str) -> StorageResult<usize> {
-        Ok(self.scan_all(table)?.len())
+        let inner = self.inner.lock().expect("engine poisoned");
+        self.metrics.scans.inc();
+        // live[key] = is the newest version of `key` a value (vs tombstone)?
+        let mut live: BTreeMap<&[u8], bool> = BTreeMap::new();
+        let lo = (table.to_string(), Vec::new());
+        for ((t, k), v) in inner.snapshot.range(lo..) {
+            if t != table {
+                break;
+            }
+            live.insert(k.as_slice(), v.is_some());
+        }
+        for (k, v) in inner.memtable.range(table, b"", None) {
+            live.insert(k, v.is_some());
+        }
+        Ok(live.values().filter(|alive| **alive).count())
     }
 
     /// Apply a batch of operations atomically: either every operation is
@@ -273,6 +421,7 @@ impl Engine {
         if ops.is_empty() {
             return Ok(());
         }
+        let started = Instant::now();
         let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().expect("engine poisoned");
         for op in &ops {
@@ -291,21 +440,31 @@ impl Engine {
         }
         inner.wal.append(&WalRecord::Commit { txid })?;
         inner.wal.sync()?;
+        self.metrics.wal_appends.add(ops.len() as u64 + 1);
+        if self.options.fsync {
+            self.metrics.wal_fsyncs.inc();
+        }
         for op in ops {
             match op {
                 BatchOp::Put { table, key, value } => {
-                    inner.stats.puts += 1;
+                    self.metrics.puts.inc();
                     inner.memtable.put(&table, &key, value);
                 }
                 BatchOp::Delete { table, key } => {
-                    inner.stats.deletes += 1;
+                    self.metrics.deletes.inc();
                     inner.memtable.delete(&table, &key);
                 }
             }
         }
-        inner.stats.commits += 1;
+        self.metrics.commits.inc();
+        self.metrics
+            .memtable_bytes
+            .set(inner.memtable.approx_bytes() as u64);
         let needs_checkpoint = inner.memtable.approx_bytes() >= self.options.checkpoint_bytes;
         drop(inner);
+        self.metrics
+            .commit_seconds
+            .observe_duration(started.elapsed());
         if needs_checkpoint {
             self.checkpoint()?;
         }
@@ -314,6 +473,7 @@ impl Engine {
 
     /// Fold the memtable into a new snapshot file and truncate the WAL.
     pub fn checkpoint(&self) -> StorageResult<u64> {
+        let started = Instant::now();
         let mut inner = self.inner.lock().expect("engine poisoned");
         let new_id = inner.snapshot_id + 1;
         // Merge memtable over snapshot; drop tombstones at the top level.
@@ -340,10 +500,24 @@ impl Engine {
         if inner.snapshot_id > 0 {
             let _ = std::fs::remove_file(old);
         }
+        let entries = merged.len();
         inner.snapshot = merged;
         inner.snapshot_id = new_id;
         inner.memtable.clear();
-        inner.stats.checkpoints += 1;
+        drop(inner);
+        self.metrics.checkpoints.inc();
+        self.metrics.wal_appends.inc(); // the Checkpoint frame
+        if self.options.fsync {
+            self.metrics.wal_fsyncs.inc();
+        }
+        self.metrics.memtable_bytes.set(0);
+        self.metrics
+            .checkpoint_seconds
+            .observe_duration(started.elapsed());
+        self.obs.trace(
+            "storage",
+            format!("checkpoint {new_id}: {entries} entries folded"),
+        );
         Ok(new_id)
     }
 
@@ -371,9 +545,19 @@ impl Engine {
         Ok(names)
     }
 
-    /// Snapshot of the engine's counters.
+    /// Snapshot of the engine's counters, read back from the registry.
     pub fn stats(&self) -> EngineStats {
-        self.inner.lock().expect("engine poisoned").stats
+        EngineStats {
+            puts: self.metrics.puts.get(),
+            deletes: self.metrics.deletes.get(),
+            gets: self.metrics.gets.get(),
+            scans: self.metrics.scans.get(),
+            commits: self.metrics.commits.get(),
+            checkpoints: self.metrics.checkpoints.get(),
+            recovered_records: self.metrics.recovered_records.get(),
+            recovered_from_snapshot: self.metrics.recovered_snapshot_entries.get(),
+            torn_tail_discarded: self.metrics.torn_tail_discards.get() > 0,
+        }
     }
 }
 
@@ -560,6 +744,7 @@ mod tests {
         let opts = EngineOptions {
             fsync: false,
             checkpoint_bytes: 64,
+            ..EngineOptions::default()
         };
         let e = Engine::open(&dir, opts).unwrap();
         for i in 0..20u32 {
@@ -592,6 +777,69 @@ mod tests {
         assert_eq!(e.get("t", b"x").unwrap(), None);
         assert_eq!(e.get("t", b"y").unwrap().as_deref(), Some(&b"2"[..]));
         assert_eq!(e.stats().commits, 1);
+    }
+
+    #[test]
+    fn count_reads_no_value_bytes() {
+        let dir = tmpdir("countbytes");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        for i in 0..10u32 {
+            e.put("t", &i.to_be_bytes(), &[7u8; 100]).unwrap();
+        }
+        e.checkpoint().unwrap();
+        // Mix in memtable-resident state: a new key and a tombstone
+        // shadowing a snapshot key.
+        e.put("t", &100u32.to_be_bytes(), &[7u8; 100]).unwrap();
+        e.delete("t", &0u32.to_be_bytes()).unwrap();
+        let bytes = e
+            .metrics_registry()
+            .counter("preserva_storage_value_bytes_read_total", "");
+        let before = bytes.get();
+        assert_eq!(e.count("t").unwrap(), 10);
+        // The old implementation was scan_all().len(): it cloned every live
+        // value (10 × 100 B here) just to throw them away.
+        assert_eq!(bytes.get(), before, "count() must not materialize values");
+        let _ = e.scan_all("t").unwrap();
+        assert_eq!(bytes.get(), before + 1000, "scans do read value bytes");
+        let _ = e.get("t", &1u32.to_be_bytes()).unwrap();
+        assert_eq!(bytes.get(), before + 1100, "gets do read value bytes");
+    }
+
+    #[test]
+    fn shared_registry_exposes_storage_families() {
+        let dir = tmpdir("families");
+        let reg = Arc::new(Registry::new());
+        let opts = EngineOptions {
+            metrics: Some(reg.clone()),
+            ..EngineOptions::default()
+        };
+        let e = Engine::open(&dir, opts).unwrap();
+        e.put("t", b"k", b"v").unwrap();
+        e.checkpoint().unwrap();
+        let text = reg.render_prometheus();
+        assert!(text.contains("preserva_storage_wal_appends_total 3")); // put + commit + checkpoint frames
+        assert!(text.contains("preserva_storage_wal_fsyncs_total 0")); // fsync off
+        assert!(text.contains("preserva_storage_commits_total 1"));
+        assert!(text.contains("preserva_storage_checkpoints_total 1"));
+        assert!(text.contains("preserva_storage_commit_seconds_count 1"));
+        assert!(text.contains("preserva_storage_checkpoint_seconds_count 1"));
+        assert!(text.contains("preserva_storage_memtable_bytes 0"));
+    }
+
+    #[test]
+    fn fsync_option_counts_fsyncs() {
+        let dir = tmpdir("fsynccount");
+        let opts = EngineOptions {
+            fsync: true,
+            ..EngineOptions::default()
+        };
+        let e = Engine::open(&dir, opts).unwrap();
+        e.put("t", b"a", b"1").unwrap();
+        e.put("t", b"b", b"2").unwrap();
+        let fsyncs = e
+            .metrics_registry()
+            .counter("preserva_storage_wal_fsyncs_total", "");
+        assert_eq!(fsyncs.get(), 2);
     }
 
     #[test]

@@ -45,36 +45,51 @@ pub struct Match<'a> {
     pub distance: usize,
 }
 
-/// Find the closest candidate within `max_distance` (ties broken by
-/// lexicographic order for determinism). Case-insensitive.
+/// Find the closest candidate within `max_distance`. Case-insensitive.
+///
+/// Distance ties are broken on the candidates' *lowercased* forms, so the
+/// winner does not depend on how a checklist happens to capitalize its
+/// entries — matching and tie-breaking use the same alphabet. (A raw byte
+/// compare here would rank every uppercase letter before every lowercase
+/// one: `"Bufo"` would beat `"atra"`.) Candidates equal under lowercasing
+/// fall back to a raw compare so the result is still total and
+/// deterministic.
 pub fn best_match<'a, I>(query: &str, candidates: I, max_distance: usize) -> Option<Match<'a>>
 where
     I: IntoIterator<Item = &'a str>,
 {
     let q = query.to_lowercase();
-    let mut best: Option<Match<'a>> = None;
+    let mut best: Option<(Match<'a>, String)> = None;
     for cand in candidates {
         // Cheap length screen: |len difference| already bounds distance.
         let len_gap = cand.chars().count().abs_diff(q.chars().count());
         if len_gap > max_distance {
             continue;
         }
-        let d = damerau_levenshtein(&q, &cand.to_lowercase());
+        let folded = cand.to_lowercase();
+        let d = damerau_levenshtein(&q, &folded);
         if d > max_distance {
             continue;
         }
         let better = match &best {
             None => true,
-            Some(m) => d < m.distance || (d == m.distance && cand < m.candidate),
+            Some((m, best_folded)) => {
+                d < m.distance
+                    || (d == m.distance
+                        && (folded.as_str(), cand) < (best_folded.as_str(), m.candidate))
+            }
         };
         if better {
-            best = Some(Match {
-                candidate: cand,
-                distance: d,
-            });
+            best = Some((
+                Match {
+                    candidate: cand,
+                    distance: d,
+                },
+                folded,
+            ));
         }
     }
-    best
+    best.map(|(m, _)| m)
 }
 
 #[cfg(test)]
@@ -126,6 +141,35 @@ mod tests {
         let cands = ["Hyla fabex", "Hyla fabez"];
         let m = best_match("Hyla faber", cands.iter().copied(), 2).unwrap();
         assert_eq!(m.candidate, "Hyla fabex"); // lexicographically first
+    }
+
+    /// Regression: ties used to be broken by a raw byte compare on the
+    /// original casing while distances were computed case-insensitively,
+    /// so `"Bufo"` (B = 0x42) beat `"atra"` (a = 0x61) purely because of
+    /// its capital letter.
+    #[test]
+    fn tie_break_ignores_candidate_casing() {
+        // Both candidates are distance 4 from the query.
+        let q = "zzzz";
+        assert_eq!(damerau_levenshtein(q, "atra"), 4);
+        assert_eq!(damerau_levenshtein(q, "bufo"), 4);
+        let m = best_match(q, ["Bufo", "atra"], 4).unwrap();
+        assert_eq!(m.candidate, "atra", "lowercase-alphabet order must win");
+        // The winner is the same whichever candidate carries the capital.
+        let m = best_match(q, ["bufo", "Atra"], 4).unwrap();
+        assert_eq!(m.candidate, "Atra");
+        // And candidate order doesn't matter either.
+        let m = best_match(q, ["atra", "Bufo"], 4).unwrap();
+        assert_eq!(m.candidate, "atra");
+    }
+
+    /// Candidates equal under lowercasing still order deterministically.
+    #[test]
+    fn casing_duplicates_pick_a_stable_winner() {
+        let a = best_match("hyla", ["HYLA", "hyla"], 0).unwrap();
+        let b = best_match("hyla", ["hyla", "HYLA"], 0).unwrap();
+        assert_eq!(a.candidate, b.candidate);
+        assert_eq!(a.candidate, "HYLA"); // raw fallback: 'H' < 'h'
     }
 
     #[test]

@@ -4,8 +4,22 @@
 use proptest::prelude::*;
 
 use preserva_taxonomy::builder::{build_backbone, build_checklist, ReleasePlan};
-use preserva_taxonomy::fuzzy::damerau_levenshtein;
+use preserva_taxonomy::fuzzy::{best_match, damerau_levenshtein};
 use preserva_taxonomy::name::ScientificName;
+
+/// Re-case `s` according to `mask`: bit i set ⇒ char i uppercased.
+fn apply_casing(s: &str, mask: u32) -> String {
+    s.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if mask & (1 << (i % 32)) != 0 {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            }
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -98,6 +112,35 @@ proptest! {
             tr.swap(i, i + 1);
             let tr: String = tr.into_iter().collect();
             prop_assert!(damerau_levenshtein(&s, &tr) <= 1);
+        }
+    }
+
+    /// `best_match` is invariant under candidate-casing permutations: both
+    /// the winner (up to case) and its distance are decided entirely on
+    /// the lowercase alphabet, so re-casing any subset of candidate
+    /// characters never changes the outcome. Guards the tie-break fix —
+    /// the old raw byte compare let a capital letter steal ties.
+    #[test]
+    fn best_match_invariant_under_candidate_casing(
+        query in "[a-z]{1,8}",
+        cands in proptest::collection::vec("[a-z]{1,8}", 1..8),
+        masks in proptest::collection::vec(0u32..256, 8),
+        budget in 0usize..6,
+    ) {
+        let recased: Vec<String> = cands
+            .iter()
+            .zip(&masks)
+            .map(|(c, m)| apply_casing(c, *m))
+            .collect();
+        let base = best_match(&query, cands.iter().map(String::as_str), budget);
+        let cased = best_match(&query, recased.iter().map(String::as_str), budget);
+        match (base, cased) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.distance, b.distance);
+                prop_assert_eq!(a.candidate.to_lowercase(), b.candidate.to_lowercase());
+            }
+            (a, b) => prop_assert!(false, "casing changed matchability: {a:?} vs {b:?}"),
         }
     }
 

@@ -25,9 +25,11 @@
 //! service's health.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use preserva_obs::{Counter, Registry};
 
 /// Breaker tuning, part of the engine's [`crate::engine::EngineConfig`].
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +119,47 @@ pub struct BreakerSnapshot {
     pub recoveries: u64,
 }
 
+/// Observer wiring state transitions into a metrics registry: one labeled
+/// counter series per (service, target state) plus a trace event per
+/// transition. Transitions are rare by construction, so the trace-ring
+/// mutex is off the hot path.
+#[derive(Debug)]
+struct BreakerObs {
+    registry: Arc<Registry>,
+    service: String,
+    to_open: Arc<Counter>,
+    to_half_open: Arc<Counter>,
+    to_closed: Arc<Counter>,
+}
+
+impl BreakerObs {
+    fn new(registry: Arc<Registry>, service: &str) -> BreakerObs {
+        const NAME: &str = "preserva_wfms_breaker_transitions_total";
+        const HELP: &str = "Circuit-breaker state transitions by service and target state.";
+        let series =
+            |to: &str| registry.counter_with(NAME, HELP, &[("service", service), ("to", to)]);
+        BreakerObs {
+            to_open: series("open"),
+            to_half_open: series("half_open"),
+            to_closed: series("closed"),
+            service: service.to_string(),
+            registry,
+        }
+    }
+
+    fn transition(&self, to: BreakerState, detail: &str) {
+        match to {
+            BreakerState::Open => self.to_open.inc(),
+            BreakerState::HalfOpen => self.to_half_open.inc(),
+            BreakerState::Closed => self.to_closed.inc(),
+        }
+        self.registry.trace(
+            "breaker",
+            format!("service {:?} -> {to}: {detail}", self.service),
+        );
+    }
+}
+
 /// One service's circuit breaker. Shared across engine runs via `Arc`
 /// (the [`crate::services::ServiceRegistry`] owns one per service).
 #[derive(Debug)]
@@ -126,6 +169,7 @@ pub struct CircuitBreaker {
     trips: AtomicU64,
     rejections: AtomicU64,
     recoveries: AtomicU64,
+    obs: Option<BreakerObs>,
 }
 
 impl CircuitBreaker {
@@ -139,6 +183,22 @@ impl CircuitBreaker {
             trips: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
+            obs: None,
+        }
+    }
+
+    /// A closed breaker that reports its state transitions to `registry`
+    /// as `preserva_wfms_breaker_transitions_total{service,to}` counters
+    /// and `breaker` trace events.
+    pub fn observed(config: BreakerConfig, registry: Arc<Registry>, service: &str) -> Self {
+        let mut b = CircuitBreaker::new(config);
+        b.obs = Some(BreakerObs::new(registry, service));
+        b
+    }
+
+    fn note_transition(&self, to: BreakerState, detail: &str) {
+        if let Some(obs) = &self.obs {
+            obs.transition(to, detail);
         }
     }
 
@@ -158,6 +218,7 @@ impl CircuitBreaker {
                         in_flight: 1,
                         successes: 0,
                     };
+                    self.note_transition(BreakerState::HalfOpen, "cooldown elapsed, probing");
                     Admission::Admitted
                 } else {
                     self.rejections.fetch_add(1, Ordering::Relaxed);
@@ -202,6 +263,7 @@ impl CircuitBreaker {
                     *state = State::Closed {
                         consecutive_failures: 0,
                     };
+                    self.note_transition(BreakerState::Closed, "probe succeeded, recovered");
                 }
             }
         }
@@ -223,6 +285,7 @@ impl CircuitBreaker {
                     *state = State::Open {
                         until: Instant::now() + self.config.cooldown,
                     };
+                    self.note_transition(BreakerState::Open, "failure threshold reached");
                 }
             }
             State::Open { .. } => {}
@@ -232,6 +295,7 @@ impl CircuitBreaker {
                 *state = State::Open {
                     until: Instant::now() + self.config.cooldown,
                 };
+                self.note_transition(BreakerState::Open, "probe failed, still down");
             }
         }
     }
@@ -345,6 +409,36 @@ mod tests {
         assert_eq!(b.admit(), Admission::Rejected);
         b.record_success();
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn observed_breaker_reports_every_transition() {
+        let reg = Arc::new(Registry::new());
+        let b = CircuitBreaker::observed(config(1, 10), reg.clone(), "col");
+        b.admit();
+        b.record_failure(); // closed -> open
+        std::thread::sleep(Duration::from_millis(20));
+        b.admit(); // open -> half-open
+        b.record_failure(); // half-open -> open (probe failed)
+        std::thread::sleep(Duration::from_millis(20));
+        b.admit(); // open -> half-open
+        b.record_success(); // half-open -> closed
+        let series = |to: &str| {
+            reg.counter_with(
+                "preserva_wfms_breaker_transitions_total",
+                "",
+                &[("service", "col"), ("to", to)],
+            )
+            .get()
+        };
+        assert_eq!(series("open"), 2);
+        assert_eq!(series("half_open"), 2);
+        assert_eq!(series("closed"), 1);
+        let events = reg.trace_events();
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| e.category == "breaker"));
+        assert!(events[0].message.contains("open"));
+        assert!(events[4].message.contains("recovered"));
     }
 
     #[test]

@@ -23,11 +23,12 @@
 //!   burning their retry budget; cooled-down breakers admit half-open
 //!   probes and close again on success ([`crate::breaker`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
+use preserva_obs::{Counter, Gauge, Histogram, Registry};
 use serde_json::Value;
 
 use crate::breaker::{Admission, BreakerConfig};
@@ -266,16 +267,84 @@ pub struct EngineStats {
     pub peak_workers: u64,
 }
 
-#[derive(Debug, Default)]
-struct StatCells {
-    runs: AtomicU64,
-    runs_failed: AtomicU64,
-    invocations: AtomicU64,
-    retries: AtomicU64,
-    timeouts: AtomicU64,
-    breaker_rejections: AtomicU64,
-    widest_wave: AtomicU64,
-    peak_workers: AtomicU64,
+/// Resolved instrument handles; the former ad-hoc `StatCells` atomics now
+/// live in a [`Registry`] so the CLI can expose one process-wide view.
+#[derive(Debug)]
+struct WfmsMetrics {
+    runs: Arc<Counter>,
+    runs_failed: Arc<Counter>,
+    invocations: Arc<Counter>,
+    retries: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    breaker_rejections: Arc<Counter>,
+    widest_wave: Arc<Gauge>,
+    peak_workers: Arc<Gauge>,
+    invocation_seconds: Arc<Histogram>,
+    /// Per-processor latency series, cached so the hot path never touches
+    /// the registry lock after a processor's first invocation.
+    per_processor: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl WfmsMetrics {
+    fn resolve(reg: &Registry) -> WfmsMetrics {
+        WfmsMetrics {
+            runs: reg.counter("preserva_wfms_runs_total", "Top-level runs started."),
+            runs_failed: reg.counter(
+                "preserva_wfms_runs_failed_total",
+                "Top-level runs that failed (including sink failures).",
+            ),
+            invocations: reg.counter(
+                "preserva_wfms_invocations_total",
+                "Service attempts actually made (all processors, all attempts).",
+            ),
+            retries: reg.counter(
+                "preserva_wfms_retries_total",
+                "Re-attempts after a transient failure.",
+            ),
+            timeouts: reg.counter(
+                "preserva_wfms_timeouts_total",
+                "Invocations cut off by the wall-clock timeout.",
+            ),
+            breaker_rejections: reg.counter(
+                "preserva_wfms_breaker_rejections_total",
+                "Invocations rejected fast by an open circuit breaker.",
+            ),
+            widest_wave: reg.gauge(
+                "preserva_wfms_widest_wave",
+                "Widest wave executed (high-water mark).",
+            ),
+            peak_workers: reg.gauge(
+                "preserva_wfms_pool_peak_workers",
+                "Most worker threads occupied for a single wave (high-water mark).",
+            ),
+            invocation_seconds: reg.latency_histogram(
+                "preserva_wfms_invocation_seconds",
+                "Processor invocation latency including retries and backoff.",
+            ),
+            per_processor: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn processor_seconds(&self, reg: &Registry, processor: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .per_processor
+            .read()
+            .expect("metrics cache poisoned")
+            .get(processor)
+        {
+            return h.clone();
+        }
+        let h = reg.latency_histogram_with(
+            "preserva_wfms_processor_seconds",
+            "Invocation latency by processor, including retries and backoff.",
+            &[("processor", processor)],
+        );
+        self.per_processor
+            .write()
+            .expect("metrics cache poisoned")
+            .insert(processor.to_string(), h.clone());
+        h
+    }
 }
 
 /// The workflow execution engine.
@@ -286,7 +355,8 @@ pub struct Engine {
     /// processes) sharing one provenance repository can never collide.
     nonce: u64,
     run_counter: AtomicU64,
-    stats: StatCells,
+    obs: Arc<Registry>,
+    metrics: WfmsMetrics,
     sink: Arc<dyn ProvenanceSink>,
 }
 
@@ -376,12 +446,15 @@ impl Engine {
     /// Create an engine over a service registry. Runs are not recorded
     /// anywhere until a sink is attached with [`Engine::with_sink`].
     pub fn new(registry: ServiceRegistry, config: EngineConfig) -> Engine {
+        let obs = Arc::new(Registry::new());
+        let metrics = WfmsMetrics::resolve(&obs);
         Engine {
             registry,
             config,
             nonce: fresh_nonce(),
             run_counter: AtomicU64::new(1),
-            stats: StatCells::default(),
+            obs,
+            metrics,
             sink: Arc::new(NullSink),
         }
     }
@@ -392,6 +465,20 @@ impl Engine {
     pub fn with_sink(mut self, sink: Arc<dyn ProvenanceSink>) -> Engine {
         self.sink = sink;
         self
+    }
+
+    /// Record into `registry` instead of the engine's private registry.
+    /// The CLI passes [`Registry::global`] here so storage, wfms and
+    /// quality metrics land in one process-wide view.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Engine {
+        self.metrics = WfmsMetrics::resolve(&registry);
+        self.obs = registry;
+        self
+    }
+
+    /// The metrics registry this engine records into.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// The registry this engine resolves services from.
@@ -408,16 +495,16 @@ impl Engine {
     /// aggregated over every service breaker in the registry.
     pub fn stats(&self) -> EngineStats {
         let mut s = EngineStats {
-            runs: self.stats.runs.load(Ordering::Relaxed),
-            runs_failed: self.stats.runs_failed.load(Ordering::Relaxed),
-            invocations: self.stats.invocations.load(Ordering::Relaxed),
-            retries: self.stats.retries.load(Ordering::Relaxed),
-            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
-            breaker_rejections: self.stats.breaker_rejections.load(Ordering::Relaxed),
+            runs: self.metrics.runs.get(),
+            runs_failed: self.metrics.runs_failed.get(),
+            invocations: self.metrics.invocations.get(),
+            retries: self.metrics.retries.get(),
+            timeouts: self.metrics.timeouts.get(),
+            breaker_rejections: self.metrics.breaker_rejections.get(),
             breaker_trips: 0,
             breaker_recoveries: 0,
-            widest_wave: self.stats.widest_wave.load(Ordering::Relaxed),
-            peak_workers: self.stats.peak_workers.load(Ordering::Relaxed),
+            widest_wave: self.metrics.widest_wave.get(),
+            peak_workers: self.metrics.peak_workers.get(),
         };
         for (_, b) in self.registry.breaker_snapshots() {
             s.breaker_trips += b.trips;
@@ -460,17 +547,23 @@ impl Engine {
         workflow: &Workflow,
         inputs: &PortMap,
     ) -> Result<ExecutionTrace, (RunError, Box<ExecutionTrace>)> {
-        self.stats.runs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.runs.inc();
         match self.run_inner(workflow, inputs) {
             Ok(trace) => {
                 if let Err(e) = self.sink.record(workflow, &trace) {
-                    self.stats.runs_failed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.runs_failed.inc();
+                    self.obs.trace(
+                        "wfms",
+                        format!("run {} succeeded but sink failed: {e}", trace.run_id),
+                    );
                     return Err((RunError::SinkFailed(e.to_string()), Box::new(trace)));
                 }
                 Ok(trace)
             }
             Err((err, trace)) => {
-                self.stats.runs_failed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.runs_failed.inc();
+                self.obs
+                    .trace("wfms", format!("run {} failed: {err}", trace.run_id));
                 let _ = self.sink.record(workflow, &trace);
                 Err((err, trace))
             }
@@ -593,15 +686,18 @@ impl Engine {
                 |item: &(&str, PortMap)| {
                     let (name, pm) = item;
                     let proc = workflow.processor(name).expect("known");
-                    (*name, pm.clone(), self.invoke(proc, pm))
+                    let invoke_started = Instant::now();
+                    let result = self.invoke(proc, pm);
+                    let elapsed = invoke_started.elapsed();
+                    self.metrics.invocation_seconds.observe_duration(elapsed);
+                    self.metrics
+                        .processor_seconds(&self.obs, name)
+                        .observe_duration(elapsed);
+                    (*name, pm.clone(), result)
                 },
             );
-            self.stats
-                .widest_wave
-                .fetch_max(report.tasks as u64, Ordering::Relaxed);
-            self.stats
-                .peak_workers
-                .fetch_max(report.workers as u64, Ordering::Relaxed);
+            self.metrics.widest_wave.set_max(report.tasks as u64);
+            self.metrics.peak_workers.set_max(report.workers as u64);
 
             // Fold results deterministically.
             for (name, pm, result) in results {
@@ -791,11 +887,10 @@ impl Engine {
             .registry
             .get(service)
             .expect("pre-resolved before execution");
-        let breaker = self
-            .config
-            .breaker
-            .enabled()
-            .then(|| self.registry.breaker(service, &self.config.breaker));
+        let breaker = self.config.breaker.enabled().then(|| {
+            self.registry
+                .breaker_observed(service, &self.config.breaker, &self.obs)
+        });
         let deadline = self
             .config
             .processor_timeout
@@ -806,9 +901,7 @@ impl Engine {
             let attempt = attempt_errors.len() as u32 + 1;
             if let Some(b) = &breaker {
                 if b.admit() == Admission::Rejected {
-                    self.stats
-                        .breaker_rejections
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.breaker_rejections.inc();
                     return Err(InvokeFailure {
                         error: format!("circuit open for service {service:?}"),
                         attempt_errors,
@@ -817,9 +910,9 @@ impl Engine {
                 }
             }
             if attempt > 1 {
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.metrics.retries.inc();
             }
-            self.stats.invocations.fetch_add(1, Ordering::Relaxed);
+            self.metrics.invocations.inc();
 
             let attempt_result = match deadline {
                 None => Some(svc.invoke(inputs)),
@@ -832,7 +925,7 @@ impl Engine {
                     };
                     if outcome.is_none() {
                         // Deadline hit before or during the attempt.
-                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.timeouts.inc();
                         if let Some(b) = &breaker {
                             b.record_failure();
                         }
@@ -892,7 +985,7 @@ impl Engine {
                     if let Some((budget, d)) = deadline {
                         if Instant::now() + delay >= d {
                             // Backing off would overrun the budget.
-                            self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.timeouts.inc();
                             let msg = format!(
                                 "processor {processor:?} timed out after {budget:?} (backoff after attempt {attempt})"
                             );
@@ -1463,6 +1556,82 @@ mod tests {
         // The computation itself succeeded; the trace proves it.
         assert!(trace.succeeded());
         assert_eq!(trace.workflow_outputs["y"], json!(8));
+    }
+
+    #[test]
+    fn shared_registry_exposes_wfms_families() {
+        let reg = Arc::new(Registry::new());
+        let e = Engine::new(registry(), EngineConfig::default()).with_metrics(reg.clone());
+        e.run(&diamond(), &port("x", json!(3))).unwrap();
+        let _ = e.run(&diamond(), &PortMap::new());
+        let text = reg.render_prometheus();
+        assert!(text.contains("preserva_wfms_runs_total 2"));
+        assert!(text.contains("preserva_wfms_runs_failed_total 1"));
+        assert!(text.contains("preserva_wfms_invocation_seconds_count 4"));
+        assert!(text.contains("preserva_wfms_processor_seconds_bucket{processor=\"a\""));
+        assert!(
+            text.contains("preserva_wfms_widest_wave 2"),
+            "b and c run together"
+        );
+        assert!(text.contains("preserva_wfms_pool_peak_workers"));
+        // Per-processor series: one count per processor of the diamond.
+        for p in ["a", "b", "c", "d"] {
+            let h = reg.latency_histogram_with(
+                "preserva_wfms_processor_seconds",
+                "",
+                &[("processor", p)],
+            );
+            assert_eq!(h.count(), 1, "processor {p}");
+        }
+        // The failed run recorded a trace event.
+        assert!(reg
+            .trace_events()
+            .iter()
+            .any(|ev| ev.category == "wfms" && ev.message.contains("failed")));
+    }
+
+    #[test]
+    fn breaker_transitions_reach_engine_registry() {
+        let plan = FaultPlan::new();
+        plan.fail_invocations("col", &[1, 2]);
+        let ok: Arc<dyn Service> =
+            Arc::new(FnService::new(|_: &PortMap| Ok(port("out", json!("ok")))));
+        let mut r = ServiceRegistry::new();
+        r.register("col", plan.wrap("col", ok));
+        let w = Workflow::new("w", "w")
+            .with_output("y")
+            .with_processor(Processor::service("p", "col", &[], &["out"]))
+            .link_output("p", "out", "y");
+        let reg = Arc::new(Registry::new());
+        let e = Engine::new(
+            r,
+            EngineConfig {
+                max_attempts: 1,
+                retry: RetryPolicy::none(),
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_millis(20),
+                    half_open_probes: 1,
+                },
+                ..Default::default()
+            },
+        )
+        .with_metrics(reg.clone());
+        let _ = e.run(&w, &PortMap::new()); // failure 1
+        let _ = e.run(&w, &PortMap::new()); // failure 2 -> trips open
+        std::thread::sleep(Duration::from_millis(40));
+        e.run(&w, &PortMap::new()).unwrap(); // probe succeeds -> closed
+        let series = |to: &str| {
+            reg.counter_with(
+                "preserva_wfms_breaker_transitions_total",
+                "",
+                &[("service", "col"), ("to", to)],
+            )
+            .get()
+        };
+        assert_eq!(series("open"), 1);
+        assert_eq!(series("half_open"), 1);
+        assert_eq!(series("closed"), 1);
     }
 
     #[test]

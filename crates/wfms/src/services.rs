@@ -153,6 +153,25 @@ impl ServiceRegistry {
             .clone()
     }
 
+    /// Like [`breaker`](Self::breaker), but a breaker created by this call
+    /// reports its state transitions to `obs`. Breakers are created once
+    /// per service and shared across registry clones, so the first
+    /// creator's registry observes the transitions.
+    pub fn breaker_observed(
+        &self,
+        name: &str,
+        config: &BreakerConfig,
+        obs: &Arc<preserva_obs::Registry>,
+    ) -> Arc<CircuitBreaker> {
+        self.breakers
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(CircuitBreaker::observed(config.clone(), obs.clone(), name))
+            })
+            .clone()
+    }
+
     /// Snapshot of every breaker that has been exercised, by service
     /// name (services never invoked have no breaker yet).
     pub fn breaker_snapshots(&self) -> Vec<(String, BreakerSnapshot)> {

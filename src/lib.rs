@@ -19,6 +19,7 @@ pub use preserva_curation as curation;
 pub use preserva_fnjv as fnjv;
 pub use preserva_gazetteer as gazetteer;
 pub use preserva_metadata as metadata;
+pub use preserva_obs as obs;
 pub use preserva_opm as opm;
 pub use preserva_quality as quality;
 pub use preserva_storage as storage;
