@@ -83,5 +83,116 @@ fn bench_recovery(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-criterion_group!(benches, bench_put, bench_get_scan, bench_recovery);
+/// Full recuration vs journal-driven delta reassessment at 1%, 10% and
+/// 100% churn: the cost of re-deriving the collection's quality state
+/// should scale with the number of touched records, not the collection.
+fn bench_reassess_churn(c: &mut Criterion) {
+    use preserva_core::reassess::Reassessor;
+    use preserva_core::retrieval::RecordCatalog;
+    use preserva_curation::log::CurationLog;
+    use preserva_curation::outdated::OutdatedNameDetector;
+    use preserva_curation::pipeline::CurationPipeline;
+    use preserva_curation::review::ReviewQueue;
+    use preserva_fnjv::{config::GeneratorConfig, generator};
+    use preserva_metadata::value::Value;
+    use preserva_storage::table::TableStore;
+    use preserva_taxonomy::service::{ColService, ServiceConfig};
+    use std::cell::Cell;
+    use std::sync::Arc;
+
+    const N: usize = 1_000;
+    let config = GeneratorConfig {
+        records: N,
+        distinct_species: 120,
+        outdated_names: 10,
+        seed: 42,
+        ..GeneratorConfig::default()
+    };
+    let collection = generator::generate(&config);
+    let service = ColService::new(
+        collection.checklist.clone(),
+        ServiceConfig {
+            availability: 1.0,
+            seed: 7,
+            ..ServiceConfig::default()
+        },
+    );
+    let pipeline = CurationPipeline::stage1(
+        preserva_gazetteer::builder::build_gazetteer(3, 0x9E0),
+        preserva_metadata::fnjv::schema(),
+    );
+
+    let mut g = c.benchmark_group("storage/reassess");
+    g.sample_size(10);
+
+    // Baseline: the pre-journal path — every record through the full
+    // pipeline plus a full name check, regardless of what changed.
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("full_recurate_1k", |b| {
+        b.iter(|| {
+            let mut log = CurationLog::new();
+            let mut queue = ReviewQueue::new();
+            let (curated, _) = pipeline.run(&collection.records, &mut log, &mut queue);
+            let report = OutdatedNameDetector::new(&service, 3).check_collection(&curated);
+            criterion::black_box((curated, report.current))
+        })
+    });
+
+    for (label, frac) in [
+        ("delta_churn_1pct", 0.01f64),
+        ("delta_churn_10pct", 0.10),
+        ("delta_churn_100pct", 1.0),
+    ] {
+        let dir = tmpdir(label);
+        let engine = Engine::open(&dir, EngineOptions::default()).unwrap();
+        let store = Arc::new(TableStore::new(Arc::new(engine)));
+        let catalog = RecordCatalog::open_on(store.clone(), "records").unwrap();
+        // Curate once, persist the clean collection, seed the cursor so
+        // only the churn edits below are ever reprocessed.
+        let mut log = CurationLog::new();
+        let mut queue = ReviewQueue::new();
+        let (curated, _) = pipeline.run(&collection.records, &mut log, &mut queue);
+        catalog.insert_all(&curated).unwrap();
+        let reassessor = Reassessor::new(store.clone(), "records").unwrap();
+        let report = OutdatedNameDetector::new(&service, 3).check_collection(&curated);
+        reassessor.seed(&report).unwrap();
+
+        let k = (((N as f64) * frac).round() as usize).max(1);
+        let round = Cell::new(0u64);
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    // Touch k records: one journaled commit of edits.
+                    round.set(round.get() + 1);
+                    let mut session = store.session();
+                    for r in curated.iter().take(k) {
+                        let mut edited = r.clone();
+                        edited.set("recordist", Value::Text(format!("churn {}", round.get())));
+                        catalog.stage(&mut session, &edited).unwrap();
+                    }
+                    session.commit().unwrap();
+                },
+                |_| {
+                    let mut log = CurationLog::new();
+                    let mut queue = ReviewQueue::new();
+                    reassessor
+                        .run(&pipeline, &service, None, None, &mut log, &mut queue)
+                        .unwrap()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_put,
+    bench_get_scan,
+    bench_recovery,
+    bench_reassess_churn
+);
 criterion_main!(benches);

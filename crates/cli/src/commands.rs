@@ -4,6 +4,7 @@ use std::error::Error;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use preserva_core::reassess::Reassessor;
 use preserva_core::retrieval::RecordCatalog;
 use preserva_curation::history::HistoryStore;
 use preserva_curation::log::CurationLog;
@@ -32,10 +33,16 @@ usage: preserva <command> --dir DATA [flags]
 commands:
   ingest       generate and store a synthetic FNJV-style collection
                [--records N] [--species N] [--outdated N] [--seed S]
-  stats        collection statistics
+               [--backbone-year Y]  (pin name checks to the edition at Y)
+  stats        collection statistics (cached until the change journal moves)
   curate       run the stage-1 curation pipeline, journal the history
   check-names  detect outdated species names against the Catalogue of Life
                [--availability 0.9] [--attempts 8]
+  reassess     consume the change journal: re-run only affected curation
+               passes, re-check only status-changed names, update the
+               quality ledger incrementally
+               [--since SEQ] [--backbone-year Y] [--availability 1.0]
+               [--metrics true]  (print the exposition after the run)
   query        retrieve records [--species S] [--state ST] [--year Y] [--limit N]
   history      show a record's curation history --record ID
   assess       compute quality attributes for the collection
@@ -83,6 +90,26 @@ fn load_records(catalog: &RecordCatalog) -> Result<Vec<Record>, Box<dyn Error>> 
     Ok(catalog.query(&q)?)
 }
 
+/// The checklist edition the collection is currently pinned to.
+/// 0 means "latest" — the pre-reassessment behaviour.
+fn load_backbone_year(store: &TableStore) -> Result<i32, Box<dyn Error>> {
+    Ok(match store.get(META_TABLE, b"backbone-year")? {
+        Some(raw) => String::from_utf8_lossy(&raw).parse().unwrap_or(0),
+        None => 0,
+    })
+}
+
+fn effective_checklist(
+    checklist: &preserva_taxonomy::checklist::Checklist,
+    year: i32,
+) -> preserva_taxonomy::checklist::Checklist {
+    if year == 0 {
+        checklist.clone()
+    } else {
+        checklist.as_of(year)
+    }
+}
+
 /// Dispatch a parsed command line.
 pub fn run(args: &Args) -> CliResult {
     // `stress` exercises the in-memory engine; it needs no data directory.
@@ -95,6 +122,7 @@ pub fn run(args: &Args) -> CliResult {
         "stats" => stats(&dir),
         "curate" => curate(&dir),
         "check-names" => check_names(args, &dir),
+        "reassess" => reassess(args, &dir),
         "query" => query(args, &dir),
         "history" => history(args, &dir),
         "assess" => assess(&dir),
@@ -112,6 +140,7 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
     let species = args.get_parsed("species", (records / 6).max(10), "integer")?;
     let outdated = args.get_parsed("outdated", species / 14, "integer")?;
     let seed = args.get_parsed("seed", 42u64, "integer")?;
+    let backbone_year = args.get_parsed("backbone-year", 0i32, "integer")?;
     let config = GeneratorConfig {
         records,
         distinct_species: species,
@@ -119,9 +148,25 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
         seed,
         ..GeneratorConfig::default()
     };
-    let collection = generator::generate(&config);
     let store = open_store(dir)?;
     let catalog = open_catalog(store.clone())?;
+    let params = serde_json::json!({
+        "records": records, "species": species, "outdated": outdated,
+        "seed": seed, "backbone_year": backbone_year,
+    });
+    // Identical parameters and an unmoved journal head mean the store
+    // already holds exactly what this invocation would write: replay the
+    // recorded output instead of re-staging every row.
+    if let Some(raw) = store.get(META_TABLE, b"ingest-cache")? {
+        let v: serde_json::Value = serde_json::from_slice(&raw)?;
+        if v["params"] == params && v["head"].as_u64() == Some(store.journal_head()) {
+            if let Some(text) = v["output"].as_str() {
+                print!("{text}");
+                return Ok(());
+            }
+        }
+    }
+    let collection = generator::generate(&config);
     // Metadata, every record and all index maintenance land in one
     // write session — a single WAL commit and fsync for the whole ingest.
     let commits_before = store.engine().stats().commits;
@@ -136,32 +181,76 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
         .to_string()
         .as_bytes(),
     )?;
+    if backbone_year != 0 {
+        session.put(
+            META_TABLE,
+            b"backbone-year",
+            backbone_year.to_string().as_bytes(),
+        )?;
+    }
     for record in &collection.records {
         catalog.stage(&mut session, record)?;
     }
     session.commit()?;
     let commits = store.engine().stats().commits - commits_before;
-    println!(
-        "ingested {} records ({} distinct species, {} planted outdated, seed {}) into {}",
+    let output = format!(
+        "ingested {} records ({} distinct species, {} planted outdated, seed {}) into {}\n\
+         storage commits: {} ({:.4} per record)\n",
         records,
         species,
         outdated,
         seed,
-        dir.display()
-    );
-    println!(
-        "storage commits: {} ({:.4} per record)",
+        dir.display(),
         commits,
         commits as f64 / (records.max(1)) as f64
     );
+    store.put(
+        META_TABLE,
+        b"ingest-cache",
+        serde_json::json!({
+            "params": params, "head": store.journal_head(), "output": output,
+        })
+        .to_string()
+        .as_bytes(),
+    )?;
+    print!("{output}");
     Ok(())
 }
 
 fn stats(dir: &Path) -> CliResult {
     let store = open_store(dir)?;
     let catalog = open_catalog(store.clone())?;
-    let records = load_records(&catalog)?;
-    print!("{}", CollectionStats::compute(&records).render());
+    // The collection panel only changes when the change journal moves;
+    // while the head is unchanged, serve the cached render instead of
+    // scanning every record again. Engine counters below stay live.
+    let head = store.journal_head();
+    let panel = match store.get(META_TABLE, b"stats-cache")? {
+        Some(raw) => {
+            let v: serde_json::Value = serde_json::from_slice(&raw)?;
+            if v["head"].as_u64() == Some(head) {
+                v["panel"].as_str().map(str::to_string)
+            } else {
+                None
+            }
+        }
+        None => None,
+    };
+    let panel = match panel {
+        Some(text) => text,
+        None => {
+            let records = load_records(&catalog)?;
+            let text = CollectionStats::compute(&records).render();
+            store.put(
+                META_TABLE,
+                b"stats-cache",
+                serde_json::json!({ "head": head, "panel": text })
+                    .to_string()
+                    .as_bytes(),
+            )?;
+            text
+        }
+    };
+    print!("{panel}");
     let s = store.engine().stats();
     println!("storage engine:");
     println!(
@@ -211,10 +300,12 @@ fn check_names(args: &Args, dir: &Path) -> CliResult {
     let config = load_config(&store)?;
     let catalog = open_catalog(store.clone())?;
     let records = load_records(&catalog)?;
-    // Rebuild the deterministic checklist the collection was planted with.
+    // Rebuild the deterministic checklist the collection was planted
+    // with, pinned to the edition the collection currently tracks.
     let collection = generator::generate(&config);
+    let year = load_backbone_year(&store)?;
     let service = ColService::new(
-        collection.checklist.clone(),
+        effective_checklist(&collection.checklist, year),
         ServiceConfig {
             availability,
             seed: config.seed ^ 0xC01,
@@ -228,6 +319,75 @@ fn check_names(args: &Args, dir: &Path) -> CliResult {
         "persisted {written} rows ({} updates in `{UPDATED_NAMES_TABLE}`, originals untouched)",
         report.outdated.len()
     );
+    Ok(())
+}
+
+/// Consume the change journal from the stored cursor (or `--since`) and
+/// re-run only the affected curation passes and name checks. With
+/// `--backbone-year Y` the checklist is swapped first: the edition diff
+/// is journaled and only status-changed names are re-checked.
+fn reassess(args: &Args, dir: &Path) -> CliResult {
+    use preserva_core::provenance_manager::ProvenanceManager;
+
+    let availability = args.get_parsed("availability", 1.0f64, "number in [0,1]")?;
+    let since = match args.get("since") {
+        Some(raw) => Some(raw.parse::<u64>().map_err(|_| "bad --since")?),
+        None => None,
+    };
+    let target_year = args.get_parsed("backbone-year", 0i32, "integer")?;
+
+    let store = open_store(dir)?;
+    let config = load_config(&store)?;
+    // Opening the catalog registers the secondary indexes the delta run
+    // maintains when it stages re-curated records.
+    let _catalog = open_catalog(store.clone())?;
+    let collection = generator::generate(&config);
+    let obs = preserva_obs::Registry::global();
+    let reassessor = Reassessor::with_metrics(store.clone(), "records", obs.clone())?;
+
+    let mut year = load_backbone_year(&store)?;
+    if target_year != 0 && target_year != year {
+        let from = if year == 0 {
+            collection.checklist.latest().year
+        } else {
+            year
+        };
+        let (diff, receipt) = reassessor.swap_backbone(&collection.checklist, from, target_year)?;
+        store.put(
+            META_TABLE,
+            b"backbone-year",
+            target_year.to_string().as_bytes(),
+        )?;
+        println!(
+            "backbone {from} -> {target_year}: {} name status changes journaled through seq {}",
+            diff.len(),
+            receipt.last_seq
+        );
+        year = target_year;
+    }
+
+    let service = ColService::new(
+        effective_checklist(&collection.checklist, year),
+        ServiceConfig {
+            availability,
+            seed: config.seed ^ 0xC01,
+            ..ServiceConfig::default()
+        },
+    );
+    let gazetteer = preserva_gazetteer::builder::build_gazetteer(3, config.seed ^ 0x9E0);
+    let pipeline = CurationPipeline::stage1(gazetteer, fnjv::schema());
+    let pm = ProvenanceManager::with_metrics(store.clone(), obs.clone());
+    let mut log = CurationLog::new();
+    let mut queue = ReviewQueue::new();
+    let outcome = reassessor.run(&pipeline, &service, Some(&pm), since, &mut log, &mut queue)?;
+    let persisted = HistoryStore::new(&store).persist(&log)?;
+    print!("{}", outcome.render());
+    if persisted > 0 {
+        println!("{persisted} history entries journaled");
+    }
+    if args.get("metrics").map(|v| v == "true").unwrap_or(false) {
+        print!("{}", obs.render_prometheus());
+    }
     Ok(())
 }
 
@@ -337,10 +497,12 @@ fn assess(dir: &Path) -> CliResult {
     let config = load_config(&store)?;
     let catalog = open_catalog(store.clone())?;
     let records = load_records(&catalog)?;
-    // Re-run the check with full availability to compute accuracy facts.
+    // Re-run the check with full availability to compute accuracy facts,
+    // against the edition the collection is pinned to.
     let collection = generator::generate(&config);
+    let year = load_backbone_year(&store)?;
     let service = ColService::new(
-        collection.checklist.clone(),
+        effective_checklist(&collection.checklist, year),
         ServiceConfig {
             availability: 1.0,
             seed: config.seed ^ 0xC01,
@@ -372,6 +534,18 @@ fn assess(dir: &Path) -> CliResult {
         );
     }
     print!("{}", quality.render_text());
+    // Seed the incremental reassessment state: per-name ledger entries,
+    // record→name references and the journal cursor, so later edits can
+    // be reassessed as deltas instead of full recomputes.
+    let reassessor = Reassessor::new(store.clone(), "records")?;
+    reassessor.seed(&report)?;
+    let (ledger_checked, ledger_correct) = reassessor.ledger()?.totals();
+    println!(
+        "reassessment seeded: {:.0} names in the ledger ({:.0} current), journal cursor at seq {}",
+        ledger_checked,
+        ledger_correct,
+        reassessor.cursor()?
+    );
     let cross = preserva_metadata::consistency::collection_inconsistencies(&records);
     if !cross.is_empty() {
         println!("cross-record inconsistencies needing review:");
@@ -667,6 +841,115 @@ mod tests {
         assert_eq!(store.count("records").unwrap(), 400);
         assert_eq!(store.count(UPDATED_NAMES_TABLE).unwrap(), 6);
         assert!(store.count("curation_history").unwrap() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reassess_consumes_the_feed_incrementally() {
+        let dir = tmp("reassess");
+        let d = dir.to_string_lossy();
+        // Pin the collection to the 1995 edition; the planted outdated
+        // names only become outdated under later releases.
+        run(&args(&format!(
+            "ingest --dir {d} --records 300 --species 60 --outdated 8 --seed 11 --backbone-year 1995"
+        )))
+        .unwrap();
+        run(&args(&format!("curate --dir {d}"))).unwrap();
+        run(&args(&format!("assess --dir {d}"))).unwrap();
+
+        {
+            let store = open_store(&dir).unwrap();
+            let r = Reassessor::new(store.clone(), "records").unwrap();
+            // assess seeded the cursor at the current head: nothing lags.
+            assert_eq!(r.journal_lag().unwrap(), 0);
+            assert!(!r.ledger().unwrap().is_empty());
+        }
+
+        // Backbone upgrade: journal the edition diff, delta-run only the
+        // affected names, capture the run as provenance.
+        run(&args(&format!("reassess --dir {d} --backbone-year 2013"))).unwrap();
+
+        {
+            let store = open_store(&dir).unwrap();
+            assert_eq!(load_backbone_year(&store).unwrap(), 2013);
+            let r = Reassessor::new(store.clone(), "records").unwrap();
+            assert_eq!(r.journal_lag().unwrap(), 0);
+            // The incrementally maintained ledger matches a full
+            // re-check against the 2013 edition.
+            let config = load_config(&store).unwrap();
+            let collection = generator::generate(&config);
+            let service = ColService::new(
+                collection.checklist.as_of(2013),
+                ServiceConfig {
+                    availability: 1.0,
+                    seed: config.seed ^ 0xC01,
+                    ..ServiceConfig::default()
+                },
+            );
+            let catalog = open_catalog(store.clone()).unwrap();
+            let records = load_records(&catalog).unwrap();
+            let report = OutdatedNameDetector::new(&service, 3).check_collection(&records);
+            let (checked, correct) = r.ledger().unwrap().totals();
+            assert_eq!(checked as usize, report.checked());
+            assert_eq!(correct as usize, report.current);
+            // The delta run left an OPM graph behind.
+            let runs: Vec<String> = store
+                .scan(preserva_core::provenance_manager::PROVENANCE_TABLE)
+                .unwrap()
+                .into_iter()
+                .map(|(k, _)| String::from_utf8_lossy(&k).into_owned())
+                .collect();
+            assert!(
+                runs.iter().any(|id| id.starts_with("reassess-")),
+                "no reassess provenance in {runs:?}"
+            );
+        }
+
+        // A second reassess with no new journal entries is a no-op.
+        run(&args(&format!("reassess --dir {d}"))).unwrap();
+        let store = open_store(&dir).unwrap();
+        let r = Reassessor::new(store.clone(), "records").unwrap();
+        assert_eq!(r.journal_lag().unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unchanged_invocations_short_circuit() {
+        let dir = tmp("shortcut");
+        let d = dir.to_string_lossy();
+        let ingest_line =
+            format!("ingest --dir {d} --records 80 --species 12 --outdated 2 --seed 9");
+        run(&args(&ingest_line)).unwrap();
+        let head = {
+            let store = open_store(&dir).unwrap();
+            store.journal_head()
+        };
+        // Identical re-ingest: the journal head must not move — the
+        // cached output is replayed without re-staging any row.
+        run(&args(&ingest_line)).unwrap();
+        {
+            let store = open_store(&dir).unwrap();
+            assert_eq!(store.journal_head(), head);
+        }
+        // A different seed really re-ingests.
+        run(&args(&format!(
+            "ingest --dir {d} --records 80 --species 12 --outdated 2 --seed 10"
+        )))
+        .unwrap();
+        {
+            let store = open_store(&dir).unwrap();
+            assert!(store.journal_head() > head);
+        }
+        // stats caches its panel keyed on the journal head.
+        run(&args(&format!("stats --dir {d}"))).unwrap();
+        {
+            let store = open_store(&dir).unwrap();
+            let raw = store.get(META_TABLE, b"stats-cache").unwrap().unwrap();
+            let v: serde_json::Value = serde_json::from_slice(&raw).unwrap();
+            assert_eq!(v["head"].as_u64().unwrap(), store.journal_head());
+        }
+        // Second stats serves from the cache (same head, same panel).
+        run(&args(&format!("stats --dir {d}"))).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

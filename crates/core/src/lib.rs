@@ -34,11 +34,13 @@ pub mod architecture;
 pub mod preservation;
 pub mod provenance_manager;
 pub mod quality_manager;
+pub mod reassess;
 pub mod repository;
 pub mod retrieval;
 pub mod roles;
 
 pub use architecture::Architecture;
 pub use preservation::PreservationModel;
+pub use reassess::{ReassessOutcome, Reassessor};
 pub use repository::{CodecError, Repository, RepositoryError};
 pub use roles::{EndUser, ProcessDesigner};

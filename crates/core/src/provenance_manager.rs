@@ -11,7 +11,7 @@ use preserva_obs::{Counter, Histogram, Registry};
 use preserva_opm::graph::OpmGraph;
 use preserva_opm::serialize as opm_ser;
 use preserva_opm::validate as opm_validate;
-use preserva_storage::table::TableStore;
+use preserva_storage::table::{TableStore, WriteSession};
 use preserva_storage::StorageError;
 use preserva_wfms::model::Workflow;
 use preserva_wfms::opm_export;
@@ -248,6 +248,48 @@ impl ProvenanceManager {
             .capture_seconds
             .observe_duration(started.elapsed());
         Ok(graph)
+    }
+
+    /// Validate a trace-less OPM graph and stage it into a caller-owned
+    /// session under `run_id`, so a derived graph (e.g. a
+    /// delta-reassessment run whose cause is a journal slice) commits
+    /// atomically with the data mutations it describes. Re-staging an
+    /// identical graph under the same id is an idempotent no-op; a
+    /// *different* graph under an existing id is refused with
+    /// [`ProvenanceError::DuplicateRun`], same as [`capture`](Self::capture).
+    pub fn stage_graph(
+        &self,
+        session: &mut WriteSession<'_>,
+        run_id: &str,
+        graph: &OpmGraph,
+    ) -> Result<(), ProvenanceError> {
+        let report = opm_validate::validate(graph);
+        if !report.is_legal() {
+            return Err(ProvenanceError::IllegalGraph(
+                report
+                    .errors
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            ));
+        }
+        let serialized = opm_ser::to_json(graph);
+        if let Some(existing) = self.store.get(PROVENANCE_TABLE, run_id.as_bytes())? {
+            if existing != serialized.as_bytes() {
+                self.metrics.duplicate_runs.inc();
+                self.obs.trace(
+                    "provenance",
+                    format!("refused duplicate capture of run {run_id} (different graph)"),
+                );
+                return Err(ProvenanceError::DuplicateRun(run_id.to_string()));
+            }
+            return Ok(());
+        }
+        session.put(PROVENANCE_TABLE, run_id.as_bytes(), serialized.as_bytes())?;
+        self.metrics.graph_nodes.observe(graph.node_count() as f64);
+        self.metrics.graph_bytes.observe(serialized.len() as f64);
+        Ok(())
     }
 
     /// Load a stored OPM graph.

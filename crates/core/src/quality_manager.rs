@@ -216,7 +216,8 @@ impl DataQualityManager {
 
     /// Persist a report (keyed by `run_id/subject`).
     pub fn publish(&self, report: &QualityReport) -> Result<(), QualityManagerError> {
-        Ok(self.reports.save(report)?)
+        self.reports.save(report)?;
+        Ok(())
     }
 
     /// Load every published report.

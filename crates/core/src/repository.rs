@@ -13,7 +13,7 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use preserva_storage::table::{TableStore, WriteSession};
+use preserva_storage::table::{CommitReceipt, TableStore, WriteSession};
 use preserva_storage::StorageError;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -155,21 +155,23 @@ impl<T: Serialize + DeserializeOwned> Repository<T> {
             .map_err(|e| CodecError::new(&self.table, String::from_utf8_lossy(key), e).into())
     }
 
-    /// Persist one value (its own commit).
-    pub fn save(&self, value: &T) -> Result<(), RepositoryError> {
-        let (key, bytes) = self.encode(value)?;
-        self.store.put(&self.table, key.as_bytes(), &bytes)?;
-        Ok(())
+    /// Persist one value (its own commit). The returned receipt carries
+    /// the journal sequence numbers assigned to the write when the table
+    /// is journaled (empty receipt otherwise).
+    pub fn save(&self, value: &T) -> Result<CommitReceipt, RepositoryError> {
+        let mut session = self.store.session();
+        self.stage(&mut session, value)?;
+        Ok(session.commit()?)
     }
 
-    /// Persist many values in ONE storage commit (a single session).
-    pub fn save_all(&self, values: &[T]) -> Result<(), RepositoryError> {
+    /// Persist many values in ONE storage commit (a single session),
+    /// returning the journal sequence range the batch was assigned.
+    pub fn save_all(&self, values: &[T]) -> Result<CommitReceipt, RepositoryError> {
         let mut session = self.store.session();
         for value in values {
             self.stage(&mut session, value)?;
         }
-        session.commit()?;
-        Ok(())
+        Ok(session.commit()?)
     }
 
     /// Stage one value into a caller-owned session, so a write can commit

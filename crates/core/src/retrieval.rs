@@ -9,7 +9,7 @@ use std::sync::Arc;
 use preserva_metadata::query::{Filter, Query};
 use preserva_metadata::record::Record;
 use preserva_metadata::value::Value;
-use preserva_storage::table::{IndexDef, TableStore, WriteSession};
+use preserva_storage::table::{CommitReceipt, IndexDef, TableStore, WriteSession};
 use preserva_storage::StorageError;
 use preserva_taxonomy::name::ScientificName;
 
@@ -123,6 +123,10 @@ impl RecordCatalog {
         store.create_index(table, IndexDef::new("genus", text_field_extractor("genus")))?;
         store.create_index(table, IndexDef::new("state", text_field_extractor("state")))?;
         store.create_index(table, IndexDef::new("year", year_extractor))?;
+        // The data repository is the change-feed's source of truth: every
+        // committed write to it must land in the journal so delta
+        // reassessment can see it.
+        store.mark_journaled(table)?;
         Ok(RecordCatalog {
             repo: Repository::new(store, table, |r: &Record| r.id.clone()),
         })
@@ -136,14 +140,16 @@ impl RecordCatalog {
         self.repo.table()
     }
 
-    /// Insert or update a record (indexes maintained atomically).
-    pub fn insert(&self, record: &Record) -> Result<(), CatalogError> {
+    /// Insert or update a record (indexes maintained atomically). The
+    /// receipt carries the journal sequence number the write was assigned.
+    pub fn insert(&self, record: &Record) -> Result<CommitReceipt, CatalogError> {
         Ok(self.repo.save(record)?)
     }
 
     /// Bulk insert: all records land in ONE storage commit, index
-    /// maintenance included.
-    pub fn insert_all(&self, records: &[Record]) -> Result<(), CatalogError> {
+    /// maintenance included. The receipt spans the whole batch's journal
+    /// sequence range.
+    pub fn insert_all(&self, records: &[Record]) -> Result<CommitReceipt, CatalogError> {
         Ok(self.repo.save_all(records)?)
     }
 
@@ -383,6 +389,24 @@ mod tests {
         );
         // Index maintenance rode along in the same commit.
         assert_eq!(c.by_species("Hyla faber").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn inserts_thread_journal_sequence_numbers() {
+        let c = catalog("receipts");
+        let receipt = c.insert_all(&sample()).unwrap();
+        assert_eq!(receipt.entries(), 3, "one journal event per record");
+        let single = c
+            .insert(&Record::new("4").with("species", Value::Text("Hyla faber".into())))
+            .unwrap();
+        assert_eq!(single.first_seq, receipt.last_seq + 1);
+        assert_eq!(single.head(), Some(c.store().journal_head()));
+        // The change feed records exactly the catalog writes, in order.
+        let feed = c.store().read_journal(0, 100).unwrap();
+        assert_eq!(feed.len(), 4);
+        assert!(feed
+            .iter()
+            .all(|e| e.table == CATALOG_TABLE && e.kind == preserva_storage::ROW_UPSERTED));
     }
 
     #[test]

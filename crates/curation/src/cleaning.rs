@@ -10,7 +10,7 @@ use preserva_metadata::schema::{Schema, SchemaViolation};
 use preserva_metadata::value::Value;
 use preserva_taxonomy::name::ScientificName;
 
-use crate::pass::{CurationPass, PassOutcome};
+use crate::pass::{CurationPass, PassDependencies, PassOutcome};
 
 /// Trims and collapses whitespace in every text field.
 pub struct WhitespacePass;
@@ -83,6 +83,10 @@ impl CurationPass for SpeciesNamePass {
         }
         out
     }
+
+    fn dependencies(&self) -> PassDependencies {
+        PassDependencies::on_fields(&["species", "genus"])
+    }
 }
 
 /// Parses legacy text dates/times into typed values
@@ -123,6 +127,10 @@ impl CurationPass for LegacyDatePass {
             }
         }
         out
+    }
+
+    fn dependencies(&self) -> PassDependencies {
+        PassDependencies::on_fields(&["collect_date", "collect_time"])
     }
 }
 
@@ -224,6 +232,11 @@ impl CurationPass for GeoreferencePass {
             }
         }
         out
+    }
+
+    fn dependencies(&self) -> PassDependencies {
+        PassDependencies::on_fields(&["coordinates", "country", "state", "city", "location"])
+            .with_source("gazetteer")
     }
 }
 

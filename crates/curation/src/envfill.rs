@@ -7,7 +7,7 @@ use preserva_metadata::record::Record;
 use preserva_metadata::value::Value;
 
 use crate::climate;
-use crate::pass::{CurationPass, PassOutcome};
+use crate::pass::{CurationPass, PassDependencies, PassOutcome};
 
 /// The environmental-field filler pass. Runs after georeferencing and
 /// date parsing (it needs typed `coordinates` and `collect_date`).
@@ -52,6 +52,16 @@ impl CurationPass for EnvironmentalFillPass {
             );
         }
         out
+    }
+
+    fn dependencies(&self) -> PassDependencies {
+        PassDependencies::on_fields(&[
+            "coordinates",
+            "collect_date",
+            "air_temperature_c",
+            "atmospheric_conditions",
+        ])
+        .with_source("climate-archive")
     }
 }
 

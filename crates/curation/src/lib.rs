@@ -25,6 +25,7 @@
 
 pub mod cleaning;
 pub mod climate;
+pub mod delta;
 pub mod envfill;
 pub mod history;
 pub mod log;
@@ -34,6 +35,7 @@ pub mod pipeline;
 pub mod review;
 pub mod spatial;
 
+pub use delta::{DeltaPlan, DeltaSummary, TouchedFields};
 pub use log::{CurationEvent, CurationLog};
 pub use outdated::{NameCheckOutcome, OutdatedNameDetector, OutdatedNameReport};
 pub use pass::{CurationPass, FieldChange, PassOutcome, ReviewFlag};

@@ -68,6 +68,84 @@ impl PassOutcome {
     }
 }
 
+/// Which record fields a pass reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldSet {
+    /// The pass may read any field (the conservative default).
+    All,
+    /// The pass reads only these fields.
+    Only(Vec<String>),
+}
+
+impl FieldSet {
+    /// A field set naming specific fields.
+    pub fn only(fields: &[&str]) -> FieldSet {
+        FieldSet::Only(fields.iter().map(|f| f.to_string()).collect())
+    }
+
+    /// Whether any of `changed` is in this set.
+    pub fn intersects<S: AsRef<str>>(&self, changed: &[S]) -> bool {
+        match self {
+            FieldSet::All => !changed.is_empty(),
+            FieldSet::Only(fields) => changed
+                .iter()
+                .any(|c| fields.iter().any(|f| f == c.as_ref())),
+        }
+    }
+}
+
+/// What a pass depends on — the delta planner re-runs a pass on a
+/// record only when one of its declared inputs changed. Declaring too
+/// much is safe (extra re-runs of idempotent passes); declaring too
+/// little breaks `delta ≡ full` equivalence, which the cross-crate
+/// proptest guards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassDependencies {
+    /// Record fields the pass reads.
+    pub fields: FieldSet,
+    /// Logical external sources the pass consults (e.g. `"gazetteer"`,
+    /// `"checklist"`); a version bump of a source re-runs the pass on
+    /// every touched record.
+    pub sources: Vec<String>,
+}
+
+impl PassDependencies {
+    /// Depends on everything — the conservative default.
+    pub fn all() -> Self {
+        PassDependencies {
+            fields: FieldSet::All,
+            sources: Vec::new(),
+        }
+    }
+
+    /// Depends only on the named fields.
+    pub fn on_fields(fields: &[&str]) -> Self {
+        PassDependencies {
+            fields: FieldSet::only(fields),
+            sources: Vec::new(),
+        }
+    }
+
+    /// Also depends on an external source (builder style).
+    pub fn with_source(mut self, source: &str) -> Self {
+        self.sources.push(source.to_string());
+        self
+    }
+
+    /// Whether a record with `changed_fields` modified, under
+    /// `changed_sources` bumped, needs this pass re-run.
+    pub fn affected_by<S: AsRef<str>, T: AsRef<str>>(
+        &self,
+        changed_fields: &[S],
+        changed_sources: &[T],
+    ) -> bool {
+        self.fields.intersects(changed_fields)
+            || changed_sources
+                .iter()
+                .any(|c| self.sources.iter().any(|s| s == c.as_ref()))
+    }
+}
+
 /// A curation pass.
 pub trait CurationPass: Send + Sync {
     /// Stable pass name (journaled with every change).
@@ -75,6 +153,13 @@ pub trait CurationPass: Send + Sync {
 
     /// Inspect `record` and propose changes/flags.
     fn inspect(&self, record: &Record) -> PassOutcome;
+
+    /// The fields and external sources this pass reads. The default is
+    /// "everything", which is always correct but makes the pass run in
+    /// every delta batch; passes should narrow it.
+    fn dependencies(&self) -> PassDependencies {
+        PassDependencies::all()
+    }
 }
 
 /// Apply an outcome's changes to a copy of the record.

@@ -55,6 +55,12 @@ impl CurationPipeline {
         self.passes.iter().map(|p| p.name()).collect()
     }
 
+    /// The passes themselves, in execution order (used by the delta
+    /// runner to consult per-pass dependency declarations).
+    pub fn passes(&self) -> &[Box<dyn CurationPass>] {
+        &self.passes
+    }
+
     /// Run all passes over the collection. Returns curated copies (the
     /// input slice is untouched), journaling into `log` and flagging into
     /// `queue`.

@@ -1,0 +1,236 @@
+//! Per-subject metric contributions, so ratio dimension scores update
+//! incrementally instead of via whole-collection recomputes.
+//!
+//! The paper's accuracy score (93 % = 1795 correct / 1929 checked
+//! species names) is a ratio over per-name contributions. A
+//! [`ContributionLedger`] stores each contribution keyed by its subject
+//! (here: the canonical species name) together with running totals;
+//! when a backbone upgrade flips k names, only those k entries are
+//! re-set and the totals adjust in O(k) — the resulting facts feed the
+//! same [`crate::metric::Metric::from_ratio`] metrics as a full
+//! recompute, producing bit-identical scores (sums are maintained
+//! exactly, not via floating accumulation drift: totals are recomputed
+//! from the map on demand only in debug assertions).
+//!
+//! The ledger is plain serializable data: persistence is the caller's
+//! concern (core stores it as one row and updates it inside the same
+//! atomic commit as the records it reflects).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metric::AssessmentContext;
+
+/// One subject's contribution to a ratio metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Contribution {
+    /// Contribution to the denominator (e.g. 1.0 = "this name was checked").
+    pub checked: f64,
+    /// Contribution to the numerator (e.g. 1.0 = "this name is current").
+    pub correct: f64,
+}
+
+impl Contribution {
+    /// A checked subject that is correct/current.
+    pub fn correct() -> Self {
+        Contribution {
+            checked: 1.0,
+            correct: 1.0,
+        }
+    }
+
+    /// A checked subject that is incorrect/outdated.
+    pub fn incorrect() -> Self {
+        Contribution {
+            checked: 1.0,
+            correct: 0.0,
+        }
+    }
+}
+
+/// Keyed contributions with incrementally-maintained totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ContributionLedger {
+    entries: BTreeMap<String, Contribution>,
+    checked_total: f64,
+    correct_total: f64,
+}
+
+impl ContributionLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a subject's contribution, adjusting totals by
+    /// the difference. Returns the previous contribution, if any.
+    pub fn set(&mut self, subject: &str, c: Contribution) -> Option<Contribution> {
+        let old = self.entries.insert(subject.to_string(), c);
+        let (old_checked, old_correct) = old.map(|o| (o.checked, o.correct)).unwrap_or((0.0, 0.0));
+        self.checked_total += c.checked - old_checked;
+        self.correct_total += c.correct - old_correct;
+        old
+    }
+
+    /// Remove a subject's contribution, adjusting totals.
+    pub fn remove(&mut self, subject: &str) -> Option<Contribution> {
+        let old = self.entries.remove(subject);
+        if let Some(o) = old {
+            self.checked_total -= o.checked;
+            self.correct_total -= o.correct;
+        }
+        old
+    }
+
+    /// A subject's current contribution.
+    pub fn get(&self, subject: &str) -> Option<Contribution> {
+        self.entries.get(subject).copied()
+    }
+
+    /// Number of subjects tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no subjects are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(checked_total, correct_total)` — the running ratio inputs.
+    pub fn totals(&self) -> (f64, f64) {
+        debug_assert!({
+            let checked: f64 = self.entries.values().map(|c| c.checked).sum();
+            let correct: f64 = self.entries.values().map(|c| c.correct).sum();
+            (checked - self.checked_total).abs() < 1e-6
+                && (correct - self.correct_total).abs() < 1e-6
+        });
+        (self.checked_total, self.correct_total)
+    }
+
+    /// The ratio `correct / checked`, or `None` when nothing is checked.
+    pub fn ratio(&self) -> Option<f64> {
+        let (checked, correct) = self.totals();
+        (checked > 0.0).then(|| correct / checked)
+    }
+
+    /// Iterate subjects with their contributions, in subject order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Contribution)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Export the totals as assessment facts (builder style), so the
+    /// same ratio metrics a full recompute feeds read them unchanged.
+    pub fn export_facts(
+        &self,
+        ctx: AssessmentContext,
+        checked_fact: &str,
+        correct_fact: &str,
+    ) -> AssessmentContext {
+        let (checked, correct) = self.totals();
+        ctx.with_fact(checked_fact, checked)
+            .with_fact(correct_fact, correct)
+    }
+
+    /// Re-derive the totals from the entries, replacing the running
+    /// sums. Used after deserializing ledgers produced by older
+    /// versions or hand-edited fixtures; a ledger maintained purely
+    /// through [`set`](Self::set)/[`remove`](Self::remove) never needs it.
+    pub fn rebuild_totals(&mut self) {
+        self.checked_total = self.entries.values().map(|c| c.checked).sum();
+        self.correct_total = self.entries.values().map(|c| c.correct).sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimension::Dimension;
+    use crate::metric::Metric;
+    use crate::model::QualityModel;
+
+    #[test]
+    fn totals_track_set_and_remove() {
+        let mut l = ContributionLedger::new();
+        l.set("hyla faber", Contribution::correct());
+        l.set("scinax ruber", Contribution::correct());
+        l.set("elachistocleis ovalis", Contribution::incorrect());
+        assert_eq!(l.totals(), (3.0, 2.0));
+        assert_eq!(l.len(), 3);
+        // Flip one entry: only its delta moves the totals.
+        l.set("hyla faber", Contribution::incorrect());
+        assert_eq!(l.totals(), (3.0, 1.0));
+        l.remove("elachistocleis ovalis");
+        assert_eq!(l.totals(), (2.0, 1.0));
+        assert_eq!(l.ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_ledger_has_no_ratio() {
+        let l = ContributionLedger::new();
+        assert_eq!(l.ratio(), None);
+        assert_eq!(l.totals(), (0.0, 0.0));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn reproduces_case_study_accuracy() {
+        // 1929 names checked, 134 outdated → the paper's 93 %.
+        let mut l = ContributionLedger::new();
+        for i in 0..1929 {
+            let c = if i < 134 {
+                Contribution::incorrect()
+            } else {
+                Contribution::correct()
+            };
+            l.set(&format!("species-{i:04}"), c);
+        }
+        let model = QualityModel::new().with_metric(Metric::from_ratio(
+            "accuracy",
+            Dimension::accuracy(),
+            "names_correct",
+            "names_checked",
+        ));
+        let ctx = l.export_facts(AssessmentContext::new(), "names_checked", "names_correct");
+        let report = model.assess("fnjv", &ctx);
+        let acc = report.score(&Dimension::accuracy()).unwrap();
+        assert!((acc - 0.9305).abs() < 0.001, "accuracy {acc}");
+    }
+
+    #[test]
+    fn incremental_equals_rebuild() {
+        let mut l = ContributionLedger::new();
+        for i in 0..50 {
+            l.set(
+                &format!("n{i}"),
+                if i % 3 == 0 {
+                    Contribution::incorrect()
+                } else {
+                    Contribution::correct()
+                },
+            );
+        }
+        for i in (0..50).step_by(7) {
+            l.set(&format!("n{i}"), Contribution::correct());
+        }
+        for i in (0..50).step_by(11) {
+            l.remove(&format!("n{i}"));
+        }
+        let incremental = l.totals();
+        let mut rebuilt = l.clone();
+        rebuilt.rebuild_totals();
+        assert_eq!(incremental, rebuilt.totals());
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut l = ContributionLedger::new();
+        l.set("a", Contribution::correct());
+        l.set("b", Contribution::incorrect());
+        let json = serde_json::to_string(&l).unwrap();
+        let back: ContributionLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+        assert_eq!(back.totals(), l.totals());
+    }
+}

@@ -30,6 +30,7 @@ pub mod attribute_based;
 pub mod decay;
 pub mod dimension;
 pub mod goal;
+pub mod ledger;
 pub mod metric;
 pub mod model;
 pub mod provenance_based;
@@ -38,6 +39,7 @@ pub mod sources;
 
 pub use dimension::Dimension;
 pub use goal::QualityGoal;
+pub use ledger::{Contribution, ContributionLedger};
 pub use metric::{AssessmentContext, Metric};
 pub use model::QualityModel;
 pub use report::QualityReport;

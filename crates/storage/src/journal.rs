@@ -1,0 +1,176 @@
+//! The change journal: a persistent, sequence-numbered feed of typed
+//! change events appended by [`crate::table::WriteSession`] commits.
+//!
+//! Every committed session appends its events to the reserved
+//! `__journal` table *in the same atomic batch* as the data mutations
+//! that caused them — after a crash either both the row write and its
+//! journal entry are visible or neither is. Entries are keyed by their
+//! big-endian sequence number so a cursor replay is a single range
+//! scan, and the current head is mirrored into `__journal_meta` so a
+//! reopened store resumes numbering with a point read instead of a
+//! full journal scan.
+//!
+//! The storage layer only knows two event kinds natively
+//! ([`ROW_UPSERTED`], [`ROW_DELETED`]), emitted automatically for
+//! writes to tables registered with
+//! [`crate::table::TableStore::mark_journaled`]. Higher layers inject
+//! their own typed events (field changes, checklist swaps) through
+//! [`crate::table::WriteSession::journal`]; the kind is an opaque
+//! string here.
+
+use crate::codec::{get_bytes, get_u64, put_bytes, put_u64};
+use crate::error::{StorageError, StorageResult};
+
+/// Reserved table holding journal entries keyed by big-endian sequence.
+pub const JOURNAL_TABLE: &str = "__journal";
+/// Reserved table holding the journal head pointer.
+pub const JOURNAL_META_TABLE: &str = "__journal_meta";
+/// Key in [`JOURNAL_META_TABLE`] whose value is the last assigned
+/// sequence number (fixed little-endian u64).
+pub const JOURNAL_HEAD_KEY: &[u8] = b"head";
+
+/// Event kind: a row of a journaled table was inserted or updated.
+pub const ROW_UPSERTED: &str = "row-upserted";
+/// Event kind: a row of a journaled table was deleted.
+pub const ROW_DELETED: &str = "row-deleted";
+
+/// One typed change event in the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Assigned sequence number, contiguous per commit, dense within a
+    /// single store lifetime (reopen resumes after the stored head).
+    pub seq: u64,
+    /// Event kind — [`ROW_UPSERTED`]/[`ROW_DELETED`] for automatic row
+    /// events, any caller-chosen string for injected events.
+    pub kind: String,
+    /// Logical table (or source name, for injected events).
+    pub table: String,
+    /// Primary key of the touched row (or subject of the event).
+    pub key: Vec<u8>,
+    /// Optional event payload; empty for automatic row events.
+    pub payload: Vec<u8>,
+}
+
+impl JournalEntry {
+    /// Storage key for this entry: big-endian seq, so range scans
+    /// return entries in sequence order.
+    pub fn storage_key(seq: u64) -> Vec<u8> {
+        seq.to_be_bytes().to_vec()
+    }
+
+    /// Encode to the dependency-free binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + self.kind.len() + self.table.len() + self.key.len() + self.payload.len() + 12,
+        );
+        put_u64(&mut out, self.seq);
+        put_bytes(&mut out, self.kind.as_bytes());
+        put_bytes(&mut out, self.table.as_bytes());
+        put_bytes(&mut out, &self.key);
+        put_bytes(&mut out, &self.payload);
+        out
+    }
+
+    /// Decode from the binary format produced by [`JournalEntry::encode`].
+    pub fn decode(buf: &[u8]) -> StorageResult<JournalEntry> {
+        let (seq, mut at) = get_u64(buf)?;
+        let (kind, n) = get_bytes(&buf[at..])?;
+        let kind = std::str::from_utf8(kind)
+            .map_err(|_| StorageError::Decode("journal kind not utf-8".into()))?
+            .to_string();
+        at += n;
+        let (table, n) = get_bytes(&buf[at..])?;
+        let table = std::str::from_utf8(table)
+            .map_err(|_| StorageError::Decode("journal table not utf-8".into()))?
+            .to_string();
+        at += n;
+        let (key, n) = get_bytes(&buf[at..])?;
+        let key = key.to_vec();
+        at += n;
+        let (payload, n) = get_bytes(&buf[at..])?;
+        let payload = payload.to_vec();
+        at += n;
+        if at != buf.len() {
+            return Err(StorageError::Decode(format!(
+                "journal entry has {} trailing bytes",
+                buf.len() - at
+            )));
+        }
+        Ok(JournalEntry {
+            seq,
+            kind,
+            table,
+            key,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = JournalEntry {
+            seq: 42,
+            kind: ROW_UPSERTED.to_string(),
+            table: "records".to_string(),
+            key: b"fnjv:17".to_vec(),
+            payload: b"species=Elachistocleis ovalis".to_vec(),
+        };
+        let buf = e.encode();
+        assert_eq!(JournalEntry::decode(&buf).unwrap(), e);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let e = JournalEntry {
+            seq: u64::MAX,
+            kind: ROW_DELETED.to_string(),
+            table: "t".to_string(),
+            key: Vec::new(),
+            payload: Vec::new(),
+        };
+        assert_eq!(JournalEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn truncated_entry_is_error() {
+        let e = JournalEntry {
+            seq: 1,
+            kind: "k".to_string(),
+            table: "t".to_string(),
+            key: b"pk".to_vec(),
+            payload: b"data".to_vec(),
+        };
+        let mut buf = e.encode();
+        buf.pop();
+        assert!(JournalEntry::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        let e = JournalEntry {
+            seq: 1,
+            kind: "k".to_string(),
+            table: "t".to_string(),
+            key: b"pk".to_vec(),
+            payload: Vec::new(),
+        };
+        let mut buf = e.encode();
+        buf.push(0);
+        assert!(JournalEntry::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn storage_keys_sort_by_seq() {
+        let keys: Vec<Vec<u8>> = [1u64, 255, 256, 65_536, u64::MAX >> 1]
+            .iter()
+            .map(|&s| JournalEntry::storage_key(s))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

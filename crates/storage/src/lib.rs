@@ -40,6 +40,7 @@ pub mod codec;
 pub mod crc32;
 pub mod engine;
 pub mod error;
+pub mod journal;
 pub mod memtable;
 pub mod sstable;
 pub mod table;
@@ -47,4 +48,5 @@ pub mod wal;
 
 pub use engine::{Engine, EngineOptions, EngineStats};
 pub use error::{StorageError, StorageResult};
-pub use table::{IndexDef, TableStore, WriteSession};
+pub use journal::{JournalEntry, ROW_DELETED, ROW_UPSERTED};
+pub use table::{CommitReceipt, IndexDef, TableStore, WriteSession};

@@ -1,15 +1,28 @@
-//! Named tables with secondary indexes, layered over [`crate::Engine`].
+//! Named tables with secondary indexes and a change journal, layered
+//! over [`crate::Engine`].
 //!
 //! Index entries live in shadow tables named `__idx:<table>:<index>` whose
 //! keys are `indexed-value ++ 0x00 ++ primary-key`, so an index lookup is a
 //! prefix scan and all maintenance happens in the same atomic batch as the
 //! row write — an index can never disagree with its table after a crash.
+//!
+//! Tables registered with [`TableStore::mark_journaled`] additionally
+//! append a [`JournalEntry`] per row write to the reserved `__journal`
+//! table, again inside the same atomic batch, so the journal can never
+//! claim a change that didn't land (or miss one that did). Committing a
+//! [`WriteSession`] returns a [`CommitReceipt`] carrying the sequence
+//! numbers assigned to this commit's events.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::codec::{get_u64, put_u64};
 use crate::engine::{BatchOp, Engine};
 use crate::error::{StorageError, StorageResult};
+use crate::journal::{
+    JournalEntry, JOURNAL_HEAD_KEY, JOURNAL_META_TABLE, JOURNAL_TABLE, ROW_DELETED, ROW_UPSERTED,
+};
 
 /// Extracts the indexed value from a row, or `None` to skip the row.
 pub type KeyExtractor = Arc<dyn Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync>;
@@ -45,6 +58,8 @@ impl IndexDef {
 }
 
 const IDX_PREFIX: &str = "__idx";
+/// Reserved table recording which indexes have been backfilled.
+const TABLE_META: &str = "__table_meta";
 const SEP: u8 = 0x00;
 
 fn index_table(table: &str, index: &str) -> String {
@@ -59,6 +74,10 @@ fn index_key(value: &[u8], pk: &[u8]) -> Vec<u8> {
     k
 }
 
+fn backfill_marker(table: &str, index: &str) -> Vec<u8> {
+    format!("idx-built:{table}:{index}").into_bytes()
+}
+
 fn check_name(name: &str) -> StorageResult<()> {
     if name.is_empty() || name.contains(':') || name.starts_with("__") {
         return Err(StorageError::InvalidTableName(name.to_string()));
@@ -66,10 +85,43 @@ fn check_name(name: &str) -> StorageResult<()> {
     Ok(())
 }
 
-/// A store of named tables with registered secondary indexes.
+/// Sequence range a [`WriteSession::commit`] assigned to its journal
+/// entries. Commits that touched no journaled table and injected no
+/// events return the empty receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommitReceipt {
+    /// First sequence number assigned, or 0 when no entries were written.
+    pub first_seq: u64,
+    /// Last sequence number assigned, or 0 when no entries were written.
+    pub last_seq: u64,
+}
+
+impl CommitReceipt {
+    /// Number of journal entries this commit appended.
+    pub fn entries(&self) -> u64 {
+        if self.last_seq == 0 {
+            0
+        } else {
+            self.last_seq - self.first_seq + 1
+        }
+    }
+
+    /// The journal head after this commit, if it appended anything.
+    pub fn head(&self) -> Option<u64> {
+        (self.last_seq != 0).then_some(self.last_seq)
+    }
+}
+
+/// A store of named tables with registered secondary indexes and an
+/// append-only change journal.
 pub struct TableStore {
     engine: Arc<Engine>,
     indexes: parking_lot_free::RwLock<HashMap<String, Vec<IndexDef>>>,
+    /// Tables whose row writes auto-append journal events. Like indexes,
+    /// journaling is code, not data: re-register after every open.
+    journaled: parking_lot_free::RwLock<HashSet<String>>,
+    /// Next journal sequence number to assign (head + 1).
+    next_seq: AtomicU64,
 }
 
 /// Tiny stand-in module so the storage crate stays dependency-free: wraps
@@ -91,17 +143,44 @@ mod parking_lot_free {
 
 impl std::fmt::Debug for TableStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TableStore").finish()
+        f.debug_struct("TableStore")
+            .field("journal_head", &self.journal_head())
+            .finish()
     }
 }
 
 impl TableStore {
-    /// Wrap an engine. Indexes must be (re-)registered after every open;
-    /// they are code, not data.
+    /// Wrap an engine. Indexes and journaled-table registrations must be
+    /// re-applied after every open — they are code, not data — and they
+    /// must be registered before the first write of the session, so the
+    /// shadow tables and journal never miss a mutation.
+    ///
+    /// The journal head is recovered with a point read of the mirrored
+    /// head pointer; any entries a concurrent commit ordered after the
+    /// recorded head are folded in with a (normally empty) range scan.
     pub fn new(engine: Arc<Engine>) -> Self {
+        let mut head = engine
+            .get(JOURNAL_META_TABLE, JOURNAL_HEAD_KEY)
+            .ok()
+            .flatten()
+            .and_then(|v| get_u64(&v).ok().map(|(h, _)| h))
+            .unwrap_or(0);
+        if let Ok(rows) = engine.scan(
+            JOURNAL_TABLE,
+            &JournalEntry::storage_key(head.saturating_add(1)),
+            None,
+        ) {
+            for (k, _) in rows {
+                if let Ok(b) = <[u8; 8]>::try_from(k.as_slice()) {
+                    head = head.max(u64::from_be_bytes(b));
+                }
+            }
+        }
         TableStore {
             engine,
             indexes: parking_lot_free::RwLock::new(HashMap::new()),
+            journaled: parking_lot_free::RwLock::new(HashSet::new()),
+            next_seq: AtomicU64::new(head + 1),
         }
     }
 
@@ -110,22 +189,68 @@ impl TableStore {
         &self.engine
     }
 
-    /// Register a secondary index and backfill it from existing rows.
+    /// Register `table` for automatic journaling: every subsequent row
+    /// write appends a [`ROW_UPSERTED`]/[`ROW_DELETED`] event in the same
+    /// atomic batch as the write itself.
+    pub fn mark_journaled(&self, table: &str) -> StorageResult<()> {
+        check_name(table)?;
+        self.journaled.write().insert(table.to_string());
+        Ok(())
+    }
+
+    /// Whether `table` is registered for automatic journaling.
+    pub fn is_journaled(&self, table: &str) -> bool {
+        self.journaled.read().contains(table)
+    }
+
+    /// Last assigned journal sequence number; 0 when the journal is empty.
+    pub fn journal_head(&self) -> u64 {
+        self.next_seq.load(Ordering::SeqCst) - 1
+    }
+
+    /// Journal entries with sequence numbers in `(after_seq, after_seq +
+    /// limit]`, in order. A cursor replay loops until this returns empty.
+    pub fn read_journal(&self, after_seq: u64, limit: usize) -> StorageResult<Vec<JournalEntry>> {
+        let start = JournalEntry::storage_key(after_seq.saturating_add(1));
+        let end_seq = after_seq.saturating_add(limit as u64).saturating_add(1);
+        let end = JournalEntry::storage_key(end_seq);
+        let rows = self.engine.scan(JOURNAL_TABLE, &start, Some(&end))?;
+        rows.iter()
+            .take(limit)
+            .map(|(_, v)| JournalEntry::decode(v))
+            .collect()
+    }
+
+    /// Register a secondary index, backfilling it from existing rows the
+    /// first time. Once built, a persistent marker records the fact, so
+    /// re-registering the same index after a reopen is a single point
+    /// read — no full-table value materialization — because every row
+    /// write since the backfill has maintained the shadow table inside
+    /// its own atomic batch.
     pub fn create_index(&self, table: &str, def: IndexDef) -> StorageResult<()> {
         check_name(table)?;
-        let rows = self.engine.scan_all(table)?;
-        let idx_table = index_table(table, &def.name);
-        let mut batch = Vec::new();
-        for (pk, row) in &rows {
-            if let Some(v) = (def.extract)(row) {
-                batch.push(BatchOp::Put {
-                    table: idx_table.clone(),
-                    key: index_key(&v, pk),
-                    value: pk.clone(),
-                });
+        let marker = backfill_marker(table, &def.name);
+        if self.engine.get(TABLE_META, &marker)?.is_none() {
+            let rows = self.engine.scan_all(table)?;
+            let idx_table = index_table(table, &def.name);
+            let mut batch = Vec::new();
+            for (pk, row) in &rows {
+                if let Some(v) = (def.extract)(row) {
+                    batch.push(BatchOp::Put {
+                        table: idx_table.clone(),
+                        key: index_key(&v, pk),
+                        value: pk.clone(),
+                    });
+                }
             }
+            // Empty marker value: re-registration reads zero value bytes.
+            batch.push(BatchOp::Put {
+                table: TABLE_META.to_string(),
+                key: marker,
+                value: Vec::new(),
+            });
+            self.engine.apply_batch(batch)?;
         }
-        self.engine.apply_batch(batch)?;
         self.indexes
             .write()
             .entry(table.to_string())
@@ -134,65 +259,18 @@ impl TableStore {
         Ok(())
     }
 
-    /// Insert or update a row, maintaining all indexes atomically.
+    /// Insert or update a row, maintaining indexes and journal atomically.
     pub fn put(&self, table: &str, key: &[u8], value: &[u8]) -> StorageResult<()> {
-        check_name(table)?;
-        let mut batch = Vec::new();
-        self.index_maintenance(table, key, Some(value), &mut batch)?;
-        batch.push(BatchOp::Put {
-            table: table.to_string(),
-            key: key.to_vec(),
-            value: value.to_vec(),
-        });
-        self.engine.apply_batch(batch)
+        let mut session = self.session();
+        session.put(table, key, value)?;
+        session.commit().map(|_| ())
     }
 
-    /// Delete a row, maintaining all indexes atomically.
+    /// Delete a row, maintaining indexes and journal atomically.
     pub fn delete(&self, table: &str, key: &[u8]) -> StorageResult<()> {
-        check_name(table)?;
-        let mut batch = Vec::new();
-        self.index_maintenance(table, key, None, &mut batch)?;
-        batch.push(BatchOp::Delete {
-            table: table.to_string(),
-            key: key.to_vec(),
-        });
-        self.engine.apply_batch(batch)
-    }
-
-    fn index_maintenance(
-        &self,
-        table: &str,
-        key: &[u8],
-        new_value: Option<&[u8]>,
-        batch: &mut Vec<BatchOp>,
-    ) -> StorageResult<()> {
-        let indexes = self.indexes.read();
-        let Some(defs) = indexes.get(table) else {
-            return Ok(());
-        };
-        let old = self.engine.get(table, key)?;
-        for def in defs {
-            let idx_table = index_table(table, &def.name);
-            let old_v = old.as_deref().and_then(|r| (def.extract)(r));
-            let new_v = new_value.and_then(|r| (def.extract)(r));
-            if old_v == new_v {
-                continue;
-            }
-            if let Some(ov) = old_v {
-                batch.push(BatchOp::Delete {
-                    table: idx_table.clone(),
-                    key: index_key(&ov, key),
-                });
-            }
-            if let Some(nv) = new_v {
-                batch.push(BatchOp::Put {
-                    table: idx_table.clone(),
-                    key: index_key(&nv, key),
-                    value: key.to_vec(),
-                });
-            }
-        }
-        Ok(())
+        let mut session = self.session();
+        session.delete(table, key)?;
+        session.commit().map(|_| ())
     }
 
     /// Read a row.
@@ -232,30 +310,36 @@ impl TableStore {
             store: self,
             staged: Vec::new(),
             latest: HashMap::new(),
+            events: Vec::new(),
         }
     }
 }
 
 /// A multi-table write session: puts and deletes staged against a
 /// [`TableStore`] that commit together as one `Engine::apply_batch` —
-/// one WAL commit frame, one fsync. Index maintenance is folded into
-/// the same batch, so after a crash either the whole session (rows and
-/// index entries alike) is visible or none of it is.
+/// one WAL commit frame, one fsync. Index maintenance and journal
+/// entries are folded into the same batch, so after a crash either the
+/// whole session (rows, index entries and journal events alike) is
+/// visible or none of it is.
 ///
 /// Dropping a session without calling [`WriteSession::commit`] discards
-/// every staged operation.
+/// every staged operation and event.
 pub struct WriteSession<'a> {
     store: &'a TableStore,
     /// Operations in the order staged: `Some(value)` puts, `None` deletes.
     staged: Vec<(String, Vec<u8>, Option<Vec<u8>>)>,
     /// Latest staged state per `(table, key)`, for read-your-writes.
     latest: HashMap<(String, Vec<u8>), Option<Vec<u8>>>,
+    /// Explicitly injected journal events (kind, source, key, payload);
+    /// sequence numbers are assigned at commit.
+    events: Vec<(String, String, Vec<u8>, Vec<u8>)>,
 }
 
 impl std::fmt::Debug for WriteSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WriteSession")
             .field("staged", &self.staged.len())
+            .field("events", &self.events.len())
             .finish()
     }
 }
@@ -273,6 +357,22 @@ impl WriteSession<'_> {
         check_name(table)?;
         self.stage(table, key, None);
         Ok(self)
+    }
+
+    /// Stage a typed journal event to commit atomically with the data
+    /// mutations. `source` is a logical origin (a table name or a
+    /// subsystem like `"taxonomy"`); `kind` is an opaque event type for
+    /// consumers to dispatch on. Row events for journaled tables are
+    /// appended automatically — this is for everything else (field-level
+    /// changes, checklist swaps, external-source version bumps).
+    pub fn journal(&mut self, kind: &str, source: &str, key: &[u8], payload: &[u8]) -> &mut Self {
+        self.events.push((
+            kind.to_string(),
+            source.to_string(),
+            key.to_vec(),
+            payload.to_vec(),
+        ));
+        self
     }
 
     fn stage(&mut self, table: &str, key: &[u8], value: Option<Vec<u8>>) {
@@ -297,29 +397,75 @@ impl WriteSession<'_> {
 
     /// Whether nothing has been staged yet.
     pub fn is_empty(&self) -> bool {
-        self.staged.is_empty()
+        self.staged.is_empty() && self.events.is_empty()
     }
 
-    /// Commit every staged operation — and the index maintenance they
-    /// imply — as a single atomic batch. A session staging several
-    /// writes to one key replays them in order; indexes are maintained
-    /// against the evolving in-session state, not just the stored rows.
-    pub fn commit(self) -> StorageResult<()> {
-        if self.staged.is_empty() {
-            return Ok(());
+    /// Commit every staged operation — plus the index maintenance and
+    /// journal entries they imply — as a single atomic batch, returning
+    /// the sequence range assigned to this commit's journal events.
+    ///
+    /// A session staging several writes to one key replays them in
+    /// order; indexes are maintained against the evolving in-session
+    /// state, not just the stored rows. Tables with no registered
+    /// indexes skip the old-value point read entirely.
+    pub fn commit(self) -> StorageResult<CommitReceipt> {
+        let WriteSession {
+            store,
+            staged,
+            latest: _,
+            events: injected,
+        } = self;
+        if staged.is_empty() && injected.is_empty() {
+            return Ok(CommitReceipt::default());
         }
-        let indexes = self.store.indexes.read();
-        let mut batch = Vec::with_capacity(self.staged.len());
+
+        // Automatic row events for journaled tables, in staged order,
+        // followed by explicitly injected events.
+        let mut events: Vec<JournalEntry> = Vec::new();
+        {
+            let journaled = store.journaled.read();
+            for (table, key, value) in &staged {
+                if journaled.contains(table) {
+                    events.push(JournalEntry {
+                        seq: 0,
+                        kind: if value.is_some() {
+                            ROW_UPSERTED
+                        } else {
+                            ROW_DELETED
+                        }
+                        .to_string(),
+                        table: table.clone(),
+                        key: key.clone(),
+                        payload: Vec::new(),
+                    });
+                }
+            }
+        }
+        events.extend(
+            injected
+                .into_iter()
+                .map(|(kind, source, key, payload)| JournalEntry {
+                    seq: 0,
+                    kind,
+                    table: source,
+                    key,
+                    payload,
+                }),
+        );
+
+        let indexes = store.indexes.read();
+        let mut batch = Vec::with_capacity(staged.len() + events.len());
         // Value each key held before the op being generated, so repeated
         // writes to one key within the session produce correct index ops.
         let mut current: HashMap<(String, Vec<u8>), Option<Vec<u8>>> = HashMap::new();
-        for (table, key, new_value) in self.staged {
-            let slot = (table.clone(), key.clone());
-            let old = match current.get(&slot) {
-                Some(v) => v.clone(),
-                None => self.store.engine.get(&table, &key)?,
-            };
-            if let Some(defs) = indexes.get(&table) {
+        for (table, key, new_value) in staged {
+            let defs = indexes.get(&table).filter(|d| !d.is_empty());
+            if let Some(defs) = defs {
+                let slot = (table.clone(), key.clone());
+                let old = match current.get(&slot) {
+                    Some(v) => v.clone(),
+                    None => store.engine.get(&table, &key)?,
+                };
                 for def in defs {
                     let idx_table = index_table(&table, &def.name);
                     let old_v = old.as_deref().and_then(|r| (def.extract)(r));
@@ -341,6 +487,7 @@ impl WriteSession<'_> {
                         });
                     }
                 }
+                current.insert(slot, new_value.clone());
             }
             match &new_value {
                 Some(value) => batch.push(BatchOp::Put {
@@ -353,10 +500,37 @@ impl WriteSession<'_> {
                     key: key.clone(),
                 }),
             }
-            current.insert(slot, new_value);
         }
         drop(indexes);
-        self.store.engine.apply_batch(batch)
+
+        let receipt = if events.is_empty() {
+            CommitReceipt::default()
+        } else {
+            let n = events.len() as u64;
+            let first = store.next_seq.fetch_add(n, Ordering::SeqCst);
+            let last = first + n - 1;
+            for (i, mut e) in events.into_iter().enumerate() {
+                e.seq = first + i as u64;
+                batch.push(BatchOp::Put {
+                    table: JOURNAL_TABLE.to_string(),
+                    key: JournalEntry::storage_key(e.seq),
+                    value: e.encode(),
+                });
+            }
+            let mut head = Vec::new();
+            put_u64(&mut head, last);
+            batch.push(BatchOp::Put {
+                table: JOURNAL_META_TABLE.to_string(),
+                key: JOURNAL_HEAD_KEY.to_vec(),
+                value: head,
+            });
+            CommitReceipt {
+                first_seq: first,
+                last_seq: last,
+            }
+        };
+        store.engine.apply_batch(batch)?;
+        Ok(receipt)
     }
 }
 
@@ -366,12 +540,16 @@ mod tests {
     use crate::engine::EngineOptions;
     use std::path::PathBuf;
 
-    fn store(name: &str) -> TableStore {
+    fn store_dir(name: &str) -> PathBuf {
         let dir: PathBuf =
             std::env::temp_dir().join(format!("preserva-table-{}-{}", std::process::id(), name));
         let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store(name: &str) -> TableStore {
         TableStore::new(Arc::new(
-            Engine::open(&dir, EngineOptions::default()).unwrap(),
+            Engine::open(&store_dir(name), EngineOptions::default()).unwrap(),
         ))
     }
 
@@ -386,6 +564,7 @@ mod tests {
         assert!(s.put("__idx:t:i", b"k", b"v").is_err());
         assert!(s.put("a:b", b"k", b"v").is_err());
         assert!(s.put("", b"k", b"v").is_err());
+        assert!(s.mark_journaled("__journal").is_err());
     }
 
     #[test]
@@ -516,8 +695,11 @@ mod tests {
     fn empty_session_commit_is_free() {
         let s = store("session-empty");
         let before = s.engine().stats().commits;
-        s.session().commit().unwrap();
+        let receipt = s.session().commit().unwrap();
         assert_eq!(s.engine().stats().commits, before);
+        assert_eq!(receipt, CommitReceipt::default());
+        assert_eq!(receipt.entries(), 0);
+        assert_eq!(receipt.head(), None);
     }
 
     #[test]
@@ -536,5 +718,194 @@ mod tests {
         let rows = s.scan("t").unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].0, b"pk".to_vec());
+    }
+
+    #[test]
+    fn journaled_table_emits_row_events() {
+        let s = store("journal-rows");
+        s.mark_journaled("records").unwrap();
+        let before = s.engine().stats().commits;
+        let mut session = s.session();
+        session.put("records", b"r1", b"one").unwrap();
+        session.put("records", b"r2", b"two").unwrap();
+        session.delete("records", b"r1").unwrap();
+        let receipt = session.commit().unwrap();
+        // Data, indexes and journal land in ONE engine commit.
+        assert_eq!(s.engine().stats().commits, before + 1);
+        assert_eq!(
+            receipt,
+            CommitReceipt {
+                first_seq: 1,
+                last_seq: 3
+            }
+        );
+        assert_eq!(receipt.entries(), 3);
+        assert_eq!(s.journal_head(), 3);
+        let entries = s.read_journal(0, 100).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].kind, ROW_UPSERTED);
+        assert_eq!(entries[0].key, b"r1".to_vec());
+        assert_eq!(entries[1].kind, ROW_UPSERTED);
+        assert_eq!(entries[2].kind, ROW_DELETED);
+        assert_eq!(entries[2].key, b"r1".to_vec());
+        assert!(entries.iter().all(|e| e.table == "records"));
+    }
+
+    #[test]
+    fn non_journaled_tables_emit_nothing() {
+        let s = store("journal-off");
+        s.put("t", b"k", b"v").unwrap();
+        let mut session = s.session();
+        session.put("t", b"k2", b"v2").unwrap();
+        let receipt = session.commit().unwrap();
+        assert_eq!(receipt, CommitReceipt::default());
+        assert_eq!(s.journal_head(), 0);
+        assert!(s.read_journal(0, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_events_commit_with_data() {
+        let s = store("journal-inject");
+        let before = s.engine().stats().commits;
+        let mut session = s.session();
+        session.put("meta", b"backbone", b"2013").unwrap();
+        session.journal("checklist-changed", "taxonomy", b"2005->2013", b"renames=7");
+        session.journal(
+            "name-status-changed",
+            "taxonomy",
+            b"hyla faber",
+            b"synonymized",
+        );
+        let receipt = session.commit().unwrap();
+        assert_eq!(s.engine().stats().commits, before + 1);
+        assert_eq!(receipt.entries(), 2);
+        let entries = s.read_journal(0, 10).unwrap();
+        assert_eq!(entries[0].kind, "checklist-changed");
+        assert_eq!(entries[0].table, "taxonomy");
+        assert_eq!(entries[1].kind, "name-status-changed");
+        assert_eq!(entries[1].payload, b"synonymized".to_vec());
+    }
+
+    #[test]
+    fn events_only_session_commits() {
+        let s = store("journal-only-events");
+        let mut session = s.session();
+        session.journal("source-changed", "col", b"col", b"v2");
+        assert!(!session.is_empty());
+        let receipt = session.commit().unwrap();
+        assert_eq!(receipt.entries(), 1);
+        assert_eq!(s.journal_head(), 1);
+    }
+
+    #[test]
+    fn direct_put_and_delete_are_journaled() {
+        let s = store("journal-direct");
+        s.mark_journaled("t").unwrap();
+        s.put("t", b"k", b"v").unwrap();
+        s.delete("t", b"k").unwrap();
+        let entries = s.read_journal(0, 10).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, ROW_UPSERTED);
+        assert_eq!(entries[1].kind, ROW_DELETED);
+    }
+
+    #[test]
+    fn read_journal_cursor_and_limit() {
+        let s = store("journal-cursor");
+        s.mark_journaled("t").unwrap();
+        for i in 0..10u8 {
+            s.put("t", &[i], b"v").unwrap();
+        }
+        let first = s.read_journal(0, 4).unwrap();
+        assert_eq!(
+            first.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        let next = s.read_journal(4, 4).unwrap();
+        assert_eq!(
+            next.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![5, 6, 7, 8]
+        );
+        let tail = s.read_journal(8, 100).unwrap();
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![9, 10]);
+        assert!(s.read_journal(10, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reopen_resumes_sequence_numbers() {
+        let dir = store_dir("journal-reopen");
+        {
+            let s = TableStore::new(Arc::new(
+                Engine::open(&dir, EngineOptions::default()).unwrap(),
+            ));
+            s.mark_journaled("t").unwrap();
+            s.put("t", b"a", b"1").unwrap();
+            s.put("t", b"b", b"2").unwrap();
+            assert_eq!(s.journal_head(), 2);
+        }
+        let s = TableStore::new(Arc::new(
+            Engine::open(&dir, EngineOptions::default()).unwrap(),
+        ));
+        assert_eq!(s.journal_head(), 2, "head recovered from meta point read");
+        s.mark_journaled("t").unwrap();
+        s.put("t", b"c", b"3").unwrap();
+        assert_eq!(s.journal_head(), 3);
+        let entries = s.read_journal(2, 10).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].seq, 3);
+        assert_eq!(entries[0].key, b"c".to_vec());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reregistering_built_index_reads_no_values() {
+        let dir = store_dir("idx-marker");
+        {
+            let s = TableStore::new(Arc::new(
+                Engine::open(&dir, EngineOptions::default()).unwrap(),
+            ));
+            s.create_index("t", first_byte_index()).unwrap();
+            for i in 0..50u8 {
+                s.put("t", &[i], &[b'A' + (i % 3), i]).unwrap();
+            }
+        }
+        let engine = Arc::new(Engine::open(&dir, EngineOptions::default()).unwrap());
+        let s = TableStore::new(engine.clone());
+        let bytes_read = engine
+            .metrics_registry()
+            .counter("preserva_storage_value_bytes_read_total", "");
+        let before = bytes_read.get();
+        s.create_index("t", first_byte_index()).unwrap();
+        assert_eq!(
+            bytes_read.get(),
+            before,
+            "re-registering a built index must not materialize row values"
+        );
+        // The skipped backfill didn't lose anything: old rows are still
+        // indexed and new writes keep maintaining the shadow table.
+        assert!(!s.lookup("t", "first", b"A").unwrap().is_empty());
+        s.put("t", &[200], b"Znew").unwrap();
+        assert_eq!(s.lookup("t", "first", b"Z").unwrap(), vec![vec![200]]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unindexed_session_commit_reads_no_old_values() {
+        let s = store("no-old-reads");
+        s.put("t", b"k", b"a-reasonably-long-stored-value").unwrap();
+        let bytes_read = s
+            .engine()
+            .metrics_registry()
+            .counter("preserva_storage_value_bytes_read_total", "");
+        let before = bytes_read.get();
+        let mut session = s.session();
+        session.put("t", b"k", b"new").unwrap();
+        session.delete("t", b"gone").unwrap();
+        session.commit().unwrap();
+        assert_eq!(
+            bytes_read.get(),
+            before,
+            "no indexes registered, so commit needs no old-value point reads"
+        );
     }
 }

@@ -67,6 +67,11 @@ impl ChecklistEdition {
         }
     }
 
+    /// Every name this edition knows with its status, in name order.
+    pub fn statuses(&self) -> impl Iterator<Item = (&ScientificName, &NameStatus)> {
+        self.statuses.iter()
+    }
+
     /// All accepted names in this edition.
     pub fn accepted_names(&self) -> impl Iterator<Item = &ScientificName> {
         self.statuses
@@ -275,6 +280,27 @@ impl Checklist {
     /// All editions, oldest first.
     pub fn editions(&self) -> &[ChecklistEdition] {
         &self.editions
+    }
+
+    /// A copy of this checklist as it stood at `year`: editions released
+    /// after `year` are dropped, so `latest()` (and services wrapping the
+    /// copy) answer from the edition current at `year`. The backbone is
+    /// kept whole — statuses come from editions, not the backbone. If
+    /// `year` predates every release, the bootstrap edition is kept.
+    pub fn as_of(&self, year: i32) -> Checklist {
+        let mut editions: Vec<ChecklistEdition> = self
+            .editions
+            .iter()
+            .filter(|e| e.year <= year)
+            .cloned()
+            .collect();
+        if editions.is_empty() {
+            editions.push(self.editions[0].clone());
+        }
+        Checklist {
+            backbone: self.backbone.clone(),
+            editions,
+        }
     }
 }
 

@@ -1,0 +1,251 @@
+//! Edition-to-edition checklist diffs — *what changed* when the
+//! backbone is upgraded.
+//!
+//! A [`ChecklistDiff`] lists every name whose [`NameStatus`] differs
+//! between two editions. It is the unit the change journal carries when
+//! a collection swaps to a newer Catalogue-of-Life release: instead of
+//! re-checking all names against the new edition, downstream consumers
+//! re-check only the names in the diff (the case study's ~7 % of
+//! species, not 100 %).
+
+use serde::{Deserialize, Serialize};
+
+use crate::checklist::{Checklist, ChecklistEdition};
+use crate::name::ScientificName;
+use crate::status::NameStatus;
+
+/// One name whose status differs between two editions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NameStatusChange {
+    /// The affected name (bare, no authorship).
+    pub name: ScientificName,
+    /// Status in the older edition.
+    pub old: NameStatus,
+    /// Status in the newer edition.
+    pub new: NameStatus,
+}
+
+impl NameStatusChange {
+    /// Whether the change retires a previously usable name (the case
+    /// that invalidates stored identifications).
+    pub fn retires_name(&self) -> bool {
+        self.old.is_current() && !self.new.is_current()
+    }
+}
+
+/// Every status difference between two checklist editions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChecklistDiff {
+    /// Year of the older edition.
+    pub from_year: i32,
+    /// Year of the newer edition.
+    pub to_year: i32,
+    /// Names whose status changed, in name order.
+    pub changes: Vec<NameStatusChange>,
+}
+
+impl ChecklistDiff {
+    /// Whether the editions agree on every name.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of changed names.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// The changed names alone, in name order.
+    pub fn changed_names(&self) -> impl Iterator<Item = &ScientificName> {
+        self.changes.iter().map(|c| &c.name)
+    }
+}
+
+/// Diff two editions: every name either edition knows whose status
+/// differs between them. Runs in one ordered merge over both status
+/// maps (both are sorted by name).
+pub fn diff_editions(old: &ChecklistEdition, new: &ChecklistEdition) -> ChecklistDiff {
+    let mut changes = Vec::new();
+    let mut old_it = old.statuses().peekable();
+    let mut new_it = new.statuses().peekable();
+    loop {
+        match (old_it.peek(), new_it.peek()) {
+            (Some((on, os)), Some((nn, ns))) => match on.cmp(nn) {
+                std::cmp::Ordering::Less => {
+                    changes.push(NameStatusChange {
+                        name: (*on).clone(),
+                        old: (*os).clone(),
+                        new: NameStatus::Unknown,
+                    });
+                    old_it.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    changes.push(NameStatusChange {
+                        name: (*nn).clone(),
+                        old: NameStatus::Unknown,
+                        new: (*ns).clone(),
+                    });
+                    new_it.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    if os != ns {
+                        changes.push(NameStatusChange {
+                            name: (*on).clone(),
+                            old: (*os).clone(),
+                            new: (*ns).clone(),
+                        });
+                    }
+                    old_it.next();
+                    new_it.next();
+                }
+            },
+            (Some((on, os)), None) => {
+                changes.push(NameStatusChange {
+                    name: (*on).clone(),
+                    old: (*os).clone(),
+                    new: NameStatus::Unknown,
+                });
+                old_it.next();
+            }
+            (None, Some((nn, ns))) => {
+                changes.push(NameStatusChange {
+                    name: (*nn).clone(),
+                    old: NameStatus::Unknown,
+                    new: (*ns).clone(),
+                });
+                new_it.next();
+            }
+            (None, None) => break,
+        }
+    }
+    ChecklistDiff {
+        from_year: old.year,
+        to_year: new.year,
+        changes,
+    }
+}
+
+impl Checklist {
+    /// Diff the editions current at `from_year` and `to_year` (see
+    /// [`Checklist::edition_at`]).
+    pub fn diff(&self, from_year: i32, to_year: i32) -> ChecklistDiff {
+        diff_editions(self.edition_at(from_year), self.edition_at(to_year))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::{Backbone, Classification, Taxon};
+    use crate::checklist::Evolution;
+
+    fn n(s: &str) -> ScientificName {
+        ScientificName::parse(s).unwrap()
+    }
+
+    fn checklist(names: &[&str]) -> Checklist {
+        let mut b = Backbone::new();
+        for s in names {
+            b.insert(Taxon {
+                name: n(s),
+                classification: Classification::new("Chordata", "Amphibia", "Anura", "Hylidae"),
+                common_name: None,
+            });
+        }
+        Checklist::bootstrap(b, 1965)
+    }
+
+    #[test]
+    fn identical_editions_diff_empty() {
+        let mut c = checklist(&["Hyla faber", "Scinax ruber"]);
+        c.release(2000, &[]).unwrap();
+        let d = c.diff(1965, 2000);
+        assert!(d.is_empty());
+        assert_eq!(d.from_year, 1965);
+        assert_eq!(d.to_year, 2000);
+    }
+
+    #[test]
+    fn rename_shows_both_sides() {
+        let mut c = checklist(&["Hyla alba", "Hyla quiet"]);
+        c.release(
+            2010,
+            &[Evolution::Rename {
+                old: n("Hyla alba"),
+                new: n("Hyla beta"),
+            }],
+        )
+        .unwrap();
+        let d = c.diff(1965, 2010);
+        assert_eq!(d.len(), 2, "old name retired + new name described");
+        let retired = d
+            .changes
+            .iter()
+            .find(|ch| ch.name == n("Hyla alba"))
+            .unwrap();
+        assert!(retired.retires_name());
+        assert_eq!(
+            retired.new,
+            NameStatus::Synonym {
+                accepted: n("Hyla beta")
+            }
+        );
+        let described = d
+            .changes
+            .iter()
+            .find(|ch| ch.name == n("Hyla beta"))
+            .unwrap();
+        assert_eq!(described.old, NameStatus::Unknown);
+        assert!(described.new.is_current());
+        assert!(!described.retires_name());
+        // The untouched name does not appear.
+        assert!(!d.changed_names().any(|name| *name == n("Hyla quiet")));
+    }
+
+    #[test]
+    fn doubt_is_a_retirement() {
+        let mut c = checklist(&["Elachistocleis ovalis", "Hyla faber"]);
+        c.release(
+            2013,
+            &[Evolution::Doubt {
+                name: n("Elachistocleis ovalis"),
+            }],
+        )
+        .unwrap();
+        let d = c.diff(1965, 2013);
+        assert_eq!(d.len(), 1);
+        assert!(d.changes[0].retires_name());
+        assert_eq!(d.changes[0].new, NameStatus::NomenInquirendum);
+    }
+
+    #[test]
+    fn diff_spans_multiple_releases() {
+        let mut c = checklist(&["Hyla a", "Hyla b", "Hyla c"]);
+        c.release(
+            1990,
+            &[Evolution::Synonymize {
+                junior: n("Hyla b"),
+                senior: n("Hyla a"),
+            }],
+        )
+        .unwrap();
+        c.release(2010, &[Evolution::Doubt { name: n("Hyla c") }])
+            .unwrap();
+        // Full span sees both changes; the later span only the doubt.
+        assert_eq!(c.diff(1965, 2010).len(), 2);
+        let late = c.diff(1990, 2010);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late.changes[0].name, n("Hyla c"));
+    }
+
+    #[test]
+    fn diff_roundtrips_through_json() {
+        let mut c = checklist(&["Hyla a", "Hyla b"]);
+        c.release(2010, &[Evolution::Doubt { name: n("Hyla a") }])
+            .unwrap();
+        let d = c.diff(1965, 2010);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: ChecklistDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -25,6 +25,7 @@
 pub mod backbone;
 pub mod builder;
 pub mod checklist;
+pub mod diff;
 pub mod fuzzy;
 pub mod name;
 pub mod rank;
@@ -32,6 +33,7 @@ pub mod service;
 pub mod status;
 
 pub use checklist::{Checklist, ChecklistEdition};
+pub use diff::{ChecklistDiff, NameStatusChange};
 pub use name::ScientificName;
 pub use service::{ColService, LookupOutcome, ServiceConfig};
 pub use status::NameStatus;
