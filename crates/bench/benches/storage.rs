@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use preserva_storage::engine::{Engine, EngineOptions};
+use preserva_storage::engine::{BatchOp, Engine, EngineOptions};
+use preserva_storage::CompactionOptions;
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -81,6 +82,93 @@ fn bench_recovery(c: &mut Criterion) {
     });
     g.finish();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tiered store's headline claim: checkpoint cost is O(memtable),
+/// not O(total data). Prefill engines at two sizes an order of magnitude
+/// apart (100k and 1M resident keys, already flushed into runs), then
+/// measure flushing a fixed 1k-entry memtable on top of each — the two
+/// timings should be flat across prefill size. The pre-tiered engine
+/// rewrote *every live key* into a fresh snapshot on each checkpoint;
+/// that legacy cost is measured directly with `write_snapshot` over the
+/// full resident map, which is the exact code the old checkpoint ran.
+fn bench_flush_scaling(c: &mut Criterion) {
+    use preserva_storage::sstable::write_snapshot;
+    use std::collections::BTreeMap;
+
+    const FRESH: u64 = 1_000; // memtable size being flushed
+    let payload = [7u8; 24];
+
+    let mut g = c.benchmark_group("storage/flush_scaling");
+    g.sample_size(10);
+    for (label, total) in [("100k", 100_000u64), ("1m", 1_000_000u64)] {
+        // --- tiered: memtable-only flush on top of `total` resident keys.
+        let dir = tmpdir(&format!("flush-{label}"));
+        let opts = EngineOptions {
+            compaction: CompactionOptions {
+                background: false,
+                // No compaction during the measurement: isolate flush cost.
+                max_runs_per_level: usize::MAX,
+            },
+            ..EngineOptions::default()
+        };
+        let engine = Engine::open(&dir, opts).unwrap();
+        for chunk in (0..total).collect::<Vec<_>>().chunks(10_000) {
+            let batch: Vec<BatchOp> = chunk
+                .iter()
+                .map(|i| BatchOp::Put {
+                    table: "records".to_string(),
+                    key: i.to_be_bytes().to_vec(),
+                    value: payload.to_vec(),
+                })
+                .collect();
+            engine.apply_batch(batch).unwrap();
+            engine.checkpoint().unwrap();
+        }
+        let mut next = total;
+        g.throughput(Throughput::Elements(FRESH));
+        g.bench_function(format!("memtable_only_flush_over_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    // A fresh 1k-entry memtable, unique keys per round.
+                    let batch: Vec<BatchOp> = (0..FRESH)
+                        .map(|_| {
+                            next += 1;
+                            BatchOp::Put {
+                                table: "records".to_string(),
+                                key: next.to_be_bytes().to_vec(),
+                                value: payload.to_vec(),
+                            }
+                        })
+                        .collect();
+                    engine.apply_batch(batch).unwrap();
+                },
+                |_| engine.checkpoint().unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+
+        // --- legacy: the old checkpoint's full rewrite of `total` keys.
+        let resident: BTreeMap<(String, Vec<u8>), Option<Vec<u8>>> = (0..total)
+            .map(|i| {
+                (
+                    ("records".to_string(), i.to_be_bytes().to_vec()),
+                    Some(payload.to_vec()),
+                )
+            })
+            .collect();
+        let snap_path = dir.join("legacy-model.sst");
+        g.bench_function(format!("legacy_full_rewrite_of_{label}"), |b| {
+            b.iter_batched(
+                || (),
+                |_| write_snapshot(&snap_path, resident.iter()).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        drop(engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    g.finish();
 }
 
 /// Full recuration vs journal-driven delta reassessment at 1%, 10% and
@@ -193,6 +281,7 @@ criterion_group!(
     bench_put,
     bench_get_scan,
     bench_recovery,
+    bench_flush_scaling,
     bench_reassess_churn
 );
 criterion_main!(benches);

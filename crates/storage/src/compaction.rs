@@ -1,0 +1,298 @@
+//! Leveled compaction: planning and the streaming k-way merge.
+//!
+//! The tiered store accumulates runs at level 1 (one per memtable flush).
+//! When a level holds more than `max_runs_per_level` runs, compaction
+//! merges *all* runs of that level together with all runs of the next
+//! level into a single run at the next level. Tombstones are folded out
+//! only when the output is the bottom of the tree — i.e. no run at a
+//! deeper level remains that an older version could hide under.
+//!
+//! Invariants the planner and merge preserve:
+//!
+//! * **Precedence = run id.** Ids are assigned monotonically, so among
+//!   runs holding the same key the highest id has the newest version.
+//!   The merge feeds inputs newest-first and emits the first version it
+//!   sees of each key.
+//! * **Tombstone safety.** A tombstone may only be dropped when every
+//!   older version of its key is part of the same merge. That is exactly
+//!   the "no deeper level remains" condition.
+//! * **Crash safety.** The output is written to a `.tmp`, fsynced,
+//!   renamed, then the manifest is swapped; input files are deleted last.
+//!   Recovery removes temp files and any run not in the manifest.
+
+use crate::error::StorageResult;
+use crate::manifest::RunEntry;
+use crate::memtable::NsKey;
+use crate::sstable::RunIter;
+
+/// Tuning knobs for the compactor, carried inside `EngineOptions`.
+#[derive(Debug, Clone)]
+pub struct CompactionOptions {
+    /// Run compactions on a background thread. When off, the engine
+    /// drains pending compactions synchronously after each flush —
+    /// deterministic, which the model-based tests rely on.
+    pub background: bool,
+    /// A level holding more than this many runs triggers a compaction.
+    pub max_runs_per_level: usize,
+}
+
+impl Default for CompactionOptions {
+    fn default() -> Self {
+        CompactionOptions {
+            background: true,
+            max_runs_per_level: 4,
+        }
+    }
+}
+
+/// One unit of compaction work, decided by [`plan`] or [`full`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Ids of the input runs, newest (highest id) first.
+    pub inputs: Vec<u64>,
+    /// Level the merged output lands at.
+    pub output_level: u32,
+    /// Fold tombstones out (only legal at the bottom level).
+    pub drop_tombstones: bool,
+}
+
+/// Decide the next compaction for `view`, or `None` when every level is
+/// within bounds. `view` is the committed run set in any order.
+pub fn plan(view: &[RunEntry], max_runs_per_level: usize) -> Option<Task> {
+    let mut levels: Vec<u32> = view.iter().map(|e| e.level).collect();
+    levels.sort_unstable();
+    levels.dedup();
+    for &level in &levels {
+        let count = view.iter().filter(|e| e.level == level).count();
+        if count <= max_runs_per_level {
+            continue;
+        }
+        let output_level = level + 1;
+        let mut inputs: Vec<u64> = view
+            .iter()
+            .filter(|e| e.level == level || e.level == output_level)
+            .map(|e| e.id)
+            .collect();
+        inputs.sort_unstable_by(|a, b| b.cmp(a));
+        let drop_tombstones = !view.iter().any(|e| e.level > output_level);
+        return Some(Task {
+            inputs,
+            output_level,
+            drop_tombstones,
+        });
+    }
+    None
+}
+
+/// A forced full compaction: merge every run into one bottom-level run,
+/// folding tombstones. `None` when there is nothing useful to do (at most
+/// one run, and it holds no tombstones).
+pub fn full(view: &[RunEntry], tombstones_in_single_run: u64) -> Option<Task> {
+    if view.is_empty() || (view.len() == 1 && tombstones_in_single_run == 0) {
+        return None;
+    }
+    let mut inputs: Vec<u64> = view.iter().map(|e| e.id).collect();
+    inputs.sort_unstable_by(|a, b| b.cmp(a));
+    let output_level = view.iter().map(|e| e.level).max().unwrap_or(1).max(2);
+    Some(Task {
+        inputs,
+        output_level,
+        drop_tombstones: true,
+    })
+}
+
+/// Streaming k-way merge over run iterators ordered newest-first.
+///
+/// Yields one version per key — the newest — in ascending key order;
+/// memory stays bounded by one block per input. Errors from any input
+/// end the merge and surface to the caller (the compaction aborts and
+/// the inputs stay in place).
+pub struct Merge<'a> {
+    heads: Vec<std::iter::Peekable<RunIter<'a>>>,
+    drop_tombstones: bool,
+    failed: bool,
+}
+
+impl<'a> Merge<'a> {
+    /// Build a merge over `iters`, which must be ordered newest-first —
+    /// the position in the vector is the precedence.
+    pub fn new(iters: Vec<RunIter<'a>>, drop_tombstones: bool) -> Merge<'a> {
+        Merge {
+            heads: iters.into_iter().map(Iterator::peekable).collect(),
+            drop_tombstones,
+            failed: false,
+        }
+    }
+}
+
+impl Iterator for Merge<'_> {
+    type Item = StorageResult<(NsKey, Option<Vec<u8>>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            // Find the smallest key across heads; first (= newest) wins.
+            let mut min_key: Option<NsKey> = None;
+            for head in self.heads.iter_mut() {
+                match head.peek() {
+                    Some(Ok((k, _))) if min_key.as_ref().is_none_or(|m| k < m) => {
+                        min_key = Some(k.clone());
+                    }
+                    Some(Ok(_)) => {}
+                    Some(Err(_)) => {
+                        self.failed = true;
+                        match head.next() {
+                            Some(Err(e)) => return Some(Err(e)),
+                            _ => unreachable!("peeked an error"),
+                        }
+                    }
+                    None => {}
+                }
+            }
+            let min_key = min_key?;
+            let mut newest: Option<Option<Vec<u8>>> = None;
+            for head in self.heads.iter_mut() {
+                if matches!(head.peek(), Some(Ok((k, _))) if *k == min_key) {
+                    let (_, v) = head.next().expect("peeked").expect("peeked Ok");
+                    if newest.is_none() {
+                        newest = Some(v);
+                    }
+                }
+            }
+            let value = newest.expect("min key came from some head");
+            if self.drop_tombstones && value.is_none() {
+                continue; // folded out at the bottom level
+            }
+            return Some(Ok((min_key, value)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sstable::{write_run, Run};
+    use std::path::PathBuf;
+
+    fn entry(level: u32, id: u64) -> RunEntry {
+        RunEntry { id, level }
+    }
+
+    #[test]
+    fn plan_is_none_within_bounds() {
+        let view = vec![entry(1, 1), entry(1, 2), entry(2, 3)];
+        assert_eq!(plan(&view, 4), None);
+        assert_eq!(plan(&[], 4), None);
+    }
+
+    #[test]
+    fn plan_picks_overfull_level_and_next() {
+        let view = vec![
+            entry(1, 5),
+            entry(1, 4),
+            entry(1, 3),
+            entry(2, 2),
+            entry(2, 1),
+        ];
+        let task = plan(&view, 2).unwrap();
+        assert_eq!(task.inputs, vec![5, 4, 3, 2, 1]);
+        assert_eq!(task.output_level, 2);
+        assert!(task.drop_tombstones, "nothing deeper than level 2 remains");
+    }
+
+    #[test]
+    fn plan_keeps_tombstones_when_deeper_levels_exist() {
+        let view = vec![
+            entry(1, 9),
+            entry(1, 8),
+            entry(1, 7),
+            entry(3, 1), // deeper level survives the merge into level 2
+        ];
+        let task = plan(&view, 2).unwrap();
+        assert_eq!(task.output_level, 2);
+        assert!(!task.drop_tombstones);
+    }
+
+    #[test]
+    fn full_compaction_covers_everything_or_nothing() {
+        assert_eq!(full(&[], 0), None);
+        assert_eq!(full(&[entry(2, 1)], 0), None, "single clean run is a no-op");
+        let task = full(&[entry(2, 1)], 3).unwrap();
+        assert_eq!(task.inputs, vec![1]);
+        let task = full(&[entry(1, 2), entry(1, 1)], 0).unwrap();
+        assert_eq!(task.inputs, vec![2, 1]);
+        assert_eq!(task.output_level, 2);
+        assert!(task.drop_tombstones);
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "preserva-compaction-{}-{}",
+            std::process::id(),
+            name
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_of(dir: &std::path::Path, name: &str, rows: &[(&str, Option<&str>)]) -> Run {
+        let path = dir.join(name);
+        write_run(
+            &path,
+            rows.iter().map(|(k, v)| {
+                Ok((
+                    ("t".to_string(), k.as_bytes().to_vec()),
+                    v.map(|x| x.as_bytes().to_vec()),
+                ))
+            }),
+        )
+        .unwrap();
+        Run::open(&path).unwrap()
+    }
+
+    #[test]
+    fn merge_newest_wins_and_tombstones_fold() {
+        let dir = tmp("merge");
+        // Newest run: b deleted, c updated. Older run: a, b, c.
+        let new = run_of(&dir, "new.sst", &[("b", None), ("c", Some("c2"))]);
+        let old = run_of(
+            &dir,
+            "old.sst",
+            &[("a", Some("a1")), ("b", Some("b1")), ("c", Some("c1"))],
+        );
+
+        let folded: Vec<_> = Merge::new(vec![new.iter(), old.iter()], true)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(
+            folded,
+            vec![
+                (("t".to_string(), b"a".to_vec()), Some(b"a1".to_vec())),
+                (("t".to_string(), b"c".to_vec()), Some(b"c2".to_vec())),
+            ]
+        );
+
+        let kept: Vec<_> = Merge::new(vec![new.iter(), old.iter()], false)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(kept.len(), 3, "tombstone survives when not at bottom");
+        assert_eq!(kept[1], (("t".to_string(), b"b".to_vec()), None));
+    }
+
+    #[test]
+    fn merge_propagates_input_corruption() {
+        let dir = tmp("merge-err");
+        let good = run_of(&dir, "good.sst", &[("a", Some("1"))]);
+        run_of(&dir, "bad.sst", &[("b", Some("2")), ("c", Some("3"))]);
+        let mut bytes = std::fs::read(dir.join("bad.sst")).unwrap();
+        bytes[3] ^= 0x20; // data block corruption, found on read
+        std::fs::write(dir.join("bad.sst"), &bytes).unwrap();
+        let bad = Run::open(dir.join("bad.sst").as_path()).unwrap();
+
+        let results: Vec<_> = Merge::new(vec![bad.iter(), good.iter()], true).collect();
+        assert!(results.iter().any(|r| r.is_err()), "corruption surfaced");
+    }
+}

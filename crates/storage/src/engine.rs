@@ -1,33 +1,58 @@
-//! The engine: snapshot + WAL + memtable, with atomic batches, range scans,
-//! checkpointing and crash recovery.
+//! The engine: WAL + memtable + tiered sorted runs, with atomic batches,
+//! range scans, memtable-only flushes, background compaction and crash
+//! recovery.
 //!
 //! ## Directory layout
 //!
 //! ```text
 //! <dir>/wal.log          -- active write-ahead log
-//! <dir>/snap-<id>.sst    -- snapshot files; highest readable id wins
-//! <dir>/LOCK             -- advisory single-instance lock
+//! <dir>/run-<id>.sst     -- immutable sorted runs (tiered store)
+//! <dir>/MANIFEST         -- crash-safe catalog: which runs, at which level
+//! <dir>/snap-<id>.sst    -- legacy single-snapshot files; migrated on open
 //! ```
+//!
+//! ## Write path
+//!
+//! Commits append CRC-framed operations plus a `Commit` frame to the WAL,
+//! then apply to the memtable. A checkpoint ("flush") writes *only the
+//! memtable* into a fresh level-1 run — O(memtable), never O(total data)
+//! — commits it to the manifest, and resets the WAL. Compaction merges
+//! runs level by level in the background, folding tombstones once a merge
+//! reaches the bottom of the tree.
+//!
+//! ## Read path
+//!
+//! Reads merge memtable → runs newest-to-oldest. Point gets consult each
+//! run's bloom filter and block index, touching at most one data block per
+//! run. Reads take no global lock: the memtable sits behind a `RwLock` and
+//! the run set is an immutable `Arc` snapshot swapped atomically, so reads
+//! proceed concurrently with writers and with compaction.
 //!
 //! ## Recovery
 //!
-//! On open, the engine loads the newest readable snapshot, then replays
-//! the WAL. Only operations covered by a `Commit` frame are applied —
-//! a crash between `append` and `Commit` rolls the partial transaction
-//! back, which is exactly the behaviour the curation layer relies on for
-//! its "original records are never half-updated" guarantee.
+//! On open the engine sweeps temp files, loads the manifest (falling back
+//! to a directory scan ordered by run id when the manifest is missing or
+//! corrupt — safe because ids are monotonic), deletes unreadable or
+//! orphaned runs, migrates any legacy `snap-*.sst` into run form, and
+//! replays the committed WAL suffix. Only operations covered by a `Commit`
+//! frame are applied — a crash between `append` and `Commit` rolls the
+//! partial transaction back, which is exactly the behaviour the curation
+//! layer relies on for its "original records are never half-updated"
+//! guarantee.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 use preserva_obs::{Counter, Gauge, Histogram, Registry};
 
-use crate::error::StorageResult;
+use crate::compaction::{self, CompactionOptions};
+use crate::error::{StorageError, StorageResult};
+use crate::manifest::{self, RunEntry};
 use crate::memtable::{Memtable, NsKey};
-use crate::sstable;
+use crate::sstable::{self, Run, RunLookup};
 use crate::wal::{self, Wal, WalRecord};
 
 /// Tuning knobs for [`Engine::open`].
@@ -42,6 +67,8 @@ pub struct EngineOptions {
     /// CLI passes [`Registry::global`] to get one process-wide view. When a
     /// registry is shared across engines, counters aggregate across them.
     pub metrics: Option<Arc<Registry>>,
+    /// Compaction behaviour of the tiered store.
+    pub compaction: CompactionOptions,
 }
 
 impl Default for EngineOptions {
@@ -50,6 +77,7 @@ impl Default for EngineOptions {
             fsync: false,
             checkpoint_bytes: 8 * 1024 * 1024,
             metrics: None,
+            compaction: CompactionOptions::default(),
         }
     }
 }
@@ -63,14 +91,19 @@ struct StorageMetrics {
     scans: Arc<Counter>,
     commits: Arc<Counter>,
     checkpoints: Arc<Counter>,
+    compactions: Arc<Counter>,
     wal_appends: Arc<Counter>,
     wal_fsyncs: Arc<Counter>,
     value_bytes_read: Arc<Counter>,
+    bloom_hits: Arc<Counter>,
+    bloom_misses: Arc<Counter>,
     recovered_records: Arc<Counter>,
     recovered_snapshot_entries: Arc<Counter>,
     torn_tail_discards: Arc<Counter>,
     commit_seconds: Arc<Histogram>,
     checkpoint_seconds: Arc<Histogram>,
+    compaction_seconds: Arc<Histogram>,
+    compaction_bytes: Arc<Histogram>,
     memtable_bytes: Arc<Gauge>,
 }
 
@@ -88,10 +121,17 @@ impl StorageMetrics {
                 "preserva_storage_commits_total",
                 "Atomic batches committed.",
             ),
-            checkpoints: reg.counter("preserva_storage_checkpoints_total", "Checkpoints written."),
+            checkpoints: reg.counter(
+                "preserva_storage_checkpoints_total",
+                "Memtable flushes: level-1 runs written.",
+            ),
+            compactions: reg.counter(
+                "preserva_storage_compactions_total",
+                "Run merges completed by the compactor.",
+            ),
             wal_appends: reg.counter(
                 "preserva_storage_wal_appends_total",
-                "WAL frames appended (operations + commit/checkpoint frames).",
+                "WAL frames appended (operations + commit frames).",
             ),
             wal_fsyncs: reg.counter(
                 "preserva_storage_wal_fsyncs_total",
@@ -101,13 +141,21 @@ impl StorageMetrics {
                 "preserva_storage_value_bytes_read_total",
                 "Value bytes materialized by reads (gets and scans; counts must stay at 0).",
             ),
+            bloom_hits: reg.counter(
+                "preserva_storage_bloom_hits_total",
+                "Run lookups where the bloom filter passed and a data block was consulted.",
+            ),
+            bloom_misses: reg.counter(
+                "preserva_storage_bloom_misses_total",
+                "Run lookups skipped entirely by the bloom filter.",
+            ),
             recovered_records: reg.counter(
                 "preserva_storage_recovered_records_total",
                 "Committed WAL operations replayed at open.",
             ),
             recovered_snapshot_entries: reg.counter(
                 "preserva_storage_recovered_snapshot_entries_total",
-                "Entries loaded from snapshots at open.",
+                "Entries catalogued in live runs at open (footer counts; not loaded).",
             ),
             torn_tail_discards: reg.counter(
                 "preserva_storage_torn_tail_discards_total",
@@ -119,7 +167,15 @@ impl StorageMetrics {
             ),
             checkpoint_seconds: reg.latency_histogram(
                 "preserva_storage_checkpoint_seconds",
-                "Latency of checkpoints (fold + snapshot write + WAL reset).",
+                "Latency of memtable flushes (run write + manifest + WAL reset).",
+            ),
+            compaction_seconds: reg.latency_histogram(
+                "preserva_storage_compaction_seconds",
+                "Latency of run merges.",
+            ),
+            compaction_bytes: reg.size_histogram(
+                "preserva_storage_compaction_bytes",
+                "Input bytes consumed per run merge.",
             ),
             memtable_bytes: reg.gauge(
                 "preserva_storage_memtable_bytes",
@@ -128,6 +184,8 @@ impl StorageMetrics {
         }
     }
 }
+
+const RUNS_PER_LEVEL_HELP: &str = "Live sstable runs at each level of the tiered store.";
 
 /// Counters exposed for the benchmark harness and tests.
 ///
@@ -146,38 +204,69 @@ pub struct EngineStats {
     pub scans: u64,
     /// Atomic batches committed.
     pub commits: u64,
-    /// Checkpoints written.
+    /// Memtable flushes (level-1 runs written).
     pub checkpoints: u64,
+    /// Run merges completed by the compactor.
+    pub compactions: u64,
     /// Committed WAL operations replayed at the last open.
     pub recovered_records: u64,
-    /// Entries loaded from the snapshot at the last open.
+    /// Entries catalogued in live runs at the last open.
     pub recovered_from_snapshot: u64,
     /// Whether a torn WAL tail was discarded during recovery.
     pub torn_tail_discarded: bool,
 }
 
-struct Inner {
-    /// Durable base state from the last checkpoint.
-    snapshot: BTreeMap<NsKey, Option<Vec<u8>>>,
-    /// Writes since the last checkpoint.
-    memtable: Memtable,
-    wal: Wal,
-    snapshot_id: u64,
+/// One committed, immutable run plus its placement in the tree.
+#[derive(Debug)]
+struct RunHandle {
+    id: u64,
+    level: u32,
+    run: Run,
+}
+
+/// Immutable snapshot of the run set, newest (highest id) first. Readers
+/// clone the `Arc` and keep serving even while flushes and compactions
+/// swap the view underneath them.
+type RunView = Arc<Vec<Arc<RunHandle>>>;
+
+struct Core {
+    dir: PathBuf,
+    options: EngineOptions,
+    obs: Arc<Registry>,
+    metrics: StorageMetrics,
+    /// Writer serialization: WAL appends, syncs and resets.
+    wal: Mutex<Wal>,
+    /// The mutable write buffer. Readers share; commits and flush swaps
+    /// take it exclusively.
+    mem: RwLock<Memtable>,
+    /// The committed run set. Swapped, never mutated in place.
+    runs: RwLock<RunView>,
+    /// Serializes manifest writes together with their view swaps, so a
+    /// concurrent flush and compaction can never lose each other's update.
+    structural: Mutex<()>,
+    /// At most one compaction at a time.
+    compact_lock: Mutex<()>,
+    next_run_id: AtomicU64,
+    next_txid: AtomicU64,
+    /// Highest level ever observed, so vacated levels report 0 runs
+    /// instead of a stale gauge.
+    max_level_seen: AtomicU64,
+    shutdown: AtomicBool,
+    /// Wake-up for the background compaction worker.
+    signal: (Mutex<bool>, Condvar),
 }
 
 /// An embedded, durable, ordered key-value engine with named tables.
 pub struct Engine {
-    dir: PathBuf,
-    inner: Mutex<Inner>,
-    next_txid: AtomicU64,
-    options: EngineOptions,
-    obs: Arc<Registry>,
-    metrics: StorageMetrics,
+    core: Arc<Core>,
+    worker: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Engine").field("dir", &self.dir).finish()
+        f.debug_struct("Engine")
+            .field("dir", &self.core.dir)
+            .finish()
     }
 }
 
@@ -202,9 +291,454 @@ fn list_snapshot_ids(dir: &Path) -> StorageResult<Vec<u64>> {
     Ok(ids)
 }
 
+fn run_tmp_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("run-{id:016}.tmp"))
+}
+
+impl Core {
+    fn view(&self) -> RunView {
+        self.runs.read().expect("engine poisoned").clone()
+    }
+
+    fn catalog_of(view: &[Arc<RunHandle>]) -> Vec<RunEntry> {
+        view.iter()
+            .map(|h| RunEntry {
+                id: h.id,
+                level: h.level,
+            })
+            .collect()
+    }
+
+    /// Refresh the `runs_per_level` gauge family for every level ever
+    /// seen, zeroing levels that emptied out.
+    fn update_run_gauges(&self, view: &[Arc<RunHandle>]) {
+        let max_now = view.iter().map(|h| u64::from(h.level)).max().unwrap_or(0);
+        let prev = self.max_level_seen.fetch_max(max_now, Ordering::SeqCst);
+        let top = prev.max(max_now);
+        for level in 1..=top {
+            let count = view.iter().filter(|h| u64::from(h.level) == level).count();
+            self.obs
+                .gauge_with(
+                    "preserva_storage_runs_per_level",
+                    RUNS_PER_LEVEL_HELP,
+                    &[("level", &level.to_string())],
+                )
+                .set(count as u64);
+        }
+    }
+
+    fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        self.metrics.gets.inc();
+        // Memtable first; its verdict (value or tombstone) is final.
+        {
+            let mem = self.mem.read().expect("engine poisoned");
+            if let Some(hit) = mem.get(table, key) {
+                let hit = hit.map(|v| v.to_vec());
+                if let Some(v) = &hit {
+                    self.metrics.value_bytes_read.add(v.len() as u64);
+                }
+                return Ok(hit);
+            }
+        }
+        // Then runs, newest to oldest. Reading the view *after* the
+        // memtable is safe: a flush that races us only moves data from the
+        // memtable into a run we are about to consult.
+        for handle in self.view().iter() {
+            match handle.run.get(table, key)? {
+                RunLookup::BloomSkip => {
+                    self.metrics.bloom_misses.inc();
+                }
+                RunLookup::Absent => {
+                    self.metrics.bloom_hits.inc();
+                }
+                RunLookup::Tombstone => {
+                    self.metrics.bloom_hits.inc();
+                    return Ok(None);
+                }
+                RunLookup::Value(v) => {
+                    self.metrics.bloom_hits.inc();
+                    self.metrics.value_bytes_read.add(v.len() as u64);
+                    return Ok(Some(v));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn scan(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.metrics.scans.inc();
+        // Capture the memtable before the run view (see `get`): the flush
+        // swap publishes the run and clears the memtable atomically, so
+        // this order can duplicate an entry but never lose one.
+        let mem_rows: Vec<(Vec<u8>, Option<Vec<u8>>)> = {
+            let mem = self.mem.read().expect("engine poisoned");
+            mem.range(table, start, end)
+                .map(|(k, v)| (k.to_vec(), v.map(|x| x.to_vec())))
+                .collect()
+        };
+        let view = self.view();
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for handle in view.iter().rev() {
+            // oldest → newest so newer runs overwrite
+            handle.run.scan_range(table, start, end, &mut |k, v| {
+                merged.insert(k.to_vec(), v.map(|x| x.to_vec()));
+            })?;
+        }
+        for (k, v) in mem_rows {
+            merged.insert(k, v);
+        }
+        let rows: Vec<(Vec<u8>, Vec<u8>)> = merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect();
+        self.metrics
+            .value_bytes_read
+            .add(rows.iter().map(|(_, v)| v.len() as u64).sum());
+        Ok(rows)
+    }
+
+    fn count(&self, table: &str) -> StorageResult<usize> {
+        self.metrics.scans.inc();
+        let mem_rows: Vec<(Vec<u8>, bool)> = {
+            let mem = self.mem.read().expect("engine poisoned");
+            mem.range(table, b"", None)
+                .map(|(k, v)| (k.to_vec(), v.is_some()))
+                .collect()
+        };
+        let view = self.view();
+        // live[key] = is the newest version of `key` a value (vs tombstone)?
+        // Keys are copied; value bytes never are — the regression test
+        // pins the `value_bytes_read` family to prove it.
+        let mut live: BTreeMap<Vec<u8>, bool> = BTreeMap::new();
+        for handle in view.iter().rev() {
+            handle.run.scan_range(table, b"", None, &mut |k, v| {
+                live.insert(k.to_vec(), v.is_some());
+            })?;
+        }
+        for (k, alive) in mem_rows {
+            live.insert(k, alive);
+        }
+        Ok(live.values().filter(|alive| **alive).count())
+    }
+
+    fn tables(&self) -> StorageResult<Vec<String>> {
+        let mem_rows: Vec<(NsKey, bool)> = {
+            let mem = self.mem.read().expect("engine poisoned");
+            mem.iter().map(|(k, v)| (k.clone(), v.is_some())).collect()
+        };
+        let view = self.view();
+        let mut live: BTreeMap<NsKey, bool> = BTreeMap::new();
+        for handle in view.iter().rev() {
+            for item in handle.run.iter() {
+                let (k, v) = item?;
+                live.insert(k, v.is_some());
+            }
+        }
+        for (k, alive) in mem_rows {
+            live.insert(k, alive);
+        }
+        let mut names: Vec<String> = live
+            .into_iter()
+            .filter_map(|((t, _), alive)| alive.then_some(t))
+            .collect();
+        names.dedup();
+        Ok(names)
+    }
+
+    fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
+        let needs_checkpoint;
+        {
+            let mut wal = self.wal.lock().expect("engine poisoned");
+            for op in &ops {
+                let rec = match op {
+                    BatchOp::Put { table, key, value } => WalRecord::Put {
+                        table: table.clone(),
+                        key: key.clone(),
+                        value: value.clone(),
+                    },
+                    BatchOp::Delete { table, key } => WalRecord::Delete {
+                        table: table.clone(),
+                        key: key.clone(),
+                    },
+                };
+                wal.append(&rec)?;
+            }
+            wal.append(&WalRecord::Commit { txid })?;
+            wal.sync()?;
+            self.metrics.wal_appends.add(ops.len() as u64 + 1);
+            if self.options.fsync {
+                self.metrics.wal_fsyncs.inc();
+            }
+            let mut mem = self.mem.write().expect("engine poisoned");
+            for op in ops {
+                match op {
+                    BatchOp::Put { table, key, value } => {
+                        self.metrics.puts.inc();
+                        mem.put(&table, &key, value);
+                    }
+                    BatchOp::Delete { table, key } => {
+                        self.metrics.deletes.inc();
+                        mem.delete(&table, &key);
+                    }
+                }
+            }
+            self.metrics.memtable_bytes.set(mem.approx_bytes() as u64);
+            needs_checkpoint = mem.approx_bytes() >= self.options.checkpoint_bytes;
+        }
+        self.metrics.commits.inc();
+        self.metrics
+            .commit_seconds
+            .observe_duration(started.elapsed());
+        if needs_checkpoint {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Flush the memtable into a fresh level-1 run and reset the WAL.
+    ///
+    /// Cost is O(memtable): the rest of the data set is never touched.
+    /// Returns the new run's id, or 0 when the memtable was empty and
+    /// nothing was written.
+    ///
+    /// Crash ordering: run file durable → manifest durable → WAL reset.
+    /// A crash before the manifest leaves an orphan run (cleaned up on
+    /// open) with all data still in the WAL; a crash before the reset
+    /// replays the WAL over the run, which is idempotent.
+    fn checkpoint(&self) -> StorageResult<u64> {
+        let started = Instant::now();
+        let mut wal = self.wal.lock().expect("engine poisoned");
+        let entries = {
+            let mem = self.mem.read().expect("engine poisoned");
+            if mem.is_empty() {
+                return Ok(0);
+            }
+            mem.entries()
+        };
+        let flushed = entries.len();
+        let id = self.next_run_id.fetch_add(1, Ordering::SeqCst);
+        let tmp = run_tmp_path(&self.dir, id);
+        let summary = match sstable::write_run(&tmp, entries.into_iter().map(Ok)) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
+        let path = manifest::run_path(&self.dir, id);
+        std::fs::rename(&tmp, &path)?;
+        manifest::sync_dir(&self.dir)?;
+        let handle = Arc::new(RunHandle {
+            id,
+            level: 1,
+            run: Run::open(&path)?,
+        });
+        {
+            let _structural = self.structural.lock().expect("engine poisoned");
+            let mut catalog = Self::catalog_of(&self.view());
+            catalog.push(RunEntry { id, level: 1 });
+            manifest::store(&self.dir, &catalog)?;
+            // Publish the run and clear the memtable under both write
+            // locks: readers see the data in exactly one of the two places.
+            let mut mem = self.mem.write().expect("engine poisoned");
+            let mut runs = self.runs.write().expect("engine poisoned");
+            let mut v: Vec<Arc<RunHandle>> = (**runs).clone();
+            v.push(handle);
+            v.sort_by_key(|h| std::cmp::Reverse(h.id));
+            *runs = Arc::new(v);
+            mem.clear();
+            self.update_run_gauges(&runs);
+        }
+        wal.reset()?;
+        drop(wal);
+        self.metrics.checkpoints.inc();
+        self.metrics.memtable_bytes.set(0);
+        self.metrics
+            .checkpoint_seconds
+            .observe_duration(started.elapsed());
+        self.obs.trace(
+            "storage",
+            format!(
+                "flush {id}: {flushed} entries, {} bytes, {} tombstones",
+                summary.bytes, summary.tombstones
+            ),
+        );
+        self.schedule_compaction()?;
+        Ok(id)
+    }
+
+    /// Kick the compactor: wake the background worker, or drain pending
+    /// merges synchronously when running deterministic (background off).
+    fn schedule_compaction(&self) -> StorageResult<()> {
+        if compaction::plan(
+            &Self::catalog_of(&self.view()),
+            self.options.compaction.max_runs_per_level,
+        )
+        .is_none()
+        {
+            return Ok(());
+        }
+        if self.options.compaction.background {
+            let (lock, cvar) = &self.signal;
+            let mut pending = lock.lock().expect("engine poisoned");
+            *pending = true;
+            cvar.notify_one();
+            Ok(())
+        } else {
+            self.drain_compactions()
+        }
+    }
+
+    /// Run planned merges until every level is within bounds.
+    fn drain_compactions(&self) -> StorageResult<()> {
+        let _guard = self.compact_lock.lock().expect("engine poisoned");
+        while let Some(task) = compaction::plan(
+            &Self::catalog_of(&self.view()),
+            self.options.compaction.max_runs_per_level,
+        ) {
+            self.execute_compaction(task)?;
+        }
+        Ok(())
+    }
+
+    /// Forced full compaction: merge every run into a single bottom-level
+    /// run, folding tombstones. Returns whether any merge ran.
+    fn compact(&self) -> StorageResult<bool> {
+        let _guard = self.compact_lock.lock().expect("engine poisoned");
+        let view = self.view();
+        let single_tombstones = match view.as_slice() {
+            [only] => only.run.tombstones(),
+            _ => 0,
+        };
+        let Some(task) = compaction::full(&Self::catalog_of(&view), single_tombstones) else {
+            return Ok(false);
+        };
+        self.execute_compaction(task)?;
+        Ok(true)
+    }
+
+    /// Execute one merge. Caller holds `compact_lock`.
+    ///
+    /// Crash ordering mirrors the flush: output durable → manifest durable
+    /// → inputs deleted. Readers holding the old view keep their open file
+    /// handles, so deleting inputs under them is safe.
+    fn execute_compaction(&self, task: compaction::Task) -> StorageResult<()> {
+        let started = Instant::now();
+        let view = self.view();
+        let mut inputs: Vec<Arc<RunHandle>> = Vec::with_capacity(task.inputs.len());
+        for id in &task.inputs {
+            let handle = view.iter().find(|h| h.id == *id).cloned().ok_or_else(|| {
+                StorageError::corrupt(0, format!("compaction input run {id} vanished"))
+            })?;
+            inputs.push(handle);
+        }
+        let input_bytes: u64 = inputs.iter().map(|h| h.run.bytes()).sum();
+        let input_entries: u64 = inputs.iter().map(|h| h.run.entries()).sum();
+        let out_id = self.next_run_id.fetch_add(1, Ordering::SeqCst);
+        let tmp = run_tmp_path(&self.dir, out_id);
+        let merge = compaction::Merge::new(
+            inputs.iter().map(|h| h.run.iter()).collect(),
+            task.drop_tombstones,
+        );
+        let summary = match sstable::write_run(&tmp, merge) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
+        // A merge can fold everything away; commit an output-less swap.
+        let output = if summary.entries == 0 {
+            std::fs::remove_file(&tmp)?;
+            None
+        } else {
+            let path = manifest::run_path(&self.dir, out_id);
+            std::fs::rename(&tmp, &path)?;
+            manifest::sync_dir(&self.dir)?;
+            Some(Arc::new(RunHandle {
+                id: out_id,
+                level: task.output_level,
+                run: Run::open(&path)?,
+            }))
+        };
+        {
+            let _structural = self.structural.lock().expect("engine poisoned");
+            // Rebuild from the *current* view: a flush may have added runs
+            // since planning; only the inputs are removed.
+            let mut v: Vec<Arc<RunHandle>> = self
+                .view()
+                .iter()
+                .filter(|h| !task.inputs.contains(&h.id))
+                .cloned()
+                .collect();
+            if let Some(h) = &output {
+                v.push(h.clone());
+            }
+            v.sort_by_key(|h| std::cmp::Reverse(h.id));
+            manifest::store(&self.dir, &Self::catalog_of(&v))?;
+            let mut runs = self.runs.write().expect("engine poisoned");
+            *runs = Arc::new(v);
+            self.update_run_gauges(&runs);
+        }
+        for h in &inputs {
+            let _ = std::fs::remove_file(manifest::run_path(&self.dir, h.id));
+        }
+        self.metrics.compactions.inc();
+        self.metrics.compaction_bytes.observe(input_bytes as f64);
+        self.metrics
+            .compaction_seconds
+            .observe_duration(started.elapsed());
+        self.obs.trace(
+            "storage",
+            format!(
+                "compaction -> run {out_id} level {}: {} inputs ({input_entries} entries, {input_bytes} bytes) -> {} entries{}",
+                task.output_level,
+                task.inputs.len(),
+                summary.entries,
+                if task.drop_tombstones { ", tombstones folded" } else { "" }
+            ),
+        );
+        Ok(())
+    }
+
+    fn worker_loop(self: &Arc<Core>) {
+        let (lock, cvar) = &self.signal;
+        loop {
+            {
+                let mut pending = lock.lock().expect("engine poisoned");
+                while !*pending && !self.shutdown.load(Ordering::SeqCst) {
+                    pending = cvar.wait(pending).expect("engine poisoned");
+                }
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                *pending = false;
+            }
+            if let Err(e) = self.drain_compactions() {
+                // The store stays correct on a failed merge (inputs remain
+                // committed); surface the failure through the trace ring.
+                self.obs
+                    .trace("storage", format!("background compaction failed: {e}"));
+            }
+        }
+    }
+}
+
 impl Engine {
     /// Open (creating if needed) an engine rooted at `dir` and recover any
-    /// previous state: newest readable snapshot + committed WAL suffix.
+    /// previous state: manifest + runs + committed WAL suffix. Legacy
+    /// single-snapshot directories are migrated to the tiered layout;
+    /// unreadable or orphaned files are removed.
     pub fn open(dir: &Path, options: EngineOptions) -> StorageResult<Engine> {
         std::fs::create_dir_all(dir)?;
         let obs = options
@@ -213,24 +747,139 @@ impl Engine {
             .unwrap_or_else(|| Arc::new(Registry::new()));
         let metrics = StorageMetrics::resolve(&obs);
 
-        // Load the newest readable snapshot; fall back to older ones if the
-        // newest is corrupt (its checkpoint may not have completed).
-        let mut snapshot = BTreeMap::new();
-        let mut snapshot_id = 0u64;
-        let mut ids = list_snapshot_ids(dir)?;
-        while let Some(id) = ids.pop() {
-            match sstable::read_snapshot(&snapshot_path(dir, id)) {
-                Ok(map) => {
-                    metrics.recovered_snapshot_entries.add(map.len() as u64);
-                    snapshot = map;
-                    snapshot_id = id;
-                    break;
-                }
-                Err(_) => continue,
+        // 1. Sweep temp files: in-flight flushes/compactions/manifest
+        // swaps that never committed.
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
             }
         }
 
-        // Replay committed WAL operations on top.
+        // 2. Load the run catalog: manifest, or directory-scan fallback.
+        // The fallback assigns every run level 1, which is safe: run ids
+        // are monotonic so id order is recency order, and the first
+        // compaction re-levels everything.
+        let mut rewrite_manifest = false;
+        let catalog: Vec<RunEntry> = match manifest::load(dir) {
+            Ok(Some(entries)) => entries,
+            Ok(None) => {
+                let files = manifest::list_run_files(dir)?;
+                if !files.is_empty() {
+                    obs.trace(
+                        "storage",
+                        format!("manifest missing; rebuilt from {} run files", files.len()),
+                    );
+                    rewrite_manifest = true;
+                }
+                files
+                    .into_iter()
+                    .map(|(id, _)| RunEntry { id, level: 1 })
+                    .collect()
+            }
+            Err(e) => {
+                let files = manifest::list_run_files(dir)?;
+                obs.trace(
+                    "storage",
+                    format!(
+                        "manifest corrupt ({e}); rebuilt from {} run files",
+                        files.len()
+                    ),
+                );
+                rewrite_manifest = true;
+                files
+                    .into_iter()
+                    .map(|(id, _)| RunEntry { id, level: 1 })
+                    .collect()
+            }
+        };
+
+        // 3. Open every catalogued run; drop (and delete) unreadable ones.
+        // An unreadable *committed* run is genuine corruption — served
+        // best-effort by the rest of the tree — while an unreadable
+        // uncommitted run never made it into the manifest at all.
+        let mut handles: Vec<Arc<RunHandle>> = Vec::with_capacity(catalog.len());
+        for entry in &catalog {
+            let path = manifest::run_path(dir, entry.id);
+            match Run::open(&path) {
+                Ok(run) => handles.push(Arc::new(RunHandle {
+                    id: entry.id,
+                    level: entry.level,
+                    run,
+                })),
+                Err(e) => {
+                    obs.trace(
+                        "storage",
+                        format!("dropping unreadable run {} ({e})", entry.id),
+                    );
+                    let _ = std::fs::remove_file(&path);
+                    rewrite_manifest = true;
+                }
+            }
+        }
+
+        // 4. Legacy migration: fold the newest readable `snap-*.sst` into
+        // run 1. Data a torn legacy checkpoint failed to capture is still
+        // in the WAL (the old engine reset it only after a durable
+        // snapshot), so every snap file — readable, torn, or superseded —
+        // is deleted afterwards. Keeping the newest readable snap id lets
+        // WAL replay honour legacy `Checkpoint` frames below.
+        let mut legacy_snapshot_id = 0u64;
+        let snap_ids = list_snapshot_ids(dir)?;
+        if !snap_ids.is_empty() {
+            for &sid in snap_ids.iter().rev() {
+                match sstable::read_snapshot(&snapshot_path(dir, sid)) {
+                    Ok(map) => {
+                        legacy_snapshot_id = sid;
+                        if handles.is_empty() {
+                            let id = 1u64;
+                            let tmp = run_tmp_path(dir, id);
+                            sstable::write_run(&tmp, map.into_iter().map(Ok))?;
+                            let path = manifest::run_path(dir, id);
+                            std::fs::rename(&tmp, &path)?;
+                            manifest::sync_dir(dir)?;
+                            handles.push(Arc::new(RunHandle {
+                                id,
+                                level: 1,
+                                run: Run::open(&path)?,
+                            }));
+                            rewrite_manifest = true;
+                            obs.trace(
+                                "storage",
+                                format!("migrated legacy snapshot {sid} to run {id}"),
+                            );
+                        }
+                        break;
+                    }
+                    Err(_) => continue,
+                }
+            }
+            for &sid in &snap_ids {
+                let _ = std::fs::remove_file(snapshot_path(dir, sid));
+            }
+        }
+
+        handles.sort_by_key(|h| std::cmp::Reverse(h.id));
+        if rewrite_manifest {
+            manifest::store(dir, &Core::catalog_of(&handles))?;
+        }
+
+        // 5. Remove orphan runs: files never committed to the manifest
+        // (flush/compaction outputs whose commit didn't complete). Their
+        // contents are covered by the WAL or by their input runs.
+        let live_ids: std::collections::BTreeSet<u64> = handles.iter().map(|h| h.id).collect();
+        let mut max_file_id = 0u64;
+        for (id, path) in manifest::list_run_files(dir)? {
+            max_file_id = max_file_id.max(id);
+            if !live_ids.contains(&id) {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+
+        let run_entries: u64 = handles.iter().map(|h| h.run.entries()).sum();
+        metrics.recovered_snapshot_entries.add(run_entries);
+
+        // 6. Replay committed WAL operations on top.
         let wal_path = dir.join("wal.log");
         let replayed = wal::replay(&wal_path)?;
         if replayed.torn_tail {
@@ -263,10 +912,11 @@ impl Engine {
                     }
                 }
                 WalRecord::Checkpoint { snapshot_id: sid } => {
-                    // A checkpoint frame inside a live WAL means reset()
-                    // didn't complete; operations before it are already in
-                    // snapshot `sid` if we loaded it.
-                    if sid <= snapshot_id {
+                    // A legacy checkpoint frame inside a live WAL means the
+                    // old engine's reset() didn't complete; operations
+                    // before it are captured by snapshot `sid` iff that is
+                    // the snapshot we migrated.
+                    if sid <= legacy_snapshot_id {
                         memtable.clear();
                     }
                     pending.clear();
@@ -278,40 +928,73 @@ impl Engine {
         // the atomicity guarantee.
         metrics.recovered_records.add(replayed_ops);
         metrics.memtable_bytes.set(memtable.approx_bytes() as u64);
-        if replayed_ops > 0 || snapshot_id > 0 {
+        if replayed_ops > 0 || !handles.is_empty() {
             obs.trace(
                 "storage",
                 format!(
-                    "recovered {} ({replayed_ops} WAL ops over snapshot {snapshot_id})",
-                    dir.display()
+                    "recovered {} ({replayed_ops} WAL ops over {} runs, {run_entries} entries)",
+                    dir.display(),
+                    handles.len()
                 ),
             );
         }
 
         let wal = Wal::open(&wal_path, options.fsync)?;
-        Ok(Engine {
+        // Never reuse a run id — not even one whose (corrupt or orphaned)
+        // file we just deleted. Monotonic ids are what make id order a
+        // valid recency order during manifest-fallback recovery.
+        let max_catalog_id = catalog.iter().map(|e| e.id).max().unwrap_or(0);
+        let max_run_id = handles
+            .iter()
+            .map(|h| h.id)
+            .max()
+            .unwrap_or(0)
+            .max(max_file_id)
+            .max(max_catalog_id);
+        let background = options.compaction.background;
+        let core = Arc::new(Core {
             dir: dir.to_path_buf(),
-            inner: Mutex::new(Inner {
-                snapshot,
-                memtable,
-                wal,
-                snapshot_id,
-            }),
-            next_txid: AtomicU64::new(max_txid + 1),
-            options,
             obs,
             metrics,
-        })
+            wal: Mutex::new(wal),
+            mem: RwLock::new(memtable),
+            runs: RwLock::new(Arc::new(handles)),
+            structural: Mutex::new(()),
+            compact_lock: Mutex::new(()),
+            next_run_id: AtomicU64::new(max_run_id + 1),
+            next_txid: AtomicU64::new(max_txid + 1),
+            max_level_seen: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            signal: (Mutex::new(false), Condvar::new()),
+            options,
+        });
+        core.update_run_gauges(&core.view());
+        let worker = if background {
+            let c = core.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("preserva-compaction".into())
+                    .spawn(move || c.worker_loop())
+                    .map_err(StorageError::Io)?,
+            )
+        } else {
+            None
+        };
+        let engine = Engine { core, worker };
+        // A directory recovered with an over-full level starts compacting
+        // immediately rather than waiting for the next flush.
+        engine.core.schedule_compaction()?;
+        Ok(engine)
     }
 
     /// The metrics registry this engine records into.
     pub fn metrics_registry(&self) -> &Arc<Registry> {
-        &self.obs
+        &self.core.obs
     }
 
     /// Directory this engine lives in.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        &self.core.dir
     }
 
     /// Upsert a single key (its own transaction).
@@ -331,59 +1014,22 @@ impl Engine {
         }])
     }
 
-    /// Read a key.
+    /// Read a key: memtable first, then runs newest-to-oldest, touching at
+    /// most one data block per run thanks to bloom filter + block index.
     pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
-        let inner = self.inner.lock().expect("engine poisoned");
-        self.metrics.gets.inc();
-        let hit = if let Some(hit) = inner.memtable.get(table, key) {
-            hit.map(|v| v.to_vec())
-        } else {
-            inner
-                .snapshot
-                .get(&(table.to_string(), key.to_vec()))
-                .and_then(|v| v.clone())
-        };
-        if let Some(v) = &hit {
-            self.metrics.value_bytes_read.add(v.len() as u64);
-        }
-        Ok(hit)
+        self.core.get(table, key)
     }
 
     /// Range scan over `table`: keys in `[start, end)`, `end = None` meaning
-    /// unbounded. Returns owned pairs sorted by key, memtable entries
-    /// shadowing snapshot entries, tombstones suppressed.
+    /// unbounded. Returns owned pairs sorted by key, newer layers shadowing
+    /// older ones, tombstones suppressed.
     pub fn scan(
         &self,
         table: &str,
         start: &[u8],
         end: Option<&[u8]>,
     ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        let inner = self.inner.lock().expect("engine poisoned");
-        self.metrics.scans.inc();
-        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
-        let lo = (table.to_string(), start.to_vec());
-        for ((t, k), v) in inner.snapshot.range(lo..) {
-            if t != table {
-                break;
-            }
-            if let Some(e) = end {
-                if k.as_slice() >= e {
-                    break;
-                }
-            }
-            merged.insert(k.clone(), v.clone());
-        }
-        for (k, v) in inner.memtable.range(table, start, end) {
-            merged.insert(k.to_vec(), v.map(|x| x.to_vec()));
-        }
-        let rows: Vec<(Vec<u8>, Vec<u8>)> = merged
-            .into_iter()
-            .filter_map(|(k, v)| v.map(|v| (k, v)))
-            .collect();
-        self.metrics
-            .value_bytes_read
-            .add(rows.iter().map(|(_, v)| v.len() as u64).sum());
-        Ok(rows)
+        self.core.scan(table, start, end)
     }
 
     /// Full-table scan.
@@ -391,172 +1037,76 @@ impl Engine {
         self.scan(table, b"", None)
     }
 
-    /// Number of live keys in `table`.
-    ///
-    /// Counts from the merged *key* view — memtable entries (including
-    /// tombstones) shadowing snapshot entries — without cloning a single
-    /// value byte. The `value_bytes_read` metric stays untouched, which the
-    /// regression test asserts.
+    /// Number of live keys in `table`, without materializing a single
+    /// value byte (the `value_bytes_read` family stays untouched, which
+    /// the regression test asserts).
     pub fn count(&self, table: &str) -> StorageResult<usize> {
-        let inner = self.inner.lock().expect("engine poisoned");
-        self.metrics.scans.inc();
-        // live[key] = is the newest version of `key` a value (vs tombstone)?
-        let mut live: BTreeMap<&[u8], bool> = BTreeMap::new();
-        let lo = (table.to_string(), Vec::new());
-        for ((t, k), v) in inner.snapshot.range(lo..) {
-            if t != table {
-                break;
-            }
-            live.insert(k.as_slice(), v.is_some());
-        }
-        for (k, v) in inner.memtable.range(table, b"", None) {
-            live.insert(k, v.is_some());
-        }
-        Ok(live.values().filter(|alive| **alive).count())
+        self.core.count(table)
     }
 
     /// Apply a batch of operations atomically: either every operation is
     /// visible after a crash, or none is.
     pub fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<()> {
-        if ops.is_empty() {
-            return Ok(());
-        }
-        let started = Instant::now();
-        let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock().expect("engine poisoned");
-        for op in &ops {
-            let rec = match op {
-                BatchOp::Put { table, key, value } => WalRecord::Put {
-                    table: table.clone(),
-                    key: key.clone(),
-                    value: value.clone(),
-                },
-                BatchOp::Delete { table, key } => WalRecord::Delete {
-                    table: table.clone(),
-                    key: key.clone(),
-                },
-            };
-            inner.wal.append(&rec)?;
-        }
-        inner.wal.append(&WalRecord::Commit { txid })?;
-        inner.wal.sync()?;
-        self.metrics.wal_appends.add(ops.len() as u64 + 1);
-        if self.options.fsync {
-            self.metrics.wal_fsyncs.inc();
-        }
-        for op in ops {
-            match op {
-                BatchOp::Put { table, key, value } => {
-                    self.metrics.puts.inc();
-                    inner.memtable.put(&table, &key, value);
-                }
-                BatchOp::Delete { table, key } => {
-                    self.metrics.deletes.inc();
-                    inner.memtable.delete(&table, &key);
-                }
-            }
-        }
-        self.metrics.commits.inc();
-        self.metrics
-            .memtable_bytes
-            .set(inner.memtable.approx_bytes() as u64);
-        let needs_checkpoint = inner.memtable.approx_bytes() >= self.options.checkpoint_bytes;
-        drop(inner);
-        self.metrics
-            .commit_seconds
-            .observe_duration(started.elapsed());
-        if needs_checkpoint {
-            self.checkpoint()?;
-        }
-        Ok(())
+        self.core.apply_batch(ops)
     }
 
-    /// Fold the memtable into a new snapshot file and truncate the WAL.
+    /// Flush the memtable into a fresh level-1 run — O(memtable), not
+    /// O(total data) — and reset the WAL. Returns the new run id, or 0
+    /// when the memtable was empty.
     pub fn checkpoint(&self) -> StorageResult<u64> {
-        let started = Instant::now();
-        let mut inner = self.inner.lock().expect("engine poisoned");
-        let new_id = inner.snapshot_id + 1;
-        // Merge memtable over snapshot; drop tombstones at the top level.
-        let mut merged = inner.snapshot.clone();
-        for (k, v) in inner.memtable.iter() {
-            match v {
-                Some(val) => {
-                    merged.insert(k.clone(), Some(val.clone()));
-                }
-                None => {
-                    merged.remove(k);
-                }
-            }
+        self.core.checkpoint()
+    }
+
+    /// Force a full compaction: merge every run into one bottom-level run,
+    /// folding tombstones. Returns whether a merge actually ran.
+    pub fn compact(&self) -> StorageResult<bool> {
+        self.core.compact()
+    }
+
+    /// Live runs per level, ascending by level. Empty when the store has
+    /// no runs yet.
+    pub fn runs_per_level(&self) -> Vec<(u32, usize)> {
+        let view = self.core.view();
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for h in view.iter() {
+            *counts.entry(h.level).or_insert(0) += 1;
         }
-        let path = snapshot_path(&self.dir, new_id);
-        sstable::write_snapshot(&path, merged.iter())?;
-        inner.wal.append(&WalRecord::Checkpoint {
-            snapshot_id: new_id,
-        })?;
-        inner.wal.sync()?;
-        inner.wal.reset()?;
-        // Remove the superseded snapshot only after the new one is durable.
-        let old = snapshot_path(&self.dir, inner.snapshot_id);
-        if inner.snapshot_id > 0 {
-            let _ = std::fs::remove_file(old);
-        }
-        let entries = merged.len();
-        inner.snapshot = merged;
-        inner.snapshot_id = new_id;
-        inner.memtable.clear();
-        drop(inner);
-        self.metrics.checkpoints.inc();
-        self.metrics.wal_appends.inc(); // the Checkpoint frame
-        if self.options.fsync {
-            self.metrics.wal_fsyncs.inc();
-        }
-        self.metrics.memtable_bytes.set(0);
-        self.metrics
-            .checkpoint_seconds
-            .observe_duration(started.elapsed());
-        self.obs.trace(
-            "storage",
-            format!("checkpoint {new_id}: {entries} entries folded"),
-        );
-        Ok(new_id)
+        counts.into_iter().collect()
     }
 
     /// List every table that currently holds at least one live key.
     pub fn tables(&self) -> StorageResult<Vec<String>> {
-        let inner = self.inner.lock().expect("engine poisoned");
-        let mut names: Vec<String> = Vec::new();
-        let mut push = |t: &str| {
-            if names.last().map(String::as_str) != Some(t) && !names.iter().any(|n| n == t) {
-                names.push(t.to_string());
-            }
-        };
-        for ((t, _), v) in inner.snapshot.iter() {
-            if v.is_some() {
-                push(t);
-            }
-        }
-        for ((t, _), v) in inner.memtable.iter() {
-            if v.is_some() {
-                push(t);
-            }
-        }
-        names.sort();
-        names.dedup();
-        Ok(names)
+        self.core.tables()
     }
 
     /// Snapshot of the engine's counters, read back from the registry.
     pub fn stats(&self) -> EngineStats {
+        let m = &self.core.metrics;
         EngineStats {
-            puts: self.metrics.puts.get(),
-            deletes: self.metrics.deletes.get(),
-            gets: self.metrics.gets.get(),
-            scans: self.metrics.scans.get(),
-            commits: self.metrics.commits.get(),
-            checkpoints: self.metrics.checkpoints.get(),
-            recovered_records: self.metrics.recovered_records.get(),
-            recovered_from_snapshot: self.metrics.recovered_snapshot_entries.get(),
-            torn_tail_discarded: self.metrics.torn_tail_discards.get() > 0,
+            puts: m.puts.get(),
+            deletes: m.deletes.get(),
+            gets: m.gets.get(),
+            scans: m.scans.get(),
+            commits: m.commits.get(),
+            checkpoints: m.checkpoints.get(),
+            compactions: m.compactions.get(),
+            recovered_records: m.recovered_records.get(),
+            recovered_from_snapshot: m.recovered_snapshot_entries.get(),
+            torn_tail_discarded: m.torn_tail_discards.get() > 0,
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        let (lock, cvar) = &self.core.signal;
+        {
+            let _pending = lock.lock().expect("engine poisoned");
+            cvar.notify_all();
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
         }
     }
 }
@@ -665,7 +1215,7 @@ mod tests {
             e.get("t", &200u32.to_be_bytes()).unwrap().as_deref(),
             Some(&b"after"[..])
         );
-        // Snapshot-resident key still readable.
+        // Run-resident key still readable.
         assert_eq!(
             e.get("t", &42u32.to_be_bytes()).unwrap().as_deref(),
             Some(&b"v42"[..])
@@ -673,7 +1223,7 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_folds_tombstones() {
+    fn compaction_folds_tombstones_at_bottom_level() {
         let dir = tmpdir("tombfold");
         let e = Engine::open(&dir, EngineOptions::default()).unwrap();
         e.put("t", b"a", b"1").unwrap();
@@ -681,6 +1231,12 @@ mod tests {
         e.delete("t", b"a").unwrap();
         e.checkpoint().unwrap();
         assert_eq!(e.get("t", b"a").unwrap(), None);
+        // Two runs exist; the newer one holds the tombstone.
+        assert_eq!(e.runs_per_level(), vec![(1, 2)]);
+        assert!(e.compact().unwrap());
+        // Folded into one bottom-level run with nothing left in it... the
+        // merge of {tombstone over "a"} and {"a"=1} is empty.
+        assert_eq!(e.runs_per_level(), vec![]);
         drop(e);
         let e = Engine::open(&dir, EngineOptions::default()).unwrap();
         assert_eq!(e.get("t", b"a").unwrap(), None);
@@ -688,7 +1244,63 @@ mod tests {
     }
 
     #[test]
-    fn scan_merges_snapshot_and_memtable() {
+    fn flush_is_memtable_only_and_runs_accumulate() {
+        let dir = tmpdir("tiered");
+        let opts = EngineOptions {
+            compaction: CompactionOptions {
+                background: false,
+                max_runs_per_level: 100, // keep all runs: observe accumulation
+            },
+            ..EngineOptions::default()
+        };
+        let e = Engine::open(&dir, opts).unwrap();
+        for round in 0..3u32 {
+            e.put("t", &round.to_be_bytes(), b"x").unwrap();
+            let id = e.checkpoint().unwrap();
+            assert_eq!(id as u32, round + 1, "one fresh run per flush");
+        }
+        assert_eq!(e.runs_per_level(), vec![(1, 3)]);
+        // Each run holds exactly the memtable it flushed: 1 entry.
+        let bytes: Vec<u64> = manifest::list_run_files(&dir)
+            .unwrap()
+            .iter()
+            .map(|(_, p)| Run::open(p).unwrap().entries())
+            .collect();
+        assert_eq!(bytes, vec![1, 1, 1]);
+        assert_eq!(e.count("t").unwrap(), 3);
+    }
+
+    #[test]
+    fn auto_compaction_keeps_levels_bounded() {
+        let dir = tmpdir("autocompact");
+        let opts = EngineOptions {
+            compaction: CompactionOptions {
+                background: false, // deterministic: drain after each flush
+                max_runs_per_level: 2,
+            },
+            ..EngineOptions::default()
+        };
+        let e = Engine::open(&dir, opts).unwrap();
+        for i in 0..20u32 {
+            e.put("t", &i.to_be_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+            e.checkpoint().unwrap();
+        }
+        for (level, count) in e.runs_per_level() {
+            assert!(count <= 2, "level {level} holds {count} runs, bound is 2");
+        }
+        assert!(e.stats().compactions > 0);
+        assert_eq!(e.count("t").unwrap(), 20);
+        for i in 0..20u32 {
+            assert_eq!(
+                e.get("t", &i.to_be_bytes()).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn scan_merges_runs_and_memtable() {
         let dir = tmpdir("scanmerge");
         let e = Engine::open(&dir, EngineOptions::default()).unwrap();
         e.put("t", b"a", b"snap").unwrap();
@@ -696,7 +1308,7 @@ mod tests {
         e.checkpoint().unwrap();
         e.put("t", b"b", b"mem").unwrap(); // shadow
         e.put("t", b"c", b"mem").unwrap(); // new
-        e.delete("t", b"a").unwrap(); // tombstone over snapshot
+        e.delete("t", b"a").unwrap(); // tombstone over run
         let rows = e.scan_all("t").unwrap();
         assert_eq!(
             rows,
@@ -705,6 +1317,36 @@ mod tests {
                 (b"c".to_vec(), b"mem".to_vec())
             ]
         );
+    }
+
+    #[test]
+    fn scan_merges_across_multiple_runs() {
+        let dir = tmpdir("scanmulti");
+        let opts = EngineOptions {
+            compaction: CompactionOptions {
+                background: false,
+                max_runs_per_level: 100,
+            },
+            ..EngineOptions::default()
+        };
+        let e = Engine::open(&dir, opts).unwrap();
+        e.put("t", b"a", b"old").unwrap();
+        e.put("t", b"b", b"old").unwrap();
+        e.checkpoint().unwrap();
+        e.put("t", b"b", b"new").unwrap(); // shadows across runs
+        e.delete("t", b"a").unwrap(); // tombstone in newer run
+        e.put("t", b"c", b"new").unwrap();
+        e.checkpoint().unwrap();
+        assert_eq!(e.runs_per_level(), vec![(1, 2)]);
+        let rows = e.scan_all("t").unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (b"b".to_vec(), b"new".to_vec()),
+                (b"c".to_vec(), b"new".to_vec())
+            ]
+        );
+        assert_eq!(e.count("t").unwrap(), 2);
     }
 
     #[test]
@@ -735,6 +1377,9 @@ mod tests {
         e.put("alpha", b"k", b"v").unwrap();
         e.put("beta", b"k", b"v").unwrap();
         e.delete("beta", b"k").unwrap();
+        assert_eq!(e.tables().unwrap(), vec!["alpha".to_string()]);
+        // Same answer when the state lives in runs.
+        e.checkpoint().unwrap();
         assert_eq!(e.tables().unwrap(), vec!["alpha".to_string()]);
     }
 
@@ -788,7 +1433,7 @@ mod tests {
         }
         e.checkpoint().unwrap();
         // Mix in memtable-resident state: a new key and a tombstone
-        // shadowing a snapshot key.
+        // shadowing a run key.
         e.put("t", &100u32.to_be_bytes(), &[7u8; 100]).unwrap();
         e.delete("t", &0u32.to_be_bytes()).unwrap();
         let bytes = e
@@ -817,13 +1462,46 @@ mod tests {
         e.put("t", b"k", b"v").unwrap();
         e.checkpoint().unwrap();
         let text = reg.render_prometheus();
-        assert!(text.contains("preserva_storage_wal_appends_total 3")); // put + commit + checkpoint frames
+        // The tiered flush writes no Checkpoint WAL frame: just put + commit.
+        assert!(text.contains("preserva_storage_wal_appends_total 2"));
         assert!(text.contains("preserva_storage_wal_fsyncs_total 0")); // fsync off
         assert!(text.contains("preserva_storage_commits_total 1"));
         assert!(text.contains("preserva_storage_checkpoints_total 1"));
         assert!(text.contains("preserva_storage_commit_seconds_count 1"));
         assert!(text.contains("preserva_storage_checkpoint_seconds_count 1"));
         assert!(text.contains("preserva_storage_memtable_bytes 0"));
+        assert!(text.contains("preserva_storage_runs_per_level{level=\"1\"} 1"));
+        assert!(text.contains("preserva_storage_compactions_total 0"));
+        assert!(text.contains("preserva_storage_bloom_hits_total"));
+        assert!(text.contains("preserva_storage_bloom_misses_total"));
+    }
+
+    #[test]
+    fn bloom_counters_track_run_lookups() {
+        let dir = tmpdir("bloomcount");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        for i in 0..50u32 {
+            e.put("t", &i.to_be_bytes(), b"v").unwrap();
+        }
+        e.checkpoint().unwrap();
+        let hits = e
+            .metrics_registry()
+            .counter("preserva_storage_bloom_hits_total", "");
+        let misses = e
+            .metrics_registry()
+            .counter("preserva_storage_bloom_misses_total", "");
+        for i in 0..50u32 {
+            assert!(e.get("t", &i.to_be_bytes()).unwrap().is_some());
+        }
+        assert_eq!(hits.get(), 50, "every present key consults a block");
+        let miss_before = misses.get();
+        for i in 1000..1100u32 {
+            assert!(e.get("t", &i.to_be_bytes()).unwrap().is_none());
+        }
+        assert!(
+            misses.get() - miss_before > 90,
+            "absent keys mostly skip the run via the bloom filter"
+        );
     }
 
     #[test]
@@ -848,5 +1526,123 @@ mod tests {
         let e = Engine::open(&dir, EngineOptions::default()).unwrap();
         e.apply_batch(vec![]).unwrap();
         assert_eq!(e.stats().commits, 0);
+    }
+
+    #[test]
+    fn empty_checkpoint_is_noop() {
+        let dir = tmpdir("emptyflush");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.checkpoint().unwrap(), 0);
+        assert_eq!(e.stats().checkpoints, 0);
+        assert_eq!(e.runs_per_level(), vec![]);
+        e.put("t", b"k", b"v").unwrap();
+        assert!(e.checkpoint().unwrap() > 0);
+        assert_eq!(e.checkpoint().unwrap(), 0, "nothing new to flush");
+    }
+
+    #[test]
+    fn legacy_snapshot_directory_is_migrated() {
+        let dir = tmpdir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Forge the old layout by hand: snap-3 + a WAL with one committed
+        // write and a stale Checkpoint frame (reset never completed).
+        let mut snap = BTreeMap::new();
+        snap.insert(
+            ("t".to_string(), b"old".to_vec()),
+            Some(b"from-snap".to_vec()),
+        );
+        sstable::write_snapshot(&snapshot_path(&dir, 3), snap.iter()).unwrap();
+        {
+            let mut w = Wal::open(&dir.join("wal.log"), false).unwrap();
+            w.append(&WalRecord::Put {
+                table: "t".into(),
+                key: b"old".to_vec(),
+                value: b"from-snap".to_vec(),
+            })
+            .unwrap();
+            w.append(&WalRecord::Commit { txid: 1 }).unwrap();
+            w.append(&WalRecord::Checkpoint { snapshot_id: 3 }).unwrap();
+            w.append(&WalRecord::Put {
+                table: "t".into(),
+                key: b"new".to_vec(),
+                value: b"from-wal".to_vec(),
+            })
+            .unwrap();
+            w.append(&WalRecord::Commit { txid: 2 }).unwrap();
+            w.sync().unwrap();
+        }
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(
+            e.get("t", b"old").unwrap().as_deref(),
+            Some(&b"from-snap"[..])
+        );
+        assert_eq!(
+            e.get("t", b"new").unwrap().as_deref(),
+            Some(&b"from-wal"[..])
+        );
+        assert_eq!(e.runs_per_level(), vec![(1, 1)]);
+        assert!(
+            list_snapshot_ids(&dir).unwrap().is_empty(),
+            "legacy snap files deleted after migration"
+        );
+        assert!(manifest::load(&dir).unwrap().is_some());
+        // Stable across another reopen.
+        drop(e);
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn recovery_survives_corrupt_manifest_via_directory_scan() {
+        let dir = tmpdir("manifestfallback");
+        {
+            let opts = EngineOptions {
+                compaction: CompactionOptions {
+                    background: false,
+                    max_runs_per_level: 100,
+                },
+                ..EngineOptions::default()
+            };
+            let e = Engine::open(&dir, opts).unwrap();
+            e.put("t", b"a", b"1").unwrap();
+            e.checkpoint().unwrap();
+            e.delete("t", b"a").unwrap();
+            e.put("t", b"b", b"2").unwrap();
+            e.checkpoint().unwrap();
+        }
+        // Trash the manifest; recovery must fall back to id order.
+        std::fs::write(manifest::manifest_path(&dir), b"garbage").unwrap();
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.get("t", b"a").unwrap(), None, "tombstone still wins");
+        assert_eq!(e.get("t", b"b").unwrap().as_deref(), Some(&b"2"[..]));
+        assert!(
+            manifest::load(&dir).unwrap().is_some(),
+            "manifest rewritten after fallback"
+        );
+    }
+
+    #[test]
+    fn orphan_and_unreadable_runs_are_cleaned_on_open() {
+        let dir = tmpdir("orphans");
+        {
+            let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+            e.put("t", b"k", b"v").unwrap();
+            e.checkpoint().unwrap();
+        }
+        // An orphan run (never committed to the manifest), a stray temp
+        // file, and a stray legacy snap.
+        std::fs::write(manifest::run_path(&dir, 999), b"not a run").unwrap();
+        std::fs::write(dir.join("run-0000000000000500.tmp"), b"half").unwrap();
+        std::fs::write(snapshot_path(&dir, 7), b"torn snap").unwrap();
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.get("t", b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        assert!(!manifest::run_path(&dir, 999).exists(), "orphan removed");
+        assert!(
+            !dir.join("run-0000000000000500.tmp").exists(),
+            "temp removed"
+        );
+        assert!(list_snapshot_ids(&dir).unwrap().is_empty(), "snap removed");
+        // And fresh ids never collide with the deleted orphan's.
+        assert!(e.core.next_run_id.load(Ordering::SeqCst) > 999);
     }
 }

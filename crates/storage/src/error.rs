@@ -30,6 +30,16 @@ pub enum StorageError {
     TransactionClosed,
 }
 
+impl StorageError {
+    /// Shorthand for a [`StorageError::Corrupt`] at `offset`.
+    pub fn corrupt(offset: u64, reason: impl Into<String>) -> StorageError {
+        StorageError::Corrupt {
+            offset,
+            reason: reason.into(),
+        }
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

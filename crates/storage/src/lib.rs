@@ -11,10 +11,15 @@
 //! * a segmented [`wal::Wal`] (write-ahead log) with CRC-checked framing
 //!   and torn-tail tolerance provides durability;
 //! * an ordered in-memory [`memtable::Memtable`] absorbs writes;
-//! * [`sstable`] sorted-run files produced by checkpoints bound recovery
-//!   time and memory;
+//! * [`sstable`] immutable sorted runs — produced by memtable-only
+//!   flushes — carry a block index and bloom filter so point reads touch
+//!   at most one data block per run;
+//! * a crash-safe [`manifest`] records the committed run set and level
+//!   of each run;
+//! * [`compaction`] merges runs level by level in the background,
+//!   folding tombstones at the bottom of the tree;
 //! * [`engine::Engine`] ties these together with atomic multi-key commits,
-//!   range scans and crash recovery (snapshot + WAL replay);
+//!   range scans and crash recovery (manifest + runs + WAL replay);
 //! * [`table::TableStore`] layers named tables and secondary indexes on
 //!   top of the flat key space.
 //!
@@ -37,15 +42,18 @@
 //! ```
 
 pub mod codec;
+pub mod compaction;
 pub mod crc32;
 pub mod engine;
 pub mod error;
 pub mod journal;
+pub mod manifest;
 pub mod memtable;
 pub mod sstable;
 pub mod table;
 pub mod wal;
 
+pub use compaction::CompactionOptions;
 pub use engine::{Engine, EngineOptions, EngineStats};
 pub use error::{StorageError, StorageResult};
 pub use journal::{JournalEntry, ROW_DELETED, ROW_UPSERTED};

@@ -97,6 +97,16 @@ impl Memtable {
         self.approx_bytes
     }
 
+    /// Clone every entry, in composite-key order, for a memtable-only
+    /// flush: the snapshot the run writer streams from while the engine
+    /// keeps serving reads out of the live memtable.
+    pub fn entries(&self) -> Vec<(NsKey, Option<Vec<u8>>)> {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Drop all entries.
     pub fn clear(&mut self) {
         self.entries.clear();

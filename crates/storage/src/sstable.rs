@@ -1,17 +1,30 @@
-//! Sorted-run snapshot files ("SSTables").
+//! Sorted-run files ("SSTables").
 //!
-//! A checkpoint folds the memtable into the previous snapshot and writes a
-//! new immutable, sorted file. Layout:
+//! Two formats live here:
+//!
+//! * the **legacy snapshot** (`snap-*.sst`): one flat body of entries plus
+//!   a trailing `count | crc | MAGIC` footer. Kept so old directories can
+//!   be migrated on open and so the bench harness can compare the old
+//!   full-rewrite checkpoint against the tiered flush.
+//! * the **tiered run** (`run-*.sst`): the immutable unit of the leveled
+//!   store. A run is a sequence of ~4 KiB data blocks, a block index, a
+//!   bloom filter and a fixed-size footer:
 //!
 //! ```text
-//! [entry]*                      -- sorted by (table, key)
-//! [footer: count u64, crc u32, MAGIC u32]
+//! [data block]*                 -- entries sorted by (table, key)
+//! [index]                       -- per-block offset/len/crc + first key
+//! [bloom]                       -- FNV-1a double-hashed bit array
+//! [footer: index_off u64 | bloom_off u64 | entries u64 |
+//!          tombstones u64 | tail_crc u32 | RUN_MAGIC u32]
 //! ```
 //!
-//! Each entry is `table | key | value` as length-prefixed byte strings,
-//! with a one-byte tag distinguishing live values from tombstones (the
-//! top-level snapshot never stores tombstones, but the format supports
-//! them so partial compactions could). The body CRC covers all entries.
+//! Each entry is `tag u8 | table | key | [value]` with length-prefixed
+//! byte strings; tombstones round-trip so deletions shadow older runs
+//! until compaction folds them out at the bottom level. Opening a run
+//! reads only index + bloom (`tail_crc` covers exactly that region), so
+//! open cost is O(index), not O(data); each data block carries its own
+//! CRC verified on first touch. Point lookups consult the bloom filter,
+//! binary-search the index and read at most one data block.
 
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -128,6 +141,574 @@ pub fn read_snapshot(path: &Path) -> StorageResult<BTreeMap<NsKey, Option<Vec<u8
     Ok(map)
 }
 
+// ---------------------------------------------------------------------------
+// Tiered run format
+// ---------------------------------------------------------------------------
+
+/// Magic trailer of tiered run files ("PRUN").
+pub const RUN_MAGIC: u32 = 0x5052_554E;
+/// Target uncompressed size of one data block.
+const BLOCK_TARGET: usize = 4096;
+/// Fixed footer size: index_off + bloom_off + entries + tombstones + crc + magic.
+const RUN_FOOTER_LEN: usize = 8 + 8 + 8 + 8 + 4 + 4;
+/// Bloom sizing: bits per entry and number of probes.
+const BLOOM_BITS_PER_KEY: u64 = 10;
+const BLOOM_PROBES: u32 = 7;
+
+/// What a run writer reports back: enough for manifests and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Entries written (live + tombstones).
+    pub entries: u64,
+    /// Tombstones among them.
+    pub tombstones: u64,
+    /// Total file size in bytes.
+    pub bytes: u64,
+}
+
+/// FNV-1a double-hashing bloom filter over namespaced keys.
+#[derive(Debug, Clone)]
+struct Bloom {
+    nbits: u64,
+    probes: u32,
+    bits: Vec<u8>,
+}
+
+fn fnv1a(table: &[u8], key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in table.iter().chain(std::iter::once(&0u8)).chain(key.iter()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Murmur3 finalizer. Raw FNV-1a output correlates across short keys that
+/// share a prefix (e.g. sequential big-endian integers), which inflated
+/// the bloom false-positive rate an order of magnitude; the finalizer's
+/// avalanche restores the expected ~1% at 10 bits/key.
+fn fmix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// The (h1, h2) pair driving double-hashed bloom probes. One pass over
+/// the bytes; h2 is forced odd so probes cycle the whole bit array.
+fn bloom_hashes(table: &[u8], key: &[u8]) -> (u64, u64) {
+    let h = fnv1a(table, key);
+    (fmix64(h), fmix64(h ^ 0x9E37_79B9_7F4A_7C15) | 1)
+}
+
+impl Bloom {
+    fn with_capacity(n: u64) -> Bloom {
+        let nbits = (n.saturating_mul(BLOOM_BITS_PER_KEY)).max(64);
+        let nbits = nbits.div_ceil(8) * 8;
+        Bloom {
+            nbits,
+            probes: BLOOM_PROBES,
+            bits: vec![0u8; (nbits / 8) as usize],
+        }
+    }
+
+    fn probe_bits(&self, table: &[u8], key: &[u8]) -> impl Iterator<Item = u64> + '_ {
+        let (h1, h2) = bloom_hashes(table, key);
+        (0..self.probes).map(move |i| h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.nbits)
+    }
+
+    fn may_contain(&self, table: &[u8], key: &[u8]) -> bool {
+        self.probe_bits(table, key)
+            .all(|bit| self.bits[(bit / 8) as usize] & (1 << (bit % 8)) != 0)
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.nbits);
+        codec::put_u32(out, self.probes);
+        out.extend_from_slice(&self.bits);
+    }
+
+    fn decode(buf: &[u8]) -> StorageResult<Bloom> {
+        let (nbits, a) = codec::get_u64(buf)?;
+        let (probes, b) = codec::get_u32(&buf[a..])?;
+        let want = usize::try_from(nbits / 8)
+            .map_err(|_| StorageError::Decode("bloom size overflow".into()))?;
+        let bits = buf
+            .get(a + b..a + b + want)
+            .ok_or_else(|| StorageError::Decode("truncated bloom filter".into()))?;
+        if nbits == 0 || nbits % 8 != 0 || probes == 0 {
+            return Err(StorageError::Decode("bad bloom geometry".into()));
+        }
+        Ok(Bloom {
+            nbits,
+            probes,
+            bits: bits.to_vec(),
+        })
+    }
+}
+
+/// Location and first key of one data block.
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    offset: u64,
+    len: u32,
+    crc: u32,
+    first: NsKey,
+}
+
+fn encode_entry(out: &mut Vec<u8>, (table, key): &NsKey, value: &Option<Vec<u8>>) {
+    match value {
+        Some(v) => {
+            out.push(TAG_LIVE);
+            codec::put_bytes(out, table.as_bytes());
+            codec::put_bytes(out, key);
+            codec::put_bytes(out, v);
+        }
+        None => {
+            out.push(TAG_TOMBSTONE);
+            codec::put_bytes(out, table.as_bytes());
+            codec::put_bytes(out, key);
+        }
+    }
+}
+
+/// Decode every entry of a (CRC-verified) data block.
+fn decode_block(block: &[u8]) -> StorageResult<Vec<(NsKey, Option<Vec<u8>>)>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < block.len() {
+        let tag = block[pos];
+        pos += 1;
+        let (table, n) = codec::get_bytes(&block[pos..])?;
+        pos += n;
+        let (key, n) = codec::get_bytes(&block[pos..])?;
+        pos += n;
+        let value = match tag {
+            TAG_LIVE => {
+                let (v, n) = codec::get_bytes(&block[pos..])?;
+                pos += n;
+                Some(v.to_vec())
+            }
+            TAG_TOMBSTONE => None,
+            other => {
+                return Err(StorageError::Corrupt {
+                    offset: pos as u64,
+                    reason: format!("unknown run entry tag {other}"),
+                })
+            }
+        };
+        let table = String::from_utf8(table.to_vec())
+            .map_err(|_| StorageError::Decode("non-utf8 table in run".into()))?;
+        out.push(((table, key.to_vec()), value));
+    }
+    Ok(out)
+}
+
+/// Write `entries` (already sorted ascending by `NsKey`, one version per
+/// key) as a tiered run at `path`. Streaming: memory use is bounded by one
+/// block plus the index/bloom, never by the data set. The iterator yields
+/// results so a compaction merge can propagate read errors from its inputs.
+pub fn write_run<I>(path: &Path, entries: I) -> StorageResult<RunSummary>
+where
+    I: IntoIterator<Item = StorageResult<(NsKey, Option<Vec<u8>>)>>,
+{
+    // Two passes over the data would defeat streaming, so the bloom is
+    // sized up front from a buffered key digest: collect the probe inputs
+    // (cheap: hashes only need table/key) while blocks stream out.
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut index: Vec<BlockMeta> = Vec::new();
+    let mut block = Vec::with_capacity(BLOCK_TARGET + 512);
+    let mut block_first: Option<NsKey> = None;
+    let mut offset = 0u64;
+    let mut entry_count = 0u64;
+    let mut tombstone_count = 0u64;
+    let mut hashed_keys: Vec<(u64, u64)> = Vec::new();
+
+    let flush_block = |w: &mut BufWriter<File>,
+                       block: &mut Vec<u8>,
+                       first: &mut Option<NsKey>,
+                       offset: &mut u64,
+                       index: &mut Vec<BlockMeta>|
+     -> StorageResult<()> {
+        if block.is_empty() {
+            return Ok(());
+        }
+        let meta = BlockMeta {
+            offset: *offset,
+            len: block.len() as u32,
+            crc: crc32::checksum(block),
+            first: first.take().expect("non-empty block has a first key"),
+        };
+        w.write_all(block)?;
+        *offset += block.len() as u64;
+        index.push(meta);
+        block.clear();
+        Ok(())
+    };
+
+    for item in entries {
+        let (nskey, value) = item?;
+        if block_first.is_none() {
+            block_first = Some(nskey.clone());
+        }
+        encode_entry(&mut block, &nskey, &value);
+        entry_count += 1;
+        if value.is_none() {
+            tombstone_count += 1;
+        }
+        let (table, key) = &nskey;
+        hashed_keys.push(bloom_hashes(table.as_bytes(), key));
+        if block.len() >= BLOCK_TARGET {
+            flush_block(
+                &mut w,
+                &mut block,
+                &mut block_first,
+                &mut offset,
+                &mut index,
+            )?;
+        }
+    }
+    flush_block(
+        &mut w,
+        &mut block,
+        &mut block_first,
+        &mut offset,
+        &mut index,
+    )?;
+
+    let mut bloom = Bloom::with_capacity(entry_count);
+    for (h1, h2) in hashed_keys {
+        for i in 0..bloom.probes {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % bloom.nbits;
+            bloom.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
+    }
+
+    let index_off = offset;
+    let mut tail = Vec::new();
+    codec::put_u32(&mut tail, index.len() as u32);
+    for meta in &index {
+        codec::put_u64(&mut tail, meta.offset);
+        codec::put_u32(&mut tail, meta.len);
+        codec::put_u32(&mut tail, meta.crc);
+        codec::put_bytes(&mut tail, meta.first.0.as_bytes());
+        codec::put_bytes(&mut tail, &meta.first.1);
+    }
+    let bloom_off = index_off + tail.len() as u64;
+    bloom.encode(&mut tail);
+    let tail_crc = crc32::checksum(&tail);
+    w.write_all(&tail)?;
+    let mut footer = Vec::with_capacity(RUN_FOOTER_LEN);
+    codec::put_u64(&mut footer, index_off);
+    codec::put_u64(&mut footer, bloom_off);
+    codec::put_u64(&mut footer, entry_count);
+    codec::put_u64(&mut footer, tombstone_count);
+    codec::put_u32(&mut footer, tail_crc);
+    codec::put_u32(&mut footer, RUN_MAGIC);
+    w.write_all(&footer)?;
+    w.flush()?;
+    w.get_ref().sync_data()?;
+    let bytes = offset + (tail.len() + RUN_FOOTER_LEN) as u64;
+    Ok(RunSummary {
+        entries: entry_count,
+        tombstones: tombstone_count,
+        bytes,
+    })
+}
+
+/// Positional read that leaves no shared cursor behind.
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(windows)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    let mut done = 0usize;
+    while done < buf.len() {
+        let n = file.seek_read(&mut buf[done..], offset + done as u64)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "short positional read",
+            ));
+        }
+        done += n;
+    }
+    Ok(())
+}
+
+#[cfg(not(any(unix, windows)))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::io::{Read as _, Seek, SeekFrom};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+/// Callback for [`Run::scan_range`]: borrowed key and value (`None` =
+/// tombstone).
+pub type ScanVisitor<'a> = dyn FnMut(&[u8], Option<&[u8]>) + 'a;
+
+/// Result of a point lookup inside one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunLookup {
+    /// The bloom filter proved the key absent; no block was read.
+    BloomSkip,
+    /// The filter passed but the key is not in the run (false positive).
+    Absent,
+    /// The run's newest version of the key is a deletion.
+    Tombstone,
+    /// The run's newest version of the key is this value.
+    Value(Vec<u8>),
+}
+
+/// An open, immutable tiered run. Cheap to open (index + bloom only) and
+/// safe to share across threads: all reads are positional.
+#[derive(Debug)]
+pub struct Run {
+    file: File,
+    index: Vec<BlockMeta>,
+    bloom: Bloom,
+    entries: u64,
+    tombstones: u64,
+    bytes: u64,
+}
+
+impl Run {
+    /// Open a run file, verifying footer magic and the index/bloom CRC.
+    /// Data blocks are verified lazily, on first read.
+    pub fn open(path: &Path) -> StorageResult<Run> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < RUN_FOOTER_LEN as u64 {
+            return Err(StorageError::corrupt(0, "run shorter than footer"));
+        }
+        use std::io::{Seek, SeekFrom};
+        file.seek(SeekFrom::End(-(RUN_FOOTER_LEN as i64)))?;
+        let mut footer = [0u8; RUN_FOOTER_LEN];
+        file.read_exact(&mut footer)?;
+        let (index_off, _) = codec::get_u64(&footer)?;
+        let (bloom_off, _) = codec::get_u64(&footer[8..])?;
+        let (entries, _) = codec::get_u64(&footer[16..])?;
+        let (tombstones, _) = codec::get_u64(&footer[24..])?;
+        let (tail_crc, _) = codec::get_u32(&footer[32..])?;
+        let (magic, _) = codec::get_u32(&footer[36..])?;
+        if magic != RUN_MAGIC {
+            return Err(StorageError::corrupt(
+                len - 4,
+                format!("bad run magic {magic:#x}"),
+            ));
+        }
+        let tail_len = len - RUN_FOOTER_LEN as u64;
+        if index_off > bloom_off || bloom_off > tail_len {
+            return Err(StorageError::corrupt(
+                len - 40,
+                "run footer offsets out of range",
+            ));
+        }
+        let mut tail = vec![0u8; (tail_len - index_off) as usize];
+        read_exact_at(&file, &mut tail, index_off)?;
+        if crc32::checksum(&tail) != tail_crc {
+            return Err(StorageError::corrupt(
+                index_off,
+                "run index/bloom CRC mismatch",
+            ));
+        }
+        let mut pos = 0usize;
+        let (block_count, n) = codec::get_u32(&tail)?;
+        pos += n;
+        let mut index = Vec::with_capacity(block_count as usize);
+        for _ in 0..block_count {
+            let (offset, n) = codec::get_u64(&tail[pos..])?;
+            pos += n;
+            let (blen, n) = codec::get_u32(&tail[pos..])?;
+            pos += n;
+            let (crc, n) = codec::get_u32(&tail[pos..])?;
+            pos += n;
+            let (table, n) = codec::get_bytes(&tail[pos..])?;
+            pos += n;
+            let (key, n) = codec::get_bytes(&tail[pos..])?;
+            pos += n;
+            if offset + u64::from(blen) > index_off {
+                return Err(StorageError::corrupt(offset, "run block overlaps index"));
+            }
+            index.push(BlockMeta {
+                offset,
+                len: blen,
+                crc,
+                first: (
+                    String::from_utf8(table.to_vec())
+                        .map_err(|_| StorageError::Decode("non-utf8 table in run index".into()))?,
+                    key.to_vec(),
+                ),
+            });
+        }
+        if pos != (bloom_off - index_off) as usize {
+            return Err(StorageError::corrupt(
+                index_off,
+                "run index length mismatch",
+            ));
+        }
+        let bloom = Bloom::decode(&tail[pos..])?;
+        Ok(Run {
+            file,
+            index,
+            bloom,
+            entries,
+            tombstones,
+            bytes: len,
+        })
+    }
+
+    /// Entries recorded in the footer (live + tombstones).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Tombstones recorded in the footer.
+    pub fn tombstones(&self) -> u64 {
+        self.tombstones
+    }
+
+    /// Total file size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn read_block(&self, meta: &BlockMeta) -> StorageResult<Vec<(NsKey, Option<Vec<u8>>)>> {
+        let mut buf = vec![0u8; meta.len as usize];
+        read_exact_at(&self.file, &mut buf, meta.offset)?;
+        if crc32::checksum(&buf) != meta.crc {
+            return Err(StorageError::corrupt(
+                meta.offset,
+                "run data block CRC mismatch",
+            ));
+        }
+        decode_block(&buf)
+    }
+
+    /// Index of the block that could contain `target`: the last block whose
+    /// first key is `<= target`, or `None` when `target` sorts before all.
+    fn block_for(&self, target: &NsKey) -> Option<usize> {
+        match self.index.binary_search_by(|m| m.first.cmp(target)) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Point lookup: bloom check, index binary search, at most one block
+    /// read.
+    pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<RunLookup> {
+        if !self.bloom.may_contain(table.as_bytes(), key) {
+            return Ok(RunLookup::BloomSkip);
+        }
+        let target: NsKey = (table.to_string(), key.to_vec());
+        let Some(bi) = self.block_for(&target) else {
+            return Ok(RunLookup::Absent);
+        };
+        let block = self.read_block(&self.index[bi])?;
+        match block.binary_search_by(|(k, _)| k.cmp(&target)) {
+            Ok(i) => Ok(match &block[i].1 {
+                Some(v) => RunLookup::Value(v.clone()),
+                None => RunLookup::Tombstone,
+            }),
+            Err(_) => Ok(RunLookup::Absent),
+        }
+    }
+
+    /// Visit every entry of `table` with key in `[start, end)` (`end =
+    /// None` meaning unbounded), including tombstones, in key order. The
+    /// callback borrows from the block buffer so callers copy only what
+    /// they keep — `count` copies nothing.
+    pub fn scan_range(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+        f: &mut ScanVisitor<'_>,
+    ) -> StorageResult<()> {
+        if matches!(end, Some(e) if e <= start) {
+            return Ok(());
+        }
+        let lo: NsKey = (table.to_string(), start.to_vec());
+        let first_block = self.block_for(&lo).unwrap_or(0);
+        for meta in &self.index[first_block..] {
+            // Stop once a block starts past the upper bound.
+            let (bt, bk) = &meta.first;
+            if bt.as_str() > table || (bt == table && end.is_some_and(|e| bk.as_slice() >= e)) {
+                break;
+            }
+            for ((t, k), v) in self.read_block(meta)? {
+                if t.as_str() < table || (t == table && k.as_slice() < start) {
+                    continue;
+                }
+                if t.as_str() > table || (t == table && end.is_some_and(|e| k.as_slice() >= e)) {
+                    return Ok(());
+                }
+                f(&k, v.as_deref());
+            }
+        }
+        Ok(())
+    }
+
+    /// Streaming iterator over every entry, block at a time.
+    pub fn iter(&self) -> RunIter<'_> {
+        RunIter {
+            run: self,
+            next_block: 0,
+            buffered: Vec::new(),
+            pos: 0,
+            failed: false,
+        }
+    }
+}
+
+/// Streaming iterator over a run's entries; memory bounded by one block.
+#[derive(Debug)]
+pub struct RunIter<'a> {
+    run: &'a Run,
+    next_block: usize,
+    buffered: Vec<(NsKey, Option<Vec<u8>>)>,
+    pos: usize,
+    failed: bool,
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = StorageResult<(NsKey, Option<Vec<u8>>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        while self.pos >= self.buffered.len() {
+            if self.next_block >= self.run.index.len() {
+                return None;
+            }
+            match self.run.read_block(&self.run.index[self.next_block]) {
+                Ok(block) => {
+                    self.next_block += 1;
+                    self.buffered = block;
+                    self.pos = 0;
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        let item = self.buffered[self.pos].clone();
+        self.pos += 1;
+        Some(Ok(item))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +780,161 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..5]).unwrap();
         assert!(read_snapshot(&path).is_err());
+    }
+
+    // -- tiered runs --------------------------------------------------------
+
+    fn write_sample_run(path: &Path, n: u32) -> RunSummary {
+        let entries = (0..n).map(|i| {
+            let key = format!("k{i:06}").into_bytes();
+            let value = if i % 7 == 3 {
+                None // tombstone
+            } else {
+                Some(format!("value-{i}").into_bytes())
+            };
+            Ok((("records".to_string(), key), value))
+        });
+        write_run(path, entries).unwrap()
+    }
+
+    #[test]
+    fn run_roundtrips_point_lookups_and_iteration() {
+        let path = tmpfile("run-roundtrip");
+        let summary = write_sample_run(&path, 2000);
+        assert_eq!(summary.entries, 2000);
+        assert_eq!(
+            summary.tombstones,
+            (0..2000).filter(|i| i % 7 == 3).count() as u64
+        );
+
+        let run = Run::open(&path).unwrap();
+        assert_eq!(run.entries(), summary.entries);
+        assert_eq!(run.tombstones(), summary.tombstones);
+        assert!(run.index.len() > 1, "2000 entries must span several blocks");
+
+        assert_eq!(
+            run.get("records", b"k000000").unwrap(),
+            RunLookup::Value(b"value-0".to_vec())
+        );
+        assert_eq!(
+            run.get("records", b"k000003").unwrap(),
+            RunLookup::Tombstone
+        );
+        // Keys in other tables or outside the range miss, mostly via bloom.
+        assert!(matches!(
+            run.get("records", b"zzz").unwrap(),
+            RunLookup::BloomSkip | RunLookup::Absent
+        ));
+        assert!(matches!(
+            run.get("other", b"k000000").unwrap(),
+            RunLookup::BloomSkip | RunLookup::Absent
+        ));
+
+        let all: Vec<_> = run.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(all.len(), 2000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "iter is ordered");
+    }
+
+    #[test]
+    fn run_scan_range_respects_bounds_and_tombstones() {
+        let path = tmpfile("run-scan");
+        write_sample_run(&path, 500);
+        let run = Run::open(&path).unwrap();
+        let mut got = Vec::new();
+        run.scan_range("records", b"k000100", Some(b"k000110"), &mut |k, v| {
+            got.push((k.to_vec(), v.map(|x| x.to_vec())));
+        })
+        .unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, b"k000100".to_vec());
+        assert!(got.iter().any(|(_, v)| v.is_none()), "tombstones included");
+        // Inverted and empty ranges.
+        let mut none = 0;
+        run.scan_range("records", b"k000110", Some(b"k000100"), &mut |_, _| {
+            none += 1
+        })
+        .unwrap();
+        run.scan_range("absent", b"", None, &mut |_, _| none += 1)
+            .unwrap();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn run_bloom_skips_most_absent_keys() {
+        let path = tmpfile("run-bloom");
+        write_sample_run(&path, 1000);
+        let run = Run::open(&path).unwrap();
+        let skipped = (0..1000)
+            .filter(|i| {
+                matches!(
+                    run.get("records", format!("absent-{i}").as_bytes())
+                        .unwrap(),
+                    RunLookup::BloomSkip
+                )
+            })
+            .count();
+        assert!(
+            skipped > 950,
+            "bloom skipped only {skipped}/1000 absent keys"
+        );
+    }
+
+    #[test]
+    fn run_detects_corrupt_data_block_lazily() {
+        let path = tmpfile("run-blockcrc");
+        write_sample_run(&path, 300);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x40; // inside the first data block
+        std::fs::write(&path, &bytes).unwrap();
+        let run = Run::open(&path).expect("index/bloom untouched, open succeeds");
+        assert!(matches!(
+            run.get("records", b"k000000"),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn run_open_rejects_corrupt_tail_or_truncation() {
+        let path = tmpfile("run-tail");
+        write_sample_run(&path, 300);
+        let good = std::fs::read(&path).unwrap();
+        // Flip a byte in the index/bloom region.
+        let mut bad = good.clone();
+        let at = bad.len() - RUN_FOOTER_LEN - 8;
+        bad[at] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Run::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // Truncate below the footer.
+        std::fs::write(&path, &good[..RUN_FOOTER_LEN - 1]).unwrap();
+        assert!(Run::open(&path).is_err());
+        // Wrong magic.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Run::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_run_roundtrips() {
+        let path = tmpfile("run-empty");
+        let summary = write_run(
+            &path,
+            std::iter::empty::<StorageResult<(NsKey, Option<Vec<u8>>)>>(),
+        )
+        .unwrap();
+        assert_eq!(summary.entries, 0);
+        let run = Run::open(&path).unwrap();
+        assert_eq!(run.iter().count(), 0);
+        assert!(matches!(
+            run.get("t", b"k").unwrap(),
+            RunLookup::BloomSkip | RunLookup::Absent
+        ));
     }
 }

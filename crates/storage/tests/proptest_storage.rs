@@ -246,58 +246,116 @@ proptest! {
 /// Non-property regression tests that belong with the recovery suite.
 mod recovery_edge_cases {
     use preserva_storage::engine::{Engine, EngineOptions};
+    use preserva_storage::manifest;
+    use preserva_storage::CompactionOptions;
 
-    #[test]
-    fn corrupt_newest_snapshot_falls_back_to_older() {
-        let dir = super::tmpdir("snapfall");
-        {
-            let e = Engine::open(&dir, EngineOptions::default()).unwrap();
-            e.put("t", b"gen1", b"v1").unwrap();
-            e.checkpoint().unwrap(); // snap-1
-            e.put("t", b"gen2", b"v2").unwrap();
-            e.checkpoint().unwrap(); // snap-2 (snap-1 removed)
-            e.put("t", b"gen3", b"v3").unwrap();
-            e.checkpoint().unwrap(); // snap-3 (snap-2 removed)
+    fn keep_all_runs() -> EngineOptions {
+        EngineOptions {
+            compaction: CompactionOptions {
+                background: false,
+                max_runs_per_level: 100,
+            },
+            ..EngineOptions::default()
         }
-        // Corrupt the newest snapshot, simulating a torn checkpoint write.
-        let newest = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.extension().map(|x| x == "sst").unwrap_or(false))
-            .max()
-            .expect("a snapshot exists");
-        let mut bytes = std::fs::read(&newest).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xFF;
-        std::fs::write(&newest, &bytes).unwrap();
+    }
 
-        // Recovery must not fail outright: with no older snapshot on disk
-        // (each checkpoint removes its predecessor) the engine opens empty
-        // rather than refusing to start — degraded, but available. This
-        // pins the documented best-effort behaviour.
-        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
-        assert_eq!(e.stats().recovered_from_snapshot, 0);
-        // The engine is usable for new writes.
+    /// Regression: the old engine *skipped* an unreadable newest snapshot
+    /// but left the corrupt file on disk forever. The tiered engine must
+    /// drop an unreadable run from the catalog AND delete the file, while
+    /// serving everything the remaining runs hold.
+    #[test]
+    fn corrupt_newest_run_is_dropped_and_deleted() {
+        let dir = super::tmpdir("runfall");
+        {
+            let e = Engine::open(&dir, keep_all_runs()).unwrap();
+            e.put("t", b"gen1", b"v1").unwrap();
+            e.checkpoint().unwrap(); // run 1
+            e.put("t", b"gen2", b"v2").unwrap();
+            e.checkpoint().unwrap(); // run 2
+            e.put("t", b"gen3", b"v3").unwrap();
+            e.checkpoint().unwrap(); // run 3
+        }
+        // Corrupt the newest run's tail (index + footer region), making
+        // the whole file unreadable — a torn flush the manifest already
+        // committed.
+        let newest = manifest::run_path(&dir, 3);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() - 10]).unwrap();
+
+        // Recovery must not fail outright: the two readable runs are
+        // served (degraded, but available) and the corrupt file is gone.
+        let e = Engine::open(&dir, keep_all_runs()).unwrap();
+        assert_eq!(e.get("t", b"gen1").unwrap().as_deref(), Some(&b"v1"[..]));
+        assert_eq!(e.get("t", b"gen2").unwrap().as_deref(), Some(&b"v2"[..]));
+        assert_eq!(e.get("t", b"gen3").unwrap(), None);
+        assert_eq!(e.stats().recovered_from_snapshot, 2);
+        assert!(
+            !newest.exists(),
+            "unreadable run must be deleted, not skipped silently"
+        );
+        // The engine is usable for new writes, and a fresh run id never
+        // collides with the one just deleted: within the open that saw
+        // run 3 in the catalog, ids stay monotonic.
         e.put("t", b"after", b"ok").unwrap();
-        assert_eq!(e.get("t", b"after").unwrap().as_deref(), Some(&b"ok"[..]));
+        assert!(e.checkpoint().unwrap() > 3);
+        // The manifest was repaired to match: another reopen is clean.
+        drop(e);
+        let e = Engine::open(&dir, keep_all_runs()).unwrap();
+        assert_eq!(e.count("t").unwrap(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Regression: a legacy directory whose newest snap file is garbage
+    /// (torn checkpoint) must migrate from the older readable snap — and
+    /// every snap file, readable or not, must be cleaned up afterwards.
+    /// The old engine left both on disk.
     #[test]
-    fn older_snapshot_used_when_newest_unreadable_and_older_present() {
+    fn legacy_migration_uses_newest_readable_snap_and_cleans_up() {
         let dir = super::tmpdir("snapfall2");
-        {
-            let e = Engine::open(&dir, EngineOptions::default()).unwrap();
-            e.put("t", b"a", b"1").unwrap();
-            e.checkpoint().unwrap(); // snap-1
-        }
-        // Hand-write a bogus "newer" snapshot file next to the good one.
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(("t".to_string(), b"a".to_vec()), Some(b"1".to_vec()));
+        preserva_storage::sstable::write_snapshot(
+            &dir.join("snap-0000000000000001.sst"),
+            map.iter(),
+        )
+        .unwrap();
+        // A bogus "newer" snapshot next to the good one.
         std::fs::write(dir.join("snap-0000000000000002.sst"), b"garbage").unwrap();
         let e = Engine::open(&dir, EngineOptions::default()).unwrap();
-        // The good snap-1 is used.
+        // The good snap-1 was migrated into a run.
         assert_eq!(e.get("t", b"a").unwrap().as_deref(), Some(&b"1"[..]));
         assert_eq!(e.stats().recovered_from_snapshot, 1);
+        for leftover in ["snap-0000000000000001.sst", "snap-0000000000000002.sst"] {
+            assert!(
+                !dir.join(leftover).exists(),
+                "{leftover} must be removed after migration"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a checkpoint that crashed after writing its run but
+    /// before committing the manifest used to leave the half-flush on
+    /// disk forever. Open must remove both orphan runs and temp files.
+    #[test]
+    fn interrupted_flush_leftovers_are_removed_on_open() {
+        let dir = super::tmpdir("flushcrash");
+        {
+            let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+            e.put("t", b"live", b"v").unwrap();
+            e.checkpoint().unwrap();
+        }
+        // Orphan run: renamed into place but never committed to the
+        // manifest. Temp file: a flush that died mid-write.
+        std::fs::write(manifest::run_path(&dir, 42), b"orphan").unwrap();
+        std::fs::write(dir.join("run-0000000000000043.tmp"), b"half").unwrap();
+        std::fs::write(dir.join("MANIFEST.tmp"), b"half").unwrap();
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.get("t", b"live").unwrap().as_deref(), Some(&b"v"[..]));
+        assert!(!manifest::run_path(&dir, 42).exists());
+        assert!(!dir.join("run-0000000000000043.tmp").exists());
+        assert!(!dir.join("MANIFEST.tmp").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 }
