@@ -9,10 +9,15 @@
 //!
 //! Invariants the planner and merge preserve:
 //!
-//! * **Precedence = run id.** Ids are assigned monotonically, so among
-//!   runs holding the same key the highest id has the newest version.
-//!   The merge feeds inputs newest-first and emits the first version it
-//!   sees of each key.
+//! * **Precedence = (level asc, id desc).** A level-1 run always holds
+//!   newer versions than any deeper run — flushes are the only source of
+//!   level-1 runs and a compaction output (level ≥ 2) only contains data
+//!   older than every surviving flush. Within a level ids are monotonic
+//!   recency (flushes serialize; a level ≥ 2 holds at most one run). Id
+//!   alone is *not* a recency order: a compaction can be allocated a
+//!   higher output id than a concurrently flushed run holding newer
+//!   data. The merge feeds inputs in precedence order and emits the
+//!   first version it sees of each key.
 //! * **Tombstone safety.** A tombstone may only be dropped when every
 //!   older version of its key is part of the same merge. That is exactly
 //!   the "no deeper level remains" condition.
@@ -48,12 +53,20 @@ impl Default for CompactionOptions {
 /// One unit of compaction work, decided by [`plan`] or [`full`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Task {
-    /// Ids of the input runs, newest (highest id) first.
+    /// Ids of the input runs, newest data first — `(level asc, id desc)`
+    /// order, which is the engine's read precedence.
     pub inputs: Vec<u64>,
     /// Level the merged output lands at.
     pub output_level: u32,
     /// Fold tombstones out (only legal at the bottom level).
     pub drop_tombstones: bool,
+}
+
+/// Sort `(level, id)` pairs into read-precedence order — level ascending,
+/// id descending within a level — and strip them down to ids.
+fn precedence_order(mut runs: Vec<(u32, u64)>) -> Vec<u64> {
+    runs.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    runs.into_iter().map(|(_, id)| id).collect()
 }
 
 /// Decide the next compaction for `view`, or `None` when every level is
@@ -68,12 +81,12 @@ pub fn plan(view: &[RunEntry], max_runs_per_level: usize) -> Option<Task> {
             continue;
         }
         let output_level = level + 1;
-        let mut inputs: Vec<u64> = view
-            .iter()
-            .filter(|e| e.level == level || e.level == output_level)
-            .map(|e| e.id)
-            .collect();
-        inputs.sort_unstable_by(|a, b| b.cmp(a));
+        let inputs = precedence_order(
+            view.iter()
+                .filter(|e| e.level == level || e.level == output_level)
+                .map(|e| (e.level, e.id))
+                .collect(),
+        );
         let drop_tombstones = !view.iter().any(|e| e.level > output_level);
         return Some(Task {
             inputs,
@@ -91,8 +104,7 @@ pub fn full(view: &[RunEntry], tombstones_in_single_run: u64) -> Option<Task> {
     if view.is_empty() || (view.len() == 1 && tombstones_in_single_run == 0) {
         return None;
     }
-    let mut inputs: Vec<u64> = view.iter().map(|e| e.id).collect();
-    inputs.sort_unstable_by(|a, b| b.cmp(a));
+    let inputs = precedence_order(view.iter().map(|e| (e.level, e.id)).collect());
     let output_level = view.iter().map(|e| e.level).max().unwrap_or(1).max(2);
     Some(Task {
         inputs,
@@ -216,6 +228,24 @@ mod tests {
     }
 
     #[test]
+    fn inputs_are_level_major_even_when_ids_invert() {
+        // The flush/compaction race can hand a compaction output (old
+        // data, level 2) a *higher* id than a newer level-1 flush run.
+        // Precedence must follow the level, not the id, or the merge
+        // would let stale versions win.
+        let view = vec![
+            entry(1, 10), // newer flush, lower id
+            entry(1, 12),
+            entry(2, 11), // stale compaction output, higher id
+        ];
+        let task = plan(&view, 1).unwrap();
+        assert_eq!(task.inputs, vec![12, 10, 11], "level 1 before level 2");
+
+        let task = full(&view, 0).unwrap();
+        assert_eq!(task.inputs, vec![12, 10, 11]);
+    }
+
+    #[test]
     fn full_compaction_covers_everything_or_nothing() {
         assert_eq!(full(&[], 0), None);
         assert_eq!(full(&[entry(2, 1)], 0), None, "single clean run is a no-op");
@@ -242,6 +272,8 @@ mod tests {
         let path = dir.join(name);
         write_run(
             &path,
+            1,
+            rows.len() as u64,
             rows.iter().map(|(k, v)| {
                 Ok((
                     ("t".to_string(), k.as_bytes().to_vec()),

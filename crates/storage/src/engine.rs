@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! <dir>/wal.log          -- active write-ahead log
+//! <dir>/wal.frozen       -- WAL segment of an in-flight flush (transient)
 //! <dir>/run-<id>.sst     -- immutable sorted runs (tiered store)
 //! <dir>/MANIFEST         -- crash-safe catalog: which runs, at which level
 //! <dir>/snap-<id>.sst    -- legacy single-snapshot files; migrated on open
@@ -14,31 +15,39 @@
 //! ## Write path
 //!
 //! Commits append CRC-framed operations plus a `Commit` frame to the WAL,
-//! then apply to the memtable. A checkpoint ("flush") writes *only the
-//! memtable* into a fresh level-1 run — O(memtable), never O(total data)
-//! — commits it to the manifest, and resets the WAL. Compaction merges
-//! runs level by level in the background, folding tombstones once a merge
-//! reaches the bottom of the tree.
+//! then apply to the memtable. A checkpoint ("flush") briefly takes the
+//! WAL lock to freeze the memtable and rotate the live log to
+//! `wal.frozen`, then — with commits already flowing again — writes the
+//! frozen memtable into a fresh level-1 run (O(memtable), never O(total
+//! data)), commits it to the manifest, and deletes the frozen segment.
+//! Compaction merges runs level by level in the background, folding
+//! tombstones once a merge reaches the bottom of the tree.
 //!
 //! ## Read path
 //!
-//! Reads merge memtable → runs newest-to-oldest. Point gets consult each
-//! run's bloom filter and block index, touching at most one data block per
-//! run. Reads take no global lock: the memtable sits behind a `RwLock` and
-//! the run set is an immutable `Arc` snapshot swapped atomically, so reads
-//! proceed concurrently with writers and with compaction.
+//! Reads merge memtable → frozen memtable (when a flush is in flight) →
+//! runs in `(level asc, id desc)` order — level 1 always holds the
+//! newest versions, ids order runs within a level. Point gets consult
+//! each run's bloom filter and block index, touching at most one data
+//! block per run. Reads take no global lock: the memtables sit behind
+//! `RwLock`s and the run set is an immutable `Arc` snapshot swapped
+//! atomically, so reads proceed concurrently with writers, flushes and
+//! compaction.
 //!
 //! ## Recovery
 //!
 //! On open the engine sweeps temp files, loads the manifest (falling back
-//! to a directory scan ordered by run id when the manifest is missing or
-//! corrupt — safe because ids are monotonic), deletes unreadable or
-//! orphaned runs, migrates any legacy `snap-*.sst` into run form, and
-//! replays the committed WAL suffix. Only operations covered by a `Commit`
-//! frame are applied — a crash between `append` and `Commit` rolls the
-//! partial transaction back, which is exactly the behaviour the curation
-//! layer relies on for its "original records are never half-updated"
-//! guarantee.
+//! to a directory scan when the manifest is missing or corrupt — safe
+//! because every run's footer records its level, so the fallback rebuilds
+//! the same `(level asc, id desc)` precedence), deletes corrupt or
+//! orphaned runs (plain I/O errors fail the open instead — a transient
+//! failure must not become permanent data loss), migrates any legacy
+//! `snap-*.sst` into run form, and replays the committed WAL suffix —
+//! `wal.frozen` first when a flush died mid-way, then the live log, the
+//! two folded back into one. Only operations covered by a `Commit` frame
+//! are applied — a crash between `append` and `Commit` rolls the partial
+//! transaction back, which is exactly the behaviour the curation layer
+//! relies on for its "original records are never half-updated" guarantee.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -167,7 +176,7 @@ impl StorageMetrics {
             ),
             checkpoint_seconds: reg.latency_histogram(
                 "preserva_storage_checkpoint_seconds",
-                "Latency of memtable flushes (run write + manifest + WAL reset).",
+                "Latency of memtable flushes (run write + manifest + WAL segment retire).",
             ),
             compaction_seconds: reg.latency_histogram(
                 "preserva_storage_compaction_seconds",
@@ -216,6 +225,10 @@ pub struct EngineStats {
     pub torn_tail_discarded: bool,
 }
 
+/// WAL segment holding the frozen memtable's transactions while a flush
+/// is in flight; deleted once the flush commits.
+const WAL_FROZEN_FILE: &str = "wal.frozen";
+
 /// One committed, immutable run plus its placement in the tree.
 #[derive(Debug)]
 struct RunHandle {
@@ -224,9 +237,10 @@ struct RunHandle {
     run: Run,
 }
 
-/// Immutable snapshot of the run set, newest (highest id) first. Readers
-/// clone the `Arc` and keep serving even while flushes and compactions
-/// swap the view underneath them.
+/// Immutable snapshot of the run set in read-precedence order —
+/// `(level asc, id desc)`, newest data first. Readers clone the `Arc`
+/// and keep serving even while flushes and compactions swap the view
+/// underneath them.
 type RunView = Arc<Vec<Arc<RunHandle>>>;
 
 struct Core {
@@ -234,11 +248,18 @@ struct Core {
     options: EngineOptions,
     obs: Arc<Registry>,
     metrics: StorageMetrics,
-    /// Writer serialization: WAL appends, syncs and resets.
+    /// Writer serialization: WAL appends, syncs and rotations.
     wal: Mutex<Wal>,
     /// The mutable write buffer. Readers share; commits and flush swaps
     /// take it exclusively.
     mem: RwLock<Memtable>,
+    /// Memtable frozen by an in-flight flush: still consulted by reads
+    /// (after `mem`, before `runs`) until its run commits. `Some` only
+    /// while a flush is running or after one failed (retried by the next
+    /// checkpoint).
+    frozen: RwLock<Option<Arc<Memtable>>>,
+    /// At most one flush at a time; taken before the WAL lock.
+    flush_lock: Mutex<()>,
     /// The committed run set. Swapped, never mutated in place.
     runs: RwLock<RunView>,
     /// Serializes manifest writes together with their view swaps, so a
@@ -295,6 +316,50 @@ fn run_tmp_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("run-{id:016}.tmp"))
 }
 
+/// Apply one WAL segment's committed transactions to `memtable`.
+///
+/// Operations become visible only when their `Commit` frame is reached;
+/// uncommitted trailing operations are dropped — that is the atomicity
+/// guarantee. Legacy `Checkpoint` frames clear the memtable when their
+/// snapshot was migrated (see the legacy migration in [`Engine::open`]).
+/// Returns `(operations applied, highest txid seen)`.
+fn apply_committed(
+    records: Vec<WalRecord>,
+    memtable: &mut Memtable,
+    legacy_snapshot_id: u64,
+) -> (u64, u64) {
+    let mut pending: Vec<WalRecord> = Vec::new();
+    let mut max_txid = 0u64;
+    let mut ops = 0u64;
+    for rec in records {
+        match rec {
+            WalRecord::Commit { txid } => {
+                max_txid = max_txid.max(txid);
+                for p in pending.drain(..) {
+                    ops += 1;
+                    match p {
+                        WalRecord::Put { table, key, value } => memtable.put(&table, &key, value),
+                        WalRecord::Delete { table, key } => memtable.delete(&table, &key),
+                        _ => unreachable!("only puts/deletes are pending"),
+                    }
+                }
+            }
+            WalRecord::Checkpoint { snapshot_id: sid } => {
+                // A legacy checkpoint frame inside a live WAL means the
+                // old engine's reset() didn't complete; operations before
+                // it are captured by snapshot `sid` iff that is the
+                // snapshot we migrated.
+                if sid <= legacy_snapshot_id {
+                    memtable.clear();
+                }
+                pending.clear();
+            }
+            op => pending.push(op),
+        }
+    }
+    (ops, max_txid)
+}
+
 impl Core {
     fn view(&self) -> RunView {
         self.runs.read().expect("engine poisoned").clone()
@@ -340,8 +405,21 @@ impl Core {
                 return Ok(hit);
             }
         }
-        // Then runs, newest to oldest. Reading the view *after* the
-        // memtable is safe: a flush that races us only moves data from the
+        // Then the frozen memtable, if a flush is in flight. Data moves
+        // active → frozen → runs and we probe in that same order, so a
+        // version can never slip past us mid-flush.
+        let frozen = self.frozen.read().expect("engine poisoned").clone();
+        if let Some(frozen) = frozen {
+            if let Some(hit) = frozen.get(table, key) {
+                let hit = hit.map(|v| v.to_vec());
+                if let Some(v) = &hit {
+                    self.metrics.value_bytes_read.add(v.len() as u64);
+                }
+                return Ok(hit);
+            }
+        }
+        // Then runs in precedence order, newest data first. Reading the
+        // view last is safe: a flush that races us only moves data from a
         // memtable into a run we are about to consult.
         for handle in self.view().iter() {
             match handle.run.get(table, key)? {
@@ -372,15 +450,28 @@ impl Core {
         end: Option<&[u8]>,
     ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
         self.metrics.scans.inc();
-        // Capture the memtable before the run view (see `get`): the flush
-        // swap publishes the run and clears the memtable atomically, so
-        // this order can duplicate an entry but never lose one.
+        // Capture layers in freshness order — active, then frozen, then
+        // the run view (see `get`): data only ever moves active → frozen
+        // → runs, so this order can duplicate an entry but never lose
+        // one; newer layers are applied last and overwrite.
         let mem_rows: Vec<(Vec<u8>, Option<Vec<u8>>)> = {
             let mem = self.mem.read().expect("engine poisoned");
             mem.range(table, start, end)
                 .map(|(k, v)| (k.to_vec(), v.map(|x| x.to_vec())))
                 .collect()
         };
+        let frozen_rows: Vec<(Vec<u8>, Option<Vec<u8>>)> = self
+            .frozen
+            .read()
+            .expect("engine poisoned")
+            .clone()
+            .map(|frozen| {
+                frozen
+                    .range(table, start, end)
+                    .map(|(k, v)| (k.to_vec(), v.map(|x| x.to_vec())))
+                    .collect()
+            })
+            .unwrap_or_default();
         let view = self.view();
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         for handle in view.iter().rev() {
@@ -388,6 +479,9 @@ impl Core {
             handle.run.scan_range(table, start, end, &mut |k, v| {
                 merged.insert(k.to_vec(), v.map(|x| x.to_vec()));
             })?;
+        }
+        for (k, v) in frozen_rows {
+            merged.insert(k, v);
         }
         for (k, v) in mem_rows {
             merged.insert(k, v);
@@ -410,6 +504,18 @@ impl Core {
                 .map(|(k, v)| (k.to_vec(), v.is_some()))
                 .collect()
         };
+        let frozen_rows: Vec<(Vec<u8>, bool)> = self
+            .frozen
+            .read()
+            .expect("engine poisoned")
+            .clone()
+            .map(|frozen| {
+                frozen
+                    .range(table, b"", None)
+                    .map(|(k, v)| (k.to_vec(), v.is_some()))
+                    .collect()
+            })
+            .unwrap_or_default();
         let view = self.view();
         // live[key] = is the newest version of `key` a value (vs tombstone)?
         // Keys are copied; value bytes never are — the regression test
@@ -419,6 +525,9 @@ impl Core {
             handle.run.scan_range(table, b"", None, &mut |k, v| {
                 live.insert(k.to_vec(), v.is_some());
             })?;
+        }
+        for (k, alive) in frozen_rows {
+            live.insert(k, alive);
         }
         for (k, alive) in mem_rows {
             live.insert(k, alive);
@@ -431,6 +540,13 @@ impl Core {
             let mem = self.mem.read().expect("engine poisoned");
             mem.iter().map(|(k, v)| (k.clone(), v.is_some())).collect()
         };
+        let frozen_rows: Vec<(NsKey, bool)> = self
+            .frozen
+            .read()
+            .expect("engine poisoned")
+            .clone()
+            .map(|frozen| frozen.iter().map(|(k, v)| (k.clone(), v.is_some())).collect())
+            .unwrap_or_default();
         let view = self.view();
         let mut live: BTreeMap<NsKey, bool> = BTreeMap::new();
         for handle in view.iter().rev() {
@@ -438,6 +554,9 @@ impl Core {
                 let (k, v) = item?;
                 live.insert(k, v.is_some());
             }
+        }
+        for (k, alive) in frozen_rows {
+            live.insert(k, alive);
         }
         for (k, alive) in mem_rows {
             live.insert(k, alive);
@@ -505,30 +624,59 @@ impl Core {
         Ok(())
     }
 
-    /// Flush the memtable into a fresh level-1 run and reset the WAL.
+    /// Flush the memtable into a fresh level-1 run.
     ///
     /// Cost is O(memtable): the rest of the data set is never touched.
-    /// Returns the new run's id, or 0 when the memtable was empty and
-    /// nothing was written.
+    /// The WAL lock is held only long enough to freeze the memtable and
+    /// rotate the live log to `wal.frozen`; the run is written with
+    /// commits already flowing into a fresh memtable, so concurrent
+    /// writers see no latency cliff. Returns the new run's id, or 0 when
+    /// there was nothing to flush.
     ///
-    /// Crash ordering: run file durable → manifest durable → WAL reset.
-    /// A crash before the manifest leaves an orphan run (cleaned up on
-    /// open) with all data still in the WAL; a crash before the reset
-    /// replays the WAL over the run, which is idempotent.
+    /// Crash ordering: run file durable → manifest durable → frozen WAL
+    /// segment deleted. A crash before the manifest leaves an orphan run
+    /// (cleaned up on open) with all its data still in `wal.frozen`; a
+    /// crash before the segment delete replays the segment over the run,
+    /// which is idempotent.
     fn checkpoint(&self) -> StorageResult<u64> {
-        let started = Instant::now();
-        let mut wal = self.wal.lock().expect("engine poisoned");
-        let entries = {
-            let mem = self.mem.read().expect("engine poisoned");
+        let _flush = self.flush_lock.lock().expect("engine poisoned");
+        // A previous flush that failed after freezing left its memtable
+        // parked in `frozen` (and its WAL in `wal.frozen`); retry it
+        // first so data keeps moving toward the runs in order.
+        let mut last = 0;
+        if self.frozen.read().expect("engine poisoned").is_some() {
+            last = self.flush_frozen()?;
+        }
+        {
+            let mut wal = self.wal.lock().expect("engine poisoned");
+            let mut mem = self.mem.write().expect("engine poisoned");
             if mem.is_empty() {
-                return Ok(0);
+                return Ok(last);
             }
-            mem.entries()
-        };
-        let flushed = entries.len();
+            // Rotate first — it can fail, freezing cannot — so an error
+            // here leaves the engine exactly as it was.
+            wal.rotate_to(&self.dir.join(WAL_FROZEN_FILE))?;
+            let mut frozen = self.frozen.write().expect("engine poisoned");
+            *frozen = Some(Arc::new(std::mem::replace(&mut *mem, Memtable::new())));
+            self.metrics.memtable_bytes.set(0);
+        }
+        self.flush_frozen()
+    }
+
+    /// Write the frozen memtable into a committed level-1 run and delete
+    /// its WAL segment. Caller holds `flush_lock`; `frozen` is `Some`.
+    fn flush_frozen(&self) -> StorageResult<u64> {
+        let started = Instant::now();
+        let snapshot = self
+            .frozen
+            .read()
+            .expect("engine poisoned")
+            .clone()
+            .expect("flush_frozen called with nothing frozen");
+        let flushed = snapshot.len() as u64;
         let id = self.next_run_id.fetch_add(1, Ordering::SeqCst);
         let tmp = run_tmp_path(&self.dir, id);
-        let summary = match sstable::write_run(&tmp, entries.into_iter().map(Ok)) {
+        let summary = match sstable::write_run(&tmp, 1, flushed, snapshot.entries().into_iter().map(Ok)) {
             Ok(s) => s,
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
@@ -548,21 +696,22 @@ impl Core {
             let mut catalog = Self::catalog_of(&self.view());
             catalog.push(RunEntry { id, level: 1 });
             manifest::store(&self.dir, &catalog)?;
-            // Publish the run and clear the memtable under both write
-            // locks: readers see the data in exactly one of the two places.
-            let mut mem = self.mem.write().expect("engine poisoned");
+            // Publish the run and retire the frozen memtable under both
+            // write locks: readers see the data in exactly one place.
+            let mut frozen = self.frozen.write().expect("engine poisoned");
             let mut runs = self.runs.write().expect("engine poisoned");
             let mut v: Vec<Arc<RunHandle>> = (**runs).clone();
             v.push(handle);
-            v.sort_by_key(|h| std::cmp::Reverse(h.id));
+            v.sort_by_key(|h| (h.level, std::cmp::Reverse(h.id)));
             *runs = Arc::new(v);
-            mem.clear();
+            *frozen = None;
             self.update_run_gauges(&runs);
         }
-        wal.reset()?;
-        drop(wal);
+        // The run is committed; the frozen segment is now garbage. If the
+        // delete fails, recovery replays it over the run — idempotent —
+        // and the next rotation replaces it.
+        let _ = std::fs::remove_file(self.dir.join(WAL_FROZEN_FILE));
         self.metrics.checkpoints.inc();
-        self.metrics.memtable_bytes.set(0);
         self.metrics
             .checkpoint_seconds
             .observe_duration(started.elapsed());
@@ -650,7 +799,9 @@ impl Core {
             inputs.iter().map(|h| h.run.iter()).collect(),
             task.drop_tombstones,
         );
-        let summary = match sstable::write_run(&tmp, merge) {
+        // `input_entries` over-counts the output (shadowed versions and
+        // folded tombstones drop out) — fine for a bloom sizing bound.
+        let summary = match sstable::write_run(&tmp, task.output_level, input_entries, merge) {
             Ok(s) => s,
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
@@ -684,7 +835,7 @@ impl Core {
             if let Some(h) = &output {
                 v.push(h.clone());
             }
-            v.sort_by_key(|h| std::cmp::Reverse(h.id));
+            v.sort_by_key(|h| (h.level, std::cmp::Reverse(h.id)));
             manifest::store(&self.dir, &Self::catalog_of(&v))?;
             let mut runs = self.runs.write().expect("engine poisoned");
             *runs = Arc::new(v);
@@ -757,12 +908,12 @@ impl Engine {
         }
 
         // 2. Load the run catalog: manifest, or directory-scan fallback.
-        // The fallback assigns every run level 1, which is safe: run ids
-        // are monotonic so id order is recency order, and the first
-        // compaction re-levels everything.
+        // The fallback records no level (`None`); each run's own footer
+        // supplies it below, so the rebuilt view carries the same
+        // `(level asc, id desc)` precedence the manifest would have.
         let mut rewrite_manifest = false;
-        let catalog: Vec<RunEntry> = match manifest::load(dir) {
-            Ok(Some(entries)) => entries,
+        let catalog: Vec<(u64, Option<u32>)> = match manifest::load(dir) {
+            Ok(Some(entries)) => entries.into_iter().map(|e| (e.id, Some(e.level))).collect(),
             Ok(None) => {
                 let files = manifest::list_run_files(dir)?;
                 if !files.is_empty() {
@@ -772,10 +923,7 @@ impl Engine {
                     );
                     rewrite_manifest = true;
                 }
-                files
-                    .into_iter()
-                    .map(|(id, _)| RunEntry { id, level: 1 })
-                    .collect()
+                files.into_iter().map(|(id, _)| (id, None)).collect()
             }
             Err(e) => {
                 let files = manifest::list_run_files(dir)?;
@@ -787,34 +935,29 @@ impl Engine {
                     ),
                 );
                 rewrite_manifest = true;
-                files
-                    .into_iter()
-                    .map(|(id, _)| RunEntry { id, level: 1 })
-                    .collect()
+                files.into_iter().map(|(id, _)| (id, None)).collect()
             }
         };
 
-        // 3. Open every catalogued run; drop (and delete) unreadable ones.
-        // An unreadable *committed* run is genuine corruption — served
-        // best-effort by the rest of the tree — while an unreadable
-        // uncommitted run never made it into the manifest at all.
+        // 3. Open every catalogued run. Genuine corruption (bad CRC, bad
+        // framing) drops — and deletes — the run; the rest of the tree is
+        // served best-effort. A plain I/O error fails the open instead: a
+        // transient failure (permissions, fd exhaustion, a flaky disk)
+        // must not be converted into permanent data loss.
         let mut handles: Vec<Arc<RunHandle>> = Vec::with_capacity(catalog.len());
-        for entry in &catalog {
-            let path = manifest::run_path(dir, entry.id);
+        for &(id, declared_level) in &catalog {
+            let path = manifest::run_path(dir, id);
             match Run::open(&path) {
-                Ok(run) => handles.push(Arc::new(RunHandle {
-                    id: entry.id,
-                    level: entry.level,
-                    run,
-                })),
-                Err(e) => {
-                    obs.trace(
-                        "storage",
-                        format!("dropping unreadable run {} ({e})", entry.id),
-                    );
+                Ok(run) => {
+                    let level = declared_level.unwrap_or_else(|| run.level());
+                    handles.push(Arc::new(RunHandle { id, level, run }));
+                }
+                Err(e @ (StorageError::Corrupt { .. } | StorageError::Decode(_))) => {
+                    obs.trace("storage", format!("dropping corrupt run {id} ({e})"));
                     let _ = std::fs::remove_file(&path);
                     rewrite_manifest = true;
                 }
+                Err(e) => return Err(e),
             }
         }
 
@@ -834,7 +977,8 @@ impl Engine {
                         if handles.is_empty() {
                             let id = 1u64;
                             let tmp = run_tmp_path(dir, id);
-                            sstable::write_run(&tmp, map.into_iter().map(Ok))?;
+                            let count = map.len() as u64;
+                            sstable::write_run(&tmp, 1, count, map.into_iter().map(Ok))?;
                             let path = manifest::run_path(dir, id);
                             std::fs::rename(&tmp, &path)?;
                             manifest::sync_dir(dir)?;
@@ -859,7 +1003,7 @@ impl Engine {
             }
         }
 
-        handles.sort_by_key(|h| std::cmp::Reverse(h.id));
+        handles.sort_by_key(|h| (h.level, std::cmp::Reverse(h.id)));
         if rewrite_manifest {
             manifest::store(dir, &Core::catalog_of(&handles))?;
         }
@@ -879,53 +1023,75 @@ impl Engine {
         let run_entries: u64 = handles.iter().map(|h| h.run.entries()).sum();
         metrics.recovered_snapshot_entries.add(run_entries);
 
-        // 6. Replay committed WAL operations on top.
+        // 6. Replay committed WAL operations on top. A flush that died
+        // between rotating the WAL and committing its run leaves a frozen
+        // segment (`wal.frozen`) holding exactly the frozen memtable's
+        // transactions; it is strictly older than the live log, so it
+        // replays first.
         let wal_path = dir.join("wal.log");
-        let replayed = wal::replay(&wal_path)?;
-        if replayed.torn_tail {
-            metrics.torn_tail_discards.inc();
-            obs.trace(
-                "storage",
-                format!(
-                    "torn WAL tail discarded during recovery of {}",
-                    dir.display()
-                ),
-            );
-        }
+        let frozen_wal_path = dir.join(WAL_FROZEN_FILE);
+        let had_frozen_wal = frozen_wal_path.exists();
         let mut memtable = Memtable::new();
-        let mut pending: Vec<WalRecord> = Vec::new();
         let mut max_txid = 0u64;
         let mut replayed_ops = 0u64;
-        for rec in replayed.records {
-            match rec {
-                WalRecord::Commit { txid } => {
-                    max_txid = max_txid.max(txid);
-                    for p in pending.drain(..) {
-                        replayed_ops += 1;
-                        match p {
-                            WalRecord::Put { table, key, value } => {
-                                memtable.put(&table, &key, value)
-                            }
-                            WalRecord::Delete { table, key } => memtable.delete(&table, &key),
-                            _ => unreachable!("only puts/deletes are pending"),
-                        }
-                    }
-                }
-                WalRecord::Checkpoint { snapshot_id: sid } => {
-                    // A legacy checkpoint frame inside a live WAL means the
-                    // old engine's reset() didn't complete; operations
-                    // before it are captured by snapshot `sid` iff that is
-                    // the snapshot we migrated.
-                    if sid <= legacy_snapshot_id {
-                        memtable.clear();
-                    }
-                    pending.clear();
-                }
-                op => pending.push(op),
+        let segments: &[&Path] = if had_frozen_wal {
+            &[&frozen_wal_path, &wal_path]
+        } else {
+            &[&wal_path]
+        };
+        for seg in segments {
+            let replayed = wal::replay(seg)?;
+            if replayed.torn_tail {
+                metrics.torn_tail_discards.inc();
+                obs.trace(
+                    "storage",
+                    format!("torn WAL tail discarded during recovery of {}", seg.display()),
+                );
             }
+            let (ops, txid) =
+                apply_committed(replayed.records, &mut memtable, legacy_snapshot_id);
+            replayed_ops += ops;
+            max_txid = max_txid.max(txid);
         }
-        // Uncommitted trailing operations in `pending` are dropped: that is
-        // the atomicity guarantee.
+        // Fold the two segments back into one live log so the steady-state
+        // invariant — exactly one WAL — holds before writers start. The
+        // recovered memtable *is* their combined committed state, so one
+        // synthetic transaction rewrites it; the frozen segment is deleted
+        // only after the rewrite is durable at the live path.
+        if had_frozen_wal {
+            let tmp = dir.join("wal.merge.tmp"); // swept at next open if we die here
+            let _ = std::fs::remove_file(&tmp);
+            {
+                let mut w = Wal::open(&tmp, options.fsync)?;
+                for (key, value) in memtable.iter() {
+                    let (table, k) = key;
+                    let rec = match value {
+                        Some(v) => WalRecord::Put {
+                            table: table.clone(),
+                            key: k.clone(),
+                            value: v.clone(),
+                        },
+                        None => WalRecord::Delete {
+                            table: table.clone(),
+                            key: k.clone(),
+                        },
+                    };
+                    w.append(&rec)?;
+                }
+                if !memtable.is_empty() {
+                    max_txid += 1;
+                    w.append(&WalRecord::Commit { txid: max_txid })?;
+                }
+                w.sync()?;
+            }
+            std::fs::rename(&tmp, &wal_path)?;
+            manifest::sync_dir(dir)?;
+            std::fs::remove_file(&frozen_wal_path)?;
+            obs.trace(
+                "storage",
+                "frozen WAL segment from an interrupted flush folded into wal.log".to_string(),
+            );
+        }
         metrics.recovered_records.add(replayed_ops);
         metrics.memtable_bytes.set(memtable.approx_bytes() as u64);
         if replayed_ops > 0 || !handles.is_empty() {
@@ -942,8 +1108,8 @@ impl Engine {
         let wal = Wal::open(&wal_path, options.fsync)?;
         // Never reuse a run id — not even one whose (corrupt or orphaned)
         // file we just deleted. Monotonic ids are what make id order a
-        // valid recency order during manifest-fallback recovery.
-        let max_catalog_id = catalog.iter().map(|e| e.id).max().unwrap_or(0);
+        // valid recency order *within* a level.
+        let max_catalog_id = catalog.iter().map(|&(id, _)| id).max().unwrap_or(0);
         let max_run_id = handles
             .iter()
             .map(|h| h.id)
@@ -958,6 +1124,8 @@ impl Engine {
             metrics,
             wal: Mutex::new(wal),
             mem: RwLock::new(memtable),
+            frozen: RwLock::new(None),
+            flush_lock: Mutex::new(()),
             runs: RwLock::new(Arc::new(handles)),
             structural: Mutex::new(()),
             compact_lock: Mutex::new(()),
@@ -1014,8 +1182,9 @@ impl Engine {
         }])
     }
 
-    /// Read a key: memtable first, then runs newest-to-oldest, touching at
-    /// most one data block per run thanks to bloom filter + block index.
+    /// Read a key: active memtable first, then the frozen one (when a
+    /// flush is in flight), then runs newest-data-first, touching at most
+    /// one data block per run thanks to bloom filter + block index.
     pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
         self.core.get(table, key)
     }
@@ -1051,8 +1220,9 @@ impl Engine {
     }
 
     /// Flush the memtable into a fresh level-1 run — O(memtable), not
-    /// O(total data) — and reset the WAL. Returns the new run id, or 0
-    /// when the memtable was empty.
+    /// O(total data) — retiring its WAL segment. The WAL lock is held
+    /// only to freeze the memtable, so concurrent commits are barely
+    /// delayed. Returns the new run id, or 0 when the memtable was empty.
     pub fn checkpoint(&self) -> StorageResult<u64> {
         self.core.checkpoint()
     }
@@ -1610,7 +1780,8 @@ mod tests {
             e.put("t", b"b", b"2").unwrap();
             e.checkpoint().unwrap();
         }
-        // Trash the manifest; recovery must fall back to id order.
+        // Trash the manifest; recovery must fall back to the directory
+        // scan, taking levels from the run footers.
         std::fs::write(manifest::manifest_path(&dir), b"garbage").unwrap();
         let e = Engine::open(&dir, EngineOptions::default()).unwrap();
         assert_eq!(e.get("t", b"a").unwrap(), None, "tombstone still wins");
@@ -1618,6 +1789,136 @@ mod tests {
         assert!(
             manifest::load(&dir).unwrap().is_some(),
             "manifest rewritten after fallback"
+        );
+    }
+
+    /// Forge the post-race layout on disk: a level-2 compaction output
+    /// that was allocated a *higher* id than a level-1 flush run holding
+    /// strictly newer data (the review-found precedence race).
+    fn forge_inverted_id_layout(dir: &Path) {
+        std::fs::create_dir_all(dir).unwrap();
+        // Newer flush run: lower id, level 1.
+        sstable::write_run(
+            &manifest::run_path(dir, 10),
+            1,
+            2,
+            vec![
+                Ok((("t".to_string(), b"del".to_vec()), None)),
+                Ok((("t".to_string(), b"k".to_vec()), Some(b"new".to_vec()))),
+            ]
+            .into_iter(),
+        )
+        .unwrap();
+        // Stale compaction output: higher id, level 2.
+        sstable::write_run(
+            &manifest::run_path(dir, 11),
+            2,
+            2,
+            vec![
+                Ok((("t".to_string(), b"del".to_vec()), Some(b"zombie".to_vec()))),
+                Ok((("t".to_string(), b"k".to_vec()), Some(b"old".to_vec()))),
+            ]
+            .into_iter(),
+        )
+        .unwrap();
+    }
+
+    fn assert_level1_wins(e: &Engine) {
+        assert_eq!(
+            e.get("t", b"k").unwrap().as_deref(),
+            Some(&b"new"[..]),
+            "level-1 value beats the higher-id level-2 one"
+        );
+        assert_eq!(
+            e.get("t", b"del").unwrap(),
+            None,
+            "level-1 tombstone beats the higher-id level-2 value"
+        );
+        assert_eq!(
+            e.scan_all("t").unwrap(),
+            vec![(b"k".to_vec(), b"new".to_vec())]
+        );
+        assert_eq!(e.count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn stale_compaction_output_with_higher_id_never_shadows_newer_flush() {
+        let dir = tmpdir("precedence");
+        forge_inverted_id_layout(&dir);
+        manifest::store(
+            &dir,
+            &[RunEntry { id: 10, level: 1 }, RunEntry { id: 11, level: 2 }],
+        )
+        .unwrap();
+        let opts = EngineOptions {
+            compaction: CompactionOptions {
+                background: false,
+                max_runs_per_level: 100,
+            },
+            ..EngineOptions::default()
+        };
+        let e = Engine::open(&dir, opts.clone()).unwrap();
+        assert_level1_wins(&e);
+        // A full merge must make the same versions win *permanently*.
+        assert!(e.compact().unwrap());
+        assert_eq!(e.get("t", b"k").unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(e.get("t", b"del").unwrap(), None);
+        drop(e);
+        let e = Engine::open(&dir, opts).unwrap();
+        assert_eq!(e.get("t", b"k").unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(e.get("t", b"del").unwrap(), None);
+    }
+
+    #[test]
+    fn manifest_fallback_recovers_levels_from_run_footers() {
+        let dir = tmpdir("footerlevels");
+        forge_inverted_id_layout(&dir);
+        // No manifest at all: recovery must take each run's level from its
+        // footer, not assume id order is recency order.
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_level1_wins(&e);
+        assert_eq!(
+            e.runs_per_level(),
+            vec![(1, 1), (2, 1)],
+            "levels restored from footers"
+        );
+        let rewritten = manifest::load(&dir).unwrap().unwrap();
+        assert!(rewritten.contains(&RunEntry { id: 10, level: 1 }));
+        assert!(rewritten.contains(&RunEntry { id: 11, level: 2 }));
+    }
+
+    #[test]
+    fn io_error_on_catalogued_run_fails_open_without_deleting() {
+        let dir = tmpdir("iokeep");
+        {
+            let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+            e.put("t", b"k", b"v").unwrap();
+            e.checkpoint().unwrap();
+        }
+        // A catalogued run whose *reads* fail with a plain I/O error (a
+        // directory opens fine but reads as EISDIR) must fail the open and
+        // stay on disk — transient failures are not data loss.
+        let mut catalog = manifest::load(&dir).unwrap().unwrap();
+        catalog.push(RunEntry { id: 42, level: 1 });
+        std::fs::create_dir(manifest::run_path(&dir, 42)).unwrap();
+        manifest::store(&dir, &catalog).unwrap();
+        match Engine::open(&dir, EngineOptions::default()) {
+            Err(StorageError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        assert!(
+            manifest::run_path(&dir, 42).exists(),
+            "unreadable run not deleted"
+        );
+        // A *corrupt* catalogued run, by contrast, is dropped and deleted.
+        std::fs::remove_dir(manifest::run_path(&dir, 42)).unwrap();
+        std::fs::write(manifest::run_path(&dir, 42), b"garbage").unwrap();
+        manifest::store(&dir, &catalog).unwrap();
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        assert_eq!(e.get("t", b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        assert!(
+            !manifest::run_path(&dir, 42).exists(),
+            "corrupt run removed"
         );
     }
 

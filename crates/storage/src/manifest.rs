@@ -8,10 +8,13 @@
 //!
 //! Recovery treats the manifest as authoritative but not indispensable:
 //! if it is missing or corrupt while run files exist, the engine falls
-//! back to a directory scan ordered by run id. That fallback is safe
-//! because run ids are assigned monotonically — a higher id always holds
-//! newer versions of whatever keys it shares with a lower id, whether it
-//! came from a flush or a compaction.
+//! back to a directory scan, recovering each run's level from its own
+//! footer and ordering the set by `(level asc, id desc)`. Id alone is
+//! *not* a recency order across levels: a compaction output (old data,
+//! level ≥ 2) can be allocated a higher id than a concurrently flushed
+//! level-1 run holding newer data. Within a level ids are monotonic —
+//! flushes are serialized, and a level ≥ 2 holds at most one run — so
+//! level-major ordering is a correct recency order everywhere.
 //!
 //! Format: `u32 count, [u64 id | u32 level]*, u32 crc(body), MAGIC u32`.
 
@@ -28,7 +31,8 @@ const MAGIC: u32 = 0x504D_414E; // "PMAN"
 /// One committed run as recorded in the manifest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunEntry {
-    /// Monotonic run id; doubles as recency (higher = newer data).
+    /// Monotonic run id; recency order *within* a level, not across
+    /// levels (read precedence is `(level asc, id desc)`).
     pub id: u64,
     /// Level the run lives at (1 = freshest flushes).
     pub level: u32,
@@ -45,13 +49,30 @@ pub fn run_path(dir: &Path, id: u64) -> PathBuf {
 }
 
 /// fsync a directory so a rename inside it is durable.
+///
+/// A directory that cannot be *opened* (Windows refuses) or a filesystem
+/// that cannot fsync directories (`ENOTSUP`/`EINVAL`) only weakens
+/// durability of the rename, never consistency, so those are tolerated.
+/// Every other fsync failure — e.g. a dying disk — is propagated: a
+/// flush or compaction must not report success while its commit may not
+/// be durable.
 pub fn sync_dir(dir: &Path) -> StorageResult<()> {
-    // Some filesystems refuse to fsync directories; that only weakens
-    // durability of the rename, never consistency, so ignore failures.
-    if let Ok(f) = File::open(dir) {
-        let _ = f.sync_all();
+    let f = match File::open(dir) {
+        Ok(f) => f,
+        Err(_) => return Ok(()),
+    };
+    match f.sync_all() {
+        Ok(()) => Ok(()),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::Unsupported | std::io::ErrorKind::InvalidInput
+            ) =>
+        {
+            Ok(())
+        }
+        Err(e) => Err(e.into()),
     }
-    Ok(())
 }
 
 /// Load the manifest. `Ok(None)` means "no manifest" (fresh or legacy

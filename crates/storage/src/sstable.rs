@@ -15,16 +15,19 @@
 //! [index]                       -- per-block offset/len/crc + first key
 //! [bloom]                       -- FNV-1a double-hashed bit array
 //! [footer: index_off u64 | bloom_off u64 | entries u64 |
-//!          tombstones u64 | tail_crc u32 | RUN_MAGIC u32]
+//!          tombstones u64 | level u32 | tail_crc u32 | RUN_MAGIC u32]
 //! ```
 //!
 //! Each entry is `tag u8 | table | key | [value]` with length-prefixed
 //! byte strings; tombstones round-trip so deletions shadow older runs
-//! until compaction folds them out at the bottom level. Opening a run
-//! reads only index + bloom (`tail_crc` covers exactly that region), so
-//! open cost is O(index), not O(data); each data block carries its own
-//! CRC verified on first touch. Point lookups consult the bloom filter,
-//! binary-search the index and read at most one data block.
+//! until compaction folds them out at the bottom level. The footer also
+//! records the run's **level** so recovery can rebuild correct read
+//! precedence — `(level asc, id desc)` — even when the manifest is lost.
+//! Opening a run reads only index + bloom (`tail_crc` covers exactly
+//! that region), so open cost is O(index), not O(data); each data block
+//! carries its own CRC verified on first touch. Point lookups consult
+//! the bloom filter, binary-search the index and read at most one data
+//! block.
 
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -149,8 +152,9 @@ pub fn read_snapshot(path: &Path) -> StorageResult<BTreeMap<NsKey, Option<Vec<u8
 pub const RUN_MAGIC: u32 = 0x5052_554E;
 /// Target uncompressed size of one data block.
 const BLOCK_TARGET: usize = 4096;
-/// Fixed footer size: index_off + bloom_off + entries + tombstones + crc + magic.
-const RUN_FOOTER_LEN: usize = 8 + 8 + 8 + 8 + 4 + 4;
+/// Fixed footer size:
+/// index_off + bloom_off + entries + tombstones + level + crc + magic.
+const RUN_FOOTER_LEN: usize = 8 + 8 + 8 + 8 + 4 + 4 + 4;
 /// Bloom sizing: bits per entry and number of probes.
 const BLOOM_BITS_PER_KEY: u64 = 10;
 const BLOOM_PROBES: u32 = 7;
@@ -217,6 +221,14 @@ impl Bloom {
     fn probe_bits(&self, table: &[u8], key: &[u8]) -> impl Iterator<Item = u64> + '_ {
         let (h1, h2) = bloom_hashes(table, key);
         (0..self.probes).map(move |i| h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.nbits)
+    }
+
+    fn insert(&mut self, table: &[u8], key: &[u8]) {
+        let (h1, h2) = bloom_hashes(table, key);
+        for i in 0..self.probes {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.nbits;
+            self.bits[(bit / 8) as usize] |= 1 << (bit % 8);
+        }
     }
 
     fn may_contain(&self, table: &[u8], key: &[u8]) -> bool {
@@ -307,16 +319,24 @@ fn decode_block(block: &[u8]) -> StorageResult<Vec<(NsKey, Option<Vec<u8>>)>> {
 }
 
 /// Write `entries` (already sorted ascending by `NsKey`, one version per
-/// key) as a tiered run at `path`. Streaming: memory use is bounded by one
-/// block plus the index/bloom, never by the data set. The iterator yields
-/// results so a compaction merge can propagate read errors from its inputs.
-pub fn write_run<I>(path: &Path, entries: I) -> StorageResult<RunSummary>
+/// key) as a tiered run at `path`, recorded as living at `level`.
+/// Streaming: memory use is bounded by one block plus the index/bloom,
+/// never by the data set — the bloom filter is sized up front from
+/// `expected_entries` (an upper bound the caller always knows: the
+/// memtable length for a flush, the summed input entry counts for a
+/// merge) and its bits are set as entries stream through. Overshooting
+/// the bound only lowers the false-positive rate; undershooting raises
+/// it but never produces a false negative. The iterator yields results
+/// so a compaction merge can propagate read errors from its inputs.
+pub fn write_run<I>(
+    path: &Path,
+    level: u32,
+    expected_entries: u64,
+    entries: I,
+) -> StorageResult<RunSummary>
 where
     I: IntoIterator<Item = StorageResult<(NsKey, Option<Vec<u8>>)>>,
 {
-    // Two passes over the data would defeat streaming, so the bloom is
-    // sized up front from a buffered key digest: collect the probe inputs
-    // (cheap: hashes only need table/key) while blocks stream out.
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     let mut index: Vec<BlockMeta> = Vec::new();
@@ -325,7 +345,7 @@ where
     let mut offset = 0u64;
     let mut entry_count = 0u64;
     let mut tombstone_count = 0u64;
-    let mut hashed_keys: Vec<(u64, u64)> = Vec::new();
+    let mut bloom = Bloom::with_capacity(expected_entries);
 
     let flush_block = |w: &mut BufWriter<File>,
                        block: &mut Vec<u8>,
@@ -360,7 +380,7 @@ where
             tombstone_count += 1;
         }
         let (table, key) = &nskey;
-        hashed_keys.push(bloom_hashes(table.as_bytes(), key));
+        bloom.insert(table.as_bytes(), key);
         if block.len() >= BLOCK_TARGET {
             flush_block(
                 &mut w,
@@ -378,14 +398,6 @@ where
         &mut offset,
         &mut index,
     )?;
-
-    let mut bloom = Bloom::with_capacity(entry_count);
-    for (h1, h2) in hashed_keys {
-        for i in 0..bloom.probes {
-            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % bloom.nbits;
-            bloom.bits[(bit / 8) as usize] |= 1 << (bit % 8);
-        }
-    }
 
     let index_off = offset;
     let mut tail = Vec::new();
@@ -406,6 +418,7 @@ where
     codec::put_u64(&mut footer, bloom_off);
     codec::put_u64(&mut footer, entry_count);
     codec::put_u64(&mut footer, tombstone_count);
+    codec::put_u32(&mut footer, level);
     codec::put_u32(&mut footer, tail_crc);
     codec::put_u32(&mut footer, RUN_MAGIC);
     w.write_all(&footer)?;
@@ -477,6 +490,7 @@ pub struct Run {
     bloom: Bloom,
     entries: u64,
     tombstones: u64,
+    level: u32,
     bytes: u64,
 }
 
@@ -497,8 +511,9 @@ impl Run {
         let (bloom_off, _) = codec::get_u64(&footer[8..])?;
         let (entries, _) = codec::get_u64(&footer[16..])?;
         let (tombstones, _) = codec::get_u64(&footer[24..])?;
-        let (tail_crc, _) = codec::get_u32(&footer[32..])?;
-        let (magic, _) = codec::get_u32(&footer[36..])?;
+        let (level, _) = codec::get_u32(&footer[32..])?;
+        let (tail_crc, _) = codec::get_u32(&footer[36..])?;
+        let (magic, _) = codec::get_u32(&footer[40..])?;
         if magic != RUN_MAGIC {
             return Err(StorageError::corrupt(
                 len - 4,
@@ -508,7 +523,7 @@ impl Run {
         let tail_len = len - RUN_FOOTER_LEN as u64;
         if index_off > bloom_off || bloom_off > tail_len {
             return Err(StorageError::corrupt(
-                len - 40,
+                len - RUN_FOOTER_LEN as u64,
                 "run footer offsets out of range",
             ));
         }
@@ -562,6 +577,7 @@ impl Run {
             bloom,
             entries,
             tombstones,
+            level,
             bytes: len,
         })
     }
@@ -574,6 +590,13 @@ impl Run {
     /// Tombstones recorded in the footer.
     pub fn tombstones(&self) -> u64 {
         self.tombstones
+    }
+
+    /// Level the run was written for, recorded in the footer. Lets
+    /// manifest-fallback recovery rebuild the `(level asc, id desc)` read
+    /// precedence without guessing.
+    pub fn level(&self) -> u32 {
+        self.level
     }
 
     /// Total file size in bytes.
@@ -794,7 +817,7 @@ mod tests {
             };
             Ok((("records".to_string(), key), value))
         });
-        write_run(path, entries).unwrap()
+        write_run(path, 1, u64::from(n), entries).unwrap()
     }
 
     #[test]
@@ -926,6 +949,8 @@ mod tests {
         let path = tmpfile("run-empty");
         let summary = write_run(
             &path,
+            1,
+            0,
             std::iter::empty::<StorageResult<(NsKey, Option<Vec<u8>>)>>(),
         )
         .unwrap();
@@ -936,5 +961,35 @@ mod tests {
             run.get("t", b"k").unwrap(),
             RunLookup::BloomSkip | RunLookup::Absent
         ));
+    }
+
+    #[test]
+    fn run_footer_records_level() {
+        let path = tmpfile("run-level");
+        let entries = (0..10u8).map(|i| Ok((("t".to_string(), vec![i]), Some(vec![i]))));
+        write_run(&path, 3, 10, entries).unwrap();
+        assert_eq!(Run::open(&path).unwrap().level(), 3);
+    }
+
+    #[test]
+    fn undersized_bloom_hint_never_yields_false_negatives() {
+        // A hint far below the real entry count degrades the filter's
+        // selectivity but must never hide a present key.
+        let path = tmpfile("run-bloom-hint");
+        let entries = (0..500u32).map(|i| {
+            Ok((
+                ("t".to_string(), format!("k{i:04}").into_bytes()),
+                Some(b"v".to_vec()),
+            ))
+        });
+        write_run(&path, 1, 1, entries).unwrap();
+        let run = Run::open(&path).unwrap();
+        for i in 0..500u32 {
+            assert_eq!(
+                run.get("t", format!("k{i:04}").as_bytes()).unwrap(),
+                RunLookup::Value(b"v".to_vec()),
+                "key {i} must survive an undersized bloom"
+            );
+        }
     }
 }

@@ -188,6 +188,38 @@ impl Wal {
         Ok(())
     }
 
+    /// Rotate the log: move the current file to `frozen` and continue
+    /// appending to a fresh, empty file at the original path.
+    ///
+    /// This is the flush's way of releasing writers immediately — the
+    /// frozen segment keeps covering the frozen memtable until its run is
+    /// committed, while new commits land in the fresh segment. If the
+    /// fresh segment cannot be opened the rename is rolled back so the
+    /// handle and the path stay in agreement.
+    pub fn rotate_to(&mut self, frozen: &Path) -> StorageResult<()> {
+        self.writer.flush()?;
+        if self.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        std::fs::rename(&self.path, frozen)?;
+        match OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&self.path)
+        {
+            Ok(file) => {
+                self.writer = BufWriter::new(file);
+                self.len = 0;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = std::fs::rename(frozen, &self.path);
+                Err(e.into())
+            }
+        }
+    }
+
     /// Truncate the log to zero length (after a successful checkpoint has
     /// captured its contents elsewhere).
     pub fn reset(&mut self) -> StorageResult<()> {
@@ -368,6 +400,29 @@ mod tests {
         wal.append(&put("t", b"c", b"3")).unwrap();
         wal.sync().unwrap();
         assert_eq!(replay(&path).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn rotate_freezes_old_frames_and_starts_fresh() {
+        let path = tmpfile("rotate");
+        let frozen = path.with_file_name("wal.frozen");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&frozen);
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&put("t", b"a", b"1")).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        wal.sync().unwrap();
+        wal.rotate_to(&frozen).unwrap();
+        assert!(wal.is_empty(), "fresh segment starts at zero");
+        // The frozen segment holds the old frames; the live one is empty.
+        assert_eq!(replay(&frozen).unwrap().records.len(), 2);
+        assert!(replay(&path).unwrap().records.is_empty());
+        // And the live segment keeps accepting appends.
+        wal.append(&put("t", b"b", b"2")).unwrap();
+        wal.append(&WalRecord::Commit { txid: 2 }).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(replay(&path).unwrap().records.len(), 2);
+        assert_eq!(replay(&frozen).unwrap().records.len(), 2, "untouched");
     }
 
     #[test]

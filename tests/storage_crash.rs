@@ -2,8 +2,9 @@
 //! paths.
 //!
 //! The durability argument for the tiered engine is an ordering argument:
-//! run file durable → manifest durable → WAL reset (flush), and output
-//! durable → manifest durable → inputs deleted (compaction). These tests
+//! run file durable → manifest durable → frozen WAL segment deleted
+//! (flush), and output durable → manifest durable → inputs deleted
+//! (compaction). These tests
 //! don't trust the argument — they simulate the crash at *every byte* of
 //! the artifacts a dying flush, compaction or manifest swap can leave
 //! behind, reopen the engine, and require that:
@@ -286,6 +287,85 @@ fn stray_files_of_every_kind_are_cleaned_up() {
         !dir.join("snap-0000000000000001.sst").exists(),
         "legacy snap removed"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A flush that dies between rotating the live WAL to `wal.frozen` and
+/// committing its run leaves a frozen segment holding the frozen
+/// memtable's transactions, plus a live log with whatever committed after
+/// the rotation. Recovery must replay both — frozen first — fold them
+/// back into a single live log, and lose nothing, whatever byte the live
+/// log is torn at.
+#[test]
+fn frozen_wal_segment_with_torn_live_tail_recovers_and_folds() {
+    use preserva::storage::wal::{Wal, WalRecord};
+
+    let dir = tmpdir("frozen-wal");
+    let expected = build_fixture(&dir);
+    // Forge the interrupted-flush layout: the entire live WAL becomes the
+    // frozen segment (exactly what the rotation does), and a fresh live
+    // log carries two post-rotation commits.
+    std::fs::rename(dir.join("wal.log"), dir.join("wal.frozen")).unwrap();
+    {
+        let mut w = Wal::open(&dir.join("wal.log"), false).unwrap();
+        for (key, txid) in [(22u8, 1000u64), (23, 1001)] {
+            w.append(&WalRecord::Put {
+                table: "t".into(),
+                key: vec![key],
+                value: format!("post-{key}").into_bytes(),
+            })
+            .unwrap();
+            w.append(&WalRecord::Commit { txid }).unwrap();
+        }
+        w.sync().unwrap();
+    }
+    let template = snapshot_dir(&dir);
+    let (_, live_bytes) = template
+        .iter()
+        .find(|(name, _)| name == "wal.log")
+        .expect("live WAL")
+        .clone();
+    for cut in 0..=live_bytes.len() {
+        restore_dir(&dir, &template);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join("wal.log"))
+            .unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+        let (post22, post23) = {
+            let e = Engine::open(&dir, opts()).unwrap();
+            // Every frozen-segment row — including the fixture's two
+            // WAL-only rows — survives regardless of the tear.
+            for key in 0..22u8 {
+                assert_eq!(
+                    e.get("t", &[key]).unwrap(),
+                    expected.get(&vec![key]).cloned(),
+                    "frozen-covered key {key} (live cut at {cut})"
+                );
+            }
+            (e.get("t", &[22]).unwrap(), e.get("t", &[23]).unwrap())
+        };
+        // Post-rotation commits roll back all-or-nothing, in order.
+        assert!(
+            post23.is_none() || post22.is_some(),
+            "commit 1001 visible without 1000 (live cut at {cut})"
+        );
+        assert!(
+            !dir.join("wal.frozen").exists(),
+            "segments folded into one live log (cut at {cut})"
+        );
+        // The folded log must carry the identical state through a second
+        // open on its own.
+        let mut now = expected.clone();
+        if let Some(v) = post22 {
+            now.insert(vec![22], v);
+        }
+        if let Some(v) = post23 {
+            now.insert(vec![23], v);
+        }
+        assert_state(&dir, &now, &format!("reopen after fold, cut at {cut}"));
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
