@@ -35,7 +35,8 @@ commands:
                [--records N] [--species N] [--outdated N] [--seed S]
                [--backbone-year Y]  (pin name checks to the edition at Y)
   stats        collection statistics (cached until the change journal moves)
-               plus live engine counters and runs-per-level of the tiered store
+               plus live engine counters and runs-per-level of the tiered
+               store; collection panels read under one pinned snapshot
   compact      flush the memtable and merge every sstable run into one
                bottom-level run, folding tombstones
                [--flushes N]  (first rewrite the collection in N chunks,
@@ -47,6 +48,7 @@ commands:
                passes, re-check only status-changed names, update the
                quality ledger incrementally
                [--since SEQ] [--backbone-year Y] [--availability 1.0]
+               [--at-lsn L]   (pin the input snapshot to commit LSN L)
                [--metrics true]  (print the exposition after the run)
   query        retrieve records [--species S] [--state ST] [--year Y] [--limit N]
   history      show a record's curation history --record ID
@@ -226,13 +228,18 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
 fn stats(dir: &Path) -> CliResult {
     let store = open_store(dir)?;
     let catalog = open_catalog(store.clone())?;
-    // The collection panel only changes when the change journal moves;
-    // while the head is unchanged, serve the cached render instead of
-    // scanning every record again. Engine counters below stay live.
+    // One pinned snapshot for every panel: the cache probe and the
+    // record scan read the same committed state, so a concurrent commit
+    // can never produce a torn cross-table view. Engine counters below
+    // stay live by design.
+    let snap = store.snapshot();
     let head = store.journal_head();
-    let panel = match store.get(META_TABLE, b"stats-cache")? {
+    let panel = match snap.get(META_TABLE, b"stats-cache")? {
         Some(raw) => {
             let v: serde_json::Value = serde_json::from_slice(&raw)?;
+            // The collection panel only changes when the change journal
+            // moves; while the head is unchanged, serve the cached
+            // render instead of scanning every record again.
             if v["head"].as_u64() == Some(head) {
                 v["panel"].as_str().map(str::to_string)
             } else {
@@ -244,7 +251,7 @@ fn stats(dir: &Path) -> CliResult {
     let panel = match panel {
         Some(text) => text,
         None => {
-            let records = load_records(&catalog)?;
+            let records = catalog.all_at(&snap)?;
             let text = CollectionStats::compute(&records).render();
             store.put(
                 META_TABLE,
@@ -257,6 +264,10 @@ fn stats(dir: &Path) -> CliResult {
         }
     };
     print!("{panel}");
+    println!(
+        "snapshot: collection panels read at commit lsn {}",
+        snap.lsn()
+    );
     let s = store.engine().stats();
     println!("storage engine:");
     println!(
@@ -398,6 +409,12 @@ fn reassess(args: &Args, dir: &Path) -> CliResult {
         Some(raw) => Some(raw.parse::<u64>().map_err(|_| "bad --since")?),
         None => None,
     };
+    // Pin the run's input snapshot to a historical commit LSN: the feed
+    // replays exactly as it stood then; later commits stay pending.
+    let at_lsn = match args.get("at-lsn") {
+        Some(raw) => Some(raw.parse::<u64>().map_err(|_| "bad --at-lsn")?),
+        None => None,
+    };
     let target_year = args.get_parsed("backbone-year", 0i32, "integer")?;
 
     let store = open_store(dir)?;
@@ -443,7 +460,15 @@ fn reassess(args: &Args, dir: &Path) -> CliResult {
     let pm = ProvenanceManager::with_metrics(store.clone(), obs.clone());
     let mut log = CurationLog::new();
     let mut queue = ReviewQueue::new();
-    let outcome = reassessor.run(&pipeline, &service, Some(&pm), since, &mut log, &mut queue)?;
+    let outcome = reassessor.run_at(
+        &pipeline,
+        &service,
+        Some(&pm),
+        since,
+        at_lsn,
+        &mut log,
+        &mut queue,
+    )?;
     let persisted = HistoryStore::new(&store).persist(&log)?;
     print!("{}", outcome.render());
     if persisted > 0 {

@@ -33,8 +33,8 @@ use preserva_opm::edge::Edge;
 use preserva_opm::graph::OpmGraph;
 use preserva_opm::model::{Agent, Artifact, Process};
 use preserva_quality::ledger::{Contribution, ContributionLedger};
-use preserva_storage::table::{CommitReceipt, TableStore, WriteSession};
-use preserva_storage::StorageError;
+use preserva_storage::table::{CommitReceipt, TableSnapshot, TableStore, WriteSession};
+use preserva_storage::{Lsn, StorageError};
 use preserva_taxonomy::checklist::Checklist;
 use preserva_taxonomy::diff::ChecklistDiff;
 use preserva_taxonomy::name::ScientificName;
@@ -143,6 +143,9 @@ pub struct ReassessOutcome {
     /// Run id of the OPM graph captured for this delta (None when the
     /// feed was empty or no provenance manager was supplied).
     pub run_id: Option<String>,
+    /// Commit LSN the run's input snapshot was pinned at: every read the
+    /// run made saw exactly this one consistent state.
+    pub input_lsn: Lsn,
 }
 
 impl ReassessOutcome {
@@ -184,6 +187,7 @@ impl ReassessOutcome {
         if let Some(id) = &self.run_id {
             out.push_str(&format!("  provenance run:       {id}\n"));
         }
+        out.push_str(&format!("  input snapshot lsn:   {}\n", self.input_lsn));
         out
     }
 }
@@ -290,12 +294,16 @@ impl Reassessor {
         }
     }
 
-    fn load_ledger(&self) -> Result<ContributionLedger, ReassessError> {
-        match self.store.get(REASSESS_META_TABLE, LEDGER_KEY)? {
+    fn decode_ledger(row: Option<Vec<u8>>) -> Result<ContributionLedger, ReassessError> {
+        match row {
             Some(row) => serde_json::from_slice(&row)
                 .map_err(|e| CodecError::new(REASSESS_META_TABLE, "ledger", e).into()),
             None => Ok(ContributionLedger::new()),
         }
+    }
+
+    fn load_ledger(&self) -> Result<ContributionLedger, ReassessError> {
+        Self::decode_ledger(self.store.get(REASSESS_META_TABLE, LEDGER_KEY)?)
     }
 
     /// The persisted quality ledger (empty before the first run/seed).
@@ -338,13 +346,10 @@ impl Reassessor {
         Ok(())
     }
 
-    fn read_refs(&self, name: &str) -> Result<u64, ReassessError> {
-        Ok(self
-            .store
-            .get(REASSESS_REFS_TABLE, name.as_bytes())?
-            .and_then(|v| String::from_utf8(v).ok())
+    fn decode_refs(row: Option<Vec<u8>>) -> u64 {
+        row.and_then(|v| String::from_utf8(v).ok())
             .and_then(|s| s.parse::<u64>().ok())
-            .unwrap_or(0))
+            .unwrap_or(0)
     }
 
     /// Seed the bookkeeping from a completed *full* check: record→name
@@ -382,8 +387,11 @@ impl Reassessor {
         }
 
         let mut session = self.store.session();
-        // Drop rows from an earlier seed that the report no longer covers.
-        for (key, _) in self.store.scan(REASSESS_NAMES_TABLE)? {
+        // Drop rows from an earlier seed that the report no longer
+        // covers, reading both bookkeeping tables through one snapshot
+        // so a concurrent commit can't leave a torn cross-table view.
+        let snap = self.store.snapshot();
+        for (key, _) in snap.scan(REASSESS_NAMES_TABLE)? {
             if String::from_utf8(key.clone())
                 .map(|id| !report.record_names.contains_key(&id))
                 .unwrap_or(true)
@@ -391,7 +399,7 @@ impl Reassessor {
                 session.delete(REASSESS_NAMES_TABLE, &key)?;
             }
         }
-        for (key, _) in self.store.scan(REASSESS_REFS_TABLE)? {
+        for (key, _) in snap.scan(REASSESS_REFS_TABLE)? {
             if String::from_utf8(key.clone())
                 .map(|name| !refs.contains_key(&name))
                 .unwrap_or(true)
@@ -479,10 +487,10 @@ impl Reassessor {
         }
     }
 
-    /// Record ids currently referencing `name`, via the species index.
-    fn records_of(&self, name: &str) -> Result<Vec<String>, ReassessError> {
-        Ok(self
-            .store
+    /// Record ids referencing `name` as of the run's input snapshot, via
+    /// the species index.
+    fn records_of(&self, snap: &TableSnapshot, name: &str) -> Result<Vec<String>, ReassessError> {
+        Ok(snap
             .lookup(
                 &self.records_table,
                 "species",
@@ -499,6 +507,11 @@ impl Reassessor {
     /// an OPM graph whose cause is the consumed journal slice — all in
     /// ONE commit, with the cursor advanced past the run's own writes in
     /// a follow-up commit (idempotent if lost).
+    ///
+    /// Every input — journal slice, touched records, name map, reference
+    /// counts and ledger — is captured under ONE pinned snapshot, so the
+    /// delta is computed against a single consistent state even while
+    /// writers keep committing (delta ≡ full without quiescing anyone).
     #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
@@ -509,34 +522,59 @@ impl Reassessor {
         log: &mut CurationLog,
         queue: &mut ReviewQueue,
     ) -> Result<ReassessOutcome, ReassessError> {
+        self.run_at(pipeline, service, prov, since, None, log, queue)
+    }
+
+    /// [`run`](Self::run) with an explicit input pin: `at_lsn` time-travels
+    /// the input snapshot to any journaled commit LSN (clamped to the
+    /// head), replaying the feed exactly as it stood then — commits after
+    /// that LSN are invisible to the run and stay for the next one.
+    /// Outputs still commit to the live store.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_at(
+        &self,
+        pipeline: &CurationPipeline,
+        service: &ColService,
+        prov: Option<&ProvenanceManager>,
+        since: Option<u64>,
+        at_lsn: Option<Lsn>,
+        log: &mut CurationLog,
+        queue: &mut ReviewQueue,
+    ) -> Result<ReassessOutcome, ReassessError> {
         let started = Instant::now();
         let mut state = self.load_state()?;
         let cursor = since.unwrap_or(state.cursor);
-        let head = self.store.journal_head();
-        let lag = head.saturating_sub(cursor);
-        self.metrics.journal_lag.set(lag);
-        self.metrics.journal_head.set(head);
+        // Pin the input: every read below goes through this one snapshot.
+        let snap = match at_lsn {
+            Some(lsn) => self.store.snapshot_at(lsn),
+            None => self.store.snapshot(),
+        };
 
-        // Drain the feed up to the head observed at run start; entries
-        // landing concurrently stay for the next run.
+        // Drain the feed visible at the pin; entries from commits after
+        // the snapshot stay for the next run by construction.
         let mut entries = Vec::new();
         let mut pos = cursor;
-        while pos < head {
-            let batch = self.store.read_journal(pos, 4096)?;
+        loop {
+            let batch = snap.read_journal(pos, 4096)?;
             if batch.is_empty() {
                 break;
             }
             pos = batch.last().expect("non-empty").seq;
             entries.extend(batch);
         }
-        entries.retain(|e| e.seq <= head);
+        let head = entries.last().map_or(cursor, |e| e.seq);
+        let lag = head.saturating_sub(cursor);
+        self.metrics.journal_lag.set(lag);
+        self.metrics.journal_head.set(self.store.journal_head());
 
         let mut outcome = ReassessOutcome {
             cursor_before: cursor,
             cursor_after: cursor,
             journal_lag: lag,
             entries_consumed: entries.len(),
-            ledger_totals: self.load_ledger()?.totals(),
+            ledger_totals: Self::decode_ledger(snap.get(REASSESS_META_TABLE, LEDGER_KEY)?)?
+                .totals(),
+            input_lsn: snap.lsn(),
             ..Default::default()
         };
         if entries.is_empty() {
@@ -559,7 +597,7 @@ impl Reassessor {
         });
         let mut touched = plan.touched_records.clone();
         if source_sweep {
-            for (key, _) in self.store.scan(&self.records_table)? {
+            for (key, _) in snap.scan(&self.records_table)? {
                 if let Ok(id) = String::from_utf8(key) {
                     touched
                         .entry(id)
@@ -573,7 +611,7 @@ impl Reassessor {
         let mut records = Vec::new();
         let mut gone: BTreeSet<String> = plan.deleted_records.clone();
         for id in touched.keys() {
-            match self.store.get(&self.records_table, id.as_bytes())? {
+            match snap.get(&self.records_table, id.as_bytes())? {
                 Some(row) => match serde_json::from_slice::<Record>(&row) {
                     Ok(r) => records.push(r),
                     Err(e) => {
@@ -601,8 +639,7 @@ impl Reassessor {
         let mut session = self.store.session();
         let mut dirty_records = 0usize;
         for (before, after) in records.iter().zip(curated.iter()) {
-            let old_name = self
-                .store
+            let old_name = snap
                 .get(REASSESS_NAMES_TABLE, after.id.as_bytes())?
                 .and_then(|v| String::from_utf8(v).ok());
             let new_name = after
@@ -628,8 +665,7 @@ impl Reassessor {
             }
         }
         for id in &gone {
-            if let Some(old) = self
-                .store
+            if let Some(old) = snap
                 .get(REASSESS_NAMES_TABLE, id.as_bytes())?
                 .and_then(|v| String::from_utf8(v).ok())
             {
@@ -638,13 +674,14 @@ impl Reassessor {
             }
         }
 
-        let mut ledger = self.load_ledger()?;
+        let mut ledger = Self::decode_ledger(snap.get(REASSESS_META_TABLE, LEDGER_KEY)?)?;
         let mut candidates: BTreeSet<String> = plan.changed_names.clone();
         candidates.extend(ref_delta.keys().cloned());
         let mut names_rechecked = 0usize;
         for name in &candidates {
             let delta_refs = ref_delta.get(name).copied().unwrap_or(0);
-            let refs = (self.read_refs(name)? as i64 + delta_refs).max(0) as u64;
+            let stored = Self::decode_refs(snap.get(REASSESS_REFS_TABLE, name.as_bytes())?);
+            let refs = (stored as i64 + delta_refs).max(0) as u64;
             if refs == 0 {
                 ledger.remove(name);
                 session.delete(REASSESS_REFS_TABLE, name.as_bytes())?;
@@ -674,7 +711,7 @@ impl Reassessor {
             .collect();
         affected.extend(gone.iter().cloned());
         for name in &plan.changed_names {
-            affected.extend(self.records_of(name)?);
+            affected.extend(self.records_of(&snap, name)?);
         }
 
         state.cursor = head;
@@ -691,6 +728,9 @@ impl Reassessor {
             _ => None,
         };
 
+        // Input fully captured: unpin before committing so compaction is
+        // free to fold versions this run no longer needs.
+        drop(snap);
         let receipt = session.commit()?;
         // Our own curated writes appended journal entries; advance the
         // cursor past them. Losing this commit is safe: replaying those
@@ -1053,6 +1093,46 @@ mod tests {
             .get(REASSESS_NAMES_TABLE, b"FNJV-5")
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn run_at_pins_the_input_to_a_historical_lsn() {
+        let f = fixture("at-lsn");
+        f.catalog.insert_all(&sample()).unwrap();
+        let r = Reassessor::new(f.store.clone(), "records").unwrap();
+        let svc = service_at(2010);
+        let report = OutdatedNameDetector::new(&svc, 3).check_collection(&sample());
+        let seed_receipt = r.seed(&report).unwrap();
+
+        // Journal a backbone swap AFTER the pin point.
+        r.swap_backbone(&checklist(), 1965, 2010).unwrap();
+        assert_eq!(r.journal_lag().unwrap(), 3);
+
+        // Pinned at the seed commit, the swap's entries are invisible —
+        // the run replays the feed exactly as it stood then: a no-op.
+        let mut log = CurationLog::new();
+        let mut queue = ReviewQueue::new();
+        let pinned = r
+            .run_at(
+                &pipeline(),
+                &svc,
+                None,
+                None,
+                Some(seed_receipt.lsn),
+                &mut log,
+                &mut queue,
+            )
+            .unwrap();
+        assert!(pinned.is_noop(), "entries after the pin stay unconsumed");
+        assert_eq!(pinned.input_lsn, seed_receipt.lsn);
+        assert_eq!(r.journal_lag().unwrap(), 3, "cursor did not move");
+
+        // An unpinned run then consumes them normally.
+        let live = r
+            .run(&pipeline(), &svc, None, None, &mut log, &mut queue)
+            .unwrap();
+        assert_eq!(live.entries_consumed, 3);
+        assert!(live.input_lsn > seed_receipt.lsn);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use preserva_storage::table::{CommitReceipt, TableStore, WriteSession};
+use preserva_storage::table::{CommitReceipt, TableSnapshot, TableStore, WriteSession};
 use preserva_storage::StorageError;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -215,6 +215,29 @@ impl<T: Serialize + DeserializeOwned> Repository<T> {
             .into_iter()
             .filter_map(|(k, _)| String::from_utf8(k).ok())
             .collect())
+    }
+
+    /// Load one value by key as of a pinned snapshot.
+    pub fn get_at(&self, snap: &TableSnapshot, key: &str) -> Result<Option<T>, RepositoryError> {
+        match snap.get(&self.table, key.as_bytes())? {
+            Some(row) => Ok(Some(self.decode(key.as_bytes(), &row)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Every stored value as of a pinned snapshot, in key order. Several
+    /// repositories reading through the SAME snapshot see one consistent
+    /// cross-table state, no matter what commits land meanwhile.
+    pub fn load_all_at(&self, snap: &TableSnapshot) -> Result<Vec<T>, RepositoryError> {
+        snap.scan(&self.table)?
+            .into_iter()
+            .map(|(k, row)| self.decode(&k, &row))
+            .collect()
+    }
+
+    /// Number of stored values as of a pinned snapshot.
+    pub fn len_at(&self, snap: &TableSnapshot) -> Result<usize, RepositoryError> {
+        Ok(snap.count(&self.table)?)
     }
 
     /// Number of stored values.

@@ -173,6 +173,15 @@ impl RecordCatalog {
         Ok(self.repo.load_all()?)
     }
 
+    /// Every record as of a pinned snapshot, in id order — one consistent
+    /// view even while writers keep committing.
+    pub fn all_at(
+        &self,
+        snap: &preserva_storage::table::TableSnapshot,
+    ) -> Result<Vec<Record>, CatalogError> {
+        Ok(self.repo.load_all_at(snap)?)
+    }
+
     /// Number of records.
     pub fn len(&self) -> Result<usize, CatalogError> {
         Ok(self.repo.len()?)

@@ -7,6 +7,17 @@
 //! only when the output is the bottom of the tree — i.e. no run at a
 //! deeper level remains that an older version could hide under.
 //!
+//! Under MVCC the merge is additionally bounded by the **fold horizon**
+//! `H` — the oldest pinned snapshot LSN, or the committed LSN when
+//! nothing is pinned. Every version with `lsn > H` survives verbatim (a
+//! pinned reader between two such versions must still tell them apart);
+//! of the versions at or below `H` only the newest is kept, and even it
+//! is dropped when a covering range tombstone at or below `H` shadows
+//! it, or when it is a tombstone and the output is the bottom level.
+//! Range-tombstone records themselves ride through compaction and are
+//! folded out only at the bottom level once their LSN is at or below
+//! `H` — see [`fold_ranges`].
+//!
 //! Invariants the planner and merge preserve:
 //!
 //! * **Precedence = (level asc, id desc).** A level-1 run always holds
@@ -25,10 +36,13 @@
 //!   renamed, then the manifest is swapped; input files are deleted last.
 //!   Recovery removes temp files and any run not in the manifest.
 
+use std::collections::VecDeque;
+
 use crate::error::StorageResult;
 use crate::manifest::RunEntry;
-use crate::memtable::NsKey;
-use crate::sstable::RunIter;
+use crate::memtable::{NsKey, RangeTombstone};
+use crate::snapshot::Lsn;
+use crate::sstable::{RunIter, VersionedEntry};
 
 /// Tuning knobs for the compactor, carried inside `EngineOptions`.
 #[derive(Debug, Clone)]
@@ -98,10 +112,11 @@ pub fn plan(view: &[RunEntry], max_runs_per_level: usize) -> Option<Task> {
 }
 
 /// A forced full compaction: merge every run into one bottom-level run,
-/// folding tombstones. `None` when there is nothing useful to do (at most
-/// one run, and it holds no tombstones).
-pub fn full(view: &[RunEntry], tombstones_in_single_run: u64) -> Option<Task> {
-    if view.is_empty() || (view.len() == 1 && tombstones_in_single_run == 0) {
+/// folding tombstones. `None` when there is nothing useful to do: no
+/// runs, or a single run the caller knows holds nothing foldable
+/// (`single_run_foldable` — point or range tombstones in the lone run).
+pub fn full(view: &[RunEntry], single_run_foldable: bool) -> Option<Task> {
+    if view.is_empty() || (view.len() == 1 && !single_run_foldable) {
         return None;
     }
     let inputs = precedence_order(view.iter().map(|e| (e.level, e.id)).collect());
@@ -113,43 +128,100 @@ pub fn full(view: &[RunEntry], tombstones_in_single_run: u64) -> Option<Task> {
     })
 }
 
+/// Range-tombstone records surviving a merge: everything above the
+/// horizon always rides through; at or below it a record is folded out
+/// only at the bottom level, where no deeper run can still hold a
+/// version it must shadow.
+pub fn fold_ranges(
+    ranges: &[RangeTombstone],
+    drop_tombstones: bool,
+    horizon: Lsn,
+) -> Vec<RangeTombstone> {
+    ranges
+        .iter()
+        .filter(|rt| !(drop_tombstones && rt.lsn <= horizon))
+        .cloned()
+        .collect()
+}
+
 /// Streaming k-way merge over run iterators ordered newest-first.
 ///
-/// Yields one version per key — the newest — in ascending key order;
-/// memory stays bounded by one block per input. Errors from any input
-/// end the merge and surface to the caller (the compaction aborts and
-/// the inputs stay in place).
+/// Yields versions in `(key asc, lsn desc)` order — exactly the
+/// [`write_run`](crate::sstable::write_run) input contract. Per key:
+/// every version above the fold horizon survives verbatim; of the
+/// versions at or below it only the newest is emitted, unless a
+/// covering range tombstone at or below the horizon shadows it or it is
+/// a point tombstone at the bottom level. Layer LSN-disjointness means
+/// concatenating a key's versions across inputs in precedence order is
+/// already LSN-descending; v1 inputs (all `lsn = 0`) tie and the tie
+/// breaks by precedence, which is how they were written. Memory stays
+/// bounded by one block per input plus one key's version chain. Errors
+/// from any input end the merge and surface to the caller (the
+/// compaction aborts and the inputs stay in place).
 pub struct Merge<'a> {
     heads: Vec<std::iter::Peekable<RunIter<'a>>>,
     drop_tombstones: bool,
+    horizon: Lsn,
+    ranges: Vec<RangeTombstone>,
+    pending: VecDeque<VersionedEntry>,
+    versions_folded: u64,
+    range_tombstones_applied: u64,
     failed: bool,
 }
 
 impl<'a> Merge<'a> {
     /// Build a merge over `iters`, which must be ordered newest-first —
-    /// the position in the vector is the precedence.
-    pub fn new(iters: Vec<RunIter<'a>>, drop_tombstones: bool) -> Merge<'a> {
+    /// the position in the vector is the precedence. `ranges` is the
+    /// union of the inputs' range tombstones (used for shadowing;
+    /// filtering the output records is [`fold_ranges`]' job) and
+    /// `horizon` the oldest LSN any live reader can be pinned at.
+    pub fn new(
+        iters: Vec<RunIter<'a>>,
+        drop_tombstones: bool,
+        horizon: Lsn,
+        ranges: Vec<RangeTombstone>,
+    ) -> Merge<'a> {
         Merge {
             heads: iters.into_iter().map(Iterator::peekable).collect(),
             drop_tombstones,
+            horizon,
+            ranges,
+            pending: VecDeque::new(),
+            versions_folded: 0,
+            range_tombstones_applied: 0,
             failed: false,
         }
+    }
+
+    /// Versions dropped by the fold rule so far.
+    pub fn versions_folded(&self) -> u64 {
+        self.versions_folded
+    }
+
+    /// Versions dropped specifically because a range tombstone at or
+    /// below the horizon shadowed them (a subset of
+    /// [`versions_folded`](Self::versions_folded)).
+    pub fn range_tombstones_applied(&self) -> u64 {
+        self.range_tombstones_applied
     }
 }
 
 impl Iterator for Merge<'_> {
-    type Item = StorageResult<(NsKey, Option<Vec<u8>>)>;
+    type Item = StorageResult<VersionedEntry>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.failed {
             return None;
         }
         loop {
-            // Find the smallest key across heads; first (= newest) wins.
+            if let Some(entry) = self.pending.pop_front() {
+                return Some(Ok(entry));
+            }
+            // Find the smallest key across heads.
             let mut min_key: Option<NsKey> = None;
             for head in self.heads.iter_mut() {
                 match head.peek() {
-                    Some(Ok((k, _))) if min_key.as_ref().is_none_or(|m| k < m) => {
+                    Some(Ok((k, _, _))) if min_key.as_ref().is_none_or(|m| k < m) => {
                         min_key = Some(k.clone());
                     }
                     Some(Ok(_)) => {}
@@ -164,20 +236,56 @@ impl Iterator for Merge<'_> {
                 }
             }
             let min_key = min_key?;
-            let mut newest: Option<Option<Vec<u8>>> = None;
+            // Drain every version of the key, precedence order = lsn desc.
+            let mut versions: Vec<(Lsn, Option<Vec<u8>>)> = Vec::new();
             for head in self.heads.iter_mut() {
-                if matches!(head.peek(), Some(Ok((k, _))) if *k == min_key) {
-                    let (_, v) = head.next().expect("peeked").expect("peeked Ok");
-                    if newest.is_none() {
-                        newest = Some(v);
+                loop {
+                    match head.peek() {
+                        Some(Ok((k, _, _))) if *k == min_key => {
+                            let (_, lsn, v) = head.next().expect("peeked").expect("peeked Ok");
+                            versions.push((lsn, v));
+                        }
+                        Some(Err(_)) => {
+                            self.failed = true;
+                            match head.next() {
+                                Some(Err(e)) => return Some(Err(e)),
+                                _ => unreachable!("peeked an error"),
+                            }
+                        }
+                        _ => break,
                     }
                 }
             }
-            let value = newest.expect("min key came from some head");
-            if self.drop_tombstones && value.is_none() {
-                continue; // folded out at the bottom level
+            let (table, key) = &min_key;
+            let mut resolved_below_horizon = false;
+            for (lsn, value) in versions {
+                if lsn > self.horizon {
+                    self.pending.push_back((min_key.clone(), lsn, value));
+                    continue;
+                }
+                if resolved_below_horizon {
+                    // An older sibling of the version that already decided
+                    // the at-or-below-horizon verdict: invisible to every
+                    // possible reader.
+                    self.versions_folded += 1;
+                    continue;
+                }
+                resolved_below_horizon = true;
+                let shadowed = self
+                    .ranges
+                    .iter()
+                    .any(|rt| rt.lsn <= self.horizon && rt.lsn > lsn && rt.covers(table, key));
+                if shadowed {
+                    self.versions_folded += 1;
+                    self.range_tombstones_applied += 1;
+                } else if self.drop_tombstones && value.is_none() {
+                    self.versions_folded += 1;
+                } else {
+                    self.pending.push_back((min_key.clone(), lsn, value));
+                }
             }
-            return Some(Ok((min_key, value)));
+            // Every surviving version is queued; loop re-checks pending
+            // (it may be empty when the whole key folded away).
         }
     }
 }
@@ -241,17 +349,21 @@ mod tests {
         let task = plan(&view, 1).unwrap();
         assert_eq!(task.inputs, vec![12, 10, 11], "level 1 before level 2");
 
-        let task = full(&view, 0).unwrap();
+        let task = full(&view, false).unwrap();
         assert_eq!(task.inputs, vec![12, 10, 11]);
     }
 
     #[test]
     fn full_compaction_covers_everything_or_nothing() {
-        assert_eq!(full(&[], 0), None);
-        assert_eq!(full(&[entry(2, 1)], 0), None, "single clean run is a no-op");
-        let task = full(&[entry(2, 1)], 3).unwrap();
+        assert_eq!(full(&[], false), None);
+        assert_eq!(
+            full(&[entry(2, 1)], false),
+            None,
+            "single clean run is a no-op"
+        );
+        let task = full(&[entry(2, 1)], true).unwrap();
         assert_eq!(task.inputs, vec![1]);
-        let task = full(&[entry(1, 2), entry(1, 1)], 0).unwrap();
+        let task = full(&[entry(1, 2), entry(1, 1)], false).unwrap();
         assert_eq!(task.inputs, vec![2, 1]);
         assert_eq!(task.output_level, 2);
         assert!(task.drop_tombstones);
@@ -268,63 +380,161 @@ mod tests {
         dir
     }
 
-    fn run_of(dir: &std::path::Path, name: &str, rows: &[(&str, Option<&str>)]) -> Run {
+    fn run_of(dir: &std::path::Path, name: &str, rows: &[(&str, Lsn, Option<&str>)]) -> Run {
+        run_with_ranges(dir, name, rows, &[])
+    }
+
+    fn run_with_ranges(
+        dir: &std::path::Path,
+        name: &str,
+        rows: &[(&str, Lsn, Option<&str>)],
+        ranges: &[RangeTombstone],
+    ) -> Run {
         let path = dir.join(name);
         write_run(
             &path,
             1,
             rows.len() as u64,
-            rows.iter().map(|(k, v)| {
+            rows.iter().map(|(k, lsn, v)| {
                 Ok((
                     ("t".to_string(), k.as_bytes().to_vec()),
+                    *lsn,
                     v.map(|x| x.as_bytes().to_vec()),
                 ))
             }),
+            ranges,
         )
         .unwrap();
         Run::open(&path).unwrap()
     }
 
+    fn key(k: &str) -> NsKey {
+        ("t".to_string(), k.as_bytes().to_vec())
+    }
+
     #[test]
     fn merge_newest_wins_and_tombstones_fold() {
         let dir = tmp("merge");
-        // Newest run: b deleted, c updated. Older run: a, b, c.
-        let new = run_of(&dir, "new.sst", &[("b", None), ("c", Some("c2"))]);
+        // Newest run: b deleted, c updated. Older run: a, b, c. No pins,
+        // so the horizon sits above every LSN and one version per key
+        // survives.
+        let new = run_of(&dir, "new.sst", &[("b", 10, None), ("c", 11, Some("c2"))]);
         let old = run_of(
             &dir,
             "old.sst",
-            &[("a", Some("a1")), ("b", Some("b1")), ("c", Some("c1"))],
+            &[
+                ("a", 1, Some("a1")),
+                ("b", 2, Some("b1")),
+                ("c", 3, Some("c1")),
+            ],
         );
 
-        let folded: Vec<_> = Merge::new(vec![new.iter(), old.iter()], true)
+        let folded: Vec<_> = Merge::new(vec![new.iter(), old.iter()], true, Lsn::MAX, Vec::new())
             .map(|r| r.unwrap())
             .collect();
         assert_eq!(
             folded,
             vec![
-                (("t".to_string(), b"a".to_vec()), Some(b"a1".to_vec())),
-                (("t".to_string(), b"c".to_vec()), Some(b"c2".to_vec())),
+                (key("a"), 1, Some(b"a1".to_vec())),
+                (key("c"), 11, Some(b"c2".to_vec())),
             ]
         );
 
-        let kept: Vec<_> = Merge::new(vec![new.iter(), old.iter()], false)
+        let mut merge = Merge::new(vec![new.iter(), old.iter()], false, Lsn::MAX, Vec::new());
+        let kept: Vec<_> = merge.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(kept.len(), 3, "tombstone survives when not at bottom");
+        assert_eq!(kept[1], (key("b"), 10, None));
+        assert_eq!(merge.versions_folded(), 2, "b@2 and c@3 folded");
+    }
+
+    #[test]
+    fn horizon_preserves_versions_a_pinned_reader_can_see() {
+        let dir = tmp("merge-horizon");
+        let new = run_of(&dir, "new.sst", &[("k", 9, Some("v9")), ("k", 7, None)]);
+        let old = run_of(
+            &dir,
+            "old.sst",
+            &[("k", 4, Some("v4")), ("k", 2, Some("v2"))],
+        );
+        // A reader pinned at 5 must still see v4; readers ≥ 7 see the
+        // newer versions. Only v2 is invisible to everyone.
+        let mut merge = Merge::new(vec![new.iter(), old.iter()], true, 5, Vec::new());
+        let out: Vec<_> = merge.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(
+            out,
+            vec![
+                (key("k"), 9, Some(b"v9".to_vec())),
+                (key("k"), 7, None),
+                (key("k"), 4, Some(b"v4".to_vec())),
+            ]
+        );
+        assert_eq!(merge.versions_folded(), 1, "only v2 folds");
+
+        // With the horizon above everything the chain collapses to v9.
+        let out: Vec<_> = Merge::new(vec![new.iter(), old.iter()], true, Lsn::MAX, Vec::new())
             .map(|r| r.unwrap())
             .collect();
-        assert_eq!(kept.len(), 3, "tombstone survives when not at bottom");
-        assert_eq!(kept[1], (("t".to_string(), b"b".to_vec()), None));
+        assert_eq!(out, vec![(key("k"), 9, Some(b"v9".to_vec()))]);
+    }
+
+    #[test]
+    fn range_tombstone_shadows_covered_versions_below_horizon() {
+        let dir = tmp("merge-rt");
+        let rt = RangeTombstone {
+            table: "t".into(),
+            start: b"a".to_vec(),
+            end: Some(b"m".to_vec()),
+            lsn: 6,
+        };
+        let new = run_with_ranges(
+            &dir,
+            "new.sst",
+            &[("b", 8, Some("b8"))],
+            std::slice::from_ref(&rt),
+        );
+        let old = run_of(
+            &dir,
+            "old.sst",
+            &[("b", 3, Some("b3")), ("z", 2, Some("z2"))],
+        );
+        // Horizon 7: b@8 rides above it verbatim; b@3 is the newest
+        // version at or below the horizon but the range tombstone at 6
+        // (≤ horizon, > 3, covering "b") shadows it — no reader can see
+        // it. z is outside the tombstone's range and survives.
+        let mut merge = Merge::new(vec![new.iter(), old.iter()], true, 7, vec![rt.clone()]);
+        let out: Vec<_> = merge.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(
+            out,
+            vec![
+                (key("b"), 8, Some(b"b8".to_vec())),
+                (key("z"), 2, Some(b"z2".to_vec())),
+            ]
+        );
+        assert_eq!(merge.range_tombstones_applied(), 1);
+        assert_eq!(merge.versions_folded(), 1);
+
+        // The record itself folds at the bottom level once ≤ horizon,
+        // and rides through otherwise.
+        assert!(fold_ranges(std::slice::from_ref(&rt), true, Lsn::MAX).is_empty());
+        assert_eq!(
+            fold_ranges(std::slice::from_ref(&rt), false, Lsn::MAX),
+            vec![rt.clone()]
+        );
+        assert_eq!(fold_ranges(std::slice::from_ref(&rt), true, 5), vec![rt]);
     }
 
     #[test]
     fn merge_propagates_input_corruption() {
         let dir = tmp("merge-err");
-        let good = run_of(&dir, "good.sst", &[("a", Some("1"))]);
-        run_of(&dir, "bad.sst", &[("b", Some("2")), ("c", Some("3"))]);
+        let good = run_of(&dir, "good.sst", &[("a", 1, Some("1"))]);
+        run_of(&dir, "bad.sst", &[("b", 2, Some("2")), ("c", 3, Some("3"))]);
         let mut bytes = std::fs::read(dir.join("bad.sst")).unwrap();
         bytes[3] ^= 0x20; // data block corruption, found on read
         std::fs::write(dir.join("bad.sst"), &bytes).unwrap();
         let bad = Run::open(dir.join("bad.sst").as_path()).unwrap();
 
-        let results: Vec<_> = Merge::new(vec![bad.iter(), good.iter()], true).collect();
+        let results: Vec<_> =
+            Merge::new(vec![bad.iter(), good.iter()], true, Lsn::MAX, Vec::new()).collect();
         assert!(results.iter().any(|r| r.is_err()), "corruption surfaced");
     }
 }

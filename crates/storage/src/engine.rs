@@ -34,6 +34,37 @@
 //! atomically, so reads proceed concurrently with writers, flushes and
 //! compaction.
 //!
+//! ## MVCC
+//!
+//! Every committed batch carries one monotonically increasing [`Lsn`],
+//! assigned inside the WAL lock — the `Commit` frame's txid *is* the
+//! LSN, so WAL order is version order. All layers are multi-version:
+//! the memtable keys versions by `(key, lsn desc)`, runs carry
+//! per-entry LSNs and range tombstones, and an **LSN-disjointness
+//! invariant** holds — the LSN intervals of active memtable, frozen
+//! memtable and each run in precedence order strictly decrease, because
+//! data only moves active → frozen → level-1 run, and a compaction
+//! merges a contiguous precedence suffix into output older than every
+//! surviving layer above it.
+//!
+//! A reader that wants repeatable reads takes a [`Snapshot`]: it pins
+//! the committed LSN in the [`SnapshotRegistry`] and every read through
+//! it resolves to the newest version at or below that LSN — immune to
+//! concurrent commits, flushes and compactions, with zero coordination
+//! against writers. [`Engine::as_of`] pins an arbitrary historical LSN
+//! instead (time travel, bounded by what compaction has not yet
+//! folded). Plain reads resolve at `Lsn::MAX` and pin nothing.
+//! Compaction folds multi-version chains only below the oldest pinned
+//! snapshot (see `compaction`), so an idle engine with no pins keeps
+//! exactly one version per key, same as before MVCC.
+//!
+//! A point read walks layers newest → oldest accumulating the best
+//! covering range tombstone at or below its read LSN; the first layer
+//! holding a point version at or below the LSN yields the verdict —
+//! deletion if the accumulated range tombstone is newer than that
+//! version, the version itself otherwise. Layer disjointness makes this
+//! first-verdict-wins walk exact.
+//!
 //! ## Recovery
 //!
 //! On open the engine sweeps temp files, loads the manifest (falling back
@@ -60,7 +91,8 @@ use preserva_obs::{Counter, Gauge, Histogram, Registry};
 use crate::compaction::{self, CompactionOptions};
 use crate::error::{StorageError, StorageResult};
 use crate::manifest::{self, RunEntry};
-use crate::memtable::{Memtable, NsKey};
+use crate::memtable::{Memtable, NsKey, RangeTombstone};
+use crate::snapshot::{Lsn, SnapshotRegistry};
 use crate::sstable::{self, Run, RunLookup};
 use crate::wal::{self, Wal, WalRecord};
 
@@ -114,6 +146,10 @@ struct StorageMetrics {
     compaction_seconds: Arc<Histogram>,
     compaction_bytes: Arc<Histogram>,
     memtable_bytes: Arc<Gauge>,
+    snapshots_pinned: Arc<Gauge>,
+    oldest_snapshot_lag: Arc<Gauge>,
+    versions_folded: Arc<Counter>,
+    range_tombstones_applied: Arc<Counter>,
 }
 
 impl StorageMetrics {
@@ -189,6 +225,22 @@ impl StorageMetrics {
             memtable_bytes: reg.gauge(
                 "preserva_storage_memtable_bytes",
                 "Approximate bytes held in the memtable.",
+            ),
+            snapshots_pinned: reg.gauge(
+                "preserva_storage_snapshots_pinned",
+                "Reader snapshots currently pinned in the MVCC registry.",
+            ),
+            oldest_snapshot_lag: reg.gauge(
+                "preserva_storage_oldest_snapshot_lag",
+                "Commits between the head LSN and the oldest pinned snapshot (0 with no pins).",
+            ),
+            versions_folded: reg.counter(
+                "preserva_storage_compaction_versions_folded_total",
+                "Shadowed versions dropped by compaction below the fold horizon.",
+            ),
+            range_tombstones_applied: reg.counter(
+                "preserva_storage_range_tombstones_applied_total",
+                "Versions dropped by compaction because a range tombstone covered them.",
             ),
         }
     }
@@ -268,7 +320,17 @@ struct Core {
     /// At most one compaction at a time.
     compact_lock: Mutex<()>,
     next_run_id: AtomicU64,
-    next_txid: AtomicU64,
+    /// LSN clock. `fetch_add` happens *inside* the WAL lock so that WAL
+    /// append order, `Commit` txid order and version order all agree —
+    /// recovery replays the log front to back and must reconstruct the
+    /// exact same version history.
+    next_lsn: AtomicU64,
+    /// Highest LSN whose commit is fully applied — the pin point for new
+    /// snapshots. Trails `next_lsn` by the in-flight commit, if any.
+    committed_lsn: AtomicU64,
+    /// Pinned reader snapshots; its oldest entry floors the compaction
+    /// fold horizon.
+    registry: SnapshotRegistry,
     /// Highest level ever observed, so vacated levels report 0 runs
     /// instead of a stale gauge.
     max_level_seen: AtomicU64,
@@ -320,9 +382,12 @@ fn run_tmp_path(dir: &Path, id: u64) -> PathBuf {
 ///
 /// Operations become visible only when their `Commit` frame is reached;
 /// uncommitted trailing operations are dropped — that is the atomicity
-/// guarantee. Legacy `Checkpoint` frames clear the memtable when their
-/// snapshot was migrated (see the legacy migration in [`Engine::open`]).
-/// Returns `(operations applied, highest txid seen)`.
+/// guarantee. Each batch is applied at its `Commit` frame's txid — the
+/// LSN it committed under originally — so replay rebuilds the exact
+/// version history, not just the final state. Legacy `Checkpoint` frames
+/// clear the memtable when their snapshot was migrated (see the legacy
+/// migration in [`Engine::open`]). Returns `(operations applied,
+/// highest txid seen)`.
 fn apply_committed(
     records: Vec<WalRecord>,
     memtable: &mut Memtable,
@@ -338,9 +403,14 @@ fn apply_committed(
                 for p in pending.drain(..) {
                     ops += 1;
                     match p {
-                        WalRecord::Put { table, key, value } => memtable.put(&table, &key, value),
-                        WalRecord::Delete { table, key } => memtable.delete(&table, &key),
-                        _ => unreachable!("only puts/deletes are pending"),
+                        WalRecord::Put { table, key, value } => {
+                            memtable.put(&table, &key, value, txid)
+                        }
+                        WalRecord::Delete { table, key } => memtable.delete(&table, &key, txid),
+                        WalRecord::DeleteRange { table, start, end } => {
+                            memtable.delete_range(&table, &start, end.as_deref(), txid)
+                        }
+                        _ => unreachable!("only puts/deletes/delete-ranges are pending"),
                     }
                 }
             }
@@ -392,12 +462,22 @@ impl Core {
         }
     }
 
-    fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+    fn get(&self, table: &str, key: &[u8], max_lsn: Lsn) -> StorageResult<Option<Vec<u8>>> {
         self.metrics.gets.inc();
-        // Memtable first; its verdict (value or tombstone) is final.
+        // Walk layers newest → oldest, accumulating the best covering
+        // range tombstone at or below the read LSN; the first layer with
+        // a point version at or below it settles the verdict against
+        // that accumulator. Layer LSN-disjointness makes the first
+        // verdict exact: no older layer can hold a newer version.
+        let mut rt_best: Option<Lsn> = None;
+        // Memtable first.
         {
             let mem = self.mem.read().expect("engine poisoned");
-            if let Some(hit) = mem.get(table, key) {
+            rt_best = rt_best.max(mem.max_covering_rt(table, key, max_lsn));
+            if let Some((lsn, hit)) = mem.get(table, key, max_lsn) {
+                if rt_best.is_some_and(|rt| rt > lsn) {
+                    return Ok(None);
+                }
                 let hit = hit.map(|v| v.to_vec());
                 if let Some(v) = &hit {
                     self.metrics.value_bytes_read.add(v.len() as u64);
@@ -410,7 +490,11 @@ impl Core {
         // version can never slip past us mid-flush.
         let frozen = self.frozen.read().expect("engine poisoned").clone();
         if let Some(frozen) = frozen {
-            if let Some(hit) = frozen.get(table, key) {
+            rt_best = rt_best.max(frozen.max_covering_rt(table, key, max_lsn));
+            if let Some((lsn, hit)) = frozen.get(table, key, max_lsn) {
+                if rt_best.is_some_and(|rt| rt > lsn) {
+                    return Ok(None);
+                }
                 let hit = hit.map(|v| v.to_vec());
                 if let Some(v) = &hit {
                     self.metrics.value_bytes_read.add(v.len() as u64);
@@ -422,19 +506,23 @@ impl Core {
         // view last is safe: a flush that races us only moves data from a
         // memtable into a run we are about to consult.
         for handle in self.view().iter() {
-            match handle.run.get(table, key)? {
+            rt_best = rt_best.max(handle.run.max_covering_rt(table, key, max_lsn));
+            match handle.run.get(table, key, max_lsn)? {
                 RunLookup::BloomSkip => {
                     self.metrics.bloom_misses.inc();
                 }
                 RunLookup::Absent => {
                     self.metrics.bloom_hits.inc();
                 }
-                RunLookup::Tombstone => {
+                RunLookup::Tombstone(_) => {
                     self.metrics.bloom_hits.inc();
                     return Ok(None);
                 }
-                RunLookup::Value(v) => {
+                RunLookup::Value(lsn, v) => {
                     self.metrics.bloom_hits.inc();
+                    if rt_best.is_some_and(|rt| rt > lsn) {
+                        return Ok(None);
+                    }
                     self.metrics.value_bytes_read.add(v.len() as u64);
                     return Ok(Some(v));
                 }
@@ -443,52 +531,88 @@ impl Core {
         Ok(None)
     }
 
+    /// Range tombstones of every layer that apply to `table` at or below
+    /// `max_lsn`. The merged per-key winners are checked against these:
+    /// a winner loses to any covering tombstone with a larger LSN.
+    fn visible_rts(
+        &self,
+        table: &str,
+        max_lsn: Lsn,
+        view: &[Arc<RunHandle>],
+        frozen: Option<&Memtable>,
+    ) -> Vec<RangeTombstone> {
+        let mut rts: Vec<RangeTombstone> = Vec::new();
+        let keep = |rt: &&RangeTombstone| rt.table == table && rt.lsn <= max_lsn;
+        for handle in view {
+            rts.extend(handle.run.ranges().iter().filter(keep).cloned());
+        }
+        if let Some(frozen) = frozen {
+            rts.extend(frozen.ranges().iter().filter(keep).cloned());
+        }
+        let mem = self.mem.read().expect("engine poisoned");
+        rts.extend(mem.ranges().iter().filter(keep).cloned());
+        rts
+    }
+
+    /// Does any tombstone in `rts` (already table-filtered) shadow a
+    /// version of `key` committed at `lsn`?
+    fn rt_shadows(rts: &[RangeTombstone], table: &str, key: &[u8], lsn: Lsn) -> bool {
+        rts.iter().any(|rt| rt.lsn > lsn && rt.covers(table, key))
+    }
+
     fn scan(
         &self,
         table: &str,
         start: &[u8],
         end: Option<&[u8]>,
+        max_lsn: Lsn,
     ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
         self.metrics.scans.inc();
         // Capture layers in freshness order — active, then frozen, then
         // the run view (see `get`): data only ever moves active → frozen
         // → runs, so this order can duplicate an entry but never lose
-        // one; newer layers are applied last and overwrite.
-        let mem_rows: Vec<(Vec<u8>, Option<Vec<u8>>)> = {
+        // one; newer layers are applied last and overwrite. Each layer
+        // contributes its newest version at or below the read LSN per
+        // key; cross-layer, LSN-disjointness makes "later layer wins"
+        // the correct merge (v1 runs tie at LSN 0 and the tie breaks by
+        // the same precedence they were written under).
+        let mem_rows: Vec<(Vec<u8>, Lsn, Option<Vec<u8>>)> = {
             let mem = self.mem.read().expect("engine poisoned");
-            mem.range(table, start, end)
-                .map(|(k, v)| (k.to_vec(), v.map(|x| x.to_vec())))
+            mem.range(table, start, end, max_lsn)
+                .map(|(k, lsn, v)| (k.to_vec(), lsn, v.map(|x| x.to_vec())))
                 .collect()
         };
-        let frozen_rows: Vec<(Vec<u8>, Option<Vec<u8>>)> = self
-            .frozen
-            .read()
-            .expect("engine poisoned")
-            .clone()
+        let frozen = self.frozen.read().expect("engine poisoned").clone();
+        let frozen_rows: Vec<(Vec<u8>, Lsn, Option<Vec<u8>>)> = frozen
+            .as_ref()
             .map(|frozen| {
                 frozen
-                    .range(table, start, end)
-                    .map(|(k, v)| (k.to_vec(), v.map(|x| x.to_vec())))
+                    .range(table, start, end, max_lsn)
+                    .map(|(k, lsn, v)| (k.to_vec(), lsn, v.map(|x| x.to_vec())))
                     .collect()
             })
             .unwrap_or_default();
         let view = self.view();
-        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let mut merged: BTreeMap<Vec<u8>, (Lsn, Option<Vec<u8>>)> = BTreeMap::new();
         for handle in view.iter().rev() {
             // oldest → newest so newer runs overwrite
-            handle.run.scan_range(table, start, end, &mut |k, v| {
-                merged.insert(k.to_vec(), v.map(|x| x.to_vec()));
-            })?;
+            handle
+                .run
+                .scan_range(table, start, end, max_lsn, &mut |k, lsn, v| {
+                    merged.insert(k.to_vec(), (lsn, v.map(|x| x.to_vec())));
+                })?;
         }
-        for (k, v) in frozen_rows {
-            merged.insert(k, v);
+        for (k, lsn, v) in frozen_rows {
+            merged.insert(k, (lsn, v));
         }
-        for (k, v) in mem_rows {
-            merged.insert(k, v);
+        for (k, lsn, v) in mem_rows {
+            merged.insert(k, (lsn, v));
         }
+        let rts = self.visible_rts(table, max_lsn, &view, frozen.as_deref());
         let rows: Vec<(Vec<u8>, Vec<u8>)> = merged
             .into_iter()
-            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .filter(|(k, (lsn, _))| !Self::rt_shadows(&rts, table, k, *lsn))
+            .filter_map(|(k, (_, v))| v.map(|v| (k, v)))
             .collect();
         self.metrics
             .value_bytes_read
@@ -496,88 +620,165 @@ impl Core {
         Ok(rows)
     }
 
-    fn count(&self, table: &str) -> StorageResult<usize> {
+    fn count(&self, table: &str, max_lsn: Lsn) -> StorageResult<usize> {
         self.metrics.scans.inc();
-        let mem_rows: Vec<(Vec<u8>, bool)> = {
+        let mem_rows: Vec<(Vec<u8>, Lsn, bool)> = {
             let mem = self.mem.read().expect("engine poisoned");
-            mem.range(table, b"", None)
-                .map(|(k, v)| (k.to_vec(), v.is_some()))
+            mem.range(table, b"", None, max_lsn)
+                .map(|(k, lsn, v)| (k.to_vec(), lsn, v.is_some()))
                 .collect()
         };
-        let frozen_rows: Vec<(Vec<u8>, bool)> = self
-            .frozen
-            .read()
-            .expect("engine poisoned")
-            .clone()
+        let frozen = self.frozen.read().expect("engine poisoned").clone();
+        let frozen_rows: Vec<(Vec<u8>, Lsn, bool)> = frozen
+            .as_ref()
             .map(|frozen| {
                 frozen
-                    .range(table, b"", None)
-                    .map(|(k, v)| (k.to_vec(), v.is_some()))
+                    .range(table, b"", None, max_lsn)
+                    .map(|(k, lsn, v)| (k.to_vec(), lsn, v.is_some()))
                     .collect()
             })
             .unwrap_or_default();
         let view = self.view();
-        // live[key] = is the newest version of `key` a value (vs tombstone)?
+        // live[key] = (lsn, is the newest visible version a value)?
         // Keys are copied; value bytes never are — the regression test
         // pins the `value_bytes_read` family to prove it.
-        let mut live: BTreeMap<Vec<u8>, bool> = BTreeMap::new();
+        let mut live: BTreeMap<Vec<u8>, (Lsn, bool)> = BTreeMap::new();
         for handle in view.iter().rev() {
-            handle.run.scan_range(table, b"", None, &mut |k, v| {
-                live.insert(k.to_vec(), v.is_some());
-            })?;
+            handle
+                .run
+                .scan_range(table, b"", None, max_lsn, &mut |k, lsn, v| {
+                    live.insert(k.to_vec(), (lsn, v.is_some()));
+                })?;
         }
-        for (k, alive) in frozen_rows {
-            live.insert(k, alive);
+        for (k, lsn, alive) in frozen_rows {
+            live.insert(k, (lsn, alive));
         }
-        for (k, alive) in mem_rows {
-            live.insert(k, alive);
+        for (k, lsn, alive) in mem_rows {
+            live.insert(k, (lsn, alive));
         }
-        Ok(live.values().filter(|alive| **alive).count())
+        let rts = self.visible_rts(table, max_lsn, &view, frozen.as_deref());
+        Ok(live
+            .into_iter()
+            .filter(|(k, (lsn, alive))| *alive && !Self::rt_shadows(&rts, table, k, *lsn))
+            .count())
     }
 
-    fn tables(&self) -> StorageResult<Vec<String>> {
-        let mem_rows: Vec<(NsKey, bool)> = {
-            let mem = self.mem.read().expect("engine poisoned");
-            mem.iter().map(|(k, v)| (k.clone(), v.is_some())).collect()
-        };
-        let frozen_rows: Vec<(NsKey, bool)> = self
-            .frozen
-            .read()
-            .expect("engine poisoned")
-            .clone()
-            .map(|frozen| frozen.iter().map(|(k, v)| (k.clone(), v.is_some())).collect())
-            .unwrap_or_default();
-        let view = self.view();
-        let mut live: BTreeMap<NsKey, bool> = BTreeMap::new();
-        for handle in view.iter().rev() {
-            for item in handle.run.iter() {
-                let (k, v) = item?;
-                live.insert(k, v.is_some());
+    fn tables(&self, max_lsn: Lsn) -> StorageResult<Vec<String>> {
+        // Reduce a (key asc, lsn desc) version stream to the newest
+        // version at or below the read LSN per key.
+        fn newest_visible(
+            live: &mut BTreeMap<NsKey, (Lsn, bool)>,
+            stream: impl Iterator<Item = (NsKey, Lsn, bool)>,
+            max_lsn: Lsn,
+        ) {
+            let mut done: Option<NsKey> = None;
+            for (k, lsn, alive) in stream {
+                if lsn > max_lsn || done.as_ref() == Some(&k) {
+                    continue;
+                }
+                live.insert(k.clone(), (lsn, alive));
+                done = Some(k);
             }
         }
-        for (k, alive) in frozen_rows {
-            live.insert(k, alive);
+        let mem_rows: Vec<(NsKey, Lsn, bool)> = {
+            let mem = self.mem.read().expect("engine poisoned");
+            mem.entries()
+                .into_iter()
+                .map(|(k, lsn, v)| (k, lsn, v.is_some()))
+                .collect()
+        };
+        let frozen = self.frozen.read().expect("engine poisoned").clone();
+        let frozen_rows: Vec<(NsKey, Lsn, bool)> = frozen
+            .as_ref()
+            .map(|frozen| {
+                frozen
+                    .entries()
+                    .into_iter()
+                    .map(|(k, lsn, v)| (k, lsn, v.is_some()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let view = self.view();
+        let mut live: BTreeMap<NsKey, (Lsn, bool)> = BTreeMap::new();
+        let mut rts: Vec<RangeTombstone> = Vec::new();
+        for handle in view.iter().rev() {
+            let mut rows = Vec::new();
+            for item in handle.run.iter() {
+                let (k, lsn, v) = item?;
+                rows.push((k, lsn, v.is_some()));
+            }
+            newest_visible(&mut live, rows.into_iter(), max_lsn);
+            rts.extend(
+                handle
+                    .run
+                    .ranges()
+                    .iter()
+                    .filter(|rt| rt.lsn <= max_lsn)
+                    .cloned(),
+            );
         }
-        for (k, alive) in mem_rows {
-            live.insert(k, alive);
+        if let Some(frozen) = frozen.as_deref() {
+            rts.extend(
+                frozen
+                    .ranges()
+                    .iter()
+                    .filter(|rt| rt.lsn <= max_lsn)
+                    .cloned(),
+            );
         }
+        newest_visible(&mut live, frozen_rows.into_iter(), max_lsn);
+        {
+            let mem = self.mem.read().expect("engine poisoned");
+            rts.extend(mem.ranges().iter().filter(|rt| rt.lsn <= max_lsn).cloned());
+        }
+        newest_visible(&mut live, mem_rows.into_iter(), max_lsn);
         let mut names: Vec<String> = live
             .into_iter()
-            .filter_map(|((t, _), alive)| alive.then_some(t))
+            .filter_map(|((t, k), (lsn, alive))| {
+                (alive && !Self::rt_shadows(&rts, &t, &k, lsn)).then_some(t)
+            })
             .collect();
         names.dedup();
         Ok(names)
     }
 
-    fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<()> {
+    /// Refresh the snapshot gauges: live pins and how far the oldest one
+    /// trails the head LSN.
+    fn refresh_snapshot_gauges(&self) {
+        self.metrics
+            .snapshots_pinned
+            .set(self.registry.count() as u64);
+        let head = self.committed_lsn.load(Ordering::SeqCst);
+        let lag = self
+            .registry
+            .oldest()
+            .map_or(0, |oldest| head.saturating_sub(oldest));
+        self.metrics.oldest_snapshot_lag.set(lag);
+    }
+
+    /// Pin a snapshot at `lsn` and hand out the read handle.
+    fn pin(self: &Arc<Core>, lsn: Lsn) -> Snapshot {
+        self.registry.pin(lsn);
+        self.refresh_snapshot_gauges();
+        Snapshot {
+            core: self.clone(),
+            lsn,
+        }
+    }
+
+    fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<Lsn> {
         if ops.is_empty() {
-            return Ok(());
+            return Ok(self.committed_lsn.load(Ordering::SeqCst));
         }
         let started = Instant::now();
-        let txid = self.next_txid.fetch_add(1, Ordering::Relaxed);
         let needs_checkpoint;
+        let lsn;
         {
             let mut wal = self.wal.lock().expect("engine poisoned");
+            // The LSN is drawn *inside* the WAL lock: append order and
+            // LSN order must agree or recovery would reconstruct a
+            // different version history than readers saw.
+            lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
             for op in &ops {
                 let rec = match op {
                     BatchOp::Put { table, key, value } => WalRecord::Put {
@@ -589,10 +790,15 @@ impl Core {
                         table: table.clone(),
                         key: key.clone(),
                     },
+                    BatchOp::DeleteRange { table, start, end } => WalRecord::DeleteRange {
+                        table: table.clone(),
+                        start: start.clone(),
+                        end: end.clone(),
+                    },
                 };
                 wal.append(&rec)?;
             }
-            wal.append(&WalRecord::Commit { txid })?;
+            wal.append(&WalRecord::Commit { txid: lsn })?;
             wal.sync()?;
             self.metrics.wal_appends.add(ops.len() as u64 + 1);
             if self.options.fsync {
@@ -603,17 +809,24 @@ impl Core {
                 match op {
                     BatchOp::Put { table, key, value } => {
                         self.metrics.puts.inc();
-                        mem.put(&table, &key, value);
+                        mem.put(&table, &key, value, lsn);
                     }
                     BatchOp::Delete { table, key } => {
                         self.metrics.deletes.inc();
-                        mem.delete(&table, &key);
+                        mem.delete(&table, &key, lsn);
+                    }
+                    BatchOp::DeleteRange { table, start, end } => {
+                        mem.delete_range(&table, &start, end.as_deref(), lsn);
                     }
                 }
             }
+            // Publish while still inside the WAL lock: a snapshot taken
+            // the instant after a commit returns must see that commit.
+            self.committed_lsn.store(lsn, Ordering::SeqCst);
             self.metrics.memtable_bytes.set(mem.approx_bytes() as u64);
             needs_checkpoint = mem.approx_bytes() >= self.options.checkpoint_bytes;
         }
+        self.refresh_snapshot_gauges();
         self.metrics.commits.inc();
         self.metrics
             .commit_seconds
@@ -621,7 +834,7 @@ impl Core {
         if needs_checkpoint {
             self.checkpoint()?;
         }
-        Ok(())
+        Ok(lsn)
     }
 
     /// Flush the memtable into a fresh level-1 run.
@@ -676,7 +889,16 @@ impl Core {
         let flushed = snapshot.len() as u64;
         let id = self.next_run_id.fetch_add(1, Ordering::SeqCst);
         let tmp = run_tmp_path(&self.dir, id);
-        let summary = match sstable::write_run(&tmp, 1, flushed, snapshot.entries().into_iter().map(Ok)) {
+        // Every version and range tombstone is carried into the run —
+        // flushing must not change what any pinned snapshot sees; only
+        // compaction may fold, and only below the horizon.
+        let summary = match sstable::write_run(
+            &tmp,
+            1,
+            flushed,
+            snapshot.entries().into_iter().map(Ok),
+            snapshot.ranges(),
+        ) {
             Ok(s) => s,
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
@@ -765,11 +987,11 @@ impl Core {
     fn compact(&self) -> StorageResult<bool> {
         let _guard = self.compact_lock.lock().expect("engine poisoned");
         let view = self.view();
-        let single_tombstones = match view.as_slice() {
-            [only] => only.run.tombstones(),
-            _ => 0,
+        let single_foldable = match view.as_slice() {
+            [only] => only.run.tombstones() > 0 || !only.run.ranges().is_empty(),
+            _ => false,
         };
-        let Some(task) = compaction::full(&Self::catalog_of(&view), single_tombstones) else {
+        let Some(task) = compaction::full(&Self::catalog_of(&view), single_foldable) else {
             return Ok(false);
         };
         self.execute_compaction(task)?;
@@ -795,21 +1017,47 @@ impl Core {
         let input_entries: u64 = inputs.iter().map(|h| h.run.entries()).sum();
         let out_id = self.next_run_id.fetch_add(1, Ordering::SeqCst);
         let tmp = run_tmp_path(&self.dir, out_id);
-        let merge = compaction::Merge::new(
+        // The fold horizon: nothing visible to a pinned snapshot may be
+        // folded. With no pins the committed LSN (sampled once, here) is
+        // the horizon — a snapshot pinned after this point can only pin
+        // an LSN ≥ it, and folding below the horizon preserves exactly
+        // the newest at-or-below-horizon version such a reader resolves.
+        let horizon = self
+            .registry
+            .oldest()
+            .unwrap_or_else(|| self.committed_lsn.load(Ordering::SeqCst));
+        let input_ranges: Vec<RangeTombstone> = inputs
+            .iter()
+            .flat_map(|h| h.run.ranges().iter().cloned())
+            .collect();
+        let out_ranges = compaction::fold_ranges(&input_ranges, task.drop_tombstones, horizon);
+        let mut merge = compaction::Merge::new(
             inputs.iter().map(|h| h.run.iter()).collect(),
             task.drop_tombstones,
+            horizon,
+            input_ranges,
         );
         // `input_entries` over-counts the output (shadowed versions and
         // folded tombstones drop out) — fine for a bloom sizing bound.
-        let summary = match sstable::write_run(&tmp, task.output_level, input_entries, merge) {
+        let summary = match sstable::write_run(
+            &tmp,
+            task.output_level,
+            input_entries,
+            &mut merge,
+            &out_ranges,
+        ) {
             Ok(s) => s,
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
                 return Err(e);
             }
         };
+        self.metrics.versions_folded.add(merge.versions_folded());
+        self.metrics
+            .range_tombstones_applied
+            .add(merge.range_tombstones_applied());
         // A merge can fold everything away; commit an output-less swap.
-        let output = if summary.entries == 0 {
+        let output = if summary.entries == 0 && summary.range_tombstones == 0 {
             std::fs::remove_file(&tmp)?;
             None
         } else {
@@ -978,7 +1226,15 @@ impl Engine {
                             let id = 1u64;
                             let tmp = run_tmp_path(dir, id);
                             let count = map.len() as u64;
-                            sstable::write_run(&tmp, 1, count, map.into_iter().map(Ok))?;
+                            // Legacy data predates the LSN clock: version 0,
+                            // older than any MVCC commit.
+                            sstable::write_run(
+                                &tmp,
+                                1,
+                                count,
+                                map.into_iter().map(|(k, v)| Ok((k, 0, v))),
+                                &[],
+                            )?;
                             let path = manifest::run_path(dir, id);
                             std::fs::rename(&tmp, &path)?;
                             manifest::sync_dir(dir)?;
@@ -1045,42 +1301,57 @@ impl Engine {
                 metrics.torn_tail_discards.inc();
                 obs.trace(
                     "storage",
-                    format!("torn WAL tail discarded during recovery of {}", seg.display()),
+                    format!(
+                        "torn WAL tail discarded during recovery of {}",
+                        seg.display()
+                    ),
                 );
             }
-            let (ops, txid) =
-                apply_committed(replayed.records, &mut memtable, legacy_snapshot_id);
+            let (ops, txid) = apply_committed(replayed.records, &mut memtable, legacy_snapshot_id);
             replayed_ops += ops;
             max_txid = max_txid.max(txid);
         }
         // Fold the two segments back into one live log so the steady-state
         // invariant — exactly one WAL — holds before writers start. The
-        // recovered memtable *is* their combined committed state, so one
-        // synthetic transaction rewrites it; the frozen segment is deleted
-        // only after the rewrite is durable at the live path.
+        // recovered memtable holds their combined committed state *with
+        // per-version LSNs*; the rewrite emits one transaction per
+        // distinct LSN, ascending, each committed under its original
+        // LSN — so a crash-and-reopen cycle preserves the exact version
+        // history a pinned snapshot could later ask for. The frozen
+        // segment is deleted only after the rewrite is durable at the
+        // live path.
         if had_frozen_wal {
             let tmp = dir.join("wal.merge.tmp"); // swept at next open if we die here
             let _ = std::fs::remove_file(&tmp);
             {
                 let mut w = Wal::open(&tmp, options.fsync)?;
-                for (key, value) in memtable.iter() {
-                    let (table, k) = key;
+                let mut by_lsn: BTreeMap<Lsn, Vec<WalRecord>> = BTreeMap::new();
+                for ((table, key), lsn, value) in memtable.entries() {
                     let rec = match value {
                         Some(v) => WalRecord::Put {
-                            table: table.clone(),
-                            key: k.clone(),
-                            value: v.clone(),
+                            table,
+                            key,
+                            value: v,
                         },
-                        None => WalRecord::Delete {
-                            table: table.clone(),
-                            key: k.clone(),
-                        },
+                        None => WalRecord::Delete { table, key },
                     };
-                    w.append(&rec)?;
+                    by_lsn.entry(lsn).or_default().push(rec);
                 }
-                if !memtable.is_empty() {
-                    max_txid += 1;
-                    w.append(&WalRecord::Commit { txid: max_txid })?;
+                for rt in memtable.ranges() {
+                    by_lsn
+                        .entry(rt.lsn)
+                        .or_default()
+                        .push(WalRecord::DeleteRange {
+                            table: rt.table.clone(),
+                            start: rt.start.clone(),
+                            end: rt.end.clone(),
+                        });
+                }
+                for (lsn, recs) in by_lsn {
+                    for rec in recs {
+                        w.append(&rec)?;
+                    }
+                    w.append(&WalRecord::Commit { txid: lsn })?;
                 }
                 w.sync()?;
             }
@@ -1117,6 +1388,16 @@ impl Engine {
             .unwrap_or(0)
             .max(max_file_id)
             .max(max_catalog_id);
+        // Restore the LSN clock from *both* sources: the WAL's highest
+        // commit txid and the runs' footer max LSN — a flush deletes the
+        // WAL segment that held its commits, so after flush + restart
+        // the runs are the only witnesses of how far the clock got.
+        let max_lsn = handles
+            .iter()
+            .map(|h| h.run.max_lsn())
+            .max()
+            .unwrap_or(0)
+            .max(max_txid);
         let background = options.compaction.background;
         let core = Arc::new(Core {
             dir: dir.to_path_buf(),
@@ -1130,7 +1411,9 @@ impl Engine {
             structural: Mutex::new(()),
             compact_lock: Mutex::new(()),
             next_run_id: AtomicU64::new(max_run_id + 1),
-            next_txid: AtomicU64::new(max_txid + 1),
+            next_lsn: AtomicU64::new(max_lsn + 1),
+            committed_lsn: AtomicU64::new(max_lsn),
+            registry: SnapshotRegistry::new(),
             max_level_seen: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             signal: (Mutex::new(false), Condvar::new()),
@@ -1172,6 +1455,7 @@ impl Engine {
             key: key.to_vec(),
             value: value.to_vec(),
         }])
+        .map(|_| ())
     }
 
     /// Delete a single key (its own transaction).
@@ -1180,13 +1464,33 @@ impl Engine {
             table: table.to_string(),
             key: key.to_vec(),
         }])
+        .map(|_| ())
+    }
+
+    /// Delete every key of `table` in `[start, end)` (`end = None` =
+    /// unbounded, so `delete_range(t, b"", None)` truncates the table)
+    /// as **one range tombstone**: O(1) WAL frames and memtable work no
+    /// matter how many keys the range covers. The tombstone shadows all
+    /// older versions on reads and is folded by compaction like a point
+    /// tombstone. Returns the commit's LSN.
+    pub fn delete_range(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> StorageResult<Lsn> {
+        self.apply_batch(vec![BatchOp::DeleteRange {
+            table: table.to_string(),
+            start: start.to_vec(),
+            end: end.map(<[u8]>::to_vec),
+        }])
     }
 
     /// Read a key: active memtable first, then the frozen one (when a
     /// flush is in flight), then runs newest-data-first, touching at most
     /// one data block per run thanks to bloom filter + block index.
     pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
-        self.core.get(table, key)
+        self.core.get(table, key, Lsn::MAX)
     }
 
     /// Range scan over `table`: keys in `[start, end)`, `end = None` meaning
@@ -1198,7 +1502,7 @@ impl Engine {
         start: &[u8],
         end: Option<&[u8]>,
     ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
-        self.core.scan(table, start, end)
+        self.core.scan(table, start, end, Lsn::MAX)
     }
 
     /// Full-table scan.
@@ -1210,13 +1514,40 @@ impl Engine {
     /// value byte (the `value_bytes_read` family stays untouched, which
     /// the regression test asserts).
     pub fn count(&self, table: &str) -> StorageResult<usize> {
-        self.core.count(table)
+        self.core.count(table, Lsn::MAX)
     }
 
     /// Apply a batch of operations atomically: either every operation is
-    /// visible after a crash, or none is.
-    pub fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<()> {
+    /// visible after a crash, or none is. Returns the batch's commit LSN
+    /// (the current head LSN for an empty batch).
+    pub fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<Lsn> {
         self.core.apply_batch(ops)
+    }
+
+    /// The head LSN: the newest commit every fresh read observes.
+    pub fn committed_lsn(&self) -> Lsn {
+        self.core.committed_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Pin a repeatable-read snapshot at the current head LSN. Every
+    /// read through the handle resolves to exactly the state after that
+    /// commit, no matter how many commits, flushes or compactions land
+    /// afterwards. Dropping the handle releases the pin (unblocking
+    /// compaction's fold horizon) — hold snapshots for the duration of a
+    /// logical read, not forever.
+    pub fn snapshot(&self) -> Snapshot {
+        let lsn = self.core.committed_lsn.load(Ordering::SeqCst);
+        self.core.pin(lsn)
+    }
+
+    /// Pin a snapshot at a historical LSN — time travel to the state
+    /// right after commit `lsn`. Clamped to the current head. Versions
+    /// already folded by compaction (below the oldest pin at fold time)
+    /// resolve to their folded survivors; pin early to keep history
+    /// readable.
+    pub fn as_of(&self, lsn: Lsn) -> Snapshot {
+        let head = self.core.committed_lsn.load(Ordering::SeqCst);
+        self.core.pin(lsn.min(head))
     }
 
     /// Flush the memtable into a fresh level-1 run — O(memtable), not
@@ -1246,7 +1577,7 @@ impl Engine {
 
     /// List every table that currently holds at least one live key.
     pub fn tables(&self) -> StorageResult<Vec<String>> {
-        self.core.tables()
+        self.core.tables(Lsn::MAX)
     }
 
     /// Snapshot of the engine's counters, read back from the registry.
@@ -1281,6 +1612,80 @@ impl Drop for Engine {
     }
 }
 
+/// A pinned, repeatable-read view of the engine at one LSN.
+///
+/// Created by [`Engine::snapshot`] (head LSN) or [`Engine::as_of`]
+/// (historical LSN). Every read resolves to the newest version at or
+/// below the pinned LSN; repeated reads return byte-identical answers
+/// regardless of concurrent commits, flushes and compactions. The pin is
+/// registered with the engine's [`SnapshotRegistry`], flooring the
+/// compaction fold horizon, and released on drop. The handle keeps the
+/// engine core alive and stays valid even after the `Engine` itself is
+/// dropped.
+pub struct Snapshot {
+    core: Arc<Core>,
+    lsn: Lsn,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot").field("lsn", &self.lsn).finish()
+    }
+}
+
+impl Snapshot {
+    /// The pinned LSN: reads see exactly the commits at or below it.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// Point read at the pinned LSN.
+    pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        self.core.get(table, key, self.lsn)
+    }
+
+    /// Range scan at the pinned LSN: keys in `[start, end)`, `end =
+    /// None` meaning unbounded.
+    pub fn scan(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.core.scan(table, start, end, self.lsn)
+    }
+
+    /// Full-table scan at the pinned LSN.
+    pub fn scan_all(&self, table: &str) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan(table, b"", None)
+    }
+
+    /// Live keys of `table` at the pinned LSN, copying no value bytes.
+    pub fn count(&self, table: &str) -> StorageResult<usize> {
+        self.core.count(table, self.lsn)
+    }
+
+    /// Tables holding at least one live key at the pinned LSN.
+    pub fn tables(&self) -> StorageResult<Vec<String>> {
+        self.core.tables(self.lsn)
+    }
+}
+
+impl Clone for Snapshot {
+    /// Cloning pins the same LSN again: each handle releases exactly one
+    /// pin on drop.
+    fn clone(&self) -> Snapshot {
+        self.core.pin(self.lsn)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.core.registry.unpin(self.lsn);
+        self.core.refresh_snapshot_gauges();
+    }
+}
+
 /// One operation inside an atomic batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchOp {
@@ -1299,6 +1704,16 @@ pub enum BatchOp {
         table: String,
         /// Key to delete.
         key: Vec<u8>,
+    },
+    /// Delete every key of `table` in `[start, end)` as one O(1) range
+    /// tombstone.
+    DeleteRange {
+        /// Target table.
+        table: String,
+        /// First key covered (inclusive).
+        start: Vec<u8>,
+        /// End of the range (exclusive); `None` = unbounded.
+        end: Option<Vec<u8>>,
     },
 }
 
@@ -1644,6 +2059,222 @@ mod tests {
         assert!(text.contains("preserva_storage_compactions_total 0"));
         assert!(text.contains("preserva_storage_bloom_hits_total"));
         assert!(text.contains("preserva_storage_bloom_misses_total"));
+        // MVCC families are registered (and zero) from the start.
+        assert!(text.contains("preserva_storage_snapshots_pinned 0"));
+        assert!(text.contains("preserva_storage_oldest_snapshot_lag 0"));
+        assert!(text.contains("preserva_storage_compaction_versions_folded_total 0"));
+        assert!(text.contains("preserva_storage_range_tombstones_applied_total 0"));
+    }
+
+    #[test]
+    fn snapshot_is_repeatable_across_commit_flush_and_compaction() {
+        let dir = tmpdir("mvccpin");
+        let opts = EngineOptions {
+            compaction: CompactionOptions {
+                background: false,
+                max_runs_per_level: 2,
+            },
+            ..EngineOptions::default()
+        };
+        let e = Engine::open(&dir, opts).unwrap();
+        e.put("t", b"a", b"1").unwrap();
+        e.put("t", b"b", b"2").unwrap();
+        let snap = e.snapshot();
+        let before = snap.scan_all("t").unwrap();
+        // Churn: overwrite, delete, add, flush repeatedly, full-compact.
+        e.put("t", b"a", b"changed").unwrap();
+        e.delete("t", b"b").unwrap();
+        for i in 0..10u32 {
+            e.put("t", &i.to_be_bytes(), b"x").unwrap();
+            e.checkpoint().unwrap();
+        }
+        assert!(e.compact().unwrap());
+        assert_eq!(snap.scan_all("t").unwrap(), before, "repeatable read");
+        assert_eq!(snap.get("t", b"a").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(snap.get("t", b"b").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(snap.count("t").unwrap(), 2);
+        // The live view moved on.
+        assert_eq!(e.get("t", b"a").unwrap().as_deref(), Some(&b"changed"[..]));
+        assert_eq!(e.get("t", b"b").unwrap(), None);
+    }
+
+    #[test]
+    fn as_of_reads_any_journaled_point() {
+        let dir = tmpdir("asof");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        // Pin early so compaction never folds the history away.
+        let guard = e.snapshot();
+        let mut lsns = Vec::new();
+        for i in 1..=5u32 {
+            lsns.push(
+                e.apply_batch(vec![BatchOp::Put {
+                    table: "t".into(),
+                    key: b"k".to_vec(),
+                    value: format!("v{i}").into_bytes(),
+                }])
+                .unwrap(),
+            );
+        }
+        e.checkpoint().unwrap();
+        for (i, &lsn) in lsns.iter().enumerate() {
+            let at = e.as_of(lsn);
+            assert_eq!(
+                at.get("t", b"k").unwrap().as_deref(),
+                Some(format!("v{}", i + 1).as_bytes()),
+                "as_of({lsn}) sees exactly commit {}",
+                i + 1
+            );
+        }
+        // Before the first commit the key does not exist.
+        assert_eq!(guard.get("t", b"k").unwrap(), None);
+        // A future LSN clamps to head.
+        assert_eq!(
+            e.as_of(Lsn::MAX).get("t", b"k").unwrap().as_deref(),
+            Some(&b"v5"[..])
+        );
+    }
+
+    #[test]
+    fn delete_range_is_one_commit_and_hides_the_range() {
+        let dir = tmpdir("delrange");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        for i in 0..100u32 {
+            e.put("t", &i.to_be_bytes(), b"v").unwrap();
+        }
+        e.put("u", b"other", b"kept").unwrap();
+        e.checkpoint().unwrap();
+        let appends = e
+            .metrics_registry()
+            .counter("preserva_storage_wal_appends_total", "");
+        let before = appends.get();
+        let snap = e.snapshot();
+        e.delete_range("t", b"", None).unwrap();
+        assert_eq!(
+            appends.get(),
+            before + 2,
+            "one DeleteRange frame + one Commit frame, independent of row count"
+        );
+        assert_eq!(e.count("t").unwrap(), 0);
+        assert_eq!(e.scan_all("t").unwrap(), vec![]);
+        assert_eq!(e.get("t", &5u32.to_be_bytes()).unwrap(), None);
+        assert_eq!(e.get("u", b"other").unwrap().as_deref(), Some(&b"kept"[..]));
+        assert_eq!(e.tables().unwrap(), vec!["u".to_string()]);
+        // The pre-delete snapshot still sees everything.
+        assert_eq!(snap.count("t").unwrap(), 100);
+        // Writes after the tombstone are visible again.
+        e.put("t", &7u32.to_be_bytes(), b"back").unwrap();
+        assert_eq!(
+            e.get("t", &7u32.to_be_bytes()).unwrap().as_deref(),
+            Some(&b"back"[..])
+        );
+        assert_eq!(e.count("t").unwrap(), 1);
+        // Bounded variant.
+        e.delete_range("t", &0u32.to_be_bytes(), Some(&100u32.to_be_bytes()))
+            .unwrap();
+        assert_eq!(e.count("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn delete_range_survives_flush_compaction_and_recovery() {
+        let dir = tmpdir("delrangedur");
+        let opts = EngineOptions {
+            compaction: CompactionOptions {
+                background: false,
+                max_runs_per_level: 100,
+            },
+            ..EngineOptions::default()
+        };
+        {
+            let e = Engine::open(&dir, opts.clone()).unwrap();
+            for i in 0..50u32 {
+                e.put("t", &i.to_be_bytes(), b"v").unwrap();
+            }
+            e.checkpoint().unwrap(); // rows now live in a run
+            e.delete_range("t", b"", None).unwrap();
+            e.checkpoint().unwrap(); // tombstone now lives in a run too
+            assert_eq!(e.count("t").unwrap(), 0);
+        }
+        // Recovery: the tombstone reloads from the run footer section.
+        let e = Engine::open(&dir, opts).unwrap();
+        assert_eq!(e.count("t").unwrap(), 0);
+        assert_eq!(e.get("t", &10u32.to_be_bytes()).unwrap(), None);
+        // Full compaction folds rows and tombstone away entirely.
+        assert!(e.compact().unwrap());
+        assert_eq!(e.runs_per_level(), vec![]);
+        assert_eq!(e.count("t").unwrap(), 0);
+        let applied = e
+            .metrics_registry()
+            .counter("preserva_storage_range_tombstones_applied_total", "");
+        assert!(applied.get() > 0, "folding counted RT applications");
+    }
+
+    #[test]
+    fn dropping_the_last_snapshot_unblocks_folding() {
+        let dir = tmpdir("unpinfold");
+        let opts = EngineOptions {
+            compaction: CompactionOptions {
+                background: false,
+                max_runs_per_level: 100,
+            },
+            ..EngineOptions::default()
+        };
+        let e = Engine::open(&dir, opts).unwrap();
+        e.put("t", b"k", b"old").unwrap();
+        e.checkpoint().unwrap();
+        let snap = e.snapshot();
+        e.put("t", b"k", b"new").unwrap();
+        e.checkpoint().unwrap();
+        // Pinned: the merge must keep both versions.
+        assert!(e.compact().unwrap());
+        let run_files = manifest::list_run_files(&dir).unwrap();
+        assert_eq!(run_files.len(), 1);
+        assert_eq!(Run::open(&run_files[0].1).unwrap().entries(), 2);
+        assert_eq!(snap.get("t", b"k").unwrap().as_deref(), Some(&b"old"[..]));
+        // Unpinned: the horizon advances and the next merge folds the
+        // old version (a fresh run gives the full compaction something
+        // to merge with).
+        drop(snap);
+        e.put("t", b"k2", b"x").unwrap();
+        e.checkpoint().unwrap();
+        assert!(e.compact().unwrap());
+        let run_files = manifest::list_run_files(&dir).unwrap();
+        assert_eq!(run_files.len(), 1);
+        assert_eq!(
+            Run::open(&run_files[0].1).unwrap().entries(),
+            2,
+            "k@old folded once nothing pins it; k@new and k2 remain"
+        );
+        let folded = e
+            .metrics_registry()
+            .counter("preserva_storage_compaction_versions_folded_total", "");
+        assert!(folded.get() > 0);
+        assert_eq!(e.get("t", b"k").unwrap().as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn snapshot_gauges_track_pins_and_lag() {
+        let dir = tmpdir("snapgauge");
+        let e = Engine::open(&dir, EngineOptions::default()).unwrap();
+        e.put("t", b"k", b"v").unwrap();
+        let pinned = e
+            .metrics_registry()
+            .gauge("preserva_storage_snapshots_pinned", "");
+        let lag = e
+            .metrics_registry()
+            .gauge("preserva_storage_oldest_snapshot_lag", "");
+        assert_eq!(pinned.get(), 0);
+        let s1 = e.snapshot();
+        let s2 = e.snapshot();
+        assert_eq!(pinned.get(), 2);
+        assert_eq!(lag.get(), 0);
+        for i in 0..5u32 {
+            e.put("t", &i.to_be_bytes(), b"x").unwrap();
+        }
+        assert_eq!(lag.get(), 5, "head advanced 5 commits past the pins");
+        drop(s1);
+        drop(s2);
+        assert_eq!(pinned.get(), 0);
+        assert_eq!(lag.get(), 0, "no pins, no lag");
     }
 
     #[test]
@@ -1794,31 +2425,32 @@ mod tests {
 
     /// Forge the post-race layout on disk: a level-2 compaction output
     /// that was allocated a *higher* id than a level-1 flush run holding
-    /// strictly newer data (the review-found precedence race).
+    /// strictly newer data (the review-found precedence race). Written
+    /// as **v1** runs — no per-entry LSNs — which also exercises the
+    /// footer-version-detection compatibility path end to end: every
+    /// entry reads back at LSN 0 and precedence alone must decide.
     fn forge_inverted_id_layout(dir: &Path) {
         std::fs::create_dir_all(dir).unwrap();
         // Newer flush run: lower id, level 1.
-        sstable::write_run(
+        sstable::write_run_v1(
             &manifest::run_path(dir, 10),
             1,
             2,
             vec![
                 Ok((("t".to_string(), b"del".to_vec()), None)),
                 Ok((("t".to_string(), b"k".to_vec()), Some(b"new".to_vec()))),
-            ]
-            .into_iter(),
+            ],
         )
         .unwrap();
         // Stale compaction output: higher id, level 2.
-        sstable::write_run(
+        sstable::write_run_v1(
             &manifest::run_path(dir, 11),
             2,
             2,
             vec![
                 Ok((("t".to_string(), b"del".to_vec()), Some(b"zombie".to_vec()))),
                 Ok((("t".to_string(), b"k".to_vec()), Some(b"old".to_vec()))),
-            ]
-            .into_iter(),
+            ],
         )
         .unwrap();
     }

@@ -49,12 +49,15 @@ pub mod error;
 pub mod journal;
 pub mod manifest;
 pub mod memtable;
+pub mod snapshot;
 pub mod sstable;
 pub mod table;
 pub mod wal;
 
 pub use compaction::CompactionOptions;
-pub use engine::{Engine, EngineOptions, EngineStats};
+pub use engine::{Engine, EngineOptions, EngineStats, Snapshot};
 pub use error::{StorageError, StorageResult};
 pub use journal::{JournalEntry, ROW_DELETED, ROW_UPSERTED};
+pub use memtable::RangeTombstone;
+pub use snapshot::{Lsn, SnapshotRegistry};
 pub use table::{CommitReceipt, IndexDef, TableStore, WriteSession};

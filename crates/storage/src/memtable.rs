@@ -1,20 +1,58 @@
-//! Ordered in-memory write buffer.
+//! Ordered in-memory multi-version write buffer.
 //!
-//! Keys are namespaced `(table, key)` pairs kept in a single `BTreeMap` so
-//! range scans within a table are contiguous. Deletions are retained as
-//! tombstones (`None`) so they shadow older snapshot entries until the next
-//! checkpoint folds them in.
+//! Keys are namespaced `(table, key)` pairs kept in a single `BTreeMap`
+//! so range scans within a table are contiguous. Each key maps to its
+//! committed versions, newest first (`Reverse<Lsn>`): overwrites and
+//! deletions *accrete* instead of replacing, so a reader pinned at any
+//! LSN still finds the version it saw at pin time. Deletions are
+//! retained as tombstones (`None`); range deletions are one
+//! [`RangeTombstone`] record each, shadowing every smaller-LSN version
+//! of any covered key. Versions are only folded later, by compaction,
+//! below the oldest pinned snapshot.
 
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+
+use crate::snapshot::Lsn;
 
 /// Composite key: table name + user key, ordered by table first.
 pub type NsKey = (String, Vec<u8>);
 
-/// The mutable, ordered write buffer of the engine.
+/// A committed range deletion: shadows every version with a smaller LSN
+/// of any key in `[start, end)` of `table` (`end = None` = unbounded).
+/// One O(1) record regardless of how many rows it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeTombstone {
+    /// Table the deletion applies to.
+    pub table: String,
+    /// Inclusive start key.
+    pub start: Vec<u8>,
+    /// Exclusive end key; `None` means unbounded (to the table's end).
+    pub end: Option<Vec<u8>>,
+    /// Commit LSN of the deletion.
+    pub lsn: Lsn,
+}
+
+impl RangeTombstone {
+    /// Whether `key` of `table` falls inside this tombstone's range
+    /// (ignoring LSNs — the caller compares those).
+    pub fn covers(&self, table: &str, key: &[u8]) -> bool {
+        self.table == table
+            && key >= self.start.as_slice()
+            && match &self.end {
+                Some(end) => key < end.as_slice(),
+                None => true,
+            }
+    }
+}
+
+/// The mutable, ordered, multi-version write buffer of the engine.
 #[derive(Debug, Default, Clone)]
 pub struct Memtable {
-    entries: BTreeMap<NsKey, Option<Vec<u8>>>,
+    entries: BTreeMap<NsKey, BTreeMap<Reverse<Lsn>, Option<Vec<u8>>>>,
+    ranges: Vec<RangeTombstone>,
+    versions: usize,
     approx_bytes: usize,
 }
 
@@ -24,37 +62,74 @@ impl Memtable {
         Self::default()
     }
 
-    /// Upsert a value.
-    pub fn put(&mut self, table: &str, key: &[u8], value: Vec<u8>) {
-        self.approx_bytes += table.len() + key.len() + value.len();
+    /// Upsert a value at `lsn`. Older versions of the key are retained.
+    pub fn put(&mut self, table: &str, key: &[u8], value: Vec<u8>, lsn: Lsn) {
+        self.approx_bytes += table.len() + key.len() + value.len() + 8;
+        self.versions += 1;
         self.entries
-            .insert((table.to_string(), key.to_vec()), Some(value));
+            .entry((table.to_string(), key.to_vec()))
+            .or_default()
+            .insert(Reverse(lsn), Some(value));
     }
 
-    /// Record a deletion tombstone.
-    pub fn delete(&mut self, table: &str, key: &[u8]) {
-        self.approx_bytes += table.len() + key.len();
-        self.entries.insert((table.to_string(), key.to_vec()), None);
+    /// Record a deletion tombstone at `lsn`.
+    pub fn delete(&mut self, table: &str, key: &[u8], lsn: Lsn) {
+        self.approx_bytes += table.len() + key.len() + 8;
+        self.versions += 1;
+        self.entries
+            .entry((table.to_string(), key.to_vec()))
+            .or_default()
+            .insert(Reverse(lsn), None);
     }
 
-    /// Look up a key. `None` means "not present in the memtable";
-    /// `Some(None)` means "deleted here" (tombstone).
-    pub fn get(&self, table: &str, key: &[u8]) -> Option<Option<&[u8]>> {
-        // Avoid allocating the composite key for the common miss path only
-        // when the table has no entries at all.
+    /// Record a range deletion `[start, end)` of `table` at `lsn` —
+    /// O(1) in the number of rows covered.
+    pub fn delete_range(&mut self, table: &str, start: &[u8], end: Option<&[u8]>, lsn: Lsn) {
+        self.approx_bytes += table.len() + start.len() + end.map_or(0, <[u8]>::len) + 8;
+        self.ranges.push(RangeTombstone {
+            table: table.to_string(),
+            start: start.to_vec(),
+            end: end.map(<[u8]>::to_vec),
+            lsn,
+        });
+    }
+
+    /// Newest *point* version of a key at or below `max_lsn`. `None`
+    /// means "no version visible here"; `Some((lsn, None))` is a
+    /// tombstone. Range tombstones are NOT resolved — the caller
+    /// compares against [`max_covering_rt`](Self::max_covering_rt).
+    pub fn get(&self, table: &str, key: &[u8], max_lsn: Lsn) -> Option<(Lsn, Option<&[u8]>)> {
         self.entries
             .get(&(table.to_string(), key.to_vec()))
-            .map(|v| v.as_deref())
+            .and_then(|versions| {
+                versions
+                    .range(Reverse(max_lsn)..)
+                    .next()
+                    .map(|(Reverse(lsn), v)| (*lsn, v.as_deref()))
+            })
     }
 
-    /// Iterate entries of `table` whose key is in `[start, end)` (an empty
-    /// `end` means unbounded). Tombstones are included.
+    /// Largest range-tombstone LSN at or below `max_lsn` covering
+    /// `(table, key)`, if any.
+    pub fn max_covering_rt(&self, table: &str, key: &[u8], max_lsn: Lsn) -> Option<Lsn> {
+        self.ranges
+            .iter()
+            .filter(|rt| rt.lsn <= max_lsn && rt.covers(table, key))
+            .map(|rt| rt.lsn)
+            .max()
+    }
+
+    /// Iterate the newest visible point version (at or below `max_lsn`)
+    /// of every key of `table` in `[start, end)` (an empty `end` means
+    /// unbounded). Tombstones are included; range tombstones are not
+    /// applied (the caller overlays [`ranges`](Self::ranges)).
     pub fn range<'a>(
         &'a self,
         table: &str,
         start: &[u8],
         end: Option<&[u8]>,
-    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
+        max_lsn: Lsn,
+    ) -> impl Iterator<Item = (&'a [u8], Lsn, Option<&'a [u8]>)> + 'a {
         // An inverted range is empty, not a panic (BTreeMap::range panics
         // on start > end).
         let inverted = matches!(end, Some(e) if e < start);
@@ -63,33 +138,39 @@ impl Memtable {
         let lo = Bound::Included((table.to_string(), start.to_vec()));
         let hi = match end {
             Some(e) => Bound::Excluded((table.to_string(), e.to_vec())),
-            None => {
-                // Upper bound = first key of the "next" table; emulate with
-                // an excluded bound on table name + 0xFF sentinel via
-                // unbounded scan and a take_while below.
-                Bound::Unbounded
-            }
+            None => Bound::Unbounded,
         };
         let table_owned = table.to_string();
         self.entries
             .range((lo, hi))
             .take_while(move |((t, _), _)| *t == table_owned)
-            .map(|((_, k), v)| (k.as_slice(), v.as_deref()))
+            .filter_map(move |((_, k), versions)| {
+                versions
+                    .range(Reverse(max_lsn)..)
+                    .next()
+                    .map(|(Reverse(lsn), v)| (k.as_slice(), *lsn, v.as_deref()))
+            })
     }
 
-    /// Iterate every entry in composite-key order (used by checkpoints).
-    pub fn iter(&self) -> impl Iterator<Item = (&NsKey, &Option<Vec<u8>>)> {
-        self.entries.iter()
+    /// The buffered range tombstones, in commit order.
+    pub fn ranges(&self) -> &[RangeTombstone] {
+        &self.ranges
     }
 
-    /// Number of entries (including tombstones).
+    /// Number of resident point versions (including tombstones) across
+    /// all keys — the memory-amplification numerator.
     pub fn len(&self) -> usize {
+        self.versions
+    }
+
+    /// Number of distinct keys holding at least one version.
+    pub fn keys(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when no entry is buffered.
+    /// True when nothing is buffered (no versions, no range tombstones).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.ranges.is_empty()
     }
 
     /// Rough bytes consumed; drives checkpoint scheduling.
@@ -97,19 +178,36 @@ impl Memtable {
         self.approx_bytes
     }
 
-    /// Clone every entry, in composite-key order, for a memtable-only
-    /// flush: the snapshot the run writer streams from while the engine
-    /// keeps serving reads out of the live memtable.
-    pub fn entries(&self) -> Vec<(NsKey, Option<Vec<u8>>)> {
+    /// Clone every version, ordered `(key asc, lsn desc)`, for a
+    /// memtable-only flush: the snapshot the run writer streams from
+    /// while the engine keeps serving reads out of the live memtable.
+    pub fn entries(&self) -> Vec<(NsKey, Lsn, Option<Vec<u8>>)> {
         self.entries
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .flat_map(|(k, versions)| {
+                versions
+                    .iter()
+                    .map(move |(Reverse(lsn), v)| (k.clone(), *lsn, v.clone()))
+            })
             .collect()
+    }
+
+    /// Largest LSN of any buffered version or range tombstone.
+    pub fn max_lsn(&self) -> Option<Lsn> {
+        let point = self
+            .entries
+            .values()
+            .filter_map(|versions| versions.keys().next().map(|Reverse(lsn)| *lsn))
+            .max();
+        let range = self.ranges.iter().map(|rt| rt.lsn).max();
+        point.max(range)
     }
 
     /// Drop all entries.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.ranges.clear();
+        self.versions = 0;
         self.approx_bytes = 0;
     }
 }
@@ -118,66 +216,130 @@ impl Memtable {
 mod tests {
     use super::*;
 
+    const LATEST: Lsn = Lsn::MAX;
+
     #[test]
     fn put_get_delete() {
         let mut m = Memtable::new();
-        m.put("t", b"k", b"v".to_vec());
-        assert_eq!(m.get("t", b"k"), Some(Some(&b"v"[..])));
-        m.delete("t", b"k");
-        assert_eq!(m.get("t", b"k"), Some(None));
-        assert_eq!(m.get("t", b"absent"), None);
-        assert_eq!(m.get("other", b"k"), None);
+        m.put("t", b"k", b"v".to_vec(), 1);
+        assert_eq!(m.get("t", b"k", LATEST), Some((1, Some(&b"v"[..]))));
+        m.delete("t", b"k", 2);
+        assert_eq!(m.get("t", b"k", LATEST), Some((2, None)));
+        assert_eq!(m.get("t", b"absent", LATEST), None);
+        assert_eq!(m.get("other", b"k", LATEST), None);
+    }
+
+    #[test]
+    fn versions_accrete_and_pin_reads_see_the_past() {
+        let mut m = Memtable::new();
+        m.put("t", b"k", b"v1".to_vec(), 1);
+        m.put("t", b"k", b"v2".to_vec(), 5);
+        m.delete("t", b"k", 9);
+        assert_eq!(m.len(), 3, "all versions resident");
+        assert_eq!(m.keys(), 1);
+        // Reads at each pin point see exactly what was committed by then.
+        assert_eq!(m.get("t", b"k", 0), None);
+        assert_eq!(m.get("t", b"k", 1), Some((1, Some(&b"v1"[..]))));
+        assert_eq!(m.get("t", b"k", 4), Some((1, Some(&b"v1"[..]))));
+        assert_eq!(m.get("t", b"k", 5), Some((5, Some(&b"v2"[..]))));
+        assert_eq!(m.get("t", b"k", LATEST), Some((9, None)));
     }
 
     #[test]
     fn range_is_table_scoped_and_ordered() {
         let mut m = Memtable::new();
-        m.put("a", b"2", b"a2".to_vec());
-        m.put("a", b"1", b"a1".to_vec());
-        m.put("b", b"0", b"b0".to_vec());
-        let keys: Vec<_> = m.range("a", b"", None).map(|(k, _)| k.to_vec()).collect();
+        m.put("a", b"2", b"a2".to_vec(), 1);
+        m.put("a", b"1", b"a1".to_vec(), 2);
+        m.put("b", b"0", b"b0".to_vec(), 3);
+        let keys: Vec<_> = m
+            .range("a", b"", None, LATEST)
+            .map(|(k, _, _)| k.to_vec())
+            .collect();
         assert_eq!(keys, vec![b"1".to_vec(), b"2".to_vec()]);
     }
 
     #[test]
-    fn range_respects_bounds() {
+    fn range_respects_bounds_and_max_lsn() {
         let mut m = Memtable::new();
-        for k in [b"a", b"b", b"c", b"d"] {
-            m.put("t", k, k.to_vec());
+        for (i, k) in [b"a", b"b", b"c", b"d"].iter().enumerate() {
+            m.put("t", *k, k.to_vec(), i as Lsn + 1);
         }
         let keys: Vec<_> = m
-            .range("t", b"b", Some(b"d"))
-            .map(|(k, _)| k.to_vec())
+            .range("t", b"b", Some(b"d"), LATEST)
+            .map(|(k, _, _)| k.to_vec())
             .collect();
         assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+        // A pin before "c" and "d" were written sees only "a" and "b".
+        let pinned: Vec<_> = m
+            .range("t", b"", None, 2)
+            .map(|(k, _, _)| k.to_vec())
+            .collect();
+        assert_eq!(pinned, vec![b"a".to_vec(), b"b".to_vec()]);
     }
 
     #[test]
     fn inverted_range_is_empty_not_panic() {
         let mut m = Memtable::new();
-        m.put("t", b"m", b"v".to_vec());
-        assert_eq!(m.range("t", b"z", Some(b"a")).count(), 0);
+        m.put("t", b"m", b"v".to_vec(), 1);
+        assert_eq!(m.range("t", b"z", Some(b"a"), LATEST).count(), 0);
         // Equal bounds: empty half-open interval.
-        assert_eq!(m.range("t", b"m", Some(b"m")).count(), 0);
+        assert_eq!(m.range("t", b"m", Some(b"m"), LATEST).count(), 0);
     }
 
     #[test]
     fn tombstones_appear_in_range() {
         let mut m = Memtable::new();
-        m.put("t", b"a", b"1".to_vec());
-        m.delete("t", b"b");
-        let got: Vec<_> = m.range("t", b"", None).collect();
+        m.put("t", b"a", b"1".to_vec(), 1);
+        m.delete("t", b"b", 2);
+        let got: Vec<_> = m.range("t", b"", None, LATEST).collect();
         assert_eq!(got.len(), 2);
-        assert_eq!(got[1].1, None);
+        assert_eq!(got[1].2, None);
+    }
+
+    #[test]
+    fn range_tombstone_covers_and_reports_lsn() {
+        let mut m = Memtable::new();
+        m.put("t", b"b", b"1".to_vec(), 1);
+        m.delete_range("t", b"a", Some(b"c"), 5);
+        m.put("t", b"b", b"2".to_vec(), 7);
+        assert_eq!(m.max_covering_rt("t", b"b", LATEST), Some(5));
+        assert_eq!(m.max_covering_rt("t", b"c", LATEST), None, "end exclusive");
+        assert_eq!(m.max_covering_rt("t", b"b", 4), None, "pinned before");
+        assert_eq!(m.max_covering_rt("u", b"b", LATEST), None, "table scoped");
+        // Unbounded end covers everything from start on.
+        m.delete_range("t", b"x", None, 6);
+        assert_eq!(m.max_covering_rt("t", b"zzz", LATEST), Some(6));
+        assert_eq!(m.ranges().len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn entries_stream_is_key_asc_lsn_desc() {
+        let mut m = Memtable::new();
+        m.put("t", b"a", b"1".to_vec(), 1);
+        m.put("t", b"a", b"2".to_vec(), 3);
+        m.put("t", b"b", b"3".to_vec(), 2);
+        let flat: Vec<_> = m
+            .entries()
+            .into_iter()
+            .map(|((_, k), lsn, _)| (k, lsn))
+            .collect();
+        assert_eq!(
+            flat,
+            vec![(b"a".to_vec(), 3), (b"a".to_vec(), 1), (b"b".to_vec(), 2)]
+        );
+        assert_eq!(m.max_lsn(), Some(3));
     }
 
     #[test]
     fn clear_resets_size() {
         let mut m = Memtable::new();
-        m.put("t", b"a", vec![0; 100]);
+        m.put("t", b"a", vec![0; 100], 1);
+        m.delete_range("t", b"", None, 2);
         assert!(m.approx_bytes() >= 100);
         m.clear();
         assert!(m.is_empty());
         assert_eq!(m.approx_bytes(), 0);
+        assert_eq!(m.max_lsn(), None);
     }
 }

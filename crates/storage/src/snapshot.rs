@@ -1,0 +1,105 @@
+//! MVCC snapshot plumbing: log sequence numbers and the registry of
+//! pinned reader snapshots.
+//!
+//! Every committed batch is assigned one monotonically increasing
+//! [`Lsn`] inside the WAL lock — the same number the batch's `Commit`
+//! frame carries as its txid — so the WAL order *is* the version order.
+//! A reader pins the engine's committed LSN at snapshot creation and
+//! from then on sees exactly the versions with `lsn <= pin`, however
+//! many commits, flushes or compactions land concurrently.
+//!
+//! The [`SnapshotRegistry`] tracks which LSNs are pinned so compaction
+//! can compute its fold horizon: versions at or below the *oldest* pin
+//! must be preserved one-per-key (the newest at-or-below), everything
+//! newer survives verbatim, and only with no pins at all may the
+//! horizon advance to the committed LSN.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Log sequence number: one per committed batch, totally ordered.
+/// Doubles as the `Commit` frame's txid in the WAL.
+pub type Lsn = u64;
+
+/// Multiset of pinned snapshot LSNs, keyed for O(log n) oldest lookup.
+///
+/// Pins are reference-counted per LSN: `as_of` reads and concurrently
+/// created snapshots may share a pin point.
+#[derive(Debug, Default)]
+pub struct SnapshotRegistry {
+    pins: Mutex<BTreeMap<Lsn, usize>>,
+}
+
+impl SnapshotRegistry {
+    /// Empty registry: no pins, folding is unconstrained.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin `lsn`; compaction may no longer fold versions a reader at
+    /// `lsn` could observe.
+    pub fn pin(&self, lsn: Lsn) {
+        let mut pins = self.pins.lock().expect("snapshot registry poisoned");
+        *pins.entry(lsn).or_insert(0) += 1;
+    }
+
+    /// Release one pin of `lsn` (snapshot drop).
+    pub fn unpin(&self, lsn: Lsn) {
+        let mut pins = self.pins.lock().expect("snapshot registry poisoned");
+        if let Some(count) = pins.get_mut(&lsn) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&lsn);
+            }
+        }
+    }
+
+    /// The oldest live pin, if any — the compaction fold horizon floor.
+    pub fn oldest(&self) -> Option<Lsn> {
+        self.pins
+            .lock()
+            .expect("snapshot registry poisoned")
+            .keys()
+            .next()
+            .copied()
+    }
+
+    /// Number of live pins (counting multiplicity).
+    pub fn count(&self) -> usize {
+        self.pins
+            .lock()
+            .expect("snapshot registry poisoned")
+            .values()
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_tracks_pins_and_multiplicity() {
+        let r = SnapshotRegistry::new();
+        assert_eq!(r.oldest(), None);
+        assert_eq!(r.count(), 0);
+        r.pin(7);
+        r.pin(3);
+        r.pin(3);
+        assert_eq!(r.oldest(), Some(3));
+        assert_eq!(r.count(), 3);
+        r.unpin(3);
+        assert_eq!(r.oldest(), Some(3), "second pin at 3 still live");
+        r.unpin(3);
+        assert_eq!(r.oldest(), Some(7));
+        r.unpin(7);
+        assert_eq!(r.oldest(), None);
+    }
+
+    #[test]
+    fn unpin_of_unknown_lsn_is_a_noop() {
+        let r = SnapshotRegistry::new();
+        r.unpin(42);
+        assert_eq!(r.oldest(), None);
+    }
+}

@@ -1,33 +1,45 @@
 //! Sorted-run files ("SSTables").
 //!
-//! Two formats live here:
+//! Three formats live here:
 //!
 //! * the **legacy snapshot** (`snap-*.sst`): one flat body of entries plus
 //!   a trailing `count | crc | MAGIC` footer. Kept so old directories can
 //!   be migrated on open and so the bench harness can compare the old
 //!   full-rewrite checkpoint against the tiered flush.
-//! * the **tiered run** (`run-*.sst`): the immutable unit of the leveled
-//!   store. A run is a sequence of ~4 KiB data blocks, a block index, a
+//! * the **v1 tiered run** (`run-*.sst`, magic `PRUN`): single-version
+//!   entries, no LSNs. Opened **read-only** via footer-version detection;
+//!   every entry decodes with `lsn = 0` (older than any MVCC commit) so
+//!   v1 data sorts below all versioned data, which matches how it was
+//!   written. New v1 files are never produced.
+//! * the **v2 tiered run** (`run-*.sst`, magic `PRN2`): the immutable
+//!   multi-version unit of the leveled store. A run is a sequence of
+//!   ~4 KiB data blocks, a block index, a range-tombstone section, a
 //!   bloom filter and a fixed-size footer:
 //!
 //! ```text
-//! [data block]*                 -- entries sorted by (table, key)
+//! [data block]*                 -- versions sorted by (table, key) asc,
+//!                                  then lsn desc
 //! [index]                       -- per-block offset/len/crc + first key
+//! [range tombstones]            -- count | (table|start|flag[|end]|lsn)*
 //! [bloom]                       -- FNV-1a double-hashed bit array
-//! [footer: index_off u64 | bloom_off u64 | entries u64 |
-//!          tombstones u64 | level u32 | tail_crc u32 | RUN_MAGIC u32]
+//! [footer: index_off u64 | rt_off u64 | bloom_off u64 | entries u64 |
+//!          tombstones u64 | max_lsn u64 | level u32 | tail_crc u32 |
+//!          RUN_MAGIC_V2 u32]
 //! ```
 //!
-//! Each entry is `tag u8 | table | key | [value]` with length-prefixed
-//! byte strings; tombstones round-trip so deletions shadow older runs
-//! until compaction folds them out at the bottom level. The footer also
+//! Each v2 entry is `tag u8 | lsn u64 | table | key | [value]` with
+//! length-prefixed byte strings; point tombstones and range tombstones
+//! round-trip so deletions shadow older runs until compaction folds them
+//! out at the bottom level, below the oldest pinned snapshot. The footer
 //! records the run's **level** so recovery can rebuild correct read
-//! precedence — `(level asc, id desc)` — even when the manifest is lost.
-//! Opening a run reads only index + bloom (`tail_crc` covers exactly
-//! that region), so open cost is O(index), not O(data); each data block
-//! carries its own CRC verified on first touch. Point lookups consult
-//! the bloom filter, binary-search the index and read at most one data
-//! block.
+//! precedence — `(level asc, id desc)` — even when the manifest is lost,
+//! and its **max_lsn** so recovery can restore the engine's LSN clock
+//! after the WAL segment holding those commits was deleted by a flush.
+//! Opening a run reads only index + range tombstones + bloom (`tail_crc`
+//! covers exactly that region), so open cost is O(index), not O(data);
+//! each data block carries its own CRC verified on first touch. Point
+//! lookups consult the bloom filter, binary-search the index and read
+//! one data block (more only when a key's versions spill across blocks).
 
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -37,7 +49,8 @@ use std::path::Path;
 use crate::codec;
 use crate::crc32;
 use crate::error::{StorageError, StorageResult};
-use crate::memtable::NsKey;
+use crate::memtable::{NsKey, RangeTombstone};
+use crate::snapshot::Lsn;
 
 const MAGIC: u32 = 0x5053_5354; // "PSST"
 const TAG_LIVE: u8 = 0;
@@ -148,24 +161,37 @@ pub fn read_snapshot(path: &Path) -> StorageResult<BTreeMap<NsKey, Option<Vec<u8
 // Tiered run format
 // ---------------------------------------------------------------------------
 
-/// Magic trailer of tiered run files ("PRUN").
+/// Magic trailer of v1 (single-version) run files ("PRUN"). Read-only.
 pub const RUN_MAGIC: u32 = 0x5052_554E;
+/// Magic trailer of v2 (LSN-versioned) run files ("PRN2").
+pub const RUN_MAGIC_V2: u32 = 0x5052_4E32;
 /// Target uncompressed size of one data block.
 const BLOCK_TARGET: usize = 4096;
-/// Fixed footer size:
+/// v1 footer size:
 /// index_off + bloom_off + entries + tombstones + level + crc + magic.
-const RUN_FOOTER_LEN: usize = 8 + 8 + 8 + 8 + 4 + 4 + 4;
+const RUN_FOOTER_LEN_V1: usize = 8 + 8 + 8 + 8 + 4 + 4 + 4;
+/// v2 footer size: index_off + rt_off + bloom_off + entries + tombstones
+/// + max_lsn + level + crc + magic.
+const RUN_FOOTER_LEN_V2: usize = 8 * 6 + 4 * 3;
 /// Bloom sizing: bits per entry and number of probes.
 const BLOOM_BITS_PER_KEY: u64 = 10;
 const BLOOM_PROBES: u32 = 7;
 
+/// One versioned run entry: namespaced key, commit LSN, value or
+/// point tombstone.
+pub type VersionedEntry = (NsKey, Lsn, Option<Vec<u8>>);
+
 /// What a run writer reports back: enough for manifests and metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSummary {
-    /// Entries written (live + tombstones).
+    /// Point versions written (live + tombstones).
     pub entries: u64,
-    /// Tombstones among them.
+    /// Point tombstones among them.
     pub tombstones: u64,
+    /// Range tombstone records written.
+    pub range_tombstones: u64,
+    /// Largest LSN of any version or range tombstone (0 when empty).
+    pub max_lsn: Lsn,
     /// Total file size in bytes.
     pub bytes: u64,
 }
@@ -270,29 +296,40 @@ struct BlockMeta {
     first: NsKey,
 }
 
-fn encode_entry(out: &mut Vec<u8>, (table, key): &NsKey, value: &Option<Vec<u8>>) {
+fn encode_entry(out: &mut Vec<u8>, (table, key): &NsKey, lsn: Lsn, value: &Option<Vec<u8>>) {
     match value {
         Some(v) => {
             out.push(TAG_LIVE);
+            codec::put_u64(out, lsn);
             codec::put_bytes(out, table.as_bytes());
             codec::put_bytes(out, key);
             codec::put_bytes(out, v);
         }
         None => {
             out.push(TAG_TOMBSTONE);
+            codec::put_u64(out, lsn);
             codec::put_bytes(out, table.as_bytes());
             codec::put_bytes(out, key);
         }
     }
 }
 
-/// Decode every entry of a (CRC-verified) data block.
-fn decode_block(block: &[u8]) -> StorageResult<Vec<(NsKey, Option<Vec<u8>>)>> {
+/// Decode every entry of a (CRC-verified) data block. `versioned = false`
+/// reads the v1 entry layout (no LSN field); those versions decode as
+/// `lsn = 0`, older than any MVCC commit.
+fn decode_block(block: &[u8], versioned: bool) -> StorageResult<Vec<VersionedEntry>> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     while pos < block.len() {
         let tag = block[pos];
         pos += 1;
+        let lsn = if versioned {
+            let (lsn, n) = codec::get_u64(&block[pos..])?;
+            pos += n;
+            lsn
+        } else {
+            0
+        };
         let (table, n) = codec::get_bytes(&block[pos..])?;
         pos += n;
         let (key, n) = codec::get_bytes(&block[pos..])?;
@@ -313,29 +350,84 @@ fn decode_block(block: &[u8]) -> StorageResult<Vec<(NsKey, Option<Vec<u8>>)>> {
         };
         let table = String::from_utf8(table.to_vec())
             .map_err(|_| StorageError::Decode("non-utf8 table in run".into()))?;
-        out.push(((table, key.to_vec()), value));
+        out.push(((table, key.to_vec()), lsn, value));
     }
     Ok(out)
 }
 
-/// Write `entries` (already sorted ascending by `NsKey`, one version per
-/// key) as a tiered run at `path`, recorded as living at `level`.
-/// Streaming: memory use is bounded by one block plus the index/bloom,
-/// never by the data set — the bloom filter is sized up front from
+fn encode_range_tombstones(out: &mut Vec<u8>, ranges: &[RangeTombstone]) {
+    codec::put_u32(out, ranges.len() as u32);
+    for rt in ranges {
+        codec::put_bytes(out, rt.table.as_bytes());
+        codec::put_bytes(out, &rt.start);
+        match &rt.end {
+            Some(end) => {
+                out.push(1);
+                codec::put_bytes(out, end);
+            }
+            None => out.push(0),
+        }
+        codec::put_u64(out, rt.lsn);
+    }
+}
+
+fn decode_range_tombstones(buf: &[u8]) -> StorageResult<(Vec<RangeTombstone>, usize)> {
+    let (count, mut pos) = codec::get_u32(buf)?;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (table, n) = codec::get_bytes(&buf[pos..])?;
+        pos += n;
+        let (start, n) = codec::get_bytes(&buf[pos..])?;
+        pos += n;
+        let end = match buf.get(pos) {
+            Some(0) => {
+                pos += 1;
+                None
+            }
+            Some(1) => {
+                pos += 1;
+                let (end, n) = codec::get_bytes(&buf[pos..])?;
+                pos += n;
+                Some(end.to_vec())
+            }
+            _ => return Err(StorageError::Decode("bad range-tombstone end flag".into())),
+        };
+        let (lsn, n) = codec::get_u64(&buf[pos..])?;
+        pos += n;
+        out.push(RangeTombstone {
+            table: String::from_utf8(table.to_vec())
+                .map_err(|_| StorageError::Decode("non-utf8 table in run".into()))?,
+            start: start.to_vec(),
+            end,
+            lsn,
+        });
+    }
+    Ok((out, pos))
+}
+
+/// Write `entries` (already sorted ascending by `NsKey`, then LSN
+/// *descending* within a key — a [`Memtable::entries`] stream or a merge
+/// of such streams qualifies) plus `ranges` as a v2 tiered run at
+/// `path`, recorded as living at `level`. Streaming: memory use is
+/// bounded by one block plus the index/bloom/range sections, never by
+/// the data set — the bloom filter is sized up front from
 /// `expected_entries` (an upper bound the caller always knows: the
-/// memtable length for a flush, the summed input entry counts for a
-/// merge) and its bits are set as entries stream through. Overshooting
+/// memtable version count for a flush, the summed input entry counts for
+/// a merge) and its bits are set as entries stream through. Overshooting
 /// the bound only lowers the false-positive rate; undershooting raises
 /// it but never produces a false negative. The iterator yields results
 /// so a compaction merge can propagate read errors from its inputs.
+///
+/// [`Memtable::entries`]: crate::memtable::Memtable::entries
 pub fn write_run<I>(
     path: &Path,
     level: u32,
     expected_entries: u64,
     entries: I,
+    ranges: &[RangeTombstone],
 ) -> StorageResult<RunSummary>
 where
-    I: IntoIterator<Item = StorageResult<(NsKey, Option<Vec<u8>>)>>,
+    I: IntoIterator<Item = StorageResult<VersionedEntry>>,
 {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
@@ -345,6 +437,7 @@ where
     let mut offset = 0u64;
     let mut entry_count = 0u64;
     let mut tombstone_count = 0u64;
+    let mut max_lsn: Lsn = ranges.iter().map(|rt| rt.lsn).max().unwrap_or(0);
     let mut bloom = Bloom::with_capacity(expected_entries);
 
     let flush_block = |w: &mut BufWriter<File>,
@@ -370,15 +463,16 @@ where
     };
 
     for item in entries {
-        let (nskey, value) = item?;
+        let (nskey, lsn, value) = item?;
         if block_first.is_none() {
             block_first = Some(nskey.clone());
         }
-        encode_entry(&mut block, &nskey, &value);
+        encode_entry(&mut block, &nskey, lsn, &value);
         entry_count += 1;
         if value.is_none() {
             tombstone_count += 1;
         }
+        max_lsn = max_lsn.max(lsn);
         let (table, key) = &nskey;
         bloom.insert(table.as_bytes(), key);
         if block.len() >= BLOCK_TARGET {
@@ -409,11 +503,117 @@ where
         codec::put_bytes(&mut tail, meta.first.0.as_bytes());
         codec::put_bytes(&mut tail, &meta.first.1);
     }
+    let rt_off = index_off + tail.len() as u64;
+    encode_range_tombstones(&mut tail, ranges);
     let bloom_off = index_off + tail.len() as u64;
     bloom.encode(&mut tail);
     let tail_crc = crc32::checksum(&tail);
     w.write_all(&tail)?;
-    let mut footer = Vec::with_capacity(RUN_FOOTER_LEN);
+    let mut footer = Vec::with_capacity(RUN_FOOTER_LEN_V2);
+    codec::put_u64(&mut footer, index_off);
+    codec::put_u64(&mut footer, rt_off);
+    codec::put_u64(&mut footer, bloom_off);
+    codec::put_u64(&mut footer, entry_count);
+    codec::put_u64(&mut footer, tombstone_count);
+    codec::put_u64(&mut footer, max_lsn);
+    codec::put_u32(&mut footer, level);
+    codec::put_u32(&mut footer, tail_crc);
+    codec::put_u32(&mut footer, RUN_MAGIC_V2);
+    w.write_all(&footer)?;
+    w.flush()?;
+    w.get_ref().sync_data()?;
+    let bytes = offset + (tail.len() + RUN_FOOTER_LEN_V2) as u64;
+    Ok(RunSummary {
+        entries: entry_count,
+        tombstones: tombstone_count,
+        range_tombstones: ranges.len() as u64,
+        max_lsn,
+        bytes,
+    })
+}
+
+/// Write a **v1** (single-version, pre-MVCC) run file. Production code
+/// never calls this — it exists so tests can forge legacy directories
+/// and prove the footer-version detection keeps them readable.
+#[doc(hidden)]
+pub fn write_run_v1<I>(
+    path: &Path,
+    level: u32,
+    expected_entries: u64,
+    entries: I,
+) -> StorageResult<RunSummary>
+where
+    I: IntoIterator<Item = StorageResult<(NsKey, Option<Vec<u8>>)>>,
+{
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut index: Vec<BlockMeta> = Vec::new();
+    let mut block = Vec::with_capacity(BLOCK_TARGET + 512);
+    let mut block_first: Option<NsKey> = None;
+    let mut offset = 0u64;
+    let mut entry_count = 0u64;
+    let mut tombstone_count = 0u64;
+    let mut bloom = Bloom::with_capacity(expected_entries);
+    for item in entries {
+        let ((table, key), value) = item?;
+        if block_first.is_none() {
+            block_first = Some((table.clone(), key.clone()));
+        }
+        match &value {
+            Some(v) => {
+                block.push(TAG_LIVE);
+                codec::put_bytes(&mut block, table.as_bytes());
+                codec::put_bytes(&mut block, &key);
+                codec::put_bytes(&mut block, v);
+            }
+            None => {
+                block.push(TAG_TOMBSTONE);
+                codec::put_bytes(&mut block, table.as_bytes());
+                codec::put_bytes(&mut block, &key);
+                tombstone_count += 1;
+            }
+        }
+        entry_count += 1;
+        bloom.insert(table.as_bytes(), &key);
+        if block.len() >= BLOCK_TARGET {
+            let meta = BlockMeta {
+                offset,
+                len: block.len() as u32,
+                crc: crc32::checksum(&block),
+                first: block_first.take().expect("non-empty block"),
+            };
+            w.write_all(&block)?;
+            offset += block.len() as u64;
+            index.push(meta);
+            block.clear();
+        }
+    }
+    if !block.is_empty() {
+        let meta = BlockMeta {
+            offset,
+            len: block.len() as u32,
+            crc: crc32::checksum(&block),
+            first: block_first.take().expect("non-empty block"),
+        };
+        w.write_all(&block)?;
+        offset += block.len() as u64;
+        index.push(meta);
+    }
+    let index_off = offset;
+    let mut tail = Vec::new();
+    codec::put_u32(&mut tail, index.len() as u32);
+    for meta in &index {
+        codec::put_u64(&mut tail, meta.offset);
+        codec::put_u32(&mut tail, meta.len);
+        codec::put_u32(&mut tail, meta.crc);
+        codec::put_bytes(&mut tail, meta.first.0.as_bytes());
+        codec::put_bytes(&mut tail, &meta.first.1);
+    }
+    let bloom_off = index_off + tail.len() as u64;
+    bloom.encode(&mut tail);
+    let tail_crc = crc32::checksum(&tail);
+    w.write_all(&tail)?;
+    let mut footer = Vec::with_capacity(RUN_FOOTER_LEN_V1);
     codec::put_u64(&mut footer, index_off);
     codec::put_u64(&mut footer, bloom_off);
     codec::put_u64(&mut footer, entry_count);
@@ -424,10 +624,12 @@ where
     w.write_all(&footer)?;
     w.flush()?;
     w.get_ref().sync_data()?;
-    let bytes = offset + (tail.len() + RUN_FOOTER_LEN) as u64;
+    let bytes = offset + (tail.len() + RUN_FOOTER_LEN_V1) as u64;
     Ok(RunSummary {
         entries: entry_count,
         tombstones: tombstone_count,
+        range_tombstones: 0,
+        max_lsn: 0,
         bytes,
     })
 }
@@ -464,66 +666,114 @@ fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()
     f.read_exact(buf)
 }
 
-/// Callback for [`Run::scan_range`]: borrowed key and value (`None` =
-/// tombstone).
-pub type ScanVisitor<'a> = dyn FnMut(&[u8], Option<&[u8]>) + 'a;
+/// Callback for [`Run::scan_range`]: borrowed key, commit LSN and value
+/// (`None` = tombstone).
+pub type ScanVisitor<'a> = dyn FnMut(&[u8], Lsn, Option<&[u8]>) + 'a;
 
 /// Result of a point lookup inside one run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunLookup {
     /// The bloom filter proved the key absent; no block was read.
     BloomSkip,
-    /// The filter passed but the key is not in the run (false positive).
+    /// The filter passed but no version at or below the read LSN exists
+    /// in the run (false positive, or all versions are newer).
     Absent,
-    /// The run's newest version of the key is a deletion.
-    Tombstone,
-    /// The run's newest version of the key is this value.
-    Value(Vec<u8>),
+    /// The run's newest visible version of the key is a deletion,
+    /// committed at this LSN.
+    Tombstone(Lsn),
+    /// The run's newest visible version of the key is this value,
+    /// committed at this LSN.
+    Value(Lsn, Vec<u8>),
 }
 
-/// An open, immutable tiered run. Cheap to open (index + bloom only) and
-/// safe to share across threads: all reads are positional.
+/// An open, immutable tiered run. Cheap to open (index + range
+/// tombstones + bloom only) and safe to share across threads: all reads
+/// are positional.
 #[derive(Debug)]
 pub struct Run {
     file: File,
     index: Vec<BlockMeta>,
     bloom: Bloom,
+    ranges: Vec<RangeTombstone>,
     entries: u64,
     tombstones: u64,
+    max_lsn: Lsn,
     level: u32,
     bytes: u64,
+    /// True for v2 (LSN-versioned) files, false for read-only v1.
+    versioned: bool,
 }
 
 impl Run {
-    /// Open a run file, verifying footer magic and the index/bloom CRC.
-    /// Data blocks are verified lazily, on first read.
+    /// Open a run file, detecting the format version from the trailing
+    /// magic and verifying the index/bloom CRC. Data blocks are verified
+    /// lazily, on first read. v1 files open read-only with `lsn = 0`
+    /// on every entry and no range tombstones.
     pub fn open(path: &Path) -> StorageResult<Run> {
         let mut file = File::open(path)?;
         let len = file.metadata()?.len();
-        if len < RUN_FOOTER_LEN as u64 {
+        use std::io::{Seek, SeekFrom};
+        if len < 4 {
+            return Err(StorageError::corrupt(0, "run shorter than magic"));
+        }
+        file.seek(SeekFrom::End(-4))?;
+        let mut magic_buf = [0u8; 4];
+        file.read_exact(&mut magic_buf)?;
+        let (magic, _) = codec::get_u32(&magic_buf)?;
+        match magic {
+            RUN_MAGIC_V2 => Self::open_with_footer(file, len, true),
+            RUN_MAGIC => Self::open_with_footer(file, len, false),
+            other => Err(StorageError::corrupt(
+                len - 4,
+                format!("bad run magic {other:#x}"),
+            )),
+        }
+    }
+
+    fn open_with_footer(mut file: File, len: u64, versioned: bool) -> StorageResult<Run> {
+        use std::io::{Seek, SeekFrom};
+        let footer_len = if versioned {
+            RUN_FOOTER_LEN_V2
+        } else {
+            RUN_FOOTER_LEN_V1
+        };
+        if len < footer_len as u64 {
             return Err(StorageError::corrupt(0, "run shorter than footer"));
         }
-        use std::io::{Seek, SeekFrom};
-        file.seek(SeekFrom::End(-(RUN_FOOTER_LEN as i64)))?;
-        let mut footer = [0u8; RUN_FOOTER_LEN];
+        file.seek(SeekFrom::End(-(footer_len as i64)))?;
+        let mut footer = vec![0u8; footer_len];
         file.read_exact(&mut footer)?;
-        let (index_off, _) = codec::get_u64(&footer)?;
-        let (bloom_off, _) = codec::get_u64(&footer[8..])?;
-        let (entries, _) = codec::get_u64(&footer[16..])?;
-        let (tombstones, _) = codec::get_u64(&footer[24..])?;
-        let (level, _) = codec::get_u32(&footer[32..])?;
-        let (tail_crc, _) = codec::get_u32(&footer[36..])?;
-        let (magic, _) = codec::get_u32(&footer[40..])?;
-        if magic != RUN_MAGIC {
+        let mut pos = 0usize;
+        let (index_off, n) = codec::get_u64(&footer)?;
+        pos += n;
+        let rt_off = if versioned {
+            let (v, n) = codec::get_u64(&footer[pos..])?;
+            pos += n;
+            Some(v)
+        } else {
+            None
+        };
+        let (bloom_off, n) = codec::get_u64(&footer[pos..])?;
+        pos += n;
+        let (entries, n) = codec::get_u64(&footer[pos..])?;
+        pos += n;
+        let (tombstones, n) = codec::get_u64(&footer[pos..])?;
+        pos += n;
+        let max_lsn = if versioned {
+            let (v, n) = codec::get_u64(&footer[pos..])?;
+            pos += n;
+            v
+        } else {
+            0
+        };
+        let (level, n) = codec::get_u32(&footer[pos..])?;
+        pos += n;
+        let (tail_crc, _) = codec::get_u32(&footer[pos..])?;
+        let tail_len = len - footer_len as u64;
+        let rt_off_checked = rt_off.unwrap_or(bloom_off);
+        if index_off > rt_off_checked || rt_off_checked > bloom_off || bloom_off > tail_len {
             return Err(StorageError::corrupt(
-                len - 4,
-                format!("bad run magic {magic:#x}"),
-            ));
-        }
-        let tail_len = len - RUN_FOOTER_LEN as u64;
-        if index_off > bloom_off || bloom_off > tail_len {
-            return Err(StorageError::corrupt(
-                len - RUN_FOOTER_LEN as u64,
+                len - footer_len as u64,
                 "run footer offsets out of range",
             ));
         }
@@ -564,6 +814,20 @@ impl Run {
                 ),
             });
         }
+        let ranges = match rt_off {
+            Some(rt_off) => {
+                if pos != (rt_off - index_off) as usize {
+                    return Err(StorageError::corrupt(
+                        index_off,
+                        "run index length mismatch",
+                    ));
+                }
+                let (ranges, consumed) = decode_range_tombstones(&tail[pos..])?;
+                pos += consumed;
+                ranges
+            }
+            None => Vec::new(),
+        };
         if pos != (bloom_off - index_off) as usize {
             return Err(StorageError::corrupt(
                 index_off,
@@ -575,21 +839,41 @@ impl Run {
             file,
             index,
             bloom,
+            ranges,
             entries,
             tombstones,
+            max_lsn,
             level,
             bytes: len,
+            versioned,
         })
     }
 
-    /// Entries recorded in the footer (live + tombstones).
+    /// Point versions recorded in the footer (live + tombstones).
     pub fn entries(&self) -> u64 {
         self.entries
     }
 
-    /// Tombstones recorded in the footer.
+    /// Point tombstones recorded in the footer.
     pub fn tombstones(&self) -> u64 {
         self.tombstones
+    }
+
+    /// Range tombstones carried by the run (always empty for v1 files).
+    pub fn ranges(&self) -> &[RangeTombstone] {
+        &self.ranges
+    }
+
+    /// Largest commit LSN in the run (0 for v1 files). Feeds the
+    /// engine's LSN clock recovery: flushes delete the WAL segment that
+    /// held these commits, so the clock must be restorable from runs.
+    pub fn max_lsn(&self) -> Lsn {
+        self.max_lsn
+    }
+
+    /// True for v2 (LSN-versioned) files, false for read-only v1.
+    pub fn versioned(&self) -> bool {
+        self.versioned
     }
 
     /// Level the run was written for, recorded in the footer. Lets
@@ -604,7 +888,17 @@ impl Run {
         self.bytes
     }
 
-    fn read_block(&self, meta: &BlockMeta) -> StorageResult<Vec<(NsKey, Option<Vec<u8>>)>> {
+    /// Largest range-tombstone LSN at or below `max_lsn` covering
+    /// `(table, key)`, if any.
+    pub fn max_covering_rt(&self, table: &str, key: &[u8], max_lsn: Lsn) -> Option<Lsn> {
+        self.ranges
+            .iter()
+            .filter(|rt| rt.lsn <= max_lsn && rt.covers(table, key))
+            .map(|rt| rt.lsn)
+            .max()
+    }
+
+    fn read_block(&self, meta: &BlockMeta) -> StorageResult<Vec<VersionedEntry>> {
         let mut buf = vec![0u8; meta.len as usize];
         read_exact_at(&self.file, &mut buf, meta.offset)?;
         if crc32::checksum(&buf) != meta.crc {
@@ -613,48 +907,79 @@ impl Run {
                 "run data block CRC mismatch",
             ));
         }
-        decode_block(&buf)
+        decode_block(&buf, self.versioned)
     }
 
-    /// Index of the block that could contain `target`: the last block whose
-    /// first key is `<= target`, or `None` when `target` sorts before all.
+    /// Index of the first block that could contain `target`'s newest
+    /// version, or `None` when `target` sorts before all keys. A long
+    /// version chain makes several consecutive blocks share `target` as
+    /// their first key, and the chain head may sit at the *end* of the
+    /// block before them — so equality resolves left, not to an
+    /// arbitrary binary-search hit.
     fn block_for(&self, target: &NsKey) -> Option<usize> {
-        match self.index.binary_search_by(|m| m.first.cmp(target)) {
-            Ok(i) => Some(i),
-            Err(0) => None,
-            Err(i) => Some(i - 1),
+        let i = self.index.partition_point(|m| m.first < *target);
+        if i > 0 {
+            Some(i - 1)
+        } else if self.index.first().is_some_and(|m| m.first == *target) {
+            Some(0)
+        } else {
+            None
         }
     }
 
-    /// Point lookup: bloom check, index binary search, at most one block
-    /// read.
-    pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<RunLookup> {
+    /// Point lookup of the newest version at or below `max_lsn`: bloom
+    /// check, index binary search, one block read (more only when the
+    /// key's versions spill across block boundaries). Range tombstones
+    /// are NOT resolved here — the caller overlays
+    /// [`max_covering_rt`](Self::max_covering_rt).
+    pub fn get(&self, table: &str, key: &[u8], max_lsn: Lsn) -> StorageResult<RunLookup> {
         if !self.bloom.may_contain(table.as_bytes(), key) {
             return Ok(RunLookup::BloomSkip);
         }
         let target: NsKey = (table.to_string(), key.to_vec());
-        let Some(bi) = self.block_for(&target) else {
+        let Some(first) = self.block_for(&target) else {
             return Ok(RunLookup::Absent);
         };
-        let block = self.read_block(&self.index[bi])?;
-        match block.binary_search_by(|(k, _)| k.cmp(&target)) {
-            Ok(i) => Ok(match &block[i].1 {
-                Some(v) => RunLookup::Value(v.clone()),
-                None => RunLookup::Tombstone,
-            }),
-            Err(_) => Ok(RunLookup::Absent),
+        // Versions of one key sit consecutively (lsn desc) but may cross
+        // a block boundary; keep reading while blocks still hold the key.
+        for meta in &self.index[first..] {
+            if meta.first > target {
+                break;
+            }
+            let block = self.read_block(meta)?;
+            for (k, lsn, v) in &block {
+                match k.cmp(&target) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => {
+                        if *lsn <= max_lsn {
+                            return Ok(match v {
+                                Some(v) => RunLookup::Value(*lsn, v.clone()),
+                                None => RunLookup::Tombstone(*lsn),
+                            });
+                        }
+                    }
+                    std::cmp::Ordering::Greater => return Ok(RunLookup::Absent),
+                }
+            }
+            // Block ended at or before the key: versions may continue in
+            // the next block (whose first key is then `== target`); the
+            // loop's `first > target` guard ends the walk otherwise.
         }
+        Ok(RunLookup::Absent)
     }
 
-    /// Visit every entry of `table` with key in `[start, end)` (`end =
-    /// None` meaning unbounded), including tombstones, in key order. The
-    /// callback borrows from the block buffer so callers copy only what
-    /// they keep — `count` copies nothing.
+    /// Visit the newest version at or below `max_lsn` of every key of
+    /// `table` in `[start, end)` (`end = None` meaning unbounded),
+    /// including tombstones, in key order. The callback borrows from the
+    /// block buffer so callers copy only what they keep — `count` copies
+    /// nothing. Range tombstones are not applied (the caller overlays
+    /// [`ranges`](Self::ranges)).
     pub fn scan_range(
         &self,
         table: &str,
         start: &[u8],
         end: Option<&[u8]>,
+        max_lsn: Lsn,
         f: &mut ScanVisitor<'_>,
     ) -> StorageResult<()> {
         if matches!(end, Some(e) if e <= start) {
@@ -662,26 +987,35 @@ impl Run {
         }
         let lo: NsKey = (table.to_string(), start.to_vec());
         let first_block = self.block_for(&lo).unwrap_or(0);
+        // The key whose newest visible version was already emitted (or
+        // all of whose visible versions were skipped as too new is NOT
+        // recorded here — only emission suppresses older versions).
+        let mut emitted: Option<Vec<u8>> = None;
         for meta in &self.index[first_block..] {
             // Stop once a block starts past the upper bound.
             let (bt, bk) = &meta.first;
             if bt.as_str() > table || (bt == table && end.is_some_and(|e| bk.as_slice() >= e)) {
                 break;
             }
-            for ((t, k), v) in self.read_block(meta)? {
+            for ((t, k), lsn, v) in self.read_block(meta)? {
                 if t.as_str() < table || (t == table && k.as_slice() < start) {
                     continue;
                 }
                 if t.as_str() > table || (t == table && end.is_some_and(|e| k.as_slice() >= e)) {
                     return Ok(());
                 }
-                f(&k, v.as_deref());
+                if lsn > max_lsn || emitted.as_deref() == Some(k.as_slice()) {
+                    continue;
+                }
+                f(&k, lsn, v.as_deref());
+                emitted = Some(k);
             }
         }
         Ok(())
     }
 
-    /// Streaming iterator over every entry, block at a time.
+    /// Streaming iterator over every version, block at a time, in
+    /// `(key asc, lsn desc)` order.
     pub fn iter(&self) -> RunIter<'_> {
         RunIter {
             run: self,
@@ -693,18 +1027,18 @@ impl Run {
     }
 }
 
-/// Streaming iterator over a run's entries; memory bounded by one block.
+/// Streaming iterator over a run's versions; memory bounded by one block.
 #[derive(Debug)]
 pub struct RunIter<'a> {
     run: &'a Run,
     next_block: usize,
-    buffered: Vec<(NsKey, Option<Vec<u8>>)>,
+    buffered: Vec<VersionedEntry>,
     pos: usize,
     failed: bool,
 }
 
 impl Iterator for RunIter<'_> {
-    type Item = StorageResult<(NsKey, Option<Vec<u8>>)>;
+    type Item = StorageResult<VersionedEntry>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.failed {
@@ -807,6 +1141,8 @@ mod tests {
 
     // -- tiered runs --------------------------------------------------------
 
+    const LATEST: Lsn = Lsn::MAX;
+
     fn write_sample_run(path: &Path, n: u32) -> RunSummary {
         let entries = (0..n).map(|i| {
             let key = format!("k{i:06}").into_bytes();
@@ -815,9 +1151,9 @@ mod tests {
             } else {
                 Some(format!("value-{i}").into_bytes())
             };
-            Ok((("records".to_string(), key), value))
+            Ok((("records".to_string(), key), Lsn::from(i + 1), value))
         });
-        write_run(path, 1, u64::from(n), entries).unwrap()
+        write_run(path, 1, u64::from(n), entries, &[]).unwrap()
     }
 
     #[test]
@@ -829,27 +1165,35 @@ mod tests {
             summary.tombstones,
             (0..2000).filter(|i| i % 7 == 3).count() as u64
         );
+        assert_eq!(summary.max_lsn, 2000);
 
         let run = Run::open(&path).unwrap();
         assert_eq!(run.entries(), summary.entries);
         assert_eq!(run.tombstones(), summary.tombstones);
+        assert_eq!(run.max_lsn(), 2000);
+        assert!(run.versioned());
         assert!(run.index.len() > 1, "2000 entries must span several blocks");
 
         assert_eq!(
-            run.get("records", b"k000000").unwrap(),
-            RunLookup::Value(b"value-0".to_vec())
+            run.get("records", b"k000000", LATEST).unwrap(),
+            RunLookup::Value(1, b"value-0".to_vec())
         );
         assert_eq!(
-            run.get("records", b"k000003").unwrap(),
-            RunLookup::Tombstone
+            run.get("records", b"k000003", LATEST).unwrap(),
+            RunLookup::Tombstone(4)
+        );
+        // A pin below the entry's LSN hides it.
+        assert_eq!(
+            run.get("records", b"k000003", 3).unwrap(),
+            RunLookup::Absent
         );
         // Keys in other tables or outside the range miss, mostly via bloom.
         assert!(matches!(
-            run.get("records", b"zzz").unwrap(),
+            run.get("records", b"zzz", LATEST).unwrap(),
             RunLookup::BloomSkip | RunLookup::Absent
         ));
         assert!(matches!(
-            run.get("other", b"k000000").unwrap(),
+            run.get("other", b"k000000", LATEST).unwrap(),
             RunLookup::BloomSkip | RunLookup::Absent
         ));
 
@@ -859,25 +1203,182 @@ mod tests {
     }
 
     #[test]
+    fn multi_version_keys_resolve_newest_at_or_below_the_pin() {
+        let path = tmpfile("run-versions");
+        // One key with three versions (lsn desc), then another key.
+        let entries = vec![
+            Ok((("t".to_string(), b"k".to_vec()), 9, None)),
+            Ok((("t".to_string(), b"k".to_vec()), 5, Some(b"v5".to_vec()))),
+            Ok((("t".to_string(), b"k".to_vec()), 2, Some(b"v2".to_vec()))),
+            Ok((("t".to_string(), b"z".to_vec()), 7, Some(b"z7".to_vec()))),
+        ];
+        write_run(&path, 1, 4, entries, &[]).unwrap();
+        let run = Run::open(&path).unwrap();
+        assert_eq!(run.get("t", b"k", LATEST).unwrap(), RunLookup::Tombstone(9));
+        assert_eq!(
+            run.get("t", b"k", 8).unwrap(),
+            RunLookup::Value(5, b"v5".to_vec())
+        );
+        assert_eq!(
+            run.get("t", b"k", 2).unwrap(),
+            RunLookup::Value(2, b"v2".to_vec())
+        );
+        assert_eq!(run.get("t", b"k", 1).unwrap(), RunLookup::Absent);
+        // Scans emit one version per key — the newest visible.
+        let mut got = Vec::new();
+        run.scan_range("t", b"", None, 8, &mut |k, lsn, v| {
+            got.push((k.to_vec(), lsn, v.map(<[u8]>::to_vec)));
+        })
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (b"k".to_vec(), 5, Some(b"v5".to_vec())),
+                (b"z".to_vec(), 7, Some(b"z7".to_vec())),
+            ]
+        );
+    }
+
+    #[test]
+    fn version_chain_spilling_across_blocks_still_resolves() {
+        let path = tmpfile("run-spill");
+        // Enough versions of ONE key to span several 4 KiB blocks, newest
+        // first, then a final different key.
+        let n = 600u64;
+        let mut entries: Vec<StorageResult<VersionedEntry>> = (0..n)
+            .map(|i| {
+                let lsn = n - i; // descending
+                Ok((
+                    ("t".to_string(), b"hot".to_vec()),
+                    lsn,
+                    Some(format!("v{lsn:09}").into_bytes()),
+                ))
+            })
+            .collect();
+        entries.push(Ok((
+            ("t".to_string(), b"tail".to_vec()),
+            n + 1,
+            Some(b"end".to_vec()),
+        )));
+        write_run(&path, 1, n + 1, entries, &[]).unwrap();
+        let run = Run::open(&path).unwrap();
+        assert!(run.index.len() > 1, "chain must cross blocks");
+        // The oldest version lives blocks away from where block_for lands.
+        assert_eq!(
+            run.get("t", b"hot", 1).unwrap(),
+            RunLookup::Value(1, b"v000000001".to_vec())
+        );
+        assert_eq!(
+            run.get("t", b"hot", n / 2).unwrap(),
+            RunLookup::Value(n / 2, format!("v{:09}", n / 2).into_bytes())
+        );
+        assert_eq!(run.get("t", b"hot", 0).unwrap(), RunLookup::Absent);
+        assert_eq!(
+            run.get("t", b"tail", LATEST).unwrap(),
+            RunLookup::Value(n + 1, b"end".to_vec())
+        );
+    }
+
+    #[test]
+    fn range_tombstones_roundtrip_and_cover() {
+        let path = tmpfile("run-rt");
+        let ranges = vec![
+            RangeTombstone {
+                table: "t".into(),
+                start: b"a".to_vec(),
+                end: Some(b"m".to_vec()),
+                lsn: 40,
+            },
+            RangeTombstone {
+                table: "u".into(),
+                start: Vec::new(),
+                end: None,
+                lsn: 50,
+            },
+        ];
+        let entries = vec![Ok((
+            ("t".to_string(), b"b".to_vec()),
+            10,
+            Some(b"v".to_vec()),
+        ))];
+        let summary = write_run(&path, 2, 1, entries, &ranges).unwrap();
+        assert_eq!(summary.range_tombstones, 2);
+        assert_eq!(summary.max_lsn, 50, "range tombstone LSNs count");
+        let run = Run::open(&path).unwrap();
+        assert_eq!(run.ranges(), ranges.as_slice());
+        assert_eq!(run.max_covering_rt("t", b"b", LATEST), Some(40));
+        assert_eq!(run.max_covering_rt("t", b"b", 39), None);
+        assert_eq!(run.max_covering_rt("t", b"m", LATEST), None);
+        assert_eq!(run.max_covering_rt("u", b"anything", LATEST), Some(50));
+        assert_eq!(run.level(), 2);
+    }
+
+    #[test]
+    fn v1_runs_open_read_only_with_zero_lsns() {
+        let path = tmpfile("run-v1");
+        let entries = (0..300u32).map(|i| {
+            let key = format!("k{i:04}").into_bytes();
+            let value = if i % 9 == 4 {
+                None
+            } else {
+                Some(format!("old-{i}").into_bytes())
+            };
+            Ok((("records".to_string(), key), value))
+        });
+        write_run_v1(&path, 2, 300, entries).unwrap();
+        let run = Run::open(&path).unwrap();
+        assert!(!run.versioned(), "footer magic detects v1");
+        assert_eq!(run.level(), 2);
+        assert_eq!(run.max_lsn(), 0);
+        assert!(run.ranges().is_empty());
+        assert_eq!(
+            run.get("records", b"k0000", LATEST).unwrap(),
+            RunLookup::Value(0, b"old-0".to_vec())
+        );
+        assert_eq!(
+            run.get("records", b"k0004", LATEST).unwrap(),
+            RunLookup::Tombstone(0)
+        );
+        // A pin below 0 is impossible; every v1 entry is visible at 0.
+        assert_eq!(
+            run.get("records", b"k0000", 0).unwrap(),
+            RunLookup::Value(0, b"old-0".to_vec())
+        );
+        let all: Vec<_> = run.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(all.len(), 300);
+        assert!(all.iter().all(|(_, lsn, _)| *lsn == 0));
+    }
+
+    #[test]
     fn run_scan_range_respects_bounds_and_tombstones() {
         let path = tmpfile("run-scan");
         write_sample_run(&path, 500);
         let run = Run::open(&path).unwrap();
         let mut got = Vec::new();
-        run.scan_range("records", b"k000100", Some(b"k000110"), &mut |k, v| {
-            got.push((k.to_vec(), v.map(|x| x.to_vec())));
-        })
+        run.scan_range(
+            "records",
+            b"k000100",
+            Some(b"k000110"),
+            LATEST,
+            &mut |k, _, v| {
+                got.push((k.to_vec(), v.map(|x| x.to_vec())));
+            },
+        )
         .unwrap();
         assert_eq!(got.len(), 10);
         assert_eq!(got[0].0, b"k000100".to_vec());
         assert!(got.iter().any(|(_, v)| v.is_none()), "tombstones included");
         // Inverted and empty ranges.
         let mut none = 0;
-        run.scan_range("records", b"k000110", Some(b"k000100"), &mut |_, _| {
-            none += 1
-        })
+        run.scan_range(
+            "records",
+            b"k000110",
+            Some(b"k000100"),
+            LATEST,
+            &mut |_, _, _| none += 1,
+        )
         .unwrap();
-        run.scan_range("absent", b"", None, &mut |_, _| none += 1)
+        run.scan_range("absent", b"", None, LATEST, &mut |_, _, _| none += 1)
             .unwrap();
         assert_eq!(none, 0);
     }
@@ -890,7 +1391,7 @@ mod tests {
         let skipped = (0..1000)
             .filter(|i| {
                 matches!(
-                    run.get("records", format!("absent-{i}").as_bytes())
+                    run.get("records", format!("absent-{i}").as_bytes(), LATEST)
                         .unwrap(),
                     RunLookup::BloomSkip
                 )
@@ -911,7 +1412,7 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let run = Run::open(&path).expect("index/bloom untouched, open succeeds");
         assert!(matches!(
-            run.get("records", b"k000000"),
+            run.get("records", b"k000000", LATEST),
             Err(StorageError::Corrupt { .. })
         ));
     }
@@ -923,7 +1424,7 @@ mod tests {
         let good = std::fs::read(&path).unwrap();
         // Flip a byte in the index/bloom region.
         let mut bad = good.clone();
-        let at = bad.len() - RUN_FOOTER_LEN - 8;
+        let at = bad.len() - RUN_FOOTER_LEN_V2 - 8;
         bad[at] ^= 0x01;
         std::fs::write(&path, &bad).unwrap();
         assert!(matches!(
@@ -931,7 +1432,7 @@ mod tests {
             Err(StorageError::Corrupt { .. })
         ));
         // Truncate below the footer.
-        std::fs::write(&path, &good[..RUN_FOOTER_LEN - 1]).unwrap();
+        std::fs::write(&path, &good[..4]).unwrap();
         assert!(Run::open(&path).is_err());
         // Wrong magic.
         let mut bad = good.clone();
@@ -951,14 +1452,15 @@ mod tests {
             &path,
             1,
             0,
-            std::iter::empty::<StorageResult<(NsKey, Option<Vec<u8>>)>>(),
+            std::iter::empty::<StorageResult<VersionedEntry>>(),
+            &[],
         )
         .unwrap();
         assert_eq!(summary.entries, 0);
         let run = Run::open(&path).unwrap();
         assert_eq!(run.iter().count(), 0);
         assert!(matches!(
-            run.get("t", b"k").unwrap(),
+            run.get("t", b"k", LATEST).unwrap(),
             RunLookup::BloomSkip | RunLookup::Absent
         ));
     }
@@ -966,8 +1468,9 @@ mod tests {
     #[test]
     fn run_footer_records_level() {
         let path = tmpfile("run-level");
-        let entries = (0..10u8).map(|i| Ok((("t".to_string(), vec![i]), Some(vec![i]))));
-        write_run(&path, 3, 10, entries).unwrap();
+        let entries =
+            (0..10u8).map(|i| Ok((("t".to_string(), vec![i]), Lsn::from(i) + 1, Some(vec![i]))));
+        write_run(&path, 3, 10, entries, &[]).unwrap();
         assert_eq!(Run::open(&path).unwrap().level(), 3);
     }
 
@@ -979,15 +1482,16 @@ mod tests {
         let entries = (0..500u32).map(|i| {
             Ok((
                 ("t".to_string(), format!("k{i:04}").into_bytes()),
+                Lsn::from(i) + 1,
                 Some(b"v".to_vec()),
             ))
         });
-        write_run(&path, 1, 1, entries).unwrap();
+        write_run(&path, 1, 1, entries, &[]).unwrap();
         let run = Run::open(&path).unwrap();
         for i in 0..500u32 {
             assert_eq!(
-                run.get("t", format!("k{i:04}").as_bytes()).unwrap(),
-                RunLookup::Value(b"v".to_vec()),
+                run.get("t", format!("k{i:04}").as_bytes(), LATEST).unwrap(),
+                RunLookup::Value(u64::from(i) + 1, b"v".to_vec()),
                 "key {i} must survive an undersized bloom"
             );
         }

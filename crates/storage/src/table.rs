@@ -18,11 +18,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::codec::{get_u64, put_u64};
-use crate::engine::{BatchOp, Engine};
+use crate::engine::{BatchOp, Engine, Snapshot};
 use crate::error::{StorageError, StorageResult};
 use crate::journal::{
     JournalEntry, JOURNAL_HEAD_KEY, JOURNAL_META_TABLE, JOURNAL_TABLE, ROW_DELETED, ROW_UPSERTED,
 };
+use crate::snapshot::Lsn;
 
 /// Extracts the indexed value from a row, or `None` to skip the row.
 pub type KeyExtractor = Arc<dyn Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync>;
@@ -86,14 +87,22 @@ fn check_name(name: &str) -> StorageResult<()> {
 }
 
 /// Sequence range a [`WriteSession::commit`] assigned to its journal
-/// entries. Commits that touched no journaled table and injected no
-/// events return the empty receipt.
+/// entries, plus the engine commit LSN the whole batch landed at.
+/// Commits that touched no journaled table and injected no events
+/// return the empty receipt (journal fields zero; `lsn` still set when
+/// any data was written).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CommitReceipt {
     /// First sequence number assigned, or 0 when no entries were written.
     pub first_seq: u64,
     /// Last sequence number assigned, or 0 when no entries were written.
     pub last_seq: u64,
+    /// Commit LSN the batch was assigned, or 0 when nothing was staged.
+    /// Every journal entry in `first_seq..=last_seq` became visible at
+    /// exactly this LSN, so a journal cursor that stops at this receipt
+    /// *is* a snapshot boundary: [`TableStore::snapshot_at`] with this
+    /// LSN reads the precise state the cursor describes.
+    pub lsn: Lsn,
 }
 
 impl CommitReceipt {
@@ -313,6 +322,87 @@ impl TableStore {
             events: Vec::new(),
         }
     }
+
+    /// Pin a point-in-time view at the latest committed LSN. Every read
+    /// through the returned [`TableSnapshot`] — across any number of
+    /// tables — sees exactly that one consistent state, no matter how
+    /// many commits, flushes or compactions land meanwhile.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            snap: self.engine.snapshot(),
+        }
+    }
+
+    /// Pin a historical view at `lsn` (clamped to the current head) —
+    /// time travel to any journaled commit, e.g. a
+    /// [`CommitReceipt::lsn`] or a journal cursor boundary.
+    pub fn snapshot_at(&self, lsn: Lsn) -> TableSnapshot {
+        TableSnapshot {
+            snap: self.engine.as_of(lsn),
+        }
+    }
+}
+
+/// A pinned, repeatable-read view over a [`TableStore`]: the
+/// snapshot-scoped twin of its read methods. Holding one blocks
+/// compaction from folding the versions it can see; drop it when done.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    snap: Snapshot,
+}
+
+impl TableSnapshot {
+    /// The commit LSN this view is pinned at.
+    pub fn lsn(&self) -> Lsn {
+        self.snap.lsn()
+    }
+
+    /// Read a row as of the pinned LSN.
+    pub fn get(&self, table: &str, key: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        check_name(table)?;
+        self.snap.get(table, key)
+    }
+
+    /// All rows of a table as of the pinned LSN, in key order.
+    pub fn scan(&self, table: &str) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        check_name(table)?;
+        self.snap.scan_all(table)
+    }
+
+    /// Primary keys of rows whose indexed value equals `value`, as of
+    /// the pinned LSN. The shadow table is versioned like any other, so
+    /// this agrees with [`scan`](Self::scan) of the base table even
+    /// while writers churn.
+    pub fn lookup(&self, table: &str, index: &str, value: &[u8]) -> StorageResult<Vec<Vec<u8>>> {
+        check_name(table)?;
+        let idx_table = index_table(table, index);
+        let mut start = value.to_vec();
+        start.push(SEP);
+        let mut end = value.to_vec();
+        end.push(SEP + 1);
+        let hits = self.snap.scan(&idx_table, &start, Some(&end))?;
+        Ok(hits.into_iter().map(|(_, pk)| pk).collect())
+    }
+
+    /// Number of live rows in a table as of the pinned LSN.
+    pub fn count(&self, table: &str) -> StorageResult<usize> {
+        check_name(table)?;
+        self.snap.count(table)
+    }
+
+    /// Journal entries with sequence numbers in `(after_seq, after_seq +
+    /// limit]` as of the pinned LSN: a cursor replay against this view
+    /// never sees entries from commits after the pin.
+    pub fn read_journal(&self, after_seq: u64, limit: usize) -> StorageResult<Vec<JournalEntry>> {
+        let start = JournalEntry::storage_key(after_seq.saturating_add(1));
+        let end_seq = after_seq.saturating_add(limit as u64).saturating_add(1);
+        let end = JournalEntry::storage_key(end_seq);
+        let rows = self.snap.scan(JOURNAL_TABLE, &start, Some(&end))?;
+        rows.iter()
+            .take(limit)
+            .map(|(_, v)| JournalEntry::decode(v))
+            .collect()
+    }
 }
 
 /// A multi-table write session: puts and deletes staged against a
@@ -503,7 +593,7 @@ impl WriteSession<'_> {
         }
         drop(indexes);
 
-        let receipt = if events.is_empty() {
+        let mut receipt = if events.is_empty() {
             CommitReceipt::default()
         } else {
             let n = events.len() as u64;
@@ -527,9 +617,10 @@ impl WriteSession<'_> {
             CommitReceipt {
                 first_seq: first,
                 last_seq: last,
+                lsn: 0,
             }
         };
-        store.engine.apply_batch(batch)?;
+        receipt.lsn = store.engine.apply_batch(batch)?;
         Ok(receipt)
     }
 }
@@ -732,12 +823,11 @@ mod tests {
         let receipt = session.commit().unwrap();
         // Data, indexes and journal land in ONE engine commit.
         assert_eq!(s.engine().stats().commits, before + 1);
+        assert_eq!((receipt.first_seq, receipt.last_seq), (1, 3));
         assert_eq!(
-            receipt,
-            CommitReceipt {
-                first_seq: 1,
-                last_seq: 3
-            }
+            receipt.lsn,
+            s.engine().committed_lsn(),
+            "receipt carries the engine commit LSN"
         );
         assert_eq!(receipt.entries(), 3);
         assert_eq!(s.journal_head(), 3);
@@ -758,7 +848,8 @@ mod tests {
         let mut session = s.session();
         session.put("t", b"k2", b"v2").unwrap();
         let receipt = session.commit().unwrap();
-        assert_eq!(receipt, CommitReceipt::default());
+        assert_eq!((receipt.first_seq, receipt.last_seq), (0, 0));
+        assert!(receipt.lsn > 0, "data commit still carries its LSN");
         assert_eq!(s.journal_head(), 0);
         assert!(s.read_journal(0, 10).unwrap().is_empty());
     }
@@ -887,6 +978,63 @@ mod tests {
         s.put("t", &[200], b"Znew").unwrap();
         assert_eq!(s.lookup("t", "first", b"Z").unwrap(), vec![vec![200]]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_reads_are_repeatable_across_tables() {
+        let s = store("snapshot-reads");
+        s.create_index("t", first_byte_index()).unwrap();
+        s.mark_journaled("t").unwrap();
+        s.put("t", b"pk", b"Aone").unwrap();
+        s.put("u", b"other", b"x").unwrap();
+        let snap = s.snapshot();
+        // Churn every table the snapshot can see, including the shadow
+        // index and the journal.
+        s.put("t", b"pk", b"Btwo").unwrap();
+        s.delete("u", b"other").unwrap();
+        s.put("t", b"pk2", b"Athree").unwrap();
+        assert_eq!(snap.get("t", b"pk").unwrap(), Some(b"Aone".to_vec()));
+        assert_eq!(snap.get("u", b"other").unwrap(), Some(b"x".to_vec()));
+        assert_eq!(snap.count("t").unwrap(), 1);
+        assert_eq!(snap.scan("t").unwrap().len(), 1);
+        // The index view agrees with the base table at the same LSN.
+        assert_eq!(
+            snap.lookup("t", "first", b"A").unwrap(),
+            vec![b"pk".to_vec()]
+        );
+        assert!(snap.lookup("t", "first", b"B").unwrap().is_empty());
+        // The journal cursor through the snapshot stops at the pin.
+        assert_eq!(snap.read_journal(0, 100).unwrap().len(), 1);
+        assert_eq!(s.read_journal(0, 100).unwrap().len(), 3);
+        // Live reads see the new state.
+        assert_eq!(s.get("t", b"pk").unwrap(), Some(b"Btwo".to_vec()));
+    }
+
+    #[test]
+    fn receipt_lsn_is_a_snapshot_boundary() {
+        let s = store("receipt-boundary");
+        s.mark_journaled("t").unwrap();
+        let mut session = s.session();
+        session.put("t", b"a", b"1").unwrap();
+        session.put("t", b"b", b"2").unwrap();
+        let r1 = session.commit().unwrap();
+        let mut session = s.session();
+        session.delete("t", b"a").unwrap();
+        session.put("t", b"c", b"3").unwrap();
+        let r2 = session.commit().unwrap();
+        assert!(r2.lsn > r1.lsn, "LSNs are monotonic across commits");
+        // Time travel to each receipt sees exactly that commit's state —
+        // the whole batch, nothing from later ones.
+        let at1 = s.snapshot_at(r1.lsn);
+        assert_eq!(at1.count("t").unwrap(), 2);
+        assert_eq!(at1.get("t", b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(at1.get("t", b"c").unwrap(), None);
+        assert_eq!(at1.read_journal(0, 100).unwrap().len(), 2);
+        let at2 = s.snapshot_at(r2.lsn);
+        assert_eq!(at2.count("t").unwrap(), 2);
+        assert_eq!(at2.get("t", b"a").unwrap(), None);
+        assert_eq!(at2.get("t", b"c").unwrap(), Some(b"3".to_vec()));
+        assert_eq!(at2.read_journal(0, 100).unwrap().len(), 4);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! tail", the expected result of a crash mid-append); replay stops there.
 //!
 //! Record payloads encode the logical operations of the engine:
-//! `Put`, `Delete`, `Commit` (transaction boundary) and `Checkpoint`
-//! (everything before this point is captured by snapshot `id`).
+//! `Put`, `Delete`, `DeleteRange` (one O(1) frame however many rows it
+//! covers), `Commit` (transaction boundary; its txid is the batch's
+//! LSN) and `Checkpoint` (legacy: everything before this point is
+//! captured by snapshot `id`).
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -36,9 +38,19 @@ pub enum WalRecord {
         /// Key being deleted.
         key: Vec<u8>,
     },
+    /// Deletion of every key of `table` in `[start, end)` — a range
+    /// tombstone. One frame regardless of how many rows are covered.
+    DeleteRange {
+        /// Target table.
+        table: String,
+        /// Inclusive start key.
+        start: Vec<u8>,
+        /// Exclusive end key; `None` means unbounded.
+        end: Option<Vec<u8>>,
+    },
     /// All operations since the previous `Commit` become visible atomically.
     Commit {
-        /// Transaction id assigned by the engine.
+        /// Transaction id assigned by the engine — the batch's LSN.
         txid: u64,
     },
     /// Snapshot `snapshot_id` captures the state up to this point.
@@ -52,6 +64,7 @@ const TAG_PUT: u8 = 1;
 const TAG_DELETE: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 const TAG_CHECKPOINT: u8 = 4;
+const TAG_DELETE_RANGE: u8 = 5;
 
 impl WalRecord {
     /// Serialize the record payload (without framing).
@@ -68,6 +81,20 @@ impl WalRecord {
                 out.push(TAG_DELETE);
                 codec::put_bytes(&mut out, table.as_bytes());
                 codec::put_bytes(&mut out, key);
+            }
+            WalRecord::DeleteRange { table, start, end } => {
+                out.push(TAG_DELETE_RANGE);
+                codec::put_bytes(&mut out, table.as_bytes());
+                codec::put_bytes(&mut out, start);
+                // A flag byte disambiguates "unbounded" from an empty
+                // end key.
+                match end {
+                    Some(e) => {
+                        out.push(1);
+                        codec::put_bytes(&mut out, e);
+                    }
+                    None => out.push(0),
+                }
             }
             WalRecord::Commit { txid } => {
                 out.push(TAG_COMMIT);
@@ -105,6 +132,21 @@ impl WalRecord {
                     table: String::from_utf8(table.to_vec())
                         .map_err(|_| StorageError::Decode("non-utf8 table name".into()))?,
                     key: key.to_vec(),
+                })
+            }
+            TAG_DELETE_RANGE => {
+                let (table, n) = codec::get_bytes(rest)?;
+                let (start, m) = codec::get_bytes(&rest[n..])?;
+                let end = match rest.get(n + m) {
+                    Some(0) => None,
+                    Some(1) => Some(codec::get_bytes(&rest[n + m + 1..])?.0.to_vec()),
+                    _ => return Err(StorageError::Decode("bad delete-range end flag".into())),
+                };
+                Ok(WalRecord::DeleteRange {
+                    table: String::from_utf8(table.to_vec())
+                        .map_err(|_| StorageError::Decode("non-utf8 table name".into()))?,
+                    start: start.to_vec(),
+                    end,
                 })
             }
             TAG_COMMIT => {
@@ -331,6 +373,22 @@ mod tests {
             },
             WalRecord::Commit { txid: 42 },
             WalRecord::Checkpoint { snapshot_id: 7 },
+            WalRecord::DeleteRange {
+                table: "records".into(),
+                start: b"a".to_vec(),
+                end: Some(b"z".to_vec()),
+            },
+            WalRecord::DeleteRange {
+                table: "records".into(),
+                start: Vec::new(),
+                end: None,
+            },
+            WalRecord::DeleteRange {
+                table: "records".into(),
+                start: b"m".to_vec(),
+                // An *empty* bounded end is distinct from unbounded.
+                end: Some(Vec::new()),
+            },
         ];
         for r in &records {
             assert_eq!(&WalRecord::decode(&r.encode()).unwrap(), r);
