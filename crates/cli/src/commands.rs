@@ -34,6 +34,11 @@ commands:
   ingest       generate and store a synthetic FNJV-style collection
                [--records N] [--species N] [--outdated N] [--seed S]
                [--backbone-year Y]  (pin name checks to the edition at Y)
+               [--bulk true]   (bulk-load fast path: rows, indexes and
+               journal written as one sorted run, bypassing the memtable;
+               requires a fresh directory)
+               [--shards N]    (hash-partition across N engine shards,
+               ingested in parallel; reads route by id hash)
   stats        collection statistics (cached until the change journal moves)
                plus live engine counters and runs-per-level of the tiered
                store; collection panels read under one pinned snapshot
@@ -149,6 +154,8 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
     let outdated = args.get_parsed("outdated", species / 14, "integer")?;
     let seed = args.get_parsed("seed", 42u64, "integer")?;
     let backbone_year = args.get_parsed("backbone-year", 0i32, "integer")?;
+    let bulk = args.get("bulk").map(|v| v == "true").unwrap_or(false);
+    let shards = args.get_parsed("shards", 1usize, "integer")?;
     let config = GeneratorConfig {
         records,
         distinct_species: species,
@@ -156,6 +163,12 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
         seed,
         ..GeneratorConfig::default()
     };
+    if shards > 1 {
+        return ingest_sharded(&config, dir, shards, bulk);
+    }
+    if bulk {
+        return ingest_bulk(&config, dir, backbone_year);
+    }
     let store = open_store(dir)?;
     let catalog = open_catalog(store.clone())?;
     let params = serde_json::json!({
@@ -225,8 +238,111 @@ fn ingest(args: &Args, dir: &Path) -> CliResult {
     Ok(())
 }
 
+/// The bulk-load fast path: every row, index entry and journal event is
+/// written as ONE presorted level-1 run (no memtable, no per-row WAL
+/// traffic). The direct-run builder shadows old versions without
+/// retracting their index entries, so this path insists on a fresh
+/// directory — updates belong to the session-based `ingest`.
+fn ingest_bulk(config: &GeneratorConfig, dir: &Path, backbone_year: i32) -> CliResult {
+    let store = open_store(dir)?;
+    let catalog = open_catalog(store.clone())?;
+    if catalog.len()? > 0 {
+        return Err(
+            "bulk ingest requires a fresh directory (records already present); \
+                    rerun without --bulk to update in place"
+                .into(),
+        );
+    }
+    let collection = generator::generate(config);
+    // Metadata still goes through a session so later commands can rebuild
+    // the generator deterministically; the records go through the run
+    // builder.
+    let mut session = store.session();
+    session.put(
+        META_TABLE,
+        b"ingest",
+        serde_json::json!({
+            "records": config.records, "species": config.distinct_species,
+            "outdated": config.outdated_names, "seed": config.seed,
+        })
+        .to_string()
+        .as_bytes(),
+    )?;
+    if backbone_year != 0 {
+        session.put(
+            META_TABLE,
+            b"backbone-year",
+            backbone_year.to_string().as_bytes(),
+        )?;
+    }
+    session.commit()?;
+    let receipt = catalog.insert_all_bulk(&collection.records)?;
+    let metrics = store.engine().metrics_registry();
+    println!(
+        "bulk-ingested {} records into {} (one sorted run, journal seqs {}..={}, commit lsn {})",
+        receipt.entries(),
+        dir.display(),
+        receipt.first_seq,
+        receipt.last_seq,
+        receipt.lsn,
+    );
+    println!(
+        "  preserva_storage_ingest_records_total {}",
+        metrics
+            .counter("preserva_storage_ingest_records_total", "")
+            .get()
+    );
+    println!(
+        "  preserva_storage_bulk_batches_total {}",
+        metrics
+            .counter("preserva_storage_bulk_batches_total", "")
+            .get()
+    );
+    Ok(())
+}
+
+/// Hash-partitioned ingest: N independent engine shards under the data
+/// directory (`shard-000` …), loaded in parallel on the wfms worker
+/// pool. Reads route by id hash; cross-shard queries fan out and merge.
+fn ingest_sharded(config: &GeneratorConfig, dir: &Path, shards: usize, bulk: bool) -> CliResult {
+    use preserva_core::sharding::ShardedCatalog;
+
+    let catalog = ShardedCatalog::open(dir, shards, EngineOptions::default())?;
+    if !catalog.is_empty()? {
+        return Err("sharded ingest requires a fresh directory (records already present)".into());
+    }
+    let collection = generator::generate(config);
+    let outcome = catalog.ingest(&collection.records, bulk)?;
+    let stats = catalog.merged_stats();
+    println!(
+        "sharded-ingested {} records across {} of {} shards ({}) into {}",
+        outcome.records,
+        outcome.shards_used,
+        catalog.shard_count(),
+        if bulk { "bulk runs" } else { "session commits" },
+        dir.display(),
+    );
+    println!(
+        "  journal heads: {:?} (merged events {})",
+        catalog.journal_heads(),
+        outcome.journal_events(),
+    );
+    println!(
+        "  merged engine stats: puts {} / commits {}",
+        stats.puts, stats.commits
+    );
+    Ok(())
+}
+
 fn stats(dir: &Path) -> CliResult {
     let store = open_store(dir)?;
+    stats_on(&store)
+}
+
+/// The `stats` panels over an already-open store (separated from
+/// [`stats`] so tests can inject failures and observe snapshot hygiene:
+/// every early `?` return below must unpin the panel snapshot).
+fn stats_on(store: &Arc<TableStore>) -> CliResult {
     let catalog = open_catalog(store.clone())?;
     // One pinned snapshot for every panel: the cache probe and the
     // record scan read the same committed state, so a concurrent commit
@@ -708,6 +824,12 @@ fn metrics_report(
         let _ = probe.get("probe", b"k")?;
         probe.delete("probe", b"k")?;
         probe.engine().checkpoint()?;
+        // Bulk-path probe: one row through the direct-run builder, so
+        // the ingest/bulk families expose real traffic.
+        probe.bulk_load(
+            "probe_bulk",
+            vec![(b"k".to_vec(), b"bulk probe value".to_vec())],
+        )?;
 
         // 3. Workflow + provenance probe: a two-step chain through the
         //    observed engine, captured by an observed provenance manager.
@@ -1097,6 +1219,8 @@ mod tests {
             "preserva_storage_compactions_total",
             "preserva_storage_bloom_hits_total",
             "preserva_storage_bloom_misses_total",
+            "preserva_storage_ingest_records_total",
+            "preserva_storage_bulk_batches_total",
             "preserva_provenance_captures_total",
             "preserva_provenance_capture_seconds",
             "preserva_quality_evaluation_seconds",
@@ -1106,6 +1230,7 @@ mod tests {
         }
         // The probes generate real traffic: these must be non-zero.
         assert!(text.contains("preserva_wfms_runs_total 1"));
+        assert!(text.contains("preserva_storage_bulk_batches_total 1"));
         assert!(text.contains("preserva_provenance_captures_total 1"));
         assert!(text.contains("preserva_quality_assessments_total 1"));
         // The summary flavour renders too.
@@ -1114,6 +1239,82 @@ mod tests {
         // The command itself works against the global registry.
         run(&args(&format!("metrics --dir {d}"))).unwrap();
         run(&args(&format!("metrics --dir {d} --summary true"))).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bulk_ingest_builds_one_run_and_serves_every_reader() {
+        let dir = tmp("bulk");
+        let d = dir.to_string_lossy();
+        run(&args(&format!(
+            "ingest --dir {d} --records 80 --species 10 --outdated 0 --bulk true"
+        )))
+        .unwrap();
+        {
+            let store = open_store(&dir).unwrap();
+            assert_eq!(store.count("records").unwrap(), 80);
+            assert_eq!(store.journal_head(), 80, "one journal event per record");
+        }
+        // Index-backed query and the stats panels read the bulk run like
+        // any other data.
+        run(&args(&format!("query --dir {d} --year 1980 --limit 3"))).unwrap();
+        run(&args(&format!("stats --dir {d}"))).unwrap();
+        // The fresh-directory contract is enforced, not assumed.
+        let err = run(&args(&format!("ingest --dir {d} --bulk true"))).unwrap_err();
+        assert!(err.to_string().contains("fresh directory"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_ingest_partitions_and_reopens() {
+        use preserva_core::sharding::ShardedCatalog;
+        let dir = tmp("sharded");
+        let d = dir.to_string_lossy();
+        run(&args(&format!(
+            "ingest --dir {d} --records 90 --species 10 --outdated 0 --bulk true --shards 3"
+        )))
+        .unwrap();
+        for i in 0..3 {
+            assert!(dir.join(format!("shard-{i:03}")).is_dir(), "shard {i} dir");
+        }
+        let cat = ShardedCatalog::open(&dir, 3, EngineOptions::default()).unwrap();
+        assert_eq!(cat.len().unwrap(), 90);
+        assert_eq!(cat.journal_heads().iter().sum::<u64>(), 90);
+        // A second sharded ingest into the same directory is refused.
+        let err = run(&args(&format!("ingest --dir {d} --shards 3"))).unwrap_err();
+        assert!(err.to_string().contains("fresh directory"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: a mid-panel failure in `stats` (corrupt cache JSON)
+    /// must not leave the panel snapshot pinned — a leaked pin would
+    /// silently block compaction from folding MVCC versions forever.
+    #[test]
+    fn failed_stats_never_leaks_a_pinned_snapshot() {
+        let dir = tmp("stats-pin");
+        let d = dir.to_string_lossy();
+        run(&args(&format!(
+            "ingest --dir {d} --records 40 --species 10 --outdated 0"
+        )))
+        .unwrap();
+        let store = open_store(&dir).unwrap();
+        let pinned = store
+            .engine()
+            .metrics_registry()
+            .gauge("preserva_storage_snapshots_pinned", "");
+        // Plant a stats-cache row that is not valid JSON: stats_on pins
+        // its snapshot, then fails decoding the cache mid-panel.
+        store
+            .put(META_TABLE, b"stats-cache", b"{ not json")
+            .unwrap();
+        assert!(stats_on(&store).is_err());
+        assert_eq!(pinned.get(), 0, "error path must unpin the snapshot");
+        // With no pin outstanding the tree still folds all the way down.
+        store.engine().checkpoint().unwrap();
+        store.engine().compact().unwrap();
+        let levels = store.engine().runs_per_level();
+        let total: usize = levels.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 1, "compaction not blocked: {levels:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

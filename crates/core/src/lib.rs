@@ -38,9 +38,11 @@ pub mod reassess;
 pub mod repository;
 pub mod retrieval;
 pub mod roles;
+pub mod sharding;
 
 pub use architecture::Architecture;
 pub use preservation::PreservationModel;
 pub use reassess::{ReassessOutcome, Reassessor};
 pub use repository::{CodecError, Repository, RepositoryError};
 pub use roles::{EndUser, ProcessDesigner};
+pub use sharding::{ShardedCatalog, ShardedIngest};

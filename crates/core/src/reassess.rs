@@ -923,6 +923,45 @@ mod tests {
         }
     }
 
+    /// A failed run must not leak its input snapshot: the pin gauge
+    /// returns to zero and compaction is free to fold versions again. A
+    /// leaked pin here would silently freeze MVCC garbage collection.
+    #[test]
+    fn failed_run_never_leaks_a_pinned_snapshot() {
+        let f = fixture("pin-hygiene");
+        f.catalog.insert_all(&sample()).unwrap();
+        let r = Reassessor::new(f.store.clone(), "records").unwrap();
+        // Corrupt one journaled record: run_at pins its snapshot, drains
+        // the feed, then fails decoding the touched row mid-run.
+        f.store.put("records", b"FNJV-1", b"{ not json").unwrap();
+        let mut log = CurationLog::new();
+        let mut queue = ReviewQueue::new();
+        let err = r
+            .run_at(
+                &pipeline(),
+                &service_at(1965),
+                None,
+                None,
+                None,
+                &mut log,
+                &mut queue,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("FNJV-1"), "{err}");
+        let pinned = f
+            .store
+            .engine()
+            .metrics_registry()
+            .gauge("preserva_storage_snapshots_pinned", "");
+        assert_eq!(pinned.get(), 0, "error path must unpin the snapshot");
+        // With no pin outstanding the tree folds all the way down.
+        f.store.engine().checkpoint().unwrap();
+        f.store.engine().compact().unwrap();
+        let levels = f.store.engine().runs_per_level();
+        let total: usize = levels.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 1, "compaction not blocked: {levels:?}");
+    }
+
     #[test]
     fn backbone_swap_reprocesses_only_affected_records() {
         let f = fixture("swap");

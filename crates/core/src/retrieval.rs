@@ -153,6 +153,18 @@ impl RecordCatalog {
         Ok(self.repo.save_all(records)?)
     }
 
+    /// Bulk insert FRESH records through the direct-run fast path: the
+    /// batch is sorted and written straight into one level-1 run —
+    /// indexes and journal events included — bypassing the WAL and
+    /// memtable. Duplicate ids within the batch collapse to the last
+    /// record (one journal event per id); ids that already exist in the
+    /// catalog are not supported on this path (use
+    /// [`insert_all`](Self::insert_all), which retracts stale index
+    /// entries).
+    pub fn insert_all_bulk(&self, records: &[Record]) -> Result<CommitReceipt, CatalogError> {
+        Ok(self.repo.bulk_save_all(records)?)
+    }
+
     /// Stage a record into a caller-owned session so it commits
     /// atomically with writes to other repositories.
     pub fn stage(
@@ -416,6 +428,87 @@ mod tests {
         assert!(feed
             .iter()
             .all(|e| e.table == CATALOG_TABLE && e.kind == preserva_storage::ROW_UPSERTED));
+    }
+
+    #[test]
+    fn empty_insert_all_is_a_clean_noop() {
+        let c = catalog("empty-batch");
+        let commits = c.store().engine().stats().commits;
+        let wal_appends = c
+            .store()
+            .engine()
+            .metrics_registry()
+            .counter("preserva_storage_wal_appends_total", "");
+        let appends_before = wal_appends.get();
+        let head_lsn = c.store().engine().committed_lsn();
+        let receipt = c.insert_all(&[]).unwrap();
+        assert_eq!(c.store().engine().stats().commits, commits, "no commit");
+        assert_eq!(wal_appends.get(), appends_before, "no WAL frame at all");
+        assert_eq!(
+            c.store().engine().committed_lsn(),
+            head_lsn,
+            "no LSN burned"
+        );
+        assert_eq!(receipt.entries(), 0);
+        assert_eq!((receipt.first_seq, receipt.last_seq), (0, 0));
+        assert_eq!(receipt.lsn, head_lsn, "empty receipt pins the current head");
+        assert_eq!(c.store().journal_head(), 0);
+    }
+
+    #[test]
+    fn single_record_batch_has_a_one_entry_range() {
+        let c = catalog("single-batch");
+        let receipt = c
+            .insert_all(&[Record::new("only").with("species", Value::Text("Hyla faber".into()))])
+            .unwrap();
+        assert_eq!(receipt.entries(), 1);
+        assert_eq!(receipt.first_seq, receipt.last_seq);
+        assert_eq!(receipt.head(), Some(c.store().journal_head()));
+    }
+
+    #[test]
+    fn duplicate_id_within_batch_journals_once() {
+        let c = catalog("dup-batch");
+        let receipt = c
+            .insert_all(&[
+                Record::new("x").with("species", Value::Text("Hyla faber".into())),
+                Record::new("x").with("species", Value::Text("Boana faber".into())),
+            ])
+            .unwrap();
+        // Last write wins — one journal event, one index entry.
+        assert_eq!(receipt.entries(), 1, "one journal event per id");
+        assert_eq!(c.len().unwrap(), 1);
+        assert!(c.by_species("Hyla faber").unwrap().is_empty());
+        assert_eq!(c.by_species("Boana faber").unwrap().len(), 1);
+        let feed = c.store().read_journal(0, 10).unwrap();
+        assert_eq!(feed.len(), 1);
+    }
+
+    #[test]
+    fn bulk_insert_agrees_with_session_insert() {
+        let session = catalog("bulk-vs-session-a");
+        let bulk = catalog("bulk-vs-session-b");
+        session.insert_all(&sample()).unwrap();
+        let receipt = bulk.insert_all_bulk(&sample()).unwrap();
+        assert_eq!(receipt.entries(), 3);
+        assert_eq!(bulk.len().unwrap(), session.len().unwrap());
+        for q in [
+            Query::new(Filter::species("Hyla faber")),
+            Query::new(Filter::TextEq {
+                field: "state".into(),
+                value: "São Paulo".into(),
+            }),
+        ] {
+            assert_eq!(
+                bulk.query(&q).unwrap(),
+                session.query(&q).unwrap(),
+                "bulk and session ingest must be indistinguishable to readers"
+            );
+        }
+        assert_eq!(
+            bulk.store().read_journal(0, 100).unwrap().len(),
+            session.store().read_journal(0, 100).unwrap().len()
+        );
     }
 
     #[test]

@@ -150,6 +150,8 @@ struct StorageMetrics {
     oldest_snapshot_lag: Arc<Gauge>,
     versions_folded: Arc<Counter>,
     range_tombstones_applied: Arc<Counter>,
+    ingest_records: Arc<Counter>,
+    bulk_batches: Arc<Counter>,
 }
 
 impl StorageMetrics {
@@ -241,6 +243,14 @@ impl StorageMetrics {
             range_tombstones_applied: reg.counter(
                 "preserva_storage_range_tombstones_applied_total",
                 "Versions dropped by compaction because a range tombstone covered them.",
+            ),
+            ingest_records: reg.counter(
+                "preserva_storage_ingest_records_total",
+                "Rows ingested through the bulk path (deferred batches + direct runs).",
+            ),
+            bulk_batches: reg.counter(
+                "preserva_storage_bulk_batches_total",
+                "Bulk batches committed (deferred WAL batches and direct run builds).",
             ),
         }
     }
@@ -767,6 +777,14 @@ impl Core {
     }
 
     fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<Lsn> {
+        self.apply_batch_inner(ops, true)
+    }
+
+    /// Commit a batch. With `durable = false` the WAL frames stay in the
+    /// write buffer (DEFERRED mode): a crash may lose the most recent
+    /// unsynced batches, but recovery still lands exactly on a batch
+    /// boundary because replay only applies Commit-covered operations.
+    fn apply_batch_inner(&self, ops: Vec<BatchOp>, durable: bool) -> StorageResult<Lsn> {
         if ops.is_empty() {
             return Ok(self.committed_lsn.load(Ordering::SeqCst));
         }
@@ -799,9 +817,11 @@ impl Core {
                 wal.append(&rec)?;
             }
             wal.append(&WalRecord::Commit { txid: lsn })?;
-            wal.sync()?;
+            if durable {
+                wal.sync()?;
+            }
             self.metrics.wal_appends.add(ops.len() as u64 + 1);
-            if self.options.fsync {
+            if durable && self.options.fsync {
                 self.metrics.wal_fsyncs.inc();
             }
             let mut mem = self.mem.write().expect("engine poisoned");
@@ -834,6 +854,111 @@ impl Core {
         if needs_checkpoint {
             self.checkpoint()?;
         }
+        Ok(lsn)
+    }
+
+    /// Force every buffered WAL frame to the OS (and to disk when the
+    /// fsync option is on). The durability barrier of DEFERRED mode.
+    fn sync_wal(&self) -> StorageResult<()> {
+        let mut wal = self.wal.lock().expect("engine poisoned");
+        wal.sync()?;
+        if self.options.fsync {
+            self.metrics.wal_fsyncs.inc();
+        }
+        Ok(())
+    }
+
+    /// Build a level-1 run directly from presorted rows, bypassing the
+    /// WAL and memtable entirely — the bulk-ingest fast path.
+    ///
+    /// `rows` must be strictly ascending by `(table, key)`; the whole
+    /// batch is stamped with ONE fresh LSN, so it becomes visible
+    /// atomically and `as_of` time travel treats it as a single commit.
+    ///
+    /// The WAL lock is held for the duration of the build: LSN order and
+    /// visibility order must agree, so no commit may be assigned a newer
+    /// LSN and publish before this run does. Readers are unaffected
+    /// (they never take the WAL lock); concurrent writers queue behind
+    /// the build, which is the documented trade of the bulk path.
+    ///
+    /// Crash safety: the run is written to a `.tmp`, renamed, and only
+    /// then committed to the MANIFEST — a crash at any point either
+    /// leaves a swept temp file or an uncatalogued orphan (both removed
+    /// at open), or the fully committed run. All-or-nothing per batch.
+    fn ingest_run(&self, rows: Vec<(String, Vec<u8>, Vec<u8>)>) -> StorageResult<Lsn> {
+        if rows.is_empty() {
+            return Ok(self.committed_lsn.load(Ordering::SeqCst));
+        }
+        for pair in rows.windows(2) {
+            let a = (&pair[0].0, &pair[0].1);
+            let b = (&pair[1].0, &pair[1].1);
+            if a >= b {
+                return Err(StorageError::Decode(format!(
+                    "bulk ingest input not strictly sorted by (table, key): {:?}/{:?} \
+                     precedes {:?}/{:?}",
+                    a.0,
+                    String::from_utf8_lossy(a.1),
+                    b.0,
+                    String::from_utf8_lossy(b.1),
+                )));
+            }
+        }
+        let started = Instant::now();
+        let n = rows.len() as u64;
+        let wal = self.wal.lock().expect("engine poisoned");
+        let lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+        let id = self.next_run_id.fetch_add(1, Ordering::SeqCst);
+        let tmp = run_tmp_path(&self.dir, id);
+        let entries = rows
+            .into_iter()
+            .map(|(table, key, value)| Ok(((table, key), lsn, Some(value))));
+        let summary = match sstable::write_run(&tmp, 1, n, entries, &[]) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
+        let path = manifest::run_path(&self.dir, id);
+        std::fs::rename(&tmp, &path)?;
+        manifest::sync_dir(&self.dir)?;
+        let handle = Arc::new(RunHandle {
+            id,
+            level: 1,
+            run: Run::open(&path)?,
+        });
+        {
+            let _structural = self.structural.lock().expect("engine poisoned");
+            let mut catalog = Self::catalog_of(&self.view());
+            catalog.push(RunEntry { id, level: 1 });
+            manifest::store(&self.dir, &catalog)?;
+            let mut runs = self.runs.write().expect("engine poisoned");
+            let mut v: Vec<Arc<RunHandle>> = (**runs).clone();
+            v.push(handle);
+            v.sort_by_key(|h| (h.level, std::cmp::Reverse(h.id)));
+            *runs = Arc::new(v);
+            self.update_run_gauges(&runs);
+        }
+        // Publish while still holding the WAL lock: a snapshot pinned the
+        // instant after this returns must see the whole batch.
+        self.committed_lsn.store(lsn, Ordering::SeqCst);
+        drop(wal);
+        self.refresh_snapshot_gauges();
+        self.metrics.commits.inc();
+        self.metrics.puts.add(n);
+        self.metrics.ingest_records.add(n);
+        self.metrics.bulk_batches.inc();
+        self.metrics
+            .commit_seconds
+            .observe_duration(started.elapsed());
+        self.obs.trace(
+            "storage",
+            format!(
+                "bulk run {id}: {n} rows, {} bytes, lsn {lsn}",
+                summary.bytes
+            ),
+        );
+        self.schedule_compaction()?;
         Ok(lsn)
     }
 
@@ -1522,6 +1647,46 @@ impl Engine {
     /// (the current head LSN for an empty batch).
     pub fn apply_batch(&self, ops: Vec<BatchOp>) -> StorageResult<Lsn> {
         self.core.apply_batch(ops)
+    }
+
+    /// Apply a batch with DEFERRED durability: identical visibility and
+    /// atomicity to [`Engine::apply_batch`], but the WAL frames stay in
+    /// the write buffer until the next [`Engine::sync_wal`] (or a
+    /// durable commit). A crash may lose the most recent unsynced
+    /// batches; recovery always lands exactly on a batch boundary —
+    /// journal rows committed in the same batch survive or vanish with
+    /// their data. The workhorse of [`bulk::BulkLoader`](crate::bulk).
+    pub fn apply_batch_deferred(&self, ops: Vec<BatchOp>) -> StorageResult<Lsn> {
+        if ops.is_empty() {
+            return Ok(self.committed_lsn());
+        }
+        let records = ops
+            .iter()
+            .filter(|op| matches!(op, BatchOp::Put { .. }))
+            .count() as u64;
+        let lsn = self.core.apply_batch_inner(ops, false)?;
+        self.core.metrics.ingest_records.add(records);
+        self.core.metrics.bulk_batches.inc();
+        Ok(lsn)
+    }
+
+    /// Flush every buffered WAL frame to the OS (and to disk when the
+    /// engine runs with `fsync` on): the durability barrier that closes
+    /// a deferred batch window.
+    pub fn sync_wal(&self) -> StorageResult<()> {
+        self.core.sync_wal()
+    }
+
+    /// Bulk-ingest presorted rows straight into a level-1 run, bypassing
+    /// the WAL and memtable — one LSN for the whole batch, MANIFEST
+    /// committed, all-or-nothing after a crash. `rows` must be strictly
+    /// ascending by `(table, key)` and the keys must be fresh: a bulk
+    /// row shadows an existing version correctly, but nothing retracts
+    /// derived rows (e.g. index entries) the old version left behind —
+    /// use sessions for updates. Returns the batch's commit LSN (the
+    /// head LSN for an empty batch).
+    pub fn ingest_run(&self, rows: Vec<(String, Vec<u8>, Vec<u8>)>) -> StorageResult<Lsn> {
+        self.core.ingest_run(rows)
     }
 
     /// The head LSN: the newest commit every fresh read observes.

@@ -21,7 +21,11 @@
 //! * [`engine::Engine`] ties these together with atomic multi-key commits,
 //!   range scans and crash recovery (manifest + runs + WAL replay);
 //! * [`table::TableStore`] layers named tables and secondary indexes on
-//!   top of the flat key space.
+//!   top of the flat key space;
+//! * [`bulk::BulkLoader`] and [`engine::Engine::ingest_run`] are the
+//!   archive-scale write paths: DEFERRED-durability batches (periodic
+//!   fsync, recovery lands on a batch boundary) and presorted input
+//!   written straight into a sorted run, bypassing the memtable.
 //!
 //! The engine is deliberately dependency-free: encoding lives in
 //! [`codec`], checksums in [`crc32`].
@@ -41,6 +45,7 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod bulk;
 pub mod codec;
 pub mod compaction;
 pub mod crc32;
@@ -54,6 +59,7 @@ pub mod sstable;
 pub mod table;
 pub mod wal;
 
+pub use bulk::{BulkLoader, BulkOptions, BulkSummary};
 pub use compaction::CompactionOptions;
 pub use engine::{Engine, EngineOptions, EngineStats, Snapshot};
 pub use error::{StorageError, StorageResult};

@@ -86,6 +86,24 @@ fn check_name(name: &str) -> StorageResult<()> {
     Ok(())
 }
 
+/// Scan bounds for a journal page `(after_seq, after_seq ⊕ limit]`,
+/// saturating at `u64::MAX`. `None` means the page is empty by
+/// definition: a zero limit, or a cursor already at `u64::MAX` (the
+/// old arithmetic wrapped both of these into silently-truncated
+/// ranges). An exclusive end past `u64::MAX` becomes an unbounded
+/// scan; the caller's `take(limit)` still bounds the page.
+fn journal_page_bounds(after_seq: u64, limit: usize) -> Option<(Vec<u8>, Option<Vec<u8>>)> {
+    if limit == 0 {
+        return None;
+    }
+    let first = after_seq.checked_add(1)?;
+    let start = JournalEntry::storage_key(first);
+    let end = first
+        .checked_add(limit as u64)
+        .map(JournalEntry::storage_key);
+    Some((start, end))
+}
+
 /// Sequence range a [`WriteSession::commit`] assigned to its journal
 /// entries, plus the engine commit LSN the whole batch landed at.
 /// Commits that touched no journaled table and injected no events
@@ -217,13 +235,17 @@ impl TableStore {
         self.next_seq.load(Ordering::SeqCst) - 1
     }
 
-    /// Journal entries with sequence numbers in `(after_seq, after_seq +
-    /// limit]`, in order. A cursor replay loops until this returns empty.
+    /// Journal entries with sequence numbers in `(after_seq, after_seq
+    /// ⊕ limit]` (saturating at `u64::MAX`), in order. `limit == 0`
+    /// always returns empty, as does `after_seq == u64::MAX` — the
+    /// cursor is exhausted, not wrapped. A cursor replay loops until
+    /// this returns empty; chunked reads of any page size observe the
+    /// same entries as one unbounded read (property-tested).
     pub fn read_journal(&self, after_seq: u64, limit: usize) -> StorageResult<Vec<JournalEntry>> {
-        let start = JournalEntry::storage_key(after_seq.saturating_add(1));
-        let end_seq = after_seq.saturating_add(limit as u64).saturating_add(1);
-        let end = JournalEntry::storage_key(end_seq);
-        let rows = self.engine.scan(JOURNAL_TABLE, &start, Some(&end))?;
+        let Some((start, end)) = journal_page_bounds(after_seq, limit) else {
+            return Ok(Vec::new());
+        };
+        let rows = self.engine.scan(JOURNAL_TABLE, &start, end.as_deref())?;
         rows.iter()
             .take(limit)
             .map(|(_, v)| JournalEntry::decode(v))
@@ -312,6 +334,99 @@ impl TableStore {
         self.engine.count(table)
     }
 
+    /// Bulk-load rows into `table` through the direct-run fast path:
+    /// the rows, their index entries and their journal events are
+    /// written straight into one level-1 sorted run
+    /// ([`Engine::ingest_run`]), bypassing the WAL and memtable — one
+    /// LSN, one journal sequence range, all-or-nothing after a crash.
+    ///
+    /// Rows are sorted and deduplicated here (last write per key wins,
+    /// one journal event per key — the same batch semantics as a
+    /// session). The keys must be FRESH: a bulk row shadows an existing
+    /// row version correctly, but stale index entries of an overwritten
+    /// row are not retracted — use sessions for updates.
+    ///
+    /// An empty `rows` is a clean no-op returning an empty receipt at
+    /// the current head LSN.
+    pub fn bulk_load(
+        &self,
+        table: &str,
+        mut rows: Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> StorageResult<CommitReceipt> {
+        check_name(table)?;
+        if rows.is_empty() {
+            return Ok(CommitReceipt {
+                first_seq: 0,
+                last_seq: 0,
+                lsn: self.engine.committed_lsn(),
+            });
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        // Keep the LAST duplicate: stable sort preserves input order
+        // within equal keys.
+        rows.reverse();
+        rows.dedup_by(|a, b| a.0 == b.0);
+        rows.reverse();
+
+        let indexes = self.indexes.read();
+        let defs = indexes.get(table).map(Vec::as_slice).unwrap_or(&[]);
+        let journaled = self.is_journaled(table);
+        let mut entries: Vec<(String, Vec<u8>, Vec<u8>)> = Vec::with_capacity(
+            rows.len() * (1 + defs.len()) + if journaled { rows.len() + 1 } else { 0 },
+        );
+        let receipt_range = if journaled {
+            let n = rows.len() as u64;
+            let first = self.next_seq.fetch_add(n, Ordering::SeqCst);
+            Some((first, first + n - 1))
+        } else {
+            None
+        };
+        for (i, (key, value)) in rows.iter().enumerate() {
+            entries.push((table.to_string(), key.clone(), value.clone()));
+            for def in defs {
+                if let Some(v) = (def.extract)(value) {
+                    entries.push((
+                        index_table(table, &def.name),
+                        index_key(&v, key),
+                        key.clone(),
+                    ));
+                }
+            }
+            if let Some((first, _)) = receipt_range {
+                let e = JournalEntry {
+                    seq: first + i as u64,
+                    kind: ROW_UPSERTED.to_string(),
+                    table: table.to_string(),
+                    key: key.clone(),
+                    payload: Vec::new(),
+                };
+                entries.push((
+                    JOURNAL_TABLE.to_string(),
+                    JournalEntry::storage_key(e.seq),
+                    e.encode(),
+                ));
+            }
+        }
+        if let Some((_, last)) = receipt_range {
+            let mut head = Vec::new();
+            put_u64(&mut head, last);
+            entries.push((
+                JOURNAL_META_TABLE.to_string(),
+                JOURNAL_HEAD_KEY.to_vec(),
+                head,
+            ));
+        }
+        drop(indexes);
+        entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let lsn = self.engine.ingest_run(entries)?;
+        let (first_seq, last_seq) = receipt_range.unwrap_or((0, 0));
+        Ok(CommitReceipt {
+            first_seq,
+            last_seq,
+            lsn,
+        })
+    }
+
     /// Open a [`WriteSession`] that accumulates puts and deletes across
     /// any number of tables and commits them as one atomic batch.
     pub fn session(&self) -> WriteSession<'_> {
@@ -390,14 +505,17 @@ impl TableSnapshot {
         self.snap.count(table)
     }
 
-    /// Journal entries with sequence numbers in `(after_seq, after_seq +
-    /// limit]` as of the pinned LSN: a cursor replay against this view
-    /// never sees entries from commits after the pin.
+    /// Journal entries with sequence numbers in `(after_seq, after_seq
+    /// ⊕ limit]` (saturating at `u64::MAX`) as of the pinned LSN:
+    /// a cursor replay against this view never sees entries from
+    /// commits after the pin. Same edge semantics as
+    /// [`TableStore::read_journal`]: `limit == 0` or an exhausted
+    /// cursor (`after_seq == u64::MAX`) reads empty, never wraps.
     pub fn read_journal(&self, after_seq: u64, limit: usize) -> StorageResult<Vec<JournalEntry>> {
-        let start = JournalEntry::storage_key(after_seq.saturating_add(1));
-        let end_seq = after_seq.saturating_add(limit as u64).saturating_add(1);
-        let end = JournalEntry::storage_key(end_seq);
-        let rows = self.snap.scan(JOURNAL_TABLE, &start, Some(&end))?;
+        let Some((start, end)) = journal_page_bounds(after_seq, limit) else {
+            return Ok(Vec::new());
+        };
+        let rows = self.snap.scan(JOURNAL_TABLE, &start, end.as_deref())?;
         rows.iter()
             .take(limit)
             .map(|(_, v)| JournalEntry::decode(v))
@@ -497,7 +615,10 @@ impl WriteSession<'_> {
     /// A session staging several writes to one key replays them in
     /// order; indexes are maintained against the evolving in-session
     /// state, not just the stored rows. Tables with no registered
-    /// indexes skip the old-value point read entirely.
+    /// indexes skip the old-value point read entirely. Journaled tables
+    /// emit ONE row event per key — the last staged op wins — so the
+    /// change feed describes the state the batch leaves behind, not
+    /// every intermediate write.
     pub fn commit(self) -> StorageResult<CommitReceipt> {
         let WriteSession {
             store,
@@ -506,17 +627,32 @@ impl WriteSession<'_> {
             events: injected,
         } = self;
         if staged.is_empty() && injected.is_empty() {
-            return Ok(CommitReceipt::default());
+            // A clean no-op: no batch reaches the engine (no WAL commit
+            // frame, no LSN burned), and the receipt's empty seq range
+            // still points at a valid snapshot boundary — the current
+            // head LSN, i.e. the state this commit left unchanged.
+            return Ok(CommitReceipt {
+                first_seq: 0,
+                last_seq: 0,
+                lsn: store.engine.committed_lsn(),
+            });
         }
 
-        // Automatic row events for journaled tables, in staged order,
-        // followed by explicitly injected events.
-        let mut events: Vec<JournalEntry> = Vec::new();
+        // Automatic row events for journaled tables: ONE event per
+        // (table, key) — the last staged op wins, both its kind and its
+        // position in the commit's event order, mirroring the row state
+        // the batch actually leaves behind. Explicitly injected events
+        // follow, never deduplicated.
+        let mut auto: Vec<Option<JournalEntry>> = Vec::new();
         {
             let journaled = store.journaled.read();
+            let mut last_for: HashMap<(String, Vec<u8>), usize> = HashMap::new();
             for (table, key, value) in &staged {
                 if journaled.contains(table) {
-                    events.push(JournalEntry {
+                    if let Some(prev) = last_for.insert((table.clone(), key.clone()), auto.len()) {
+                        auto[prev] = None;
+                    }
+                    auto.push(Some(JournalEntry {
                         seq: 0,
                         kind: if value.is_some() {
                             ROW_UPSERTED
@@ -527,10 +663,11 @@ impl WriteSession<'_> {
                         table: table.clone(),
                         key: key.clone(),
                         payload: Vec::new(),
-                    });
+                    }));
                 }
             }
         }
+        let mut events: Vec<JournalEntry> = auto.into_iter().flatten().collect();
         events.extend(
             injected
                 .into_iter()
@@ -788,9 +925,14 @@ mod tests {
         let before = s.engine().stats().commits;
         let receipt = s.session().commit().unwrap();
         assert_eq!(s.engine().stats().commits, before);
-        assert_eq!(receipt, CommitReceipt::default());
+        assert_eq!((receipt.first_seq, receipt.last_seq), (0, 0));
         assert_eq!(receipt.entries(), 0);
         assert_eq!(receipt.head(), None);
+        assert_eq!(
+            receipt.lsn,
+            s.engine().committed_lsn(),
+            "empty receipt still names a valid snapshot boundary"
+        );
     }
 
     #[test]
@@ -821,23 +963,24 @@ mod tests {
         session.put("records", b"r2", b"two").unwrap();
         session.delete("records", b"r1").unwrap();
         let receipt = session.commit().unwrap();
-        // Data, indexes and journal land in ONE engine commit.
+        // Data, indexes and journal land in ONE engine commit, and a key
+        // staged twice journals once — the last op wins (r1's put is
+        // superseded by its delete).
         assert_eq!(s.engine().stats().commits, before + 1);
-        assert_eq!((receipt.first_seq, receipt.last_seq), (1, 3));
+        assert_eq!((receipt.first_seq, receipt.last_seq), (1, 2));
         assert_eq!(
             receipt.lsn,
             s.engine().committed_lsn(),
             "receipt carries the engine commit LSN"
         );
-        assert_eq!(receipt.entries(), 3);
-        assert_eq!(s.journal_head(), 3);
+        assert_eq!(receipt.entries(), 2);
+        assert_eq!(s.journal_head(), 2);
         let entries = s.read_journal(0, 100).unwrap();
-        assert_eq!(entries.len(), 3);
+        assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].kind, ROW_UPSERTED);
-        assert_eq!(entries[0].key, b"r1".to_vec());
-        assert_eq!(entries[1].kind, ROW_UPSERTED);
-        assert_eq!(entries[2].kind, ROW_DELETED);
-        assert_eq!(entries[2].key, b"r1".to_vec());
+        assert_eq!(entries[0].key, b"r2".to_vec());
+        assert_eq!(entries[1].kind, ROW_DELETED);
+        assert_eq!(entries[1].key, b"r1".to_vec());
         assert!(entries.iter().all(|e| e.table == "records"));
     }
 

@@ -194,10 +194,16 @@ proptest! {
                                 model.rows.remove(&(*table, vec![*key]));
                             }
                         }
-                        if *table == JOURNALED {
-                            model.journal_head += 1;
-                        }
                     }
+                    // One journal event per DISTINCT journaled key: staging
+                    // the same key twice in a batch supersedes the earlier
+                    // op's auto-event (last write wins).
+                    let journaled: std::collections::BTreeSet<u8> = items
+                        .iter()
+                        .filter(|(t, _, _)| *t == JOURNALED)
+                        .map(|(_, k, _)| *k)
+                        .collect();
+                    model.journal_head += journaled.len() as u64;
                 }
                 Op::Checkpoint => {
                     store.engine().checkpoint().unwrap();
