@@ -59,6 +59,17 @@ commands:
   history      show a record's curation history --record ID
   assess       compute quality attributes for the collection
   export       write the collection as CSV --out FILE [--dwc true]
+  prov         capture and query cross-run provenance
+               [--capture N]   (execute N demo workflow runs through the
+               group-commit batcher, then refresh the index)
+               [--threads 4] [--max-batch 64] [--linger-ms 2]
+               [--artifact KEY]  (runs that used KEY, e.g. \"a:*:in:specimen\";
+               keys are run-agnostic node ids, run id replaced by *)
+               [--touched true] [--after SEQ]
+               [--workflow ID]   (runs of workflow ID; with --artifact,
+               only runs that touched it)
+               [--list true]   (list captured run ids)
+               [--metrics true]   (render this process's prov metric families)
   stress       hammer the workflow engine with concurrent flaky runs
                [--runs 200] [--threads 4] [--availability 0.7]
                [--max-concurrency 0] [--max-attempts 8] [--timeout-ms 0]
@@ -136,6 +147,7 @@ pub fn run(args: &Args) -> CliResult {
         "curate" => curate(&dir),
         "check-names" => check_names(args, &dir),
         "reassess" => reassess(args, &dir),
+        "prov" => prov(args, &dir),
         "query" => query(args, &dir),
         "history" => history(args, &dir),
         "assess" => assess(&dir),
@@ -875,6 +887,143 @@ fn metrics_report(
 
 /// Fault-tolerance stress drill: hundreds of concurrent runs over flaky
 /// services through the bounded pool, reporting engine + breaker stats.
+fn prov(args: &Args, dir: &Path) -> CliResult {
+    use preserva_core::capture_batcher::{BatcherOptions, CaptureBatcher};
+    use preserva_core::prov_index::ProvIndex;
+    use preserva_core::provenance_manager::ProvenanceManager;
+    use preserva_wfms::engine::{Engine as WfEngine, EngineConfig};
+    use preserva_wfms::model::{Processor, Workflow};
+    use preserva_wfms::services::{port, PortMap};
+    use preserva_wfms::ServiceRegistry;
+    use std::time::{Duration, Instant};
+
+    let store = open_store(dir)?;
+    let manager = Arc::new(ProvenanceManager::new(store.clone()));
+    let index = ProvIndex::new(manager.clone());
+
+    let capture = args.get_parsed("capture", 0usize, "integer")?;
+    if capture > 0 {
+        let threads = args.get_parsed("threads", 4usize, "integer")?.max(1);
+        let max_batch = args.get_parsed("max-batch", 64usize, "integer")?;
+        let linger_ms = args.get_parsed("linger-ms", 2u64, "integer")?;
+
+        let mut registry = ServiceRegistry::new();
+        registry.register_fn("echo", |i: &PortMap| Ok(port("out", i["in"].clone())));
+        let workflow = Workflow::new("prov-demo", "curation-chain")
+            .with_input("specimen")
+            .with_output("archived")
+            .with_processor(Processor::service("lookup", "echo", &["in"], &["out"]))
+            .with_processor(Processor::service("archive", "echo", &["in"], &["out"]))
+            .link_input("specimen", "lookup", "in")
+            .link("lookup", "out", "archive", "in")
+            .link_output("archive", "out", "archived");
+
+        let batcher = Arc::new(CaptureBatcher::with_options(
+            manager.clone(),
+            BatcherOptions {
+                max_batch,
+                linger: Duration::from_millis(linger_ms),
+            },
+        ));
+        let engine = WfEngine::new(
+            registry,
+            EngineConfig {
+                max_concurrency: threads,
+                ..Default::default()
+            },
+        )
+        .with_sink(batcher.clone());
+        let jobs: Vec<(Workflow, PortMap)> = (0..capture)
+            .map(|i| {
+                (
+                    workflow.clone(),
+                    port("specimen", serde_json::json!(format!("s-{i}"))),
+                )
+            })
+            .collect();
+        let before = store.engine().stats().commits;
+        let started = Instant::now();
+        let results = engine.run_wave(&jobs);
+        let elapsed = started.elapsed();
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        let commits = store.engine().stats().commits - before;
+        println!(
+            "captured {capture} runs ({failed} failed) in {elapsed:.2?} \
+             using {commits} storage commits"
+        );
+        let out = index.refresh()?;
+        println!(
+            "index refreshed: +{} runs (cursor {} -> {})",
+            out.runs_indexed, out.cursor_before, out.cursor_after
+        );
+    } else {
+        // Queries read through the index; fold in anything captured since
+        // the last refresh first.
+        let out = index.refresh()?;
+        if out.runs_indexed > 0 {
+            println!("index caught up: +{} runs", out.runs_indexed);
+        }
+    }
+
+    let mut queried = false;
+    if let Some(artifact) = args.get("artifact") {
+        queried = true;
+        if let Some(wf) = args.get("workflow") {
+            let runs = index.runs_of_workflow_touching(wf, artifact)?;
+            println!("{} runs of {wf} touched {artifact}:", runs.len());
+            for r in runs {
+                println!("  {r}");
+            }
+        } else {
+            let after = args.get_parsed("after", 0u64, "integer")?;
+            let touched = args.get("touched").map(|v| v == "true").unwrap_or(false);
+            let verb = if touched { "touched" } else { "used" };
+            let runs = if touched {
+                index.runs_touching_artifact(artifact, after)?
+            } else {
+                index.runs_using_artifact(artifact, after)?
+            };
+            println!(
+                "{} runs {verb} {artifact} after journal seq {after}:",
+                runs.len()
+            );
+            for r in runs {
+                println!("  {r}");
+            }
+        }
+    } else if let Some(wf) = args.get("workflow") {
+        queried = true;
+        let runs = index.runs_of_workflow(wf)?;
+        println!("{} runs of workflow {wf}:", runs.len());
+        for r in runs {
+            println!("  {r}");
+        }
+    }
+    if args.get("list").map(|v| v == "true").unwrap_or(false) {
+        queried = true;
+        let runs = manager.run_ids()?;
+        println!("{} captured runs:", runs.len());
+        for r in runs {
+            println!("  {r}");
+        }
+    }
+    if !queried {
+        println!(
+            "{} captured runs; index cursor {} (lag {})",
+            manager.run_ids()?.len(),
+            index.cursor()?,
+            index.lag()?
+        );
+    }
+    if args.get("metrics").map(|v| v == "true").unwrap_or(false) {
+        // Batch/template/index families live in THIS process's registry
+        // (capture happened here), so render it rather than the probes
+        // the `metrics` command would run.
+        print!("{}", manager.metrics_registry().render_prometheus());
+    }
+    Ok(())
+}
+
 fn stress(args: &Args) -> CliResult {
     use preserva_wfms::breaker::BreakerConfig;
     use preserva_wfms::engine::{Engine as WfEngine, EngineConfig, RetryPolicy};
@@ -1182,6 +1331,39 @@ mod tests {
         )))
         .unwrap();
         assert!(run(&args(&format!("query --dir {d}"))).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prov_command_captures_and_answers_indexed_queries() {
+        let dir = tmp("prov");
+        let d = dir.to_string_lossy();
+        run(&args(&format!(
+            "prov --dir {d} --capture 12 --threads 4 --linger-ms 5"
+        )))
+        .unwrap();
+        // Queries over the persisted index (fresh process state).
+        run(&args(&format!("prov --dir {d} --artifact a:*:in:specimen"))).unwrap();
+        run(&args(&format!(
+            "prov --dir {d} --workflow prov-demo --artifact a:*:lookup.out"
+        )))
+        .unwrap();
+        run(&args(&format!("prov --dir {d} --list true"))).unwrap();
+        // The captures and the index really landed.
+        let store = open_store(&dir).unwrap();
+        let manager = Arc::new(preserva_core::provenance_manager::ProvenanceManager::new(
+            store,
+        ));
+        let index = preserva_core::prov_index::ProvIndex::new(manager.clone());
+        assert_eq!(manager.run_ids().unwrap().len(), 12);
+        assert_eq!(
+            index
+                .runs_using_artifact("a:*:in:specimen", 0)
+                .unwrap()
+                .len(),
+            12
+        );
+        assert_eq!(index.lag().unwrap(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -31,7 +31,9 @@
 
 pub mod adapter;
 pub mod architecture;
+pub mod capture_batcher;
 pub mod preservation;
+pub mod prov_index;
 pub mod provenance_manager;
 pub mod quality_manager;
 pub mod reassess;

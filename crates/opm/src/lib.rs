@@ -47,6 +47,7 @@ pub mod inference;
 pub mod model;
 pub mod rdf;
 pub mod serialize;
+pub mod template;
 pub mod validate;
 
 pub use edge::{Edge, EdgeKind};

@@ -673,6 +673,56 @@ impl Core {
             .count())
     }
 
+    /// Live keys of `table` in `[start, end)`, sorted, without
+    /// materializing a single value byte — the same merge as `count`
+    /// but keeping the surviving keys instead of tallying them.
+    fn scan_keys(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+        max_lsn: Lsn,
+    ) -> StorageResult<Vec<Vec<u8>>> {
+        self.metrics.scans.inc();
+        let mem_rows: Vec<(Vec<u8>, Lsn, bool)> = {
+            let mem = self.mem.read().expect("engine poisoned");
+            mem.range(table, start, end, max_lsn)
+                .map(|(k, lsn, v)| (k.to_vec(), lsn, v.is_some()))
+                .collect()
+        };
+        let frozen = self.frozen.read().expect("engine poisoned").clone();
+        let frozen_rows: Vec<(Vec<u8>, Lsn, bool)> = frozen
+            .as_ref()
+            .map(|frozen| {
+                frozen
+                    .range(table, start, end, max_lsn)
+                    .map(|(k, lsn, v)| (k.to_vec(), lsn, v.is_some()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let view = self.view();
+        let mut live: BTreeMap<Vec<u8>, (Lsn, bool)> = BTreeMap::new();
+        for handle in view.iter().rev() {
+            handle
+                .run
+                .scan_range(table, start, end, max_lsn, &mut |k, lsn, v| {
+                    live.insert(k.to_vec(), (lsn, v.is_some()));
+                })?;
+        }
+        for (k, lsn, alive) in frozen_rows {
+            live.insert(k, (lsn, alive));
+        }
+        for (k, lsn, alive) in mem_rows {
+            live.insert(k, (lsn, alive));
+        }
+        let rts = self.visible_rts(table, max_lsn, &view, frozen.as_deref());
+        Ok(live
+            .into_iter()
+            .filter(|(k, (lsn, alive))| *alive && !Self::rt_shadows(&rts, table, k, *lsn))
+            .map(|(k, _)| k)
+            .collect())
+    }
+
     fn tables(&self, max_lsn: Lsn) -> StorageResult<Vec<String>> {
         // Reduce a (key asc, lsn desc) version stream to the newest
         // version at or below the read LSN per key.
@@ -1642,6 +1692,17 @@ impl Engine {
         self.core.count(table, Lsn::MAX)
     }
 
+    /// Live keys of `table` in `[start, end)`, sorted, copying no value
+    /// bytes — the key-listing sibling of [`Engine::count`].
+    pub fn scan_keys(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> StorageResult<Vec<Vec<u8>>> {
+        self.core.scan_keys(table, start, end, Lsn::MAX)
+    }
+
     /// Apply a batch of operations atomically: either every operation is
     /// visible after a crash, or none is. Returns the batch's commit LSN
     /// (the current head LSN for an empty batch).
@@ -1828,6 +1889,17 @@ impl Snapshot {
     /// Live keys of `table` at the pinned LSN, copying no value bytes.
     pub fn count(&self, table: &str) -> StorageResult<usize> {
         self.core.count(table, self.lsn)
+    }
+
+    /// Live keys in `[start, end)` at the pinned LSN, copying no value
+    /// bytes.
+    pub fn scan_keys(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> StorageResult<Vec<Vec<u8>>> {
+        self.core.scan_keys(table, start, end, self.lsn)
     }
 
     /// Tables holding at least one live key at the pinned LSN.

@@ -334,6 +334,25 @@ impl TableStore {
         self.engine.count(table)
     }
 
+    /// Live primary keys of `table` in key order, copying no value
+    /// bytes — use instead of [`scan`](Self::scan) when only the keys
+    /// matter.
+    pub fn scan_keys(&self, table: &str) -> StorageResult<Vec<Vec<u8>>> {
+        check_name(table)?;
+        self.engine.scan_keys(table, b"", None)
+    }
+
+    /// Rows of `table` with keys in `[start, end)`, in key order.
+    pub fn scan_range(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        check_name(table)?;
+        self.engine.scan(table, start, end)
+    }
+
     /// Bulk-load rows into `table` through the direct-run fast path:
     /// the rows, their index entries and their journal events are
     /// written straight into one level-1 sorted run
@@ -503,6 +522,25 @@ impl TableSnapshot {
     pub fn count(&self, table: &str) -> StorageResult<usize> {
         check_name(table)?;
         self.snap.count(table)
+    }
+
+    /// Live primary keys of `table` as of the pinned LSN, copying no
+    /// value bytes.
+    pub fn scan_keys(&self, table: &str) -> StorageResult<Vec<Vec<u8>>> {
+        check_name(table)?;
+        self.snap.scan_keys(table, b"", None)
+    }
+
+    /// Rows of `table` with keys in `[start, end)` as of the pinned
+    /// LSN, in key order.
+    pub fn scan_range(
+        &self,
+        table: &str,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> StorageResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        check_name(table)?;
+        self.snap.scan(table, start, end)
     }
 
     /// Journal entries with sequence numbers in `(after_seq, after_seq

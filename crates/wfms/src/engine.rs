@@ -570,6 +570,31 @@ impl Engine {
         }
     }
 
+    /// Run a wave of independent jobs concurrently on the worker pool
+    /// (same [`EngineConfig::max_concurrency`] bound as intra-run waves)
+    /// and flush the provenance sink once the wave drains.
+    ///
+    /// This is the bulk-capture entry point: pair it with a group-commit
+    /// sink (`preserva-core`'s `CaptureBatcher`) and the N concurrent
+    /// `record` calls coalesce into a handful of storage commits, with
+    /// the trailing [`ProvenanceSink::flush`] guaranteeing no lingering
+    /// batch outlives the wave. Results come back in job order.
+    pub fn run_wave(
+        &self,
+        jobs: &[(Workflow, PortMap)],
+    ) -> Vec<Result<ExecutionTrace, (RunError, Box<ExecutionTrace>)>> {
+        let (results, _) = pool::scoped_run(self.effective_concurrency(), jobs, |(w, inputs)| {
+            self.run(w, inputs)
+        });
+        if let Err(e) = self.sink.flush() {
+            // Per-run durability was already decided by each `record`;
+            // a failed trailing flush is advisory.
+            self.obs
+                .trace("wfms", format!("wave sink flush failed: {e}"));
+        }
+        results
+    }
+
     /// The execution core, shared by top-level runs and sub-workflow
     /// invocations (which must not hit the sink).
     fn run_inner(
@@ -1502,6 +1527,47 @@ mod tests {
         let t = e.run(&diamond(), &port("x", json!(2))).unwrap();
         assert_eq!(sink.len(), 1);
         assert_eq!(sink.drain()[0].run_id, t.run_id);
+    }
+
+    #[test]
+    fn run_wave_keeps_job_order_and_flushes_the_sink() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct FlushCounting {
+            inner: crate::sink::BufferingSink,
+            flushes: AtomicUsize,
+        }
+        impl crate::sink::ProvenanceSink for FlushCounting {
+            fn record(
+                &self,
+                w: &Workflow,
+                t: &ExecutionTrace,
+            ) -> Result<(), crate::sink::SinkError> {
+                self.inner.record(w, t)
+            }
+            fn flush(&self) -> Result<(), crate::sink::SinkError> {
+                self.flushes.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let sink = Arc::new(FlushCounting {
+            inner: crate::sink::BufferingSink::new(),
+            flushes: AtomicUsize::new(0),
+        });
+        let e = Engine::new(registry(), EngineConfig::default()).with_sink(sink.clone());
+        let jobs: Vec<(Workflow, PortMap)> =
+            (0..8).map(|i| (diamond(), port("x", json!(i)))).collect();
+        let results = e.run_wave(&jobs);
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            let t = r.as_ref().unwrap();
+            assert_eq!(t.workflow_inputs["x"], json!(i), "job order preserved");
+        }
+        assert_eq!(sink.inner.len(), 8, "every wave member reached the sink");
+        assert_eq!(
+            sink.flushes.load(Ordering::SeqCst),
+            1,
+            "one flush when the wave drains"
+        );
     }
 
     #[test]

@@ -45,6 +45,14 @@ pub trait ProvenanceSink: Send + Sync {
     /// Record one finished run (successful or failed — failed runs carry
     /// their partial trace, which the paper's curators still want).
     fn record(&self, workflow: &Workflow, trace: &ExecutionTrace) -> Result<(), SinkError>;
+
+    /// Force any buffered runs to durable storage. Sinks that batch
+    /// captures (group commit) override this; for everything else it is
+    /// a no-op. The engine calls it when a wave of pooled runs drains,
+    /// so a lingering batch never outlives the work that filled it.
+    fn flush(&self) -> Result<(), SinkError> {
+        Ok(())
+    }
 }
 
 /// Discards every run. The default for benches and engine-only tests.
