@@ -1,0 +1,241 @@
+//! Server datapoint (`BENCH_server.json`): request throughput and tail
+//! latency of the multi-tenant HTTP front end, plus change-feed fan-out
+//! — N subscribers each replaying the full journal concurrently.
+//!
+//! Run with `cargo run --release -p preserva-bench --bin exp_server` and
+//! redirect stdout to `BENCH_server.json` to record a datapoint.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use preserva_server::tenants::{Quota, TenantConfig};
+use preserva_server::{Server, ServerConfig};
+
+const RECORDS: usize = 2_000;
+const GET_THREADS: usize = 4;
+const GETS_PER_THREAD: usize = 2_000;
+const FEED_SUBSCRIBERS: usize = 8;
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("preserva-exp-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A keep-alive client connection speaking just enough HTTP/1.1.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// One request/response exchange; returns (status, body).
+    fn call(&mut self, method: &str, path: &str, key: &str, body: Option<&str>) -> (u16, String) {
+        let body = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: b\r\nAuthorization: Bearer {key}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        self.writer.flush().unwrap();
+        read_sized_reply(&mut self.reader)
+    }
+}
+
+fn read_sized_reply(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut len = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end().to_ascii_lowercase();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.strip_prefix("content-length:") {
+            len = v.trim().parse().unwrap();
+        }
+    }
+    let mut buf = vec![0u8; len];
+    reader.read_exact(&mut buf).unwrap();
+    (status, String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Stream the feed over one connection, counting `id:` lines until the
+/// chunked body terminates.
+fn replay_feed(addr: std::net::SocketAddr, key: &str, max_events: usize) -> usize {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /v1/bench/feed?cursor=0&max_events={max_events} HTTP/1.1\r\nHost: b\r\nAuthorization: Bearer bench-key\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let _ = key;
+    let mut reader = BufReader::new(stream);
+    // Skip the response head.
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    // Chunked body: count event ids until the zero chunk.
+    let mut events = 0usize;
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line).is_err() {
+            break;
+        }
+        let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+        if size == 0 {
+            break;
+        }
+        let mut buf = vec![0u8; size + 2];
+        reader.read_exact(&mut buf).unwrap();
+        events += String::from_utf8_lossy(&buf[..size])
+            .lines()
+            .filter(|l| l.starts_with("id: "))
+            .count();
+    }
+    events
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let root = tmpdir();
+    let mut config = ServerConfig::new("127.0.0.1:0", &root).tenant(TenantConfig {
+        name: "bench".into(),
+        api_key: "bench-key".into(),
+        quota: Quota {
+            max_subscribers: FEED_SUBSCRIBERS + 2,
+            ..Quota::default()
+        },
+    });
+    config.workers = GET_THREADS + FEED_SUBSCRIBERS + 2;
+    config.feed_poll = Duration::from_millis(20);
+    let server = Server::start(config).unwrap();
+    let addr = server.addr();
+
+    // --- Ingest through the server (PUT throughput falls out for free).
+    let mut client = Client::connect(addr);
+    let put_start = Instant::now();
+    for i in 0..RECORDS {
+        let body = serde_json::json!({
+            "id": format!("FNJV-{i:06}"),
+            "fields": { "species": { "Text": format!("species-{}", i % 200) } }
+        })
+        .to_string();
+        let (status, _) = client.call("PUT", "/v1/bench/records", "bench-key", Some(&body));
+        assert_eq!(status, 201);
+    }
+    let put_secs = put_start.elapsed().as_secs_f64();
+
+    // --- GET throughput + latency: keep-alive clients hammering point
+    // reads of random-ish ids.
+    let get_start = Instant::now();
+    let handles: Vec<_> = (0..GET_THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut lat_us = Vec::with_capacity(GETS_PER_THREAD);
+                for i in 0..GETS_PER_THREAD {
+                    let id = (i * 7919 + t * 104729) % RECORDS;
+                    let started = Instant::now();
+                    let (status, _) = client.call(
+                        "GET",
+                        &format!("/v1/bench/records/FNJV-{id:06}"),
+                        "bench-key",
+                        None,
+                    );
+                    lat_us.push(started.elapsed().as_secs_f64() * 1e6);
+                    assert_eq!(status, 200);
+                }
+                lat_us
+            })
+        })
+        .collect();
+    let mut lat_us: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    let get_secs = get_start.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+    let total_gets = GET_THREADS * GETS_PER_THREAD;
+
+    // --- Feed fan-out: every subscriber replays the whole journal
+    // concurrently.
+    let head = {
+        let mut c = Client::connect(addr);
+        let (_, body) = c.call("GET", "/v1/bench/stats", "bench-key", None);
+        serde_json::from_str::<serde_json::Value>(&body).unwrap()["journal_head"]
+            .as_u64()
+            .unwrap() as usize
+    };
+    let fan_start = Instant::now();
+    let subs: Vec<_> = (0..FEED_SUBSCRIBERS)
+        .map(|_| std::thread::spawn(move || replay_feed(addr, "bench-key", head)))
+        .collect();
+    let delivered: usize = subs.into_iter().map(|h| h.join().unwrap()).sum();
+    let fan_secs = fan_start.elapsed().as_secs_f64();
+    assert_eq!(
+        delivered,
+        head * FEED_SUBSCRIBERS,
+        "every subscriber replays every event"
+    );
+
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&root).ok();
+
+    let out = serde_json::json!({
+        "bench": "server",
+        "records": RECORDS,
+        "put": {
+            "requests": RECORDS,
+            "throughput_rps": RECORDS as f64 / put_secs,
+        },
+        "get": {
+            "requests": total_gets,
+            "threads": GET_THREADS,
+            "throughput_rps": total_gets as f64 / get_secs,
+            "p50_us": percentile(&lat_us, 0.50),
+            "p99_us": percentile(&lat_us, 0.99),
+        },
+        "feed_fanout": {
+            "subscribers": FEED_SUBSCRIBERS,
+            "events_each": head,
+            "total_events": delivered,
+            "wall_secs": fan_secs,
+            "aggregate_events_per_sec": delivered as f64 / fan_secs,
+        },
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+}

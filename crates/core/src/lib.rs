@@ -32,6 +32,7 @@
 pub mod adapter;
 pub mod architecture;
 pub mod capture_batcher;
+pub mod collection;
 pub mod preservation;
 pub mod prov_index;
 pub mod provenance_manager;
@@ -43,6 +44,7 @@ pub mod roles;
 pub mod sharding;
 
 pub use architecture::Architecture;
+pub use collection::{Collection, CollectionError, CollectionOptions, MaintenanceReport};
 pub use preservation::PreservationModel;
 pub use reassess::{ReassessOutcome, Reassessor};
 pub use repository::{CodecError, Repository, RepositoryError};

@@ -25,6 +25,55 @@ fn format_labels(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
     }
 }
 
+/// Render one family's series (HELP/TYPE header plus every sample line)
+/// into `out`. Shared by the single-registry and merged expositions.
+fn render_family(out: &mut String, name: &str, help: &str, series: &[(LabelSet, InstrumentRef)]) {
+    let kind = match series.first() {
+        Some((_, InstrumentRef::Counter(_))) => "counter",
+        Some((_, InstrumentRef::Gauge(_))) => "gauge",
+        Some((_, InstrumentRef::Histogram(_))) => "histogram",
+        None => return,
+    };
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (labels, instrument) in series {
+        match instrument {
+            InstrumentRef::Counter(c) => {
+                let _ = writeln!(out, "{name}{} {}", format_labels(labels, None), c.get());
+            }
+            InstrumentRef::Gauge(g) => {
+                let _ = writeln!(out, "{name}{} {}", format_labels(labels, None), g.get());
+            }
+            InstrumentRef::Histogram(h) => {
+                let counts = h.bucket_counts();
+                let mut cum = 0u64;
+                for (i, bound) in h.bounds().iter().enumerate() {
+                    cum += counts[i];
+                    let le = format!("{bound}");
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        format_labels(labels, Some(("le", &le)))
+                    );
+                }
+                cum += counts[h.bounds().len()];
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cum}",
+                    format_labels(labels, Some(("le", "+Inf")))
+                );
+                let _ = writeln!(out, "{name}_sum{} {}", format_labels(labels, None), h.sum());
+                let _ = writeln!(
+                    out,
+                    "{name}_count{} {}",
+                    format_labels(labels, None),
+                    h.count()
+                );
+            }
+        }
+    }
+}
+
 impl Registry {
     /// Render every family in Prometheus text exposition format.
     ///
@@ -34,51 +83,39 @@ impl Registry {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, help, series) in self.snapshot() {
-            let kind = match series.first() {
-                Some((_, InstrumentRef::Counter(_))) => "counter",
-                Some((_, InstrumentRef::Gauge(_))) => "gauge",
-                Some((_, InstrumentRef::Histogram(_))) => "histogram",
-                None => continue,
-            };
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} {kind}");
-            for (labels, instrument) in &series {
-                match instrument {
-                    InstrumentRef::Counter(c) => {
-                        let _ = writeln!(out, "{name}{} {}", format_labels(labels, None), c.get());
-                    }
-                    InstrumentRef::Gauge(g) => {
-                        let _ = writeln!(out, "{name}{} {}", format_labels(labels, None), g.get());
-                    }
-                    InstrumentRef::Histogram(h) => {
-                        let counts = h.bucket_counts();
-                        let mut cum = 0u64;
-                        for (i, bound) in h.bounds().iter().enumerate() {
-                            cum += counts[i];
-                            let le = format!("{bound}");
-                            let _ = writeln!(
-                                out,
-                                "{name}_bucket{} {cum}",
-                                format_labels(labels, Some(("le", &le)))
-                            );
-                        }
-                        cum += counts[h.bounds().len()];
-                        let _ = writeln!(
-                            out,
-                            "{name}_bucket{} {cum}",
-                            format_labels(labels, Some(("le", "+Inf")))
-                        );
-                        let _ =
-                            writeln!(out, "{name}_sum{} {}", format_labels(labels, None), h.sum());
-                        let _ = writeln!(
-                            out,
-                            "{name}_count{} {}",
-                            format_labels(labels, None),
-                            h.count()
-                        );
-                    }
+            render_family(&mut out, &name, &help, &series);
+        }
+        out
+    }
+
+    /// Render several registries as ONE valid exposition, stamping every
+    /// series of each part with `label_key="part name"`. Families that
+    /// appear in more than one registry merge under a single HELP/TYPE
+    /// header (the format forbids repeating it), with each part's series
+    /// distinguished by the injected label — how a multi-tenant server
+    /// scrapes N per-collection registries through one `/metrics`.
+    ///
+    /// Series within a family keep label-sorted order; a part whose name
+    /// collides with an existing label key on a series still gets the
+    /// injected label appended (last wins at scrape time).
+    pub fn render_prometheus_merged(label_key: &str, parts: &[(&str, &Registry)]) -> String {
+        use std::collections::BTreeMap;
+        let mut merged: BTreeMap<String, (String, Vec<(LabelSet, InstrumentRef)>)> =
+            BTreeMap::new();
+        for (part, registry) in parts {
+            for (name, help, series) in registry.snapshot() {
+                let slot = merged.entry(name).or_insert_with(|| (help, Vec::new()));
+                for (mut labels, instrument) in series {
+                    labels.push((label_key.to_string(), part.to_string()));
+                    labels.sort();
+                    slot.1.push((labels, instrument));
                 }
             }
+        }
+        let mut out = String::new();
+        for (name, (help, mut series)) in merged {
+            series.sort_by(|a, b| a.0.cmp(&b.0));
+            render_family(&mut out, &name, &help, &series);
         }
         out
     }
@@ -223,5 +260,32 @@ mod tests {
     fn empty_registry_summary() {
         let r = Registry::new();
         assert!(r.render_summary().contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn merged_exposition_labels_each_part_once_per_family() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("shared_total", "Shared.").add(2);
+        b.counter("shared_total", "Shared.").add(5);
+        b.gauge_with("only_b", "B only.", &[("k", "v")]).set(1);
+        let text = Registry::render_prometheus_merged("tenant", &[("alpha", &a), ("beta", &b)]);
+        assert!(text.contains("shared_total{tenant=\"alpha\"} 2"), "{text}");
+        assert!(text.contains("shared_total{tenant=\"beta\"} 5"), "{text}");
+        assert!(text.contains("only_b{k=\"v\",tenant=\"beta\"} 1"), "{text}");
+        // One header per family even when both parts carry it.
+        assert_eq!(text.matches("# TYPE shared_total counter").count(), 1);
+        // Histograms merge too, with the label on every expanded line.
+        let h = a.histogram("lat_seconds", "Lat.", &[1.0]);
+        h.observe(0.5);
+        let text = Registry::render_prometheus_merged("tenant", &[("alpha", &a), ("beta", &b)]);
+        assert!(
+            text.contains("lat_seconds_bucket{tenant=\"alpha\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_seconds_count{tenant=\"alpha\"} 1"),
+            "{text}"
+        );
     }
 }

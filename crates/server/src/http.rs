@@ -1,0 +1,271 @@
+//! A deliberately small HTTP/1.1 codec: enough to parse the requests the
+//! preserva API serves and write plain or chunked responses. No external
+//! dependencies — the workspace is std-only by constraint, and the server
+//! needs exactly GET/PUT, headers, a sized body, keep-alive and chunked
+//! transfer for the change feed.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Total bytes of request line + headers we will buffer before refusing.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest request body accepted (a single record, generously).
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request. Header names are lowercased; the query string is
+/// split off the target but left encoded (use [`Request::query`]).
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub raw_query: String,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Decoded query parameters, last occurrence winning.
+    pub fn query(&self) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        for pair in self.raw_query.split('&') {
+            if pair.is_empty() {
+                continue;
+            }
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            out.insert(percent_decode(k), percent_decode(v));
+        }
+        out
+    }
+
+    /// The client asked to drop the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+
+    /// The bearer token / API key presented, if any.
+    pub fn api_key(&self) -> Option<&str> {
+        if let Some(auth) = self.headers.get("authorization") {
+            if let Some(token) = auth.strip_prefix("Bearer ") {
+                return Some(token.trim());
+            }
+        }
+        self.headers.get("x-api-key").map(|v| v.trim())
+    }
+}
+
+/// Minimal percent-decoding ('+' as space, `%XX` bytes), lossy on
+/// malformed escapes.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).unwrap_or(&[]);
+                let decoded = std::str::from_utf8(hex)
+                    .ok()
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                if let Some(v) = decoded {
+                    out.push(v);
+                    i += 3;
+                    continue;
+                }
+                out.push(b'%');
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Read one request off the stream. `Ok(None)` means the peer closed (or
+/// idled past the read timeout) between requests — a clean keep-alive end.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut head = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e)
+                if head.is_empty()
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::ConnectionReset
+                    ) =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            // EOF: fine between requests, torn mid-head otherwise.
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn head"));
+        }
+        if line == "\r\n" || line == "\n" {
+            if head.is_empty() {
+                continue; // tolerate stray blank lines between requests
+            }
+            break;
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "head too large"));
+        }
+    }
+
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no target"))?;
+    let (path, raw_query) = target.split_once('?').unwrap_or((target, ""));
+
+    let mut headers = BTreeMap::new();
+    for l in lines {
+        if let Some((k, v)) = l.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        reader.read_exact(&mut body)?;
+    }
+
+    Ok(Some(Request {
+        method,
+        path: percent_decode(path),
+        raw_query: raw_query.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// A plain (sized) response.
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(status: u16, value: serde_json::Value) -> Response {
+        let mut body = value.to_string().into_bytes();
+        body.push(b'\n');
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    pub fn text(status: u16, text: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: text.into().into_bytes(),
+        }
+    }
+
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, serde_json::json!({ "error": message }))
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a sized response; `close` controls the Connection header.
+pub fn write_response(stream: &mut TcpStream, r: &Response, close: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        r.status,
+        reason(r.status),
+        r.content_type,
+        r.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&r.body)?;
+    stream.flush()
+}
+
+/// Start a chunked `text/event-stream` response. Pair with
+/// [`write_chunk`] and [`finish_chunked`]. Always `Connection: close` —
+/// a feed is the connection's last exchange.
+pub fn start_event_stream(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// One chunk of a chunked body.
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(()); // an empty chunk would terminate the body
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminate a chunked body.
+pub fn finish_chunked(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_spaces_and_escapes() {
+        assert_eq!(percent_decode("Hyla+faber"), "Hyla faber");
+        assert_eq!(percent_decode("Hyla%20faber"), "Hyla faber");
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

@@ -1,0 +1,118 @@
+//! The `preserva-server` binary.
+//!
+//! ```text
+//! preserva-server --addr 127.0.0.1:7878 --data-root ./tenants \
+//!     --tenant herp:key-herp --tenant ornith:key-ornith:200
+//! ```
+//!
+//! Each `--tenant` is `name:api_key[:max_requests_per_sec]`. The server
+//! runs until stdin closes or SIGTERM-ish (ctrl-c ends the process; the
+//! collections recover on next open thanks to the WAL), but the graceful
+//! path is: send a newline on stdin, and the server drains, flushes and
+//! verifies zero pinned snapshots before exiting.
+
+use std::time::Duration;
+
+use preserva_server::tenants::{Quota, TenantConfig};
+use preserva_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: preserva-server --addr HOST:PORT --data-root DIR \\\n       --tenant name:api_key[:max_requests_per_sec] [--tenant ...] [--workers N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_tenant(spec: &str) -> Result<TenantConfig, String> {
+    let mut parts = spec.splitn(3, ':');
+    let name = parts.next().unwrap_or("").to_string();
+    let api_key = parts
+        .next()
+        .ok_or_else(|| format!("tenant {spec:?}: missing api key (name:key)"))?
+        .to_string();
+    let mut quota = Quota::default();
+    if let Some(rate) = parts.next() {
+        quota.max_requests = rate
+            .parse()
+            .map_err(|_| format!("tenant {spec:?}: bad rate {rate:?}"))?;
+    }
+    Ok(TenantConfig {
+        name,
+        api_key,
+        quota,
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut data_root = None;
+    let mut tenants = Vec::new();
+    let mut workers = 8usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--data-root" => data_root = args.next(),
+            "--tenant" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match parse_tenant(&spec) {
+                    Ok(t) => tenants.push(t),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(data_root) = data_root else { usage() };
+    if tenants.is_empty() {
+        eprintln!("at least one --tenant is required");
+        usage();
+    }
+
+    let mut config = ServerConfig::new(addr, data_root);
+    config.workers = workers;
+    config.keep_alive = Duration::from_secs(5);
+    for t in tenants {
+        config = config.tenant(t);
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("preserva-server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let names: Vec<&str> = server.state().manager.names();
+    eprintln!(
+        "preserva-server listening on {} ({} tenant(s): {}) — newline on stdin shuts down",
+        server.addr(),
+        names.len(),
+        names.join(", ")
+    );
+
+    // Block until stdin closes or delivers a line, then drain.
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    eprintln!("preserva-server: draining...");
+    match server.shutdown() {
+        Ok(()) => eprintln!("preserva-server: clean shutdown, zero pinned snapshots"),
+        Err(e) => {
+            eprintln!("preserva-server: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Request routing and the read/write endpoints.
+//!
+//! Every read endpoint pins exactly ONE storage snapshot for the
+//! duration of the request — cross-table panels (records + stats) can
+//! never observe a torn view, and the pin is released before the
+//! response is written, so a crashed client can't floor the compaction
+//! horizon.
+
+use std::sync::Arc;
+
+use preserva_core::collection::Collection;
+use preserva_core::repository::decode_row;
+use preserva_metadata::record::Record;
+use preserva_metadata::value::Value;
+
+use crate::http::{Request, Response};
+use crate::state::ServerState;
+use crate::tenants::Gate;
+
+/// Route one parsed request. Feed requests are NOT handled here — the
+/// connection loop intercepts them because they stream.
+pub fn route(state: &ServerState, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => metrics(state),
+        (_, ["v1", tenant, rest @ ..]) => tenant_route(state, req, tenant, rest),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+pub fn gate_response(gate: Gate) -> Response {
+    match gate {
+        Gate::UnknownTenant => Response::error(404, "unknown tenant"),
+        Gate::BadKey => Response::error(401, "missing or invalid API key"),
+        Gate::OverQuota => Response::error(429, "tenant request quota exceeded"),
+        Gate::TooManySubscribers => Response::error(429, "tenant subscriber limit reached"),
+    }
+}
+
+fn tenant_route(state: &ServerState, req: &Request, tenant: &str, rest: &[&str]) -> Response {
+    let coll = match state.manager.admit(tenant, req.api_key()) {
+        Ok(c) => c,
+        Err(gate) => {
+            if gate == Gate::BadKey {
+                state.metrics.auth_failures.inc();
+            }
+            if gate == Gate::OverQuota {
+                state.metrics.quota_rejections.inc();
+            }
+            return gate_response(gate);
+        }
+    };
+    match (req.method.as_str(), rest) {
+        ("GET", ["records", id]) => get_record(&coll, id),
+        ("GET", ["records"]) => scan_records(&coll, req),
+        ("PUT", ["records"]) | ("POST", ["records"]) => put_record(&coll, req),
+        ("GET", ["stats"]) => stats(&coll),
+        ("GET", ["prov", "runs"]) => prov_runs(&coll, req),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn get_record(coll: &Arc<Collection>, id: &str) -> Response {
+    let snap = coll.store().snapshot();
+    let row = match snap.get(coll.options().records_table.as_str(), id.as_bytes()) {
+        Ok(r) => r,
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    match row.as_deref().and_then(decode_row::<Record>) {
+        Some(record) => Response::json(
+            200,
+            serde_json::json!({
+                "record": record,
+                "as_of_lsn": snap.lsn(),
+            }),
+        ),
+        None => Response::error(404, "no such record"),
+    }
+}
+
+fn scan_records(coll: &Arc<Collection>, req: &Request) -> Response {
+    let q = req.query();
+    let limit: usize = q
+        .get("limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+        .min(1000);
+    let year: Option<i32> = q.get("year").and_then(|v| v.parse().ok());
+    let snap = coll.store().snapshot();
+    let all = match coll.catalog().all_at(&snap) {
+        Ok(r) => r,
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    let matches = |r: &Record| {
+        if let Some(s) = q.get("species") {
+            if r.get_text("species") != Some(s.as_str()) {
+                return false;
+            }
+        }
+        if let Some(s) = q.get("state") {
+            if r.get_text("state") != Some(s.as_str()) {
+                return false;
+            }
+        }
+        if let Some(y) = year {
+            match r.get("collect_date") {
+                Some(Value::Date(d)) if d.year == y => {}
+                _ => return false,
+            }
+        }
+        true
+    };
+    let mut total = 0usize;
+    let mut hits = Vec::new();
+    for r in all.iter().filter(|r| matches(r)) {
+        total += 1;
+        if hits.len() < limit {
+            hits.push(r);
+        }
+    }
+    Response::json(
+        200,
+        serde_json::json!({
+            "total": total,
+            "records": hits,
+            "as_of_lsn": snap.lsn(),
+        }),
+    )
+}
+
+fn put_record(coll: &Arc<Collection>, req: &Request) -> Response {
+    let record: Record = match serde_json::from_slice(&req.body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &format!("bad record body: {e}")),
+    };
+    match coll.catalog().insert(&record) {
+        Ok(receipt) => Response::json(
+            201,
+            serde_json::json!({
+                "id": record.id,
+                "first_seq": receipt.first_seq,
+                "last_seq": receipt.last_seq,
+                "lsn": receipt.lsn,
+            }),
+        ),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+fn stats(coll: &Arc<Collection>) -> Response {
+    let snap = coll.store().snapshot();
+    let as_of_lsn = snap.lsn();
+    let records = match coll.catalog().all_at(&snap) {
+        Ok(r) => r.len(),
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    // Release our own pin before reading the gauge, so a healthy idle
+    // collection reports zero.
+    drop(snap);
+    let levels: Vec<serde_json::Value> = coll
+        .engine()
+        .runs_per_level()
+        .into_iter()
+        .map(|(level, runs)| serde_json::json!({ "level": level, "runs": runs }))
+        .collect();
+    Response::json(
+        200,
+        serde_json::json!({
+            "records": records,
+            "journal_head": coll.journal_head(),
+            "as_of_lsn": as_of_lsn,
+            "committed_lsn": coll.engine().committed_lsn(),
+            "snapshots_pinned": coll.snapshots_pinned(),
+            "runs_per_level": levels,
+            "options_fingerprint": coll.options().fingerprint(),
+        }),
+    )
+}
+
+fn prov_runs(coll: &Arc<Collection>, req: &Request) -> Response {
+    let q = req.query();
+    // Fold in anything captured since the last refresh, then answer
+    // from the index.
+    let index = coll.prov_index();
+    if let Err(e) = index.refresh() {
+        return Response::error(500, &e.to_string());
+    }
+    let after: u64 = q.get("after").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let touched = q.get("touched").map(|v| v == "true").unwrap_or(false);
+    let result = match (q.get("workflow"), q.get("artifact")) {
+        (Some(wf), Some(art)) => index.runs_of_workflow_touching(wf, art),
+        (Some(wf), None) => index.runs_of_workflow(wf),
+        (None, Some(art)) if touched => index.runs_touching_artifact(art, after),
+        (None, Some(art)) => index.runs_using_artifact(art, after),
+        (None, None) => coll.provenance().run_ids(),
+    };
+    match result {
+        Ok(runs) => Response::json(200, serde_json::json!({ "runs": runs })),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+fn metrics(state: &ServerState) -> Response {
+    // Merge every OPEN tenant registry under a `tenant` label, then
+    // append the server's own families (disjoint names, so the
+    // exposition stays valid).
+    let names = state.manager.names();
+    let open: Vec<(String, Arc<Collection>)> = names
+        .iter()
+        .filter_map(|n| state.manager.peek(n).map(|c| (n.to_string(), c)))
+        .collect();
+    let parts: Vec<(&str, &preserva_obs::Registry)> = open
+        .iter()
+        .map(|(n, c)| (n.as_str(), c.metrics_registry().as_ref()))
+        .collect();
+    let mut text = preserva_obs::Registry::render_prometheus_merged("tenant", &parts);
+    text.push_str(&state.registry.render_prometheus());
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: text.into_bytes(),
+    }
+}

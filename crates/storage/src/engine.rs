@@ -1790,6 +1790,13 @@ impl Engine {
         self.core.compact()
     }
 
+    /// Reader snapshots currently pinned. A lifecycle layer (e.g. a
+    /// `Collection` close) asserts this is zero before shutdown: a
+    /// leaked pin silently floors the compaction fold horizon forever.
+    pub fn snapshots_pinned(&self) -> usize {
+        self.core.registry.count()
+    }
+
     /// Live runs per level, ascending by level. Empty when the store has
     /// no runs yet.
     pub fn runs_per_level(&self) -> Vec<(u32, usize)> {

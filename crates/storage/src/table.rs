@@ -15,7 +15,8 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::codec::{get_u64, put_u64};
 use crate::engine::{BatchOp, Engine, Snapshot};
@@ -149,6 +150,10 @@ pub struct TableStore {
     journaled: parking_lot_free::RwLock<HashSet<String>>,
     /// Next journal sequence number to assign (head + 1).
     next_seq: AtomicU64,
+    /// Journal head watch: every commit path that appends entries
+    /// notifies here after the batch lands, so change-feed tailers
+    /// ([`TableStore::tail_journal`]) block instead of polling.
+    watch: (Mutex<()>, Condvar),
 }
 
 /// Tiny stand-in module so the storage crate stays dependency-free: wraps
@@ -208,6 +213,7 @@ impl TableStore {
             indexes: parking_lot_free::RwLock::new(HashMap::new()),
             journaled: parking_lot_free::RwLock::new(HashSet::new()),
             next_seq: AtomicU64::new(head + 1),
+            watch: (Mutex::new(()), Condvar::new()),
         }
     }
 
@@ -250,6 +256,71 @@ impl TableStore {
             .take(limit)
             .map(|(_, v)| JournalEntry::decode(v))
             .collect()
+    }
+
+    /// Wake journal tailers after a commit appended entries. The mutex
+    /// is taken (and immediately dropped) so a notification can never
+    /// slip between a waiter's head check and its wait.
+    fn notify_journal(&self) {
+        let _guard = self.watch.0.lock().expect("journal watch poisoned");
+        self.watch.1.notify_all();
+    }
+
+    /// Block until the journal head advances past `after_seq` or
+    /// `timeout` elapses; returns the head either way. The wait is
+    /// condvar-driven (woken by committing sessions and bulk loads),
+    /// not a poll loop — the long-poll primitive under change-feed
+    /// subscriptions.
+    pub fn wait_for_journal(&self, after_seq: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.watch.0.lock().expect("journal watch poisoned");
+        loop {
+            let head = self.journal_head();
+            if head > after_seq {
+                return head;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return head;
+            }
+            let (g, _) = self
+                .watch
+                .1
+                .wait_timeout(guard, deadline - now)
+                .expect("journal watch poisoned");
+            guard = g;
+        }
+    }
+
+    /// Long-poll tail of the change feed: the next page after
+    /// `after_seq` ([`read_journal`](Self::read_journal) semantics),
+    /// waiting up to `timeout` for entries when the cursor is at the
+    /// head. Returns an empty page only on timeout (or an exhausted /
+    /// zero-limit cursor) — never because entries raced the read.
+    pub fn tail_journal(
+        &self,
+        after_seq: u64,
+        limit: usize,
+        timeout: Duration,
+    ) -> StorageResult<Vec<JournalEntry>> {
+        if limit == 0 || after_seq == u64::MAX {
+            return Ok(Vec::new());
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            // The head may be advanced by a commit whose batch has not
+            // landed yet, so read first and only then decide to wait:
+            // a non-empty page is always real.
+            let page = self.read_journal(after_seq, limit)?;
+            if !page.is_empty() {
+                return Ok(page);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            self.wait_for_journal(after_seq, deadline - now);
+        }
     }
 
     /// Register a secondary index, backfilling it from existing rows the
@@ -438,6 +509,9 @@ impl TableStore {
         drop(indexes);
         entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
         let lsn = self.engine.ingest_run(entries)?;
+        if receipt_range.is_some() {
+            self.notify_journal();
+        }
         let (first_seq, last_seq) = receipt_range.unwrap_or((0, 0));
         Ok(CommitReceipt {
             first_seq,
@@ -796,6 +870,9 @@ impl WriteSession<'_> {
             }
         };
         receipt.lsn = store.engine.apply_batch(batch)?;
+        if receipt.entries() > 0 {
+            store.notify_journal();
+        }
         Ok(receipt)
     }
 }

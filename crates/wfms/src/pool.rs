@@ -69,6 +69,133 @@ where
     (results, PoolReport { workers, tasks })
 }
 
+/// A long-lived bounded worker pool for open-ended task streams.
+///
+/// [`scoped_run`] fits waves whose items are known up front; a network
+/// server accepting connections needs the dual: workers that outlive any
+/// one submission and pull jobs off a shared queue as they arrive.
+/// Submissions never block — a job enqueued while every worker is busy
+/// waits its turn — so the queue depth, exposed via
+/// [`TaskPool::queued`], is the backpressure signal.
+///
+/// Dropping the pool (or calling [`TaskPool::shutdown`]) stops intake,
+/// lets workers finish the jobs already queued, and joins them.
+pub struct TaskPool {
+    inner: std::sync::Arc<PoolInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolInner {
+    /// The vendored `parking_lot` has no Condvar, so the queue pairs
+    /// with a std one.
+    queue: std::sync::Mutex<std::collections::VecDeque<Job>>,
+    /// Signaled on submit and on shutdown.
+    available: std::sync::Condvar,
+    shutdown: std::sync::atomic::AtomicBool,
+    active: AtomicUsize,
+}
+
+impl PoolInner {
+    fn next_job(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self.available.wait(queue).expect("pool queue poisoned");
+        }
+    }
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("workers", &self.workers.len())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// Spawn a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> TaskPool {
+        let inner = std::sync::Arc::new(PoolInner {
+            queue: std::sync::Mutex::new(std::collections::VecDeque::new()),
+            available: std::sync::Condvar::new(),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || {
+                    while let Some(job) = inner.next_job() {
+                        inner.active.fetch_add(1, Ordering::SeqCst);
+                        job();
+                        inner.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        TaskPool { inner, workers }
+    }
+
+    /// Enqueue a job. Returns `false` (dropping the job) when the pool
+    /// is shutting down.
+    pub fn execute<F>(&self, job: F) -> bool
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.inner
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(Box::new(job));
+        self.inner.available.notify_one();
+        true
+    }
+
+    /// Jobs waiting for a worker.
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().expect("pool queue poisoned").len()
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.inner.active.load(Ordering::SeqCst)
+    }
+
+    /// Stop intake, drain the queue, and join every worker.
+    pub fn shutdown(mut self) {
+        self.stop();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.stop();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// The default concurrency bound: what the hardware offers.
 pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()
@@ -133,5 +260,42 @@ mod tests {
         let items = [1, 2, 3];
         let (_, report) = scoped_run(64, &items, |&x: &i32| x);
         assert_eq!(report.workers, 3);
+    }
+
+    #[test]
+    fn task_pool_runs_every_job_bounded() {
+        use std::sync::Arc;
+        let pool = TaskPool::new(3);
+        let done = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let active = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let (done, peak, active) = (done.clone(), peak.clone(), active.clone());
+            assert!(pool.execute(move || {
+                let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                active.fetch_sub(1, Ordering::SeqCst);
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 40, "shutdown drains the queue");
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn task_pool_refuses_jobs_after_drop_begins() {
+        use std::sync::Arc;
+        let pool = TaskPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = ran.clone();
+            assert!(pool.execute(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // joins the worker, job already queued still runs
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 }
