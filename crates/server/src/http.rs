@@ -13,8 +13,10 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Largest request body accepted (a single record, generously).
 const MAX_BODY_BYTES: usize = 1024 * 1024;
 
-/// One parsed request. Header names are lowercased; the query string is
-/// split off the target but left encoded (use [`Request::query`]).
+/// One parsed request. Header names are lowercased; the path and query
+/// string are split off the target but left ENCODED — use
+/// [`Request::segments`] and [`Request::query`], which decode after
+/// splitting, so an encoded separator can't change the structure.
 #[derive(Debug)]
 pub struct Request {
     pub method: String,
@@ -25,6 +27,18 @@ pub struct Request {
 }
 
 impl Request {
+    /// Path segments, percent-decoded individually. The raw path is
+    /// split on '/' FIRST, so `%2F` inside a segment (e.g. a record id
+    /// containing a slash) stays inside that segment instead of
+    /// changing the route shape.
+    pub fn segments(&self) -> Vec<String> {
+        self.path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(percent_decode)
+            .collect()
+    }
+
     /// Decoded query parameters, last occurrence winning.
     pub fn query(&self) -> BTreeMap<String, String> {
         let mut out = BTreeMap::new();
@@ -161,7 +175,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
 
     Ok(Some(Request {
         method,
-        path: percent_decode(path),
+        path: path.to_string(),
         raw_query: raw_query.to_string(),
         headers,
         body,
@@ -267,5 +281,26 @@ mod tests {
         assert_eq!(percent_decode("a%2Fb"), "a/b");
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn segments_split_before_decoding() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/v1/herp/records/FNJV%2F0001".into(),
+            raw_query: String::new(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        };
+        // An encoded slash stays INSIDE its segment: still a 4-segment
+        // record route, with the id decoded to contain '/'.
+        assert_eq!(req.segments(), ["v1", "herp", "records", "FNJV/0001"]);
+
+        // A literal extra slash, by contrast, changes the shape.
+        let req = Request {
+            path: "/v1/herp/records/FNJV/0001".into(),
+            ..req
+        };
+        assert_eq!(req.segments().len(), 5);
     }
 }

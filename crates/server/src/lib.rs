@@ -54,6 +54,10 @@ pub struct ServerConfig {
     /// How long one feed poll blocks waiting for journal growth. Also
     /// bounds shutdown latency for idle feed subscribers.
     pub feed_poll: Duration,
+    /// Operator key for `GET /metrics` — the merged exposition names
+    /// every tenant, so it is never served unauthenticated. `None`
+    /// disables the endpoint entirely.
+    pub admin_key: Option<String>,
 }
 
 impl ServerConfig {
@@ -65,11 +69,17 @@ impl ServerConfig {
             workers: 8,
             keep_alive: Duration::from_secs(5),
             feed_poll: Duration::from_millis(250),
+            admin_key: None,
         }
     }
 
     pub fn tenant(mut self, t: TenantConfig) -> ServerConfig {
         self.tenants.push(t);
+        self
+    }
+
+    pub fn admin_key(mut self, key: impl Into<String>) -> ServerConfig {
+        self.admin_key = Some(key.into());
         self
     }
 }
@@ -118,7 +128,7 @@ impl Server {
             .map_err(ServerError::Config)?;
         let listener = TcpListener::bind(&config.addr).map_err(ServerError::Bind)?;
         let addr = listener.local_addr().map_err(ServerError::Bind)?;
-        let state = ServerState::new(manager, config.feed_poll);
+        let state = ServerState::new(manager, config.feed_poll, config.admin_key);
         let pool = TaskPool::new(config.workers.max(1));
 
         let accept_state = state.clone();
@@ -223,7 +233,7 @@ fn serve_connection(state: &Arc<ServerState>, stream: TcpStream, keep_alive: Dur
 
         // Feed subscriptions stream on the raw socket and always end
         // the connection.
-        if let Some(tenant) = feed_tenant(&req.method, &req.path) {
+        if let Some(tenant) = feed_tenant(&req) {
             feed::serve_feed(state, &mut writer, &req, &tenant);
             state
                 .metrics
@@ -251,14 +261,15 @@ fn release_connection(state: &Arc<ServerState>) {
     state.metrics.active_connections.set(live as u64);
 }
 
-/// `GET /v1/{tenant}/feed` → the tenant name.
-fn feed_tenant(method: &str, path: &str) -> Option<String> {
-    if method != "GET" {
+/// `GET /v1/{tenant}/feed` → the tenant name. Matches on decoded
+/// segments (same discipline as `routes::route`): the raw path is
+/// split first, so an encoded '/' can't fake or dodge the feed route.
+fn feed_tenant(req: &http::Request) -> Option<String> {
+    if req.method != "GET" {
         return None;
     }
-    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match segments.as_slice() {
-        ["v1", tenant, "feed"] => Some((*tenant).to_string()),
+    match req.segments().as_slice() {
+        [v1, tenant, feed] if v1 == "v1" && feed == "feed" => Some(tenant.clone()),
         _ => None,
     }
 }

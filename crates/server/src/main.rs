@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! preserva-server --addr 127.0.0.1:7878 --data-root ./tenants \
+//!     --admin-key op-secret \
 //!     --tenant herp:key-herp --tenant ornith:key-ornith:200
 //! ```
 //!
-//! Each `--tenant` is `name:api_key[:max_requests_per_sec]`. The server
+//! Each `--tenant` is `name:api_key[:max_requests_per_sec]`.
+//! `--admin-key` gates `GET /metrics` (the merged exposition names
+//! every tenant); without it the endpoint is disabled. The server
 //! runs until stdin closes or SIGTERM-ish (ctrl-c ends the process; the
 //! collections recover on next open thanks to the WAL), but the graceful
 //! path is: send a newline on stdin, and the server drains, flushes and
@@ -18,7 +21,7 @@ use preserva_server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: preserva-server --addr HOST:PORT --data-root DIR \\\n       --tenant name:api_key[:max_requests_per_sec] [--tenant ...] [--workers N]"
+        "usage: preserva-server --addr HOST:PORT --data-root DIR \\\n       --tenant name:api_key[:max_requests_per_sec] [--tenant ...] \\\n       [--admin-key KEY] [--workers N]"
     );
     std::process::exit(2);
 }
@@ -49,10 +52,12 @@ fn main() {
     let mut data_root = None;
     let mut tenants = Vec::new();
     let mut workers = 8usize;
+    let mut admin_key = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().unwrap_or_else(|| usage()),
             "--data-root" => data_root = args.next(),
+            "--admin-key" => admin_key = Some(args.next().unwrap_or_else(|| usage())),
             "--tenant" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 match parse_tenant(&spec) {
@@ -85,6 +90,7 @@ fn main() {
     let mut config = ServerConfig::new(addr, data_root);
     config.workers = workers;
     config.keep_alive = Duration::from_secs(5);
+    config.admin_key = admin_key;
     for t in tenants {
         config = config.tenant(t);
     }

@@ -15,15 +15,16 @@ use preserva_metadata::value::Value;
 
 use crate::http::{Request, Response};
 use crate::state::ServerState;
-use crate::tenants::Gate;
+use crate::tenants::{constant_time_key_eq, Gate};
 
 /// Route one parsed request. Feed requests are NOT handled here — the
 /// connection loop intercepts them because they stream.
 pub fn route(state: &ServerState, req: &Request) -> Response {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let segments = req.segments();
+    let segments: Vec<&str> = segments.iter().map(String::as_str).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::text(200, "ok\n"),
-        ("GET", ["metrics"]) => metrics(state),
+        ("GET", ["metrics"]) => metrics(state, req),
         (_, ["v1", tenant, rest @ ..]) => tenant_route(state, req, tenant, rest),
         _ => Response::error(404, "no such route"),
     }
@@ -201,7 +202,21 @@ fn prov_runs(coll: &Arc<Collection>, req: &Request) -> Response {
     }
 }
 
-fn metrics(state: &ServerState) -> Response {
+fn metrics(state: &ServerState, req: &Request) -> Response {
+    // The merged exposition names every tenant and exposes per-tenant
+    // activity, so it is operator-only: it requires the admin key, a
+    // credential distinct from any tenant's. An unconfigured admin key
+    // means the endpoint is disabled, never open.
+    let authorized = match &state.admin_key {
+        Some(admin) => req
+            .api_key()
+            .is_some_and(|k| constant_time_key_eq(k, admin)),
+        None => false,
+    };
+    if !authorized {
+        state.metrics.auth_failures.inc();
+        return Response::error(401, "metrics requires the admin key");
+    }
     // Merge every OPEN tenant registry under a `tenant` label, then
     // append the server's own families (disjoint names, so the
     // exposition stays valid).

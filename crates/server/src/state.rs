@@ -63,6 +63,9 @@ pub struct ServerState {
     pub manager: CollectionManager,
     pub registry: Arc<Registry>,
     pub metrics: ServerMetrics,
+    /// Operator credential gating `/metrics` (the merged exposition
+    /// leaks tenant names and activity). `None` disables the endpoint.
+    pub admin_key: Option<String>,
     /// Set once by shutdown; feed loops and the accept loop poll it.
     pub shutting_down: AtomicBool,
     /// How long one feed poll blocks waiting for new journal entries.
@@ -77,13 +80,18 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    pub fn new(manager: CollectionManager, feed_poll: Duration) -> Arc<ServerState> {
+    pub fn new(
+        manager: CollectionManager,
+        feed_poll: Duration,
+        admin_key: Option<String>,
+    ) -> Arc<ServerState> {
         let registry = Arc::new(Registry::new());
         let metrics = ServerMetrics::register(&registry);
         Arc::new(ServerState {
             manager,
             registry,
             metrics,
+            admin_key,
             shutting_down: AtomicBool::new(false),
             feed_poll,
             connections_served: AtomicU64::new(0),

@@ -79,6 +79,24 @@ fn valid_name(name: &str) -> bool {
             .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
 }
 
+/// Constant-time key equality: the XOR-fold visits every candidate
+/// byte regardless of where the first mismatch sits, so response
+/// timing can't be used to recover the stored key byte by byte. (Only
+/// the candidate's own length shapes the loop — that much the attacker
+/// already knows.)
+pub(crate) fn constant_time_key_eq(candidate: &str, expected: &str) -> bool {
+    let c = candidate.as_bytes();
+    let e = expected.as_bytes();
+    if e.is_empty() {
+        return c.is_empty();
+    }
+    let mut diff = c.len() ^ e.len();
+    for (i, &b) in c.iter().enumerate() {
+        diff |= (b ^ e[i % e.len()]) as usize;
+    }
+    diff == 0
+}
+
 impl CollectionManager {
     /// Build the routing table. Tenant directories live under `root`,
     /// one per tenant name; invalid names are refused up front.
@@ -118,7 +136,7 @@ impl CollectionManager {
     /// collection (opening it on first touch).
     pub fn admit(&self, tenant: &str, key: Option<&str>) -> Result<Arc<Collection>, Gate> {
         let state = self.tenants.get(tenant).ok_or(Gate::UnknownTenant)?;
-        if key != Some(state.config.api_key.as_str()) {
+        if !key.is_some_and(|k| constant_time_key_eq(k, &state.config.api_key)) {
             return Err(Gate::BadKey);
         }
         if state.config.quota.max_requests > 0 {
@@ -287,6 +305,28 @@ mod tests {
         drop(s1);
         let _s2 = m.subscribe("alpha").unwrap();
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn constant_time_eq_agrees_with_plain_equality() {
+        let cases = [
+            ("", "", true),
+            ("", "k", false),
+            ("k", "", false),
+            ("key-herp", "key-herp", true),
+            ("key-herp", "key-herq", false),
+            ("key-her", "key-herp", false),
+            ("key-herpp", "key-herp", false),
+            ("aaaaaaaa", "key-herp", false),
+            ("key-herpkey-herp", "key-herp", false),
+        ];
+        for (candidate, expected, want) in cases {
+            assert_eq!(
+                constant_time_key_eq(candidate, expected),
+                want,
+                "candidate={candidate:?} expected={expected:?}"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@ fn start(tag: &str) -> (Server, PathBuf) {
     let root = tmp(tag);
     let config = ServerConfig::new("127.0.0.1:0", &root)
         .tenant(tenant("herp", "key-herp"))
-        .tenant(tenant("ornith", "key-ornith"));
+        .tenant(tenant("ornith", "key-ornith"))
+        .admin_key("op-secret");
     let mut config = config;
     config.feed_poll = Duration::from_millis(50);
     config.keep_alive = Duration::from_secs(2);
@@ -324,14 +325,24 @@ fn metrics_merge_tenant_families_with_server_families() {
     // And provoke an auth failure for the counter.
     call(addr, "GET", "/v1/herp/stats", Some("bad"), None);
 
-    let metrics = call(addr, "GET", "/metrics", None, None);
+    // The merged exposition names every tenant, so it is operator-only:
+    // no key and tenant keys are both rejected (and counted).
+    assert_eq!(call(addr, "GET", "/metrics", None, None).status, 401);
+    assert_eq!(
+        call(addr, "GET", "/metrics", Some("key-herp"), None).status,
+        401,
+        "a tenant key must not unlock the cross-tenant exposition"
+    );
+
+    let metrics = call(addr, "GET", "/metrics", Some("op-secret"), None);
     assert_eq!(metrics.status, 200);
     let text = &metrics.body;
     assert!(
         text.contains("preserva_server_requests_total"),
         "server families present"
     );
-    assert!(text.contains("preserva_server_auth_failures_total 1"));
+    // 1 tenant bad-key + 2 rejected /metrics scrapes above.
+    assert!(text.contains("preserva_server_auth_failures_total 3"));
     assert!(
         text.contains("tenant=\"herp\"") && text.contains("tenant=\"ornith\""),
         "tenant-labeled families present:\n{text}"
@@ -341,6 +352,42 @@ fn metrics_merge_tenant_families_with_server_families() {
         "collection fingerprint info gauge is exported"
     );
 
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn record_ids_containing_slashes_are_reachable() {
+    let (server, root) = start("slashid");
+    let addr = server.addr();
+    let put = call(
+        addr,
+        "PUT",
+        "/v1/herp/records",
+        Some("key-herp"),
+        Some(&record_json("FNJV/0001", "Hyla faber")),
+    );
+    assert_eq!(put.status, 201, "body: {}", put.body);
+    // %2F stays inside the id segment: the record is reachable.
+    let got = call(
+        addr,
+        "GET",
+        "/v1/herp/records/FNJV%2F0001",
+        Some("key-herp"),
+        None,
+    );
+    assert_eq!(got.status, 200, "body: {}", got.body);
+    assert_eq!(got.json()["record"]["id"], "FNJV/0001");
+    // A literal slash genuinely changes the route shape — clean 404,
+    // not a mis-route.
+    let raw = call(
+        addr,
+        "GET",
+        "/v1/herp/records/FNJV/0001",
+        Some("key-herp"),
+        None,
+    );
+    assert_eq!(raw.status, 404);
     server.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -372,6 +419,11 @@ fn quota_limits_requests_per_window() {
         call(addr, "GET", "/v1/small/stats", Some("k"), None).status,
         429
     );
+
+    // This server configured no admin key: /metrics is disabled, not
+    // open — even a tenant key doesn't unlock it.
+    assert_eq!(call(addr, "GET", "/metrics", None, None).status, 401);
+    assert_eq!(call(addr, "GET", "/metrics", Some("k"), None).status, 401);
 
     server.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&root);

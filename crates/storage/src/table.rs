@@ -148,8 +148,19 @@ pub struct TableStore {
     /// Tables whose row writes auto-append journal events. Like indexes,
     /// journaling is code, not data: re-register after every open.
     journaled: parking_lot_free::RwLock<HashSet<String>>,
-    /// Next journal sequence number to assign (head + 1).
-    next_seq: AtomicU64,
+    /// Last journal sequence number whose entry has LANDED (its batch
+    /// applied or ingested). Written only under `commit_lock`, after
+    /// the engine write succeeds — so the head never names an entry a
+    /// reader can't see, and never regresses.
+    landed_head: AtomicU64,
+    /// Serializes journal sequence assignment with the engine write
+    /// that lands the entries. Without it, two committers could land
+    /// out of order: a tailer reading the later range would advance
+    /// its cursor past the still-inflight earlier range (dropping it
+    /// forever), and the persisted head mirror could regress, letting
+    /// a reopen reuse live sequence numbers. A commit that fails after
+    /// taking the lock burns no sequence numbers at all.
+    commit_lock: Mutex<()>,
     /// Journal head watch: every commit path that appends entries
     /// notifies here after the batch lands, so change-feed tailers
     /// ([`TableStore::tail_journal`]) block instead of polling.
@@ -212,7 +223,8 @@ impl TableStore {
             engine,
             indexes: parking_lot_free::RwLock::new(HashMap::new()),
             journaled: parking_lot_free::RwLock::new(HashSet::new()),
-            next_seq: AtomicU64::new(head + 1),
+            landed_head: AtomicU64::new(head),
+            commit_lock: Mutex::new(()),
             watch: (Mutex::new(()), Condvar::new()),
         }
     }
@@ -236,9 +248,11 @@ impl TableStore {
         self.journaled.read().contains(table)
     }
 
-    /// Last assigned journal sequence number; 0 when the journal is empty.
+    /// Last LANDED journal sequence number; 0 when the journal is
+    /// empty. Every entry up to this head has been committed and is
+    /// readable — the head never runs ahead of the entries themselves.
     pub fn journal_head(&self) -> u64 {
-        self.next_seq.load(Ordering::SeqCst) - 1
+        self.landed_head.load(Ordering::SeqCst)
     }
 
     /// Journal entries with sequence numbers in `(after_seq, after_seq
@@ -270,7 +284,8 @@ impl TableStore {
     /// `timeout` elapses; returns the head either way. The wait is
     /// condvar-driven (woken by committing sessions and bulk loads),
     /// not a poll loop — the long-poll primitive under change-feed
-    /// subscriptions.
+    /// subscriptions. The head is the LANDED head, so a return with
+    /// `head > after_seq` guarantees readable entries past the cursor.
     pub fn wait_for_journal(&self, after_seq: u64, timeout: Duration) -> u64 {
         let deadline = Instant::now() + timeout;
         let mut guard = self.watch.0.lock().expect("journal watch poisoned");
@@ -308,9 +323,9 @@ impl TableStore {
         }
         let deadline = Instant::now() + timeout;
         loop {
-            // The head may be advanced by a commit whose batch has not
-            // landed yet, so read first and only then decide to wait:
-            // a non-empty page is always real.
+            // The head only advances after its entries have landed, so
+            // a wake from wait_for_journal means the next read is
+            // non-empty — the loop can never spin hot on an empty page.
             let page = self.read_journal(after_seq, limit)?;
             if !page.is_empty() {
                 return Ok(page);
@@ -464,14 +479,7 @@ impl TableStore {
         let mut entries: Vec<(String, Vec<u8>, Vec<u8>)> = Vec::with_capacity(
             rows.len() * (1 + defs.len()) + if journaled { rows.len() + 1 } else { 0 },
         );
-        let receipt_range = if journaled {
-            let n = rows.len() as u64;
-            let first = self.next_seq.fetch_add(n, Ordering::SeqCst);
-            Some((first, first + n - 1))
-        } else {
-            None
-        };
-        for (i, (key, value)) in rows.iter().enumerate() {
+        for (key, value) in rows.iter() {
             entries.push((table.to_string(), key.clone(), value.clone()));
             for def in defs {
                 if let Some(v) = (def.extract)(value) {
@@ -482,40 +490,52 @@ impl TableStore {
                     ));
                 }
             }
-            if let Some((first, _)) = receipt_range {
-                let e = JournalEntry {
-                    seq: first + i as u64,
-                    kind: ROW_UPSERTED.to_string(),
-                    table: table.to_string(),
-                    key: key.clone(),
-                    payload: Vec::new(),
-                };
-                entries.push((
-                    JOURNAL_TABLE.to_string(),
-                    JournalEntry::storage_key(e.seq),
-                    e.encode(),
-                ));
-            }
-        }
-        if let Some((_, last)) = receipt_range {
-            let mut head = Vec::new();
-            put_u64(&mut head, last);
-            entries.push((
-                JOURNAL_META_TABLE.to_string(),
-                JOURNAL_HEAD_KEY.to_vec(),
-                head,
-            ));
         }
         drop(indexes);
+        if !journaled {
+            entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+            let lsn = self.engine.ingest_run(entries)?;
+            return Ok(CommitReceipt {
+                first_seq: 0,
+                last_seq: 0,
+                lsn,
+            });
+        }
+        // Sequence numbers are assigned and landed under the commit
+        // lock, so concurrent loads/sessions land their ranges in seq
+        // order and a failed ingest burns nothing.
+        let guard = self.commit_lock.lock().expect("journal commit lock poisoned");
+        let first = self.landed_head.load(Ordering::SeqCst) + 1;
+        let last = first + rows.len() as u64 - 1;
+        for (i, (key, _)) in rows.iter().enumerate() {
+            let e = JournalEntry {
+                seq: first + i as u64,
+                kind: ROW_UPSERTED.to_string(),
+                table: table.to_string(),
+                key: key.clone(),
+                payload: Vec::new(),
+            };
+            entries.push((
+                JOURNAL_TABLE.to_string(),
+                JournalEntry::storage_key(e.seq),
+                e.encode(),
+            ));
+        }
+        let mut head = Vec::new();
+        put_u64(&mut head, last);
+        entries.push((
+            JOURNAL_META_TABLE.to_string(),
+            JOURNAL_HEAD_KEY.to_vec(),
+            head,
+        ));
         entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
         let lsn = self.engine.ingest_run(entries)?;
-        if receipt_range.is_some() {
-            self.notify_journal();
-        }
-        let (first_seq, last_seq) = receipt_range.unwrap_or((0, 0));
+        self.landed_head.store(last, Ordering::SeqCst);
+        drop(guard);
+        self.notify_journal();
         Ok(CommitReceipt {
-            first_seq,
-            last_seq,
+            first_seq: first,
+            last_seq: last,
             lsn,
         })
     }
@@ -842,38 +862,49 @@ impl WriteSession<'_> {
         }
         drop(indexes);
 
-        let mut receipt = if events.is_empty() {
-            CommitReceipt::default()
-        } else {
-            let n = events.len() as u64;
-            let first = store.next_seq.fetch_add(n, Ordering::SeqCst);
-            let last = first + n - 1;
-            for (i, mut e) in events.into_iter().enumerate() {
-                e.seq = first + i as u64;
-                batch.push(BatchOp::Put {
-                    table: JOURNAL_TABLE.to_string(),
-                    key: JournalEntry::storage_key(e.seq),
-                    value: e.encode(),
-                });
-            }
-            let mut head = Vec::new();
-            put_u64(&mut head, last);
-            batch.push(BatchOp::Put {
-                table: JOURNAL_META_TABLE.to_string(),
-                key: JOURNAL_HEAD_KEY.to_vec(),
-                value: head,
+        if events.is_empty() {
+            let lsn = store.engine.apply_batch(batch)?;
+            return Ok(CommitReceipt {
+                first_seq: 0,
+                last_seq: 0,
+                lsn,
             });
-            CommitReceipt {
-                first_seq: first,
-                last_seq: last,
-                lsn: 0,
-            }
-        };
-        receipt.lsn = store.engine.apply_batch(batch)?;
-        if receipt.entries() > 0 {
-            store.notify_journal();
         }
-        Ok(receipt)
+        // Sequence assignment and the batch that lands the entries are
+        // one critical section: ranges land in seq order (a tailer can
+        // never skip an in-flight earlier range), the persisted head
+        // mirror is monotonic, and an apply error burns no seqs.
+        let guard = store
+            .commit_lock
+            .lock()
+            .expect("journal commit lock poisoned");
+        let n = events.len() as u64;
+        let first = store.landed_head.load(Ordering::SeqCst) + 1;
+        let last = first + n - 1;
+        for (i, mut e) in events.into_iter().enumerate() {
+            e.seq = first + i as u64;
+            batch.push(BatchOp::Put {
+                table: JOURNAL_TABLE.to_string(),
+                key: JournalEntry::storage_key(e.seq),
+                value: e.encode(),
+            });
+        }
+        let mut head = Vec::new();
+        put_u64(&mut head, last);
+        batch.push(BatchOp::Put {
+            table: JOURNAL_META_TABLE.to_string(),
+            key: JOURNAL_HEAD_KEY.to_vec(),
+            value: head,
+        });
+        let lsn = store.engine.apply_batch(batch)?;
+        store.landed_head.store(last, Ordering::SeqCst);
+        drop(guard);
+        store.notify_journal();
+        Ok(CommitReceipt {
+            first_seq: first,
+            last_seq: last,
+            lsn,
+        })
     }
 }
 
