@@ -1,0 +1,256 @@
+//! Search-layer datapoint (`BENCH_search.json`): n-gram-indexed fuzzy
+//! matching vs the linear `best_match` scan, at the FNJV checklist
+//! scale (~1.9k names) and at 100k synthetic names, plus one
+//! journal-fed persistent-index run.
+//!
+//! The headline claim: the indexed path scores only the count-filtered
+//! candidates yet returns the BYTE-IDENTICAL winner of the full linear
+//! scan, and at 100k names it is ≥10× faster. Every query's winner is
+//! asserted equal across both paths before any timing is reported.
+//!
+//! Run with `cargo run --release -p preserva-bench --bin exp_search`
+//! and redirect stdout to `BENCH_search.json` to record a datapoint.
+
+use std::time::Instant;
+
+use preserva_core::collection::{Collection, CollectionOptions};
+use preserva_fnjv::config::GeneratorConfig;
+use preserva_fnjv::generator;
+use preserva_taxonomy::fuzzy;
+use preserva_taxonomy::ngram::NGramIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DISTANCE: usize = 2;
+const QUERIES: usize = 20;
+const ITERS: u32 = 5;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("preserva-exp-search-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Median wall-clock of `ITERS` runs of `f`, in microseconds.
+fn median_us(mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// A plausible binomial: capitalized genus + lowercase epithet, both
+/// built from alternating consonant/vowel syllables so the n-gram
+/// postings see natural-language-like sharing.
+fn synthetic_name(rng: &mut StdRng) -> String {
+    const C: &[u8] = b"bcdfghlmnprstv";
+    const V: &[u8] = b"aeiou";
+    fn word(syllables: usize, rng: &mut StdRng) -> String {
+        let mut w = String::new();
+        for _ in 0..syllables {
+            w.push(C[rng.gen_range(0..C.len())] as char);
+            w.push(V[rng.gen_range(0..V.len())] as char);
+        }
+        w
+    }
+    let genus_len = rng.gen_range(2..5usize);
+    let genus = word(genus_len, rng);
+    let epithet_len = rng.gen_range(2..6usize);
+    let epithet = word(epithet_len, rng);
+    let mut name = String::new();
+    name.push(genus.as_bytes()[0].to_ascii_uppercase() as char);
+    name.push_str(&genus[1..]);
+    name.push(' ');
+    name.push_str(&epithet);
+    name
+}
+
+/// Inject one adjacent transposition and one substitution into `name`
+/// (distance ≤ 2 from the original, matching the DISTANCE budget).
+fn misspell(name: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = name.chars().collect();
+    let inner: Vec<usize> = (1..chars.len().saturating_sub(1))
+        .filter(|&i| chars[i] != ' ' && chars[i + 1] != ' ')
+        .collect();
+    if let Some(&i) = inner.get(rng.gen_range(0..inner.len().max(1)) % inner.len().max(1)) {
+        chars.swap(i, i + 1);
+    }
+    if let Some(&i) = inner.get(rng.gen_range(0..inner.len().max(1)) % inner.len().max(1)) {
+        chars[i] = if chars[i] == 'a' { 'e' } else { 'a' };
+    }
+    chars.into_iter().collect()
+}
+
+/// Time both paths over the same queries, asserting identical winners.
+fn compare(label: &str, names: &[String], rng: &mut StdRng) -> serde_json::Value {
+    let build = Instant::now();
+    let index = NGramIndex::build(names.iter().cloned());
+    let build_ms = build.elapsed().as_secs_f64() * 1e3;
+
+    let queries: Vec<String> = (0..QUERIES)
+        .map(|_| misspell(&names[rng.gen_range(0..names.len())], rng))
+        .collect();
+
+    // Correctness gate before any timing: both paths agree per query.
+    let mut candidates_scored = 0usize;
+    let mut matched = 0usize;
+    for q in &queries {
+        let linear = fuzzy::best_match(q, names.iter().map(String::as_str), DISTANCE)
+            .map(|m| (m.candidate.to_string(), m.distance));
+        let indexed = index
+            .best_match(q, DISTANCE)
+            .map(|m| (m.candidate.to_string(), m.distance));
+        assert_eq!(
+            linear, indexed,
+            "indexed winner must equal linear winner for {q:?}"
+        );
+        candidates_scored += index.candidates(q, DISTANCE).len();
+        matched += usize::from(indexed.is_some());
+    }
+
+    let linear_us = median_us(|| {
+        for q in &queries {
+            let _ = fuzzy::best_match(q, names.iter().map(String::as_str), DISTANCE);
+        }
+    }) / QUERIES as f64;
+    let indexed_us = median_us(|| {
+        for q in &queries {
+            let _ = index.best_match(q, DISTANCE);
+        }
+    }) / QUERIES as f64;
+    let speedup = linear_us / indexed_us;
+    eprintln!(
+        "{label}: {} names, linear {linear_us:.1}us/query, indexed {indexed_us:.1}us/query \
+         ({speedup:.1}x, {:.1} candidates scored/query, {matched}/{QUERIES} matched)",
+        names.len(),
+        candidates_scored as f64 / QUERIES as f64,
+    );
+    serde_json::json!({
+        "names": names.len(),
+        "queries": QUERIES,
+        "distance_budget": DISTANCE,
+        "index_build_ms": build_ms,
+        "linear_us_per_query": linear_us,
+        "indexed_us_per_query": indexed_us,
+        "speedup": speedup,
+        "mean_candidates_scored": candidates_scored as f64 / QUERIES as f64,
+        "queries_matched": matched,
+        "identical_winners": true, // asserted above, per query
+    })
+}
+
+/// One persistent-index datapoint: ingest through the catalog, drain the
+/// journal into the `__search:` tables, then answer a fuzzy query off a
+/// pinned snapshot — again asserting the winner equals the linear scan
+/// over every indexed name.
+fn persistent() -> serde_json::Value {
+    let dir = tmpdir("coll");
+    let coll = Collection::open(&dir, CollectionOptions::default()).unwrap();
+    let config = GeneratorConfig {
+        records: 2_000,
+        distinct_species: 400,
+        outdated_names: 0,
+        seed: 77,
+        ..GeneratorConfig::default()
+    };
+    let collection = generator::generate(&config);
+    let ingest = Instant::now();
+    for r in &collection.records {
+        coll.catalog().insert(r).unwrap();
+    }
+    let ingest_ms = ingest.elapsed().as_secs_f64() * 1e3;
+
+    let lag_before = coll.search().journal_lag().unwrap();
+    let t = Instant::now();
+    let outcome = coll.search().run().unwrap();
+    let index_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(coll.search().journal_lag().unwrap(), 0);
+
+    let reader = coll.search().reader();
+    let snap = coll.store().snapshot();
+    let names = reader.names(&snap).unwrap();
+    let query = misspell(&names[names.len() / 2], &mut StdRng::seed_from_u64(7));
+    let hit = reader.fuzzy(&snap, &query, DISTANCE).unwrap().unwrap();
+    let linear = fuzzy::best_match(&query, names.iter().map(String::as_str), DISTANCE).unwrap();
+    assert_eq!(hit.name, linear.candidate);
+    assert_eq!(hit.distance, linear.distance);
+    let query_us = median_us(|| {
+        let _ = reader.fuzzy(&snap, &query, DISTANCE).unwrap();
+    });
+    drop(snap);
+    eprintln!(
+        "persistent: {} records -> {} journal entries in {index_ms:.0}ms, \
+         fuzzy query {query_us:.0}us over {} names ({} candidates scored)",
+        collection.records.len(),
+        outcome.entries_consumed,
+        names.len(),
+        hit.candidates_scored,
+    );
+    let out = serde_json::json!({
+        "records": collection.records.len(),
+        "ingest_ms": ingest_ms,
+        "journal_lag_before_run": lag_before,
+        "entries_consumed": outcome.entries_consumed,
+        "docs_indexed": outcome.docs_indexed,
+        "index_run_ms": index_ms,
+        "indexed_names": names.len(),
+        "fuzzy_query_us": query_us,
+        "candidates_scored": hit.candidates_scored,
+        "winner_matches_linear_scan": true, // asserted above
+    });
+    coll.close().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x5EA7C4);
+
+    // Scale 1: the real generated checklist (FNJV-shaped, ~1.9k names).
+    let config = GeneratorConfig {
+        records: 1_900,
+        distinct_species: 1_900,
+        outdated_names: 0,
+        seed: 11,
+        ..GeneratorConfig::default()
+    };
+    let checklist_names: Vec<String> = generator::generate(&config)
+        .checklist
+        .backbone
+        .names()
+        .map(|n| n.canonical())
+        .collect();
+    let checklist = compare("checklist", &checklist_names, &mut rng);
+
+    // Scale 2: 100k synthetic names (deduped; the generator overshoots).
+    let mut seen = std::collections::BTreeSet::new();
+    while seen.len() < 100_000 {
+        seen.insert(synthetic_name(&mut rng));
+    }
+    let synthetic: Vec<String> = seen.into_iter().collect();
+    let large = compare("synthetic-100k", &synthetic, &mut rng);
+
+    let speedup = large["speedup"].as_f64().unwrap();
+    assert!(
+        speedup >= 10.0,
+        "indexed fuzzy matching must be >=10x the linear scan at 100k names (got {speedup:.1}x)"
+    );
+
+    let out = serde_json::json!({
+        "experiment": "search",
+        "fuzzy": {
+            "checklist_1_9k": checklist,
+            "synthetic_100k": large,
+        },
+        "persistent_index": persistent(),
+        "check": "indexed winner identical to linear best_match on every query; >=10x at 100k names",
+    });
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+}

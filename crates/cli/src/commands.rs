@@ -56,6 +56,15 @@ commands:
                [--at-lsn L]   (pin the input snapshot to commit LSN L)
                [--metrics true]  (print the exposition after the run)
   query        retrieve records [--species S] [--state ST] [--year Y] [--limit N]
+  search       query the journal-fed search index (folds new journal
+               entries in first, then answers under one pinned snapshot)
+               [--q TERMS]     (token search; AND across tokens)
+               [--field F]     (restrict --q to one metadata field)
+               [--fuzzy NAME]  (closest indexed species name)
+               [--distance D]  (fuzzy edit-distance budget, default 2)
+               [--facets true] (facet counts: family/georeferenced/quality)
+               [--facet NAME]  (restrict --facets to one facet)
+               [--limit N] [--rebuild true]  (wipe + reindex from seq 0)
   history      show a record's curation history --record ID
   assess       compute quality attributes for the collection
   export       write the collection as CSV --out FILE [--dwc true]
@@ -157,6 +166,7 @@ pub fn run(args: &Args) -> CliResult {
         "reassess" => reassess(args, &dir),
         "prov" => prov(args, &dir),
         "query" => query(args, &dir),
+        "search" => search(args, &dir),
         "history" => history(args, &dir),
         "assess" => assess(&dir),
         "export" => export(args, &dir),
@@ -690,6 +700,88 @@ fn query(args: &Args, dir: &Path) -> CliResult {
                 .map(|v| v.to_string())
                 .unwrap_or_default()
         );
+    }
+    Ok(())
+}
+
+/// Answer token / fuzzy / facet queries from the journal-fed search
+/// index. Like the server handlers: fold anything new off the journal
+/// first, then pin ONE snapshot and answer entirely from the
+/// `__search:` tables, reporting the snapshot LSN and index cursor.
+fn search(args: &Args, dir: &Path) -> CliResult {
+    let coll = open_collection(dir)?;
+    let outcome = if args.get("rebuild").map(|v| v == "true").unwrap_or(false) {
+        coll.search().rebuild()?
+    } else {
+        coll.search().run()?
+    };
+    if !outcome.is_noop() {
+        println!(
+            "index advanced {} -> {}: {} journal entries, {} docs indexed, {} removed",
+            outcome.cursor_before,
+            outcome.cursor_after,
+            outcome.entries_consumed,
+            outcome.docs_indexed,
+            outcome.docs_removed
+        );
+    }
+    let reader = coll.search().reader();
+    let snap = coll.store().snapshot();
+    let cursor = reader.cursor_at(&snap)?;
+    println!(
+        "answering at lsn {} (index cursor {}, lag {})",
+        snap.lsn(),
+        cursor,
+        coll.journal_head().saturating_sub(cursor)
+    );
+    if args.get("facets").map(|v| v == "true").unwrap_or(false) || args.get("facet").is_some() {
+        let counts = reader.facets(&snap, args.get("facet"))?;
+        for (facet, values) in counts {
+            println!("{facet}:");
+            for (value, count) in values {
+                println!("  {value:<24} {count}");
+            }
+        }
+        return Ok(());
+    }
+    if let Some(fuzzy_q) = args.get("fuzzy") {
+        let distance = args.get_parsed("distance", 2usize, "integer")?;
+        match reader.fuzzy(&snap, fuzzy_q, distance)? {
+            Some(hit) => println!(
+                "{} (distance {}, scored {} of {} indexed names)",
+                hit.name,
+                hit.distance,
+                hit.candidates_scored,
+                reader.names(&snap)?.len()
+            ),
+            None => println!("no indexed name within distance {distance} of {fuzzy_q:?}"),
+        }
+        return Ok(());
+    }
+    let terms = args
+        .get("q")
+        .ok_or("give one of --q / --fuzzy / --facets true")?;
+    let limit = args.get_parsed("limit", 20usize, "integer")?;
+    let hits = reader.query(&snap, args.get("field"), terms, limit)?;
+    println!(
+        "{} matching records; showing {}:",
+        hits.total,
+        hits.ids.len()
+    );
+    for id in &hits.ids {
+        match snap.get(coll.options().records_table.as_str(), id.as_bytes())? {
+            Some(raw) => match preserva_core::repository::decode_row::<Record>(&raw) {
+                Some(r) => println!(
+                    "  {}  {}  {} {}",
+                    r.id,
+                    r.get_text("species").unwrap_or("?"),
+                    r.get_text("city").unwrap_or("?"),
+                    r.get_text("state").unwrap_or("?")
+                ),
+                None => println!("  {id}  (undecodable row)"),
+            },
+            None => println!("  {id}  (row vanished after index snapshot)"),
+        }
     }
     Ok(())
 }

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use preserva_obs::Registry;
+use preserva_search::{Indexer, SearchConfig, SearchError};
 use preserva_storage::{CompactionOptions, Engine, EngineOptions, StorageError, TableStore};
 use preserva_wfms::sink::SinkError;
 
@@ -58,6 +59,9 @@ pub struct CollectionOptions {
     pub batcher: BatcherOptions,
     /// Table the record catalog indexes.
     pub records_table: String,
+    /// Tokenizer fields, n-gram width and name field for the search
+    /// layer.
+    pub search: SearchConfig,
     /// Registry every subsystem reports into. `None` gives the
     /// collection a private registry (how the server isolates tenants);
     /// the CLI passes the process-global one.
@@ -73,6 +77,7 @@ impl Default for CollectionOptions {
             compaction: engine.compaction,
             batcher: BatcherOptions::default(),
             records_table: RECORDS_TABLE.to_string(),
+            search: SearchConfig::default(),
             metrics: None,
         }
     }
@@ -96,12 +101,15 @@ impl CollectionOptions {
     pub fn fingerprint(&self) -> String {
         format!(
             "fsync={} checkpoint_bytes={} compaction.background={} \
-             compaction.max_runs_per_level={} records_table={}",
+             compaction.max_runs_per_level={} records_table={} \
+             search.gram={} search.fields={}",
             self.fsync,
             self.checkpoint_bytes,
             self.compaction.background,
             self.compaction.max_runs_per_level,
             self.records_table,
+            self.search.gram,
+            self.search.fields.join(","),
         )
     }
 }
@@ -115,6 +123,8 @@ pub enum CollectionError {
     Catalog(CatalogError),
     /// Reassessor failure.
     Reassess(ReassessError),
+    /// Search index failure.
+    Search(SearchError),
     /// Provenance index failure.
     Provenance(ProvenanceError),
     /// Capture batcher flush failure.
@@ -132,6 +142,7 @@ impl fmt::Display for CollectionError {
             CollectionError::Storage(e) => write!(f, "storage: {e}"),
             CollectionError::Catalog(e) => write!(f, "catalog: {e}"),
             CollectionError::Reassess(e) => write!(f, "reassess: {e}"),
+            CollectionError::Search(e) => write!(f, "search: {e}"),
             CollectionError::Provenance(e) => write!(f, "provenance: {e}"),
             CollectionError::Sink(e) => write!(f, "capture flush: {e}"),
             CollectionError::PinnedSnapshots(n) => {
@@ -164,6 +175,11 @@ impl From<ProvenanceError> for CollectionError {
         CollectionError::Provenance(e)
     }
 }
+impl From<SearchError> for CollectionError {
+    fn from(e: SearchError) -> Self {
+        CollectionError::Search(e)
+    }
+}
 impl From<SinkError> for CollectionError {
     fn from(e: SinkError) -> Self {
         CollectionError::Sink(e)
@@ -177,6 +193,10 @@ pub struct MaintenanceReport {
     pub index_entries_consumed: usize,
     /// Provenance-index refresh: runs newly indexed.
     pub runs_indexed: usize,
+    /// Search-index run: journal entries consumed.
+    pub search_entries_consumed: usize,
+    /// Search-index run: records (re)indexed or removed.
+    pub search_docs_updated: usize,
     /// Whether a storage compaction folded anything.
     pub compacted: bool,
 }
@@ -192,6 +212,7 @@ pub struct Collection {
     provenance: Arc<ProvenanceManager>,
     prov_index: ProvIndex,
     reassessor: Reassessor,
+    search: Indexer,
     quality: Mutex<DataQualityManager>,
     batcher: Arc<CaptureBatcher>,
     closed: AtomicBool,
@@ -222,6 +243,12 @@ impl Collection {
         let prov_index = ProvIndex::new(provenance.clone());
         let reassessor =
             Reassessor::with_metrics(store.clone(), &options.records_table, obs.clone())?;
+        let search = Indexer::with_metrics(
+            store.clone(),
+            &options.records_table,
+            options.search.clone(),
+            obs.clone(),
+        );
         let quality =
             DataQualityManager::new(store.clone(), provenance.clone()).with_metrics(obs.clone());
         let batcher = Arc::new(CaptureBatcher::with_options(
@@ -247,6 +274,7 @@ impl Collection {
             provenance,
             prov_index,
             reassessor,
+            search,
             quality: Mutex::new(quality),
             batcher,
             closed: AtomicBool::new(false),
@@ -298,6 +326,13 @@ impl Collection {
         &self.reassessor
     }
 
+    /// The journal-fed search indexer (inverted index + n-gram fuzzy
+    /// candidates + facet counters). `maintain()` drives it; read
+    /// through `search().reader()` against a pinned snapshot.
+    pub fn search(&self) -> &Indexer {
+        &self.search
+    }
+
     /// The quality manager. Guarded: model/source registration mutates.
     pub fn quality(&self) -> std::sync::MutexGuard<'_, DataQualityManager> {
         self.quality.lock().expect("quality manager poisoned")
@@ -329,6 +364,7 @@ impl Collection {
         }
         self.batcher.force_flush()?;
         let refresh: RefreshOutcome = self.prov_index.refresh()?;
+        let search = self.search.run()?;
         let over_bound = self
             .engine()
             .runs_per_level()
@@ -342,6 +378,8 @@ impl Collection {
         Ok(MaintenanceReport {
             index_entries_consumed: refresh.entries_consumed,
             runs_indexed: refresh.runs_indexed,
+            search_entries_consumed: search.entries_consumed,
+            search_docs_updated: search.docs_indexed + search.docs_removed,
             compacted,
         })
     }
@@ -481,6 +519,34 @@ mod tests {
         let report = c.maintain().unwrap();
         assert_eq!(report.runs_indexed, 1, "{report:?}");
         assert_eq!(c.prov_index().lag().unwrap(), 0);
+        c.close().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn maintain_drives_the_search_index() {
+        let dir = temp_dir("search");
+        let c = Collection::open(&dir, CollectionOptions::default()).unwrap();
+        c.catalog()
+            .insert(
+                &Record::new("r1")
+                    .with("species", Value::Text("Hyla faber".into()))
+                    .with("state", Value::Text("São Paulo".into())),
+            )
+            .unwrap();
+        assert!(c.search().journal_lag().unwrap() > 0);
+        let report = c.maintain().unwrap();
+        assert!(report.search_entries_consumed > 0, "{report:?}");
+        assert_eq!(report.search_docs_updated, 1);
+        assert_eq!(c.search().journal_lag().unwrap(), 0);
+
+        let snap = c.store().snapshot();
+        let reader = c.search().reader();
+        let hits = reader.query(&snap, Some("species"), "faber", 10).unwrap();
+        assert_eq!(hits.ids, ["r1"]);
+        let hit = reader.fuzzy(&snap, "hyla fabre", 2).unwrap().unwrap();
+        assert_eq!(hit.name, "Hyla faber");
+        drop(snap);
         c.close().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }

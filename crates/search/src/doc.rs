@@ -1,0 +1,160 @@
+//! Per-record indexed state.
+//!
+//! The journal names *which* record changed, not what its old field
+//! values were — so the indexer persists, per record, exactly what it
+//! contributed to each index. On update or delete the stored
+//! [`DocState`] is the retraction source: the diff against the new
+//! state is O(old + new tokens), never a table scan.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use preserva_metadata::record::Record;
+use serde::{Deserialize, Serialize};
+
+use crate::{SearchConfig, QUALITY_FIELDS};
+
+/// What one record currently contributes to the indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocState {
+    /// Distinct tokens per indexed field (only non-empty fields appear).
+    pub tokens: BTreeMap<String, BTreeSet<String>>,
+    /// Facet memberships: `(facet, value)` pairs.
+    pub facets: BTreeSet<(String, String)>,
+    /// Species name covered by the n-gram index, if any.
+    pub name: Option<String>,
+}
+
+/// Quality band from the filled fraction of [`QUALITY_FIELDS`].
+pub fn quality_band(record: &Record) -> &'static str {
+    let filled = QUALITY_FIELDS
+        .iter()
+        .filter(|f| record.is_filled(f))
+        .count();
+    let fraction = filled as f64 / QUALITY_FIELDS.len() as f64;
+    if fraction >= 0.9 {
+        "high"
+    } else if fraction >= 0.6 {
+        "medium"
+    } else {
+        "low"
+    }
+}
+
+impl DocState {
+    /// Extract the indexed state of `record` under `config`.
+    pub fn extract(record: &Record, config: &SearchConfig) -> DocState {
+        let mut tokens = BTreeMap::new();
+        for field in &config.fields {
+            if let Some(value) = record.get(field) {
+                let text = match value.as_text() {
+                    Some(t) => t.to_string(),
+                    // Non-text values (dates, coordinates, numbers)
+                    // still deserve lookup by their rendered form.
+                    None => format!("{value:?}"),
+                };
+                let toks = crate::tokenize(&text);
+                if !toks.is_empty() {
+                    tokens.insert(field.clone(), toks);
+                }
+            }
+        }
+
+        let mut facets = BTreeSet::new();
+        let family = record
+            .get_text("family")
+            .map(|f| f.trim().to_lowercase())
+            .filter(|f| !f.is_empty())
+            .unwrap_or_else(|| "(none)".to_string());
+        facets.insert(("family".to_string(), family));
+        facets.insert((
+            "georeferenced".to_string(),
+            if record.is_filled("coordinates") {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+        ));
+        facets.insert(("quality".to_string(), quality_band(record).to_string()));
+
+        let name = record
+            .get_text(&config.name_field)
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .map(str::to_string);
+
+        DocState {
+            tokens,
+            facets,
+            name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preserva_metadata::value::{Coordinates, Value};
+
+    fn record() -> Record {
+        Record::new("FNJV-1")
+            .with("species", Value::Text("Hyla faber".into()))
+            .with("family", Value::Text("Hylidae".into()))
+            .with("state", Value::Text("São Paulo".into()))
+            .with(
+                "coordinates",
+                Value::Coordinates(Coordinates::new(-22.8, -47.1).unwrap()),
+            )
+    }
+
+    #[test]
+    fn extract_tokens_facets_and_name() {
+        let d = DocState::extract(&record(), &SearchConfig::default());
+        assert!(d.tokens["species"].contains("faber"));
+        assert!(d.tokens["state"].contains("paulo"));
+        assert!(!d.tokens.contains_key("city"), "absent fields stay out");
+        assert!(d
+            .facets
+            .contains(&("family".to_string(), "hylidae".to_string())));
+        assert!(d
+            .facets
+            .contains(&("georeferenced".to_string(), "yes".to_string())));
+        assert_eq!(d.name.as_deref(), Some("Hyla faber"));
+    }
+
+    #[test]
+    fn missing_family_and_coordinates_still_facet() {
+        let r = Record::new("r").with("species", Value::Text("Scinax ruber".into()));
+        let d = DocState::extract(&r, &SearchConfig::default());
+        assert!(d
+            .facets
+            .contains(&("family".to_string(), "(none)".to_string())));
+        assert!(d
+            .facets
+            .contains(&("georeferenced".to_string(), "no".to_string())));
+        assert!(d
+            .facets
+            .contains(&("quality".to_string(), "low".to_string())));
+    }
+
+    #[test]
+    fn quality_bands_track_completeness() {
+        let mut r = Record::new("r");
+        assert_eq!(quality_band(&r), "low");
+        for f in &QUALITY_FIELDS[..6] {
+            r.set(f, Value::Text("x".into()));
+        }
+        assert_eq!(quality_band(&r), "medium"); // 6/10
+        for f in &QUALITY_FIELDS[6..9] {
+            r.set(f, Value::Text("x".into()));
+        }
+        assert_eq!(quality_band(&r), "high"); // 9/10
+    }
+
+    #[test]
+    fn state_roundtrips_through_json() {
+        let d = DocState::extract(&record(), &SearchConfig::default());
+        let bytes = serde_json::to_vec(&d).unwrap();
+        assert_eq!(serde_json::from_slice::<DocState>(&bytes).unwrap(), d);
+    }
+}

@@ -1,0 +1,459 @@
+//! The durable-cursor journal consumer maintaining the search tables.
+//!
+//! Modeled on the core `Reassessor`: each [`Indexer::run`] pins ONE
+//! snapshot, drains the change journal from the stored cursor, diffs
+//! every touched record against its persisted [`DocState`], and commits
+//! postings, n-grams, facet counters, doc states and the advanced
+//! cursor in ONE `WriteSession`. Two consequences fall out:
+//!
+//! * **Crash atomicity** — postings and cursor land together or not at
+//!   all; a reopen either replays the whole journal range again
+//!   (idempotent: the diff against the already-updated doc states is
+//!   empty) or none of it. The index can never double-apply or skip a
+//!   range.
+//! * **Single-phase cursor** — search tables are not journaled, so the
+//!   run appends nothing to the feed it consumes and there is no
+//!   second "bump past own writes" commit to lose.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use preserva_metadata::record::Record;
+use preserva_obs::{Counter, Gauge, Histogram, Registry};
+use preserva_storage::table::{TableSnapshot, TableStore, WriteSession};
+use preserva_storage::{Lsn, ROW_DELETED, ROW_UPSERTED};
+use preserva_taxonomy::ngram::grams;
+use serde::{Deserialize, Serialize};
+
+use crate::doc::DocState;
+use crate::query::SearchReader;
+use crate::{join_key, tables, SearchConfig, SearchError};
+
+const STATE_KEY: &[u8] = b"state";
+
+/// Durable cursor state, one JSON row in `__search:meta`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub(crate) struct IndexState {
+    /// Highest journal sequence number already folded into the index.
+    pub cursor: u64,
+    /// Completed (non-noop) index runs.
+    pub runs: u64,
+}
+
+/// What one [`Indexer::run`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexOutcome {
+    /// Cursor before the run.
+    pub cursor_before: u64,
+    /// Cursor after the run.
+    pub cursor_after: u64,
+    /// Journal entries pending when the run started.
+    pub journal_lag: u64,
+    /// Journal entries consumed (all kinds, not just record rows).
+    pub entries_consumed: usize,
+    /// Records (re)indexed this run.
+    pub docs_indexed: usize,
+    /// Records removed from the index this run.
+    pub docs_removed: usize,
+    /// Commit LSN of the run's one input snapshot.
+    pub input_lsn: Lsn,
+}
+
+impl IndexOutcome {
+    /// Whether the run found nothing to do (and committed nothing).
+    pub fn is_noop(&self) -> bool {
+        self.entries_consumed == 0
+    }
+}
+
+/// Search instruments, resolved once at construction.
+struct SearchMetrics {
+    runs: Arc<Counter>,
+    index_lag: Arc<Gauge>,
+    entries_consumed: Arc<Counter>,
+    docs_indexed: Arc<Counter>,
+    docs_removed: Arc<Counter>,
+    batch_entries: Arc<Histogram>,
+    run_seconds: Arc<Histogram>,
+}
+
+impl SearchMetrics {
+    fn resolve(reg: &Arc<Registry>) -> SearchMetrics {
+        SearchMetrics {
+            runs: reg.counter(
+                "preserva_search_runs_total",
+                "Completed (non-noop) search index maintenance runs.",
+            ),
+            index_lag: reg.gauge(
+                "preserva_search_index_lag",
+                "Journal entries committed but not yet folded into the \
+                 search index (journal head minus indexer cursor).",
+            ),
+            entries_consumed: reg.counter(
+                "preserva_search_entries_consumed_total",
+                "Journal entries consumed by search index runs.",
+            ),
+            docs_indexed: reg.counter(
+                "preserva_search_docs_indexed_total",
+                "Records (re)indexed by search index runs.",
+            ),
+            docs_removed: reg.counter(
+                "preserva_search_docs_removed_total",
+                "Records removed from the search index by index runs.",
+            ),
+            batch_entries: reg.histogram(
+                "preserva_search_delta_batch_entries",
+                "Journal entries consumed per search index run.",
+                &[1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0],
+            ),
+            run_seconds: reg.latency_histogram(
+                "preserva_search_run_seconds",
+                "Latency of search index maintenance runs (drain, diff, commit).",
+            ),
+        }
+    }
+}
+
+/// The journal-fed maintainer of the three search index structures.
+pub struct Indexer {
+    store: Arc<TableStore>,
+    records_table: String,
+    config: SearchConfig,
+    obs: Arc<Registry>,
+    metrics: SearchMetrics,
+}
+
+impl std::fmt::Debug for Indexer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Indexer")
+            .field("records_table", &self.records_table)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Indexer {
+    /// Bind to a store and records table with the default config and a
+    /// private metrics registry.
+    pub fn new(store: Arc<TableStore>, records_table: &str) -> Indexer {
+        Indexer::with_metrics(
+            store,
+            records_table,
+            SearchConfig::default(),
+            Arc::new(Registry::new()),
+        )
+    }
+
+    /// Bind with an explicit config, reporting into `registry`.
+    pub fn with_metrics(
+        store: Arc<TableStore>,
+        records_table: &str,
+        config: SearchConfig,
+        registry: Arc<Registry>,
+    ) -> Indexer {
+        let metrics = SearchMetrics::resolve(&registry);
+        Indexer {
+            store,
+            records_table: records_table.to_string(),
+            config,
+            obs: registry,
+            metrics,
+        }
+    }
+
+    /// The config the index is maintained under.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// A reader bound to this indexer's config.
+    pub fn reader(&self) -> SearchReader {
+        SearchReader::new(self.config.clone())
+    }
+
+    /// The metrics registry this indexer reports to.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    pub(crate) fn load_state_at(snap: &TableSnapshot) -> Result<IndexState, SearchError> {
+        match snap.get(tables::META, STATE_KEY)? {
+            Some(row) => serde_json::from_slice(&row)
+                .map_err(|e| SearchError::codec(tables::META, "state", e)),
+            None => Ok(IndexState::default()),
+        }
+    }
+
+    fn load_state(&self) -> Result<IndexState, SearchError> {
+        match self.store.get(tables::META, STATE_KEY)? {
+            Some(row) => serde_json::from_slice(&row)
+                .map_err(|e| SearchError::codec(tables::META, "state", e)),
+            None => Ok(IndexState::default()),
+        }
+    }
+
+    fn stage_state(session: &mut WriteSession<'_>, state: &IndexState) -> Result<(), SearchError> {
+        let bytes =
+            serde_json::to_vec(state).map_err(|e| SearchError::codec(tables::META, "state", e))?;
+        session.put(tables::META, STATE_KEY, &bytes)?;
+        Ok(())
+    }
+
+    fn decode_count(row: Option<Vec<u8>>) -> u64 {
+        row.and_then(|v| String::from_utf8(v).ok())
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0)
+    }
+
+    /// Journal sequence number already folded into the index.
+    pub fn cursor(&self) -> Result<u64, SearchError> {
+        Ok(self.load_state()?.cursor)
+    }
+
+    /// Journal entries committed but not yet indexed — the lag the
+    /// `preserva_search_index_lag` gauge reports.
+    pub fn journal_lag(&self) -> Result<u64, SearchError> {
+        let lag = self
+            .store
+            .journal_head()
+            .saturating_sub(self.load_state()?.cursor);
+        self.metrics.index_lag.set(lag);
+        Ok(lag)
+    }
+
+    /// Drain the journal from the stored cursor and fold the delta into
+    /// the search tables, committing everything — postings, n-grams,
+    /// facet counters, doc states, cursor — in ONE write session. An
+    /// empty feed commits nothing.
+    pub fn run(&self) -> Result<IndexOutcome, SearchError> {
+        let started = Instant::now();
+        let mut state = self.load_state()?;
+        let cursor = state.cursor;
+        // Pin the input: every read below sees this one LSN.
+        let snap = self.store.snapshot();
+
+        let mut entries = Vec::new();
+        let mut pos = cursor;
+        loop {
+            let batch = snap.read_journal(pos, 4096)?;
+            if batch.is_empty() {
+                break;
+            }
+            pos = batch.last().expect("non-empty").seq;
+            entries.extend(batch);
+        }
+        let head = entries.last().map_or(cursor, |e| e.seq);
+        let lag = head.saturating_sub(cursor);
+        self.metrics.index_lag.set(lag);
+
+        let mut outcome = IndexOutcome {
+            cursor_before: cursor,
+            cursor_after: cursor,
+            journal_lag: lag,
+            entries_consumed: entries.len(),
+            input_lsn: snap.lsn(),
+            ..Default::default()
+        };
+        if entries.is_empty() {
+            self.obs
+                .trace("search", "change feed empty; index up to date".to_string());
+            self.metrics.run_seconds.observe_duration(started.elapsed());
+            return Ok(outcome);
+        }
+
+        // The set of records to re-derive; the journal's op kinds don't
+        // matter because the new truth is read from the pinned snapshot.
+        let mut touched: BTreeSet<Vec<u8>> = BTreeSet::new();
+        for e in &entries {
+            if e.table == self.records_table && (e.kind == ROW_UPSERTED || e.kind == ROW_DELETED) {
+                touched.insert(e.key.clone());
+            }
+        }
+
+        let mut session = self.store.session();
+        let mut facet_delta: BTreeMap<(String, String), i64> = BTreeMap::new();
+        let mut name_delta: BTreeMap<String, i64> = BTreeMap::new();
+        for pk in &touched {
+            let old = match snap.get(tables::DOCS, pk)? {
+                Some(row) => serde_json::from_slice::<DocState>(&row).map_err(|e| {
+                    SearchError::codec(tables::DOCS, String::from_utf8_lossy(pk), e)
+                })?,
+                None => DocState::default(),
+            };
+            let new = match snap.get(&self.records_table, pk)? {
+                Some(row) => {
+                    let record = serde_json::from_slice::<Record>(&row).map_err(|e| {
+                        SearchError::codec(tables::DOCS, String::from_utf8_lossy(pk), e)
+                    })?;
+                    Some(DocState::extract(&record, &self.config))
+                }
+                None => None,
+            };
+            let empty = DocState::default();
+            let new_ref = new.as_ref().unwrap_or(&empty);
+
+            // Inverted-index postings: retract what only the old state
+            // had, assert what only the new state has.
+            for (field, toks) in &old.tokens {
+                let kept = new_ref.tokens.get(field);
+                for t in toks {
+                    if !kept.is_some_and(|k| k.contains(t)) {
+                        session.delete(
+                            tables::POSTINGS,
+                            &join_key(&[field.as_bytes(), t.as_bytes(), pk]),
+                        )?;
+                    }
+                }
+            }
+            for (field, toks) in &new_ref.tokens {
+                let had = old.tokens.get(field);
+                for t in toks {
+                    if !had.is_some_and(|h| h.contains(t)) {
+                        session.put(
+                            tables::POSTINGS,
+                            &join_key(&[field.as_bytes(), t.as_bytes(), pk]),
+                            b"",
+                        )?;
+                    }
+                }
+            }
+
+            for f in old.facets.difference(&new_ref.facets) {
+                *facet_delta.entry(f.clone()).or_insert(0) -= 1;
+            }
+            for f in new_ref.facets.difference(&old.facets) {
+                *facet_delta.entry(f.clone()).or_insert(0) += 1;
+            }
+
+            if old.name != new_ref.name {
+                if let Some(n) = &old.name {
+                    *name_delta.entry(n.clone()).or_insert(0) -= 1;
+                }
+                if let Some(n) = &new_ref.name {
+                    *name_delta.entry(n.clone()).or_insert(0) += 1;
+                }
+            }
+
+            match &new {
+                Some(d) => {
+                    let bytes = serde_json::to_vec(d).map_err(|e| {
+                        SearchError::codec(tables::DOCS, String::from_utf8_lossy(pk), e)
+                    })?;
+                    session.put(tables::DOCS, pk, &bytes)?;
+                    outcome.docs_indexed += 1;
+                }
+                None => {
+                    if old != DocState::default() {
+                        session.delete(tables::DOCS, pk)?;
+                        outcome.docs_removed += 1;
+                    }
+                }
+            }
+        }
+
+        // Facet counters: one read-modify-write per touched (facet,
+        // value), against the pinned snapshot (each key staged once).
+        for ((facet, value), delta) in facet_delta {
+            if delta == 0 {
+                continue;
+            }
+            let key = join_key(&[facet.as_bytes(), value.as_bytes()]);
+            let current = Self::decode_count(snap.get(tables::FACETS, &key)?) as i64;
+            let next = (current + delta).max(0) as u64;
+            if next == 0 {
+                session.delete(tables::FACETS, &key)?;
+            } else {
+                session.put(tables::FACETS, &key, next.to_string().as_bytes())?;
+            }
+        }
+
+        // Species-name refcounts drive n-gram membership: grams appear
+        // when a name gains its first reference, disappear with its last.
+        for (name, delta) in name_delta {
+            if delta == 0 {
+                continue;
+            }
+            let key = name.as_bytes();
+            let current = Self::decode_count(snap.get(tables::NAMES, key)?);
+            let next = (current as i64 + delta).max(0) as u64;
+            if next == 0 {
+                if current > 0 {
+                    for gram in grams(&name, self.config.gram) {
+                        session.delete(tables::NGRAMS, &join_key(&[gram.as_bytes(), key]))?;
+                    }
+                    session.delete(tables::NAMES, key)?;
+                }
+                continue;
+            }
+            if current == 0 {
+                for gram in grams(&name, self.config.gram) {
+                    session.put(tables::NGRAMS, &join_key(&[gram.as_bytes(), key]), b"")?;
+                }
+            }
+            session.put(tables::NAMES, key, next.to_string().as_bytes())?;
+        }
+
+        state.cursor = head;
+        state.runs += 1;
+        Self::stage_state(&mut session, &state)?;
+
+        // Input fully captured: unpin before committing so the fold
+        // horizon never waits on us.
+        drop(snap);
+        session.commit()?;
+
+        outcome.cursor_after = state.cursor;
+        self.metrics.runs.inc();
+        self.metrics.entries_consumed.add(entries.len() as u64);
+        self.metrics.docs_indexed.add(outcome.docs_indexed as u64);
+        self.metrics.docs_removed.add(outcome.docs_removed as u64);
+        self.metrics.batch_entries.observe(entries.len() as f64);
+        self.metrics
+            .index_lag
+            .set(self.store.journal_head().saturating_sub(state.cursor));
+        self.metrics.run_seconds.observe_duration(started.elapsed());
+        self.obs.trace(
+            "search",
+            format!(
+                "index run consumed {} entries: {} docs indexed, {} removed (cursor {} -> {})",
+                entries.len(),
+                outcome.docs_indexed,
+                outcome.docs_removed,
+                cursor,
+                state.cursor
+            ),
+        );
+        Ok(outcome)
+    }
+
+    /// Drop every search table and re-derive the index by replaying the
+    /// journal from zero. The wipe is one commit (resetting the cursor
+    /// with it), the replay a normal [`run`](Self::run) — so a crash
+    /// between the two leaves a valid empty index that the next run
+    /// completes.
+    pub fn rebuild(&self) -> Result<IndexOutcome, SearchError> {
+        let snap = self.store.snapshot();
+        let mut session = self.store.session();
+        for table in [
+            tables::POSTINGS,
+            tables::DOCS,
+            tables::NGRAMS,
+            tables::NAMES,
+            tables::FACETS,
+        ] {
+            for key in snap.scan_keys(table)? {
+                session.delete(table, &key)?;
+            }
+        }
+        let runs = Self::load_state_at(&snap)?.runs;
+        Self::stage_state(&mut session, &IndexState { cursor: 0, runs })?;
+        drop(snap);
+        session.commit()?;
+        self.obs.trace(
+            "search",
+            "index wiped; replaying journal from zero".to_string(),
+        );
+        self.run()
+    }
+}

@@ -1,0 +1,40 @@
+//! The tokenizer feeding the inverted index.
+//!
+//! Deliberately tiny and deterministic: lowercase-fold, split on any
+//! non-alphanumeric character, drop empties. Postings are set-valued per
+//! (field, record), so duplicates within one field collapse — the index
+//! answers "does this record's field mention this word", not ranking.
+
+use std::collections::BTreeSet;
+
+/// Distinct lowercase tokens of `text`.
+pub fn tokenize(text: &str) -> BTreeSet<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s).into_iter().collect()
+    }
+
+    #[test]
+    fn splits_and_folds() {
+        assert_eq!(toks("Hyla faber"), ["faber", "hyla"]);
+        assert_eq!(toks("São   Paulo"), ["paulo", "são"]);
+        assert_eq!(toks("FNJV-0031"), ["0031", "fnjv"]);
+    }
+
+    #[test]
+    fn dedupes_and_drops_empties() {
+        assert_eq!(toks("a a  A ..  "), ["a"]);
+        assert!(toks("  ,;  ").is_empty());
+        assert!(toks("").is_empty());
+    }
+}

@@ -58,6 +58,8 @@ fn tenant_route(state: &ServerState, req: &Request, tenant: &str, rest: &[&str])
         ("PUT", ["records"]) | ("POST", ["records"]) => put_record(&coll, req),
         ("GET", ["stats"]) => stats(&coll),
         ("GET", ["prov", "runs"]) => prov_runs(&coll, req),
+        ("GET", ["search"]) => search(&coll, req),
+        ("GET", ["facets"]) => facets(&coll, req),
         _ => Response::error(404, "no such route"),
     }
 }
@@ -198,6 +200,91 @@ fn prov_runs(coll: &Arc<Collection>, req: &Request) -> Response {
     };
     match result {
         Ok(runs) => Response::json(200, serde_json::json!({ "runs": runs })),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// Token and fuzzy search over the journal-fed index. Folds anything
+/// committed since the last index run first (like `prov_runs`), then
+/// pins ONE snapshot and answers entirely from the search tables,
+/// reporting the snapshot LSN, the index cursor it embodies, and the
+/// live lag behind the journal head.
+fn search(coll: &Arc<Collection>, req: &Request) -> Response {
+    let q = req.query();
+    if let Err(e) = coll.search().run() {
+        return Response::error(500, &e.to_string());
+    }
+    let reader = coll.search().reader();
+    let snap = coll.store().snapshot();
+    let cursor = match reader.cursor_at(&snap) {
+        Ok(c) => c,
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    let lag = coll.journal_head().saturating_sub(cursor);
+    let meta = |mut v: serde_json::Value| {
+        let obj = v.as_object_mut().expect("object");
+        obj.insert("as_of_lsn".into(), serde_json::json!(snap.lsn()));
+        obj.insert("index_cursor".into(), serde_json::json!(cursor));
+        obj.insert("index_lag".into(), serde_json::json!(lag));
+        Response::json(200, v)
+    };
+    if let Some(fuzzy_q) = q.get("fuzzy") {
+        let distance: usize = q.get("distance").and_then(|v| v.parse().ok()).unwrap_or(2);
+        return match reader.fuzzy(&snap, fuzzy_q, distance) {
+            Ok(hit) => meta(serde_json::json!({
+                "query": fuzzy_q,
+                "distance_budget": distance,
+                "match": hit.map(|h| serde_json::json!({
+                    "name": h.name,
+                    "distance": h.distance,
+                    "candidates_scored": h.candidates_scored,
+                })),
+            })),
+            Err(e) => Response::error(500, &e.to_string()),
+        };
+    }
+    let terms = match q.get("q") {
+        Some(t) => t,
+        None => return Response::error(400, "missing query: pass q= or fuzzy="),
+    };
+    let limit: usize = q
+        .get("limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+        .min(1000);
+    match reader.query(&snap, q.get("field").map(String::as_str), terms, limit) {
+        Ok(hits) => meta(serde_json::json!({
+            "query": terms,
+            "total": hits.total,
+            "ids": hits.ids,
+        })),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// Facet breakdowns straight off the counter rows — the record table is
+/// never read. Same freshness/pinning protocol as `search`.
+fn facets(coll: &Arc<Collection>, req: &Request) -> Response {
+    let q = req.query();
+    if let Err(e) = coll.search().run() {
+        return Response::error(500, &e.to_string());
+    }
+    let reader = coll.search().reader();
+    let snap = coll.store().snapshot();
+    let cursor = match reader.cursor_at(&snap) {
+        Ok(c) => c,
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    match reader.facets(&snap, q.get("facet").map(String::as_str)) {
+        Ok(counts) => Response::json(
+            200,
+            serde_json::json!({
+                "facets": counts,
+                "as_of_lsn": snap.lsn(),
+                "index_cursor": cursor,
+                "index_lag": coll.journal_head().saturating_sub(cursor),
+            }),
+        ),
         Err(e) => Response::error(500, &e.to_string()),
     }
 }

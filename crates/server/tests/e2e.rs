@@ -393,6 +393,162 @@ fn record_ids_containing_slashes_are_reachable() {
 }
 
 #[test]
+fn search_and_facets_end_to_end() {
+    let (server, root) = start("search");
+    let addr = server.addr();
+
+    // Both search endpoints sit behind tenant auth.
+    assert_eq!(
+        call(addr, "GET", "/v1/herp/search?q=hyla", None, None).status,
+        401
+    );
+    assert_eq!(
+        call(addr, "GET", "/v1/herp/facets", Some("wrong"), None).status,
+        401
+    );
+
+    // Seed herp; ornith stays empty — isolation check below.
+    for (id, species) in [
+        ("s1", "Hyla faber"),
+        ("s2", "Hyla faber"),
+        ("s3", "Scinax ruber"),
+    ] {
+        assert_eq!(
+            call(
+                addr,
+                "PUT",
+                "/v1/herp/records",
+                Some("key-herp"),
+                Some(&record_json(id, species)),
+            )
+            .status,
+            201
+        );
+    }
+
+    // Token search folds the journal in first, then answers under one
+    // pinned snapshot, reporting LSN + cursor + lag.
+    let hits = call(
+        addr,
+        "GET",
+        "/v1/herp/search?q=hyla&field=species",
+        Some("key-herp"),
+        None,
+    );
+    assert_eq!(hits.status, 200, "body: {}", hits.body);
+    let j = hits.json();
+    assert_eq!(j["total"], 2);
+    assert_eq!(j["ids"], serde_json::json!(["s1", "s2"]));
+    assert!(j["as_of_lsn"].as_u64().unwrap() > 0);
+    assert_eq!(j["index_lag"], 0, "handler refreshed before answering");
+    let cursor = j["index_cursor"].as_u64().unwrap();
+    assert!(cursor >= 3, "cursor covers the three inserts");
+
+    // Missing query parameter is a clean 400.
+    assert_eq!(
+        call(addr, "GET", "/v1/herp/search", Some("key-herp"), None).status,
+        400
+    );
+
+    // Fuzzy lookup through the persisted n-gram index.
+    let fuzzy = call(
+        addr,
+        "GET",
+        "/v1/herp/search?fuzzy=Hyla+fabre&distance=2",
+        Some("key-herp"),
+        None,
+    );
+    assert_eq!(fuzzy.status, 200);
+    assert_eq!(fuzzy.json()["match"]["name"], "Hyla faber");
+    assert_eq!(fuzzy.json()["match"]["distance"], 1);
+
+    // Facets answered off the counter rows alone.
+    let facets = call(addr, "GET", "/v1/herp/facets", Some("key-herp"), None);
+    assert_eq!(facets.status, 200);
+    let f = facets.json();
+    assert_eq!(f["facets"]["georeferenced"]["no"], 3);
+    assert_eq!(f["facets"]["quality"]["low"], 3);
+    assert_eq!(f["index_lag"], 0);
+
+    // Tenant isolation: ornith's index is empty, not herp's.
+    let other = call(
+        addr,
+        "GET",
+        "/v1/ornith/search?q=hyla",
+        Some("key-ornith"),
+        None,
+    );
+    assert_eq!(other.status, 200);
+    assert_eq!(other.json()["total"], 0, "tenants must not share indexes");
+
+    // Consistency with a concurrent writer: a record landing while we
+    // query is either fully visible (in hits AND facets at a later
+    // cursor) or fully invisible — never half-indexed. After the next
+    // search, it must be visible with lag 0 again.
+    assert_eq!(
+        call(
+            addr,
+            "PUT",
+            "/v1/herp/records",
+            Some("key-herp"),
+            Some(&record_json("s4", "Hyla faber")),
+        )
+        .status,
+        201
+    );
+    let after = call(
+        addr,
+        "GET",
+        "/v1/herp/search?q=faber",
+        Some("key-herp"),
+        None,
+    );
+    assert_eq!(after.json()["total"], 3);
+    assert_eq!(after.json()["index_lag"], 0);
+    assert!(after.json()["index_cursor"].as_u64().unwrap() > cursor);
+    let facets2 = call(addr, "GET", "/v1/herp/facets", Some("key-herp"), None);
+    assert_eq!(facets2.json()["facets"]["georeferenced"]["no"], 4);
+
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn search_respects_request_quota() {
+    let root = tmp("search-quota");
+    let mut config = ServerConfig::new("127.0.0.1:0", &root);
+    config.feed_poll = Duration::from_millis(50);
+    let config = config.tenant(TenantConfig {
+        name: "small".into(),
+        api_key: "k".into(),
+        quota: Quota {
+            max_requests: 2,
+            window: Duration::from_secs(60),
+            max_subscribers: 1,
+        },
+    });
+    let server = Server::start(config).unwrap();
+    let addr = server.addr();
+
+    assert_eq!(
+        call(addr, "GET", "/v1/small/search?q=x", Some("k"), None).status,
+        200
+    );
+    assert_eq!(
+        call(addr, "GET", "/v1/small/facets", Some("k"), None).status,
+        200
+    );
+    assert_eq!(
+        call(addr, "GET", "/v1/small/search?q=x", Some("k"), None).status,
+        429,
+        "search requests count against the tenant quota"
+    );
+
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn quota_limits_requests_per_window() {
     let root = tmp("quota");
     let mut config = ServerConfig::new("127.0.0.1:0", &root);

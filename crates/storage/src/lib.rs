@@ -66,4 +66,6 @@ pub use error::{StorageError, StorageResult};
 pub use journal::{JournalEntry, ROW_DELETED, ROW_UPSERTED};
 pub use memtable::RangeTombstone;
 pub use snapshot::{Lsn, SnapshotRegistry};
-pub use table::{CommitReceipt, IndexDef, TableStore, WriteSession};
+pub use table::{
+    is_search_table, CommitReceipt, IndexDef, TableStore, WriteSession, SEARCH_PREFIX,
+};

@@ -62,7 +62,22 @@ impl IndexDef {
 const IDX_PREFIX: &str = "__idx";
 /// Reserved table recording which indexes have been backfilled.
 const TABLE_META: &str = "__table_meta";
+/// Reserved namespace for search-index tables (`__search:<name>`).
+/// User table names can never contain ':', so nothing in this namespace
+/// can collide with a user table; unlike the other `__` tables it is
+/// writable through the normal [`TableStore`] API, which is exactly what
+/// lets a search indexer commit postings and its journal cursor in one
+/// atomic [`WriteSession`] batch.
+pub const SEARCH_PREFIX: &str = "__search:";
 const SEP: u8 = 0x00;
+
+/// True for tables in the reserved search namespace. These pass
+/// [`check_name`] (they are deliberately client-writable) but are never
+/// journaled or indexed themselves.
+pub fn is_search_table(name: &str) -> bool {
+    name.strip_prefix(SEARCH_PREFIX)
+        .is_some_and(|rest| !rest.is_empty() && !rest.contains(':'))
+}
 
 fn index_table(table: &str, index: &str) -> String {
     format!("{IDX_PREFIX}:{table}:{index}")
@@ -81,6 +96,13 @@ fn backfill_marker(table: &str, index: &str) -> Vec<u8> {
 }
 
 fn check_name(name: &str) -> StorageResult<()> {
+    // The search namespace is the one carve-out from the reserved-name
+    // rule: `__search:x` is writable like a user table. Everything else
+    // containing ':' or prefixed `__` (journal, index shadows, table
+    // meta) stays internal-only.
+    if is_search_table(name) {
+        return Ok(());
+    }
     if name.is_empty() || name.contains(':') || name.starts_with("__") {
         return Err(StorageError::InvalidTableName(name.to_string()));
     }
@@ -239,6 +261,11 @@ impl TableStore {
     /// atomic batch as the write itself.
     pub fn mark_journaled(&self, table: &str) -> StorageResult<()> {
         check_name(table)?;
+        // Search tables are derived FROM the journal; journaling them
+        // back into it would make every index run feed itself.
+        if is_search_table(table) {
+            return Err(StorageError::InvalidTableName(table.to_string()));
+        }
         self.journaled.write().insert(table.to_string());
         Ok(())
     }
@@ -346,6 +373,11 @@ impl TableStore {
     /// its own atomic batch.
     pub fn create_index(&self, table: &str, def: IndexDef) -> StorageResult<()> {
         check_name(table)?;
+        // Search tables ARE indexes; stacking a shadow index on one is
+        // a layering mistake, refused up front.
+        if is_search_table(table) {
+            return Err(StorageError::InvalidTableName(table.to_string()));
+        }
         let marker = backfill_marker(table, &def.name);
         if self.engine.get(TABLE_META, &marker)?.is_none() {
             let rows = self.engine.scan_all(table)?;
@@ -504,7 +536,10 @@ impl TableStore {
         // Sequence numbers are assigned and landed under the commit
         // lock, so concurrent loads/sessions land their ranges in seq
         // order and a failed ingest burns nothing.
-        let guard = self.commit_lock.lock().expect("journal commit lock poisoned");
+        let guard = self
+            .commit_lock
+            .lock()
+            .expect("journal commit lock poisoned");
         let first = self.landed_head.load(Ordering::SeqCst) + 1;
         let last = first + rows.len() as u64 - 1;
         for (i, (key, _)) in rows.iter().enumerate() {
@@ -939,6 +974,33 @@ mod tests {
         assert!(s.put("a:b", b"k", b"v").is_err());
         assert!(s.put("", b"k", b"v").is_err());
         assert!(s.mark_journaled("__journal").is_err());
+    }
+
+    #[test]
+    fn search_namespace_is_writable_but_never_journaled_or_indexed() {
+        let s = store("search-ns");
+        // The carve-out: `__search:<name>` behaves like a user table...
+        s.put("__search:postings", b"k", b"v").unwrap();
+        assert_eq!(
+            s.get("__search:postings", b"k").unwrap(),
+            Some(b"v".to_vec())
+        );
+        let mut sess = s.session();
+        sess.put("__search:meta", b"state", b"{}").unwrap();
+        sess.delete("__search:postings", b"k").unwrap();
+        sess.commit().unwrap();
+        assert_eq!(s.get("__search:postings", b"k").unwrap(), None);
+        // ...but cannot itself be journaled or carry secondary indexes,
+        assert!(s.mark_journaled("__search:postings").is_err());
+        assert!(s
+            .create_index("__search:postings", IndexDef::new("i", |_| None))
+            .is_err());
+        // and malformed names in the namespace stay rejected.
+        assert!(s.put("__search:", b"k", b"v").is_err());
+        assert!(s.put("__search:a:b", b"k", b"v").is_err());
+        assert!(s.put("__searchx", b"k", b"v").is_err());
+        // Writes to search tables append no journal entries.
+        assert_eq!(s.journal_head(), 0);
     }
 
     #[test]

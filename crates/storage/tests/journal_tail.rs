@@ -241,9 +241,7 @@ fn concurrent_writers_and_tailer_see_no_gaps_or_reordering() {
         std::thread::spawn(move || {
             let mut cursor = 0u64;
             while cursor < total {
-                let page = s
-                    .tail_journal(cursor, 16, Duration::from_secs(10))
-                    .unwrap();
+                let page = s.tail_journal(cursor, 16, Duration::from_secs(10)).unwrap();
                 assert!(!page.is_empty(), "writers still active, tail timed out");
                 for e in &page {
                     assert_eq!(

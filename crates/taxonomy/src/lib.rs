@@ -18,6 +18,7 @@
 //! * [`backbone`] — taxa with full higher classification
 //! * [`checklist`] — editions and the evolution operations between them
 //! * [`fuzzy`] — Damerau–Levenshtein matching for misspelled names
+//! * [`ngram`] — character-n-gram candidate pruning for [`fuzzy`]
 //! * [`service`] — the `ColService` façade with simulated availability
 //!   (the paper annotates the real service `Q(availability): 0.9`)
 //! * [`builder`] — deterministic synthetic Neotropical backbones
@@ -28,6 +29,7 @@ pub mod checklist;
 pub mod diff;
 pub mod fuzzy;
 pub mod name;
+pub mod ngram;
 pub mod rank;
 pub mod service;
 pub mod status;
@@ -35,5 +37,6 @@ pub mod status;
 pub use checklist::{Checklist, ChecklistEdition};
 pub use diff::{ChecklistDiff, NameStatusChange};
 pub use name::ScientificName;
+pub use ngram::NGramIndex;
 pub use service::{ColService, LookupOutcome, ServiceConfig};
 pub use status::NameStatus;

@@ -1,0 +1,249 @@
+//! Character-n-gram candidate generation for fuzzy name lookup.
+//!
+//! [`fuzzy::best_match`] is a linear scan: every checklist name pays a
+//! Damerau–Levenshtein evaluation per query, which is the hot path at
+//! Catalogue-of-Life scale. An [`NGramIndex`] cuts the scan to a small
+//! candidate set with a *provable* guarantee: the candidates always
+//! include the exact winner the linear scan would have produced, so the
+//! indexed path is a pure speedup, never an approximation.
+//!
+//! # The count-filtering bound
+//!
+//! Work on the lowercase-folded strings (the same alphabet `best_match`
+//! measures distance in). One edit operation rewrites at most a window of
+//! `g` gram positions of the query — `g + 1` for an adjacent
+//! transposition, which straddles one extra window. A gram *string*
+//! disappears from the query's distinct-gram set only if every position
+//! carrying it is rewritten, costing at least one rewritten position per
+//! lost gram. So if `dist(q, c) <= d`, the candidate still shares at
+//! least
+//!
+//! ```text
+//! |grams(q)| − d·(g + 1)
+//! ```
+//!
+//! distinct grams with the query. Names sharing fewer grams are provably
+//! out of budget and are never scored; when the bound degenerates to
+//! `<= 0` (short queries or generous budgets) the index falls back to
+//! scanning every name, keeping the identical-result contract.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::fuzzy::{self, Match};
+
+/// Default gram width. Trigram postings stay small on binomial names
+/// while the bound `|grams(q)| − d·4` remains positive for typical
+/// queries (≥ ~12 chars at distance 2).
+pub const DEFAULT_GRAM: usize = 3;
+
+/// Distinct character n-grams of the *lowercase-folded* input.
+///
+/// Folding happens here so callers index and query in the same alphabet
+/// `best_match` measures distance in.
+pub fn grams(text: &str, g: usize) -> BTreeSet<String> {
+    let folded: Vec<char> = text.to_lowercase().chars().collect();
+    let mut out = BTreeSet::new();
+    if g == 0 || folded.len() < g {
+        return out;
+    }
+    for w in folded.windows(g) {
+        out.insert(w.iter().collect());
+    }
+    out
+}
+
+/// Minimum shared distinct grams for a candidate within `max_distance`,
+/// or `None` when the bound degenerates and a full scan is required.
+pub fn candidate_threshold(query_grams: usize, g: usize, max_distance: usize) -> Option<usize> {
+    let destroyed = max_distance.saturating_mul(g + 1);
+    if query_grams > destroyed {
+        Some(query_grams - destroyed)
+    } else {
+        None
+    }
+}
+
+/// An in-memory character-n-gram index over a fixed candidate list.
+///
+/// Build once from a checklist, then answer fuzzy lookups through
+/// [`NGramIndex::best_match`], which scores only the names that can
+/// possibly be within budget.
+#[derive(Debug, Clone)]
+pub struct NGramIndex {
+    g: usize,
+    names: Vec<String>,
+    /// gram → indices into `names`, each list sorted and deduped.
+    postings: BTreeMap<String, Vec<u32>>,
+}
+
+impl NGramIndex {
+    /// Build with [`DEFAULT_GRAM`].
+    pub fn build<I>(names: I) -> NGramIndex
+    where
+        I: IntoIterator<Item = String>,
+    {
+        NGramIndex::with_gram(DEFAULT_GRAM, names)
+    }
+
+    /// Build with an explicit gram width (`g >= 1`).
+    pub fn with_gram<I>(g: usize, names: I) -> NGramIndex
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let g = g.max(1);
+        let names: Vec<String> = names.into_iter().collect();
+        let mut postings: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for (i, name) in names.iter().enumerate() {
+            for gram in grams(name, g) {
+                postings.entry(gram).or_default().push(i as u32);
+            }
+        }
+        // grams() already dedupes per name and names are visited in
+        // order, so each posting list is sorted and unique.
+        NGramIndex { g, names, postings }
+    }
+
+    /// Number of indexed names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no names are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The gram width this index was built with.
+    pub fn gram(&self) -> usize {
+        self.g
+    }
+
+    /// All indexed names, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Indices of every name that *could* be within `max_distance` of
+    /// `query` — a provable superset of the linear scan's hits (see the
+    /// module docs for the bound). Falls back to all names when the
+    /// bound degenerates.
+    pub fn candidate_indices(&self, query: &str, max_distance: usize) -> Vec<u32> {
+        let q = grams(query, self.g);
+        let threshold = match candidate_threshold(q.len(), self.g, max_distance) {
+            Some(t) => t,
+            None => return (0..self.names.len() as u32).collect(),
+        };
+        let mut shared: BTreeMap<u32, usize> = BTreeMap::new();
+        for gram in &q {
+            if let Some(list) = self.postings.get(gram) {
+                for &i in list {
+                    *shared.entry(i).or_insert(0) += 1;
+                }
+            }
+        }
+        shared
+            .into_iter()
+            .filter(|&(_, n)| n >= threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The candidate names themselves.
+    pub fn candidates(&self, query: &str, max_distance: usize) -> Vec<&str> {
+        self.candidate_indices(query, max_distance)
+            .into_iter()
+            .map(|i| self.names[i as usize].as_str())
+            .collect()
+    }
+
+    /// Identical result to `fuzzy::best_match(query, all names, d)`,
+    /// scoring only the candidate set. The superset guarantee means
+    /// every name the linear scan would accept is present, and the
+    /// shared tie-break makes the winner byte-for-byte the same.
+    pub fn best_match(&self, query: &str, max_distance: usize) -> Option<Match<'_>> {
+        fuzzy::best_match(query, self.candidates(query, max_distance), max_distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(names: &[&str]) -> NGramIndex {
+        NGramIndex::build(names.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn grams_fold_case_and_dedupe() {
+        let g = grams("Hyla", 3);
+        assert_eq!(
+            g.iter().map(String::as_str).collect::<Vec<_>>(),
+            ["hyl", "yla"]
+        );
+        assert_eq!(grams("aaaa", 3).len(), 1);
+        assert!(grams("ab", 3).is_empty());
+    }
+
+    #[test]
+    fn threshold_degenerates_for_short_queries() {
+        assert_eq!(candidate_threshold(10, 3, 2), Some(2));
+        assert_eq!(candidate_threshold(8, 3, 2), None); // 8 <= 2·4
+        assert_eq!(candidate_threshold(0, 3, 0), None);
+    }
+
+    #[test]
+    fn indexed_matches_linear_on_fixtures() {
+        let names = [
+            "Hyla faber",
+            "Hyla albopunctata",
+            "Scinax ruber",
+            "Elachistocleis ovalis",
+            "Bufo bufo",
+        ];
+        let idx = index(&names);
+        for q in [
+            "hyla fabre",
+            "Hyla faber",
+            "scniax ruber",
+            "elachsitocleis ovalis",
+            "totally different words",
+            "bufo",
+        ] {
+            for d in 0..=3 {
+                let linear = fuzzy::best_match(q, names.iter().copied(), d);
+                let fast = idx.best_match(q, d);
+                assert_eq!(fast, linear, "query {q:?} distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_a_superset_of_accepted_names() {
+        let names = ["Hyla faber", "Hyla fabex", "Scinax ruber"];
+        let idx = index(&names);
+        let cands = idx.candidates("hyla fabre", 2);
+        for name in names {
+            let d = fuzzy::damerau_levenshtein("hyla fabre", &name.to_lowercase());
+            if d <= 2 {
+                assert!(cands.contains(&name), "{name} within budget but missing");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_bound_scans_everything() {
+        let idx = index(&["ab", "cd"]);
+        // Query grams: none (too short) — must fall back to all names.
+        assert_eq!(idx.candidate_indices("a", 1), vec![0, 1]);
+        assert_eq!(idx.best_match("ab", 1).unwrap().candidate, "ab");
+    }
+
+    #[test]
+    fn short_candidates_are_excluded_only_when_provably_out() {
+        // "ab" has no trigrams; with a long query and tight budget the
+        // bound proves it cannot match, so exclusion is sound.
+        let idx = index(&["ab", "elachistocleis"]);
+        let linear = fuzzy::best_match("elachistocleis", ["ab", "elachistocleis"], 2);
+        assert_eq!(idx.best_match("elachistocleis", 2), linear);
+    }
+}

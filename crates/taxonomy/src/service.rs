@@ -8,15 +8,15 @@
 //! so availability-sensitive behaviour (retries, the availability quality
 //! dimension) is exercised for real and reproducibly.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::backbone::Classification;
 use crate::checklist::Checklist;
-use crate::fuzzy;
 use crate::name::ScientificName;
+use crate::ngram::NGramIndex;
 use crate::status::NameStatus;
 
 /// Service tuning: quality annotations + failure simulation.
@@ -148,6 +148,10 @@ pub struct ColService {
     config: ServiceConfig,
     rng: Mutex<StdRng>,
     stats: Mutex<ServiceStats>,
+    /// N-gram index over backbone names, built on first fuzzy miss. The
+    /// backbone is frozen once wrapped, so one build serves the service's
+    /// whole lifetime.
+    fuzzy_index: OnceLock<NGramIndex>,
 }
 
 impl ColService {
@@ -159,7 +163,17 @@ impl ColService {
             config,
             rng: Mutex::new(rng),
             stats: Mutex::new(ServiceStats::default()),
+            fuzzy_index: OnceLock::new(),
         }
+    }
+
+    /// The n-gram index over backbone canonical names, built lazily.
+    /// Candidate pruning is exact (see [`crate::ngram`]): answers are
+    /// byte-for-byte what the linear `fuzzy::best_match` scan returns.
+    pub fn fuzzy_index(&self) -> &NGramIndex {
+        self.fuzzy_index.get_or_init(|| {
+            NGramIndex::build(self.checklist.backbone.names().map(|n| n.canonical()))
+        })
     }
 
     /// The service's expert-annotated reputation.
@@ -264,17 +278,10 @@ impl ColService {
                     return LookupOutcome::NotFound;
                 }
                 let query = name.canonical();
-                let names: Vec<String> = self
-                    .checklist
-                    .backbone
-                    .names()
-                    .map(|n| n.canonical())
-                    .collect();
-                match fuzzy::best_match(
-                    &query,
-                    names.iter().map(String::as_str),
-                    self.config.fuzzy_distance,
-                ) {
+                match self
+                    .fuzzy_index()
+                    .best_match(&query, self.config.fuzzy_distance)
+                {
                     Some(m) if m.distance > 0 => LookupOutcome::Misspelled {
                         suggestion: ScientificName::parse(m.candidate)
                             .expect("backbone names are valid binomials"),

@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use preserva_taxonomy::builder::{build_backbone, build_checklist, ReleasePlan};
 use preserva_taxonomy::fuzzy::{best_match, damerau_levenshtein};
 use preserva_taxonomy::name::ScientificName;
+use preserva_taxonomy::ngram::NGramIndex;
 
 /// Re-case `s` according to `mask`: bit i set ⇒ char i uppercased.
 fn apply_casing(s: &str, mask: u32) -> String {
@@ -142,6 +143,34 @@ proptest! {
             }
             (a, b) => prop_assert!(false, "casing changed matchability: {a:?} vs {b:?}"),
         }
+    }
+
+    /// The n-gram-indexed `best_match` is EXACTLY the linear scan: same
+    /// winner, same distance, same None, for arbitrary queries (any
+    /// casing, any length — including short strings that defeat the
+    /// count-filtering bound and fall back to a full scan) against
+    /// arbitrary candidate pools.
+    #[test]
+    fn indexed_best_match_equals_linear(
+        query in "[a-zA-Z ]{0,12}",
+        cands in proptest::collection::vec("[a-zA-Z]{0,10}( [a-z]{1,10})?", 0..12),
+        budget in 0usize..5,
+    ) {
+        let index = NGramIndex::build(cands.iter().cloned());
+        let linear = best_match(&query, cands.iter().map(String::as_str), budget)
+            .map(|m| (m.candidate.to_string(), m.distance));
+        // Candidate superset guarantee: whoever wins the linear scan is
+        // in the filtered candidate set.
+        if let Some((winner, _)) = &linear {
+            prop_assert!(
+                index.candidates(&query, budget).iter().any(|c| c == winner),
+                "winner {winner:?} missing from candidates for {query:?}"
+            );
+        }
+        let indexed = index
+            .best_match(&query, budget)
+            .map(|m| (m.candidate.to_string(), m.distance));
+        prop_assert_eq!(linear, indexed);
     }
 
     /// Name parsing normalizes to a canonical form that re-parses to the

@@ -11,6 +11,7 @@
 //! * [`gazetteer`] — georeferencing and spatial analysis
 //! * [`curation`] — cleaning, enrichment and outdated-name detection
 //! * [`quality`] — quality metamodel and provenance-based assessment
+//! * [`search`] — journal-fed inverted index, n-gram fuzzy match, facets
 //! * [`core`] — the paper's architecture (Fig. 1) wired end to end
 //! * [`fnjv`] — synthetic FNJV animal sound collection generator
 
@@ -22,6 +23,7 @@ pub use preserva_metadata as metadata;
 pub use preserva_obs as obs;
 pub use preserva_opm as opm;
 pub use preserva_quality as quality;
+pub use preserva_search as search;
 pub use preserva_storage as storage;
 pub use preserva_taxonomy as taxonomy;
 pub use preserva_wfms as wfms;
